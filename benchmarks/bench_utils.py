@@ -1,0 +1,31 @@
+"""Helpers shared by the benchmark files (kept out of conftest.py so that the
+module name is unique when several test roots are collected together)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The sampling-ratio sweep used by the figure benchmarks (as in the paper).
+SWEEP_RATIOS = (0.05, 0.1, 0.15, 0.2, 0.25)
+
+#: The (cheaper) sweep used by the runtime-prediction benchmarks.
+RUNTIME_RATIOS = (0.05, 0.1, 0.15, 0.2)
+
+
+def bench_scale() -> float:
+    """Dataset scale used by the benchmarks (env: REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def bench_workers() -> int:
+    """Simulated worker count used by the benchmarks (env: REPRO_BENCH_WORKERS)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "8"))
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a rendered result and persist it under ``benchmarks/results/``."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper's evaluation on
+the stand-in datasets.  They share one :class:`ExperimentContext` per session
+so that expensive *actual runs* (the ground truth of every figure) are
+executed once and reused across benchmark files.
+
+Two environment variables control the cost/fidelity trade-off:
+
+``REPRO_BENCH_SCALE``
+    Multiplier on the stand-in dataset sizes (default ``0.4``).  Larger values
+    give smoother error curves at the cost of a longer benchmark run.
+``REPRO_BENCH_WORKERS``
+    Number of simulated BSP workers (default ``8``).
+
+Each benchmark prints its rendered table/series and also writes it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from bench_utils import RESULTS_DIR, bench_scale, bench_workers
+from repro.cluster.cost_profile import DEFAULT_PROFILE
+from repro.experiments.harness import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """The shared experiment context (cached actual runs live here)."""
+    return ExperimentContext(
+        cost_profile=DEFAULT_PROFILE,
+        dataset_scale=bench_scale(),
+        num_workers=bench_workers(),
+        seed=42,
+        max_supersteps=200,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where rendered benchmark outputs are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

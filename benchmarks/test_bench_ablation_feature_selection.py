@@ -1,0 +1,22 @@
+"""Ablation (DESIGN.md): sequential forward feature selection vs training the
+cost model on all candidate features, for semi-clustering runtime prediction."""
+
+from bench_utils import publish
+
+from repro.experiments import figures
+
+
+def test_bench_ablation_feature_selection(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_feature_selection(ctx, dataset="uk-2002"),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_feature_selection", result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {"forward-selection", "all-features"}
+    # Forward selection uses a strict subset of the candidate pool and still
+    # fits the training data well.
+    assert rows["forward-selection"][1] <= rows["all-features"][1]
+    assert rows["forward-selection"][2] > 0.8

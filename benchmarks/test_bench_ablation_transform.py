@@ -1,0 +1,30 @@
+"""Ablation (DESIGN.md): the transform function on vs off.
+
+Running the PageRank sample run *without* scaling the convergence threshold
+(identity transform) breaks the iteration invariant the methodology relies on;
+this ablation quantifies the damage, mirroring the motivating example of
+Figure 2 in the paper."""
+
+from bench_utils import publish
+
+from repro.experiments import figures
+
+
+def test_bench_ablation_transform(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_transform_function(
+            ctx, datasets=("wikipedia", "uk-2002"), ratios=(0.05, 0.1, 0.2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = result["with-transform"].render() + "\n\n" + result["without-transform"].render()
+    publish(results_dir, "ablation_transform_function", text)
+
+    # Averaged over datasets and ratios, scaling the threshold must not be
+    # worse than ignoring it.
+    def mean_abs(sweep):
+        errors = [abs(err) for points in sweep.sweep.values() for _, err in points]
+        return sum(errors) / len(errors)
+
+    assert mean_abs(result["with-transform"]) <= mean_abs(result["without-transform"]) + 1e-9

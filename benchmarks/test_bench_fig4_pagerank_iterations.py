@@ -1,0 +1,32 @@
+"""Figure 4: relative error of predicted PageRank iterations vs sampling ratio,
+for tolerance levels epsilon = 0.01 and epsilon = 0.001, on all four datasets."""
+
+from bench_utils import SWEEP_RATIOS, publish
+
+from repro.experiments import figures
+
+
+def test_bench_fig4_pagerank_iterations(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig4_pagerank_iterations(ctx, ratios=SWEEP_RATIOS),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(result[eps].render() for eps in sorted(result, reverse=True))
+    publish(results_dir, "fig4_pagerank_iterations", text)
+
+    # Shape checks mirroring the paper: every dataset has a full series, and
+    # the scale-free graphs stay within a moderate error band at a 10% sample.
+    for sweep in result.values():
+        assert set(sweep.sweep) == {"LJ", "Wiki", "TW", "UK"}
+        for points in sweep.sweep.values():
+            assert len(points) == len(SWEEP_RATIOS)
+    tight = result[min(result)]
+    scale_free_errors = [
+        abs(err)
+        for name, points in tight.sweep.items()
+        if name != "LJ"
+        for ratio, err in points
+        if abs(ratio - 0.1) < 1e-9
+    ]
+    assert max(scale_free_errors) <= 0.6

@@ -1,0 +1,32 @@
+"""Figure 5: relative error of predicted semi-clustering iterations vs sampling
+ratio, for convergence ratios tau = 0.01 and tau = 0.001 (Twitter excluded, as
+in the paper, where it exceeds cluster memory)."""
+
+from bench_utils import SWEEP_RATIOS, publish
+
+from repro.experiments import figures
+
+
+def test_bench_fig5_semiclustering_iterations(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig5_semiclustering_iterations(ctx, ratios=SWEEP_RATIOS),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(result[tau].render() for tau in sorted(result, reverse=True))
+    publish(results_dir, "fig5_semiclustering_iterations", text)
+
+    for sweep in result.values():
+        assert set(sweep.sweep) == {"LJ", "Wiki", "UK"}
+        for points in sweep.sweep.values():
+            assert len(points) == len(SWEEP_RATIOS)
+    # Paper shape: at a 10% sample the web graphs are within ~20-40%.
+    tight = result[min(result)]
+    web_errors = [
+        abs(err)
+        for name, points in tight.sweep.items()
+        if name in {"Wiki", "UK"}
+        for ratio, err in points
+        if abs(ratio - 0.1) < 1e-9
+    ]
+    assert max(web_errors) <= 0.8

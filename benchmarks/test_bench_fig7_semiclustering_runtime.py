@@ -1,0 +1,37 @@
+"""Figure 7: semi-clustering end-to-end runtime prediction error.
+
+(a) cost model trained on sample runs only;
+(b) cost model trained on sample runs plus the actual runs of the *other*
+    datasets (historical runs).
+
+The per-dataset cost-model R^2 values (the paper quotes 0.82-0.89 without
+history and 0.88-0.95 with history) are reported in the sweep extras.
+"""
+
+from bench_utils import RUNTIME_RATIOS, publish
+
+from repro.experiments import figures
+
+
+def test_bench_fig7a_sample_runs_only(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig7_semiclustering_runtime(ctx, ratios=RUNTIME_RATIOS, use_history=False),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig7a_semiclustering_runtime_no_history", result.render())
+    assert set(result.sweep) == {"LJ", "Wiki", "UK"}
+    assert all(0.0 < r2 <= 1.0 for r2 in result.extras["r_squared"].values())
+
+
+def test_bench_fig7b_with_history(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig7_semiclustering_runtime(ctx, ratios=RUNTIME_RATIOS, use_history=True),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig7b_semiclustering_runtime_with_history", result.render())
+    assert result.extras["used_history"] is True
+    # History-trained models fit at least as well as the paper's no-history
+    # models on the scale-free graphs.
+    assert result.extras["r_squared"]["UK"] > 0.7

@@ -1,0 +1,31 @@
+"""Figure 8: top-k ranking end-to-end runtime prediction error.
+
+(a) cost model trained on sample runs only;
+(b) cost model trained on sample runs plus historical actual runs.
+"""
+
+from bench_utils import RUNTIME_RATIOS, publish
+
+from repro.experiments import figures
+
+
+def test_bench_fig8a_sample_runs_only(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig8_topk_runtime(ctx, ratios=RUNTIME_RATIOS, use_history=False),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig8a_topk_runtime_no_history", result.render())
+    assert set(result.sweep) == {"LJ", "Wiki", "UK"}
+    assert all(0.0 < r2 <= 1.0 for r2 in result.extras["r_squared"].values())
+
+
+def test_bench_fig8b_with_history(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig8_topk_runtime(ctx, ratios=RUNTIME_RATIOS, use_history=True),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig8b_topk_runtime_with_history", result.render())
+    assert result.extras["used_history"] is True
+    assert all(r2 > 0.7 for r2 in result.extras["r_squared"].values())

@@ -1,0 +1,29 @@
+"""Figure 9: sensitivity of the iteration prediction to the sampling technique
+(BRJ vs RJ vs MHRW) for semi-clustering and top-k ranking on the UK stand-in."""
+
+from bench_utils import SWEEP_RATIOS, publish
+
+from repro.experiments import figures
+
+
+def test_bench_fig9_sampling_sensitivity(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig9_sampling_sensitivity(ctx, dataset="uk-2002", ratios=SWEEP_RATIOS),
+        rounds=1,
+        iterations=1,
+    )
+    text = result["semi-clustering"].render() + "\n\n" + result["topk-ranking"].render()
+    publish(results_dir, "fig9_sampling_sensitivity", text)
+
+    for sweep in result.values():
+        assert set(sweep.sweep) == {"BRJ", "RJ", "MHRW"}
+        for points in sweep.sweep.values():
+            assert len(points) == len(SWEEP_RATIOS)
+
+    # Paper shape: at a 10% sample BRJ's error is smaller than or similar to
+    # the other techniques (we allow a small tolerance for "similar").
+    for sweep in result.values():
+        at_10 = {
+            name: abs(dict(points)[0.1]) for name, points in sweep.sweep.items()
+        }
+        assert at_10["BRJ"] <= min(at_10["RJ"], at_10["MHRW"]) + 0.25

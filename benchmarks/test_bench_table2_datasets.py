@@ -1,0 +1,23 @@
+"""Table 2: characteristics of the (stand-in) datasets."""
+
+from bench_utils import publish
+
+from repro.experiments import figures
+
+
+def test_bench_table2_datasets(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.table2_datasets(ctx), rounds=1, iterations=1
+    )
+    text = result.render()
+    publish(results_dir, "table2_datasets", text)
+    # Sanity: all four datasets characterised, Twitter densest, LJ the only
+    # stand-in built from a non-power-law generator (as in the paper's
+    # footnote about its out-degree distribution).
+    assert len(result.rows) == 4
+    by_name = {row[0]: row for row in result.rows}
+    density = {name: row[5] / row[4] for name, row in by_name.items()}
+    assert density["twitter"] == max(density.values())
+    generator_flag = {name: row[-2] for name, row in by_name.items()}
+    assert generator_flag["livejournal"] is False
+    assert all(generator_flag[name] for name in ("wikipedia", "uk-2002", "twitter"))

@@ -1,0 +1,29 @@
+"""Table 3: simulated runtime of sample runs (SR = 0.01, 0.1, 0.2) and of the
+actual runs (SR = 1.0) for PageRank, semi-clustering, connected components,
+top-k ranking and neighborhood estimation on the largest stand-ins."""
+
+from bench_utils import publish
+
+from repro.experiments import figures
+
+
+def test_bench_table3_overhead(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.table3_overhead(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "table3_overhead", result.render())
+
+    # The rows are ordered by sampling ratio with the actual run (1.0) last;
+    # every sample run must be cheaper than its actual run, and the 10% sample
+    # of the long-running algorithms should stay a small fraction of it.
+    header_ratio_rows = {row[0]: row[1:] for row in result.rows}
+    actual = header_ratio_rows[1.0]
+    for ratio, runtimes in header_ratio_rows.items():
+        if ratio >= 1.0:
+            continue
+        assert all(sample < full for sample, full in zip(runtimes, actual))
+    ten_percent = header_ratio_rows[0.1]
+    fractions = [sample / full for sample, full in zip(ten_percent, actual)]
+    assert min(fractions) < 0.35

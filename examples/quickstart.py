@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: predict the runtime of PageRank before running it.
+
+This is the smallest end-to-end use of the library:
+
+1. load a stand-in dataset (a scale-free web graph),
+2. build a PREDIcT predictor for PageRank on the simulated cluster,
+3. predict the number of iterations and the superstep runtime from a 10%
+   sample run,
+4. execute the actual run and compare.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BSPEngine, EngineConfig, PageRank, PageRankConfig, Predictor
+from repro.graph.datasets import load_dataset
+from repro.utils.stats import signed_relative_error
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # The 'wikipedia' stand-in is a scale-free web graph; scale=0.5 keeps this
+    # example fast (a couple of seconds) while remaining non-trivial.
+    graph = load_dataset("wikipedia", scale=0.5)
+    print(f"dataset: {graph.name}  vertices={graph.num_vertices}  edges={graph.num_edges}")
+
+    engine = BSPEngine()
+    engine_config = EngineConfig(num_workers=8)
+    algorithm = PageRank()
+    # The paper's convergence setting: tau = epsilon / N with epsilon = 0.001.
+    config = PageRankConfig.for_tolerance_level(0.001, graph.num_vertices)
+
+    # ---------------------------------------------------------------- predict
+    predictor = Predictor(engine, algorithm, engine_config=engine_config)
+    prediction = predictor.predict(graph, config, sampling_ratio=0.1)
+
+    print("\nPREDIcT prediction (from a 10% sample run):")
+    for key, value in prediction.summary().items():
+        print(f"  {key}: {value}")
+
+    # ------------------------------------------------------------------ actual
+    actual = engine.run(graph, algorithm, config, engine_config)
+
+    rows = [
+        ["iterations", prediction.predicted_iterations, actual.num_iterations,
+         round(signed_relative_error(prediction.predicted_iterations, actual.num_iterations), 3)],
+        ["superstep runtime (s)", round(prediction.predicted_superstep_runtime, 1),
+         round(actual.superstep_runtime, 1),
+         round(signed_relative_error(prediction.predicted_superstep_runtime,
+                                     actual.superstep_runtime), 3)],
+        ["remote message bytes", int(prediction.predicted_total_remote_bytes()),
+         actual.total_remote_message_bytes(),
+         round(signed_relative_error(prediction.predicted_total_remote_bytes(),
+                                     float(actual.total_remote_message_bytes())), 3)],
+    ]
+    print()
+    print(format_table(["quantity", "predicted", "actual", "signed error"], rows,
+                       title="Prediction vs actual run"))
+    print("\ncost model:", prediction.cost_model.describe())
+
+
+if __name__ == "__main__":
+    main()

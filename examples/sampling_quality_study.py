@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Sampling-technique study: which sampler preserves the graph's key properties?
+
+PREDIcT's accuracy hinges on the sample preserving connectivity, in/out-degree
+proportionality and the effective diameter (§3.2.1 and §5.3 of the paper).
+This example compares Biased Random Jump (the paper's default) against Random
+Jump, MHRW, Random Walk and Forest Fire on one dataset:
+
+* structural quality: degree D-statistics, effective diameter, connectivity;
+* functional quality: the relative error of the PageRank iteration count
+  predicted from a sample run using each technique.
+
+Run with::
+
+    python examples/sampling_quality_study.py
+"""
+
+from __future__ import annotations
+
+from repro import BSPEngine, EngineConfig, PageRank, PageRankConfig
+from repro.core.sample_run import SampleRunner
+from repro.graph.datasets import load_dataset
+from repro.sampling.quality import quality_report
+from repro.sampling.registry import available_samplers, sampler_by_name
+from repro.utils.stats import signed_relative_error
+from repro.utils.tables import format_table
+
+DATASET = "uk-2002"
+SCALE = 0.4
+RATIO = 0.1
+
+
+def main() -> None:
+    graph = load_dataset(DATASET, scale=SCALE)
+    engine = BSPEngine()
+    engine_config = EngineConfig(num_workers=8)
+    algorithm = PageRank()
+    config = PageRankConfig.for_tolerance_level(0.001, graph.num_vertices)
+
+    actual = engine.run(graph, algorithm, config, engine_config)
+    print(f"dataset: {graph.name}  vertices={graph.num_vertices}  edges={graph.num_edges}")
+    print(f"actual PageRank iterations: {actual.num_iterations}\n")
+
+    rows = []
+    for name in available_samplers():
+        sampler = sampler_by_name(name, seed=17)
+        sample = sampler.sample(graph, RATIO)
+        report = quality_report(graph, sample, seed=3)
+        runner = SampleRunner(engine, algorithm, sampler=sampler_by_name(name, seed=17),
+                              engine_config=engine_config)
+        profile = runner.run(graph, config, RATIO)
+        iteration_error = signed_relative_error(profile.num_iterations, actual.num_iterations)
+        rows.append([
+            name,
+            round(report.out_degree_d_statistic, 3),
+            round(report.in_degree_d_statistic, 3),
+            round(report.diameter_sample, 1),
+            round(report.wcc_fraction_sample, 2),
+            profile.num_iterations,
+            round(iteration_error, 3),
+        ])
+
+    headers = [
+        "sampler", "D(out-degree)", "D(in-degree)", "sample diameter",
+        "sample WCC fraction", "sample-run iterations", "iteration error",
+    ]
+    print(format_table(headers, rows, title=f"Sampling techniques on {DATASET} (ratio={RATIO})"))
+    print(f"\noriginal effective diameter: {round(quality_report(graph, sampler_by_name('BRJ', seed=17).sample(graph, RATIO), seed=3).diameter_original, 1)}")
+    print("Lower D-statistics and an iteration error close to zero indicate a "
+          "sample that PREDIcT can rely on; the paper's default (BRJ) should be "
+          "at or near the top of this table.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Two-stage pipeline with historical runs: PageRank output feeds top-k ranking.
+
+The paper's §4.3 use case: top-k ranking runs on the *output* of PageRank, has
+widely varying per-iteration runtimes (the number of vertices still updating
+their rank lists shrinks non-monotonically) and benefits from historical runs
+when training the cost model (Figure 8b).  This example:
+
+1. runs PageRank on two datasets and keeps the rank vectors,
+2. archives the actual top-k run of the *first* dataset in a history store,
+3. predicts the top-k runtime on the *second* dataset, training the cost model
+   on sample runs plus the history of the first dataset,
+4. compares against the actual run of the second dataset.
+
+Run with::
+
+    python examples/topk_pipeline_with_history.py
+"""
+
+from __future__ import annotations
+
+from repro import BSPEngine, EngineConfig, HistoryStore, PageRank, PageRankConfig, Predictor, TopKRanking
+from repro.algorithms.topk_ranking import TopKRankingConfig, config_with_ranks
+from repro.graph.datasets import load_dataset
+from repro.utils.stats import signed_relative_error
+
+SCALE = 0.4
+HISTORY_DATASET = "wikipedia"
+TARGET_DATASET = "uk-2002"
+
+
+def pagerank_ranks(engine, graph):
+    """Run PageRank and return its rank vector (the top-k input)."""
+    config = PageRankConfig.for_tolerance_level(0.001, graph.num_vertices)
+    result = engine.run(
+        graph, PageRank(), config, EngineConfig(num_workers=8, collect_vertex_values=True)
+    )
+    return result.vertex_values
+
+
+def main() -> None:
+    engine = BSPEngine()
+    engine_config = EngineConfig(num_workers=8)
+    topk = TopKRanking()
+    base_config = TopKRankingConfig(k=5, tolerance=0.001)
+
+    # Stage 1: PageRank on both datasets.
+    history_graph = load_dataset(HISTORY_DATASET, scale=SCALE)
+    target_graph = load_dataset(TARGET_DATASET, scale=SCALE)
+    history_config = config_with_ranks(base_config, pagerank_ranks(engine, history_graph))
+    target_config = config_with_ranks(base_config, pagerank_ranks(engine, target_graph))
+
+    # Stage 2: archive the actual top-k run of the history dataset.
+    history = HistoryStore()
+    history_run = engine.run(history_graph, topk, history_config, engine_config)
+    history.record(history_run, dataset=HISTORY_DATASET)
+    print(f"archived history: top-k on {HISTORY_DATASET} "
+          f"({history_run.num_iterations} iterations, {history_run.superstep_runtime:.1f}s)")
+
+    # Stage 3: predict on the target dataset, with and without the history.
+    actual = engine.run(target_graph, topk, target_config, engine_config)
+    for label, store in (("sample runs only", None), ("sample runs + history", history)):
+        predictor = Predictor(engine, TopKRanking(), history=store, engine_config=engine_config)
+        prediction = predictor.predict(
+            target_graph, target_config, sampling_ratio=0.1, dataset_name=TARGET_DATASET
+        )
+        error = signed_relative_error(
+            prediction.predicted_superstep_runtime, actual.superstep_runtime
+        )
+        print(f"\ntraining with {label}:")
+        print(f"  predicted iterations : {prediction.predicted_iterations} "
+              f"(actual {actual.num_iterations})")
+        print(f"  predicted runtime    : {prediction.predicted_superstep_runtime:.1f}s "
+              f"(actual {actual.superstep_runtime:.1f}s, signed error {error:+.2f})")
+        print(f"  cost model R^2       : {prediction.cost_model.r_squared:.3f}")
+        print(f"  selected features    : {prediction.cost_model.selected_features}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can also be installed in environments whose tooling only
+supports legacy (``setup.py``-based) editable installs, e.g.::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PREDIcT: predicting the runtime of large-scale iterative analytics "
+        "(VLDB 2013) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,97 @@
+"""PREDIcT: predicting the runtime of large-scale iterative analytics.
+
+A from-scratch reproduction of Popescu, Balmin, Ercegovac and Ailamaki,
+"PREDIcT: Towards Predicting the Runtime of Large Scale Iterative Analytics",
+PVLDB 6(13), 2013.
+
+The package is organised as follows:
+
+* :mod:`repro.graph` -- graph substrate (data structure, generators, stand-in
+  datasets, properties, partitioning, I/O);
+* :mod:`repro.cluster` -- the simulated cluster (specs, cost profile, network
+  and memory models) standing in for the paper's 10-node Giraph deployment;
+* :mod:`repro.bsp` -- the Pregel/Giraph-style BSP execution engine with
+  per-worker, per-superstep key-input-feature counters and a critical-path
+  runtime model;
+* :mod:`repro.algorithms` -- PageRank, semi-clustering, top-k ranking,
+  connected components and neighborhood estimation;
+* :mod:`repro.sampling` -- Random Jump, Biased Random Jump, MHRW, Random Walk
+  and Forest Fire graph samplers plus sample-quality reports;
+* :mod:`repro.core` -- PREDIcT itself: transform functions, sample runs,
+  feature extrapolation, the regression-based cost model with forward feature
+  selection, the history store and the end-to-end predictor;
+* :mod:`repro.experiments` -- the harness that regenerates every table and
+  figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import BSPEngine, PageRank, PageRankConfig, Predictor
+>>> from repro.graph.datasets import load_dataset
+>>> graph = load_dataset("wikipedia", scale=0.25)
+>>> engine = BSPEngine()
+>>> algorithm = PageRank()
+>>> config = PageRankConfig.for_tolerance_level(0.001, graph.num_vertices)
+>>> predictor = Predictor(engine, algorithm)
+>>> prediction = predictor.predict(graph, config, sampling_ratio=0.1)
+>>> prediction.predicted_iterations > 0
+True
+"""
+
+from repro.algorithms import (
+    ConnectedComponents,
+    ConnectedComponentsConfig,
+    NeighborhoodConfig,
+    NeighborhoodEstimation,
+    PageRank,
+    PageRankConfig,
+    SemiClustering,
+    SemiClusteringConfig,
+    TopKRanking,
+    TopKRankingConfig,
+)
+from repro.bsp import BSPEngine, EngineConfig, RunResult
+from repro.cluster import ClusterSpec, CostProfile
+from repro.core import (
+    CostModel,
+    Extrapolator,
+    HistoryStore,
+    Prediction,
+    Predictor,
+    SampleRunner,
+    TransformFunction,
+    default_transform,
+)
+from repro.graph import DiGraph
+from repro.sampling import BiasedRandomJump, RandomJump
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DiGraph",
+    "ClusterSpec",
+    "CostProfile",
+    "BSPEngine",
+    "EngineConfig",
+    "RunResult",
+    "PageRank",
+    "PageRankConfig",
+    "SemiClustering",
+    "SemiClusteringConfig",
+    "TopKRanking",
+    "TopKRankingConfig",
+    "ConnectedComponents",
+    "ConnectedComponentsConfig",
+    "NeighborhoodEstimation",
+    "NeighborhoodConfig",
+    "BiasedRandomJump",
+    "RandomJump",
+    "SampleRunner",
+    "TransformFunction",
+    "default_transform",
+    "Extrapolator",
+    "CostModel",
+    "HistoryStore",
+    "Predictor",
+    "Prediction",
+]

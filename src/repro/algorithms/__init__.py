@@ -1,0 +1,42 @@
+"""Iterative vertex-centric algorithms evaluated in the paper.
+
+* :mod:`repro.algorithms.pagerank` -- PageRank (constant per-iteration
+  runtime; category i of §4).
+* :mod:`repro.algorithms.semi_clustering` -- parallel semi-clustering from the
+  Pregel paper (variable runtime caused by growing message sizes; category
+  ii.a).
+* :mod:`repro.algorithms.topk_ranking` -- top-k ranking over PageRank output
+  (variable runtime caused by a varying number of messages; category ii.b).
+* :mod:`repro.algorithms.connected_components` -- labelling weakly connected
+  components by min-id propagation.
+* :mod:`repro.algorithms.neighborhood` -- neighborhood-size estimation with
+  Flajolet-Martin sketches.
+
+All algorithms implement :class:`repro.algorithms.base.IterativeAlgorithm` and
+run unmodified on the BSP engine; their configuration dataclasses expose the
+convergence parameters the PREDIcT transform functions manipulate.
+"""
+
+from repro.algorithms.base import IterativeAlgorithm
+from repro.algorithms.connected_components import ConnectedComponents, ConnectedComponentsConfig
+from repro.algorithms.neighborhood import NeighborhoodEstimation, NeighborhoodConfig
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.registry import algorithm_by_name, available_algorithms
+from repro.algorithms.semi_clustering import SemiClustering, SemiClusteringConfig
+from repro.algorithms.topk_ranking import TopKRanking, TopKRankingConfig
+
+__all__ = [
+    "IterativeAlgorithm",
+    "PageRank",
+    "PageRankConfig",
+    "SemiClustering",
+    "SemiClusteringConfig",
+    "TopKRanking",
+    "TopKRankingConfig",
+    "ConnectedComponents",
+    "ConnectedComponentsConfig",
+    "NeighborhoodEstimation",
+    "NeighborhoodConfig",
+    "algorithm_by_name",
+    "available_algorithms",
+]

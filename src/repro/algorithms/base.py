@@ -1,0 +1,154 @@
+"""Base class for iterative vertex-centric algorithms.
+
+An :class:`IterativeAlgorithm` bundles:
+
+* the vertex ``compute`` function and initial vertex values (the Pregel
+  program),
+* the global aggregators it contributes to and the *global convergence
+  condition* evaluated by the master from those aggregators,
+* a message-size estimator used by the engine's byte counters, and
+* metadata that PREDIcT's transform functions need: which configuration field
+  holds the convergence threshold and whether that threshold is tuned to the
+  size of the input dataset (PageRank's ``tau = epsilon / N`` is; ratio-based
+  thresholds such as semi-clustering's update ratio are not).
+
+Configurations are plain dataclasses; the transform function produces a new
+configuration for the sample run without mutating the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bsp.aggregators import Aggregator
+from repro.bsp.master import GraphInfo
+from repro.bsp.messages import Combiner, default_message_size
+from repro.bsp.vertex import VertexContext
+from repro.exceptions import ConfigurationError
+from repro.graph.digraph import DiGraph
+
+
+class IterativeAlgorithm:
+    """Interface every iterative algorithm implements."""
+
+    #: Human-readable name, also used by the registry and the history store.
+    name: str = "iterative-algorithm"
+
+    #: Short prefix used in the paper's tables (PR, SC, CC, TOP-K, NH).
+    prefix: str = "ALG"
+
+    #: Name of the configuration field holding the convergence threshold, or
+    #: None when the algorithm converges by fixed point only.
+    convergence_attribute: Optional[str] = None
+
+    #: True when the convergence threshold is tuned to the input size (an
+    #: absolute aggregate, like PageRank's average delta); False when it is a
+    #: ratio that transfers unchanged to a proportionally smaller sample.
+    convergence_tuned_to_input_size: bool = False
+
+    #: True when the algorithm operates on an undirected graph (the engine
+    #: symmetrises the input by adding reverse edges, as Giraph users do).
+    requires_undirected: bool = False
+
+    # ---------------------------------------------------------------- config
+    def default_config(self):
+        """Return the default configuration dataclass instance."""
+        raise NotImplementedError
+
+    def validate_config(self, config) -> None:
+        """Raise :class:`ConfigurationError` when ``config`` is invalid."""
+
+    def config_dict(self, config) -> Dict[str, Any]:
+        """Return the configuration as a plain dict (for result records)."""
+        if dataclasses.is_dataclass(config):
+            return {
+                f.name: getattr(config, f.name)
+                for f in dataclasses.fields(config)
+                if not f.name.startswith("_") and _is_scalar(getattr(config, f.name))
+            }
+        return {}
+
+    # ----------------------------------------------------------------- graph
+    def prepare_graph(self, graph: DiGraph, config) -> DiGraph:
+        """Return the graph the algorithm actually runs on.
+
+        The default adds reverse edges when the algorithm requires an
+        undirected graph, mirroring the paper's preprocessing.
+        """
+        if self.requires_undirected:
+            return graph.as_undirected()
+        return graph
+
+    # ------------------------------------------------------------ vertex API
+    def initial_value(self, vertex, graph: DiGraph, config) -> Any:
+        """Initial value of ``vertex``."""
+        raise NotImplementedError
+
+    def compute(self, ctx: VertexContext, messages: List[Any], config) -> None:
+        """The per-vertex compute function executed every superstep."""
+        raise NotImplementedError
+
+    def aggregators(self, config) -> List[Aggregator]:
+        """Global aggregators used by the algorithm (may be empty)."""
+        return []
+
+    def combiner(self, config) -> Optional[Combiner]:
+        """Optional message combiner."""
+        return None
+
+    def message_size(self, payload: Any) -> int:
+        """Size in bytes of one message payload (used by the byte counters)."""
+        return default_message_size(payload)
+
+    # ------------------------------------------------------------ convergence
+    def check_convergence(
+        self,
+        aggregates: Dict[str, float],
+        superstep: int,
+        graph_info: GraphInfo,
+        config,
+    ) -> Tuple[bool, Optional[float]]:
+        """Return ``(converged, convergence_metric)`` after a superstep.
+
+        The metric is recorded in the run result's convergence history; None
+        means the algorithm has no scalar convergence metric.
+        """
+        return False, None
+
+    # ------------------------------------------------------------ conveniences
+    def convergence_threshold(self, config) -> Optional[float]:
+        """Return the convergence threshold from ``config`` (None if absent)."""
+        if self.convergence_attribute is None:
+            return None
+        return getattr(config, self.convergence_attribute)
+
+    def with_convergence_threshold(self, config, threshold: float):
+        """Return a copy of ``config`` with the convergence threshold replaced."""
+        if self.convergence_attribute is None:
+            raise ConfigurationError(
+                f"{self.name} has no convergence threshold to adjust"
+            )
+        return dataclasses.replace(config, **{self.convergence_attribute: threshold})
+
+
+def _is_scalar(value: Any) -> bool:
+    return isinstance(value, (int, float, str, bool, type(None)))
+
+
+def require_positive(name: str, value: float) -> None:
+    """Validation helper: raise unless ``value`` is strictly positive."""
+    if value is None or value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_unit_interval(name: str, value: float, inclusive: bool = False) -> None:
+    """Validation helper: raise unless ``value`` is in (0, 1) (or [0, 1])."""
+    if value is None:
+        raise ConfigurationError(f"{name} must be set")
+    if inclusive:
+        ok = 0.0 <= value <= 1.0
+    else:
+        ok = 0.0 < value < 1.0
+    if not ok:
+        raise ConfigurationError(f"{name} must be in the unit interval, got {value!r}")

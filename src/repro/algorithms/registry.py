@@ -1,0 +1,58 @@
+"""Name-based registry of the available iterative algorithms.
+
+The experiment harness, the history store and the command-line examples refer
+to algorithms by name (``"pagerank"``, ``"semi-clustering"``, ...); this
+module centralises the mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.algorithms.base import IterativeAlgorithm
+from repro.algorithms.connected_components import ConnectedComponents
+from repro.algorithms.neighborhood import NeighborhoodEstimation
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.semi_clustering import SemiClustering
+from repro.algorithms.topk_ranking import TopKRanking
+from repro.exceptions import ConfigurationError
+
+_REGISTRY: Dict[str, Type[IterativeAlgorithm]] = {
+    PageRank.name: PageRank,
+    SemiClustering.name: SemiClustering,
+    TopKRanking.name: TopKRanking,
+    ConnectedComponents.name: ConnectedComponents,
+    NeighborhoodEstimation.name: NeighborhoodEstimation,
+}
+
+_ALIASES: Dict[str, str] = {
+    "pr": PageRank.name,
+    "sc": SemiClustering.name,
+    "top-k": TopKRanking.name,
+    "topk": TopKRanking.name,
+    "cc": ConnectedComponents.name,
+    "nh": NeighborhoodEstimation.name,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Return the canonical names of all registered algorithms."""
+    return list(_REGISTRY)
+
+
+def algorithm_by_name(name: str) -> IterativeAlgorithm:
+    """Instantiate the algorithm registered under ``name`` (or an alias)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {', '.join(_REGISTRY)}"
+        )
+    return _REGISTRY[key]()
+
+
+def register_algorithm(algorithm_cls: Type[IterativeAlgorithm]) -> None:
+    """Register a user-defined algorithm class under its ``name`` attribute."""
+    if not issubclass(algorithm_cls, IterativeAlgorithm):
+        raise ConfigurationError("algorithm must subclass IterativeAlgorithm")
+    _REGISTRY[algorithm_cls.name] = algorithm_cls

@@ -1,0 +1,33 @@
+"""A Bulk Synchronous Parallel (Pregel/Giraph-style) execution engine.
+
+This package is the stand-in for Apache Giraph 0.1.0, the execution substrate
+of the paper.  It implements the vertex-centric BSP model:
+
+* algorithms are expressed as a per-vertex ``compute`` function
+  (:mod:`repro.algorithms.base`),
+* vertices exchange messages that are delivered in the next superstep,
+* vertices may vote to halt and are re-activated by incoming messages,
+* global aggregators are reduced by the master at the end of each superstep
+  and drive the algorithms' convergence checks,
+* the graph is hash-partitioned over a configurable number of workers and
+  per-worker, per-superstep counters (Table 1 of the paper: active vertices,
+  local/remote message counts and byte counts) are recorded,
+* a runtime model converts the counters of the worker on the critical path
+  into simulated wall-clock seconds using the cluster's ground-truth cost
+  profile (:mod:`repro.cluster`).
+
+The engine returns a :class:`repro.bsp.result.RunResult` containing the
+per-iteration profiles that PREDIcT consumes.
+"""
+
+from repro.bsp.counters import IterationProfile, WorkerCounters
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.result import RunResult
+
+__all__ = [
+    "BSPEngine",
+    "EngineConfig",
+    "RunResult",
+    "IterationProfile",
+    "WorkerCounters",
+]

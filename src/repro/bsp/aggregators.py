@@ -1,0 +1,106 @@
+"""Global aggregators, the Pregel mechanism behind global convergence checks.
+
+During a superstep every vertex may contribute a value to a named aggregator;
+the master reduces the contributions at the barrier and makes the reduced
+value available to all vertices (and to the algorithm's convergence check) in
+the next superstep.  PageRank aggregates the sum of per-vertex rank deltas,
+semi-clustering the number of updated semi-clusters, top-k ranking the number
+of vertices that changed their rank lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import BSPError
+
+
+@dataclass
+class Aggregator:
+    """A named commutative/associative reduction.
+
+    Attributes
+    ----------
+    name:
+        Aggregator identifier used by ``VertexContext.aggregate``.
+    initial:
+        Neutral element re-installed at the start of every superstep.
+    reduce:
+        Binary reduction applied to fold contributions.
+    """
+
+    name: str
+    initial: float
+    reduce: Callable[[float, float], float]
+    _value: float = field(init=False, default=0.0)
+
+    def reset(self) -> None:
+        """Reset the running value to the neutral element."""
+        self._value = self.initial
+
+    def contribute(self, value: float) -> None:
+        """Fold one contribution into the running value."""
+        self._value = self.reduce(self._value, value)
+
+    @property
+    def value(self) -> float:
+        """Current reduced value."""
+        return self._value
+
+
+def sum_aggregator(name: str) -> Aggregator:
+    """Aggregator computing the sum of contributions."""
+    return Aggregator(name=name, initial=0.0, reduce=lambda a, b: a + b)
+
+
+def max_aggregator(name: str) -> Aggregator:
+    """Aggregator computing the maximum of contributions."""
+    return Aggregator(name=name, initial=float("-inf"), reduce=max)
+
+
+def min_aggregator(name: str) -> Aggregator:
+    """Aggregator computing the minimum of contributions."""
+    return Aggregator(name=name, initial=float("inf"), reduce=min)
+
+
+class AggregatorRegistry:
+    """Holds the aggregators of a run and their values from the last barrier."""
+
+    def __init__(self, aggregators: Optional[Dict[str, Aggregator]] = None) -> None:
+        self._aggregators: Dict[str, Aggregator] = dict(aggregators or {})
+        self._previous: Dict[str, float] = {
+            name: agg.initial for name, agg in self._aggregators.items()
+        }
+        for aggregator in self._aggregators.values():
+            aggregator.reset()
+
+    def register(self, aggregator: Aggregator) -> None:
+        """Register an additional aggregator before the run starts."""
+        self._aggregators[aggregator.name] = aggregator
+        self._previous[aggregator.name] = aggregator.initial
+        aggregator.reset()
+
+    def contribute(self, name: str, value: float) -> None:
+        """Fold a vertex contribution into aggregator ``name``."""
+        if name not in self._aggregators:
+            raise BSPError(f"unknown aggregator {name!r}")
+        self._aggregators[name].contribute(value)
+
+    def previous_value(self, name: str) -> float:
+        """Value reduced at the previous barrier (what vertices can read)."""
+        if name not in self._previous:
+            raise BSPError(f"unknown aggregator {name!r}")
+        return self._previous[name]
+
+    def barrier(self) -> Dict[str, float]:
+        """Finish the superstep: snapshot values, reset for the next superstep."""
+        snapshot = {name: agg.value for name, agg in self._aggregators.items()}
+        self._previous = dict(snapshot)
+        for aggregator in self._aggregators.values():
+            aggregator.reset()
+        return snapshot
+
+    def names(self):
+        """Registered aggregator names."""
+        return list(self._aggregators)

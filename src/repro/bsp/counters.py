@@ -1,0 +1,160 @@
+"""Per-worker and per-iteration counters (the paper's Table 1 features).
+
+Every BSP worker is instrumented with counters for the key input features the
+cost model may use:
+
+=========== ==================================================================
+ActVert     Number of active vertices (vertices that executed compute)
+TotVert     Number of total vertices owned by the worker
+LocMsg      Number of messages sent to vertices on the same worker
+RemMsg      Number of messages sent to vertices on other workers
+LocMsgSize  Byte count of local messages
+RemMsgSize  Byte count of remote messages
+AvgMsgSize  Average message size (derived, not extrapolated)
+NumIter     Number of iterations (a property of the run, not of one worker)
+=========== ==================================================================
+
+:class:`WorkerCounters` is one worker in one superstep;
+:class:`IterationProfile` aggregates a whole superstep: all worker counters,
+the identity of the worker on the critical path, the simulated phase times and
+the value of the algorithm's convergence metric at the end of the superstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class WorkerCounters:
+    """Counters recorded by one worker during one superstep."""
+
+    worker_id: int
+    superstep: int
+    total_vertices: int = 0
+    active_vertices: int = 0
+    messages_sent: int = 0
+    local_messages: int = 0
+    remote_messages: int = 0
+    local_message_bytes: int = 0
+    remote_message_bytes: int = 0
+    compute_time: float = 0.0
+    messaging_time: float = 0.0
+
+    @property
+    def total_messages(self) -> int:
+        """Local plus remote messages sent by this worker."""
+        return self.local_messages + self.remote_messages
+
+    @property
+    def total_message_bytes(self) -> int:
+        """Local plus remote message bytes sent by this worker."""
+        return self.local_message_bytes + self.remote_message_bytes
+
+    @property
+    def average_message_size(self) -> float:
+        """Average size (bytes) of the messages sent by this worker."""
+        if self.total_messages == 0:
+            return 0.0
+        return self.total_message_bytes / self.total_messages
+
+    @property
+    def worker_time(self) -> float:
+        """Simulated time this worker spent in the superstep (before barrier)."""
+        return self.compute_time + self.messaging_time
+
+    def feature_dict(self) -> Dict[str, float]:
+        """Return the Table 1 features of this worker as a dictionary."""
+        return {
+            "ActVert": float(self.active_vertices),
+            "TotVert": float(self.total_vertices),
+            "LocMsg": float(self.local_messages),
+            "RemMsg": float(self.remote_messages),
+            "LocMsgSize": float(self.local_message_bytes),
+            "RemMsgSize": float(self.remote_message_bytes),
+            "AvgMsgSize": float(self.average_message_size),
+        }
+
+
+@dataclass
+class IterationProfile:
+    """Aggregated view of one superstep (iteration) of a run."""
+
+    superstep: int
+    worker_counters: List[WorkerCounters] = field(default_factory=list)
+    critical_worker: int = 0
+    runtime: float = 0.0
+    barrier_time: float = 0.0
+    convergence_metric: Optional[float] = None
+    aggregates: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ graph level
+    @property
+    def active_vertices(self) -> int:
+        """Active vertices across all workers."""
+        return sum(c.active_vertices for c in self.worker_counters)
+
+    @property
+    def total_vertices(self) -> int:
+        """Total vertices across all workers."""
+        return sum(c.total_vertices for c in self.worker_counters)
+
+    @property
+    def local_messages(self) -> int:
+        """Local messages across all workers."""
+        return sum(c.local_messages for c in self.worker_counters)
+
+    @property
+    def remote_messages(self) -> int:
+        """Remote messages across all workers."""
+        return sum(c.remote_messages for c in self.worker_counters)
+
+    @property
+    def local_message_bytes(self) -> int:
+        """Local message bytes across all workers."""
+        return sum(c.local_message_bytes for c in self.worker_counters)
+
+    @property
+    def remote_message_bytes(self) -> int:
+        """Remote message bytes across all workers."""
+        return sum(c.remote_message_bytes for c in self.worker_counters)
+
+    @property
+    def total_messages(self) -> int:
+        """All messages sent during the superstep."""
+        return self.local_messages + self.remote_messages
+
+    @property
+    def total_message_bytes(self) -> int:
+        """All message bytes sent during the superstep."""
+        return self.local_message_bytes + self.remote_message_bytes
+
+    @property
+    def average_message_size(self) -> float:
+        """Average message size across the whole superstep."""
+        if self.total_messages == 0:
+            return 0.0
+        return self.total_message_bytes / self.total_messages
+
+    # -------------------------------------------------------- critical worker
+    @property
+    def critical_counters(self) -> WorkerCounters:
+        """Counters of the worker on the critical path."""
+        return self.worker_counters[self.critical_worker]
+
+    def graph_feature_dict(self) -> Dict[str, float]:
+        """Graph-level (summed over workers) Table 1 features."""
+        return {
+            "ActVert": float(self.active_vertices),
+            "TotVert": float(self.total_vertices),
+            "LocMsg": float(self.local_messages),
+            "RemMsg": float(self.remote_messages),
+            "LocMsgSize": float(self.local_message_bytes),
+            "RemMsgSize": float(self.remote_message_bytes),
+            "AvgMsgSize": float(self.average_message_size),
+        }
+
+    def critical_feature_dict(self) -> Dict[str, float]:
+        """Table 1 features of the worker on the critical path."""
+        return self.critical_counters.feature_dict()

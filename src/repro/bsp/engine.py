@@ -1,0 +1,321 @@
+"""The BSP execution engine (Giraph stand-in).
+
+:class:`BSPEngine` executes an :class:`repro.algorithms.base.IterativeAlgorithm`
+on a :class:`repro.graph.DiGraph` over a simulated cluster and returns a
+:class:`repro.bsp.result.RunResult` with per-iteration key-input-feature
+profiles and simulated runtimes.
+
+The engine follows the phase structure described in §2.2 of the paper:
+
+* **setup phase** -- the master partitions the input over the workers,
+* **read phase** -- workers load their partitions (timed from graph size),
+* **superstep phase** -- repeated compute / messaging / synchronisation,
+* **write phase** -- workers write the output graph.
+
+Within each superstep every worker runs the algorithm's ``compute`` for each
+of its active vertices, messages are buffered for delivery in the next
+superstep (classified as local or remote depending on the destination
+vertex's worker), aggregators are reduced at the barrier, and the master
+evaluates the algorithm's global convergence condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.bsp.aggregators import AggregatorRegistry
+from repro.bsp.counters import IterationProfile
+from repro.bsp.master import GraphInfo, Master
+from repro.bsp.messages import default_message_size
+from repro.bsp.result import PhaseTimes, RunResult
+from repro.bsp.runtime_model import RuntimeModel
+from repro.bsp.worker import Worker
+from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
+from repro.cluster.memory import MemoryModel
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import BSPError
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import BasePartitioner, HashPartitioner
+from repro.utils.rng import SeedLike
+
+VertexId = Hashable
+
+
+@dataclass
+class EngineConfig:
+    """Execution parameters of the BSP engine.
+
+    Attributes
+    ----------
+    num_workers:
+        Number of worker tasks; defaults to the cluster spec's worker count.
+    max_supersteps:
+        Hard budget on supersteps (guards against non-converging algorithms).
+    enforce_memory:
+        When True the memory model raises
+        :class:`repro.exceptions.OutOfMemoryError` if a worker's buffered
+        messages plus graph partition exceed its allocation.
+    collect_vertex_values:
+        When True the final vertex values are returned in the result (needed
+        when one algorithm's output feeds another, e.g. PageRank -> top-k).
+    use_combiner:
+        When True and the algorithm provides a combiner, messages to the same
+        destination are combined in the buffers (reduces memory, not counters).
+    runtime_seed:
+        Seed of the runtime model's noise stream.
+    """
+
+    num_workers: Optional[int] = None
+    max_supersteps: int = 200
+    enforce_memory: bool = False
+    collect_vertex_values: bool = False
+    use_combiner: bool = False
+    runtime_seed: SeedLike = None
+    partitioner: BasePartitioner = field(default_factory=HashPartitioner)
+
+
+class BSPEngine:
+    """Executes iterative vertex-centric algorithms on the simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        cost_profile: Optional[CostProfile] = None,
+    ) -> None:
+        self.cluster = cluster or ClusterSpec()
+        self.cost_profile = cost_profile or DEFAULT_PROFILE
+
+    # -------------------------------------------------------------- run loop
+    def run(
+        self,
+        graph: DiGraph,
+        algorithm,
+        config=None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> RunResult:
+        """Execute ``algorithm`` on ``graph`` and return the run profile."""
+        engine_config = engine_config or EngineConfig()
+        config = config if config is not None else algorithm.default_config()
+        algorithm.validate_config(config)
+
+        if graph.num_vertices == 0:
+            raise BSPError("cannot execute an algorithm on an empty graph")
+
+        run_graph = algorithm.prepare_graph(graph, config)
+        num_workers = engine_config.num_workers or self.cluster.num_workers
+        num_workers = min(num_workers, run_graph.num_vertices)
+
+        run = _EngineRun(
+            engine=self,
+            graph=run_graph,
+            algorithm=algorithm,
+            config=config,
+            engine_config=engine_config,
+            num_workers=num_workers,
+        )
+        return run.execute(original_graph_name=graph.name)
+
+
+class _EngineRun:
+    """Mutable state of one engine execution (kept out of the public API)."""
+
+    def __init__(self, engine, graph, algorithm, config, engine_config, num_workers) -> None:
+        self.engine = engine
+        self.graph = graph
+        self.algorithm = algorithm
+        self.config = config
+        self.engine_config = engine_config
+        self.num_workers = num_workers
+
+        self.partitioning = engine_config.partitioner.partition(graph, num_workers)
+        self.workers = [
+            Worker(worker_id, self.partitioning.vertices_of(worker_id), self)
+            for worker_id in range(num_workers)
+        ]
+        for worker in self.workers:
+            worker._context.num_vertices = graph.num_vertices
+            worker._context.num_edges = graph.num_edges
+        self.runtime_model = RuntimeModel(engine.cost_profile, seed=engine_config.runtime_seed)
+        self.memory_model = MemoryModel(engine.cluster, enforce=engine_config.enforce_memory)
+
+        self.values: Dict[VertexId, Any] = {}
+        self.halted: set = set()
+        self.incoming: Dict[VertexId, List[Any]] = {}
+        self.next_incoming: Dict[VertexId, List[Any]] = {}
+        self.registry = AggregatorRegistry(
+            {agg.name: agg for agg in algorithm.aggregators(config)}
+        )
+        self.message_sizer = algorithm.message_size
+        self.combiner = algorithm.combiner(config) if engine_config.use_combiner else None
+
+        # Per-superstep bookkeeping, reset in _begin_superstep.
+        self._active_worker = None
+        self._next_message_count = 0
+        self._next_message_bytes: Dict[int, int] = {}
+
+    # --------------------------------------------------------- vertex API
+    def vertex_value(self, vertex: VertexId) -> Any:
+        return self.values[vertex]
+
+    def set_vertex_value(self, vertex: VertexId, value: Any) -> None:
+        self.values[vertex] = value
+
+    def out_edges(self, vertex: VertexId):
+        return self.graph.out_edges(vertex)
+
+    def out_degree(self, vertex: VertexId) -> int:
+        return self.graph.out_degree(vertex)
+
+    def vote_to_halt(self, vertex: VertexId) -> None:
+        self.halted.add(vertex)
+
+    def aggregate(self, name: str, value: float) -> None:
+        self.registry.contribute(name, value)
+
+    def previous_aggregate(self, name: str) -> float:
+        return self.registry.previous_value(name)
+
+    def send_message(self, worker: Worker, source: VertexId, target: VertexId, payload: Any) -> None:
+        """Route a message, updating the sending worker's counters."""
+        if target not in self.partitioning.assignment:
+            raise BSPError(f"message sent to unknown vertex {target!r}")
+        size = self.message_sizer(payload)
+        counters = worker.counters
+        counters.messages_sent += 1
+        target_worker = self.partitioning.assignment[target]
+        if target_worker == worker.worker_id:
+            counters.local_messages += 1
+            counters.local_message_bytes += size
+        else:
+            counters.remote_messages += 1
+            counters.remote_message_bytes += size
+        bucket = self.next_incoming.get(target)
+        if bucket is None:
+            self.next_incoming[target] = [payload]
+        elif self.combiner is not None:
+            bucket[0] = self.combiner.combine(bucket[0], payload)
+        else:
+            bucket.append(payload)
+        self._next_message_count += 1
+        self._next_message_bytes[target_worker] = (
+            self._next_message_bytes.get(target_worker, 0) + size
+        )
+
+    # ----------------------------------------------------------- execution
+    def execute(self, original_graph_name: str) -> RunResult:
+        graph = self.graph
+        algorithm = self.algorithm
+        config = self.config
+        engine_config = self.engine_config
+
+        graph_info = GraphInfo(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            name=graph.name,
+        )
+        master = Master(algorithm, config, graph_info, engine_config.max_supersteps)
+
+        # Setup + read phases.
+        phase_times = PhaseTimes(
+            setup=self.runtime_model.setup_time(),
+            read=self.runtime_model.read_time(
+                graph.num_vertices, graph.num_edges, self.num_workers
+            ),
+        )
+
+        # Initial vertex values.
+        for vertex in graph.vertices():
+            self.values[vertex] = algorithm.initial_value(vertex, graph, config)
+
+        iterations: List[IterationProfile] = []
+        convergence_history: List[float] = []
+        converged = False
+
+        for superstep in range(engine_config.max_supersteps):
+            self._begin_superstep()
+            for worker in self.workers:
+                worker.begin_superstep(superstep)
+                worker.execute_superstep(
+                    superstep,
+                    self.incoming,
+                    self.halted,
+                    lambda ctx, msgs: algorithm.compute(ctx, msgs, config),
+                )
+
+            # Memory accounting for the buffered (next-superstep) messages.
+            if engine_config.enforce_memory:
+                self._check_memory()
+
+            worker_counters = [worker.counters for worker in self.workers]
+            runtime, critical_worker = self.runtime_model.superstep_time(worker_counters)
+            aggregates = self.registry.barrier()
+
+            active_next = sum(
+                1 for vertex in graph.vertices()
+                if vertex not in self.halted or vertex in self.next_incoming
+            )
+            decision = master.after_superstep(
+                superstep, aggregates, active_next, self._next_message_count
+            )
+
+            profile = IterationProfile(
+                superstep=superstep,
+                worker_counters=worker_counters,
+                critical_worker=critical_worker,
+                runtime=runtime,
+                barrier_time=self.engine.cost_profile.barrier_overhead,
+                convergence_metric=decision.convergence_metric,
+                aggregates=aggregates,
+            )
+            iterations.append(profile)
+            if decision.convergence_metric is not None:
+                convergence_history.append(decision.convergence_metric)
+
+            # Swap message buffers for the next superstep.
+            self.incoming = self.next_incoming
+            self.next_incoming = {}
+
+            if decision.stop:
+                converged = decision.converged
+                break
+
+        phase_times.superstep = sum(profile.runtime for profile in iterations)
+        phase_times.write = self.runtime_model.write_time(graph.num_vertices, self.num_workers)
+
+        vertex_values = dict(self.values) if engine_config.collect_vertex_values else None
+        return RunResult(
+            algorithm=algorithm.name,
+            graph_name=original_graph_name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            num_workers=self.num_workers,
+            iterations=iterations,
+            phase_times=phase_times,
+            converged=converged,
+            convergence_history=convergence_history,
+            vertex_values=vertex_values,
+            config=algorithm.config_dict(config),
+        )
+
+    # -------------------------------------------------------------- helpers
+    def _begin_superstep(self) -> None:
+        self._next_message_count = 0
+        self._next_message_bytes = {}
+
+    def _check_memory(self) -> None:
+        for worker in self.workers:
+            buffered_bytes = self._next_message_bytes.get(worker.worker_id, 0)
+            buffered_messages = sum(
+                len(self.next_incoming.get(vertex, ()))
+                for vertex in worker.vertices
+                if vertex in self.next_incoming
+            )
+            estimate = self.memory_model.estimate(
+                num_vertices=len(worker.vertices),
+                num_edges=worker.outbound_edges(self.graph),
+                state_bytes=len(worker.vertices) * 64,
+                buffered_messages=buffered_messages,
+                buffered_message_bytes=buffered_bytes,
+            )
+            self.memory_model.check(worker.worker_id, estimate)

@@ -1,0 +1,72 @@
+"""BSP master: coordinates supersteps and evaluates global convergence.
+
+The master mirrors Giraph's master task: after every superstep barrier it
+receives the reduced aggregator values, asks the algorithm whether its global
+convergence condition is met, and decides whether another superstep should be
+started.  Execution also stops when every vertex has voted to halt and no
+messages are in flight (the native Pregel termination condition), or when the
+superstep budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class GraphInfo:
+    """Graph-level metadata exposed to convergence checks."""
+
+    num_vertices: int
+    num_edges: int
+    name: str = ""
+
+
+@dataclass
+class MasterDecision:
+    """The master's verdict after a superstep."""
+
+    stop: bool
+    converged: bool
+    reason: str
+    convergence_metric: Optional[float] = None
+
+
+class Master:
+    """Evaluates stopping conditions at each superstep barrier."""
+
+    def __init__(self, algorithm, config, graph_info: GraphInfo, max_supersteps: int) -> None:
+        self._algorithm = algorithm
+        self._config = config
+        self._graph_info = graph_info
+        self._max_supersteps = max_supersteps
+
+    def after_superstep(
+        self,
+        superstep: int,
+        aggregates: Dict[str, float],
+        active_next: int,
+        messages_in_flight: int,
+    ) -> MasterDecision:
+        """Decide whether to stop after ``superstep`` has completed."""
+        converged, metric = self._algorithm.check_convergence(
+            aggregates, superstep, self._graph_info, self._config
+        )
+        if converged:
+            return MasterDecision(
+                stop=True, converged=True, reason="convergence condition met",
+                convergence_metric=metric,
+            )
+        if active_next == 0 and messages_in_flight == 0:
+            return MasterDecision(
+                stop=True, converged=True, reason="all vertices voted to halt",
+                convergence_metric=metric,
+            )
+        if superstep + 1 >= self._max_supersteps:
+            return MasterDecision(
+                stop=True, converged=False, reason="superstep budget exhausted",
+                convergence_metric=metric,
+            )
+        return MasterDecision(stop=False, converged=False, reason="continue",
+                              convergence_metric=metric)

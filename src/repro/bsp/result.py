@@ -1,0 +1,104 @@
+"""The result of executing an iterative algorithm on the BSP engine.
+
+:class:`RunResult` is the object PREDIcT consumes: per-iteration profiles
+(key input features + simulated per-iteration runtime), the phase breakdown
+(setup / read / superstep / write, as in §2.2 of the paper), convergence
+information and, optionally, the final vertex values for algorithms whose
+output feeds another algorithm (top-k ranking runs on PageRank output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.bsp.counters import IterationProfile
+
+VertexId = Hashable
+
+
+@dataclass
+class PhaseTimes:
+    """Simulated duration of each Giraph execution phase."""
+
+    setup: float = 0.0
+    read: float = 0.0
+    superstep: float = 0.0
+    write: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """End-to-end simulated runtime."""
+        return self.setup + self.read + self.superstep + self.write
+
+
+@dataclass
+class RunResult:
+    """Everything observed while executing an algorithm on the engine."""
+
+    algorithm: str
+    graph_name: str
+    num_vertices: int
+    num_edges: int
+    num_workers: int
+    iterations: List[IterationProfile] = field(default_factory=list)
+    phase_times: PhaseTimes = field(default_factory=PhaseTimes)
+    converged: bool = False
+    convergence_history: List[float] = field(default_factory=list)
+    vertex_values: Optional[Dict[VertexId, Any]] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of supersteps executed."""
+        return len(self.iterations)
+
+    @property
+    def superstep_runtime(self) -> float:
+        """Total simulated time spent in the superstep phase."""
+        return sum(profile.runtime for profile in self.iterations)
+
+    @property
+    def total_runtime(self) -> float:
+        """Total simulated runtime including setup, read and write phases."""
+        return self.phase_times.total
+
+    def iteration_runtimes(self) -> List[float]:
+        """Per-iteration simulated runtimes."""
+        return [profile.runtime for profile in self.iterations]
+
+    def iteration_feature_rows(self, level: str = "critical") -> List[Dict[str, float]]:
+        """Per-iteration Table 1 feature dictionaries.
+
+        ``level`` selects ``"critical"`` (the worker on the critical path,
+        which is what the cost model is trained on) or ``"graph"`` (counters
+        summed over all workers, used by the feature-error benchmarks).
+        """
+        if level == "critical":
+            return [profile.critical_feature_dict() for profile in self.iterations]
+        if level == "graph":
+            return [profile.graph_feature_dict() for profile in self.iterations]
+        raise ValueError(f"unknown feature level {level!r}")
+
+    def total_remote_message_bytes(self) -> int:
+        """Remote message bytes summed over all iterations (graph level)."""
+        return sum(profile.remote_message_bytes for profile in self.iterations)
+
+    def total_messages(self) -> int:
+        """Messages (local + remote) summed over all iterations."""
+        return sum(profile.total_messages for profile in self.iterations)
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact summary used by examples and reports."""
+        return {
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "workers": self.num_workers,
+            "iterations": self.num_iterations,
+            "converged": self.converged,
+            "superstep_runtime_s": round(self.superstep_runtime, 3),
+            "total_runtime_s": round(self.total_runtime, 3),
+            "remote_message_bytes": self.total_remote_message_bytes(),
+        }

@@ -1,0 +1,97 @@
+"""Ground-truth runtime model of the simulated cluster.
+
+This module converts the counters measured by the BSP engine into simulated
+wall-clock time.  It implements the execution model described in §2.2/§3.3 of
+the paper:
+
+* each worker's superstep time is its compute time (per active vertex + per
+  message sent) plus its messaging time (local/remote per-message and per-byte
+  costs, from :class:`repro.cluster.network.NetworkModel`);
+* the superstep time of the whole iteration is the time of the *worker on the
+  critical path* (the slowest worker) plus a fixed barrier overhead;
+* optional multiplicative log-normal noise models run-to-run variance so that
+  PREDIcT's regression never sees a perfectly linear system;
+* the setup/read/write phases are modelled from graph size.
+
+PREDIcT never calls into this module: it only sees the resulting
+(features, runtime) observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.bsp.counters import WorkerCounters
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.network import NetworkModel
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class RuntimeModel:
+    """Times supersteps and phases from measured counters."""
+
+    profile: CostProfile
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        self._network = NetworkModel(self.profile)
+        self._rng = make_rng(self.seed)
+
+    # ---------------------------------------------------------------- phases
+    def compute_time(self, counters: WorkerCounters) -> float:
+        """CPU time of one worker's compute phase."""
+        return (
+            counters.active_vertices * self.profile.cost_per_active_vertex
+            + counters.messages_sent * self.profile.cost_per_message_sent
+        )
+
+    def messaging_time(self, counters: WorkerCounters) -> float:
+        """Time of one worker's messaging phase."""
+        return self._network.messaging_time(
+            counters.local_messages,
+            counters.local_message_bytes,
+            counters.remote_messages,
+            counters.remote_message_bytes,
+        )
+
+    def superstep_time(self, worker_counters: List[WorkerCounters]) -> Tuple[float, int]:
+        """Return ``(superstep_runtime, critical_worker_index)``.
+
+        Fills in the per-worker compute/messaging times as a side effect so
+        that the profiles record the full breakdown.
+        """
+        worker_times = []
+        for counters in worker_counters:
+            counters.compute_time = self.compute_time(counters)
+            counters.messaging_time = self.messaging_time(counters)
+            worker_times.append(counters.worker_time)
+        critical_worker = int(max(range(len(worker_times)), key=worker_times.__getitem__))
+        runtime = worker_times[critical_worker] + self.profile.barrier_overhead
+        runtime *= self._noise_factor()
+        return runtime, critical_worker
+
+    def setup_time(self) -> float:
+        """Fixed master/worker setup time."""
+        return self.profile.setup_time
+
+    def read_time(self, num_vertices: int, num_edges: int, num_workers: int) -> float:
+        """Time for workers to read their graph partitions (parallel read)."""
+        per_worker_vertices = num_vertices / max(1, num_workers)
+        per_worker_edges = num_edges / max(1, num_workers)
+        return (
+            per_worker_vertices * self.profile.per_vertex_read_cost
+            + per_worker_edges * self.profile.per_edge_read_cost
+        )
+
+    def write_time(self, num_vertices: int, num_workers: int) -> float:
+        """Time for workers to write the output graph."""
+        per_worker_vertices = num_vertices / max(1, num_workers)
+        return per_worker_vertices * self.profile.per_vertex_write_cost
+
+    # -------------------------------------------------------------- internals
+    def _noise_factor(self) -> float:
+        if self.profile.noise_std <= 0:
+            return 1.0
+        return float(self._rng.lognormal(mean=0.0, sigma=self.profile.noise_std))

@@ -1,0 +1,92 @@
+"""The vertex-centric programming interface handed to algorithm compute code.
+
+A :class:`VertexContext` is rebound to each vertex before its ``compute``
+call (one context object per worker, to avoid allocating millions of small
+objects).  It exposes the Pregel API: the vertex's current value, its outgoing
+edges, message sending, vote-to-halt, aggregator access and run metadata
+(superstep number, global vertex/edge counts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Tuple
+
+VertexId = Hashable
+
+
+class VertexContext:
+    """Pregel-style API surface for one vertex's compute call.
+
+    The engine owns the mutable state (values, halt votes, message buffers);
+    the context only forwards calls to it.  Algorithms must use the context
+    exclusively -- they never touch the engine or the graph directly, which is
+    what makes the per-worker counter instrumentation exhaustive.
+    """
+
+    __slots__ = (
+        "_engine",
+        "_worker",
+        "vertex_id",
+        "superstep",
+        "num_vertices",
+        "num_edges",
+    )
+
+    def __init__(self, engine, worker) -> None:
+        self._engine = engine
+        self._worker = worker
+        self.vertex_id: VertexId = None
+        self.superstep: int = 0
+        self.num_vertices: int = 0
+        self.num_edges: int = 0
+
+    # Called by the engine before each compute invocation.
+    def _bind(self, vertex_id: VertexId, superstep: int) -> None:
+        self.vertex_id = vertex_id
+        self.superstep = superstep
+
+    # ------------------------------------------------------------------ state
+    @property
+    def value(self) -> Any:
+        """Current value of the vertex."""
+        return self._engine.vertex_value(self.vertex_id)
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._engine.set_vertex_value(self.vertex_id, new_value)
+
+    def out_edges(self) -> List[Tuple[VertexId, float]]:
+        """Outgoing edges of the vertex as ``(target, weight)`` pairs."""
+        return self._engine.out_edges(self.vertex_id)
+
+    def out_degree(self) -> int:
+        """Number of outgoing edges of the vertex."""
+        return self._engine.out_degree(self.vertex_id)
+
+    def neighbors(self) -> List[VertexId]:
+        """Targets of the outgoing edges (with duplicates for parallel edges)."""
+        return [target for target, _ in self.out_edges()]
+
+    # -------------------------------------------------------------- messaging
+    def send_message(self, target: VertexId, payload: Any) -> None:
+        """Send ``payload`` to ``target``; delivered in the next superstep."""
+        self._engine.send_message(self._worker, self.vertex_id, target, payload)
+
+    def send_message_to_all_neighbors(self, payload: Any) -> None:
+        """Send the same payload along every outgoing edge."""
+        for target, _ in self.out_edges():
+            self.send_message(target, payload)
+
+    # ----------------------------------------------------------- termination
+    def vote_to_halt(self) -> None:
+        """Mark this vertex inactive; it is re-activated by incoming messages."""
+        self._engine.vote_to_halt(self.vertex_id)
+
+    # ------------------------------------------------------------ aggregators
+    def aggregate(self, name: str, value: float) -> None:
+        """Contribute ``value`` to the named global aggregator."""
+        self._engine.aggregate(name, value)
+
+    def get_aggregate(self, name: str) -> float:
+        """Read the named aggregator's value from the previous barrier."""
+        return self._engine.previous_aggregate(name)

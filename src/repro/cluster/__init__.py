@@ -1,0 +1,25 @@
+"""Simulated cluster substrate.
+
+The paper runs on a 10-node Hadoop/Giraph cluster (2 x 6-core Xeon X5660,
+48 GB RAM, 1 Gbps per node, 29 workers + 1 master).  This package models that
+environment:
+
+* :class:`repro.cluster.spec.ClusterSpec` -- the static description (nodes,
+  workers per node, memory, network bandwidth).
+* :class:`repro.cluster.cost_profile.CostProfile` -- the *ground-truth* cost
+  factors used by the BSP engine to convert per-worker counters into simulated
+  wall-clock seconds.  PREDIcT never reads these factors; it has to learn them
+  back through its regression-based cost model, exactly as the paper learns
+  Giraph's cost behaviour from profiled runs.
+* :class:`repro.cluster.network.NetworkModel` -- byte/message level timing.
+* :class:`repro.cluster.memory.MemoryModel` -- per-worker memory accounting
+  used to reproduce the paper's out-of-memory observations (semi-clustering
+  and top-k on Twitter).
+"""
+
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.memory import MemoryModel
+from repro.cluster.network import NetworkModel
+from repro.cluster.spec import ClusterSpec
+
+__all__ = ["ClusterSpec", "CostProfile", "NetworkModel", "MemoryModel"]

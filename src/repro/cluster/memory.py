@@ -1,0 +1,76 @@
+"""Per-worker memory accounting.
+
+Giraph keeps the input graph, per-vertex state and all incoming message
+buffers in memory and (at the version the paper uses) cannot spill messages to
+disk.  The paper reports that semi-clustering, top-k ranking and neighborhood
+estimation therefore run out of memory on the Twitter dataset.  This module
+reproduces that failure mode: the BSP engine can ask the memory model whether
+a superstep's buffered messages plus the resident graph exceed a worker's
+allocation and raise :class:`repro.exceptions.OutOfMemoryError` if so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import OutOfMemoryError
+
+#: Rough per-object overheads (bytes) used to estimate the resident footprint.
+VERTEX_OVERHEAD_BYTES = 64
+EDGE_OVERHEAD_BYTES = 16
+MESSAGE_OVERHEAD_BYTES = 24
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Estimated footprint of one worker during a superstep."""
+
+    graph_bytes: int
+    state_bytes: int
+    message_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total estimated resident bytes."""
+        return self.graph_bytes + self.state_bytes + self.message_bytes
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Checks worker memory usage against the cluster allocation."""
+
+    spec: ClusterSpec
+    enforce: bool = False
+
+    def estimate(
+        self,
+        num_vertices: int,
+        num_edges: int,
+        state_bytes: int,
+        buffered_messages: int,
+        buffered_message_bytes: int,
+    ) -> MemoryEstimate:
+        """Estimate the footprint of a worker holding the given structures."""
+        graph_bytes = num_vertices * VERTEX_OVERHEAD_BYTES + num_edges * EDGE_OVERHEAD_BYTES
+        message_bytes = buffered_messages * MESSAGE_OVERHEAD_BYTES + buffered_message_bytes
+        return MemoryEstimate(
+            graph_bytes=graph_bytes,
+            state_bytes=state_bytes,
+            message_bytes=message_bytes,
+        )
+
+    def check(self, worker_id: int, estimate: MemoryEstimate) -> None:
+        """Raise :class:`OutOfMemoryError` when enforcement is on and exceeded."""
+        if not self.enforce:
+            return
+        if estimate.total_bytes > self.spec.worker_memory_bytes:
+            raise OutOfMemoryError(
+                f"worker {worker_id} needs {estimate.total_bytes} bytes "
+                f"but only {self.spec.worker_memory_bytes} are allocated "
+                "(Giraph cannot spill messages to disk)"
+            )
+
+    def utilisation(self, estimate: MemoryEstimate) -> float:
+        """Fraction of the worker allocation used by ``estimate``."""
+        return estimate.total_bytes / self.spec.worker_memory_bytes

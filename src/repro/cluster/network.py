@@ -1,0 +1,59 @@
+"""Network timing model.
+
+The messaging phase of a BSP superstep is dominated by shipping messages to
+other workers.  :class:`NetworkModel` converts (message count, byte count)
+pairs into time, distinguishing local deliveries (same worker: a memory copy)
+from remote deliveries (different worker: serialisation + 1 Gbps link), and
+optionally applying a congestion penalty that grows superlinearly with the
+volume shipped in a single superstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cost_profile import CostProfile
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Times the messaging phase of one worker in one superstep."""
+
+    profile: CostProfile
+
+    def local_delivery_time(self, num_messages: int, num_bytes: int) -> float:
+        """Time to deliver messages whose destination is on the same worker."""
+        return (
+            num_messages * self.profile.cost_per_local_message
+            + num_bytes * self.profile.cost_per_local_byte
+        )
+
+    def remote_delivery_time(self, num_messages: int, num_bytes: int) -> float:
+        """Time to deliver messages to other workers over the network."""
+        base = (
+            num_messages * self.profile.cost_per_remote_message
+            + num_bytes * self.profile.cost_per_remote_byte
+        )
+        if self.profile.congestion_factor > 0 and num_bytes > 0:
+            # Mild superlinearity: shipping x MB costs an extra
+            # congestion_factor * (x MB)^1.2 * per-byte cost.
+            megabytes = num_bytes / 1e6
+            base += (
+                self.profile.congestion_factor
+                * (megabytes**1.2)
+                * 1e6
+                * self.profile.cost_per_remote_byte
+            )
+        return base
+
+    def messaging_time(
+        self,
+        local_messages: int,
+        local_bytes: int,
+        remote_messages: int,
+        remote_bytes: int,
+    ) -> float:
+        """Total messaging-phase time for one worker in one superstep."""
+        return self.local_delivery_time(local_messages, local_bytes) + self.remote_delivery_time(
+            remote_messages, remote_bytes
+        )

@@ -1,0 +1,79 @@
+"""Static cluster description.
+
+Mirrors the paper's experimental setup section: a cluster of ``num_nodes``
+machines, each running ``workers_per_node`` BSP worker tasks (the paper uses
+three mappers per node, 29 workers plus one master), each worker having a
+fixed memory allocation and the node a fixed network bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Description of the simulated cluster.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of physical machines.
+    workers_per_node:
+        BSP worker tasks per machine (Giraph mappers minus the master).
+    worker_memory_bytes:
+        Memory allocated to each worker task.
+    network_bandwidth_bytes_per_s:
+        Point-to-point bandwidth available to one worker for remote messages.
+    local_bandwidth_bytes_per_s:
+        Effective bandwidth for messages whose destination vertex lives on the
+        same worker (memory copies; much faster than the network).
+    """
+
+    num_nodes: int = 10
+    workers_per_node: int = 3
+    worker_memory_bytes: int = 15 * 1024**3
+    network_bandwidth_bytes_per_s: float = 125e6  # 1 Gbps
+    local_bandwidth_bytes_per_s: float = 2e9
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if self.workers_per_node <= 0:
+            raise ConfigurationError("workers_per_node must be positive")
+        if self.worker_memory_bytes <= 0:
+            raise ConfigurationError("worker_memory_bytes must be positive")
+        if self.network_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("network_bandwidth_bytes_per_s must be positive")
+        if self.local_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("local_bandwidth_bytes_per_s must be positive")
+
+    @property
+    def num_workers(self) -> int:
+        """Total BSP workers (one slot per node is reserved for the master)."""
+        total_slots = self.num_nodes * self.workers_per_node
+        return max(1, total_slots - 1)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Aggregate worker memory across the cluster."""
+        return self.num_workers * self.worker_memory_bytes
+
+    def scaled(self, num_nodes: int) -> "ClusterSpec":
+        """Return a copy of this spec with a different node count."""
+        return ClusterSpec(
+            num_nodes=num_nodes,
+            workers_per_node=self.workers_per_node,
+            worker_memory_bytes=self.worker_memory_bytes,
+            network_bandwidth_bytes_per_s=self.network_bandwidth_bytes_per_s,
+            local_bandwidth_bytes_per_s=self.local_bandwidth_bytes_per_s,
+        )
+
+
+#: The paper's 10-node deployment (29 workers + master).
+PAPER_CLUSTER = ClusterSpec()
+
+#: A small deployment used by the unit tests (4 workers) to keep runs fast.
+TEST_CLUSTER = ClusterSpec(num_nodes=1, workers_per_node=5, worker_memory_bytes=2 * 1024**3)

@@ -1,0 +1,42 @@
+"""PREDIcT core: sample runs, transform functions, extrapolation, cost models.
+
+This package implements the paper's methodology (Figure 1):
+
+1. :mod:`repro.core.transform` -- the transform function applied to the
+   algorithm configuration for the sample run (e.g. scale PageRank's
+   convergence threshold by ``1/sampling_ratio``).
+2. :mod:`repro.core.sample_run` -- execute the algorithm on a sample graph and
+   profile per-iteration key input features.
+3. :mod:`repro.core.extrapolation` -- scale the profiled features to the size
+   of the complete graph using vertex/edge scaling factors.
+4. :mod:`repro.core.regression`, :mod:`repro.core.feature_selection`,
+   :mod:`repro.core.cost_model` -- the multivariate linear cost model with
+   sequential forward feature selection, trained on sample runs and
+   (optionally) on historical runs (:mod:`repro.core.history`).
+5. :mod:`repro.core.predictor` -- the end-to-end
+   :class:`repro.core.predictor.Predictor` tying everything together.
+6. :mod:`repro.core.bounds` -- the analytical upper-bound baselines the paper
+   compares against.
+"""
+
+from repro.core.cost_model import CostModel
+from repro.core.extrapolation import Extrapolator
+from repro.core.features import KEY_INPUT_FEATURES, FeatureTable
+from repro.core.history import HistoryStore
+from repro.core.predictor import Prediction, Predictor
+from repro.core.sample_run import SampleRunner, SampleRunProfile
+from repro.core.transform import TransformFunction, default_transform
+
+__all__ = [
+    "KEY_INPUT_FEATURES",
+    "FeatureTable",
+    "TransformFunction",
+    "default_transform",
+    "SampleRunner",
+    "SampleRunProfile",
+    "Extrapolator",
+    "CostModel",
+    "HistoryStore",
+    "Predictor",
+    "Prediction",
+]

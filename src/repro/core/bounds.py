@@ -1,0 +1,50 @@
+"""Analytical upper bounds used as baselines.
+
+The paper compares PREDIcT's iteration estimates against the analytical upper
+bound of Langville & Meyer for the number of PageRank iterations:
+
+``#iterations = log10(epsilon) / log10(d)``
+
+where ``epsilon`` is the tolerance level and ``d`` the damping factor.  The
+bound ignores the characteristics of the input graph and is shown to be loose
+(2x - 3.5x over-prediction in the paper's measurements).  We also provide the
+acyclic-graph bound (diameter + 1) discussed in §1.1 and a trivial bound for
+connected components (the graph diameter), so that the upper-bound benchmark
+can report baselines for more than one algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def pagerank_iteration_upper_bound(epsilon: float, damping: float = 0.85) -> int:
+    """Langville & Meyer's bound on PageRank iterations to reach tolerance ``epsilon``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError("epsilon must be in (0, 1)")
+    if not 0.0 < damping < 1.0:
+        raise ConfigurationError("damping must be in (0, 1)")
+    return int(math.ceil(math.log10(epsilon) / math.log10(damping)))
+
+
+def pagerank_dag_bound(diameter: int) -> int:
+    """For a DAG, PageRank converges to a zero delta in ``diameter + 1`` iterations."""
+    if diameter < 0:
+        raise ConfigurationError("diameter must be non-negative")
+    return diameter + 1
+
+
+def connected_components_upper_bound(diameter: int) -> int:
+    """Min-label propagation needs at most ``diameter + 1`` supersteps."""
+    if diameter < 0:
+        raise ConfigurationError("diameter must be non-negative")
+    return diameter + 1
+
+
+def bound_misprediction_factor(bound: int, actual: int) -> float:
+    """How loose a bound is: ``bound / actual`` (>= 1 for a valid upper bound)."""
+    if actual <= 0:
+        raise ConfigurationError("actual iteration count must be positive")
+    return bound / actual

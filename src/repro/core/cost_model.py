@@ -1,0 +1,130 @@
+"""The customizable cost model: features -> per-iteration runtime.
+
+The cost model is a multivariate linear regression over the key input
+features selected by sequential forward selection.  It is trained at the
+granularity of iterations: every observation is one iteration of a profiled
+run (a sample run, or a historical actual run), described by the features of
+the worker on the critical path and labelled with the simulated runtime of
+that iteration.
+
+Once fitted, the model predicts the runtime of one iteration from an
+(extrapolated) feature row; the end-to-end prediction sums the model over the
+iterations of the sample run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.feature_selection import SelectionResult, forward_select
+from repro.core.features import KEY_INPUT_FEATURES, FeatureRow, FeatureTable
+from repro.core.regression import LinearModel, fit_linear_model
+from repro.exceptions import ModelingError
+
+
+@dataclass
+class CostModel:
+    """A trainable per-iteration runtime model.
+
+    Parameters
+    ----------
+    candidate_features:
+        The feature pool handed to forward selection (defaults to Table 1).
+    selection_criterion:
+        ``"r2"`` or ``"cv"`` (see :mod:`repro.core.feature_selection`).
+    use_feature_selection:
+        When False all candidate features are used (ablation baseline).
+    non_negative:
+        When True the fitted coefficients are constrained to be >= 0.
+    """
+
+    candidate_features: Sequence[str] = field(default_factory=lambda: list(KEY_INPUT_FEATURES))
+    selection_criterion: str = "r2"
+    use_feature_selection: bool = True
+    non_negative: bool = False
+    min_improvement: float = 0.01
+
+    _model: Optional[LinearModel] = field(init=False, default=None)
+    _selection: Optional[SelectionResult] = field(init=False, default=None)
+
+    # ---------------------------------------------------------------- train
+    def train(self, table: FeatureTable) -> "CostModel":
+        """Fit the model on a feature table; returns self for chaining."""
+        if len(table) == 0:
+            raise ModelingError("cannot train a cost model without observations")
+        if len(table) < 2:
+            raise ModelingError("training a cost model requires at least two iterations")
+
+        if self.use_feature_selection:
+            self._selection = forward_select(
+                table,
+                self.candidate_features,
+                criterion=self.selection_criterion,
+                min_improvement=self.min_improvement,
+            )
+            selected = self._selection.selected
+        else:
+            selected = [name for name in self.candidate_features if name in table.feature_names]
+            self._selection = SelectionResult(selected=list(selected), criterion="none")
+
+        matrix = table.matrix(selected)
+        self._model = fit_linear_model(
+            matrix, table.response(), selected, non_negative=self.non_negative
+        )
+        return self
+
+    # -------------------------------------------------------------- predict
+    def predict_iteration(self, features: FeatureRow) -> float:
+        """Predict the runtime of one iteration (clamped at zero)."""
+        model = self._require_model()
+        return max(0.0, model.predict_row(features))
+
+    def predict_run(self, feature_rows: Sequence[FeatureRow]) -> List[float]:
+        """Predict the runtime of every iteration of a run."""
+        return [self.predict_iteration(row) for row in feature_rows]
+
+    def predict_total(self, feature_rows: Sequence[FeatureRow]) -> float:
+        """Predict the total superstep-phase runtime of a run."""
+        return float(sum(self.predict_run(feature_rows)))
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has completed."""
+        return self._model is not None
+
+    @property
+    def r_squared(self) -> float:
+        """Coefficient of determination of the fit on the training data."""
+        return self._require_model().r_squared
+
+    @property
+    def selected_features(self) -> List[str]:
+        """Features chosen by forward selection."""
+        self._require_model()
+        return list(self._selection.selected) if self._selection else []
+
+    def coefficients(self) -> Dict[str, float]:
+        """Per-feature cost values plus the residual (intercept)."""
+        model = self._require_model()
+        values = model.coefficient_dict()
+        values["residual"] = model.intercept
+        return values
+
+    def describe(self) -> Dict[str, object]:
+        """Summary of the fitted model (used by reports and examples)."""
+        model = self._require_model()
+        return {
+            "selected_features": self.selected_features,
+            "coefficients": model.coefficient_dict(),
+            "residual": model.intercept,
+            "r_squared": round(model.r_squared, 4),
+            "observations": model.num_observations,
+        }
+
+    # -------------------------------------------------------------- internal
+    def _require_model(self) -> LinearModel:
+        if self._model is None:
+            raise ModelingError("cost model has not been trained yet")
+        return self._model

@@ -1,0 +1,80 @@
+"""Prediction-vs-actual evaluation records.
+
+The paper reports *signed relative errors* for the number of iterations, for
+key input features (in particular remote message bytes) and for the end-to-end
+runtime.  :class:`PredictionEvaluation` packages those comparisons so the
+benchmarks and the experiment harness all report errors the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.bsp.result import RunResult
+from repro.utils.stats import signed_relative_error
+
+
+@dataclass(frozen=True)
+class PredictionEvaluation:
+    """Signed relative errors of one prediction against the actual run."""
+
+    algorithm: str
+    dataset: str
+    sampling_ratio: float
+    predicted_iterations: int
+    actual_iterations: int
+    predicted_runtime: float
+    actual_runtime: float
+    predicted_remote_bytes: Optional[float] = None
+    actual_remote_bytes: Optional[float] = None
+
+    @property
+    def iterations_error(self) -> float:
+        """Signed relative error of the iteration count."""
+        return signed_relative_error(self.predicted_iterations, self.actual_iterations)
+
+    @property
+    def runtime_error(self) -> float:
+        """Signed relative error of the superstep-phase runtime."""
+        return signed_relative_error(self.predicted_runtime, self.actual_runtime)
+
+    @property
+    def remote_bytes_error(self) -> Optional[float]:
+        """Signed relative error of the total remote message bytes (if tracked)."""
+        if self.predicted_remote_bytes is None or self.actual_remote_bytes is None:
+            return None
+        return signed_relative_error(self.predicted_remote_bytes, self.actual_remote_bytes)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the evaluation for tabular reporting."""
+        row = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "ratio": self.sampling_ratio,
+            "iters_pred": self.predicted_iterations,
+            "iters_actual": self.actual_iterations,
+            "iters_err": round(self.iterations_error, 3),
+            "runtime_pred_s": round(self.predicted_runtime, 2),
+            "runtime_actual_s": round(self.actual_runtime, 2),
+            "runtime_err": round(self.runtime_error, 3),
+        }
+        if self.remote_bytes_error is not None:
+            row["rem_bytes_err"] = round(self.remote_bytes_error, 3)
+        return row
+
+
+def evaluate_prediction(prediction, actual: RunResult, dataset: str) -> PredictionEvaluation:
+    """Build a :class:`PredictionEvaluation` from a prediction and the actual run."""
+    predicted_remote = sum(row.get("RemMsgSize", 0.0) for row in prediction.extrapolated_graph_features)
+    return PredictionEvaluation(
+        algorithm=prediction.algorithm,
+        dataset=dataset,
+        sampling_ratio=prediction.sampling_ratio,
+        predicted_iterations=prediction.predicted_iterations,
+        actual_iterations=actual.num_iterations,
+        predicted_runtime=prediction.predicted_superstep_runtime,
+        actual_runtime=actual.superstep_runtime,
+        predicted_remote_bytes=predicted_remote,
+        actual_remote_bytes=float(actual.total_remote_message_bytes()),
+    )

@@ -1,0 +1,92 @@
+"""Extrapolating sample-run features to the scale of the complete graph.
+
+The extrapolator (§3.4) scales the per-iteration features profiled during the
+sample run with two factors:
+
+* ``eV = |V_G| / |V_S|`` for features that depend primarily on the number of
+  vertices (active and total vertex counts);
+* ``eE = |E_G| / |E_S|`` for features that depend on the number of edges
+  (message counts and byte counts -- a vertex sends one message per outbound
+  edge for the algorithms considered);
+* features that are ratios (average message size) and the number of
+  iterations are not extrapolated at all.
+
+Extrapolation is applied *per iteration*: iteration ``i`` of the sample run
+predicts iteration ``i`` of the actual run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.features import (
+    EDGE_SCALED_FEATURES,
+    FeatureRow,
+    NOT_EXTRAPOLATED_FEATURES,
+    VERTEX_SCALED_FEATURES,
+)
+from repro.exceptions import ModelingError
+from repro.graph.digraph import DiGraph
+from repro.sampling.base import SampleResult
+
+
+@dataclass(frozen=True)
+class ScalingFactors:
+    """The vertex and edge scaling factors of one sample."""
+
+    vertex_factor: float
+    edge_factor: float
+
+    @classmethod
+    def from_sample(cls, original: DiGraph, sample: SampleResult) -> "ScalingFactors":
+        """Compute ``eV`` and ``eE`` from the original graph and its sample."""
+        return cls(
+            vertex_factor=sample.vertex_scaling_factor(original),
+            edge_factor=sample.edge_scaling_factor(original),
+        )
+
+    @classmethod
+    def from_counts(
+        cls,
+        original_vertices: int,
+        original_edges: int,
+        sample_vertices: int,
+        sample_edges: int,
+    ) -> "ScalingFactors":
+        """Compute the factors from raw counts."""
+        if sample_vertices <= 0 or sample_edges <= 0:
+            raise ModelingError("sample must contain at least one vertex and one edge")
+        return cls(
+            vertex_factor=original_vertices / sample_vertices,
+            edge_factor=original_edges / sample_edges,
+        )
+
+
+class Extrapolator:
+    """Scales per-iteration feature rows from sample size to full size."""
+
+    def __init__(self, factors: ScalingFactors) -> None:
+        self.factors = factors
+
+    def extrapolate_row(self, row: FeatureRow) -> FeatureRow:
+        """Extrapolate one iteration's feature dictionary."""
+        scaled: Dict[str, float] = {}
+        for name, value in row.items():
+            scaled[name] = value * self._factor_for(name)
+        return scaled
+
+    def extrapolate_rows(self, rows: Sequence[FeatureRow]) -> List[FeatureRow]:
+        """Extrapolate every iteration of a sample run."""
+        return [self.extrapolate_row(row) for row in rows]
+
+    def _factor_for(self, feature: str) -> float:
+        if feature in VERTEX_SCALED_FEATURES:
+            return self.factors.vertex_factor
+        if feature in EDGE_SCALED_FEATURES:
+            return self.factors.edge_factor
+        if feature in NOT_EXTRAPOLATED_FEATURES:
+            return 1.0
+        # Unknown features are treated as edge-proportional by default, which
+        # is the conservative choice for message-derived counters users add.
+        return self.factors.edge_factor

@@ -1,0 +1,135 @@
+"""Sequential forward feature selection for the cost model.
+
+Following the paper (§3.4), the actual features entering the cost model are
+chosen from the candidate pool (Table 1) by *sequential forward selection*
+(Hastie et al.): start from the empty set, repeatedly add the feature whose
+inclusion most improves the selection criterion, and stop when no feature
+improves it by more than a small margin.
+
+Two criteria are provided:
+
+* ``"r2"`` -- maximise the coefficient of determination on the training data
+  (the paper's "best prediction accuracy on the training data");
+* ``"cv"`` -- minimise k-fold cross-validated mean absolute error, which is
+  more robust when the training set is small and collinear (sample runs only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.features import FeatureTable
+from repro.core.regression import cross_validate, fit_linear_model
+from repro.exceptions import ModelingError
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a forward-selection run."""
+
+    selected: List[str]
+    criterion: str
+    scores: List[float] = field(default_factory=list)
+    history: List[List[str]] = field(default_factory=list)
+
+
+def forward_select(
+    table: FeatureTable,
+    candidates: Sequence[str],
+    criterion: str = "r2",
+    min_improvement: float = 0.01,
+    max_features: int | None = None,
+    num_folds: int = 5,
+) -> SelectionResult:
+    """Select features from ``candidates`` by sequential forward selection.
+
+    Parameters
+    ----------
+    table:
+        Training observations (per-iteration features + runtimes).
+    candidates:
+        Candidate feature names (must be present in every row).
+    criterion:
+        ``"r2"`` (maximise training R²) or ``"cv"`` (minimise CV error).
+    min_improvement:
+        Minimum relative improvement required to keep adding features.
+    max_features:
+        Optional cap on the number of selected features.
+    """
+    if criterion not in {"r2", "cv"}:
+        raise ModelingError(f"unknown selection criterion {criterion!r}")
+    if len(table) == 0:
+        raise ModelingError("cannot select features from an empty table")
+
+    available = [name for name in candidates if _has_variance(table, name)]
+    if not available:
+        raise ModelingError("no candidate feature has variance in the training data")
+    budget = max_features or len(available)
+
+    selected: List[str] = []
+    scores: List[float] = []
+    history: List[List[str]] = []
+    current_score = None
+
+    while available and len(selected) < budget:
+        best_feature = None
+        best_score = None
+        for feature in available:
+            trial = selected + [feature]
+            score = _score(table, trial, criterion, num_folds)
+            if best_score is None or _is_better(score, best_score, criterion):
+                best_score = score
+                best_feature = feature
+        if best_feature is None:
+            break
+        if current_score is not None and not _improves(
+            best_score, current_score, criterion, min_improvement
+        ):
+            break
+        selected.append(best_feature)
+        available.remove(best_feature)
+        current_score = best_score
+        scores.append(best_score)
+        history.append(list(selected))
+
+    if not selected:
+        # Degenerate data: fall back to the single best-scoring candidate.
+        selected = [available[0]]
+        scores = [_score(table, selected, criterion, num_folds)]
+        history = [list(selected)]
+
+    return SelectionResult(selected=selected, criterion=criterion, scores=scores, history=history)
+
+
+# ------------------------------------------------------------------ internals
+def _has_variance(table: FeatureTable, feature: str) -> bool:
+    try:
+        column = table.matrix([feature])[:, 0]
+    except ModelingError:
+        return False
+    return bool(np.std(column) > 0)
+
+
+def _score(table: FeatureTable, features: List[str], criterion: str, num_folds: int) -> float:
+    matrix = table.matrix(features)
+    response = table.response()
+    if criterion == "r2":
+        model = fit_linear_model(matrix, response, features)
+        return model.r_squared
+    result = cross_validate(matrix, response, features, num_folds=num_folds)
+    return result.mean_absolute_error
+
+
+def _is_better(score: float, reference: float, criterion: str) -> bool:
+    if criterion == "r2":
+        return score > reference
+    return score < reference
+
+
+def _improves(score: float, reference: float, criterion: str, min_improvement: float) -> bool:
+    if criterion == "r2":
+        return score >= reference + min_improvement * max(abs(reference), 1e-9)
+    return score <= reference * (1.0 - min_improvement)

@@ -1,0 +1,133 @@
+"""Key input features (Table 1 of the paper) and feature tables.
+
+The features the cost model may select from are:
+
+=========== ============================================ =============
+Name        Description                                  Extrapolation
+=========== ============================================ =============
+ActVert     Number of active vertices                    vertices
+TotVert     Number of total vertices                     vertices
+LocMsg      Number of local messages                     edges
+RemMsg      Number of remote messages                    edges
+LocMsgSize  Size of local messages (bytes)               edges
+RemMsgSize  Size of remote messages (bytes)              edges
+AvgMsgSize  Average message size                         none
+NumIter     Number of iterations                         none
+=========== ============================================ =============
+
+``NumIter`` is never extrapolated: the transform function is designed to
+*preserve* the number of iterations between the sample run and the actual run,
+and the cost model uses it only implicitly (it is invoked once per iteration).
+
+:class:`FeatureTable` is a thin convenience wrapper around "one dict of
+features per iteration" that converts to the dense matrices the regression
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelingError
+
+#: Feature names, in the order used throughout the library.
+ACT_VERT = "ActVert"
+TOT_VERT = "TotVert"
+LOC_MSG = "LocMsg"
+REM_MSG = "RemMsg"
+LOC_MSG_SIZE = "LocMsgSize"
+REM_MSG_SIZE = "RemMsgSize"
+AVG_MSG_SIZE = "AvgMsgSize"
+NUM_ITER = "NumIter"
+
+#: The candidate pool handed to feature selection (per-iteration features).
+KEY_INPUT_FEATURES: List[str] = [
+    ACT_VERT,
+    TOT_VERT,
+    LOC_MSG,
+    REM_MSG,
+    LOC_MSG_SIZE,
+    REM_MSG_SIZE,
+    AVG_MSG_SIZE,
+]
+
+#: Features extrapolated with the vertex scaling factor eV = |V_G| / |V_S|.
+VERTEX_SCALED_FEATURES = frozenset({ACT_VERT, TOT_VERT})
+
+#: Features extrapolated with the edge scaling factor eE = |E_G| / |E_S|.
+EDGE_SCALED_FEATURES = frozenset({LOC_MSG, REM_MSG, LOC_MSG_SIZE, REM_MSG_SIZE})
+
+#: Features that are never extrapolated (ratios / run-level properties).
+NOT_EXTRAPOLATED_FEATURES = frozenset({AVG_MSG_SIZE, NUM_ITER})
+
+
+FeatureRow = Dict[str, float]
+
+
+@dataclass
+class FeatureTable:
+    """Per-iteration feature rows plus the response variable (runtime)."""
+
+    rows: List[FeatureRow] = field(default_factory=list)
+    runtimes: List[float] = field(default_factory=list)
+
+    def append(self, row: FeatureRow, runtime: float) -> None:
+        """Add one (features, runtime) observation."""
+        self.rows.append(dict(row))
+        self.runtimes.append(float(runtime))
+
+    def extend(self, other: "FeatureTable") -> None:
+        """Append all observations of ``other``."""
+        self.rows.extend(dict(row) for row in other.rows)
+        self.runtimes.extend(other.runtimes)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def feature_names(self) -> List[str]:
+        """Names present in every row (intersection, stable order)."""
+        if not self.rows:
+            return []
+        common = set(self.rows[0])
+        for row in self.rows[1:]:
+            common &= set(row)
+        return [name for name in KEY_INPUT_FEATURES if name in common] + sorted(
+            name for name in common if name not in KEY_INPUT_FEATURES
+        )
+
+    def matrix(self, feature_names: Sequence[str]) -> np.ndarray:
+        """Dense design matrix with one column per requested feature."""
+        if not self.rows:
+            raise ModelingError("feature table is empty")
+        data = np.zeros((len(self.rows), len(feature_names)), dtype=float)
+        for i, row in enumerate(self.rows):
+            for j, name in enumerate(feature_names):
+                if name not in row:
+                    raise ModelingError(f"feature {name!r} missing from row {i}")
+                data[i, j] = row[name]
+        return data
+
+    def response(self) -> np.ndarray:
+        """The response vector (per-iteration runtimes)."""
+        return np.asarray(self.runtimes, dtype=float)
+
+    @classmethod
+    def from_run(cls, run_result, level: str = "critical") -> "FeatureTable":
+        """Build a table from a :class:`repro.bsp.result.RunResult`."""
+        table = cls()
+        rows = run_result.iteration_feature_rows(level=level)
+        for row, runtime in zip(rows, run_result.iteration_runtimes()):
+            table.append(row, runtime)
+        return table
+
+    @classmethod
+    def merge(cls, tables: Iterable["FeatureTable"]) -> "FeatureTable":
+        """Concatenate several tables into one."""
+        merged = cls()
+        for table in tables:
+            merged.extend(table)
+        return merged

@@ -1,0 +1,102 @@
+"""Store of historical runs used to improve cost-model training.
+
+The paper trains the cost model on the sample runs and, when available, on
+*prior actual runs* of the same algorithm on different datasets: "such
+historical runs are typically available for analytical applications that are
+executed repetitively over newly arriving data sets".  The history store keeps
+those profiled runs, indexed by algorithm and dataset, and can produce a
+training :class:`~repro.core.features.FeatureTable` that excludes the dataset
+currently being predicted (the paper's leave-the-predicted-dataset-out
+protocol for Figures 7b / 8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bsp.result import RunResult
+from repro.core.features import FeatureTable
+from repro.exceptions import HistoryError
+
+
+@dataclass(frozen=True)
+class HistoricalRun:
+    """One archived run: identification plus its per-iteration observations."""
+
+    algorithm: str
+    dataset: str
+    num_vertices: int
+    num_edges: int
+    num_iterations: int
+    table: FeatureTable
+    total_runtime: float
+
+
+@dataclass
+class HistoryStore:
+    """In-memory archive of profiled runs."""
+
+    _runs: List[HistoricalRun] = field(default_factory=list)
+
+    def record(self, run: RunResult, dataset: Optional[str] = None, level: str = "critical") -> HistoricalRun:
+        """Archive a finished run and return the stored record."""
+        if run.num_iterations == 0:
+            raise HistoryError("cannot archive a run with no iterations")
+        record = HistoricalRun(
+            algorithm=run.algorithm,
+            dataset=dataset or run.graph_name,
+            num_vertices=run.num_vertices,
+            num_edges=run.num_edges,
+            num_iterations=run.num_iterations,
+            table=FeatureTable.from_run(run, level=level),
+            total_runtime=run.superstep_runtime,
+        )
+        self._runs.append(record)
+        return record
+
+    def runs(self, algorithm: Optional[str] = None) -> List[HistoricalRun]:
+        """All archived runs, optionally filtered by algorithm name."""
+        if algorithm is None:
+            return list(self._runs)
+        return [run for run in self._runs if run.algorithm == algorithm]
+
+    def datasets(self, algorithm: str) -> List[str]:
+        """Datasets for which runs of ``algorithm`` are archived."""
+        return sorted({run.dataset for run in self.runs(algorithm)})
+
+    def training_table(
+        self,
+        algorithm: str,
+        exclude_dataset: Optional[str] = None,
+    ) -> FeatureTable:
+        """Merge the archived observations of ``algorithm`` into one table.
+
+        ``exclude_dataset`` removes the dataset currently being predicted, so
+        that history never leaks the answer (the paper's protocol).
+        """
+        tables = [
+            run.table
+            for run in self.runs(algorithm)
+            if exclude_dataset is None or run.dataset != exclude_dataset
+        ]
+        return FeatureTable.merge(tables)
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def clear(self) -> None:
+        """Drop every archived run."""
+        self._runs.clear()
+
+    def summary(self) -> List[Dict[str, object]]:
+        """One row per archived run (for reports)."""
+        return [
+            {
+                "algorithm": run.algorithm,
+                "dataset": run.dataset,
+                "iterations": run.num_iterations,
+                "runtime_s": round(run.total_runtime, 3),
+            }
+            for run in self._runs
+        ]

@@ -1,0 +1,226 @@
+"""The end-to-end PREDIcT predictor.
+
+:class:`Predictor` ties the whole methodology together (Figure 1 of the
+paper):
+
+1. run the algorithm on samples of the input graph at the *training ratios*
+   (0.05, 0.1, 0.15 and 0.2 in the paper) plus the prediction ratio, applying
+   the transform function to the configuration of every sample run;
+2. build the training table from the per-iteration (critical-path worker
+   features, iteration runtime) observations of those sample runs, adding the
+   observations of historical runs on other datasets when a
+   :class:`~repro.core.history.HistoryStore` is supplied;
+3. fit the cost model (multivariate linear regression + forward selection);
+4. extrapolate the per-iteration features of the prediction-ratio sample run
+   to full-graph scale with ``eV`` / ``eE``;
+5. evaluate the cost model on every extrapolated iteration and sum the
+   predicted iteration runtimes.
+
+The returned :class:`Prediction` carries the predicted number of iterations
+(preserved from the sample run, not extrapolated), the per-iteration and total
+runtime estimates, the extrapolated features (both critical-worker and
+graph-level) and the fitted cost model's description, so that callers can
+audit every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.core.cost_model import CostModel
+from repro.core.extrapolation import Extrapolator
+from repro.core.features import FeatureRow, FeatureTable
+from repro.core.history import HistoryStore
+from repro.core.sample_run import SampleRunner, SampleRunProfile
+from repro.core.transform import TransformFunction
+from repro.exceptions import PredictionError
+from repro.graph.digraph import DiGraph
+from repro.sampling.base import VertexSampler
+
+#: The paper's training sampling ratios (Figures 7 and 8).
+DEFAULT_TRAINING_RATIOS = (0.05, 0.1, 0.15, 0.2)
+
+
+@dataclass
+class Prediction:
+    """The outcome of one PREDIcT prediction."""
+
+    algorithm: str
+    dataset: str
+    sampling_ratio: float
+    predicted_iterations: int
+    predicted_iteration_runtimes: List[float]
+    predicted_superstep_runtime: float
+    extrapolated_features: List[FeatureRow]
+    extrapolated_graph_features: List[FeatureRow]
+    cost_model: CostModel
+    sample_profile: SampleRunProfile
+    training_observations: int
+    used_history: bool
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def vertex_scaling_factor(self) -> float:
+        """The extrapolation factor on vertices used for this prediction."""
+        return self.sample_profile.factors.vertex_factor
+
+    @property
+    def edge_scaling_factor(self) -> float:
+        """The extrapolation factor on edges used for this prediction."""
+        return self.sample_profile.factors.edge_factor
+
+    def predicted_total_remote_bytes(self) -> float:
+        """Extrapolated total remote message bytes (graph level)."""
+        return float(
+            sum(row.get("RemMsgSize", 0.0) for row in self.extrapolated_graph_features)
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Compact summary used by the examples."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "sampling_ratio": self.sampling_ratio,
+            "predicted_iterations": self.predicted_iterations,
+            "predicted_superstep_runtime_s": round(self.predicted_superstep_runtime, 2),
+            "cost_model_r2": round(self.cost_model.r_squared, 4),
+            "selected_features": self.cost_model.selected_features,
+            "used_history": self.used_history,
+        }
+
+
+class Predictor:
+    """End-to-end runtime predictor for iterative algorithms."""
+
+    def __init__(
+        self,
+        engine: BSPEngine,
+        algorithm,
+        sampler: Optional[VertexSampler] = None,
+        transform: Optional[TransformFunction] = None,
+        history: Optional[HistoryStore] = None,
+        training_ratios: Sequence[float] = DEFAULT_TRAINING_RATIOS,
+        cost_model_factory=None,
+        engine_config: Optional[EngineConfig] = None,
+        feature_level: str = "critical",
+        cache_sample_runs: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.algorithm = algorithm
+        self.history = history
+        self.training_ratios = tuple(training_ratios)
+        self.cost_model_factory = cost_model_factory or CostModel
+        self.feature_level = feature_level
+        self.cache_sample_runs = cache_sample_runs
+        self.runner = SampleRunner(
+            engine,
+            algorithm,
+            sampler=sampler,
+            transform=transform,
+            engine_config=engine_config,
+        )
+        # Sample runs are deterministic given (graph, config, ratio), so they
+        # can be reused when the same predictor is asked for several sampling
+        # ratios on the same input (the Figure 7/8 sweeps).
+        self._profile_cache: Dict[tuple, SampleRunProfile] = {}
+
+    # ------------------------------------------------------------------ API
+    def predict(
+        self,
+        graph: DiGraph,
+        config=None,
+        sampling_ratio: float = 0.1,
+        dataset_name: Optional[str] = None,
+    ) -> Prediction:
+        """Predict the runtime of ``algorithm`` on ``graph``.
+
+        ``dataset_name`` identifies the dataset in the history store so that
+        historical runs of the *same* dataset are excluded from training.
+        """
+        config = config if config is not None else self.algorithm.default_config()
+        dataset = dataset_name or graph.name
+
+        profiles = self._run_training_samples(graph, config, sampling_ratio)
+        prediction_profile = profiles[sampling_ratio]
+
+        table, used_history = self._build_training_table(profiles, dataset)
+        cost_model = self.cost_model_factory()
+        cost_model.train(table)
+
+        extrapolator = Extrapolator(prediction_profile.factors)
+        critical_rows = extrapolator.extrapolate_rows(
+            prediction_profile.feature_rows(level=self.feature_level)
+        )
+        graph_rows = extrapolator.extrapolate_rows(
+            prediction_profile.feature_rows(level="graph")
+        )
+        iteration_runtimes = cost_model.predict_run(critical_rows)
+
+        return Prediction(
+            algorithm=self.algorithm.name,
+            dataset=dataset,
+            sampling_ratio=sampling_ratio,
+            predicted_iterations=prediction_profile.num_iterations,
+            predicted_iteration_runtimes=iteration_runtimes,
+            predicted_superstep_runtime=float(sum(iteration_runtimes)),
+            extrapolated_features=critical_rows,
+            extrapolated_graph_features=graph_rows,
+            cost_model=cost_model,
+            sample_profile=prediction_profile,
+            training_observations=len(table),
+            used_history=used_history,
+            metadata={
+                "training_ratios": list(self.training_ratios),
+                "transform": self.runner.transform.name,
+                "sampler": self.runner.sampler.name,
+            },
+        )
+
+    def predict_iterations(
+        self, graph: DiGraph, config=None, sampling_ratio: float = 0.1
+    ) -> int:
+        """Cheap variant: only run the prediction-ratio sample run and return
+        its iteration count (used by the iteration-error benchmarks)."""
+        config = config if config is not None else self.algorithm.default_config()
+        profile = self.runner.run(graph, config, sampling_ratio)
+        return profile.num_iterations
+
+    # -------------------------------------------------------------- internals
+    def _run_training_samples(
+        self, graph: DiGraph, config, sampling_ratio: float
+    ) -> Dict[float, SampleRunProfile]:
+        ratios = sorted(set(self.training_ratios) | {sampling_ratio})
+        profiles: Dict[float, SampleRunProfile] = {}
+        for ratio in ratios:
+            cache_key = (id(graph), id(config), ratio)
+            if self.cache_sample_runs and cache_key in self._profile_cache:
+                profiles[ratio] = self._profile_cache[cache_key]
+                continue
+            profile = self.runner.run(graph, config, ratio)
+            if self.cache_sample_runs:
+                self._profile_cache[cache_key] = profile
+            profiles[ratio] = profile
+        return profiles
+
+    def _build_training_table(
+        self, profiles: Dict[float, SampleRunProfile], dataset: str
+    ):
+        table = FeatureTable.merge(
+            profile.training_table(level=self.feature_level) for profile in profiles.values()
+        )
+        used_history = False
+        if self.history is not None:
+            history_table = self.history.training_table(
+                self.algorithm.name, exclude_dataset=dataset
+            )
+            if len(history_table):
+                table.extend(history_table)
+                used_history = True
+        if len(table) < 2:
+            raise PredictionError(
+                "not enough training observations; the sample runs converged "
+                "in fewer than two iterations"
+            )
+        return table, used_history

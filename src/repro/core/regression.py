@@ -1,0 +1,159 @@
+"""Multivariate linear regression implemented from scratch on numpy.
+
+The cost model has the fixed functional form the paper chooses:
+
+``f(X_1, ..., X_k) = c_1 X_1 + c_2 X_2 + ... + c_k X_k + r``
+
+where the coefficients ``c_i`` can be interpreted as the per-unit cost of each
+key input feature and ``r`` is the residual (intercept).  A fixed functional
+form is used deliberately: the model must extrapolate to feature ranges far
+outside the training data (train on sample runs, predict the full run), which
+rules out non-parametric models.
+
+The fit minimises least squares via :func:`numpy.linalg.lstsq`.  Optionally
+the coefficients can be constrained to be non-negative (a per-message cost
+cannot be negative) using a simple projected iterative refinement; the paper
+does not describe its solver, so the unconstrained fit is the default and the
+non-negative variant is exposed for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelingError
+from repro.utils.stats import coefficient_of_determination
+
+
+@dataclass
+class LinearModel:
+    """A fitted multivariate linear model ``y = X @ coefficients + intercept``."""
+
+    feature_names: List[str]
+    coefficients: np.ndarray
+    intercept: float
+    r_squared: float
+    num_observations: int
+
+    def predict_row(self, features: Dict[str, float]) -> float:
+        """Predict the response for a single feature dictionary."""
+        total = self.intercept
+        for name, coefficient in zip(self.feature_names, self.coefficients):
+            if name not in features:
+                raise ModelingError(f"feature {name!r} missing from prediction input")
+            total += coefficient * features[name]
+        return float(total)
+
+    def predict_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Predict responses for a dense design matrix."""
+        if matrix.shape[1] != len(self.feature_names):
+            raise ModelingError(
+                f"expected {len(self.feature_names)} columns, got {matrix.shape[1]}"
+            )
+        return matrix @ self.coefficients + self.intercept
+
+    def coefficient_dict(self) -> Dict[str, float]:
+        """Per-feature cost values (the interpretation the paper gives them)."""
+        return {name: float(c) for name, c in zip(self.feature_names, self.coefficients)}
+
+
+def fit_linear_model(
+    matrix: np.ndarray,
+    response: Sequence[float],
+    feature_names: Sequence[str],
+    non_negative: bool = False,
+) -> LinearModel:
+    """Fit a linear model with intercept by (optionally constrained) least squares."""
+    y = np.asarray(response, dtype=float)
+    if matrix.ndim != 2:
+        raise ModelingError("design matrix must be two-dimensional")
+    if matrix.shape[0] != y.shape[0]:
+        raise ModelingError("design matrix and response length mismatch")
+    if matrix.shape[0] == 0:
+        raise ModelingError("cannot fit a model without observations")
+    if matrix.shape[1] != len(feature_names):
+        raise ModelingError("feature_names length must match matrix columns")
+
+    design = np.hstack([matrix, np.ones((matrix.shape[0], 1))])
+    solution, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    coefficients = solution[:-1]
+    intercept = float(solution[-1])
+
+    if non_negative and coefficients.size and np.any(coefficients < 0):
+        coefficients, intercept = _non_negative_refit(matrix, y, coefficients)
+
+    predictions = matrix @ coefficients + intercept
+    r_squared = coefficient_of_determination(y, predictions)
+    return LinearModel(
+        feature_names=list(feature_names),
+        coefficients=coefficients,
+        intercept=intercept,
+        r_squared=r_squared,
+        num_observations=int(matrix.shape[0]),
+    )
+
+
+def _non_negative_refit(matrix: np.ndarray, y: np.ndarray, coefficients: np.ndarray):
+    """Clip-and-refit heuristic for non-negative coefficients.
+
+    Features whose unconstrained coefficient is negative are dropped one by
+    one (most negative first) and the model is refitted on the remainder until
+    all surviving coefficients are non-negative.
+    """
+    active = list(range(matrix.shape[1]))
+    coefs = coefficients.copy()
+    intercept = 0.0
+    for _ in range(matrix.shape[1]):
+        sub = matrix[:, active]
+        design = np.hstack([sub, np.ones((sub.shape[0], 1))])
+        solution, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+        sub_coefs, intercept = solution[:-1], float(solution[-1])
+        if not np.any(sub_coefs < 0) or len(active) == 1:
+            coefs = np.zeros(matrix.shape[1])
+            for idx, col in enumerate(active):
+                coefs[col] = max(0.0, sub_coefs[idx])
+            return coefs, intercept
+        worst = int(np.argmin(sub_coefs))
+        del active[worst]
+    return np.maximum(coefs, 0.0), intercept
+
+
+@dataclass
+class CrossValidationResult:
+    """Mean absolute error measured by k-fold cross validation."""
+
+    mean_absolute_error: float
+    fold_errors: List[float] = field(default_factory=list)
+
+
+def cross_validate(
+    matrix: np.ndarray,
+    response: Sequence[float],
+    feature_names: Sequence[str],
+    num_folds: int = 5,
+) -> CrossValidationResult:
+    """k-fold cross-validation of the linear model (used by feature selection)."""
+    y = np.asarray(response, dtype=float)
+    n = matrix.shape[0]
+    if n < 2:
+        raise ModelingError("cross validation needs at least two observations")
+    folds = min(num_folds, n)
+    indices = np.arange(n)
+    fold_errors: List[float] = []
+    for fold in range(folds):
+        test_mask = indices % folds == fold
+        train_mask = ~test_mask
+        if not np.any(train_mask) or not np.any(test_mask):
+            continue
+        model = fit_linear_model(matrix[train_mask], y[train_mask], feature_names)
+        predictions = model.predict_matrix(matrix[test_mask])
+        fold_errors.append(float(np.mean(np.abs(predictions - y[test_mask]))))
+    if not fold_errors:
+        raise ModelingError("cross validation produced no folds")
+    return CrossValidationResult(
+        mean_absolute_error=float(np.mean(fold_errors)),
+        fold_errors=fold_errors,
+    )

@@ -1,0 +1,110 @@
+"""The sample run: executing the algorithm on a transformed sample.
+
+The sample run is the preliminary phase of PREDIcT (§3.2): sample the input
+graph, apply the transform function to the algorithm's configuration, execute
+the algorithm on the sample with the *same* execution framework and system
+configuration as the actual run, and profile per-iteration key input features.
+
+:class:`SampleRunner` packages those steps; its output,
+:class:`SampleRunProfile`, carries everything the prediction phase needs: the
+sample itself, the profiled run, the scaling factors ``eV``/``eE`` and the
+transformed configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.result import RunResult
+from repro.core.extrapolation import ScalingFactors
+from repro.core.features import FeatureRow, FeatureTable
+from repro.core.transform import TransformFunction, default_transform
+from repro.exceptions import ConfigurationError
+from repro.graph.digraph import DiGraph
+from repro.sampling.base import SampleResult, VertexSampler
+from repro.sampling.biased_random_jump import BiasedRandomJump
+
+
+@dataclass
+class SampleRunProfile:
+    """Everything observed during one sample run."""
+
+    algorithm: str
+    graph_name: str
+    sampling_ratio: float
+    sample: SampleResult
+    run: RunResult
+    factors: ScalingFactors
+    sample_config: object
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of iterations the sample run executed."""
+        return self.run.num_iterations
+
+    @property
+    def runtime(self) -> float:
+        """Total simulated runtime of the sample run (all phases)."""
+        return self.run.total_runtime
+
+    def feature_rows(self, level: str = "critical") -> List[FeatureRow]:
+        """Per-iteration feature rows of the sample run."""
+        return self.run.iteration_feature_rows(level=level)
+
+    def training_table(self, level: str = "critical") -> FeatureTable:
+        """(features, runtime) observations for cost-model training."""
+        return FeatureTable.from_run(self.run, level=level)
+
+
+class SampleRunner:
+    """Runs an algorithm on samples of a graph, applying the transform function."""
+
+    def __init__(
+        self,
+        engine: BSPEngine,
+        algorithm,
+        sampler: Optional[VertexSampler] = None,
+        transform: Optional[TransformFunction] = None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.algorithm = algorithm
+        self.sampler = sampler or BiasedRandomJump()
+        self.transform = transform or default_transform(algorithm)
+        self.engine_config = engine_config or EngineConfig()
+
+    def run(self, graph: DiGraph, config, sampling_ratio: float) -> SampleRunProfile:
+        """Sample ``graph``, transform ``config`` and execute the sample run."""
+        if not 0.0 < sampling_ratio <= 1.0:
+            raise ConfigurationError(
+                f"sampling_ratio must be in (0, 1], got {sampling_ratio}"
+            )
+        sample = self.sampler.sample(graph, sampling_ratio)
+        if sample.graph.num_edges == 0:
+            raise ConfigurationError(
+                "the sample contains no edges; increase the sampling ratio or "
+                "use a sampler that preserves connectivity"
+            )
+        sample_config = self.transform(self.algorithm, config, sampling_ratio)
+        run = self.engine.run(
+            sample.graph,
+            self.algorithm,
+            config=sample_config,
+            engine_config=self.engine_config,
+        )
+        factors = ScalingFactors.from_sample(graph, sample)
+        return SampleRunProfile(
+            algorithm=self.algorithm.name,
+            graph_name=graph.name,
+            sampling_ratio=sampling_ratio,
+            sample=sample,
+            run=run,
+            factors=factors,
+            sample_config=sample_config,
+        )
+
+    def run_many(self, graph: DiGraph, config, sampling_ratios) -> List[SampleRunProfile]:
+        """Execute sample runs at several sampling ratios (training sweeps)."""
+        return [self.run(graph, config, ratio) for ratio in sampling_ratios]

@@ -1,0 +1,119 @@
+"""Transform functions: adapting the algorithm configuration to the sample run.
+
+A transform function ``T = (Conf_S => Conf_G, Conv_S => Conv_G)`` maps the
+configuration and convergence parameters of the *actual* run into the values
+to use for the *sample* run, so that the sample run preserves the number of
+iterations (and, proportionally, the other key input features).
+
+The paper's default rules (§3.2.2):
+
+* if the convergence threshold is tuned to the size of the input dataset
+  (PageRank's ``tau = epsilon / N`` is an absolute aggregate), scale it by the
+  inverse sampling ratio: ``tau_S = tau_G * 1 / sr``;
+* if the convergence threshold is a ratio (semi-clustering's update ratio,
+  top-k's active-vertex ratio), keep it unchanged: ``tau_S = tau_G``;
+* configuration parameters (damping factor, ``Vmax``, ``Cmax``, ``Smax``,
+  ``fB``, ``k``) are kept identical (identity over the configuration space).
+
+Users with domain knowledge can plug in their own transform by constructing a
+:class:`TransformFunction` with a custom callable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.algorithms.base import IterativeAlgorithm
+from repro.exceptions import ConfigurationError
+
+#: Signature of a transform: (algorithm, actual_config, sampling_ratio) -> sample_config.
+TransformCallable = Callable[[IterativeAlgorithm, object, float], object]
+
+
+@dataclass(frozen=True)
+class TransformFunction:
+    """A named transform applied to the configuration before the sample run."""
+
+    name: str
+    apply: TransformCallable
+    description: str = ""
+
+    def __call__(self, algorithm: IterativeAlgorithm, config, sampling_ratio: float):
+        """Return the configuration to use for the sample run."""
+        if not 0.0 < sampling_ratio <= 1.0:
+            raise ConfigurationError(
+                f"sampling_ratio must be in (0, 1], got {sampling_ratio}"
+            )
+        return self.apply(algorithm, config, sampling_ratio)
+
+
+def _identity(algorithm: IterativeAlgorithm, config, sampling_ratio: float):
+    return config
+
+
+def _scale_threshold(algorithm: IterativeAlgorithm, config, sampling_ratio: float):
+    threshold = algorithm.convergence_threshold(config)
+    if threshold is None:
+        return config
+    return algorithm.with_convergence_threshold(config, threshold / sampling_ratio)
+
+
+#: Identity transform: same configuration and convergence parameters.
+IDENTITY_TRANSFORM = TransformFunction(
+    name="identity",
+    apply=_identity,
+    description="Conf_S = Conf_G, tau_S = tau_G",
+)
+
+#: Threshold-scaling transform: tau_S = tau_G / sampling_ratio.
+THRESHOLD_SCALING_TRANSFORM = TransformFunction(
+    name="threshold-scaling",
+    apply=_scale_threshold,
+    description="Conf_S = Conf_G, tau_S = tau_G * (1 / sampling_ratio)",
+)
+
+
+def default_transform(algorithm: IterativeAlgorithm) -> TransformFunction:
+    """Return the paper's default transform for ``algorithm``.
+
+    Algorithms whose convergence threshold is tuned to the input size get the
+    threshold-scaling transform; all others get the identity transform.
+    """
+    if algorithm.convergence_tuned_to_input_size:
+        return THRESHOLD_SCALING_TRANSFORM
+    return IDENTITY_TRANSFORM
+
+
+def custom_transform(
+    name: str,
+    threshold_scaler: Optional[Callable[[float, float], float]] = None,
+    config_overrides: Optional[dict] = None,
+    description: str = "",
+) -> TransformFunction:
+    """Build a transform from simple ingredients.
+
+    Parameters
+    ----------
+    threshold_scaler:
+        ``f(tau_G, sampling_ratio) -> tau_S``; None keeps the threshold.
+    config_overrides:
+        Field values to replace on the sample-run configuration (for
+        algorithm-specific domain knowledge, e.g. reducing ``Vmax``).
+    """
+
+    def apply(algorithm: IterativeAlgorithm, config, sampling_ratio: float):
+        new_config = config
+        if threshold_scaler is not None and algorithm.convergence_attribute is not None:
+            threshold = algorithm.convergence_threshold(config)
+            new_config = algorithm.with_convergence_threshold(
+                new_config, threshold_scaler(threshold, sampling_ratio)
+            )
+        if config_overrides:
+            if not dataclasses.is_dataclass(new_config):
+                raise ConfigurationError("config_overrides requires a dataclass config")
+            new_config = dataclasses.replace(new_config, **config_overrides)
+        return new_config
+
+    return TransformFunction(name=name, apply=apply, description=description)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the PREDIcT reproduction.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph operations (unknown vertices, bad edges...)."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when an on-disk graph file cannot be parsed."""
+
+
+class SamplingError(ReproError):
+    """Raised when a sampling technique cannot produce a valid sample."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm or cluster configuration is invalid."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm fails to converge within its budget."""
+
+
+class BSPError(ReproError):
+    """Raised for failures inside the BSP (Giraph-like) execution engine."""
+
+
+class OutOfMemoryError(BSPError):
+    """Raised when the simulated cluster runs out of memory.
+
+    This mirrors the paper's observation that semi-clustering, top-k ranking
+    and neighborhood estimation could not be executed on the Twitter dataset
+    because Giraph (which cannot spill messages to disk) exhausted cluster RAM.
+    """
+
+
+class ModelingError(ReproError):
+    """Raised when a cost model cannot be fitted or used for prediction."""
+
+
+class PredictionError(ReproError):
+    """Raised when the end-to-end PREDIcT predictor cannot produce an estimate."""
+
+
+class HistoryError(ReproError):
+    """Raised for invalid operations on the historical-run store."""

@@ -1,0 +1,18 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+* :mod:`repro.experiments.harness` -- the shared machinery: an
+  :class:`~repro.experiments.harness.ExperimentContext` bundling the simulated
+  cluster, dataset scale and seeds, cached actual runs, and sweep helpers
+  (iteration errors, feature errors, runtime errors, overhead measurements).
+* :mod:`repro.experiments.figures` -- one entry point per paper artefact
+  (Figure 4 ... Figure 9, Table 2, Table 3, the §5.1 upper-bound comparison
+  and the ablations called out in DESIGN.md), each returning a structured
+  result object that the benchmarks print.
+* :mod:`repro.experiments.reporting` -- plain-text rendering of those results
+  in the same rows/series layout as the paper.
+"""
+
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.reporting import render_series, render_table
+
+__all__ = ["ExperimentContext", "render_table", "render_series"]

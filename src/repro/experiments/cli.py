@@ -1,0 +1,124 @@
+"""Command-line entry point for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig4 --scale 0.4 --workers 8
+    python -m repro.experiments table3 upper-bounds
+
+Each experiment prints the same rows/series the corresponding paper artefact
+reports.  The pytest-benchmark suite under ``benchmarks/`` wraps the same
+entry points; this CLI exists so users can regenerate a single figure without
+pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from repro.cluster.cost_profile import DEFAULT_PROFILE
+from repro.experiments import figures
+from repro.experiments.harness import ExperimentContext
+
+
+def _render_fig4(ctx: ExperimentContext) -> str:
+    result = figures.fig4_pagerank_iterations(ctx)
+    return "\n\n".join(result[eps].render() for eps in sorted(result, reverse=True))
+
+
+def _render_fig5(ctx: ExperimentContext) -> str:
+    result = figures.fig5_semiclustering_iterations(ctx)
+    return "\n\n".join(result[tau].render() for tau in sorted(result, reverse=True))
+
+
+def _render_fig6(ctx: ExperimentContext) -> str:
+    result = figures.fig6_topk_features(ctx)
+    return result["iterations"].render() + "\n\n" + result["remote_bytes"].render()
+
+
+def _render_fig7(ctx: ExperimentContext) -> str:
+    parts = [
+        figures.fig7_semiclustering_runtime(ctx, use_history=False).render(),
+        figures.fig7_semiclustering_runtime(ctx, use_history=True).render(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _render_fig8(ctx: ExperimentContext) -> str:
+    parts = [
+        figures.fig8_topk_runtime(ctx, use_history=False).render(),
+        figures.fig8_topk_runtime(ctx, use_history=True).render(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _render_fig9(ctx: ExperimentContext) -> str:
+    result = figures.fig9_sampling_sensitivity(ctx)
+    return result["semi-clustering"].render() + "\n\n" + result["topk-ranking"].render()
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], str]] = {
+    "table2": lambda ctx: figures.table2_datasets(ctx).render(),
+    "fig4": _render_fig4,
+    "fig5": _render_fig5,
+    "fig6": _render_fig6,
+    "fig7": _render_fig7,
+    "fig8": _render_fig8,
+    "fig9": _render_fig9,
+    "upper-bounds": lambda ctx: figures.upper_bound_comparison(ctx).render(),
+    "table3": lambda ctx: figures.table3_overhead(ctx).render(),
+    "ablation-transform": lambda ctx: "\n\n".join(
+        sweep.render() for sweep in figures.ablation_transform_function(ctx).values()
+    ),
+    "ablation-feature-selection": lambda ctx: figures.ablation_feature_selection(ctx).render(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the PREDIcT paper's tables and figures on the stand-in datasets.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiments to run (choices: {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--scale", type=float, default=0.4, help="stand-in dataset scale (default 0.4)")
+    parser.add_argument("--workers", type=int, default=8, help="simulated BSP workers (default 8)")
+    parser.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    unknown = [name for name in args.experiments if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    ctx = ExperimentContext(
+        cost_profile=DEFAULT_PROFILE,
+        dataset_scale=args.scale,
+        num_workers=args.workers,
+        seed=args.seed,
+    )
+    for name in args.experiments:
+        print(EXPERIMENTS[name](ctx))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

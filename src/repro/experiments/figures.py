@@ -1,0 +1,593 @@
+"""One entry point per table / figure of the paper's evaluation (§5).
+
+Every function takes an :class:`~repro.experiments.harness.ExperimentContext`
+plus the sweep parameters (datasets, sampling ratios, tolerance levels) and
+returns a structured result whose ``render()`` produces the same rows/series
+the paper reports.  The benchmarks under ``benchmarks/`` are thin wrappers
+that call these functions and print the result.
+
+Absolute runtimes come from the simulated cluster, so they differ from the
+paper's testbed; the quantities compared are the *relative errors*, the R²
+values and the qualitative orderings, which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.connected_components import ConnectedComponents, ConnectedComponentsConfig
+from repro.algorithms.neighborhood import NeighborhoodConfig, NeighborhoodEstimation
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.semi_clustering import SemiClustering, SemiClusteringConfig
+from repro.algorithms.topk_ranking import TopKRanking
+from repro.core.bounds import bound_misprediction_factor, pagerank_iteration_upper_bound
+from repro.core.cost_model import CostModel
+from repro.core.transform import IDENTITY_TRANSFORM, THRESHOLD_SCALING_TRANSFORM
+from repro.experiments.harness import (
+    ExperimentContext,
+    PAPER_SAMPLING_RATIOS,
+    build_history,
+    iterations_for_threshold,
+)
+from repro.experiments.reporting import render_series, render_table
+from repro.graph.datasets import dataset_spec
+from repro.graph.properties import analyze
+from repro.utils.stats import signed_relative_error
+
+#: Dataset name -> short prefix used in the paper's figures (LJ, Wiki, TW, UK).
+DATASET_PREFIXES = {
+    "livejournal": "LJ",
+    "wikipedia": "Wiki",
+    "twitter": "TW",
+    "uk-2002": "UK",
+}
+
+#: The datasets the paper can run each algorithm on (Twitter OOMs for the
+#: message-heavy algorithms, so those figures exclude it, as in the paper).
+ALL_DATASETS = ("livejournal", "wikipedia", "uk-2002", "twitter")
+NO_TWITTER_DATASETS = ("livejournal", "wikipedia", "uk-2002")
+
+
+# --------------------------------------------------------------------- results
+@dataclass
+class ErrorSweep:
+    """A family of error-vs-sampling-ratio series (one per dataset/technique)."""
+
+    title: str
+    x_label: str
+    sweep: Dict[str, List[Tuple[float, float]]]
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def series(self) -> Tuple[List[float], Dict[str, List[float]]]:
+        """Convert to (x values, {name: y values})."""
+        ratios = sorted({ratio for pts in self.sweep.values() for ratio, _ in pts})
+        series = {}
+        for name, pts in self.sweep.items():
+            lookup = dict(pts)
+            series[name] = [round(lookup.get(r, float("nan")), 4) for r in ratios]
+        return ratios, series
+
+    def max_abs_error(self, at_ratio: Optional[float] = None) -> float:
+        """Largest absolute error, optionally restricted to one sampling ratio."""
+        errors = [
+            abs(err)
+            for pts in self.sweep.values()
+            for ratio, err in pts
+            if at_ratio is None or abs(ratio - at_ratio) < 1e-9
+        ]
+        return max(errors) if errors else float("nan")
+
+    def render(self) -> str:
+        """Plain-text rendering in the paper's series layout."""
+        ratios, series = self.series()
+        text = render_series(self.x_label, ratios, series, title=self.title)
+        if self.extras:
+            extra_lines = [f"{key}: {value}" for key, value in self.extras.items()]
+            text = text + "\n" + "\n".join(extra_lines)
+        return text
+
+
+@dataclass
+class TableResult:
+    """A plain table (Table 2 / Table 3 style)."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+
+    def render(self) -> str:
+        """Plain-text rendering."""
+        return render_table(self.headers, self.rows, title=self.title)
+
+
+# ------------------------------------------------------------------- Table 2
+def table2_datasets(ctx: ExperimentContext, datasets: Sequence[str] = ALL_DATASETS) -> TableResult:
+    """Table 2: characteristics of the (stand-in) datasets."""
+    headers = [
+        "dataset", "prefix", "paper_nodes", "paper_edges",
+        "standin_nodes", "standin_edges", "avg_out_degree",
+        "effective_diameter", "power_law_generator", "measured_scale_free",
+    ]
+    rows: List[List[object]] = []
+    for name in datasets:
+        spec = dataset_spec(name)
+        graph = ctx.load(name)
+        props = analyze(graph, seed=ctx.seed)
+        rows.append([
+            spec.name,
+            spec.prefix,
+            spec.paper_vertices,
+            spec.paper_edges,
+            props.num_vertices,
+            props.num_edges,
+            round(props.average_out_degree, 2),
+            round(props.effective_diameter, 2),
+            spec.scale_free,
+            props.scale_free,
+        ])
+    return TableResult(title="Table 2: graph datasets (paper vs stand-in)", headers=headers, rows=rows)
+
+
+# ------------------------------------------------------------------- Figure 4
+def fig4_pagerank_iterations(
+    ctx: ExperimentContext,
+    datasets: Sequence[str] = ALL_DATASETS,
+    ratios: Sequence[float] = PAPER_SAMPLING_RATIOS,
+    epsilons: Sequence[float] = (0.01, 0.001),
+    sampler_name: str = "BRJ",
+) -> Dict[float, ErrorSweep]:
+    """Figure 4: relative error of predicted PageRank iterations.
+
+    Returns one :class:`ErrorSweep` per tolerance level ``epsilon``; each sweep
+    has one series per dataset.  A single actual run and a single sample run
+    per ratio (executed at the tightest epsilon) provide the iteration counts
+    for every tolerance level via the convergence history.
+    """
+    tightest = min(epsilons)
+    results: Dict[float, ErrorSweep] = {
+        eps: ErrorSweep(
+            title=f"Figure 4: PageRank iteration error (epsilon={eps})",
+            x_label="sampling_ratio",
+            sweep={},
+        )
+        for eps in epsilons
+    }
+    algorithm = PageRank()
+    for dataset in datasets:
+        graph = ctx.load(dataset)
+        config = PageRankConfig.for_tolerance_level(tightest, graph.num_vertices)
+        actual = ctx.actual_run(dataset, algorithm, config)
+        actual_iters = {
+            eps: iterations_for_threshold(actual, eps / graph.num_vertices) for eps in epsilons
+        }
+        runner = ctx.sample_runner(algorithm, sampler_name=sampler_name)
+        prefix = DATASET_PREFIXES.get(dataset, dataset)
+        for eps in epsilons:
+            results[eps].sweep[prefix] = []
+        for ratio in ratios:
+            profile = runner.run(graph, config, ratio)
+            for eps in epsilons:
+                # The sample run applies the transform tau_S = tau_G / ratio,
+                # so the equivalent sample threshold for tolerance eps is
+                # (eps / N_G) / ratio.
+                sample_threshold = (eps / graph.num_vertices) / ratio
+                sample_iters = iterations_for_threshold(profile.run, sample_threshold)
+                error = signed_relative_error(sample_iters, actual_iters[eps])
+                results[eps].sweep[prefix].append((ratio, error))
+    return results
+
+
+# ------------------------------------------------------------------- Figure 5
+def fig5_semiclustering_iterations(
+    ctx: ExperimentContext,
+    datasets: Sequence[str] = NO_TWITTER_DATASETS,
+    ratios: Sequence[float] = PAPER_SAMPLING_RATIOS,
+    tolerances: Sequence[float] = (0.01, 0.001),
+    sampler_name: str = "BRJ",
+    base_config: Optional[SemiClusteringConfig] = None,
+) -> Dict[float, ErrorSweep]:
+    """Figure 5: relative error of predicted semi-clustering iterations."""
+    tightest = min(tolerances)
+    base = base_config or SemiClusteringConfig(tolerance=tightest)
+    base = SemiClusteringConfig(
+        c_max=base.c_max, s_max=base.s_max, v_max=base.v_max,
+        boundary_factor=base.boundary_factor, tolerance=tightest,
+        max_iterations=base.max_iterations,
+    )
+    results: Dict[float, ErrorSweep] = {
+        tol: ErrorSweep(
+            title=f"Figure 5: semi-clustering iteration error (tau={tol})",
+            x_label="sampling_ratio",
+            sweep={},
+        )
+        for tol in tolerances
+    }
+    algorithm = SemiClustering()
+    for dataset in datasets:
+        graph = ctx.load(dataset)
+        actual = ctx.actual_run(dataset, algorithm, base)
+        actual_iters = {tol: iterations_for_threshold(actual, tol) for tol in tolerances}
+        runner = ctx.sample_runner(algorithm, sampler_name=sampler_name)
+        prefix = DATASET_PREFIXES.get(dataset, dataset)
+        for tol in tolerances:
+            results[tol].sweep[prefix] = []
+        for ratio in ratios:
+            profile = runner.run(graph, base, ratio)
+            for tol in tolerances:
+                sample_iters = iterations_for_threshold(profile.run, tol)
+                error = signed_relative_error(sample_iters, actual_iters[tol])
+                results[tol].sweep[prefix].append((ratio, error))
+    return results
+
+
+# ------------------------------------------------------------------- Figure 6
+def fig6_topk_features(
+    ctx: ExperimentContext,
+    datasets: Sequence[str] = NO_TWITTER_DATASETS,
+    ratios: Sequence[float] = PAPER_SAMPLING_RATIOS,
+    tolerance: float = 0.001,
+    k: int = 5,
+    sampler_name: str = "BRJ",
+) -> Dict[str, ErrorSweep]:
+    """Figure 6: top-k ranking key-feature errors.
+
+    Returns two sweeps: ``"iterations"`` (top plot) and ``"remote_bytes"``
+    (bottom plot, total remote message bytes extrapolated with ``eE``).
+    """
+    iteration_sweep = ErrorSweep(
+        title=f"Figure 6 (top): top-k iteration error (tau={tolerance})",
+        x_label="sampling_ratio",
+        sweep={},
+    )
+    bytes_sweep = ErrorSweep(
+        title="Figure 6 (bottom): top-k remote message byte error",
+        x_label="sampling_ratio",
+        sweep={},
+    )
+    algorithm = TopKRanking()
+    for dataset in datasets:
+        graph = ctx.load(dataset)
+        config = ctx.topk_config(dataset, k=k, tolerance=tolerance)
+        actual = ctx.actual_run(dataset, algorithm, config)
+        actual_bytes = float(actual.total_remote_message_bytes())
+        runner = ctx.sample_runner(algorithm, sampler_name=sampler_name)
+        prefix = DATASET_PREFIXES.get(dataset, dataset)
+        iteration_sweep.sweep[prefix] = []
+        bytes_sweep.sweep[prefix] = []
+        for ratio in ratios:
+            profile = runner.run(graph, config, ratio)
+            iteration_error = signed_relative_error(profile.num_iterations, actual.num_iterations)
+            iteration_sweep.sweep[prefix].append((ratio, iteration_error))
+            predicted_bytes = profile.factors.edge_factor * sum(
+                row["RemMsgSize"] for row in profile.feature_rows(level="graph")
+            )
+            bytes_error = signed_relative_error(predicted_bytes, actual_bytes)
+            bytes_sweep.sweep[prefix].append((ratio, bytes_error))
+    return {"iterations": iteration_sweep, "remote_bytes": bytes_sweep}
+
+
+# --------------------------------------------------------------- Figures 7 & 8
+def runtime_prediction_errors(
+    ctx: ExperimentContext,
+    algorithm_factory: Callable[[], object],
+    config_builder: Callable[[ExperimentContext, str, object], object],
+    datasets: Sequence[str],
+    ratios: Sequence[float],
+    use_history: bool,
+    sampler_name: str = "BRJ",
+    title: str = "runtime prediction error",
+) -> ErrorSweep:
+    """Shared implementation of Figures 7 and 8.
+
+    For every dataset the actual run provides the ground-truth runtime; the
+    predictor is trained on sample runs (plus, when ``use_history`` is True,
+    on the actual runs of the *other* datasets) and evaluated at every
+    sampling ratio.  The per-dataset cost-model R² values are reported in the
+    sweep's extras, mirroring the R² values quoted in §5.2.
+    """
+    sweep = ErrorSweep(title=title, x_label="sampling_ratio", sweep={}, extras={})
+    history = (
+        build_history(ctx, algorithm_factory, config_builder, datasets) if use_history else None
+    )
+    r_squared: Dict[str, float] = {}
+    for dataset in datasets:
+        graph = ctx.load(dataset)
+        config = config_builder(ctx, dataset, graph)
+        actual = ctx.actual_run(dataset, algorithm_factory(), config)
+        predictor = ctx.predictor(
+            algorithm_factory(), sampler_name=sampler_name, history=history
+        )
+        prefix = DATASET_PREFIXES.get(dataset, dataset)
+        sweep.sweep[prefix] = []
+        for ratio in ratios:
+            prediction = predictor.predict(
+                graph, config, sampling_ratio=ratio, dataset_name=dataset
+            )
+            error = signed_relative_error(
+                prediction.predicted_superstep_runtime, actual.superstep_runtime
+            )
+            sweep.sweep[prefix].append((ratio, error))
+            r_squared[prefix] = prediction.cost_model.r_squared
+    sweep.extras["r_squared"] = {name: round(value, 3) for name, value in r_squared.items()}
+    sweep.extras["used_history"] = use_history
+    return sweep
+
+
+def fig7_semiclustering_runtime(
+    ctx: ExperimentContext,
+    datasets: Sequence[str] = NO_TWITTER_DATASETS,
+    ratios: Sequence[float] = PAPER_SAMPLING_RATIOS,
+    use_history: bool = False,
+    tolerance: float = 0.001,
+) -> ErrorSweep:
+    """Figure 7: semi-clustering runtime prediction error."""
+    config = SemiClusteringConfig(tolerance=tolerance)
+
+    def build_config(_ctx, _dataset, _graph):
+        return config
+
+    variant = "b) sample runs + actual runs" if use_history else "a) sample runs only"
+    return runtime_prediction_errors(
+        ctx,
+        SemiClustering,
+        build_config,
+        datasets,
+        ratios,
+        use_history,
+        title=f"Figure 7 {variant}: semi-clustering runtime error",
+    )
+
+
+def fig8_topk_runtime(
+    ctx: ExperimentContext,
+    datasets: Sequence[str] = NO_TWITTER_DATASETS,
+    ratios: Sequence[float] = PAPER_SAMPLING_RATIOS,
+    use_history: bool = False,
+    tolerance: float = 0.001,
+    k: int = 5,
+) -> ErrorSweep:
+    """Figure 8: top-k ranking runtime prediction error."""
+
+    def build_config(context, dataset, _graph):
+        return context.topk_config(dataset, k=k, tolerance=tolerance)
+
+    variant = "b) sample runs + actual runs" if use_history else "a) sample runs only"
+    return runtime_prediction_errors(
+        ctx,
+        TopKRanking,
+        build_config,
+        datasets,
+        ratios,
+        use_history,
+        title=f"Figure 8 {variant}: top-k ranking runtime error",
+    )
+
+
+# ------------------------------------------------------------------- Figure 9
+def fig9_sampling_sensitivity(
+    ctx: ExperimentContext,
+    dataset: str = "uk-2002",
+    ratios: Sequence[float] = PAPER_SAMPLING_RATIOS,
+    samplers: Sequence[str] = ("BRJ", "RJ", "MHRW"),
+    tolerance: float = 0.001,
+    k: int = 5,
+) -> Dict[str, ErrorSweep]:
+    """Figure 9: iteration-error sensitivity to the sampling technique.
+
+    Returns two sweeps (semi-clustering and top-k ranking) on ``dataset``,
+    each with one series per sampling technique.
+    """
+    graph = ctx.load(dataset)
+    results: Dict[str, ErrorSweep] = {}
+
+    sc_config = SemiClusteringConfig(tolerance=tolerance)
+    sc_actual = ctx.actual_run(dataset, SemiClustering(), sc_config)
+    sc_sweep = ErrorSweep(
+        title=f"Figure 9 (top): semi-clustering iteration error on {dataset}",
+        x_label="sampling_ratio",
+        sweep={},
+    )
+    for sampler_name in samplers:
+        runner = ctx.sample_runner(SemiClustering(), sampler_name=sampler_name)
+        points = []
+        for ratio in ratios:
+            profile = runner.run(graph, sc_config, ratio)
+            points.append(
+                (ratio, signed_relative_error(profile.num_iterations, sc_actual.num_iterations))
+            )
+        sc_sweep.sweep[sampler_name] = points
+    results["semi-clustering"] = sc_sweep
+
+    topk_config = ctx.topk_config(dataset, k=k, tolerance=tolerance)
+    topk_actual = ctx.actual_run(dataset, TopKRanking(), topk_config)
+    topk_sweep = ErrorSweep(
+        title=f"Figure 9 (bottom): top-k iteration error on {dataset}",
+        x_label="sampling_ratio",
+        sweep={},
+    )
+    for sampler_name in samplers:
+        runner = ctx.sample_runner(TopKRanking(), sampler_name=sampler_name)
+        points = []
+        for ratio in ratios:
+            profile = runner.run(graph, topk_config, ratio)
+            points.append(
+                (ratio, signed_relative_error(profile.num_iterations, topk_actual.num_iterations))
+            )
+        topk_sweep.sweep[sampler_name] = points
+    results["topk-ranking"] = topk_sweep
+    return results
+
+
+# ----------------------------------------------------------- §5.1 upper bounds
+def upper_bound_comparison(
+    ctx: ExperimentContext,
+    datasets: Sequence[str] = ALL_DATASETS,
+    epsilons: Sequence[float] = (0.1, 0.01, 0.001),
+    damping: float = 0.85,
+) -> TableResult:
+    """§5.1 "Upper Bound Estimates": analytical bound vs actual PageRank iterations."""
+    headers = ["epsilon", "analytical_bound"] + [
+        f"actual_{DATASET_PREFIXES.get(d, d)}" for d in datasets
+    ] + [f"factor_{DATASET_PREFIXES.get(d, d)}" for d in datasets]
+    tightest = min(epsilons)
+    algorithm = PageRank()
+    actual_runs = {}
+    for dataset in datasets:
+        graph = ctx.load(dataset)
+        config = PageRankConfig.for_tolerance_level(tightest, graph.num_vertices, damping=damping)
+        actual_runs[dataset] = (graph, ctx.actual_run(dataset, algorithm, config))
+    rows = []
+    for eps in epsilons:
+        bound = pagerank_iteration_upper_bound(eps, damping)
+        actuals = []
+        factors = []
+        for dataset in datasets:
+            graph, run = actual_runs[dataset]
+            iters = iterations_for_threshold(run, eps / graph.num_vertices)
+            actuals.append(iters)
+            factors.append(round(bound_misprediction_factor(bound, iters), 2))
+        rows.append([eps, bound] + actuals + factors)
+    return TableResult(
+        title="Upper bound estimates: Langville & Meyer bound vs actual iterations",
+        headers=headers,
+        rows=rows,
+    )
+
+
+# ------------------------------------------------------------------- Table 3
+def table3_overhead(
+    ctx: ExperimentContext,
+    ratios: Sequence[float] = (0.01, 0.1, 0.2, 1.0),
+    columns: Sequence[Tuple[str, str]] = (
+        ("pagerank", "uk-2002"),
+        ("pagerank", "twitter"),
+        ("semi-clustering", "uk-2002"),
+        ("connected-components", "twitter"),
+        ("topk-ranking", "uk-2002"),
+        ("neighborhood-estimation", "uk-2002"),
+    ),
+) -> TableResult:
+    """Table 3: runtime of sample runs vs actual runs (simulated seconds)."""
+    from repro.algorithms.registry import algorithm_by_name
+
+    headers = ["SR"] + [
+        f"{algorithm_by_name(alg).prefix}({DATASET_PREFIXES.get(ds, ds)})" for alg, ds in columns
+    ]
+    column_runtimes: List[Dict[float, float]] = []
+    for algorithm_name, dataset in columns:
+        algorithm = algorithm_by_name(algorithm_name)
+        graph = ctx.load(dataset)
+        config = _default_config_for(ctx, algorithm_name, dataset, graph)
+        runtimes: Dict[float, float] = {}
+        runner = ctx.sample_runner(algorithm)
+        for ratio in ratios:
+            if ratio >= 1.0:
+                result = ctx.actual_run(dataset, algorithm, config)
+                runtimes[ratio] = result.total_runtime
+            else:
+                profile = runner.run(graph, config, ratio)
+                runtimes[ratio] = profile.runtime
+        column_runtimes.append(runtimes)
+    rows = []
+    for ratio in ratios:
+        rows.append([ratio] + [round(col[ratio], 1) for col in column_runtimes])
+    return TableResult(
+        title="Table 3: runtime of sample runs and actual runs (simulated seconds)",
+        headers=headers,
+        rows=rows,
+    )
+
+
+def _default_config_for(ctx: ExperimentContext, algorithm_name: str, dataset: str, graph):
+    """Paper-default configuration for ``algorithm_name`` on ``dataset``."""
+    if algorithm_name == "pagerank":
+        return PageRankConfig.for_tolerance_level(0.001, graph.num_vertices)
+    if algorithm_name == "semi-clustering":
+        return SemiClusteringConfig(tolerance=0.001)
+    if algorithm_name == "topk-ranking":
+        return ctx.topk_config(dataset)
+    if algorithm_name == "connected-components":
+        return ConnectedComponentsConfig()
+    if algorithm_name == "neighborhood-estimation":
+        return NeighborhoodConfig()
+    raise ValueError(f"no default configuration for {algorithm_name!r}")
+
+
+# ------------------------------------------------------------------- ablations
+def ablation_transform_function(
+    ctx: ExperimentContext,
+    datasets: Sequence[str] = ("wikipedia", "uk-2002"),
+    ratios: Sequence[float] = (0.05, 0.1, 0.2),
+    epsilon: float = 0.001,
+) -> Dict[str, ErrorSweep]:
+    """Ablation: PageRank iteration error with vs without threshold scaling.
+
+    Without the transform (identity), the sample run converges too early (its
+    absolute average delta is ~1/sr larger per vertex), so iterations are
+    systematically mispredicted -- this is the paper's core argument for the
+    transform function.
+    """
+    results: Dict[str, ErrorSweep] = {}
+    algorithm = PageRank()
+    for transform, label in ((THRESHOLD_SCALING_TRANSFORM, "with-transform"),
+                             (IDENTITY_TRANSFORM, "without-transform")):
+        sweep = ErrorSweep(
+            title=f"Ablation: PageRank iteration error {label}",
+            x_label="sampling_ratio",
+            sweep={},
+        )
+        for dataset in datasets:
+            graph = ctx.load(dataset)
+            config = PageRankConfig.for_tolerance_level(epsilon, graph.num_vertices)
+            actual = ctx.actual_run(dataset, algorithm, config)
+            runner = ctx.sample_runner(algorithm, transform=transform)
+            prefix = DATASET_PREFIXES.get(dataset, dataset)
+            points = []
+            for ratio in ratios:
+                profile = runner.run(graph, config, ratio)
+                points.append(
+                    (ratio, signed_relative_error(profile.num_iterations, actual.num_iterations))
+                )
+            sweep.sweep[prefix] = points
+        results[label] = sweep
+    return results
+
+
+def ablation_feature_selection(
+    ctx: ExperimentContext,
+    dataset: str = "uk-2002",
+    ratios: Sequence[float] = (0.05, 0.1, 0.15, 0.2),
+    prediction_ratio: float = 0.1,
+    tolerance: float = 0.001,
+) -> TableResult:
+    """Ablation: forward feature selection vs using all candidate features."""
+    graph = ctx.load(dataset)
+    config = SemiClusteringConfig(tolerance=tolerance)
+    algorithm = SemiClustering()
+    actual = ctx.actual_run(dataset, algorithm, config)
+
+    rows = []
+    for label, use_selection in (("forward-selection", True), ("all-features", False)):
+        predictor = ctx.predictor(
+            SemiClustering(),
+            training_ratios=ratios,
+        )
+        predictor.cost_model_factory = lambda use=use_selection: CostModel(use_feature_selection=use)
+        prediction = predictor.predict(
+            graph, config, sampling_ratio=prediction_ratio, dataset_name=dataset
+        )
+        error = signed_relative_error(
+            prediction.predicted_superstep_runtime, actual.superstep_runtime
+        )
+        rows.append([
+            label,
+            len(prediction.cost_model.selected_features),
+            round(prediction.cost_model.r_squared, 4),
+            round(error, 4),
+        ])
+    return TableResult(
+        title=f"Ablation: cost-model feature selection (semi-clustering on {dataset})",
+        headers=["variant", "num_features", "r_squared", "runtime_error"],
+        rows=rows,
+    )

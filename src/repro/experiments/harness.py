@@ -1,0 +1,240 @@
+"""Shared machinery for regenerating the paper's experiments.
+
+:class:`ExperimentContext` bundles everything an experiment needs -- the
+simulated cluster, the dataset scale, the number of BSP workers, seeds -- and
+caches the expensive *actual runs* so that several figures can reuse them
+(e.g. the PageRank actual run feeds Figure 4, the upper-bound comparison and
+the top-k experiments).
+
+The helpers at the bottom implement the measurement conventions of §5:
+
+* signed relative errors (negative = under-prediction);
+* deriving the iteration count for a *looser* convergence threshold from the
+  convergence history of a run executed with a tighter threshold (this halves
+  the number of actual runs needed for the two tolerance levels of Figures 4
+  and 5);
+* assembling history stores for the "training with sample runs and actual
+  runs" variants of Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.topk_ranking import TopKRanking, TopKRankingConfig, config_with_ranks
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.result import RunResult
+from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.core.history import HistoryStore
+from repro.core.predictor import Predictor
+from repro.core.sample_run import SampleRunner
+from repro.core.transform import TransformFunction
+from repro.exceptions import ConfigurationError
+from repro.graph.datasets import load_dataset
+from repro.graph.digraph import DiGraph
+from repro.sampling.registry import sampler_by_name
+from repro.utils.rng import derive_seed
+from repro.utils.stats import signed_relative_error
+
+#: The sampling ratios swept by the paper's figures.
+PAPER_SAMPLING_RATIOS = (0.05, 0.1, 0.15, 0.2, 0.25)
+
+#: The training ratios used when no history exists (Figures 7a / 8a).
+PAPER_TRAINING_RATIOS = (0.05, 0.1, 0.15, 0.2)
+
+
+@dataclass
+class ExperimentContext:
+    """Execution environment shared by all experiments.
+
+    Attributes
+    ----------
+    dataset_scale:
+        Multiplier on the stand-in dataset sizes.  The full benchmarks use
+        1.0; unit tests use much smaller values.
+    num_workers:
+        BSP workers used for every run (the paper uses 29; smaller values
+        keep the pure-Python simulation fast without changing the shapes).
+    seed:
+        Master seed; per-component seeds are derived from it.
+    """
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    cost_profile: CostProfile = field(default_factory=lambda: DEFAULT_PROFILE)
+    dataset_scale: float = 1.0
+    num_workers: int = 8
+    seed: int = 42
+    max_supersteps: int = 200
+
+    _engine: BSPEngine = field(init=False, repr=False, default=None)
+    _actual_runs: Dict[Tuple[str, str, str], RunResult] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    _pagerank_outputs: Dict[str, Dict] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._engine = BSPEngine(cluster=self.cluster, cost_profile=self.cost_profile)
+
+    # ---------------------------------------------------------------- pieces
+    @property
+    def engine(self) -> BSPEngine:
+        """The shared BSP engine."""
+        return self._engine
+
+    def engine_config(self, collect_values: bool = False) -> EngineConfig:
+        """An engine configuration consistent across all experiment runs."""
+        return EngineConfig(
+            num_workers=self.num_workers,
+            max_supersteps=self.max_supersteps,
+            collect_vertex_values=collect_values,
+            runtime_seed=derive_seed(self.seed, "runtime"),
+        )
+
+    def load(self, dataset: str) -> DiGraph:
+        """Load (and cache) a stand-in dataset at the context's scale."""
+        return load_dataset(dataset, scale=self.dataset_scale, seed=self.seed)
+
+    def sampler(self, name: str = "BRJ"):
+        """Instantiate a sampler with a context-derived seed."""
+        return sampler_by_name(name, seed=derive_seed(self.seed, f"sampler-{name}"))
+
+    def sample_runner(
+        self,
+        algorithm,
+        sampler_name: str = "BRJ",
+        transform: Optional[TransformFunction] = None,
+    ) -> SampleRunner:
+        """A :class:`SampleRunner` wired to the context's engine and seeds."""
+        return SampleRunner(
+            self.engine,
+            algorithm,
+            sampler=self.sampler(sampler_name),
+            transform=transform,
+            engine_config=self.engine_config(),
+        )
+
+    def predictor(
+        self,
+        algorithm,
+        sampler_name: str = "BRJ",
+        history: Optional[HistoryStore] = None,
+        training_ratios: Sequence[float] = PAPER_TRAINING_RATIOS,
+        transform: Optional[TransformFunction] = None,
+    ) -> Predictor:
+        """A :class:`Predictor` wired to the context's engine and seeds."""
+        return Predictor(
+            self.engine,
+            algorithm,
+            sampler=self.sampler(sampler_name),
+            transform=transform,
+            history=history,
+            training_ratios=training_ratios,
+            engine_config=self.engine_config(),
+        )
+
+    # ----------------------------------------------------------- actual runs
+    def actual_run(
+        self, dataset: str, algorithm, config, collect_values: bool = False
+    ) -> RunResult:
+        """Execute (or fetch from cache) the actual run of an algorithm."""
+        key = (dataset, algorithm.name, _config_key(algorithm, config))
+        if key not in self._actual_runs or (
+            collect_values and self._actual_runs[key].vertex_values is None
+        ):
+            graph = self.load(dataset)
+            result = self.engine.run(
+                graph,
+                algorithm,
+                config=config,
+                engine_config=self.engine_config(collect_values=collect_values),
+            )
+            self._actual_runs[key] = result
+        return self._actual_runs[key]
+
+    def pagerank_output(self, dataset: str, epsilon: float = 0.001) -> Dict:
+        """PageRank ranks of ``dataset`` (cached), used as top-k ranking input."""
+        if dataset not in self._pagerank_outputs:
+            graph = self.load(dataset)
+            config = PageRankConfig.for_tolerance_level(epsilon, graph.num_vertices)
+            result = self.actual_run(dataset, PageRank(), config, collect_values=True)
+            self._pagerank_outputs[dataset] = dict(result.vertex_values)
+        return self._pagerank_outputs[dataset]
+
+    def topk_config(self, dataset: str, k: int = 5, tolerance: float = 0.001) -> TopKRankingConfig:
+        """A top-k configuration carrying the dataset's PageRank output."""
+        ranks = self.pagerank_output(dataset)
+        return config_with_ranks(TopKRankingConfig(k=k, tolerance=tolerance), ranks)
+
+    def clear_caches(self) -> None:
+        """Drop all cached actual runs and PageRank outputs."""
+        self._actual_runs.clear()
+        self._pagerank_outputs.clear()
+
+
+# --------------------------------------------------------------------- helpers
+def iterations_for_threshold(run: RunResult, threshold: float) -> int:
+    """Iteration count a run *would* have had under a looser threshold.
+
+    Requires the run to have been executed with a threshold at least as tight
+    as ``threshold`` and a convergence metric that decreases below the
+    threshold exactly once (PageRank's average delta, the update ratios of
+    semi-clustering and top-k).  The first superstep never evaluates the
+    metric (index 0 of the history corresponds to superstep 1), matching the
+    engine's convergence protocol.
+    """
+    if not run.convergence_history:
+        raise ConfigurationError("run has no convergence history")
+    for index, metric in enumerate(run.convergence_history):
+        if metric < threshold:
+            return index + 2  # superstep index (index + 1) plus one for superstep 0
+    return run.num_iterations
+
+
+def iteration_error(
+    sample_iterations: int, actual_iterations: int
+) -> float:
+    """Signed relative error of a predicted iteration count."""
+    return signed_relative_error(sample_iterations, actual_iterations)
+
+
+def build_history(
+    ctx: ExperimentContext,
+    algorithm_factory,
+    config_builder,
+    datasets: Sequence[str],
+) -> HistoryStore:
+    """History store containing the actual runs of ``datasets``.
+
+    ``algorithm_factory()`` builds a fresh algorithm instance and
+    ``config_builder(ctx, dataset, graph)`` its per-dataset configuration.
+    The caller excludes the predicted dataset at training time via
+    :meth:`HistoryStore.training_table`'s ``exclude_dataset``.
+    """
+    history = HistoryStore()
+    for dataset in datasets:
+        graph = ctx.load(dataset)
+        algorithm = algorithm_factory()
+        config = config_builder(ctx, dataset, graph)
+        run = ctx.actual_run(dataset, algorithm, config)
+        history.record(run, dataset=dataset)
+    return history
+
+
+def sweep_to_series(
+    sweep: Dict[str, List[Tuple[float, float]]]
+) -> Tuple[List[float], Dict[str, List[float]]]:
+    """Convert ``{name: [(ratio, value)]}`` into (ratios, {name: values})."""
+    ratios = sorted({ratio for points in sweep.values() for ratio, _ in points})
+    series: Dict[str, List[float]] = {}
+    for name, points in sweep.items():
+        lookup = dict(points)
+        series[name] = [lookup.get(ratio, float("nan")) for ratio in ratios]
+    return ratios, series
+
+
+def _config_key(algorithm, config) -> str:
+    """A cache key for a configuration (scalar fields only)."""
+    return repr(sorted(algorithm.config_dict(config).items()))

@@ -1,0 +1,38 @@
+"""Plain-text rendering of experiment results.
+
+Thin wrappers over :mod:`repro.utils.tables` that know about the experiment
+result structures (per-dataset error series, table rows), so that every bench
+prints in the same layout: one row per x value (sampling ratio), one column
+per dataset or technique -- exactly the series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.utils.tables import format_series, format_table
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
+    """Render a plain table (Table 2 / Table 3 style)."""
+    return format_table(headers, rows, title=title)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render one or more named series against a shared x axis (figure style)."""
+    return format_series(x_label, x_values, series, title=title)
+
+
+def render_error_sweep(result, title: str) -> str:
+    """Render a sweep result that maps dataset -> [(ratio, error), ...]."""
+    ratios: List[float] = sorted({ratio for points in result.values() for ratio, _ in points})
+    series: Dict[str, List[object]] = {}
+    for name, points in result.items():
+        lookup = {ratio: error for ratio, error in points}
+        series[name] = [round(lookup[r], 4) if r in lookup else "" for r in ratios]
+    return render_series("sampling_ratio", ratios, series, title=title)

@@ -1,0 +1,30 @@
+"""Graph substrate: directed graphs, generators, properties, I/O, partitioning.
+
+This package is the stand-in for the paper's input layer (HDFS edge lists of
+real web/social graphs).  It provides:
+
+* :class:`repro.graph.digraph.DiGraph` -- the in-memory directed graph used by
+  the BSP engine, the samplers and the property analysers.
+* :mod:`repro.graph.generators` -- synthetic scale-free / non-scale-free graph
+  generators used to build laptop-scale stand-ins for the paper's datasets.
+* :mod:`repro.graph.datasets` -- the registry of stand-in datasets (LiveJournal,
+  Wikipedia, Twitter, UK-2002) with shapes calibrated to the originals.
+* :mod:`repro.graph.properties` -- degree statistics, effective diameter,
+  clustering coefficient and connectivity, used both by the samplers'
+  quality report and by the Table 2 benchmark.
+* :mod:`repro.graph.partition` -- vertex partitioners mapping vertices to BSP
+  workers (hash partitioning is Giraph's default).
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.partition import ChunkPartitioner, HashPartitioner, Partitioning, RangePartitioner
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "HashPartitioner",
+    "RangePartitioner",
+    "ChunkPartitioner",
+    "Partitioning",
+]

@@ -1,0 +1,86 @@
+"""Incremental graph builder with validation and deduplication options.
+
+:class:`GraphBuilder` is a convenience layer on top of :class:`DiGraph` for
+code that assembles graphs from noisy sources (files, generators): it can
+drop self loops, deduplicate parallel edges, and report simple statistics
+about what was filtered out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Set, Tuple
+
+from repro.graph.digraph import DiGraph, VertexId
+
+
+@dataclass
+class BuilderStats:
+    """Statistics about edges accepted and rejected by a :class:`GraphBuilder`."""
+
+    edges_added: int = 0
+    self_loops_dropped: int = 0
+    duplicates_dropped: int = 0
+
+    def as_dict(self) -> dict:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "edges_added": self.edges_added,
+            "self_loops_dropped": self.self_loops_dropped,
+            "duplicates_dropped": self.duplicates_dropped,
+        }
+
+
+@dataclass
+class GraphBuilder:
+    """Build a :class:`DiGraph` edge by edge with optional filtering.
+
+    Parameters
+    ----------
+    name:
+        Name given to the built graph.
+    allow_self_loops:
+        When False (default) edges ``v -> v`` are silently dropped and counted.
+    deduplicate:
+        When True parallel edges are collapsed to a single edge.
+    """
+
+    name: str = "graph"
+    allow_self_loops: bool = False
+    deduplicate: bool = False
+    _graph: DiGraph = field(init=False)
+    _seen: Set[Tuple[VertexId, VertexId]] = field(init=False, default_factory=set)
+    stats: BuilderStats = field(init=False, default_factory=BuilderStats)
+
+    def __post_init__(self) -> None:
+        self._graph = DiGraph(name=self.name)
+
+    def add_vertex(self, vertex: VertexId) -> "GraphBuilder":
+        """Add an isolated vertex."""
+        self._graph.add_vertex(vertex)
+        return self
+
+    def add_edge(self, source: VertexId, target: VertexId, weight: float = 1.0) -> "GraphBuilder":
+        """Add one edge, applying the self-loop / duplicate policies."""
+        if source == target and not self.allow_self_loops:
+            self.stats.self_loops_dropped += 1
+            return self
+        if self.deduplicate:
+            key = (source, target)
+            if key in self._seen:
+                self.stats.duplicates_dropped += 1
+                return self
+            self._seen.add(key)
+        self._graph.add_edge(source, target, weight)
+        self.stats.edges_added += 1
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[VertexId, VertexId]]) -> "GraphBuilder":
+        """Add many ``(source, target)`` edges."""
+        for source, target in edges:
+            self.add_edge(source, target)
+        return self
+
+    def build(self) -> DiGraph:
+        """Return the built graph."""
+        return self._graph

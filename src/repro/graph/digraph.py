@@ -1,0 +1,208 @@
+"""A lightweight directed graph with optional edge weights.
+
+The graph is the only data structure the rest of the library operates on: the
+BSP engine iterates over vertices and their outgoing edges, the samplers walk
+outgoing edges and the property analysers need both in- and out-adjacency.
+Vertices are identified by arbitrary hashable ids (the stand-in datasets use
+contiguous integers, but nothing relies on that).
+
+Design notes
+------------
+* Out-adjacency is the primary structure (``dict`` of vertex -> list of
+  (target, weight) pairs); in-degree counts are maintained incrementally so
+  that degree statistics are O(1) per vertex.
+* Parallel edges are allowed (Giraph allows them too); self-loops are allowed
+  but the generators avoid them.
+* ``as_undirected`` mirrors the paper's setup step: "In Giraph, which
+  inherently supports only directed graphs, a reverse edge is added to each
+  edge" for algorithms that operate on undirected graphs (semi-clustering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+
+VertexId = Hashable
+Edge = Tuple[VertexId, VertexId]
+WeightedEdge = Tuple[VertexId, VertexId, float]
+
+
+class DiGraph:
+    """Directed graph with weighted edges and O(1) degree queries."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._out: Dict[VertexId, List[Tuple[VertexId, float]]] = {}
+        self._in_degree: Dict[VertexId, int] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------ build
+    def add_vertex(self, vertex: VertexId) -> None:
+        """Add an isolated vertex; no-op if it already exists."""
+        if vertex not in self._out:
+            self._out[vertex] = []
+            self._in_degree[vertex] = 0
+
+    def add_edge(self, source: VertexId, target: VertexId, weight: float = 1.0) -> None:
+        """Add a directed edge, creating endpoints as needed."""
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._out[source].append((target, float(weight)))
+        self._in_degree[target] += 1
+        self._num_edges += 1
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add edges from an iterable of ``(source, target)`` pairs."""
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    def add_weighted_edges(self, edges: Iterable[WeightedEdge]) -> None:
+        """Add edges from an iterable of ``(source, target, weight)`` triples."""
+        for source, target, weight in edges:
+            self.add_edge(source, target, weight)
+
+    # ----------------------------------------------------------------- access
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges (parallel edges counted individually)."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[VertexId]:
+        """Iterate over vertex ids in insertion order."""
+        return iter(self._out)
+
+    def has_vertex(self, vertex: VertexId) -> bool:
+        """Return True if ``vertex`` is in the graph."""
+        return vertex in self._out
+
+    def has_edge(self, source: VertexId, target: VertexId) -> bool:
+        """Return True if at least one ``source -> target`` edge exists."""
+        if source not in self._out:
+            return False
+        return any(t == target for t, _ in self._out[source])
+
+    def successors(self, vertex: VertexId) -> List[VertexId]:
+        """Return the list of out-neighbours of ``vertex`` (with duplicates)."""
+        self._require(vertex)
+        return [target for target, _ in self._out[vertex]]
+
+    def out_edges(self, vertex: VertexId) -> List[Tuple[VertexId, float]]:
+        """Return ``(target, weight)`` pairs for the outgoing edges of ``vertex``."""
+        self._require(vertex)
+        return list(self._out[vertex])
+
+    def out_degree(self, vertex: VertexId) -> int:
+        """Number of outgoing edges of ``vertex``."""
+        self._require(vertex)
+        return len(self._out[vertex])
+
+    def in_degree(self, vertex: VertexId) -> int:
+        """Number of incoming edges of ``vertex``."""
+        self._require(vertex)
+        return self._in_degree[vertex]
+
+    def degree(self, vertex: VertexId) -> int:
+        """Total (in + out) degree of ``vertex``."""
+        return self.in_degree(vertex) + self.out_degree(vertex)
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over all edges as ``(source, target, weight)`` triples."""
+        for source, targets in self._out.items():
+            for target, weight in targets:
+                yield source, target, weight
+
+    def out_degree_sequence(self) -> List[int]:
+        """Out-degrees of all vertices, in vertex-iteration order."""
+        return [len(targets) for targets in self._out.values()]
+
+    def in_degree_sequence(self) -> List[int]:
+        """In-degrees of all vertices, in vertex-iteration order."""
+        return [self._in_degree[v] for v in self._out]
+
+    # ------------------------------------------------------------ derivations
+    def subgraph(self, vertices: Sequence[VertexId], name: Optional[str] = None) -> "DiGraph":
+        """Return the induced subgraph on ``vertices``.
+
+        Edges are kept only when both endpoints are in ``vertices``.  This is
+        the operation the samplers use to materialise a sample graph from the
+        set of picked vertex ids.
+        """
+        keep = set(vertices)
+        sub = DiGraph(name=name or f"{self.name}-sub")
+        for vertex in vertices:
+            if vertex in self._out:
+                sub.add_vertex(vertex)
+        for vertex in vertices:
+            if vertex not in self._out:
+                continue
+            for target, weight in self._out[vertex]:
+                if target in keep:
+                    sub.add_edge(vertex, target, weight)
+        return sub
+
+    def as_undirected(self, name: Optional[str] = None) -> "DiGraph":
+        """Return a symmetrised copy: every edge gets a reverse edge.
+
+        Mirrors the paper's preprocessing for algorithms that need undirected
+        input (semi-clustering): "a reverse edge is added to each edge".
+        Existing reverse edges are not deduplicated, matching that description.
+        """
+        sym = DiGraph(name=name or f"{self.name}-undirected")
+        for vertex in self._out:
+            sym.add_vertex(vertex)
+        for source, target, weight in self.edges():
+            sym.add_edge(source, target, weight)
+            sym.add_edge(target, source, weight)
+        return sym
+
+    def reverse(self, name: Optional[str] = None) -> "DiGraph":
+        """Return a copy with every edge direction flipped."""
+        rev = DiGraph(name=name or f"{self.name}-reversed")
+        for vertex in self._out:
+            rev.add_vertex(vertex)
+        for source, target, weight in self.edges():
+            rev.add_edge(target, source, weight)
+        return rev
+
+    def copy(self, name: Optional[str] = None) -> "DiGraph":
+        """Return a deep copy of the graph structure."""
+        dup = DiGraph(name=name or self.name)
+        for vertex in self._out:
+            dup.add_vertex(vertex)
+        for source, target, weight in self.edges():
+            dup.add_edge(source, target, weight)
+        return dup
+
+    def relabel_to_integers(self, name: Optional[str] = None) -> Tuple["DiGraph", Dict[VertexId, int]]:
+        """Return a copy with vertices relabelled ``0..n-1`` plus the mapping."""
+        mapping = {vertex: index for index, vertex in enumerate(self._out)}
+        relabelled = DiGraph(name=name or f"{self.name}-int")
+        for vertex in self._out:
+            relabelled.add_vertex(mapping[vertex])
+        for source, target, weight in self.edges():
+            relabelled.add_edge(mapping[source], mapping[target], weight)
+        return relabelled, mapping
+
+    # -------------------------------------------------------------- internals
+    def _require(self, vertex: VertexId) -> None:
+        if vertex not in self._out:
+            raise GraphError(f"vertex {vertex!r} is not in graph {self.name!r}")
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DiGraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )

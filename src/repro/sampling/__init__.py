@@ -1,0 +1,41 @@
+"""Graph sampling techniques used for PREDIcT's sample runs.
+
+The sample run executes the algorithm on a small sample of the input graph, so
+the sampling technique must preserve the graph properties that drive
+convergence (connectivity, in/out-degree proportionality, effective diameter).
+Following §3.2.1 of the paper we implement:
+
+* :class:`RandomJump` (RJ) -- random walks with uniform restarts, the
+  Leskovec & Faloutsos technique the paper starts from;
+* :class:`BiasedRandomJump` (BRJ) -- the paper's contribution: walks restart
+  only from the top out-degree "hub" vertices, trading sampling uniformity for
+  connectivity; the paper's default;
+* :class:`MetropolisHastingsRandomWalk` (MHRW) -- the unbiased-degree walk
+  used in the Fig. 9 sensitivity analysis;
+* :class:`RandomWalkSampler` and :class:`ForestFire` -- additional standard
+  techniques, useful for ablations;
+* :func:`repro.sampling.induced.induced_sample` -- turns the picked vertex set
+  into an induced sample subgraph;
+* :mod:`repro.sampling.quality` -- D-statistics and property-preservation
+  reports comparing sample and original graphs.
+"""
+
+from repro.sampling.base import SampleResult, VertexSampler
+from repro.sampling.biased_random_jump import BiasedRandomJump
+from repro.sampling.forest_fire import ForestFire
+from repro.sampling.mhrw import MetropolisHastingsRandomWalk
+from repro.sampling.random_jump import RandomJump
+from repro.sampling.random_walk import RandomWalkSampler
+from repro.sampling.registry import available_samplers, sampler_by_name
+
+__all__ = [
+    "VertexSampler",
+    "SampleResult",
+    "RandomJump",
+    "BiasedRandomJump",
+    "MetropolisHastingsRandomWalk",
+    "RandomWalkSampler",
+    "ForestFire",
+    "sampler_by_name",
+    "available_samplers",
+]

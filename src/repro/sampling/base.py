@@ -1,0 +1,173 @@
+"""Sampler interface and shared random-walk machinery.
+
+Every sampler picks a set of vertices whose size satisfies the requested
+sampling ratio and returns a :class:`SampleResult`: the picked vertices, the
+induced sample subgraph and bookkeeping (walks performed, restarts, ...).
+
+The paper's samplers are all walk-based, so the base class provides the
+common loop: maintain a current vertex, follow a random outgoing edge, restart
+with probability ``restart_probability`` (p = 0.15 in the evaluation), and
+jump out of dead ends (vertices without outgoing edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import SamplingError
+from repro.graph.digraph import DiGraph, VertexId
+from repro.sampling.induced import induced_sample
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class SampleResult:
+    """The outcome of sampling a graph."""
+
+    technique: str
+    ratio: float
+    vertices: List[VertexId]
+    graph: DiGraph
+    seed_vertices: List[VertexId] = field(default_factory=list)
+    num_walks: int = 0
+    num_steps: int = 0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of sampled vertices."""
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the induced sample graph."""
+        return self.graph.num_edges
+
+    def vertex_scaling_factor(self, original: DiGraph) -> float:
+        """The extrapolation factor on vertices ``eV = |V_G| / |V_S|``."""
+        return original.num_vertices / max(1, self.num_vertices)
+
+    def edge_scaling_factor(self, original: DiGraph) -> float:
+        """The extrapolation factor on edges ``eE = |E_G| / |E_S|``."""
+        return original.num_edges / max(1, self.num_edges)
+
+
+class VertexSampler:
+    """Interface: sample a fraction of a graph's vertices."""
+
+    #: Name used by the registry and the sensitivity benchmarks.
+    name: str = "sampler"
+
+    def __init__(self, restart_probability: float = 0.15, seed: SeedLike = None) -> None:
+        if not 0.0 < restart_probability <= 1.0:
+            raise SamplingError("restart_probability must be in (0, 1]")
+        self.restart_probability = restart_probability
+        self.seed = seed
+
+    # ------------------------------------------------------------------ API
+    def sample(self, graph: DiGraph, ratio: float) -> SampleResult:
+        """Sample ``ratio`` of the graph's vertices and return the result."""
+        self._validate(graph, ratio)
+        rng = make_rng(self.seed)
+        target = self.target_size(graph, ratio)
+        picked, stats = self._pick_vertices(graph, target, rng)
+        if len(picked) < target:
+            raise SamplingError(
+                f"{self.name} picked only {len(picked)} of {target} requested vertices"
+            )
+        sample_graph = induced_sample(graph, picked, name=f"{graph.name}-{self.name}-{ratio}")
+        return SampleResult(
+            technique=self.name,
+            ratio=ratio,
+            vertices=picked,
+            graph=sample_graph,
+            seed_vertices=stats.get("seeds", []),
+            num_walks=int(stats.get("walks", 0)),
+            num_steps=int(stats.get("steps", 0)),
+        )
+
+    def _pick_vertices(self, graph: DiGraph, target: int, rng) -> tuple:
+        """Return ``(picked_vertices, stats_dict)``; implemented by subclasses."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def target_size(graph: DiGraph, ratio: float) -> int:
+        """Number of vertices a sample of ``ratio`` must contain."""
+        return max(1, int(round(graph.num_vertices * ratio)))
+
+    @staticmethod
+    def _validate(graph: DiGraph, ratio: float) -> None:
+        if graph.num_vertices == 0:
+            raise SamplingError("cannot sample an empty graph")
+        if not 0.0 < ratio <= 1.0:
+            raise SamplingError(f"sampling ratio must be in (0, 1], got {ratio}")
+
+    @staticmethod
+    def _uniform_vertex(vertices: Sequence[VertexId], rng) -> VertexId:
+        return vertices[int(rng.integers(0, len(vertices)))]
+
+    @staticmethod
+    def _random_successor(graph: DiGraph, vertex: VertexId, rng) -> Optional[VertexId]:
+        """A uniformly random out-neighbour of ``vertex`` (None at dead ends)."""
+        successors = graph.successors(vertex)
+        if not successors:
+            return None
+        return successors[int(rng.integers(0, len(successors)))]
+
+    def _walk_until(
+        self,
+        graph: DiGraph,
+        target: int,
+        rng,
+        pick_seed,
+        accept_step=None,
+    ) -> tuple:
+        """Shared walk-with-restart loop.
+
+        ``pick_seed(rng)`` returns the start vertex of a new walk.
+        ``accept_step(current, proposed, rng)`` may veto a proposed move
+        (Metropolis-Hastings); None accepts every move.  Vertices visited by
+        the walk are added to the sample until ``target`` distinct vertices
+        are collected.
+        """
+        picked: List[VertexId] = []
+        picked_set = set()
+        walks = 0
+        steps = 0
+        max_steps = max(1000, 200 * target)
+
+        current = pick_seed(rng)
+        walks += 1
+        self._add(current, picked, picked_set)
+
+        while len(picked) < target and steps < max_steps:
+            steps += 1
+            restart = rng.random() < self.restart_probability
+            proposed = None if restart else self._random_successor(graph, current, rng)
+            if proposed is None:
+                current = pick_seed(rng)
+                walks += 1
+                self._add(current, picked, picked_set)
+                continue
+            if accept_step is not None and not accept_step(current, proposed, rng):
+                continue
+            current = proposed
+            self._add(current, picked, picked_set)
+
+        if len(picked) < target:
+            # The walk got stuck (e.g. tiny strongly-connected region); fill
+            # the remainder uniformly at random so the requested ratio is met.
+            remaining = [v for v in graph.vertices() if v not in picked_set]
+            rng.shuffle(remaining)
+            for vertex in remaining[: target - len(picked)]:
+                self._add(vertex, picked, picked_set)
+
+        return picked, {"walks": walks, "steps": steps}
+
+    @staticmethod
+    def _add(vertex: VertexId, picked: List[VertexId], picked_set: set) -> None:
+        if vertex not in picked_set:
+            picked_set.add(vertex)
+            picked.append(vertex)

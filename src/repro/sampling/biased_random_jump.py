@@ -1,0 +1,53 @@
+"""Biased Random Jump (BRJ) sampling -- the paper's default technique.
+
+BRJ differs from Random Jump in how walks are (re)started: instead of jumping
+to an arbitrary vertex, BRJ picks ``k`` *seed vertices* in decreasing order of
+out-degree (k = 1% of the vertices in the evaluation) and every new walk
+starts from one of those hubs, chosen uniformly at random.
+
+The intuition (§3.2.1): the convergence of the algorithms PREDIcT targets is
+"dictated" by highly connected vertices, so biasing the sample towards the
+core of the network keeps the sample connected and preserves the properties
+that determine the number of iterations, especially at small sampling ratios
+where uniform jumps tend to fragment the sample.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SamplingError
+from repro.graph.digraph import DiGraph
+from repro.sampling.base import VertexSampler
+from repro.utils.rng import SeedLike
+
+
+class BiasedRandomJump(VertexSampler):
+    """Random walks restarted from the highest out-degree vertices."""
+
+    name = "BRJ"
+
+    def __init__(
+        self,
+        restart_probability: float = 0.15,
+        seed_fraction: float = 0.01,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(restart_probability=restart_probability, seed=seed)
+        if not 0.0 < seed_fraction <= 1.0:
+            raise SamplingError("seed_fraction must be in (0, 1]")
+        self.seed_fraction = seed_fraction
+
+    def _pick_vertices(self, graph: DiGraph, target: int, rng):
+        seeds = self.select_seeds(graph)
+
+        def pick_seed(generator):
+            return seeds[int(generator.integers(0, len(seeds)))]
+
+        picked, stats = self._walk_until(graph, target, rng, pick_seed)
+        stats["seeds"] = seeds
+        return picked, stats
+
+    def select_seeds(self, graph: DiGraph):
+        """Return the top ``seed_fraction`` of vertices by out-degree."""
+        num_seeds = max(1, int(round(graph.num_vertices * self.seed_fraction)))
+        ranked = sorted(graph.vertices(), key=graph.out_degree, reverse=True)
+        return ranked[:num_seeds]

@@ -1,0 +1,18 @@
+"""Materialising a sample graph from a set of picked vertices.
+
+All the samplers pick *vertices*; the sample graph handed to the sample run is
+the subgraph induced by those vertices (edges whose endpoints are both in the
+sample).  Isolated helper so that alternative materialisations (e.g. keeping
+walked edges only) can be added without touching the samplers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.digraph import DiGraph, VertexId
+
+
+def induced_sample(graph: DiGraph, vertices: Sequence[VertexId], name: str | None = None) -> DiGraph:
+    """Return the subgraph of ``graph`` induced by ``vertices``."""
+    return graph.subgraph(vertices, name=name)

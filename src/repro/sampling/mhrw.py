@@ -1,0 +1,37 @@
+"""Metropolis-Hastings Random Walk (MHRW) sampling.
+
+The technique of Gjoka et al. used in the paper's sensitivity analysis
+(Fig. 9): a random walk whose transitions are corrected with the
+Metropolis-Hastings acceptance rule so that the stationary distribution over
+vertices is uniform, i.e. the walk's inherent bias towards high-degree
+vertices is removed.  A proposed move from ``v`` to ``w`` is accepted with
+probability ``min(1, degree(v) / degree(w))``; otherwise the walk stays at
+``v``.  Like the other samplers it restarts with probability ``p``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.sampling.base import VertexSampler
+
+
+class MetropolisHastingsRandomWalk(VertexSampler):
+    """Degree-unbiased random walk sampling."""
+
+    name = "MHRW"
+
+    def _pick_vertices(self, graph: DiGraph, target: int, rng):
+        vertices = list(graph.vertices())
+
+        def pick_seed(generator):
+            return self._uniform_vertex(vertices, generator)
+
+        def accept_step(current, proposed, generator) -> bool:
+            current_degree = max(1, graph.out_degree(current))
+            proposed_degree = max(1, graph.out_degree(proposed))
+            acceptance = min(1.0, current_degree / proposed_degree)
+            return generator.random() < acceptance
+
+        picked, stats = self._walk_until(graph, target, rng, pick_seed, accept_step=accept_step)
+        stats["seeds"] = []
+        return picked, stats

@@ -1,0 +1,31 @@
+"""Random Jump (RJ) sampling.
+
+The technique from Leskovec & Faloutsos that the paper adopts as a baseline:
+a random walk over outgoing edges that, with probability ``p`` (0.15 in the
+evaluation), jumps to a *uniformly random* vertex and starts a new walk.
+Jumping (rather than restarting at the same seed) guarantees the walk cannot
+get stuck in an isolated region, while returning to already-visited vertices
+over different edges preserves connectivity and in/out-degree proportionality
+reasonably well.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.sampling.base import VertexSampler
+
+
+class RandomJump(VertexSampler):
+    """Random walk with uniform random jumps."""
+
+    name = "RJ"
+
+    def _pick_vertices(self, graph: DiGraph, target: int, rng):
+        vertices = list(graph.vertices())
+
+        def pick_seed(generator):
+            return self._uniform_vertex(vertices, generator)
+
+        picked, stats = self._walk_until(graph, target, rng, pick_seed)
+        stats["seeds"] = []
+        return picked, stats

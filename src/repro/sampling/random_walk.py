@@ -1,0 +1,69 @@
+"""Plain Random Walk (RW) sampling with restart to the walk's own seed.
+
+The classic Leskovec & Faloutsos random-walk sampler: the walk restarts (with
+probability ``p``) at the *same* seed vertex rather than jumping to a random
+one.  When the walk gets stuck (the sample stops growing for a while), a new
+seed is drawn -- otherwise a single poorly-connected seed could prevent the
+sampler from ever reaching the requested ratio.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.digraph import DiGraph, VertexId
+from repro.sampling.base import VertexSampler
+
+
+class RandomWalkSampler(VertexSampler):
+    """Random walk with restart to the current seed."""
+
+    name = "RW"
+
+    #: Number of consecutive non-growing steps after which a new seed is drawn.
+    STALL_LIMIT = 100
+
+    def _pick_vertices(self, graph: DiGraph, target: int, rng):
+        vertices = list(graph.vertices())
+        picked: List[VertexId] = []
+        picked_set = set()
+        walks = 0
+        steps = 0
+        max_steps = max(1000, 200 * target)
+
+        seed_vertex = self._uniform_vertex(vertices, rng)
+        current = seed_vertex
+        walks += 1
+        self._add(current, picked, picked_set)
+        stalled = 0
+
+        while len(picked) < target and steps < max_steps:
+            steps += 1
+            before = len(picked)
+            if rng.random() < self.restart_probability:
+                current = seed_vertex
+            else:
+                proposed = self._random_successor(graph, current, rng)
+                if proposed is None:
+                    current = seed_vertex
+                else:
+                    current = proposed
+                    self._add(current, picked, picked_set)
+            if len(picked) == before:
+                stalled += 1
+                if stalled >= self.STALL_LIMIT:
+                    seed_vertex = self._uniform_vertex(vertices, rng)
+                    current = seed_vertex
+                    walks += 1
+                    self._add(current, picked, picked_set)
+                    stalled = 0
+            else:
+                stalled = 0
+
+        if len(picked) < target:
+            remaining = [v for v in graph.vertices() if v not in picked_set]
+            rng.shuffle(remaining)
+            for vertex in remaining[: target - len(picked)]:
+                self._add(vertex, picked, picked_set)
+
+        return picked, {"walks": walks, "steps": steps, "seeds": []}

@@ -1,0 +1,37 @@
+"""Name-based registry of sampling techniques (used by the Fig. 9 benches)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ConfigurationError
+from repro.sampling.base import VertexSampler
+from repro.sampling.biased_random_jump import BiasedRandomJump
+from repro.sampling.forest_fire import ForestFire
+from repro.sampling.mhrw import MetropolisHastingsRandomWalk
+from repro.sampling.random_jump import RandomJump
+from repro.sampling.random_walk import RandomWalkSampler
+from repro.utils.rng import SeedLike
+
+_FACTORIES: Dict[str, Callable[[SeedLike], VertexSampler]] = {
+    "BRJ": lambda seed: BiasedRandomJump(seed=seed),
+    "RJ": lambda seed: RandomJump(seed=seed),
+    "MHRW": lambda seed: MetropolisHastingsRandomWalk(seed=seed),
+    "RW": lambda seed: RandomWalkSampler(seed=seed),
+    "FF": lambda seed: ForestFire(seed=seed),
+}
+
+
+def available_samplers() -> List[str]:
+    """Return the names of all registered sampling techniques."""
+    return list(_FACTORIES)
+
+
+def sampler_by_name(name: str, seed: SeedLike = None) -> VertexSampler:
+    """Instantiate the sampler registered under ``name``."""
+    key = name.upper()
+    if key not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown sampler {name!r}; available: {', '.join(_FACTORIES)}"
+        )
+    return _FACTORIES[key](seed)

@@ -1,0 +1,27 @@
+"""Small shared utilities: deterministic RNG helpers, statistics, tables."""
+
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.stats import (
+    coefficient_of_determination,
+    cumulative_distribution,
+    d_statistic,
+    geometric_mean,
+    mean_absolute_relative_error,
+    relative_error,
+    signed_relative_error,
+)
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "make_rng",
+    "spawn_rng",
+    "relative_error",
+    "signed_relative_error",
+    "mean_absolute_relative_error",
+    "coefficient_of_determination",
+    "cumulative_distribution",
+    "d_statistic",
+    "geometric_mean",
+    "format_table",
+    "format_series",
+]

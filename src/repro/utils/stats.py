@@ -1,0 +1,112 @@
+"""Statistical helpers used throughout the evaluation.
+
+The paper reports *signed relative errors* (negative = under-prediction,
+positive = over-prediction), the coefficient of determination R² of the fitted
+cost models, and uses the Kolmogorov-Smirnov D-statistic (following Leskovec &
+Faloutsos, KDD 2006) to measure how well a sample preserves a distributional
+property of the original graph.  All of those metrics live here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def signed_relative_error(predicted: float, actual: float) -> float:
+    """Return ``(predicted - actual) / actual``.
+
+    Negative values are under-predictions, positive values over-predictions,
+    matching the sign convention of the paper's figures.  ``actual`` must be
+    non-zero; a zero actual with a zero prediction counts as a perfect
+    prediction (0.0 error).
+    """
+    if actual == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return (float(predicted) - float(actual)) / float(actual)
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """Return the absolute relative error ``|predicted - actual| / actual``."""
+    return abs(signed_relative_error(predicted, actual))
+
+
+def mean_absolute_relative_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Mean of absolute relative errors over paired sequences."""
+    pred = np.asarray(predicted, dtype=float)
+    act = np.asarray(actual, dtype=float)
+    if pred.shape != act.shape:
+        raise ValueError("predicted and actual must have the same length")
+    if pred.size == 0:
+        raise ValueError("cannot compute error of empty sequences")
+    errors = [relative_error(p, a) for p, a in zip(pred, act)]
+    return float(np.mean(errors))
+
+
+def coefficient_of_determination(
+    actual: Sequence[float], predicted: Sequence[float]
+) -> float:
+    """Return R², the coefficient of determination of ``predicted`` vs ``actual``.
+
+    R² = 1 - SS_res / SS_tot.  When the actual values are constant the total
+    sum of squares is zero; we then return 1.0 for a perfect fit and 0.0
+    otherwise, which is the conventional degenerate-case handling.
+    """
+    act = np.asarray(actual, dtype=float)
+    pred = np.asarray(predicted, dtype=float)
+    if act.shape != pred.shape:
+        raise ValueError("actual and predicted must have the same length")
+    if act.size == 0:
+        raise ValueError("cannot compute R^2 of empty sequences")
+    ss_res = float(np.sum((act - pred) ** 2))
+    ss_tot = float(np.sum((act - np.mean(act)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def cumulative_distribution(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cdf)`` for an empirical distribution."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    cdf = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, cdf
+
+
+def d_statistic(sample: Iterable[float], population: Iterable[float]) -> float:
+    """Kolmogorov-Smirnov D-statistic between two empirical distributions.
+
+    Used (as in Leskovec & Faloutsos) to score how closely the property
+    distribution of a sampled graph matches that of the original graph.
+    Smaller is better; 0 means identical empirical CDFs.
+    """
+    s_vals, s_cdf = cumulative_distribution(sample)
+    p_vals, p_cdf = cumulative_distribution(population)
+    if s_vals.size == 0 or p_vals.size == 0:
+        raise ValueError("d_statistic requires non-empty inputs")
+    grid = np.union1d(s_vals, p_vals)
+    s_at = np.searchsorted(s_vals, grid, side="right") / s_vals.size
+    p_at = np.searchsorted(p_vals, grid, side="right") / p_vals.size
+    return float(np.max(np.abs(s_at - p_at)))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0-100) of ``values``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute percentile of empty sequence")
+    return float(np.percentile(arr, q))

@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic graphs, engines and configurations.
+
+The unit-test suite never uses the full-size stand-in datasets; everything
+runs on graphs of a few hundred vertices so the whole suite stays fast while
+still exercising every code path (sampling, BSP execution, regression,
+end-to-end prediction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture(scope="session")
+def small_scale_free_graph() -> DiGraph:
+    """A ~600-vertex scale-free graph (preferential attachment)."""
+    return generators.preferential_attachment(600, out_degree=6, seed=7, name="small-sf")
+
+
+@pytest.fixture(scope="session")
+def medium_scale_free_graph() -> DiGraph:
+    """A ~1500-vertex scale-free graph for sampling / prediction tests."""
+    return generators.preferential_attachment(1500, out_degree=7, seed=11, name="medium-sf")
+
+
+@pytest.fixture(scope="session")
+def community_graph() -> DiGraph:
+    """A small community-structured graph for semi-clustering tests."""
+    return generators.two_level_hierarchy(
+        num_communities=6, community_size=20, intra_probability=0.35, seed=5, name="communities"
+    )
+
+
+@pytest.fixture()
+def tiny_graph() -> DiGraph:
+    """A hand-built 6-vertex graph with known structure."""
+    graph = DiGraph(name="tiny")
+    edges = [(0, 1), (0, 2), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]
+    graph.add_edges(edges)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def deterministic_profile() -> CostProfile:
+    """Ground-truth cost profile with no noise and no congestion."""
+    return CostProfile(noise_std=0.0, congestion_factor=0.0)
+
+
+@pytest.fixture(scope="session")
+def test_cluster() -> ClusterSpec:
+    """A small cluster spec (4 workers) used by engine tests."""
+    return ClusterSpec(num_nodes=1, workers_per_node=5, worker_memory_bytes=1024**3)
+
+
+@pytest.fixture()
+def engine(test_cluster, deterministic_profile) -> BSPEngine:
+    """A deterministic BSP engine over the small test cluster."""
+    return BSPEngine(cluster=test_cluster, cost_profile=deterministic_profile)
+
+
+@pytest.fixture()
+def engine_config() -> EngineConfig:
+    """Engine configuration used by most execution tests (4 workers)."""
+    return EngineConfig(num_workers=4, max_supersteps=100, runtime_seed=3)

@@ -1,0 +1,152 @@
+"""Correctness tests for PageRank and connected components on the engine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connected_components import (
+    ConnectedComponents,
+    ConnectedComponentsConfig,
+    extract_components,
+)
+from repro.algorithms.pagerank import PageRank, PageRankConfig, extract_ranks
+from repro.bsp.engine import EngineConfig
+from repro.exceptions import ConfigurationError
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+def reference_pagerank(graph: DiGraph, damping: float, iterations: int) -> dict:
+    """Dense power-iteration PageRank used as ground truth (no dangling fix,
+    matching the vertex-centric implementation)."""
+    vertices = list(graph.vertices())
+    index = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    ranks = np.full(n, 1.0 / n)
+    out_degree = np.array([graph.out_degree(v) for v in vertices], dtype=float)
+    for _ in range(iterations):
+        incoming = np.zeros(n)
+        for source, target, _ in graph.edges():
+            incoming[index[target]] += ranks[index[source]] / out_degree[index[source]]
+        ranks = (1 - damping) / n + damping * incoming
+    return {v: ranks[index[v]] for v in vertices}
+
+
+class TestPageRankCorrectness:
+    def test_matches_reference_implementation(self, engine, tiny_graph):
+        config = PageRankConfig(damping=0.85, tolerance=1e-12, max_iterations=20)
+        engine_config = EngineConfig(num_workers=2, max_supersteps=6, collect_vertex_values=True)
+        result = engine.run(tiny_graph, PageRank(), config, engine_config)
+        # After k supersteps the engine has applied k-1 rank updates.
+        reference = reference_pagerank(tiny_graph, 0.85, result.num_iterations - 1)
+        ranks = extract_ranks(result.vertex_values)
+        for vertex, expected in reference.items():
+            assert ranks[vertex] == pytest.approx(expected, rel=1e-9)
+
+    def test_ranks_sum_close_to_one(self, engine, small_scale_free_graph):
+        config = PageRankConfig(tolerance=1e-8)
+        engine_config = EngineConfig(num_workers=4, collect_vertex_values=True)
+        result = engine.run(small_scale_free_graph, PageRank(), config, engine_config)
+        total = sum(result.vertex_values.values())
+        # Rank mass can only leak through dangling vertices.
+        assert 0.5 < total <= 1.0 + 1e-9
+
+    def test_converges_with_looser_threshold_in_fewer_iterations(self, engine, small_scale_free_graph, engine_config):
+        loose = engine.run(
+            small_scale_free_graph, PageRank(),
+            PageRankConfig.for_tolerance_level(0.01, small_scale_free_graph.num_vertices),
+            engine_config,
+        )
+        tight = engine.run(
+            small_scale_free_graph, PageRank(),
+            PageRankConfig.for_tolerance_level(0.001, small_scale_free_graph.num_vertices),
+            engine_config,
+        )
+        assert loose.converged and tight.converged
+        assert loose.num_iterations <= tight.num_iterations
+
+    def test_convergence_history_decreases(self, engine, small_scale_free_graph, engine_config):
+        result = engine.run(
+            small_scale_free_graph, PageRank(), PageRankConfig(tolerance=1e-7), engine_config
+        )
+        history = result.convergence_history
+        assert len(history) >= 2
+        assert history[-1] < history[0]
+        assert history[-1] < 1e-7
+
+    def test_constant_per_iteration_features(self, engine, small_scale_free_graph, engine_config):
+        # PageRank is the paper's category (i): every iteration sends the same
+        # number of messages (one per edge) and activates every vertex.
+        result = engine.run(
+            small_scale_free_graph, PageRank(), PageRankConfig(tolerance=1e-9), engine_config
+        )
+        message_counts = {p.total_messages for p in result.iterations[:-1]}
+        assert len(message_counts) == 1
+        assert result.iterations[0].active_vertices == small_scale_free_graph.num_vertices
+
+    def test_config_validation(self):
+        algorithm = PageRank()
+        with pytest.raises(ConfigurationError):
+            algorithm.validate_config(PageRankConfig(damping=1.5))
+        with pytest.raises(ConfigurationError):
+            algorithm.validate_config(PageRankConfig(tolerance=0))
+        with pytest.raises(ConfigurationError):
+            PageRankConfig.for_tolerance_level(0, 100)
+
+    def test_for_tolerance_level_scales_with_vertices(self):
+        config = PageRankConfig.for_tolerance_level(0.01, 1000)
+        assert config.tolerance == pytest.approx(1e-5)
+
+    def test_extract_ranks_requires_values(self):
+        with pytest.raises(ConfigurationError):
+            extract_ranks(None)
+
+    def test_message_size_constant(self):
+        assert PageRank().message_size(0.123) == 8
+
+
+class TestConnectedComponents:
+    def test_single_component_graph(self, engine, engine_config):
+        graph = generators.chain(12)
+        config = EngineConfig(num_workers=3, collect_vertex_values=True)
+        result = engine.run(graph, ConnectedComponents(), ConnectedComponentsConfig(), config)
+        components = extract_components(result.vertex_values)
+        assert len(components) == 1
+        assert result.converged
+
+    def test_two_components_identified(self, engine):
+        graph = DiGraph()
+        graph.add_edges([(0, 1), (1, 2), (2, 0)])
+        graph.add_edges([(10, 11), (11, 12)])
+        config = EngineConfig(num_workers=2, collect_vertex_values=True)
+        result = engine.run(graph, ConnectedComponents(), ConnectedComponentsConfig(), config)
+        components = extract_components(result.vertex_values)
+        assert len(components) == 2
+        labels = {frozenset(members) for members in components.values()}
+        assert frozenset({0, 1, 2}) in labels
+        assert frozenset({10, 11, 12}) in labels
+
+    def test_component_label_is_minimum_id(self, engine):
+        graph = DiGraph()
+        graph.add_edges([(5, 9), (9, 7), (7, 5)])
+        config = EngineConfig(num_workers=2, collect_vertex_values=True)
+        result = engine.run(graph, ConnectedComponents(), ConnectedComponentsConfig(), config)
+        assert set(result.vertex_values.values()) == {5}
+
+    def test_activity_decreases_over_iterations(self, engine, engine_config, small_scale_free_graph):
+        result = engine.run(
+            small_scale_free_graph, ConnectedComponents(), ConnectedComponentsConfig(), engine_config
+        )
+        active = [p.active_vertices for p in result.iterations]
+        assert active[-1] < active[0]
+
+    def test_directed_edges_treated_as_undirected(self, engine):
+        # 0 -> 1 and 2 -> 1: weakly connected even though not strongly.
+        graph = DiGraph()
+        graph.add_edges([(0, 1), (2, 1)])
+        config = EngineConfig(num_workers=2, collect_vertex_values=True)
+        result = engine.run(graph, ConnectedComponents(), ConnectedComponentsConfig(), config)
+        assert len(extract_components(result.vertex_values)) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConnectedComponents().validate_config(ConnectedComponentsConfig(max_iterations=0))

@@ -1,0 +1,243 @@
+"""Correctness tests for top-k ranking, semi-clustering and neighborhood
+estimation, plus the algorithm registry."""
+
+import pytest
+
+from repro.algorithms.neighborhood import (
+    NeighborhoodConfig,
+    NeighborhoodEstimation,
+    estimate_neighborhood_sizes,
+)
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.registry import algorithm_by_name, available_algorithms, register_algorithm
+from repro.algorithms.semi_clustering import (
+    SemiCluster,
+    SemiClustering,
+    SemiClusteringConfig,
+    best_clusters,
+)
+from repro.algorithms.topk_ranking import TopKRanking, TopKRankingConfig, config_with_ranks
+from repro.bsp.engine import EngineConfig
+from repro.exceptions import ConfigurationError
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+class TestTopKRanking:
+    def run_topk(self, engine, graph, ranks=None, k=3, tolerance=0.001):
+        config = TopKRankingConfig(k=k, tolerance=tolerance, ranks=ranks)
+        engine_config = EngineConfig(num_workers=3, collect_vertex_values=True)
+        return engine.run(graph, TopKRanking(), config, engine_config)
+
+    def test_propagates_highest_rank_along_chain(self, engine):
+        graph = generators.chain(6).reverse()  # 5 -> 4 -> ... -> 0
+        ranks = {v: float(v) for v in graph.vertices()}
+        result = self.run_topk(engine, graph, ranks=ranks, k=2)
+        # Vertex 0 receives nothing (no in-edges in the reversed chain ... it
+        # is the sink), vertex 0's list should contain the largest reachable
+        # ranks flowing down the chain: every vertex's list contains its own
+        # rank and the best ranks of its upstream neighbours.
+        values = result.vertex_values
+        assert max(values[0]) == pytest.approx(5.0)
+        assert max(values[3]) == pytest.approx(5.0)
+
+    def test_lists_bounded_by_k(self, engine, small_scale_free_graph):
+        ranks = {v: float(hash(v) % 1000) for v in small_scale_free_graph.vertices()}
+        result = self.run_topk(engine, small_scale_free_graph, ranks=ranks, k=3)
+        assert all(len(lst) <= 3 for lst in result.vertex_values.values())
+
+    def test_lists_sorted_descending(self, engine, small_scale_free_graph):
+        ranks = {v: float((v * 37) % 991) for v in small_scale_free_graph.vertices()}
+        result = self.run_topk(engine, small_scale_free_graph, ranks=ranks, k=4)
+        for lst in result.vertex_values.values():
+            assert list(lst) == sorted(lst, reverse=True)
+
+    def test_variable_activity_across_iterations(self, engine, small_scale_free_graph):
+        ranks = {v: float((v * 13) % 503) for v in small_scale_free_graph.vertices()}
+        result = self.run_topk(engine, small_scale_free_graph, ranks=ranks)
+        active = [p.active_vertices for p in result.iterations]
+        assert min(active) < max(active)
+
+    def test_fallback_ranks_when_none_provided(self, engine, tiny_graph):
+        result = self.run_topk(engine, tiny_graph, ranks=None)
+        assert result.converged
+
+    def test_missing_rank_raises(self, engine, tiny_graph):
+        config = TopKRankingConfig(k=2, ranks={0: 1.0})  # other vertices missing
+        with pytest.raises(ConfigurationError):
+            engine.run(tiny_graph, TopKRanking(), config, EngineConfig(num_workers=2))
+
+    def test_uses_pagerank_output(self, engine, small_scale_free_graph):
+        pr_result = engine.run(
+            small_scale_free_graph,
+            PageRank(),
+            PageRankConfig(tolerance=1e-6),
+            EngineConfig(num_workers=3, collect_vertex_values=True),
+        )
+        config = config_with_ranks(TopKRankingConfig(k=3), pr_result.vertex_values)
+        result = engine.run(
+            small_scale_free_graph, TopKRanking(), config,
+            EngineConfig(num_workers=3, collect_vertex_values=True),
+        )
+        top_rank = max(pr_result.vertex_values.values())
+        best_seen = max(max(lst) for lst in result.vertex_values.values())
+        assert best_seen == pytest.approx(top_rank)
+
+    def test_message_size_grows_with_list_length(self):
+        algorithm = TopKRanking()
+        assert algorithm.message_size((1.0,)) < algorithm.message_size((1.0, 2.0, 3.0))
+
+    def test_config_validation(self):
+        algorithm = TopKRanking()
+        with pytest.raises(ConfigurationError):
+            algorithm.validate_config(TopKRankingConfig(k=0))
+        with pytest.raises(ConfigurationError):
+            algorithm.validate_config(TopKRankingConfig(tolerance=0.0))
+
+
+class TestSemiCluster:
+    def test_singleton_score_is_zero(self):
+        cluster = SemiCluster.singleton("a", [("b", 1.0), ("c", 2.0)])
+        assert cluster.score(0.1) == 0.0
+        assert cluster.boundary_weight == pytest.approx(3.0)
+
+    def test_extension_moves_weight_from_boundary_to_internal(self):
+        cluster = SemiCluster.singleton("a", [("b", 1.0), ("c", 2.0)])
+        extended = cluster.extended_with("b", [("a", 1.0), ("d", 0.5)])
+        assert "b" in extended.members
+        assert extended.internal_weight == pytest.approx(1.0)
+        assert extended.boundary_weight == pytest.approx(2.0 + 0.5)
+
+    def test_score_penalises_boundary_edges(self):
+        tight = SemiCluster(frozenset({"a", "b"}), internal_weight=4.0, boundary_weight=0.0)
+        leaky = SemiCluster(frozenset({"a", "b"}), internal_weight=4.0, boundary_weight=10.0)
+        assert tight.score(0.5) > leaky.score(0.5)
+
+    def test_score_normalised_by_clique_size(self):
+        small = SemiCluster(frozenset({"a", "b"}), internal_weight=1.0, boundary_weight=0.0)
+        large = SemiCluster(frozenset({"a", "b", "c", "d"}), internal_weight=1.0, boundary_weight=0.0)
+        assert small.score(0.1) > large.score(0.1)
+
+
+class TestSemiClustering:
+    def test_runs_and_converges_on_community_graph(self, engine, community_graph):
+        config = SemiClusteringConfig(tolerance=0.01, v_max=6)
+        engine_config = EngineConfig(num_workers=3, collect_vertex_values=True, max_supersteps=30)
+        result = engine.run(community_graph, SemiClustering(), config, engine_config)
+        assert result.converged
+        assert result.num_iterations >= 2
+
+    def test_every_vertex_belongs_to_its_clusters(self, engine, community_graph):
+        config = SemiClusteringConfig(tolerance=0.01, v_max=6, c_max=2)
+        engine_config = EngineConfig(num_workers=3, collect_vertex_values=True, max_supersteps=30)
+        result = engine.run(community_graph, SemiClustering(), config, engine_config)
+        for vertex, clusters in result.vertex_values.items():
+            for cluster in clusters:
+                assert vertex in cluster.members
+
+    def test_cluster_sizes_bounded_by_vmax(self, engine, community_graph):
+        config = SemiClusteringConfig(tolerance=0.01, v_max=4)
+        engine_config = EngineConfig(num_workers=3, collect_vertex_values=True, max_supersteps=30)
+        result = engine.run(community_graph, SemiClustering(), config, engine_config)
+        for clusters in result.vertex_values.values():
+            for cluster in clusters:
+                assert len(cluster.members) <= 4
+
+    def test_message_bytes_grow_across_early_iterations(self, engine, community_graph):
+        # Category (ii).a of the paper: message sizes grow as clusters grow.
+        # A small boundary factor keeps extended clusters' scores above the
+        # singletons' so that growing clusters are the ones forwarded.
+        config = SemiClusteringConfig(tolerance=0.001, v_max=8, boundary_factor=0.02)
+        engine_config = EngineConfig(num_workers=3, max_supersteps=20)
+        result = engine.run(community_graph, SemiClustering(), config, engine_config)
+        sizes = [p.average_message_size for p in result.iterations if p.total_messages]
+        assert sizes[1] > sizes[0]
+
+    def test_best_clusters_aggregation(self, engine, community_graph):
+        config = SemiClusteringConfig(tolerance=0.01, v_max=6)
+        engine_config = EngineConfig(num_workers=3, collect_vertex_values=True, max_supersteps=30)
+        result = engine.run(community_graph, SemiClustering(), config, engine_config)
+        ranked = best_clusters(result.vertex_values, boundary_factor=config.boundary_factor, top=5)
+        assert len(ranked) <= 5
+        scores = [c.score(config.boundary_factor) for c in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_message_size_counts_members(self):
+        algorithm = SemiClustering()
+        small = (SemiCluster(frozenset({1}), 0.0, 1.0),)
+        large = (SemiCluster(frozenset({1, 2, 3}), 1.0, 1.0),)
+        assert algorithm.message_size(large) > algorithm.message_size(small)
+
+    def test_config_validation(self):
+        algorithm = SemiClustering()
+        with pytest.raises(ConfigurationError):
+            algorithm.validate_config(SemiClusteringConfig(boundary_factor=1.5))
+        with pytest.raises(ConfigurationError):
+            algorithm.validate_config(SemiClusteringConfig(v_max=0))
+
+
+class TestNeighborhoodEstimation:
+    def test_estimates_grow_with_reachability(self, engine):
+        graph = generators.chain(30)
+        config = NeighborhoodConfig(max_hops=40, num_sketches=6)
+        engine_config = EngineConfig(num_workers=3, collect_vertex_values=True, max_supersteps=60)
+        result = engine.run(graph, NeighborhoodEstimation(), config, engine_config)
+        estimates = estimate_neighborhood_sizes(result.vertex_values, config)
+        # The chain's source (vertex 0) reaches nothing; late vertices reach
+        # everything upstream of them -- estimates must reflect that ordering.
+        assert estimates[29] > estimates[0]
+
+    def test_converges_by_fixed_point(self, engine, small_scale_free_graph, engine_config):
+        config = NeighborhoodConfig(max_hops=50)
+        result = engine.run(small_scale_free_graph, NeighborhoodEstimation(), config, engine_config)
+        assert result.converged
+
+    def test_activity_shrinks(self, engine, small_scale_free_graph, engine_config):
+        config = NeighborhoodConfig(max_hops=50)
+        result = engine.run(small_scale_free_graph, NeighborhoodEstimation(), config, engine_config)
+        active = [p.active_vertices for p in result.iterations]
+        assert active[-1] < active[0]
+
+    def test_hop_budget_respected(self, engine, engine_config):
+        graph = generators.chain(40)
+        config = NeighborhoodConfig(max_hops=3)
+        result = engine.run(graph, NeighborhoodEstimation(), config, engine_config)
+        assert result.num_iterations <= 3 + 2
+
+    def test_config_validation(self):
+        algorithm = NeighborhoodEstimation()
+        with pytest.raises(ConfigurationError):
+            algorithm.validate_config(NeighborhoodConfig(num_sketches=0))
+        with pytest.raises(ConfigurationError):
+            algorithm.validate_config(NeighborhoodConfig(tolerance=2.0))
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        names = available_algorithms()
+        assert set(names) == {
+            "pagerank", "semi-clustering", "topk-ranking",
+            "connected-components", "neighborhood-estimation",
+        }
+
+    def test_lookup_by_name_and_alias(self):
+        assert algorithm_by_name("pagerank").name == "pagerank"
+        assert algorithm_by_name("PR").name == "pagerank"
+        assert algorithm_by_name("top-k").name == "topk-ranking"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            algorithm_by_name("kmeans")
+
+    def test_register_custom_algorithm(self):
+        from repro.algorithms.base import IterativeAlgorithm
+
+        class Custom(IterativeAlgorithm):
+            name = "custom-test-algorithm"
+
+        register_algorithm(Custom)
+        assert algorithm_by_name("custom-test-algorithm").name == "custom-test-algorithm"
+
+    def test_register_rejects_non_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            register_algorithm(dict)

@@ -1,0 +1,236 @@
+"""Unit tests for the BSP building blocks: aggregators, messages, counters,
+runtime model and result objects."""
+
+import pytest
+
+from repro.bsp.aggregators import (
+    AggregatorRegistry,
+    max_aggregator,
+    min_aggregator,
+    sum_aggregator,
+)
+from repro.bsp.counters import IterationProfile, WorkerCounters
+from repro.bsp.messages import MessageStore, SumCombiner, default_message_size
+from repro.bsp.result import PhaseTimes, RunResult
+from repro.bsp.runtime_model import RuntimeModel
+from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+from repro.exceptions import BSPError
+
+
+class TestAggregators:
+    def test_sum_aggregator(self):
+        agg = sum_aggregator("s")
+        agg.reset()
+        agg.contribute(2.0)
+        agg.contribute(3.0)
+        assert agg.value == 5.0
+
+    def test_max_and_min_aggregators(self):
+        mx, mn = max_aggregator("mx"), min_aggregator("mn")
+        mx.reset()
+        mn.reset()
+        for value in (3.0, -1.0, 7.0):
+            mx.contribute(value)
+            mn.contribute(value)
+        assert mx.value == 7.0
+        assert mn.value == -1.0
+
+    def test_registry_barrier_snapshots_and_resets(self):
+        registry = AggregatorRegistry({"s": sum_aggregator("s")})
+        registry.contribute("s", 4.0)
+        snapshot = registry.barrier()
+        assert snapshot["s"] == 4.0
+        assert registry.previous_value("s") == 4.0
+        # After the barrier the running value starts from the neutral element.
+        assert registry.barrier()["s"] == 0.0
+
+    def test_registry_unknown_aggregator_raises(self):
+        registry = AggregatorRegistry()
+        with pytest.raises(BSPError):
+            registry.contribute("nope", 1.0)
+        with pytest.raises(BSPError):
+            registry.previous_value("nope")
+
+    def test_registry_register_after_construction(self):
+        registry = AggregatorRegistry()
+        registry.register(sum_aggregator("late"))
+        registry.contribute("late", 1.0)
+        assert registry.barrier()["late"] == 1.0
+        assert "late" in registry.names()
+
+
+class TestMessages:
+    def test_default_message_size_scalars(self):
+        assert default_message_size(1.5) == 8
+        assert default_message_size(7) == 8
+        assert default_message_size(True) == 1
+        assert default_message_size(None) == 1
+        assert default_message_size("abcd") == 4
+
+    def test_default_message_size_containers(self):
+        assert default_message_size([1.0, 2.0]) == 4 + 16
+        assert default_message_size({"a": 1.0}) == 4 + 1 + 8
+
+    def test_default_message_size_unknown_object(self):
+        class Thing:
+            pass
+
+        assert default_message_size(Thing()) == 16
+
+    def test_message_store_buffers_and_counts(self):
+        store = MessageStore()
+        store.deliver(1, "x", 5)
+        store.deliver(1, "y", 5)
+        store.deliver(2, "z", 5)
+        assert store.buffered_messages == 3
+        assert store.buffered_bytes == 15
+        assert store.messages_for(1) == ["x", "y"]
+        assert set(store.targets()) == {1, 2}
+        assert store.has_messages()
+
+    def test_message_store_combiner_folds(self):
+        store = MessageStore(combiner=SumCombiner())
+        store.deliver(1, 2.0, 8)
+        store.deliver(1, 3.0, 8)
+        assert store.messages_for(1) == [5.0]
+        # Counters still reflect the messages sent (pre-combining).
+        assert store.buffered_messages == 2
+
+    def test_message_store_clear(self):
+        store = MessageStore()
+        store.deliver(1, "x", 5)
+        store.clear()
+        assert not store.has_messages()
+        assert store.buffered_bytes == 0
+
+
+class TestCounters:
+    def make_counters(self, worker_id=0, local=5, remote=10):
+        counters = WorkerCounters(worker_id=worker_id, superstep=0, total_vertices=100)
+        counters.active_vertices = 50
+        counters.local_messages = local
+        counters.remote_messages = remote
+        counters.local_message_bytes = local * 8
+        counters.remote_message_bytes = remote * 8
+        counters.messages_sent = local + remote
+        return counters
+
+    def test_worker_counter_derived_metrics(self):
+        counters = self.make_counters()
+        assert counters.total_messages == 15
+        assert counters.total_message_bytes == 120
+        assert counters.average_message_size == pytest.approx(8.0)
+
+    def test_worker_counter_zero_messages(self):
+        counters = WorkerCounters(worker_id=0, superstep=0)
+        assert counters.average_message_size == 0.0
+
+    def test_worker_feature_dict_names(self):
+        features = self.make_counters().feature_dict()
+        assert set(features) == {
+            "ActVert", "TotVert", "LocMsg", "RemMsg", "LocMsgSize", "RemMsgSize", "AvgMsgSize",
+        }
+
+    def test_iteration_profile_aggregates_workers(self):
+        profile = IterationProfile(
+            superstep=0,
+            worker_counters=[self.make_counters(0), self.make_counters(1, local=1, remote=2)],
+            critical_worker=0,
+        )
+        assert profile.active_vertices == 100
+        assert profile.local_messages == 6
+        assert profile.remote_messages == 12
+        assert profile.total_messages == 18
+        assert profile.critical_counters.worker_id == 0
+        assert profile.graph_feature_dict()["RemMsg"] == 12.0
+        assert profile.critical_feature_dict()["RemMsg"] == 10.0
+
+
+class TestRuntimeModel:
+    def test_superstep_time_picks_slowest_worker(self):
+        model = RuntimeModel(DETERMINISTIC_PROFILE, seed=1)
+        light = WorkerCounters(worker_id=0, superstep=0, total_vertices=10)
+        heavy = WorkerCounters(worker_id=1, superstep=0, total_vertices=10)
+        heavy.remote_messages = 10_000
+        heavy.remote_message_bytes = 80_000
+        heavy.active_vertices = 10
+        runtime, critical = model.superstep_time([light, heavy])
+        assert critical == 1
+        assert runtime > DETERMINISTIC_PROFILE.barrier_overhead
+
+    def test_superstep_time_without_noise_is_deterministic(self):
+        model_a = RuntimeModel(DETERMINISTIC_PROFILE, seed=1)
+        model_b = RuntimeModel(DETERMINISTIC_PROFILE, seed=2)
+        counters = [WorkerCounters(worker_id=0, superstep=0, total_vertices=5)]
+        counters[0].remote_messages = 100
+        a, _ = model_a.superstep_time([WorkerCounters(**vars(counters[0]))])
+        b, _ = model_b.superstep_time([WorkerCounters(**vars(counters[0]))])
+        assert a == pytest.approx(b)
+
+    def test_noise_changes_runtime(self):
+        noisy = DETERMINISTIC_PROFILE.with_noise(0.2)
+        model = RuntimeModel(noisy, seed=1)
+        counters = WorkerCounters(worker_id=0, superstep=0, total_vertices=5)
+        counters.remote_messages = 1000
+        counters.remote_message_bytes = 8000
+        first, _ = model.superstep_time([counters])
+        second, _ = model.superstep_time([counters])
+        assert first != pytest.approx(second)
+
+    def test_phase_times_scale_with_graph_size(self):
+        model = RuntimeModel(DETERMINISTIC_PROFILE, seed=1)
+        small = model.read_time(100, 1000, 4)
+        large = model.read_time(1000, 10000, 4)
+        assert large > small
+        assert model.write_time(1000, 4) > model.write_time(100, 4)
+        assert model.setup_time() == DETERMINISTIC_PROFILE.setup_time
+
+
+class TestRunResult:
+    def make_profile(self, superstep, runtime, remote_bytes=100):
+        counters = WorkerCounters(worker_id=0, superstep=superstep, total_vertices=10)
+        counters.active_vertices = 10
+        counters.remote_messages = 10
+        counters.remote_message_bytes = remote_bytes
+        return IterationProfile(
+            superstep=superstep, worker_counters=[counters], critical_worker=0, runtime=runtime
+        )
+
+    def test_runtime_accounting(self):
+        result = RunResult(
+            algorithm="pagerank",
+            graph_name="g",
+            num_vertices=10,
+            num_edges=20,
+            num_workers=1,
+            iterations=[self.make_profile(0, 1.0), self.make_profile(1, 2.0)],
+            phase_times=PhaseTimes(setup=1.0, read=0.5, superstep=3.0, write=0.5),
+        )
+        assert result.num_iterations == 2
+        assert result.superstep_runtime == pytest.approx(3.0)
+        assert result.total_runtime == pytest.approx(5.0)
+        assert result.iteration_runtimes() == [1.0, 2.0]
+        assert result.total_remote_message_bytes() == 200
+        assert result.total_messages() == 20
+
+    def test_feature_rows_levels(self):
+        result = RunResult(
+            algorithm="pagerank",
+            graph_name="g",
+            num_vertices=10,
+            num_edges=20,
+            num_workers=1,
+            iterations=[self.make_profile(0, 1.0)],
+        )
+        assert len(result.iteration_feature_rows("critical")) == 1
+        assert len(result.iteration_feature_rows("graph")) == 1
+        with pytest.raises(ValueError):
+            result.iteration_feature_rows("bogus")
+
+    def test_summary_contains_key_fields(self):
+        result = RunResult(
+            algorithm="pagerank", graph_name="g", num_vertices=1, num_edges=1, num_workers=1
+        )
+        summary = result.summary()
+        assert summary["algorithm"] == "pagerank"
+        assert "iterations" in summary

@@ -1,0 +1,157 @@
+"""Integration tests of the BSP engine: execution semantics, counters,
+termination, memory enforcement and phase accounting."""
+
+import pytest
+
+from repro.algorithms.base import IterativeAlgorithm
+from repro.algorithms.connected_components import ConnectedComponents
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import BSPError, OutOfMemoryError
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+class EchoOnce(IterativeAlgorithm):
+    """Test algorithm: every vertex messages its neighbours once, then halts."""
+
+    name = "echo-once"
+
+    def default_config(self):
+        return None
+
+    def initial_value(self, vertex, graph, config):
+        return 0
+
+    def compute(self, ctx, messages, config):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(1.0)
+        ctx.value = ctx.value + len(messages)
+        ctx.vote_to_halt()
+
+
+class TestEngineBasics:
+    def test_empty_graph_rejected(self, engine, engine_config):
+        with pytest.raises(BSPError):
+            engine.run(DiGraph(), PageRank(), PageRankConfig(), engine_config)
+
+    def test_echo_terminates_after_two_supersteps(self, engine, engine_config, tiny_graph):
+        result = engine.run(tiny_graph, EchoOnce(), None, engine_config)
+        assert result.num_iterations == 2
+        assert result.converged
+
+    def test_message_counts_match_edges(self, engine, engine_config, tiny_graph):
+        result = engine.run(tiny_graph, EchoOnce(), None, engine_config)
+        first = result.iterations[0]
+        assert first.total_messages == tiny_graph.num_edges
+        # Every vertex executed compute in superstep 0.
+        assert first.active_vertices == tiny_graph.num_vertices
+
+    def test_halted_vertices_reactivated_by_messages(self, engine, engine_config, tiny_graph):
+        result = engine.run(tiny_graph, EchoOnce(), None, engine_config)
+        second = result.iterations[1]
+        # Only vertices with incoming messages are active in superstep 1.
+        vertices_with_in_edges = sum(1 for v in tiny_graph.vertices() if tiny_graph.in_degree(v) > 0)
+        assert second.active_vertices == vertices_with_in_edges
+
+    def test_worker_count_capped_by_vertices(self, engine, tiny_graph):
+        config = EngineConfig(num_workers=100)
+        result = engine.run(tiny_graph, EchoOnce(), None, config)
+        assert result.num_workers <= tiny_graph.num_vertices
+
+    def test_local_vs_remote_split_sums_to_total(self, engine, engine_config, small_scale_free_graph):
+        result = engine.run(small_scale_free_graph, EchoOnce(), None, engine_config)
+        first = result.iterations[0]
+        assert first.local_messages + first.remote_messages == small_scale_free_graph.num_edges
+        assert first.remote_messages > 0
+
+    def test_single_worker_all_messages_local(self, engine, small_scale_free_graph):
+        config = EngineConfig(num_workers=1)
+        result = engine.run(small_scale_free_graph, EchoOnce(), None, config)
+        assert result.iterations[0].remote_messages == 0
+        assert result.iterations[0].local_messages == small_scale_free_graph.num_edges
+
+    def test_max_supersteps_budget_enforced(self, engine, tiny_graph):
+        config = EngineConfig(num_workers=2, max_supersteps=3)
+        result = engine.run(tiny_graph, PageRank(), PageRankConfig(tolerance=1e-15), config)
+        assert result.num_iterations == 3
+        assert not result.converged
+
+    def test_phase_times_present(self, engine, engine_config, tiny_graph):
+        result = engine.run(tiny_graph, EchoOnce(), None, engine_config)
+        assert result.phase_times.setup > 0
+        assert result.phase_times.read > 0
+        assert result.phase_times.write > 0
+        assert result.phase_times.superstep == pytest.approx(result.superstep_runtime)
+        assert result.total_runtime > result.superstep_runtime
+
+    def test_collect_vertex_values(self, engine, tiny_graph):
+        config = EngineConfig(num_workers=2, collect_vertex_values=True)
+        result = engine.run(tiny_graph, EchoOnce(), None, config)
+        assert result.vertex_values is not None
+        assert set(result.vertex_values) == set(tiny_graph.vertices())
+
+    def test_values_not_collected_by_default(self, engine, engine_config, tiny_graph):
+        result = engine.run(tiny_graph, EchoOnce(), None, engine_config)
+        assert result.vertex_values is None
+
+    def test_critical_worker_recorded(self, engine, engine_config, small_scale_free_graph):
+        result = engine.run(small_scale_free_graph, EchoOnce(), None, engine_config)
+        profile = result.iterations[0]
+        times = [c.worker_time for c in profile.worker_counters]
+        assert profile.critical_worker == times.index(max(times))
+
+    def test_runtime_equals_critical_worker_plus_barrier(self, engine, engine_config, small_scale_free_graph):
+        result = engine.run(small_scale_free_graph, EchoOnce(), None, engine_config)
+        profile = result.iterations[0]
+        expected = profile.critical_counters.worker_time + DETERMINISTIC_PROFILE.barrier_overhead
+        assert profile.runtime == pytest.approx(expected)
+
+    def test_config_dict_recorded(self, engine, engine_config, tiny_graph):
+        result = engine.run(tiny_graph, PageRank(), PageRankConfig(tolerance=0.01), engine_config)
+        assert result.config["tolerance"] == 0.01
+
+
+class TestEngineMemoryEnforcement:
+    def test_out_of_memory_raised_for_tiny_allocation(self):
+        cluster = ClusterSpec(num_nodes=1, workers_per_node=3, worker_memory_bytes=2_000)
+        engine = BSPEngine(cluster=cluster, cost_profile=DETERMINISTIC_PROFILE)
+        graph = generators.preferential_attachment(300, out_degree=8, seed=1)
+        config = EngineConfig(num_workers=2, enforce_memory=True)
+        with pytest.raises(OutOfMemoryError):
+            engine.run(graph, PageRank(), PageRankConfig(tolerance=1e-9), config)
+
+    def test_same_run_succeeds_without_enforcement(self):
+        cluster = ClusterSpec(num_nodes=1, workers_per_node=3, worker_memory_bytes=2_000)
+        engine = BSPEngine(cluster=cluster, cost_profile=DETERMINISTIC_PROFILE)
+        graph = generators.preferential_attachment(300, out_degree=8, seed=1)
+        config = EngineConfig(num_workers=2, enforce_memory=False, max_supersteps=3)
+        result = engine.run(graph, PageRank(), PageRankConfig(tolerance=1e-9), config)
+        assert result.num_iterations == 3
+
+
+class TestEngineCombiner:
+    def test_combiner_reduces_buffered_lists_not_counters(self, engine, small_scale_free_graph):
+        config_plain = EngineConfig(num_workers=4, max_supersteps=3, use_combiner=False)
+        config_combined = EngineConfig(num_workers=4, max_supersteps=3, use_combiner=True)
+        pagerank = PageRank()
+        pr_config = PageRankConfig(tolerance=1e-12)
+        plain = engine.run(small_scale_free_graph, pagerank, pr_config, config_plain)
+        combined = engine.run(small_scale_free_graph, pagerank, pr_config, config_combined)
+        # Message counters are identical: combining happens after counting.
+        assert plain.iterations[0].total_messages == combined.iterations[0].total_messages
+        # And the PageRank results agree because the combiner is the sum.
+        assert plain.num_iterations == combined.num_iterations
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_profiles(self, engine, engine_config, small_scale_free_graph):
+        pagerank = PageRank()
+        config = PageRankConfig(tolerance=1e-6)
+        first = engine.run(small_scale_free_graph, pagerank, config, engine_config)
+        second = engine.run(small_scale_free_graph, pagerank, config, engine_config)
+        assert first.num_iterations == second.num_iterations
+        assert first.superstep_runtime == pytest.approx(second.superstep_runtime)
+        assert first.iterations[0].total_messages == second.iterations[0].total_messages

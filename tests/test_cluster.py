@@ -1,0 +1,132 @@
+"""Unit tests for the cluster model: specs, cost profiles, network, memory."""
+
+import pytest
+
+from repro.cluster.cost_profile import DEFAULT_PROFILE, DETERMINISTIC_PROFILE, CostProfile
+from repro.cluster.memory import MemoryModel
+from repro.cluster.network import NetworkModel
+from repro.cluster.spec import PAPER_CLUSTER, TEST_CLUSTER, ClusterSpec
+from repro.exceptions import ConfigurationError, OutOfMemoryError
+
+
+class TestClusterSpec:
+    def test_paper_cluster_has_29_workers(self):
+        assert PAPER_CLUSTER.num_workers == 29
+
+    def test_total_memory(self):
+        spec = ClusterSpec(num_nodes=2, workers_per_node=2, worker_memory_bytes=100)
+        assert spec.total_memory_bytes == spec.num_workers * 100
+
+    def test_scaled_changes_node_count_only(self):
+        scaled = PAPER_CLUSTER.scaled(5)
+        assert scaled.num_nodes == 5
+        assert scaled.workers_per_node == PAPER_CLUSTER.workers_per_node
+
+    def test_at_least_one_worker(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=1)
+        assert spec.num_workers == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"workers_per_node": 0},
+            {"worker_memory_bytes": 0},
+            {"network_bandwidth_bytes_per_s": 0},
+            {"local_bandwidth_bytes_per_s": 0},
+        ],
+    )
+    def test_invalid_spec_raises(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(**kwargs)
+
+    def test_test_cluster_smaller_than_paper(self):
+        assert TEST_CLUSTER.num_workers < PAPER_CLUSTER.num_workers
+
+
+class TestCostProfile:
+    def test_default_profile_network_dominated(self):
+        # One remote byte must cost more than one local byte, and a remote
+        # message more than a local one (modelling assumption v).
+        assert DEFAULT_PROFILE.cost_per_remote_byte > DEFAULT_PROFILE.cost_per_local_byte
+        assert DEFAULT_PROFILE.cost_per_remote_message > DEFAULT_PROFILE.cost_per_local_message
+
+    def test_deterministic_profile_has_no_noise(self):
+        assert DETERMINISTIC_PROFILE.noise_std == 0.0
+        assert DETERMINISTIC_PROFILE.congestion_factor == 0.0
+
+    def test_with_noise_returns_copy(self):
+        noisy = DETERMINISTIC_PROFILE.with_noise(0.1)
+        assert noisy.noise_std == 0.1
+        assert DETERMINISTIC_PROFILE.noise_std == 0.0
+
+    def test_with_congestion_returns_copy(self):
+        congested = DETERMINISTIC_PROFILE.with_congestion(0.5)
+        assert congested.congestion_factor == 0.5
+
+    def test_scaled_multiplies_unit_costs(self):
+        doubled = DETERMINISTIC_PROFILE.scaled(2.0)
+        assert doubled.cost_per_remote_byte == pytest.approx(
+            2 * DETERMINISTIC_PROFILE.cost_per_remote_byte
+        )
+        assert doubled.barrier_overhead == pytest.approx(
+            2 * DETERMINISTIC_PROFILE.barrier_overhead
+        )
+
+
+class TestNetworkModel:
+    def test_remote_delivery_more_expensive_than_local(self):
+        model = NetworkModel(DETERMINISTIC_PROFILE)
+        local = model.local_delivery_time(100, 10_000)
+        remote = model.remote_delivery_time(100, 10_000)
+        assert remote > local
+
+    def test_messaging_time_additive(self):
+        model = NetworkModel(DETERMINISTIC_PROFILE)
+        total = model.messaging_time(10, 1000, 20, 2000)
+        assert total == pytest.approx(
+            model.local_delivery_time(10, 1000) + model.remote_delivery_time(20, 2000)
+        )
+
+    def test_zero_messages_zero_time(self):
+        model = NetworkModel(DETERMINISTIC_PROFILE)
+        assert model.messaging_time(0, 0, 0, 0) == 0.0
+
+    def test_congestion_adds_superlinear_penalty(self):
+        base = NetworkModel(DETERMINISTIC_PROFILE)
+        congested = NetworkModel(DETERMINISTIC_PROFILE.with_congestion(0.5))
+        volume = 50_000_000
+        assert congested.remote_delivery_time(10, volume) > base.remote_delivery_time(10, volume)
+
+
+class TestMemoryModel:
+    def test_estimate_totals(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=2, worker_memory_bytes=10_000)
+        model = MemoryModel(spec)
+        estimate = model.estimate(10, 20, 100, 5, 500)
+        assert estimate.total_bytes == estimate.graph_bytes + estimate.state_bytes + estimate.message_bytes
+
+    def test_check_disabled_never_raises(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=2, worker_memory_bytes=1)
+        model = MemoryModel(spec, enforce=False)
+        estimate = model.estimate(10**6, 10**6, 10**6, 10**6, 10**9)
+        model.check(0, estimate)  # no exception
+
+    def test_check_enforced_raises_when_exceeded(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=2, worker_memory_bytes=1000)
+        model = MemoryModel(spec, enforce=True)
+        estimate = model.estimate(100, 100, 100, 100, 100_000)
+        with pytest.raises(OutOfMemoryError):
+            model.check(0, estimate)
+
+    def test_check_enforced_passes_when_within_budget(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=2, worker_memory_bytes=10**9)
+        model = MemoryModel(spec, enforce=True)
+        estimate = model.estimate(10, 10, 10, 10, 10)
+        model.check(0, estimate)  # no exception
+
+    def test_utilisation_fraction(self):
+        spec = ClusterSpec(num_nodes=1, workers_per_node=2, worker_memory_bytes=10_000)
+        model = MemoryModel(spec)
+        estimate = model.estimate(0, 0, 5_000, 0, 0)
+        assert model.utilisation(estimate) == pytest.approx(0.5)

@@ -1,0 +1,264 @@
+"""Unit tests for the extrapolator, the cost model, the history store, the
+critical-path heuristic, the analytical bounds and the evaluation records."""
+
+import numpy as np
+import pytest
+
+from repro.bsp.engine import EngineConfig
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.core.bounds import (
+    bound_misprediction_factor,
+    connected_components_upper_bound,
+    pagerank_dag_bound,
+    pagerank_iteration_upper_bound,
+)
+from repro.core.cost_model import CostModel
+from repro.core.critical_path import critical_path_accuracy, estimate_critical_path
+from repro.core.errors import PredictionEvaluation
+from repro.core.extrapolation import Extrapolator, ScalingFactors
+from repro.core.features import FeatureTable
+from repro.core.history import HistoryStore
+from repro.exceptions import ConfigurationError, HistoryError, ModelingError
+from repro.graph.partition import HashPartitioner
+
+
+class TestScalingFactors:
+    def test_from_counts(self):
+        factors = ScalingFactors.from_counts(1000, 10000, 100, 500)
+        assert factors.vertex_factor == pytest.approx(10.0)
+        assert factors.edge_factor == pytest.approx(20.0)
+
+    def test_from_counts_rejects_empty_sample(self):
+        with pytest.raises(ModelingError):
+            ScalingFactors.from_counts(1000, 10000, 0, 500)
+
+
+class TestExtrapolator:
+    def test_feature_specific_scaling(self):
+        extrapolator = Extrapolator(ScalingFactors(vertex_factor=10.0, edge_factor=20.0))
+        row = {
+            "ActVert": 5.0, "TotVert": 8.0,
+            "LocMsg": 3.0, "RemMsg": 4.0, "LocMsgSize": 30.0, "RemMsgSize": 40.0,
+            "AvgMsgSize": 12.0,
+        }
+        scaled = extrapolator.extrapolate_row(row)
+        assert scaled["ActVert"] == pytest.approx(50.0)
+        assert scaled["TotVert"] == pytest.approx(80.0)
+        assert scaled["RemMsg"] == pytest.approx(80.0)
+        assert scaled["RemMsgSize"] == pytest.approx(800.0)
+        # Ratios are not extrapolated.
+        assert scaled["AvgMsgSize"] == pytest.approx(12.0)
+
+    def test_unknown_features_scale_with_edges(self):
+        extrapolator = Extrapolator(ScalingFactors(vertex_factor=2.0, edge_factor=7.0))
+        scaled = extrapolator.extrapolate_row({"SpilledBytes": 10.0})
+        assert scaled["SpilledBytes"] == pytest.approx(70.0)
+
+    def test_extrapolate_rows_per_iteration(self):
+        extrapolator = Extrapolator(ScalingFactors(vertex_factor=2.0, edge_factor=2.0))
+        rows = [{"ActVert": 1.0}, {"ActVert": 2.0}, {"ActVert": 3.0}]
+        scaled = extrapolator.extrapolate_rows(rows)
+        assert [r["ActVert"] for r in scaled] == [2.0, 4.0, 6.0]
+        assert len(scaled) == 3
+
+
+def make_cost_table(num_rows=30, seed=0):
+    """Synthetic per-iteration observations with a known cost structure."""
+    rng = np.random.default_rng(seed)
+    table = FeatureTable()
+    for _ in range(num_rows):
+        act = float(rng.uniform(10, 1000))
+        rem_msg = float(rng.uniform(100, 10_000))
+        rem_bytes = rem_msg * 8
+        runtime = 1e-4 * act + 2e-4 * rem_msg + 4e-5 * rem_bytes + 0.1
+        table.append(
+            {
+                "ActVert": act, "TotVert": act, "LocMsg": 0.0, "RemMsg": rem_msg,
+                "LocMsgSize": 0.0, "RemMsgSize": rem_bytes, "AvgMsgSize": 8.0,
+            },
+            runtime,
+        )
+    return table
+
+
+class TestCostModel:
+    def test_train_and_predict(self):
+        model = CostModel().train(make_cost_table())
+        assert model.is_trained
+        assert model.r_squared > 0.99
+        row = {
+            "ActVert": 500.0, "TotVert": 500.0, "LocMsg": 0.0, "RemMsg": 5000.0,
+            "LocMsgSize": 0.0, "RemMsgSize": 40_000.0, "AvgMsgSize": 8.0,
+        }
+        expected = 1e-4 * 500 + 2e-4 * 5000 + 4e-5 * 40_000 + 0.1
+        assert model.predict_iteration(row) == pytest.approx(expected, rel=0.05)
+
+    def test_predict_run_and_total(self):
+        model = CostModel().train(make_cost_table())
+        rows = [
+            {"ActVert": 100.0, "TotVert": 100.0, "LocMsg": 0.0, "RemMsg": 1000.0,
+             "LocMsgSize": 0.0, "RemMsgSize": 8000.0, "AvgMsgSize": 8.0},
+        ] * 3
+        per_iteration = model.predict_run(rows)
+        assert len(per_iteration) == 3
+        assert model.predict_total(rows) == pytest.approx(sum(per_iteration))
+
+    def test_prediction_clamped_at_zero(self):
+        table = FeatureTable()
+        for i in range(10):
+            table.append({"ActVert": float(i), "RemMsg": float(i)}, float(i))
+        model = CostModel(candidate_features=["ActVert", "RemMsg"]).train(table)
+        assert model.predict_iteration({"ActVert": -1e9, "RemMsg": -1e9}) == 0.0
+
+    def test_untrained_model_raises(self):
+        model = CostModel()
+        with pytest.raises(ModelingError):
+            model.predict_iteration({"ActVert": 1.0})
+        with pytest.raises(ModelingError):
+            _ = model.r_squared
+
+    def test_training_requires_two_observations(self):
+        table = FeatureTable()
+        table.append({"ActVert": 1.0}, 1.0)
+        with pytest.raises(ModelingError):
+            CostModel().train(table)
+        with pytest.raises(ModelingError):
+            CostModel().train(FeatureTable())
+
+    def test_feature_selection_can_be_disabled(self):
+        table = make_cost_table()
+        selected = CostModel(use_feature_selection=True).train(table)
+        everything = CostModel(use_feature_selection=False).train(table)
+        assert len(everything.selected_features) >= len(selected.selected_features)
+
+    def test_describe_and_coefficients(self):
+        model = CostModel().train(make_cost_table())
+        description = model.describe()
+        assert description["r_squared"] > 0.99
+        assert set(description["selected_features"]) == set(model.selected_features)
+        assert "residual" in model.coefficients()
+
+
+class TestHistoryStore:
+    def make_run(self, engine, graph, engine_config):
+        return engine.run(graph, PageRank(), PageRankConfig(tolerance=1e-6), engine_config)
+
+    def test_record_and_training_table(self, engine, engine_config, small_scale_free_graph):
+        run = self.make_run(engine, small_scale_free_graph, engine_config)
+        history = HistoryStore()
+        record = history.record(run, dataset="graph-a")
+        assert record.num_iterations == run.num_iterations
+        assert len(history) == 1
+        table = history.training_table("pagerank")
+        assert len(table) == run.num_iterations
+
+    def test_exclude_dataset(self, engine, engine_config, small_scale_free_graph, medium_scale_free_graph):
+        history = HistoryStore()
+        history.record(self.make_run(engine, small_scale_free_graph, engine_config), dataset="a")
+        history.record(self.make_run(engine, medium_scale_free_graph, engine_config), dataset="b")
+        with_all = history.training_table("pagerank")
+        without_a = history.training_table("pagerank", exclude_dataset="a")
+        assert len(without_a) < len(with_all)
+        assert history.datasets("pagerank") == ["a", "b"]
+
+    def test_filter_by_algorithm(self, engine, engine_config, small_scale_free_graph):
+        history = HistoryStore()
+        history.record(self.make_run(engine, small_scale_free_graph, engine_config), dataset="a")
+        assert history.runs("pagerank")
+        assert history.runs("semi-clustering") == []
+        assert len(history.training_table("semi-clustering")) == 0
+
+    def test_summary_and_clear(self, engine, engine_config, small_scale_free_graph):
+        history = HistoryStore()
+        history.record(self.make_run(engine, small_scale_free_graph, engine_config), dataset="a")
+        assert history.summary()[0]["dataset"] == "a"
+        history.clear()
+        assert len(history) == 0
+
+    def test_empty_run_rejected(self):
+        from repro.bsp.result import RunResult
+
+        empty = RunResult(
+            algorithm="pagerank", graph_name="g", num_vertices=1, num_edges=1, num_workers=1
+        )
+        with pytest.raises(HistoryError):
+            HistoryStore().record(empty)
+
+
+class TestCriticalPath:
+    def test_estimate_matches_observed_critical_worker(self, engine, engine_config, small_scale_free_graph):
+        partitioning = HashPartitioner().partition(small_scale_free_graph, 4)
+        estimate = estimate_critical_path(small_scale_free_graph, partitioning)
+        assert estimate.outbound_edges[estimate.critical_worker] == max(estimate.outbound_edges)
+        result = engine.run(
+            small_scale_free_graph, PageRank(), PageRankConfig(tolerance=1e-6), engine_config
+        )
+        observed = [profile.critical_worker for profile in result.iterations]
+        # PageRank messaging is proportional to outbound edges, so the
+        # pre-execution heuristic should identify the critical worker for the
+        # vast majority of supersteps.
+        assert critical_path_accuracy(estimate, observed) >= 0.8
+
+    def test_skew_at_least_one(self, small_scale_free_graph):
+        partitioning = HashPartitioner().partition(small_scale_free_graph, 4)
+        estimate = estimate_critical_path(small_scale_free_graph, partitioning)
+        assert estimate.skew >= 1.0
+
+    def test_accuracy_empty_observation_list(self, small_scale_free_graph):
+        partitioning = HashPartitioner().partition(small_scale_free_graph, 2)
+        estimate = estimate_critical_path(small_scale_free_graph, partitioning)
+        assert critical_path_accuracy(estimate, []) == 0.0
+
+
+class TestBounds:
+    def test_pagerank_upper_bound_values(self):
+        # log10(0.001) / log10(0.85) = 42.5 -> 43 (the paper quotes 42).
+        assert pagerank_iteration_upper_bound(0.001, 0.85) in (42, 43)
+        assert pagerank_iteration_upper_bound(0.1, 0.85) >= 14
+
+    def test_bound_monotone_in_epsilon(self):
+        assert pagerank_iteration_upper_bound(0.001) > pagerank_iteration_upper_bound(0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            pagerank_iteration_upper_bound(0.0)
+        with pytest.raises(ConfigurationError):
+            pagerank_iteration_upper_bound(0.1, damping=1.0)
+        with pytest.raises(ConfigurationError):
+            pagerank_dag_bound(-1)
+        with pytest.raises(ConfigurationError):
+            connected_components_upper_bound(-2)
+        with pytest.raises(ConfigurationError):
+            bound_misprediction_factor(10, 0)
+
+    def test_dag_and_cc_bounds(self):
+        assert pagerank_dag_bound(5) == 6
+        assert connected_components_upper_bound(5) == 6
+
+    def test_misprediction_factor(self):
+        assert bound_misprediction_factor(42, 21) == pytest.approx(2.0)
+
+
+class TestPredictionEvaluation:
+    def test_signed_errors(self):
+        evaluation = PredictionEvaluation(
+            algorithm="pagerank", dataset="wiki", sampling_ratio=0.1,
+            predicted_iterations=12, actual_iterations=10,
+            predicted_runtime=90.0, actual_runtime=100.0,
+            predicted_remote_bytes=1100.0, actual_remote_bytes=1000.0,
+        )
+        assert evaluation.iterations_error == pytest.approx(0.2)
+        assert evaluation.runtime_error == pytest.approx(-0.1)
+        assert evaluation.remote_bytes_error == pytest.approx(0.1)
+        row = evaluation.as_dict()
+        assert row["iters_err"] == pytest.approx(0.2)
+        assert row["rem_bytes_err"] == pytest.approx(0.1)
+
+    def test_remote_bytes_optional(self):
+        evaluation = PredictionEvaluation(
+            algorithm="pagerank", dataset="wiki", sampling_ratio=0.1,
+            predicted_iterations=10, actual_iterations=10,
+            predicted_runtime=1.0, actual_runtime=1.0,
+        )
+        assert evaluation.remote_bytes_error is None
+        assert "rem_bytes_err" not in evaluation.as_dict()

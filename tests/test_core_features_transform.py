@@ -1,0 +1,142 @@
+"""Unit tests for key input features, feature tables and transform functions."""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.semi_clustering import SemiClustering, SemiClusteringConfig
+from repro.algorithms.topk_ranking import TopKRanking, TopKRankingConfig
+from repro.core.features import (
+    EDGE_SCALED_FEATURES,
+    KEY_INPUT_FEATURES,
+    NOT_EXTRAPOLATED_FEATURES,
+    VERTEX_SCALED_FEATURES,
+    FeatureTable,
+)
+from repro.core.transform import (
+    IDENTITY_TRANSFORM,
+    THRESHOLD_SCALING_TRANSFORM,
+    custom_transform,
+    default_transform,
+)
+from repro.exceptions import ConfigurationError, ModelingError
+
+
+class TestFeatureConstants:
+    def test_candidate_pool_matches_table1(self):
+        assert KEY_INPUT_FEATURES == [
+            "ActVert", "TotVert", "LocMsg", "RemMsg", "LocMsgSize", "RemMsgSize", "AvgMsgSize",
+        ]
+
+    def test_extrapolation_classes_cover_all_features(self):
+        covered = VERTEX_SCALED_FEATURES | EDGE_SCALED_FEATURES | NOT_EXTRAPOLATED_FEATURES
+        assert set(KEY_INPUT_FEATURES) <= covered
+
+    def test_extrapolation_classes_disjoint(self):
+        assert not (VERTEX_SCALED_FEATURES & EDGE_SCALED_FEATURES)
+        assert not (VERTEX_SCALED_FEATURES & NOT_EXTRAPOLATED_FEATURES)
+
+
+class TestFeatureTable:
+    def make_table(self):
+        table = FeatureTable()
+        table.append({"ActVert": 10.0, "RemMsg": 100.0}, 1.0)
+        table.append({"ActVert": 20.0, "RemMsg": 200.0}, 2.0)
+        return table
+
+    def test_append_and_len(self):
+        table = self.make_table()
+        assert len(table) == 2
+        assert table.runtimes == [1.0, 2.0]
+
+    def test_matrix_and_response(self):
+        table = self.make_table()
+        matrix = table.matrix(["RemMsg", "ActVert"])
+        assert matrix.shape == (2, 2)
+        assert matrix[1, 0] == 200.0
+        assert list(table.response()) == [1.0, 2.0]
+
+    def test_matrix_missing_feature_raises(self):
+        table = self.make_table()
+        with pytest.raises(ModelingError):
+            table.matrix(["Nope"])
+
+    def test_matrix_empty_table_raises(self):
+        with pytest.raises(ModelingError):
+            FeatureTable().matrix(["ActVert"])
+
+    def test_feature_names_intersection_ordered(self):
+        table = FeatureTable()
+        table.append({"ActVert": 1.0, "RemMsg": 2.0, "Extra": 3.0}, 1.0)
+        table.append({"ActVert": 1.0, "RemMsg": 2.0}, 1.0)
+        assert table.feature_names == ["ActVert", "RemMsg"]
+
+    def test_extend_and_merge(self):
+        table = self.make_table()
+        other = self.make_table()
+        merged = FeatureTable.merge([table, other])
+        assert len(merged) == 4
+        table.extend(other)
+        assert len(table) == 4
+
+    def test_append_copies_rows(self):
+        row = {"ActVert": 1.0}
+        table = FeatureTable()
+        table.append(row, 1.0)
+        row["ActVert"] = 99.0
+        assert table.rows[0]["ActVert"] == 1.0
+
+
+class TestTransformFunctions:
+    def test_default_transform_selection(self):
+        assert default_transform(PageRank()).name == "threshold-scaling"
+        assert default_transform(SemiClustering()).name == "identity"
+        assert default_transform(TopKRanking()).name == "identity"
+
+    def test_threshold_scaling_divides_by_ratio(self):
+        config = PageRankConfig(tolerance=1e-6)
+        scaled = THRESHOLD_SCALING_TRANSFORM(PageRank(), config, 0.1)
+        assert scaled.tolerance == pytest.approx(1e-5)
+        # The original configuration is untouched (transforms are pure).
+        assert config.tolerance == pytest.approx(1e-6)
+
+    def test_threshold_scaling_preserves_other_parameters(self):
+        config = PageRankConfig(damping=0.9, tolerance=1e-6)
+        scaled = THRESHOLD_SCALING_TRANSFORM(PageRank(), config, 0.2)
+        assert scaled.damping == 0.9
+
+    def test_identity_transform_returns_config_unchanged(self):
+        config = SemiClusteringConfig(tolerance=0.01)
+        assert IDENTITY_TRANSFORM(SemiClustering(), config, 0.1) is config
+
+    def test_invalid_sampling_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            THRESHOLD_SCALING_TRANSFORM(PageRank(), PageRankConfig(), 0.0)
+        with pytest.raises(ConfigurationError):
+            IDENTITY_TRANSFORM(SemiClustering(), SemiClusteringConfig(), 1.5)
+
+    def test_custom_transform_threshold_scaler(self):
+        transform = custom_transform(
+            "sqrt-scaling", threshold_scaler=lambda tau, sr: tau / (sr**0.5)
+        )
+        config = PageRankConfig(tolerance=1e-4)
+        scaled = transform(PageRank(), config, 0.25)
+        assert scaled.tolerance == pytest.approx(2e-4)
+
+    def test_custom_transform_config_overrides(self):
+        transform = custom_transform("small-vmax", config_overrides={"v_max": 5})
+        config = SemiClusteringConfig(v_max=10)
+        adjusted = transform(SemiClustering(), config, 0.1)
+        assert adjusted.v_max == 5
+        assert config.v_max == 10
+
+    def test_with_convergence_threshold_requires_attribute(self):
+        from repro.algorithms.connected_components import ConnectedComponents, ConnectedComponentsConfig
+
+        with pytest.raises(ConfigurationError):
+            ConnectedComponents().with_convergence_threshold(ConnectedComponentsConfig(), 0.1)
+
+    def test_convergence_threshold_accessor(self):
+        assert PageRank().convergence_threshold(PageRankConfig(tolerance=0.5)) == 0.5
+        assert TopKRanking().convergence_threshold(TopKRankingConfig(tolerance=0.25)) == 0.25

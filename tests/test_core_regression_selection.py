@@ -1,0 +1,155 @@
+"""Unit tests for the linear regression, cross validation and forward feature
+selection that make up the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_selection import forward_select
+from repro.core.features import FeatureTable
+from repro.core.regression import cross_validate, fit_linear_model
+from repro.exceptions import ModelingError
+
+
+def make_linear_table(num_rows=40, coef_a=3.0, coef_b=0.5, intercept=1.0, noise=0.0, seed=0):
+    """A feature table whose response is an exact (or noisy) linear function."""
+    rng = np.random.default_rng(seed)
+    table = FeatureTable()
+    for _ in range(num_rows):
+        a = float(rng.uniform(0, 100))
+        b = float(rng.uniform(0, 1000))
+        irrelevant = float(rng.uniform(0, 50))
+        response = coef_a * a + coef_b * b + intercept + float(rng.normal(0, noise))
+        table.append({"A": a, "B": b, "Noise": irrelevant}, response)
+    return table
+
+
+class TestLinearModel:
+    def test_recovers_exact_coefficients(self):
+        table = make_linear_table()
+        model = fit_linear_model(table.matrix(["A", "B"]), table.response(), ["A", "B"])
+        coefficients = model.coefficient_dict()
+        assert coefficients["A"] == pytest.approx(3.0, abs=1e-8)
+        assert coefficients["B"] == pytest.approx(0.5, abs=1e-8)
+        assert model.intercept == pytest.approx(1.0, abs=1e-6)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_predict_row_and_matrix_agree(self):
+        table = make_linear_table()
+        model = fit_linear_model(table.matrix(["A", "B"]), table.response(), ["A", "B"])
+        row = {"A": 10.0, "B": 20.0}
+        matrix = np.array([[10.0, 20.0]])
+        assert model.predict_row(row) == pytest.approx(float(model.predict_matrix(matrix)[0]))
+
+    def test_extrapolation_beyond_training_range(self):
+        # The fixed functional form must extrapolate: train on small values,
+        # predict on values 100x larger (the sample-run -> actual-run regime).
+        table = make_linear_table()
+        model = fit_linear_model(table.matrix(["A", "B"]), table.response(), ["A", "B"])
+        assert model.predict_row({"A": 10_000.0, "B": 100_000.0}) == pytest.approx(
+            3.0 * 10_000 + 0.5 * 100_000 + 1.0, rel=1e-6
+        )
+
+    def test_predict_row_missing_feature_raises(self):
+        table = make_linear_table()
+        model = fit_linear_model(table.matrix(["A"]), table.response(), ["A"])
+        with pytest.raises(ModelingError):
+            model.predict_row({"B": 1.0})
+
+    def test_predict_matrix_wrong_width_raises(self):
+        table = make_linear_table()
+        model = fit_linear_model(table.matrix(["A"]), table.response(), ["A"])
+        with pytest.raises(ModelingError):
+            model.predict_matrix(np.zeros((3, 2)))
+
+    def test_noisy_fit_r_squared_below_one(self):
+        table = make_linear_table(noise=25.0, seed=3)
+        model = fit_linear_model(table.matrix(["A", "B"]), table.response(), ["A", "B"])
+        assert 0.5 < model.r_squared < 1.0
+
+    def test_empty_observations_raise(self):
+        with pytest.raises(ModelingError):
+            fit_linear_model(np.zeros((0, 1)), [], ["A"])
+
+    def test_shape_mismatches_raise(self):
+        with pytest.raises(ModelingError):
+            fit_linear_model(np.zeros((3, 1)), [1.0, 2.0], ["A"])
+        with pytest.raises(ModelingError):
+            fit_linear_model(np.zeros((2, 2)), [1.0, 2.0], ["A"])
+        with pytest.raises(ModelingError):
+            fit_linear_model(np.zeros(3), [1.0, 2.0, 3.0], ["A"])
+
+    def test_non_negative_constraint(self):
+        rng = np.random.default_rng(1)
+        # Response depends only on A; B is pure noise that an unconstrained
+        # fit may give a small negative weight.
+        rows = []
+        for _ in range(60):
+            a = float(rng.uniform(0, 10))
+            b = float(rng.uniform(0, 10))
+            rows.append((a, b, 2.0 * a + float(rng.normal(0, 0.5))))
+        matrix = np.array([[a, b] for a, b, _ in rows])
+        response = [r for _, _, r in rows]
+        model = fit_linear_model(matrix, response, ["A", "B"], non_negative=True)
+        assert all(value >= 0 for value in model.coefficient_dict().values())
+
+
+class TestCrossValidation:
+    def test_cross_validation_error_small_for_exact_data(self):
+        table = make_linear_table()
+        result = cross_validate(table.matrix(["A", "B"]), table.response(), ["A", "B"])
+        assert result.mean_absolute_error == pytest.approx(0.0, abs=1e-6)
+        assert len(result.fold_errors) > 1
+
+    def test_cross_validation_requires_two_observations(self):
+        with pytest.raises(ModelingError):
+            cross_validate(np.zeros((1, 1)), [1.0], ["A"])
+
+
+class TestForwardSelection:
+    def test_selects_true_features_before_noise(self):
+        table = make_linear_table(noise=1.0, seed=5)
+        result = forward_select(table, ["A", "B", "Noise"], criterion="r2")
+        assert "B" in result.selected
+        assert result.selected[0] in {"A", "B"}
+        # The irrelevant feature does not enter before the real ones.
+        if "Noise" in result.selected:
+            assert result.selected.index("Noise") > 0
+
+    def test_cv_criterion_also_works(self):
+        table = make_linear_table(noise=1.0, seed=6)
+        result = forward_select(table, ["A", "B", "Noise"], criterion="cv")
+        assert set(result.selected) & {"A", "B"}
+
+    def test_max_features_cap(self):
+        table = make_linear_table(noise=0.5, seed=7)
+        result = forward_select(table, ["A", "B", "Noise"], max_features=1)
+        assert len(result.selected) == 1
+
+    def test_constant_features_excluded(self):
+        table = FeatureTable()
+        for i in range(10):
+            table.append({"Const": 5.0, "X": float(i)}, 2.0 * i)
+        result = forward_select(table, ["Const", "X"])
+        assert result.selected == ["X"]
+
+    def test_no_variance_anywhere_raises(self):
+        table = FeatureTable()
+        for _ in range(5):
+            table.append({"Const": 5.0}, 1.0)
+        with pytest.raises(ModelingError):
+            forward_select(table, ["Const"])
+
+    def test_unknown_criterion_raises(self):
+        table = make_linear_table()
+        with pytest.raises(ModelingError):
+            forward_select(table, ["A"], criterion="aic")
+
+    def test_empty_table_raises(self):
+        with pytest.raises(ModelingError):
+            forward_select(FeatureTable(), ["A"])
+
+    def test_history_tracks_incremental_sets(self):
+        table = make_linear_table(noise=0.1, seed=8)
+        result = forward_select(table, ["A", "B", "Noise"])
+        assert len(result.history) == len(result.selected)
+        assert result.history[-1] == result.selected

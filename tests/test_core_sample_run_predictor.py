@@ -1,0 +1,177 @@
+"""Tests for the sample runner and the end-to-end predictor."""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.topk_ranking import TopKRanking, TopKRankingConfig
+from repro.bsp.engine import EngineConfig
+from repro.core.cost_model import CostModel
+from repro.core.history import HistoryStore
+from repro.core.predictor import DEFAULT_TRAINING_RATIOS, Predictor
+from repro.core.sample_run import SampleRunner
+from repro.core.transform import IDENTITY_TRANSFORM
+from repro.exceptions import ConfigurationError
+from repro.sampling.biased_random_jump import BiasedRandomJump
+from repro.utils.stats import relative_error
+
+
+@pytest.fixture()
+def pagerank_config(medium_scale_free_graph):
+    return PageRankConfig.for_tolerance_level(0.001, medium_scale_free_graph.num_vertices)
+
+
+class TestSampleRunner:
+    def test_sample_run_profile_fields(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        runner = SampleRunner(
+            engine, PageRank(), sampler=BiasedRandomJump(seed=1), engine_config=engine_config
+        )
+        profile = runner.run(medium_scale_free_graph, pagerank_config, 0.1)
+        assert profile.sampling_ratio == 0.1
+        assert profile.num_iterations > 0
+        assert profile.runtime > 0
+        assert profile.factors.vertex_factor == pytest.approx(10.0, rel=0.05)
+        assert profile.factors.edge_factor >= 1.0
+        assert len(profile.feature_rows()) == profile.num_iterations
+        assert len(profile.training_table()) == profile.num_iterations
+
+    def test_transform_applied_to_sample_config(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        runner = SampleRunner(
+            engine, PageRank(), sampler=BiasedRandomJump(seed=1), engine_config=engine_config
+        )
+        profile = runner.run(medium_scale_free_graph, pagerank_config, 0.1)
+        assert profile.sample_config.tolerance == pytest.approx(pagerank_config.tolerance / 0.1)
+
+    def test_default_sampler_is_brj_and_default_transform_used(self, engine, engine_config):
+        runner = SampleRunner(engine, PageRank(), engine_config=engine_config)
+        assert runner.sampler.name == "BRJ"
+        assert runner.transform.name == "threshold-scaling"
+
+    def test_identity_transform_override(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        runner = SampleRunner(
+            engine, PageRank(), sampler=BiasedRandomJump(seed=1),
+            transform=IDENTITY_TRANSFORM, engine_config=engine_config,
+        )
+        profile = runner.run(medium_scale_free_graph, pagerank_config, 0.1)
+        assert profile.sample_config.tolerance == pagerank_config.tolerance
+
+    def test_invalid_ratio_rejected(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        runner = SampleRunner(engine, PageRank(), engine_config=engine_config)
+        with pytest.raises(ConfigurationError):
+            runner.run(medium_scale_free_graph, pagerank_config, 0.0)
+
+    def test_run_many(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        runner = SampleRunner(
+            engine, PageRank(), sampler=BiasedRandomJump(seed=1), engine_config=engine_config
+        )
+        profiles = runner.run_many(medium_scale_free_graph, pagerank_config, [0.05, 0.1])
+        assert [p.sampling_ratio for p in profiles] == [0.05, 0.1]
+
+
+class TestPredictor:
+    def make_predictor(self, engine, engine_config, history=None, ratios=(0.05, 0.1, 0.15)):
+        return Predictor(
+            engine,
+            PageRank(),
+            sampler=BiasedRandomJump(seed=2),
+            history=history,
+            training_ratios=ratios,
+            engine_config=engine_config,
+        )
+
+    def test_prediction_structure(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        predictor = self.make_predictor(engine, engine_config)
+        prediction = predictor.predict(medium_scale_free_graph, pagerank_config, sampling_ratio=0.1)
+        assert prediction.predicted_iterations > 0
+        assert len(prediction.predicted_iteration_runtimes) == prediction.predicted_iterations
+        assert prediction.predicted_superstep_runtime == pytest.approx(
+            sum(prediction.predicted_iteration_runtimes)
+        )
+        assert prediction.cost_model.is_trained
+        assert prediction.training_observations >= 2
+        assert not prediction.used_history
+        assert prediction.vertex_scaling_factor > 1.0
+        assert prediction.edge_scaling_factor > 1.0
+        assert prediction.metadata["sampler"] == "BRJ"
+        assert "predicted_superstep_runtime_s" in prediction.summary()
+
+    def test_prediction_close_to_actual_runtime(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        actual = engine.run(medium_scale_free_graph, PageRank(), pagerank_config, engine_config)
+        predictor = self.make_predictor(engine, engine_config)
+        prediction = predictor.predict(medium_scale_free_graph, pagerank_config, sampling_ratio=0.15)
+        error = relative_error(prediction.predicted_superstep_runtime, actual.superstep_runtime)
+        # The deterministic simulator plus linear cost model should land well
+        # within the paper's 10-30% band on this scale-free graph.
+        assert error < 0.6
+
+    def test_default_training_ratios_are_papers(self):
+        assert DEFAULT_TRAINING_RATIOS == (0.05, 0.1, 0.15, 0.2)
+
+    def test_history_is_used_and_excludes_predicted_dataset(self, engine, engine_config, medium_scale_free_graph, small_scale_free_graph, pagerank_config):
+        history = HistoryStore()
+        other_run = engine.run(
+            small_scale_free_graph, PageRank(), PageRankConfig(tolerance=1e-6), engine_config
+        )
+        history.record(other_run, dataset="other-graph")
+        predictor = self.make_predictor(engine, engine_config, history=history)
+        prediction = predictor.predict(
+            medium_scale_free_graph, pagerank_config, sampling_ratio=0.1, dataset_name="this-graph"
+        )
+        assert prediction.used_history
+
+        history_self_only = HistoryStore()
+        history_self_only.record(other_run, dataset="this-graph")
+        predictor2 = self.make_predictor(engine, engine_config, history=history_self_only)
+        prediction2 = predictor2.predict(
+            medium_scale_free_graph, pagerank_config, sampling_ratio=0.1, dataset_name="this-graph"
+        )
+        assert not prediction2.used_history
+
+    def test_sample_run_cache_reused_across_ratios(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        predictor = self.make_predictor(engine, engine_config)
+        predictor.predict(medium_scale_free_graph, pagerank_config, sampling_ratio=0.1)
+        cached_before = len(predictor._profile_cache)
+        predictor.predict(medium_scale_free_graph, pagerank_config, sampling_ratio=0.15)
+        # The three training ratios (0.05, 0.1, 0.15) already cover the second
+        # prediction ratio, so no new sample run is executed.
+        assert cached_before == 3
+        assert len(predictor._profile_cache) == cached_before
+
+    def test_predict_iterations_shortcut(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        predictor = self.make_predictor(engine, engine_config)
+        iterations = predictor.predict_iterations(
+            medium_scale_free_graph, pagerank_config, sampling_ratio=0.1
+        )
+        assert iterations > 0
+
+    def test_custom_cost_model_factory(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
+        predictor = Predictor(
+            engine,
+            PageRank(),
+            sampler=BiasedRandomJump(seed=2),
+            training_ratios=(0.05, 0.1),
+            cost_model_factory=lambda: CostModel(use_feature_selection=False),
+            engine_config=engine_config,
+        )
+        prediction = predictor.predict(medium_scale_free_graph, pagerank_config, sampling_ratio=0.1)
+        assert len(prediction.cost_model.selected_features) == len(
+            prediction.cost_model.candidate_features
+        )
+
+    def test_topk_prediction_pipeline(self, engine, engine_config, medium_scale_free_graph):
+        # PageRank output feeds top-k, mirroring the paper's §4.3 pipeline.
+        pr_config = PageRankConfig.for_tolerance_level(0.01, medium_scale_free_graph.num_vertices)
+        pr_result = engine.run(
+            medium_scale_free_graph, PageRank(), pr_config,
+            EngineConfig(num_workers=4, collect_vertex_values=True),
+        )
+        from repro.algorithms.topk_ranking import config_with_ranks
+
+        topk_config = config_with_ranks(TopKRankingConfig(k=3, tolerance=0.01), pr_result.vertex_values)
+        predictor = Predictor(
+            engine, TopKRanking(), sampler=BiasedRandomJump(seed=3),
+            training_ratios=(0.1, 0.2), engine_config=engine_config,
+        )
+        prediction = predictor.predict(medium_scale_free_graph, topk_config, sampling_ratio=0.1)
+        actual = engine.run(medium_scale_free_graph, TopKRanking(), topk_config, engine_config)
+        assert prediction.predicted_iterations > 0
+        assert relative_error(prediction.predicted_superstep_runtime, actual.superstep_runtime) < 1.0

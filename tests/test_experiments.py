@@ -1,0 +1,210 @@
+"""Tests for the experiment harness and the per-figure entry points.
+
+Everything runs at a very small dataset scale so that the whole evaluation
+machinery (actual-run caching, threshold-derived iteration counts, the figure
+sweeps and the table builders) is exercised quickly; the full-scale sweeps
+live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.cluster.cost_profile import CostProfile
+from repro.exceptions import ConfigurationError
+from repro.experiments import figures
+from repro.experiments.harness import (
+    ExperimentContext,
+    build_history,
+    iterations_for_threshold,
+    sweep_to_series,
+)
+from repro.experiments.reporting import render_error_sweep, render_series, render_table
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    """A small, deterministic experiment context shared by this module."""
+    return ExperimentContext(
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+        dataset_scale=0.12,
+        num_workers=4,
+        seed=7,
+        max_supersteps=120,
+    )
+
+
+class TestExperimentContext:
+    def test_load_is_cached_per_dataset(self, ctx):
+        assert ctx.load("wikipedia") is ctx.load("wikipedia")
+
+    def test_actual_run_cached(self, ctx):
+        graph = ctx.load("wikipedia")
+        config = PageRankConfig.for_tolerance_level(0.01, graph.num_vertices)
+        first = ctx.actual_run("wikipedia", PageRank(), config)
+        second = ctx.actual_run("wikipedia", PageRank(), config)
+        assert first is second
+
+    def test_actual_run_collect_values_upgrades_cache(self, ctx):
+        graph = ctx.load("wikipedia")
+        config = PageRankConfig.for_tolerance_level(0.05, graph.num_vertices)
+        without = ctx.actual_run("wikipedia", PageRank(), config)
+        with_values = ctx.actual_run("wikipedia", PageRank(), config, collect_values=True)
+        assert with_values.vertex_values is not None
+
+    def test_pagerank_output_covers_all_vertices(self, ctx):
+        ranks = ctx.pagerank_output("wikipedia")
+        assert set(ranks) == set(ctx.load("wikipedia").vertices())
+
+    def test_topk_config_carries_ranks(self, ctx):
+        config = ctx.topk_config("wikipedia", k=3)
+        assert config.k == 3
+        assert config.ranks
+
+    def test_sampler_and_predictor_wiring(self, ctx):
+        assert ctx.sampler("RJ").name == "RJ"
+        predictor = ctx.predictor(PageRank(), training_ratios=(0.1, 0.2))
+        assert predictor.training_ratios == (0.1, 0.2)
+
+
+class TestIterationsForThreshold:
+    def test_matches_run_with_looser_threshold(self, ctx):
+        graph = ctx.load("wikipedia")
+        tight = PageRankConfig.for_tolerance_level(0.001, graph.num_vertices)
+        loose = PageRankConfig.for_tolerance_level(0.01, graph.num_vertices)
+        tight_run = ctx.actual_run("wikipedia", PageRank(), tight)
+        loose_run = ctx.actual_run("wikipedia", PageRank(), loose)
+        derived = iterations_for_threshold(tight_run, loose.tolerance)
+        assert derived == loose_run.num_iterations
+
+    def test_threshold_tighter_than_run_returns_full_count(self, ctx):
+        graph = ctx.load("wikipedia")
+        config = PageRankConfig.for_tolerance_level(0.01, graph.num_vertices)
+        run = ctx.actual_run("wikipedia", PageRank(), config)
+        assert iterations_for_threshold(run, 1e-12) == run.num_iterations
+
+    def test_run_without_history_raises(self):
+        from repro.bsp.result import RunResult
+
+        empty = RunResult(
+            algorithm="pagerank", graph_name="g", num_vertices=1, num_edges=1, num_workers=1
+        )
+        with pytest.raises(ConfigurationError):
+            iterations_for_threshold(empty, 0.1)
+
+
+class TestSweepHelpers:
+    def test_sweep_to_series(self):
+        ratios, series = sweep_to_series({"LJ": [(0.1, 0.2), (0.2, 0.1)], "UK": [(0.1, -0.1)]})
+        assert ratios == [0.1, 0.2]
+        assert series["LJ"] == [0.2, 0.1]
+
+    def test_render_helpers_produce_text(self):
+        table_text = render_table(["a"], [[1]], title="T")
+        series_text = render_series("x", [1], {"s": [2]})
+        sweep_text = render_error_sweep({"LJ": [(0.1, 0.25)]}, title="Sweep")
+        assert "T" in table_text
+        assert "s" in series_text
+        assert "LJ" in sweep_text
+
+
+class TestFigureEntryPoints:
+    DATASETS = ("wikipedia", "uk-2002")
+    RATIOS = (0.1, 0.2)
+
+    def test_table2(self, ctx):
+        result = figures.table2_datasets(ctx, datasets=self.DATASETS)
+        assert len(result.rows) == 2
+        assert "paper_nodes" in result.headers
+        assert "Table 2" in result.render()
+
+    def test_fig4(self, ctx):
+        result = figures.fig4_pagerank_iterations(
+            ctx, datasets=self.DATASETS, ratios=self.RATIOS, epsilons=(0.01, 0.001)
+        )
+        assert set(result) == {0.01, 0.001}
+        sweep = result[0.001]
+        assert set(sweep.sweep) == {"Wiki", "UK"}
+        assert all(len(points) == len(self.RATIOS) for points in sweep.sweep.values())
+        assert "Figure 4" in sweep.render()
+
+    def test_fig5(self, ctx):
+        result = figures.fig5_semiclustering_iterations(
+            ctx, datasets=("wikipedia",), ratios=self.RATIOS, tolerances=(0.01, 0.001)
+        )
+        assert set(result) == {0.01, 0.001}
+        assert "Wiki" in result[0.001].sweep
+
+    def test_fig6(self, ctx):
+        result = figures.fig6_topk_features(ctx, datasets=("wikipedia",), ratios=self.RATIOS)
+        assert set(result) == {"iterations", "remote_bytes"}
+        assert "Wiki" in result["remote_bytes"].sweep
+
+    def test_fig7_and_history_variant(self, ctx):
+        no_history = figures.fig7_semiclustering_runtime(
+            ctx, datasets=("wikipedia", "uk-2002"), ratios=(0.1,), use_history=False
+        )
+        with_history = figures.fig7_semiclustering_runtime(
+            ctx, datasets=("wikipedia", "uk-2002"), ratios=(0.1,), use_history=True
+        )
+        assert no_history.extras["used_history"] is False
+        assert with_history.extras["used_history"] is True
+        assert set(no_history.sweep) == {"Wiki", "UK"}
+        assert set(no_history.extras["r_squared"]) == {"Wiki", "UK"}
+
+    def test_fig8(self, ctx):
+        result = figures.fig8_topk_runtime(
+            ctx, datasets=("wikipedia",), ratios=(0.1,), use_history=False
+        )
+        assert "Wiki" in result.sweep
+        assert result.extras["r_squared"]["Wiki"] <= 1.0
+
+    def test_fig9(self, ctx):
+        result = figures.fig9_sampling_sensitivity(
+            ctx, dataset="wikipedia", ratios=(0.1,), samplers=("BRJ", "RJ")
+        )
+        assert set(result) == {"semi-clustering", "topk-ranking"}
+        assert set(result["semi-clustering"].sweep) == {"BRJ", "RJ"}
+
+    def test_upper_bounds(self, ctx):
+        result = figures.upper_bound_comparison(ctx, datasets=("wikipedia",), epsilons=(0.01, 0.001))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            bound = row[1]
+            actual = row[2]
+            assert bound > actual  # the analytical bound is loose
+
+    def test_table3(self, ctx):
+        result = figures.table3_overhead(
+            ctx,
+            ratios=(0.1, 1.0),
+            columns=(("pagerank", "wikipedia"), ("connected-components", "wikipedia")),
+        )
+        assert result.headers[0] == "SR"
+        sample_row = result.rows[0]
+        actual_row = result.rows[-1]
+        # The sample run is cheaper than the actual run for every column.
+        assert all(sample < actual for sample, actual in zip(sample_row[1:], actual_row[1:]))
+
+    def test_ablation_transform(self, ctx):
+        result = figures.ablation_transform_function(
+            ctx, datasets=("wikipedia",), ratios=(0.1,), epsilon=0.001
+        )
+        assert set(result) == {"with-transform", "without-transform"}
+        with_err = abs(result["with-transform"].sweep["Wiki"][0][1])
+        without_err = abs(result["without-transform"].sweep["Wiki"][0][1])
+        # Scaling the threshold must not be worse than ignoring it.
+        assert with_err <= without_err + 1e-9
+
+    def test_ablation_feature_selection(self, ctx):
+        result = figures.ablation_feature_selection(
+            ctx, dataset="wikipedia", ratios=(0.1, 0.2), prediction_ratio=0.1
+        )
+        assert len(result.rows) == 2
+        assert {row[0] for row in result.rows} == {"forward-selection", "all-features"}
+
+    def test_error_sweep_helpers(self, ctx):
+        sweep = figures.ErrorSweep(title="t", x_label="x", sweep={"A": [(0.1, 0.5), (0.2, -0.2)]})
+        ratios, series = sweep.series()
+        assert ratios == [0.1, 0.2]
+        assert sweep.max_abs_error() == pytest.approx(0.5)
+        assert sweep.max_abs_error(at_ratio=0.2) == pytest.approx(0.2)

@@ -1,0 +1,37 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestCli:
+    def test_every_paper_artefact_has_an_entry(self):
+        assert {"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                "upper-bounds", "table3"} <= set(EXPERIMENTS)
+
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig4" in output and "table3" in output
+
+    def test_no_arguments_lists_experiments(self, capsys):
+        assert main([]) == 0
+        assert "fig9" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.scale == pytest.approx(0.4)
+        assert args.workers == 8
+        assert args.seed == 42
+
+    def test_runs_a_cheap_experiment_end_to_end(self, capsys):
+        # table2 at a tiny scale exercises the full dispatch path quickly.
+        assert main(["table2", "--scale", "0.1", "--workers", "4", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "twitter" in output

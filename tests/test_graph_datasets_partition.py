@@ -1,0 +1,105 @@
+"""Unit tests for the stand-in dataset registry and the vertex partitioners."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph import datasets
+from repro.graph.partition import ChunkPartitioner, HashPartitioner, RangePartitioner
+from repro.graph.properties import is_scale_free
+
+
+class TestDatasetRegistry:
+    def test_available_datasets(self):
+        names = datasets.available_datasets()
+        assert set(names) == {"livejournal", "wikipedia", "twitter", "uk-2002"}
+
+    def test_dataset_spec_lookup_case_insensitive(self):
+        spec = datasets.dataset_spec("Wikipedia")
+        assert spec.prefix == "Wiki"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ConfigurationError):
+            datasets.dataset_spec("orkut")
+
+    def test_load_dataset_scales_with_scale(self):
+        small = datasets.load_dataset("wikipedia", scale=0.1, seed=1)
+        large = datasets.load_dataset("wikipedia", scale=0.3, seed=1)
+        assert large.num_vertices > small.num_vertices
+
+    def test_load_dataset_cached(self):
+        a = datasets.load_dataset("wikipedia", scale=0.1, seed=1)
+        b = datasets.load_dataset("wikipedia", scale=0.1, seed=1)
+        assert a is b
+
+    def test_clear_cache(self):
+        a = datasets.load_dataset("wikipedia", scale=0.1, seed=1)
+        datasets.clear_cache()
+        b = datasets.load_dataset("wikipedia", scale=0.1, seed=1)
+        assert a is not b
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ConfigurationError):
+            datasets.load_dataset("wikipedia", scale=0)
+
+    def test_twitter_standin_is_densest(self):
+        tw = datasets.load_dataset("twitter", scale=0.15, seed=2)
+        wiki = datasets.load_dataset("wikipedia", scale=0.15, seed=2)
+        assert tw.num_edges / tw.num_vertices > wiki.num_edges / wiki.num_vertices
+
+    def test_livejournal_standin_not_scale_free(self):
+        lj = datasets.load_dataset("livejournal", scale=0.5, seed=3)
+        assert not is_scale_free(lj)
+
+    def test_wikipedia_standin_scale_free(self):
+        wiki = datasets.load_dataset("wikipedia", scale=0.5, seed=3)
+        assert is_scale_free(wiki)
+
+    def test_paper_table2_rows_complete(self):
+        rows = datasets.paper_table2_rows()
+        assert len(rows) == 4
+        assert any(row["prefix"] == "TW" for row in rows)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("partitioner_cls", [HashPartitioner, RangePartitioner, ChunkPartitioner])
+    def test_every_vertex_assigned_exactly_once(self, partitioner_cls, small_scale_free_graph):
+        partitioning = partitioner_cls().partition(small_scale_free_graph, 4)
+        assert len(partitioning.assignment) == small_scale_free_graph.num_vertices
+        assert sum(partitioning.worker_vertex_counts()) == small_scale_free_graph.num_vertices
+        assert all(0 <= w < 4 for w in partitioning.assignment.values())
+
+    def test_chunk_partitioner_balanced(self, small_scale_free_graph):
+        partitioning = ChunkPartitioner().partition(small_scale_free_graph, 4)
+        counts = partitioning.worker_vertex_counts()
+        assert max(counts) - min(counts) <= 1
+
+    def test_worker_outbound_edges_sum_to_total(self, small_scale_free_graph):
+        partitioning = HashPartitioner().partition(small_scale_free_graph, 4)
+        outbound = partitioning.worker_outbound_edges(small_scale_free_graph)
+        assert sum(outbound) == small_scale_free_graph.num_edges
+
+    def test_worker_of_and_vertices_of_consistent(self, small_scale_free_graph):
+        partitioning = HashPartitioner().partition(small_scale_free_graph, 3)
+        for worker in range(3):
+            for vertex in partitioning.vertices_of(worker):
+                assert partitioning.worker_of(vertex) == worker
+
+    def test_invalid_worker_count_raises(self, small_scale_free_graph):
+        with pytest.raises(ConfigurationError):
+            HashPartitioner().partition(small_scale_free_graph, 0)
+
+    def test_empty_graph_raises(self):
+        from repro.graph.digraph import DiGraph
+
+        with pytest.raises(ConfigurationError):
+            HashPartitioner().partition(DiGraph(), 2)
+
+    def test_range_partitioner_contiguous(self):
+        from repro.graph.digraph import DiGraph
+
+        graph = DiGraph()
+        for vertex in range(10):
+            graph.add_vertex(vertex)
+        partitioning = RangePartitioner().partition(graph, 2)
+        assert partitioning.worker_of(0) == 0
+        assert partitioning.worker_of(9) == 1

@@ -1,0 +1,132 @@
+"""Unit tests for the DiGraph data structure and the GraphBuilder."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+
+class TestDiGraphBasics:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.vertices()) == []
+
+    def test_add_vertex_idempotent(self):
+        graph = DiGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(1)
+        assert graph.num_vertices == 1
+
+    def test_add_edge_creates_endpoints(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        assert graph.has_vertex(1) and graph.has_vertex(2)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.out_degree(0) == 2
+        assert tiny_graph.in_degree(2) == 2
+        assert tiny_graph.degree(2) == tiny_graph.in_degree(2) + tiny_graph.out_degree(2)
+
+    def test_parallel_edges_counted(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        assert graph.num_edges == 2
+        assert graph.out_degree(1) == 2
+
+    def test_successors_and_out_edges(self, tiny_graph):
+        assert set(tiny_graph.successors(0)) == {1, 2}
+        assert all(weight == 1.0 for _, weight in tiny_graph.out_edges(0))
+
+    def test_edges_iterator_total(self, tiny_graph):
+        assert len(list(tiny_graph.edges())) == tiny_graph.num_edges
+
+    def test_degree_sequences_align_with_vertices(self, tiny_graph):
+        assert len(tiny_graph.out_degree_sequence()) == tiny_graph.num_vertices
+        assert sum(tiny_graph.out_degree_sequence()) == tiny_graph.num_edges
+        assert sum(tiny_graph.in_degree_sequence()) == tiny_graph.num_edges
+
+    def test_unknown_vertex_raises(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError):
+            graph.successors(99)
+        with pytest.raises(GraphError):
+            graph.out_degree(99)
+
+    def test_contains_and_len(self, tiny_graph):
+        assert 0 in tiny_graph
+        assert 99 not in tiny_graph
+        assert len(tiny_graph) == tiny_graph.num_vertices
+
+
+class TestDiGraphDerivations:
+    def test_subgraph_keeps_only_internal_edges(self, tiny_graph):
+        sub = tiny_graph.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.has_edge(0, 1) and sub.has_edge(2, 0)
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_of_disjoint_vertices_has_no_edges(self, tiny_graph):
+        sub = tiny_graph.subgraph([0, 4])
+        assert sub.num_edges == 0
+
+    def test_as_undirected_doubles_edges(self, tiny_graph):
+        undirected = tiny_graph.as_undirected()
+        assert undirected.num_edges == 2 * tiny_graph.num_edges
+        assert undirected.has_edge(1, 0)
+
+    def test_reverse_flips_edges(self, tiny_graph):
+        rev = tiny_graph.reverse()
+        assert rev.has_edge(1, 0)
+        assert not rev.has_edge(0, 1)
+        assert rev.num_edges == tiny_graph.num_edges
+
+    def test_copy_is_independent(self, tiny_graph):
+        dup = tiny_graph.copy()
+        dup.add_edge(0, 5)
+        assert dup.num_edges == tiny_graph.num_edges + 1
+
+    def test_relabel_to_integers(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        relabelled, mapping = graph.relabel_to_integers()
+        assert set(mapping.values()) == {0, 1, 2}
+        assert relabelled.has_edge(mapping["a"], mapping["b"])
+
+
+class TestGraphBuilder:
+    def test_self_loops_dropped_by_default(self):
+        builder = GraphBuilder()
+        builder.add_edge(1, 1)
+        builder.add_edge(1, 2)
+        graph = builder.build()
+        assert graph.num_edges == 1
+        assert builder.stats.self_loops_dropped == 1
+
+    def test_self_loops_allowed_when_enabled(self):
+        builder = GraphBuilder(allow_self_loops=True)
+        builder.add_edge(1, 1)
+        assert builder.build().num_edges == 1
+
+    def test_deduplicate_parallel_edges(self):
+        builder = GraphBuilder(deduplicate=True)
+        builder.add_edges([(1, 2), (1, 2), (2, 3)])
+        graph = builder.build()
+        assert graph.num_edges == 2
+        assert builder.stats.duplicates_dropped == 1
+
+    def test_stats_as_dict(self):
+        builder = GraphBuilder()
+        builder.add_edge(1, 2)
+        stats = builder.stats.as_dict()
+        assert stats["edges_added"] == 1
+
+    def test_add_vertex_chainable(self):
+        graph = GraphBuilder().add_vertex(1).add_vertex(2).build()
+        assert graph.num_vertices == 2

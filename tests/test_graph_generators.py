@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph import generators
+from repro.graph.properties import is_scale_free, largest_wcc_fraction
+
+
+class TestPreferentialAttachment:
+    def test_size_and_determinism(self):
+        a = generators.preferential_attachment(300, out_degree=5, seed=1)
+        b = generators.preferential_attachment(300, out_degree=5, seed=1)
+        assert a.num_vertices == 300
+        assert a.num_edges == b.num_edges
+        assert a.num_edges > 300
+
+    def test_different_seeds_differ(self):
+        a = generators.preferential_attachment(300, out_degree=5, seed=1)
+        b = generators.preferential_attachment(300, out_degree=5, seed=2)
+        assert a.num_edges != b.num_edges or set(a.edges()) != set(b.edges())
+
+    def test_heavy_tailed_degrees(self):
+        graph = generators.preferential_attachment(1500, out_degree=6, seed=3)
+        max_in = max(graph.in_degree_sequence())
+        mean_in = sum(graph.in_degree_sequence()) / graph.num_vertices
+        assert max_in > 10 * mean_in
+
+    def test_is_scale_free(self):
+        graph = generators.preferential_attachment(2000, out_degree=6, seed=4)
+        assert is_scale_free(graph)
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ConfigurationError):
+            generators.preferential_attachment(0)
+        with pytest.raises(ConfigurationError):
+            generators.preferential_attachment(10, out_degree=0)
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        graph = generators.rmat(scale=8, edge_factor=4, seed=5)
+        assert graph.num_vertices == 256
+
+    def test_edges_bounded_by_requested_factor(self):
+        graph = generators.rmat(scale=8, edge_factor=4, seed=5)
+        assert 0 < graph.num_edges <= 256 * 4
+
+    def test_skewed_in_degree(self):
+        graph = generators.rmat(scale=10, edge_factor=8, seed=6)
+        degrees = sorted(graph.in_degree_sequence(), reverse=True)
+        top_share = sum(degrees[: len(degrees) // 100 + 1]) / max(1, sum(degrees))
+        assert top_share > 0.05
+
+    def test_invalid_probabilities_raise(self):
+        with pytest.raises(ConfigurationError):
+            generators.rmat(scale=4, a=0.6, b=0.3, c=0.3)
+        with pytest.raises(ConfigurationError):
+            generators.rmat(scale=0)
+
+
+class TestOtherGenerators:
+    def test_copying_model_size(self):
+        graph = generators.copying_model(400, out_degree=5, seed=7)
+        assert graph.num_vertices == 400
+        assert graph.num_edges > 400
+
+    def test_copying_model_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            generators.copying_model(100, copy_probability=1.5)
+
+    def test_lognormal_not_scale_free(self):
+        graph = generators.lognormal_digraph(1200, mean_out_degree=8, seed=8)
+        assert graph.num_vertices == 1200
+        assert not is_scale_free(graph)
+
+    def test_lognormal_reciprocity_creates_back_edges(self):
+        graph = generators.lognormal_digraph(200, mean_out_degree=5, reciprocity=1.0, seed=9)
+        back = sum(1 for s, t, _ in graph.edges() if graph.has_edge(t, s))
+        assert back > graph.num_edges * 0.5
+
+    def test_erdos_renyi_sparse(self):
+        graph = generators.erdos_renyi(200, 0.01, seed=10)
+        assert graph.num_vertices == 200
+
+    def test_erdos_renyi_dense_path(self):
+        graph = generators.erdos_renyi(30, 0.5, seed=11)
+        expected = 0.5 * 30 * 29
+        assert abs(graph.num_edges - expected) < expected * 0.5
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_chain_structure(self):
+        graph = generators.chain(10)
+        assert graph.num_vertices == 10
+        assert graph.num_edges == 9
+        assert graph.out_degree(9) == 0
+
+    def test_star_structure(self):
+        graph = generators.star(5)
+        assert graph.num_vertices == 6
+        assert graph.out_degree(0) == 5
+
+    def test_complete_graph(self):
+        graph = generators.complete(5)
+        assert graph.num_edges == 20
+
+    def test_two_level_hierarchy_connected(self):
+        graph = generators.two_level_hierarchy(4, 15, seed=12)
+        assert graph.num_vertices == 60
+        assert largest_wcc_fraction(graph) > 0.9

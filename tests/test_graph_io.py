@@ -1,0 +1,92 @@
+"""Unit tests for edge-list I/O."""
+
+import gzip
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import DiGraph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture()
+def sample_graph():
+    graph = DiGraph(name="io-sample")
+    graph.add_edge(0, 1, 2.0)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 0)
+    return graph
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(sample_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == sample_graph.num_vertices
+        assert loaded.num_edges == sample_graph.num_edges
+        assert loaded.has_edge(0, 1)
+
+    def test_round_trip_with_weights(self, sample_graph, tmp_path):
+        path = tmp_path / "weighted.txt"
+        write_edge_list(sample_graph, path, write_weights=True)
+        loaded = read_edge_list(path)
+        weights = {(s, t): w for s, t, w in loaded.edges()}
+        assert weights[(0, 1)] == pytest.approx(2.0)
+
+    def test_gzip_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(sample_graph, path)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("#")
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == sample_graph.num_edges
+
+    def test_creates_parent_directories(self, sample_graph, tmp_path):
+        path = tmp_path / "nested" / "dir" / "graph.txt"
+        write_edge_list(sample_graph, path)
+        assert path.exists()
+
+
+class TestReadEdgeCases:
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer_ids_raise_when_as_int(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path, as_int=True)
+
+    def test_string_ids_supported(self, tmp_path):
+        path = tmp_path / "str.txt"
+        path.write_text("a b\nb c\n")
+        graph = read_edge_list(path, as_int=False)
+        assert graph.has_edge("a", "b")
+
+    def test_bad_weight_raises(self, tmp_path):
+        path = tmp_path / "badweight.txt"
+        path.write_text("0 1 notaweight\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_deduplicate_option(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1\n0 1\n")
+        graph = read_edge_list(path, deduplicate=True)
+        assert graph.num_edges == 1
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path)
+        assert graph.name == "mygraph"

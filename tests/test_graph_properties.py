@@ -1,0 +1,116 @@
+"""Unit tests for graph property analysis."""
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.graph.properties import (
+    DegreeStatistics,
+    analyze,
+    bfs_distances,
+    build_in_adjacency,
+    clustering_coefficient,
+    degree_d_statistics,
+    effective_diameter,
+    is_scale_free,
+    largest_wcc_fraction,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture()
+def two_component_graph():
+    graph = DiGraph(name="two-components")
+    graph.add_edges([(0, 1), (1, 2), (2, 0)])
+    graph.add_edges([(10, 11), (11, 12)])
+    return graph
+
+
+class TestBfsAndComponents:
+    def test_bfs_distances_directed(self, tiny_graph):
+        distances = bfs_distances(tiny_graph, 0, directed=True)
+        assert distances[0] == 0
+        assert distances[1] == 1
+        assert distances[3] == 2
+
+    def test_bfs_distances_undirected_reaches_more(self, two_component_graph):
+        directed = bfs_distances(two_component_graph, 2, directed=True)
+        undirected = bfs_distances(two_component_graph, 2, directed=False)
+        assert len(undirected) >= len(directed)
+
+    def test_build_in_adjacency(self, tiny_graph):
+        in_adj = build_in_adjacency(tiny_graph)
+        assert set(in_adj[2]) == {0, 1}
+
+    def test_weakly_connected_components(self, two_component_graph):
+        components = weakly_connected_components(two_component_graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [3, 3]
+
+    def test_largest_wcc_fraction(self, two_component_graph):
+        assert largest_wcc_fraction(two_component_graph) == pytest.approx(0.5)
+
+    def test_largest_wcc_fraction_empty_graph(self):
+        assert largest_wcc_fraction(DiGraph()) == 0.0
+
+
+class TestDiameterAndClustering:
+    def test_effective_diameter_of_chain(self):
+        chain = generators.chain(20)
+        diameter = effective_diameter(chain, num_sources=20, directed=False, seed=1)
+        assert diameter > 5
+
+    def test_effective_diameter_of_complete_graph_is_one(self):
+        graph = generators.complete(10)
+        assert effective_diameter(graph, num_sources=10, seed=1) == pytest.approx(1.0)
+
+    def test_effective_diameter_empty_graph(self):
+        assert effective_diameter(DiGraph()) == 0.0
+
+    def test_clustering_coefficient_complete_graph(self):
+        graph = generators.complete(8)
+        assert clustering_coefficient(graph, seed=1) == pytest.approx(1.0)
+
+    def test_clustering_coefficient_chain_is_zero(self):
+        graph = generators.chain(20)
+        assert clustering_coefficient(graph, seed=1) == pytest.approx(0.0)
+
+    def test_clustering_coefficient_empty(self):
+        assert clustering_coefficient(DiGraph()) == 0.0
+
+
+class TestScaleFreeCheck:
+    def test_preferential_attachment_is_scale_free(self):
+        graph = generators.preferential_attachment(2000, out_degree=6, seed=2)
+        assert is_scale_free(graph)
+
+    def test_erdos_renyi_is_not_scale_free(self):
+        graph = generators.erdos_renyi(1500, 0.005, seed=3)
+        assert not is_scale_free(graph)
+
+    def test_tiny_graph_is_not_scale_free(self, tiny_graph):
+        assert not is_scale_free(tiny_graph)
+
+
+class TestAnalyze:
+    def test_degree_statistics_from_sequence(self):
+        stats = DegreeStatistics.from_sequence([1, 2, 3, 4, 100])
+        assert stats.maximum == 100
+        assert stats.mean == pytest.approx(22.0)
+
+    def test_degree_statistics_empty(self):
+        stats = DegreeStatistics.from_sequence([])
+        assert stats.maximum == 0
+
+    def test_analyze_bundle(self, small_scale_free_graph):
+        props = analyze(small_scale_free_graph, seed=1, diameter_sources=16)
+        assert props.num_vertices == small_scale_free_graph.num_vertices
+        assert props.num_edges == small_scale_free_graph.num_edges
+        assert props.average_out_degree > 1
+        assert 0 < props.largest_wcc_fraction <= 1.0
+        assert "vertices" in props.as_dict()
+
+    def test_degree_d_statistics_sample_of_itself(self, small_scale_free_graph):
+        stats = degree_d_statistics(small_scale_free_graph, small_scale_free_graph)
+        assert stats["out_degree"] == pytest.approx(0.0)
+        assert stats["in_degree"] == pytest.approx(0.0)

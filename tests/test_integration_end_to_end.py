@@ -1,0 +1,161 @@
+"""End-to-end integration tests reproducing the paper's workflow in miniature.
+
+These tests run the complete PREDIcT pipeline -- sample run with transform,
+feature extrapolation, cost-model training (with and without history) and
+runtime prediction -- against actual runs on small stand-in graphs, and check
+the qualitative claims of the paper:
+
+* the predicted number of iterations tracks the actual number of iterations,
+* runtime prediction errors are bounded,
+* adding history does not break the prediction (and typically improves R²),
+* the transform function is required for PageRank iteration invariance,
+* documented limitations (degenerate graphs) indeed degrade the prediction.
+"""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.semi_clustering import SemiClustering, SemiClusteringConfig
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import CostProfile
+from repro.core.errors import evaluate_prediction
+from repro.core.history import HistoryStore
+from repro.core.predictor import Predictor
+from repro.core.transform import IDENTITY_TRANSFORM
+from repro.exceptions import ConfigurationError
+from repro.graph import generators
+from repro.sampling.biased_random_jump import BiasedRandomJump
+from repro.utils.stats import relative_error
+
+
+@pytest.fixture(scope="module")
+def quiet_engine():
+    return BSPEngine(cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0))
+
+
+@pytest.fixture(scope="module")
+def engine_config_module():
+    return EngineConfig(num_workers=4, max_supersteps=150, runtime_seed=5)
+
+
+@pytest.fixture(scope="module")
+def web_graph():
+    return generators.preferential_attachment(1200, out_degree=7, seed=21, name="web-standin")
+
+
+class TestPageRankEndToEnd:
+    def test_iteration_and_runtime_prediction(self, quiet_engine, engine_config_module, web_graph):
+        config = PageRankConfig.for_tolerance_level(0.001, web_graph.num_vertices)
+        actual = quiet_engine.run(web_graph, PageRank(), config, engine_config_module)
+        predictor = Predictor(
+            quiet_engine, PageRank(), sampler=BiasedRandomJump(seed=4),
+            training_ratios=(0.05, 0.1, 0.15, 0.2), engine_config=engine_config_module,
+        )
+        prediction = predictor.predict(web_graph, config, sampling_ratio=0.1)
+
+        assert relative_error(prediction.predicted_iterations, actual.num_iterations) <= 0.5
+        assert relative_error(
+            prediction.predicted_superstep_runtime, actual.superstep_runtime
+        ) <= 0.6
+        assert prediction.cost_model.r_squared > 0.9
+
+        evaluation = evaluate_prediction(prediction, actual, dataset="web-standin")
+        assert evaluation.algorithm == "pagerank"
+        assert abs(evaluation.remote_bytes_error) <= 0.6
+
+    def test_transform_needed_for_iteration_invariance(self, quiet_engine, engine_config_module, web_graph):
+        config = PageRankConfig.for_tolerance_level(0.001, web_graph.num_vertices)
+        actual = quiet_engine.run(web_graph, PageRank(), config, engine_config_module)
+
+        with_transform = Predictor(
+            quiet_engine, PageRank(), sampler=BiasedRandomJump(seed=4),
+            training_ratios=(0.1,), engine_config=engine_config_module,
+        ).predict_iterations(web_graph, config, sampling_ratio=0.1)
+        without_transform = Predictor(
+            quiet_engine, PageRank(), sampler=BiasedRandomJump(seed=4),
+            transform=IDENTITY_TRANSFORM,
+            training_ratios=(0.1,), engine_config=engine_config_module,
+        ).predict_iterations(web_graph, config, sampling_ratio=0.1)
+
+        error_with = relative_error(with_transform, actual.num_iterations)
+        error_without = relative_error(without_transform, actual.num_iterations)
+        # Without threshold scaling the sample run systematically converges at
+        # the wrong iteration; the transform must not be worse.
+        assert error_with <= error_without
+
+
+class TestHistoryImprovesTraining:
+    def test_history_keeps_prediction_sound(self, quiet_engine, engine_config_module, web_graph):
+        other_graph = generators.copying_model(900, out_degree=6, seed=31, name="other-web")
+        config_web = PageRankConfig.for_tolerance_level(0.001, web_graph.num_vertices)
+        config_other = PageRankConfig.for_tolerance_level(0.001, other_graph.num_vertices)
+
+        actual_web = quiet_engine.run(web_graph, PageRank(), config_web, engine_config_module)
+        actual_other = quiet_engine.run(other_graph, PageRank(), config_other, engine_config_module)
+
+        history = HistoryStore()
+        history.record(actual_other, dataset="other-web")
+
+        predictor = Predictor(
+            quiet_engine, PageRank(), sampler=BiasedRandomJump(seed=4), history=history,
+            training_ratios=(0.05, 0.1, 0.15), engine_config=engine_config_module,
+        )
+        prediction = predictor.predict(
+            web_graph, config_web, sampling_ratio=0.1, dataset_name="web-standin"
+        )
+        assert prediction.used_history
+        assert prediction.cost_model.r_squared > 0.9
+        assert relative_error(
+            prediction.predicted_superstep_runtime, actual_web.superstep_runtime
+        ) <= 0.6
+
+
+class TestSemiClusteringEndToEnd:
+    def test_runtime_prediction_with_variable_iteration_cost(self, quiet_engine, engine_config_module):
+        graph = generators.preferential_attachment(500, out_degree=5, seed=41, name="sc-graph")
+        config = SemiClusteringConfig(tolerance=0.01, v_max=6)
+        actual = quiet_engine.run(graph, SemiClustering(), config, engine_config_module)
+        predictor = Predictor(
+            quiet_engine, SemiClustering(), sampler=BiasedRandomJump(seed=4),
+            training_ratios=(0.1, 0.2), engine_config=engine_config_module,
+        )
+        prediction = predictor.predict(graph, config, sampling_ratio=0.15)
+        assert prediction.predicted_iterations >= 2
+        # Semi-clustering runtimes vary per iteration; the per-iteration model
+        # must still land within a factor-of-two band on this small graph.
+        assert relative_error(
+            prediction.predicted_superstep_runtime, actual.superstep_runtime
+        ) <= 1.0
+
+
+class TestDocumentedLimitations:
+    def test_degenerate_chain_graph_is_a_bad_fit(self, quiet_engine, engine_config_module):
+        # §3.5: degenerate structures (lists) are not amenable to the
+        # methodology -- sampling a chain changes the diameter drastically, so
+        # the iteration prediction is far off.
+        chain = generators.chain(400)
+        config = PageRankConfig.for_tolerance_level(0.001, chain.num_vertices)
+        actual = quiet_engine.run(chain, PageRank(), config, engine_config_module)
+        predictor = Predictor(
+            quiet_engine, PageRank(), sampler=BiasedRandomJump(seed=4),
+            training_ratios=(0.1,), engine_config=engine_config_module,
+        )
+        predicted_iterations = predictor.predict_iterations(chain, config, sampling_ratio=0.1)
+        assert relative_error(predicted_iterations, actual.num_iterations) > 0.3
+
+    def test_sample_without_edges_is_rejected(self, quiet_engine, engine_config_module):
+        # A graph of isolated vertices cannot produce a usable sample: the
+        # induced sample has no edges, so the sample run is refused instead of
+        # silently predicting nonsense.
+        from repro.graph.digraph import DiGraph
+
+        isolated = DiGraph(name="isolated")
+        for vertex in range(100):
+            isolated.add_vertex(vertex)
+        config = PageRankConfig.for_tolerance_level(0.01, isolated.num_vertices)
+        predictor = Predictor(
+            quiet_engine, PageRank(), sampler=BiasedRandomJump(seed=1),
+            training_ratios=(0.1,), engine_config=engine_config_module,
+        )
+        with pytest.raises(ConfigurationError):
+            predictor.predict(isolated, config, sampling_ratio=0.1)

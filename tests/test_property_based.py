@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+These cover the invariants the rest of the system silently relies on:
+
+* graph bookkeeping (degree sums, subgraph closure, undirected symmetry),
+* the statistics helpers (R² of a perfect fit, D-statistic bounds),
+* the regression (exact recovery of linear ground truth, scale equivariance),
+* the extrapolator (linearity, identity at factor 1),
+* the samplers (requested ratio met, sample is a subgraph),
+* the transform functions (threshold scaling is exact and pure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.extrapolation import Extrapolator, ScalingFactors
+from repro.core.features import FeatureTable
+from repro.core.regression import fit_linear_model
+from repro.core.transform import THRESHOLD_SCALING_TRANSFORM
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.graph.digraph import DiGraph
+from repro.graph import generators
+from repro.sampling.random_jump import RandomJump
+from repro.utils.stats import coefficient_of_determination, d_statistic, signed_relative_error
+
+# A strategy producing small random edge lists over a bounded vertex universe.
+edge_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30)),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build_graph(edges) -> DiGraph:
+    graph = DiGraph(name="hypothesis")
+    for source, target in edges:
+        graph.add_edge(source, target)
+    return graph
+
+
+class TestGraphInvariants:
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_degree_sums_equal_edge_count(self, edges):
+        graph = build_graph(edges)
+        assert sum(graph.out_degree_sequence()) == graph.num_edges
+        assert sum(graph.in_degree_sequence()) == graph.num_edges
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_undirected_copy_is_symmetric_and_doubled(self, edges):
+        graph = build_graph(edges)
+        undirected = graph.as_undirected()
+        assert undirected.num_edges == 2 * graph.num_edges
+        for source, target, _ in graph.edges():
+            assert undirected.has_edge(source, target)
+            assert undirected.has_edge(target, source)
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_reverse_is_involution_on_edge_multiset(self, edges):
+        graph = build_graph(edges)
+        double_reversed = graph.reverse().reverse()
+        assert sorted((s, t) for s, t, _ in double_reversed.edges()) == sorted(
+            (s, t) for s, t, _ in graph.edges()
+        )
+
+    @given(edge_lists, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_subgraph_edges_are_subset(self, edges, cutoff):
+        graph = build_graph(edges)
+        keep = [v for v in graph.vertices() if v <= cutoff]
+        sub = graph.subgraph(keep)
+        assert sub.num_edges <= graph.num_edges
+        for source, target, _ in sub.edges():
+            assert source <= cutoff and target <= cutoff
+            assert graph.has_edge(source, target)
+
+
+class TestStatisticsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_r_squared_of_perfect_prediction_is_one(self, values):
+        assert coefficient_of_determination(values, values) == 1.0
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50),
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_d_statistic_in_unit_interval_and_symmetric(self, a, b):
+        forward = d_statistic(a, b)
+        backward = d_statistic(b, a)
+        assert 0.0 <= forward <= 1.0
+        assert forward == backward
+
+    @given(st.floats(min_value=0.1, max_value=1e6), st.floats(min_value=0.1, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_signed_relative_error_sign_convention(self, predicted, actual):
+        error = signed_relative_error(predicted, actual)
+        if predicted > actual:
+            assert error > 0
+        elif predicted < actual:
+            assert error < 0
+        else:
+            assert error == 0.0
+
+
+class TestRegressionProperties:
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-5, max_value=5),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exact_linear_ground_truth_recovered(self, coef_a, coef_b, intercept, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(0, 100, size=(25, 2))
+        response = coef_a * matrix[:, 0] + coef_b * matrix[:, 1] + intercept
+        model = fit_linear_model(matrix, response, ["A", "B"])
+        np.testing.assert_allclose(model.coefficient_dict()["A"], coef_a, atol=1e-6)
+        np.testing.assert_allclose(model.coefficient_dict()["B"], coef_b, atol=1e-6)
+        np.testing.assert_allclose(model.intercept, intercept, atol=1e-5)
+        assert model.r_squared >= 0.999999 or np.allclose(response, response.mean())
+
+
+class TestExtrapolatorProperties:
+    feature_rows = st.dictionaries(
+        st.sampled_from(["ActVert", "TotVert", "LocMsg", "RemMsg", "LocMsgSize", "RemMsgSize", "AvgMsgSize"]),
+        st.floats(min_value=0, max_value=1e9),
+        min_size=1,
+        max_size=7,
+    )
+
+    @given(feature_rows)
+    @settings(max_examples=100, deadline=None)
+    def test_identity_factors_leave_rows_unchanged(self, row):
+        extrapolator = Extrapolator(ScalingFactors(1.0, 1.0))
+        assert extrapolator.extrapolate_row(row) == row
+
+    @given(feature_rows, st.floats(min_value=1.0, max_value=100.0), st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_extrapolation_is_homogeneous(self, row, ev, ee):
+        extrapolator = Extrapolator(ScalingFactors(ev, ee))
+        scaled = extrapolator.extrapolate_row(row)
+        for name, value in row.items():
+            assert scaled[name] >= value  # factors are >= 1
+            if value > 0 and name not in ("AvgMsgSize",):
+                assert scaled[name] in (
+                    value * ev,
+                    value * ee,
+                )
+
+    @given(st.lists(feature_rows, min_size=0, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_rows_extrapolated_independently(self, rows):
+        extrapolator = Extrapolator(ScalingFactors(2.0, 3.0))
+        scaled = extrapolator.extrapolate_rows(rows)
+        assert len(scaled) == len(rows)
+        for original, row in zip(rows, scaled):
+            assert extrapolator.extrapolate_row(original) == row
+
+
+class TestSamplerProperties:
+    @given(st.floats(min_value=0.05, max_value=0.5), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_jump_meets_requested_ratio(self, ratio, seed):
+        graph = generators.preferential_attachment(200, out_degree=4, seed=3)
+        result = RandomJump(seed=seed).sample(graph, ratio)
+        assert result.num_vertices == max(1, int(round(200 * ratio)))
+        assert set(result.vertices) <= set(graph.vertices())
+
+
+class TestTransformProperties:
+    @given(st.floats(min_value=1e-9, max_value=1e-2), st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_threshold_scaling_exact_and_pure(self, tolerance, ratio):
+        config = PageRankConfig(tolerance=tolerance)
+        scaled = THRESHOLD_SCALING_TRANSFORM(PageRank(), config, ratio)
+        assert scaled.tolerance == tolerance / ratio
+        assert config.tolerance == tolerance
+
+
+class TestFeatureTableProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=1e6), st.floats(min_value=0, max_value=1e6)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matrix_round_trips_rows(self, pairs):
+        table = FeatureTable()
+        for a, b in pairs:
+            table.append({"ActVert": a, "RemMsg": b}, a + b)
+        matrix = table.matrix(["ActVert", "RemMsg"])
+        assert matrix.shape == (len(pairs), 2)
+        for i, (a, b) in enumerate(pairs):
+            assert matrix[i, 0] == a
+            assert matrix[i, 1] == b
+        assert list(table.response()) == [a + b for a, b in pairs]

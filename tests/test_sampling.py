@@ -1,0 +1,150 @@
+"""Unit tests for the graph samplers and the sample-quality report."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SamplingError
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.sampling import (
+    BiasedRandomJump,
+    ForestFire,
+    MetropolisHastingsRandomWalk,
+    RandomJump,
+    RandomWalkSampler,
+    available_samplers,
+    sampler_by_name,
+)
+from repro.sampling.quality import quality_report
+
+ALL_SAMPLERS = [RandomJump, BiasedRandomJump, MetropolisHastingsRandomWalk, RandomWalkSampler, ForestFire]
+
+
+class TestSamplerContract:
+    @pytest.mark.parametrize("sampler_cls", ALL_SAMPLERS)
+    def test_sample_size_matches_ratio(self, sampler_cls, medium_scale_free_graph):
+        sampler = sampler_cls(seed=1)
+        result = sampler.sample(medium_scale_free_graph, 0.1)
+        expected = int(round(medium_scale_free_graph.num_vertices * 0.1))
+        assert result.num_vertices == expected
+        assert result.ratio == 0.1
+        assert result.technique == sampler_cls.name
+
+    @pytest.mark.parametrize("sampler_cls", ALL_SAMPLERS)
+    def test_sample_vertices_are_unique_and_from_graph(self, sampler_cls, medium_scale_free_graph):
+        sampler = sampler_cls(seed=2)
+        result = sampler.sample(medium_scale_free_graph, 0.05)
+        assert len(set(result.vertices)) == len(result.vertices)
+        assert all(medium_scale_free_graph.has_vertex(v) for v in result.vertices)
+
+    @pytest.mark.parametrize("sampler_cls", ALL_SAMPLERS)
+    def test_sample_graph_is_induced_subgraph(self, sampler_cls, medium_scale_free_graph):
+        sampler = sampler_cls(seed=3)
+        result = sampler.sample(medium_scale_free_graph, 0.1)
+        picked = set(result.vertices)
+        for source, target, _ in result.graph.edges():
+            assert source in picked and target in picked
+            assert medium_scale_free_graph.has_edge(source, target)
+
+    @pytest.mark.parametrize("sampler_cls", ALL_SAMPLERS)
+    def test_deterministic_given_seed(self, sampler_cls, medium_scale_free_graph):
+        first = sampler_cls(seed=7).sample(medium_scale_free_graph, 0.1)
+        second = sampler_cls(seed=7).sample(medium_scale_free_graph, 0.1)
+        assert first.vertices == second.vertices
+
+    def test_full_ratio_returns_whole_graph(self, small_scale_free_graph):
+        result = BiasedRandomJump(seed=1).sample(small_scale_free_graph, 1.0)
+        assert result.num_vertices == small_scale_free_graph.num_vertices
+
+    def test_invalid_ratio_rejected(self, small_scale_free_graph):
+        with pytest.raises(SamplingError):
+            RandomJump(seed=1).sample(small_scale_free_graph, 0.0)
+        with pytest.raises(SamplingError):
+            RandomJump(seed=1).sample(small_scale_free_graph, 1.5)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SamplingError):
+            RandomJump(seed=1).sample(DiGraph(), 0.1)
+
+    def test_invalid_restart_probability(self):
+        with pytest.raises(SamplingError):
+            RandomJump(restart_probability=0.0)
+
+    def test_scaling_factors(self, medium_scale_free_graph):
+        result = BiasedRandomJump(seed=4).sample(medium_scale_free_graph, 0.1)
+        ev = result.vertex_scaling_factor(medium_scale_free_graph)
+        ee = result.edge_scaling_factor(medium_scale_free_graph)
+        assert ev == pytest.approx(medium_scale_free_graph.num_vertices / result.num_vertices)
+        assert ee >= 1.0
+
+
+class TestBiasedRandomJump:
+    def test_seeds_are_highest_out_degree_vertices(self, medium_scale_free_graph):
+        sampler = BiasedRandomJump(seed_fraction=0.01, seed=5)
+        seeds = sampler.select_seeds(medium_scale_free_graph)
+        assert len(seeds) == max(1, round(medium_scale_free_graph.num_vertices * 0.01))
+        min_seed_degree = min(medium_scale_free_graph.out_degree(v) for v in seeds)
+        non_seed_degrees = [
+            medium_scale_free_graph.out_degree(v)
+            for v in medium_scale_free_graph.vertices()
+            if v not in set(seeds)
+        ]
+        # Seeds are the top out-degree vertices: no non-seed can beat the
+        # weakest seed.
+        assert min_seed_degree >= max(non_seed_degrees)
+
+    def test_seed_result_recorded(self, medium_scale_free_graph):
+        result = BiasedRandomJump(seed=6).sample(medium_scale_free_graph, 0.05)
+        assert result.seed_vertices
+        assert all(medium_scale_free_graph.has_vertex(v) for v in result.seed_vertices)
+
+    def test_invalid_seed_fraction(self):
+        with pytest.raises(SamplingError):
+            BiasedRandomJump(seed_fraction=0.0)
+
+    def test_brj_sample_denser_than_rj(self, medium_scale_free_graph):
+        # BRJ biases towards the hub core, so the induced sample keeps more
+        # edges per vertex than the uniform-jump sample at small ratios.
+        brj = BiasedRandomJump(seed=8).sample(medium_scale_free_graph, 0.1)
+        rj = RandomJump(seed=8).sample(medium_scale_free_graph, 0.1)
+        assert brj.num_edges >= rj.num_edges
+
+
+class TestForestFire:
+    def test_invalid_forward_probability(self):
+        with pytest.raises(SamplingError):
+            ForestFire(forward_probability=1.0)
+
+
+class TestSamplerRegistry:
+    def test_available_samplers(self):
+        assert {"BRJ", "RJ", "MHRW", "RW", "FF"} == set(available_samplers())
+
+    def test_lookup_case_insensitive(self):
+        assert sampler_by_name("brj").name == "BRJ"
+
+    def test_unknown_sampler_raises(self):
+        with pytest.raises(ConfigurationError):
+            sampler_by_name("nope")
+
+
+class TestQualityReport:
+    def test_full_sample_preserves_everything(self, small_scale_free_graph):
+        result = BiasedRandomJump(seed=9).sample(small_scale_free_graph, 1.0)
+        report = quality_report(small_scale_free_graph, result, seed=2)
+        assert report.out_degree_d_statistic == pytest.approx(0.0)
+        assert report.connectivity_preserved
+        assert report.diameter_preserved
+
+    def test_report_fields_and_dict(self, medium_scale_free_graph):
+        result = BiasedRandomJump(seed=10).sample(medium_scale_free_graph, 0.15)
+        report = quality_report(medium_scale_free_graph, result, seed=2)
+        assert 0.0 <= report.out_degree_d_statistic <= 1.0
+        assert 0.0 <= report.in_degree_d_statistic <= 1.0
+        as_dict = report.as_dict()
+        assert as_dict["technique"] == "BRJ"
+        assert as_dict["ratio"] == 0.15
+
+    def test_brj_preserves_connectivity_at_small_ratio(self, medium_scale_free_graph):
+        result = BiasedRandomJump(seed=11).sample(medium_scale_free_graph, 0.1)
+        report = quality_report(medium_scale_free_graph, result, seed=2)
+        assert report.wcc_fraction_sample > 0.5

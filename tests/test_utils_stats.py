@@ -1,0 +1,120 @@
+"""Unit tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    coefficient_of_determination,
+    cumulative_distribution,
+    d_statistic,
+    geometric_mean,
+    mean_absolute_relative_error,
+    percentile,
+    relative_error,
+    signed_relative_error,
+)
+
+
+class TestSignedRelativeError:
+    def test_over_prediction_is_positive(self):
+        assert signed_relative_error(12, 10) == pytest.approx(0.2)
+
+    def test_under_prediction_is_negative(self):
+        assert signed_relative_error(8, 10) == pytest.approx(-0.2)
+
+    def test_exact_prediction_is_zero(self):
+        assert signed_relative_error(10, 10) == 0.0
+
+    def test_zero_actual_zero_predicted(self):
+        assert signed_relative_error(0, 0) == 0.0
+
+    def test_zero_actual_nonzero_predicted_is_infinite(self):
+        assert signed_relative_error(1, 0) == float("inf")
+
+
+class TestRelativeError:
+    def test_absolute_value(self):
+        assert relative_error(8, 10) == pytest.approx(0.2)
+        assert relative_error(12, 10) == pytest.approx(0.2)
+
+    def test_mean_absolute_relative_error(self):
+        assert mean_absolute_relative_error([8, 12], [10, 10]) == pytest.approx(0.2)
+
+    def test_mean_error_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([1, 2], [1])
+
+    def test_mean_error_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([], [])
+
+
+class TestCoefficientOfDetermination:
+    def test_perfect_fit(self):
+        assert coefficient_of_determination([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_mean_prediction_gives_zero(self):
+        actual = [1.0, 2.0, 3.0]
+        predicted = [2.0, 2.0, 2.0]
+        assert coefficient_of_determination(actual, predicted) == pytest.approx(0.0)
+
+    def test_poor_fit_is_negative(self):
+        assert coefficient_of_determination([1, 2, 3], [3, 2, 1]) < 0
+
+    def test_constant_actual_perfect(self):
+        assert coefficient_of_determination([2, 2, 2], [2, 2, 2]) == 1.0
+
+    def test_constant_actual_imperfect(self):
+        assert coefficient_of_determination([2, 2, 2], [2, 2, 3]) == 0.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            coefficient_of_determination([1, 2], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            coefficient_of_determination([], [])
+
+
+class TestDistributions:
+    def test_cumulative_distribution_monotone(self):
+        values, cdf = cumulative_distribution([3, 1, 2])
+        assert list(values) == [1, 2, 3]
+        assert list(cdf) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_d_statistic_identical_distributions(self):
+        assert d_statistic([1, 2, 3, 4], [1, 2, 3, 4]) == pytest.approx(0.0)
+
+    def test_d_statistic_disjoint_distributions(self):
+        assert d_statistic([0, 0, 0], [10, 10, 10]) == pytest.approx(1.0)
+
+    def test_d_statistic_bounded(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=100)
+        b = rng.normal(loc=0.5, size=80)
+        value = d_statistic(a, b)
+        assert 0.0 <= value <= 1.0
+
+    def test_d_statistic_rejects_empty(self):
+        with pytest.raises(ValueError):
+            d_statistic([], [1, 2])
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_percentile(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == pytest.approx(3.0)
+
+    def test_percentile_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)

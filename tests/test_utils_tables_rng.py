@@ -1,0 +1,71 @@
+"""Unit tests for repro.utils.tables and repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rng
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in text and "b" in text
+        assert "3" in text and "4" in text
+
+    def test_title_rendered_with_underline(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+
+    def test_floats_rounded_to_four_decimals(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment_consistent_widths(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) >= len("a-much-longer-cell")
+
+
+class TestFormatSeries:
+    def test_series_columns_present(self):
+        text = format_series("ratio", [0.1, 0.2], {"LJ": [1, 2], "UK": [3, 4]})
+        assert "LJ" in text and "UK" in text
+        assert "ratio" in text
+
+    def test_missing_values_render_blank(self):
+        text = format_series("x", [1, 2], {"s": [5]})
+        assert "5.0000" in text or "5" in text
+
+
+class TestRng:
+    def test_make_rng_accepts_none(self):
+        rng = make_rng(None)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_make_rng_deterministic_for_seed(self):
+        a = make_rng(42).integers(0, 1000, size=5)
+        b = make_rng(42).integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_make_rng_passes_through_generator(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_spawn_rng_decorrelated_streams(self):
+        parent = make_rng(0)
+        child_a = spawn_rng(parent, 1)
+        parent2 = make_rng(0)
+        child_b = spawn_rng(parent2, 2)
+        assert list(child_a.integers(0, 10**6, 5)) != list(child_b.integers(0, 10**6, 5))
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+        assert derive_seed(None, "x") == derive_seed(None, "x")
