@@ -1,0 +1,26 @@
+# Developer entry points.  All targets run from the repository root.
+#
+#   make verify     -- the tier-1 gate: full test + benchmark collection,
+#                      stop at first failure (what CI runs).
+#   make test-fast  -- unit tests only, slow-marked tests excluded; the
+#                      quick inner-loop check while developing.
+#   make test-full  -- unit tests including the slow differential runs.
+#   make bench      -- regenerate every paper table/figure benchmark and the
+#                      CSR fast-path speedup record under benchmarks/results/.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test-fast test-full bench
+
+verify:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest tests -q -m "not slow"
+
+test-full:
+	$(PYTHON) -m pytest tests -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s

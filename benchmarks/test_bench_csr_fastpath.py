@@ -1,0 +1,69 @@
+"""Performance regression guard for the CSR / vectorized superstep fast path.
+
+Runs PageRank over a 50k-vertex uniform random graph through both engine
+paths -- the scalar per-vertex loop on a ``DiGraph`` and the vectorized batch
+loop on the frozen ``CSRGraph`` -- and records the wall-clock speedup under
+``benchmarks/results/csr_fastpath_speedup.txt``.  The run fails if the fast
+path falls below 5x (the ISSUE-1 acceptance bar), so a future change cannot
+silently lose the optimisation.  The two paths must also still agree on
+counters and convergence, otherwise the "speedup" would be comparing
+different computations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_utils import publish
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+
+NUM_VERTICES = 50_000
+NUM_EDGES = 400_000
+SUPERSTEPS = 3
+MIN_SPEEDUP = 5.0
+
+
+def test_bench_csr_fastpath(results_dir):
+    frozen = generators.uniform_csr(NUM_VERTICES, NUM_EDGES, seed=17, name="fastpath-50k")
+    scalar_graph = frozen.to_digraph()
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=8),
+        cost_profile=DETERMINISTIC_PROFILE,
+    )
+    config = PageRankConfig(tolerance=1e-12)
+
+    def timed_run(graph, vectorized):
+        engine_config = EngineConfig(
+            num_workers=8, max_supersteps=SUPERSTEPS, runtime_seed=1,
+            vectorized=vectorized,
+        )
+        start = time.perf_counter()
+        result = engine.run(graph, PageRank(), config, engine_config)
+        return time.perf_counter() - start, result
+
+    scalar_time, scalar_result = timed_run(scalar_graph, vectorized=False)
+    vector_time, vector_result = timed_run(frozen, vectorized=True)
+
+    # The speedup is only meaningful if both paths did identical work.
+    assert scalar_result.num_iterations == vector_result.num_iterations
+    assert scalar_result.convergence_history == vector_result.convergence_history
+    for left, right in zip(scalar_result.iterations, vector_result.iterations):
+        assert left.graph_feature_dict() == right.graph_feature_dict()
+
+    speedup = scalar_time / vector_time
+    lines = [
+        "CSR fast-path speedup (PageRank, "
+        f"{NUM_VERTICES:,} vertices / {NUM_EDGES:,} edges / {SUPERSTEPS} supersteps)",
+        "",
+        f"  scalar path      : {scalar_time * 1000:9.1f} ms",
+        f"  vectorized path  : {vector_time * 1000:9.1f} ms",
+        f"  speedup          : {speedup:9.1f} x   (regression floor: {MIN_SPEEDUP:.0f}x)",
+    ]
+    publish(results_dir, "csr_fastpath_speedup", "\n".join(lines))
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized superstep speedup regressed: {speedup:.1f}x < {MIN_SPEEDUP}x"
+    )

@@ -89,6 +89,28 @@ class IterativeAlgorithm:
         """The per-vertex compute function executed every superstep."""
         raise NotImplementedError
 
+    # ----------------------------------------------------- vectorized batches
+    #: Optional vectorized superstep implementation.  When an algorithm
+    #: defines ``compute_batch(batch, config)`` (see
+    #: :class:`repro.bsp.engine.BatchContext`) and the run's graph is a frozen
+    #: :class:`repro.graph.csr.CSRGraph`, the engine processes all active
+    #: vertices of a worker in one array pass instead of one ``compute`` call
+    #: per vertex.  The batch path must be observationally identical to
+    #: ``compute`` -- same values, same counters, same aggregates -- which the
+    #: differential-testing harness enforces.  ``None`` means scalar only.
+    compute_batch = None
+
+    #: How the engine reduces messages addressed to the same vertex for the
+    #: batch path: ``"sum"`` (numeric accumulation, e.g. PageRank) or
+    #: ``"min"`` (label propagation, e.g. connected components).  Must agree
+    #: with how ``compute`` folds its ``messages`` list.
+    batch_message_reducer: str = "sum"
+
+    #: Constant per-message payload size in bytes for the batch path.  The
+    #: batch path only supports fixed-size payloads (``message_size`` must
+    #: return this value for every payload); ``None`` disables batching.
+    batch_message_size: Optional[int] = None
+
     def aggregators(self, config) -> List[Aggregator]:
         """Global aggregators used by the algorithm (may be empty)."""
         return []

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import IterativeAlgorithm, require_positive
 from repro.bsp.aggregators import Aggregator, sum_aggregator
 from repro.bsp.master import GraphInfo
@@ -73,6 +75,34 @@ class ConnectedComponents(IterativeAlgorithm):
             ctx.aggregate(UPDATES_AGGREGATOR, 1.0)
             ctx.send_message_to_all_neighbors(smallest)
         ctx.vote_to_halt()
+
+    # ------------------------------------------------------- vectorized batch
+    batch_message_reducer = "min"
+    batch_message_size = MESSAGE_SIZE_BYTES
+
+    def compute_batch(self, batch, config) -> None:
+        """Array-pass equivalent of :meth:`compute` (one call per worker).
+
+        Labels must vectorize (integer vertex ids); otherwise the engine
+        falls back to the scalar path automatically.  Min-reduction is
+        order-insensitive and exact on integers, so values and counters are
+        identical to the per-vertex path.
+        """
+        indices = batch.indices
+        if batch.superstep == 0:
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(len(indices)))
+            batch.send_to_all_neighbors(batch.values[indices])
+            batch.vote_to_halt()
+            return
+        current = batch.values[indices]
+        smallest = batch.incoming[indices]
+        improved = (batch.message_counts[indices] > 0) & (smallest < current)
+        if improved.any():
+            new_labels = np.where(improved, smallest, current)
+            batch.values[indices] = new_labels
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(int(improved.sum())))
+            batch.send_to_all_neighbors(new_labels, improved)
+        batch.vote_to_halt()
 
     def check_convergence(
         self,

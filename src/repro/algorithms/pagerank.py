@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import IterativeAlgorithm, require_in_unit_interval, require_positive
 from repro.bsp.aggregators import Aggregator, sum_aggregator
 from repro.bsp.master import GraphInfo
@@ -112,6 +114,33 @@ class PageRank(IterativeAlgorithm):
         if out_degree > 0:
             contribution = rank / out_degree
             ctx.send_message_to_all_neighbors(contribution)
+
+    # ------------------------------------------------------- vectorized batch
+    batch_message_reducer = "sum"
+    batch_message_size = MESSAGE_SIZE_BYTES
+
+    def compute_batch(self, batch, config: PageRankConfig) -> None:
+        """Array-pass equivalent of :meth:`compute` (one call per worker).
+
+        Mirrors the scalar arithmetic operation-for-operation -- same
+        expression structure, same float64 types -- so vertex values, deltas
+        and the convergence metric are bit-identical to the per-vertex path.
+        """
+        indices = batch.indices
+        if batch.superstep == 0:
+            ranks = batch.values[indices]
+        else:
+            incoming = batch.incoming[indices]
+            new_ranks = (1.0 - config.damping) / batch.num_vertices + config.damping * incoming
+            batch.aggregate(DELTA_AGGREGATOR, np.abs(new_ranks - batch.values[indices]))
+            batch.values[indices] = new_ranks
+            ranks = new_ranks
+        degrees = batch.out_degrees[indices]
+        senders = degrees > 0
+        contributions = np.divide(
+            ranks, degrees, out=np.zeros_like(ranks), where=senders
+        )
+        batch.send_to_all_neighbors(contributions, senders)
 
     # ------------------------------------------------------------ convergence
     def check_convergence(

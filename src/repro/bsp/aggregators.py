@@ -13,7 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+import numpy as np
+
 from repro.exceptions import BSPError
+
+
+def _sum_reduce(accumulated: float, value: float) -> float:
+    """The sum aggregator's fold step (named so it can be fast-pathed)."""
+    return accumulated + value
 
 
 @dataclass
@@ -51,7 +58,7 @@ class Aggregator:
 
 def sum_aggregator(name: str) -> Aggregator:
     """Aggregator computing the sum of contributions."""
-    return Aggregator(name=name, initial=0.0, reduce=lambda a, b: a + b)
+    return Aggregator(name=name, initial=0.0, reduce=_sum_reduce)
 
 
 def max_aggregator(name: str) -> Aggregator:
@@ -86,6 +93,33 @@ class AggregatorRegistry:
         if name not in self._aggregators:
             raise BSPError(f"unknown aggregator {name!r}")
         self._aggregators[name].contribute(value)
+
+    def contribute_many(self, name: str, values) -> None:
+        """Fold a sequence of contributions in order.
+
+        Used by the engine's vectorized superstep path.  The fold is
+        deliberately sequential (not a pairwise/tree reduction) so the
+        aggregator value is bit-identical to the scalar path, which
+        contributes one value per vertex in vertex order.  For sum
+        aggregators the same left fold is computed in C with
+        ``np.add.accumulate`` seeded with the current value -- element-wise
+        sequential additions, identical IEEE rounding -- which removes the
+        per-vertex Python loop from the fast path; the differential harness
+        pins the equivalence.
+        """
+        if name not in self._aggregators:
+            raise BSPError(f"unknown aggregator {name!r}")
+        aggregator = self._aggregators[name]
+        values = np.asarray(values, dtype=np.float64)
+        if aggregator.reduce is _sum_reduce:
+            if len(values):
+                seeded = np.empty(len(values) + 1, dtype=np.float64)
+                seeded[0] = aggregator._value
+                seeded[1:] = values
+                aggregator._value = float(np.add.accumulate(seeded)[-1])
+            return
+        for value in values.tolist():
+            aggregator.contribute(value)
 
     def previous_value(self, name: str) -> float:
         """Value reduced at the previous barrier (what vertices can read)."""

@@ -1,7 +1,8 @@
 """The BSP execution engine (Giraph stand-in).
 
 :class:`BSPEngine` executes an :class:`repro.algorithms.base.IterativeAlgorithm`
-on a :class:`repro.graph.DiGraph` over a simulated cluster and returns a
+on a :class:`repro.graph.DiGraph` (or a frozen
+:class:`repro.graph.csr.CSRGraph`) over a simulated cluster and returns a
 :class:`repro.bsp.result.RunResult` with per-iteration key-input-feature
 profiles and simulated runtimes.
 
@@ -17,12 +18,52 @@ of its active vertices, messages are buffered for delivery in the next
 superstep (classified as local or remote depending on the destination
 vertex's worker), aggregators are reduced at the barrier, and the master
 evaluates the algorithm's global convergence condition.
+
+Vectorized superstep fast path
+------------------------------
+Dispatching one Python ``compute`` call per vertex per superstep caps the
+simulator at toy graph sizes.  When three conditions hold --
+
+1. the run graph is frozen (``graph.is_frozen``; see ``DiGraph.freeze()``),
+2. the algorithm implements ``compute_batch`` (PageRank and connected
+   components do) with a constant ``batch_message_size``, and
+3. the vertex values vectorize into a numeric NumPy array --
+
+the engine instead processes **all active vertices of a worker in one array
+pass** per superstep.  Message routing and combining are scatter operations
+on the CSR arrays (``np.add.at`` / ``np.minimum.at``) and the per-worker
+local/remote message and byte counters are derived from the same arrays, so
+every :class:`IterationProfile` feature stays *bit-identical* to the scalar
+path:
+
+* edges are expanded in exactly the scalar send order (worker by worker,
+  vertices in partition order, out-edges in adjacency order), so the
+  floating-point accumulation order of message sums matches the scalar
+  bucket-append-then-``sum`` order;
+* aggregator contributions are folded sequentially in the same vertex order
+  (:meth:`AggregatorRegistry.contribute_many`);
+* counters are integer array reductions, exact by construction.
+
+``tests/test_differential_engine.py`` asserts this equivalence on dozens of
+seeded graphs; ``EngineConfig(vectorized=False)`` forces the scalar path.
+
+Sent vs. delivered messages (combiner semantics)
+------------------------------------------------
+Message *counters* (the paper's Table 1 features) always reflect messages
+**sent**, before any combining -- that is what the sending worker pays for
+and what PREDIcT extrapolates.  What occupies receiver memory is the
+**delivered** buffer: with a combiner, one combined payload per destination
+vertex.  The memory model is therefore fed delivered counts/bytes
+(``_buffered_for``), while the counters and ``_next_message_count`` remain
+pre-combining.  See :mod:`repro.bsp.messages` for the full semantics note.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional
+
+import numpy as np
 
 from repro.bsp.aggregators import AggregatorRegistry
 from repro.bsp.counters import IterationProfile
@@ -35,6 +76,7 @@ from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
 from repro.cluster.memory import MemoryModel
 from repro.cluster.spec import ClusterSpec
 from repro.exceptions import BSPError
+from repro.graph.csr import concat_ranges
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import BasePartitioner, HashPartitioner
 from repro.utils.rng import SeedLike
@@ -64,6 +106,11 @@ class EngineConfig:
         destination are combined in the buffers (reduces memory, not counters).
     runtime_seed:
         Seed of the runtime model's noise stream.
+    vectorized:
+        When True (default) and the graph is frozen (CSR) and the algorithm
+        implements ``compute_batch``, supersteps run on the array fast path.
+        Set to False to force the scalar per-vertex path (the differential
+        tests do this to compare both).
     """
 
     num_workers: Optional[int] = None
@@ -73,6 +120,7 @@ class EngineConfig:
     use_combiner: bool = False
     runtime_seed: SeedLike = None
     partitioner: BasePartitioner = field(default_factory=HashPartitioner)
+    vectorized: bool = True
 
 
 class BSPEngine:
@@ -117,6 +165,215 @@ class BSPEngine:
         return run.execute(original_graph_name=graph.name)
 
 
+class BatchContext:
+    """Whole-worker view handed to an algorithm's ``compute_batch``.
+
+    One instance is built per (worker, superstep) on the vectorized fast
+    path.  It is the array analogue of :class:`repro.bsp.vertex.VertexContext`:
+
+    * ``indices`` -- the worker's *active* vertex indices (partition order);
+      all other arrays are graph-wide and meant to be indexed with it.
+    * ``values`` -- the global vertex-value array; assign slices to update.
+    * ``incoming`` -- reduced messages per vertex (via the algorithm's
+      ``batch_message_reducer``); only meaningful where ``message_counts``
+      is non-zero.
+    * ``out_degrees`` -- cached CSR out-degree array.
+    * ``aggregate`` / ``send_to_all_neighbors`` / ``vote_to_halt`` mirror the
+      scalar context, operating on whole arrays.
+    """
+
+    __slots__ = ("_state", "_worker", "indices", "superstep")
+
+    def __init__(self, state: "_VectorizedState", worker: Worker, indices, superstep: int):
+        self._state = state
+        self._worker = worker
+        self.indices = indices
+        self.superstep = superstep
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_vertices(self) -> int:
+        """Global vertex count."""
+        return self._state.run.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Global edge count."""
+        return self._state.run.graph.num_edges
+
+    @property
+    def values(self) -> np.ndarray:
+        """Global vertex-value array (index with ``self.indices``)."""
+        return self._state.values
+
+    @property
+    def incoming(self) -> np.ndarray:
+        """Reduced incoming messages per vertex (this superstep's delivery)."""
+        return self._state.msg_acc
+
+    @property
+    def message_counts(self) -> np.ndarray:
+        """Messages received per vertex this superstep (no allocation).
+
+        Slice with ``self.indices`` and compare (``> 0``) to test activation,
+        rather than materialising a graph-wide bool array per access.
+        """
+        return self._state.msg_count
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Cached out-degree array of the run graph."""
+        return self._state.out_degrees
+
+    # ------------------------------------------------------------- operations
+    def aggregate(self, name: str, contributions) -> None:
+        """Fold per-vertex contributions into a global aggregator, in order."""
+        self._state.run.registry.contribute_many(name, contributions)
+
+    def send_to_all_neighbors(self, payloads, mask=None) -> None:
+        """Send ``payloads[i]`` along every out-edge of ``indices[i]``.
+
+        ``payloads`` is aligned with ``self.indices``; ``mask`` (optional,
+        bool, same alignment) restricts the senders.  Edge expansion follows
+        the scalar send order exactly, so message accumulation and counters
+        match the per-vertex path bit for bit.
+        """
+        self._state.send_to_all_neighbors(self._worker, self.indices, payloads, mask)
+
+    def vote_to_halt(self, mask=None) -> None:
+        """Halt all active vertices (or the masked subset)."""
+        indices = self.indices if mask is None else self.indices[mask]
+        self._state.halted[indices] = True
+
+
+class _VectorizedState:
+    """Array mirror of one engine run's mutable state (fast-path only)."""
+
+    def __init__(self, run: "_EngineRun", values: np.ndarray) -> None:
+        self.run = run
+        graph = run.graph
+        n = graph.num_vertices
+        self.values = values
+        self.indptr = graph.indptr
+        self.targets = graph.targets
+        self.out_degrees = graph.out_degrees
+        self.vertex_worker = run.partitioning.assignment_array(graph)
+        index = graph.index
+        self.own = [
+            np.fromiter(
+                (index[v] for v in worker.vertices),
+                dtype=np.int64,
+                count=len(worker.vertices),
+            )
+            for worker in run.workers
+        ]
+        self.message_size = int(run.algorithm.batch_message_size)
+        reducer = run.algorithm.batch_message_reducer
+        if reducer == "sum":
+            self._reduce_at = np.add.at
+            self._neutral = values.dtype.type(0)
+        elif reducer == "min":
+            self._reduce_at = np.minimum.at
+            if values.dtype.kind == "i":
+                self._neutral = np.iinfo(values.dtype).max
+            else:
+                self._neutral = values.dtype.type(np.inf)
+        else:
+            raise BSPError(f"unsupported batch_message_reducer {reducer!r}")
+        self.halted = np.zeros(n, dtype=bool)
+        self.msg_acc = np.full(n, self._neutral, dtype=values.dtype)
+        self.msg_count = np.zeros(n, dtype=np.int64)
+        self.acc_next = np.full(n, self._neutral, dtype=values.dtype)
+        self.count_next = np.zeros(n, dtype=np.int64)
+
+    @classmethod
+    def try_build(cls, run: "_EngineRun") -> Optional["_VectorizedState"]:
+        """Build the fast-path state, or return None when ineligible."""
+        algorithm = run.algorithm
+        if not (
+            run.engine_config.vectorized
+            and getattr(run.graph, "is_frozen", False)
+            and callable(getattr(algorithm, "compute_batch", None))
+            and getattr(algorithm, "batch_message_size", None) is not None
+        ):
+            return None
+        values = np.asarray([run.values[vertex] for vertex in run.graph.vertices()])
+        if values.dtype.kind not in "if":
+            # Non-numeric vertex values (e.g. string component labels) cannot
+            # ride the array path; fall back to scalar compute.
+            return None
+        return cls(run, values)
+
+    # -------------------------------------------------------------- superstep
+    def execute_superstep(self, superstep: int) -> None:
+        run = self.run
+        for worker in run.workers:
+            worker.begin_superstep(superstep)
+            active = worker.select_active(
+                self.own[worker.worker_id], self.halted, self.msg_count
+            )
+            if len(active) == 0:
+                continue
+            batch = BatchContext(self, worker, active, superstep)
+            run.algorithm.compute_batch(batch, run.config)
+
+    def send_to_all_neighbors(self, worker: Worker, indices, payloads, mask) -> None:
+        payloads = np.asarray(payloads)
+        if mask is not None:
+            indices = indices[mask]
+            payloads = payloads[mask]
+        lengths = self.out_degrees[indices]
+        total = int(lengths.sum())
+        if total == 0:
+            return
+        slots = concat_ranges(self.indptr[indices], lengths)
+        destinations = self.targets[slots]
+        per_edge = np.repeat(payloads, lengths)
+        # Scatter in scalar send order: np.ufunc.at applies element by element
+        # following the index array, which matches the bucket-append order of
+        # the per-vertex path (the differential harness pins this down).
+        self._reduce_at(self.acc_next, destinations, per_edge)
+        self.count_next += np.bincount(destinations, minlength=len(self.count_next))
+
+        run = self.run
+        destination_workers = self.vertex_worker[destinations]
+        local = int((destination_workers == worker.worker_id).sum())
+        remote = total - local
+        size = self.message_size
+        counters = worker.counters
+        counters.messages_sent += total
+        counters.local_messages += local
+        counters.local_message_bytes += local * size
+        counters.remote_messages += remote
+        counters.remote_message_bytes += remote * size
+        run._next_message_count += total
+
+    # ------------------------------------------------------------- accounting
+    def count_active_next(self) -> int:
+        """Vertices active in the next superstep (scalar rule, array form)."""
+        return int(np.count_nonzero(~self.halted | (self.count_next > 0)))
+
+    def buffered_for(self, worker: Worker):
+        """(delivered_messages, delivered_bytes) buffered for ``worker``."""
+        counts = self.count_next[self.own[worker.worker_id]]
+        if self.run.combiner is not None:
+            delivered = int(np.count_nonzero(counts))
+        else:
+            delivered = int(counts.sum())
+        return delivered, delivered * self.message_size
+
+    def advance(self) -> None:
+        """Swap message buffers at the superstep barrier."""
+        self.msg_acc = self.acc_next
+        self.msg_count = self.count_next
+        self.acc_next = np.full(len(self.msg_acc), self._neutral, dtype=self.msg_acc.dtype)
+        self.count_next = np.zeros(len(self.msg_count), dtype=np.int64)
+
+    def export_values(self) -> Dict[VertexId, Any]:
+        """Write the value array back into an id-keyed dict (scalar types)."""
+        return dict(zip(self.run.graph.vertices(), self.values.tolist()))
+
+
 class _EngineRun:
     """Mutable state of one engine execution (kept out of the public API)."""
 
@@ -149,10 +406,13 @@ class _EngineRun:
         self.message_sizer = algorithm.message_size
         self.combiner = algorithm.combiner(config) if engine_config.use_combiner else None
 
-        # Per-superstep bookkeeping, reset in _begin_superstep.
-        self._active_worker = None
+        # Per-superstep bookkeeping, reset in _begin_superstep.  Counters on
+        # the workers track the sent (pre-combining) stream; this dict tracks
+        # delivered (post-combining) bytes per worker for the memory model.
         self._next_message_count = 0
-        self._next_message_bytes: Dict[int, int] = {}
+        self._next_buffered_bytes: Dict[int, int] = {}
+        self._vector: Optional[_VectorizedState] = None
+        self._worker_edge_counts: Optional[List[int]] = None
 
     # --------------------------------------------------------- vertex API
     def vertex_value(self, vertex: VertexId) -> Any:
@@ -193,13 +453,21 @@ class _EngineRun:
         bucket = self.next_incoming.get(target)
         if bucket is None:
             self.next_incoming[target] = [payload]
+            delivered_delta = size
         elif self.combiner is not None:
-            bucket[0] = self.combiner.combine(bucket[0], payload)
+            previous = bucket[0]
+            combined = self.combiner.combine(previous, payload)
+            bucket[0] = combined
+            # The combined payload replaces the previous one in the buffer, so
+            # delivered bytes grow only by the size difference (zero for
+            # fixed-size payloads such as PageRank's rank contributions).
+            delivered_delta = self.message_sizer(combined) - self.message_sizer(previous)
         else:
             bucket.append(payload)
+            delivered_delta = size
         self._next_message_count += 1
-        self._next_message_bytes[target_worker] = (
-            self._next_message_bytes.get(target_worker, 0) + size
+        self._next_buffered_bytes[target_worker] = (
+            self._next_buffered_bytes.get(target_worker, 0) + delivered_delta
         )
 
     # ----------------------------------------------------------- execution
@@ -228,20 +496,26 @@ class _EngineRun:
         for vertex in graph.vertices():
             self.values[vertex] = algorithm.initial_value(vertex, graph, config)
 
+        # Decide scalar vs. vectorized execution once per run.
+        self._vector = _VectorizedState.try_build(self)
+
         iterations: List[IterationProfile] = []
         convergence_history: List[float] = []
         converged = False
 
         for superstep in range(engine_config.max_supersteps):
             self._begin_superstep()
-            for worker in self.workers:
-                worker.begin_superstep(superstep)
-                worker.execute_superstep(
-                    superstep,
-                    self.incoming,
-                    self.halted,
-                    lambda ctx, msgs: algorithm.compute(ctx, msgs, config),
-                )
+            if self._vector is not None:
+                self._vector.execute_superstep(superstep)
+            else:
+                for worker in self.workers:
+                    worker.begin_superstep(superstep)
+                    worker.execute_superstep(
+                        superstep,
+                        self.incoming,
+                        self.halted,
+                        lambda ctx, msgs: algorithm.compute(ctx, msgs, config),
+                    )
 
             # Memory accounting for the buffered (next-superstep) messages.
             if engine_config.enforce_memory:
@@ -251,10 +525,7 @@ class _EngineRun:
             runtime, critical_worker = self.runtime_model.superstep_time(worker_counters)
             aggregates = self.registry.barrier()
 
-            active_next = sum(
-                1 for vertex in graph.vertices()
-                if vertex not in self.halted or vertex in self.next_incoming
-            )
+            active_next = self._count_active_next()
             decision = master.after_superstep(
                 superstep, aggregates, active_next, self._next_message_count
             )
@@ -273,12 +544,18 @@ class _EngineRun:
                 convergence_history.append(decision.convergence_metric)
 
             # Swap message buffers for the next superstep.
-            self.incoming = self.next_incoming
-            self.next_incoming = {}
+            if self._vector is not None:
+                self._vector.advance()
+            else:
+                self.incoming = self.next_incoming
+                self.next_incoming = {}
 
             if decision.stop:
                 converged = decision.converged
                 break
+
+        if self._vector is not None:
+            self.values = self._vector.export_values()
 
         phase_times.superstep = sum(profile.runtime for profile in iterations)
         phase_times.write = self.runtime_model.write_time(graph.num_vertices, self.num_workers)
@@ -301,19 +578,38 @@ class _EngineRun:
     # -------------------------------------------------------------- helpers
     def _begin_superstep(self) -> None:
         self._next_message_count = 0
-        self._next_message_bytes = {}
+        self._next_buffered_bytes = {}
+
+    def _count_active_next(self) -> int:
+        """Vertices that will execute compute in the next superstep."""
+        if self._vector is not None:
+            return self._vector.count_active_next()
+        return sum(
+            1 for vertex in self.graph.vertices()
+            if vertex not in self.halted or vertex in self.next_incoming
+        )
+
+    def _buffered_for(self, worker: Worker):
+        """(delivered_messages, delivered_bytes) buffered for ``worker``."""
+        if self._vector is not None:
+            return self._vector.buffered_for(worker)
+        buffered_messages = sum(
+            len(self.next_incoming.get(vertex, ()))
+            for vertex in worker.vertices
+            if vertex in self.next_incoming
+        )
+        return buffered_messages, self._next_buffered_bytes.get(worker.worker_id, 0)
 
     def _check_memory(self) -> None:
+        if self._worker_edge_counts is None:
+            # Constant per run; worker_outbound_edges uses the CSR bincount
+            # fast path on frozen graphs.
+            self._worker_edge_counts = self.partitioning.worker_outbound_edges(self.graph)
         for worker in self.workers:
-            buffered_bytes = self._next_message_bytes.get(worker.worker_id, 0)
-            buffered_messages = sum(
-                len(self.next_incoming.get(vertex, ()))
-                for vertex in worker.vertices
-                if vertex in self.next_incoming
-            )
+            buffered_messages, buffered_bytes = self._buffered_for(worker)
             estimate = self.memory_model.estimate(
                 num_vertices=len(worker.vertices),
-                num_edges=worker.outbound_edges(self.graph),
+                num_edges=self._worker_edge_counts[worker.worker_id],
                 state_bytes=len(worker.vertices) * 64,
                 buffered_messages=buffered_messages,
                 buffered_message_bytes=buffered_bytes,

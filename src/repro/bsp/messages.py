@@ -7,9 +7,30 @@ tracks the per-worker local/remote counters the paper's Table 1 lists.
 
 A :class:`Combiner` optionally folds the messages addressed to the same
 destination vertex (e.g. PageRank only needs the *sum* of incoming rank
-contributions), reducing memory pressure exactly as Giraph combiners do.  The
-counters always reflect the messages *sent* (pre-combining), because that is
-what the sending worker pays for and what the paper's counters measure.
+contributions), reducing memory pressure exactly as Giraph combiners do.
+
+Sent vs. delivered (the intended Giraph semantics)
+--------------------------------------------------
+Combining creates two distinct message statistics, and they are deliberately
+kept separate everywhere in the engine:
+
+* **sent** counts/bytes accrue once per ``send_message`` call, *before*
+  combining.  This is what the sending worker's compute loop pays for and
+  what the paper's Table 1 key input features (LocMsg / RemMsg / LocMsgSize /
+  RemMsgSize) measure -- so a run with a combiner reports the same feature
+  profile as a run without one.
+* **delivered** counts/bytes describe what is actually buffered for the next
+  superstep: at most one combined payload per destination vertex.  This is
+  what occupies worker memory (Giraph cannot spill messages to disk), so the
+  engine's memory accounting uses delivered sizes, not sent sizes.
+
+:class:`MessageStore` is the *reference model* of these semantics: its
+``buffered_messages`` / ``buffered_bytes`` track the sent stream and
+:meth:`MessageStore.delivered_messages` the post-combining buffer occupancy.
+The engine implements the same rules inline in ``_EngineRun.send_message``
+(scalar) and ``_VectorizedState`` (batch) for speed; the unit tests in
+``tests/test_combiner_semantics.py`` pin the reference model and both engine
+paths against each other.
 """
 
 from __future__ import annotations
@@ -55,6 +76,11 @@ class MessageStore:
             bucket[0] = self._combiner.combine(bucket[0], payload)
         else:
             bucket.append(payload)
+
+    @property
+    def delivered_messages(self) -> int:
+        """Number of payloads actually buffered (post-combining)."""
+        return sum(len(bucket) for bucket in self._buffers.values())
 
     def messages_for(self, target: VertexId) -> List[Any]:
         """Return (without removing) the messages buffered for ``target``."""

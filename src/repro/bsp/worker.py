@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List
 
+import numpy as np
+
 from repro.bsp.counters import WorkerCounters
 from repro.bsp.vertex import VertexContext
 
@@ -63,6 +65,22 @@ class Worker:
             context._bind(vertex, superstep)
             compute(context, messages or [])
 
-    def outbound_edges(self, graph) -> int:
-        """Total outgoing edges of the vertices owned by this worker."""
-        return sum(graph.out_degree(vertex) for vertex in self.vertices)
+    def select_active(
+        self, own: np.ndarray, halted: np.ndarray, message_counts: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized activation rule for the engine's batch superstep path.
+
+        ``own`` are this worker's vertex indices in partition order; ``halted``
+        and ``message_counts`` are graph-wide arrays.  Applies exactly the
+        scalar rule of :meth:`execute_superstep`: a vertex is active when it
+        has not voted to halt or when it has incoming messages (which clear
+        its halt vote), and ``active_vertices`` counts the vertices selected.
+        """
+        has_messages = message_counts[own] > 0
+        halted_own = halted[own]
+        reactivated = own[halted_own & has_messages]
+        if len(reactivated):
+            halted[reactivated] = False
+        active = own[~halted_own | has_messages]
+        self.counters.active_vertices = len(active)
+        return active

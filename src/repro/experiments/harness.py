@@ -33,8 +33,8 @@ from repro.core.predictor import Predictor
 from repro.core.sample_run import SampleRunner
 from repro.core.transform import TransformFunction
 from repro.exceptions import ConfigurationError
+from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load_dataset
-from repro.graph.digraph import DiGraph
 from repro.sampling.registry import sampler_by_name
 from repro.utils.rng import derive_seed
 from repro.utils.stats import signed_relative_error
@@ -74,6 +74,9 @@ class ExperimentContext:
         init=False, repr=False, default_factory=dict
     )
     _pagerank_outputs: Dict[str, Dict] = field(init=False, repr=False, default_factory=dict)
+    _frozen_graphs: Dict[Tuple[str, float, int], CSRGraph] = field(
+        init=False, repr=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         self._engine = BSPEngine(cluster=self.cluster, cost_profile=self.cost_profile)
@@ -93,9 +96,20 @@ class ExperimentContext:
             runtime_seed=derive_seed(self.seed, "runtime"),
         )
 
-    def load(self, dataset: str) -> DiGraph:
-        """Load (and cache) a stand-in dataset at the context's scale."""
-        return load_dataset(dataset, scale=self.dataset_scale, seed=self.seed)
+    def load(self, dataset: str) -> CSRGraph:
+        """Load (and cache) a stand-in dataset at the context's scale.
+
+        The graph is frozen (``DiGraph.freeze()`` -> CSR arrays) before any
+        run touches it, so every experiment -- actual runs, sample runs,
+        sampler walks -- rides the engine's vectorized superstep fast path
+        whenever the algorithm supports it.  Freezing preserves vertex and
+        edge order, so results are identical to the unfrozen path.
+        """
+        key = (dataset, self.dataset_scale, self.seed)
+        if key not in self._frozen_graphs:
+            graph = load_dataset(dataset, scale=self.dataset_scale, seed=self.seed)
+            self._frozen_graphs[key] = graph.freeze()
+        return self._frozen_graphs[key]
 
     def sampler(self, name: str = "BRJ"):
         """Instantiate a sampler with a context-derived seed."""
@@ -169,9 +183,10 @@ class ExperimentContext:
         return config_with_ranks(TopKRankingConfig(k=k, tolerance=tolerance), ranks)
 
     def clear_caches(self) -> None:
-        """Drop all cached actual runs and PageRank outputs."""
+        """Drop all cached actual runs, PageRank outputs and frozen graphs."""
         self._actual_runs.clear()
         self._pagerank_outputs.clear()
+        self._frozen_graphs.clear()
 
 
 # --------------------------------------------------------------------- helpers

@@ -5,6 +5,9 @@ real web/social graphs).  It provides:
 
 * :class:`repro.graph.digraph.DiGraph` -- the in-memory directed graph used by
   the BSP engine, the samplers and the property analysers.
+* :class:`repro.graph.csr.CSRGraph` -- the immutable NumPy/CSR counterpart
+  produced by ``DiGraph.freeze()``; same protocol, array-native internals,
+  enables the engine's vectorized superstep fast path.
 * :mod:`repro.graph.generators` -- synthetic scale-free / non-scale-free graph
   generators used to build laptop-scale stand-ins for the paper's datasets.
 * :mod:`repro.graph.datasets` -- the registry of stand-in datasets (LiveJournal,
@@ -17,11 +20,13 @@ real web/social graphs).  It provides:
 """
 
 from repro.graph.digraph import DiGraph
+from repro.graph.csr import CSRGraph
 from repro.graph.builder import GraphBuilder
 from repro.graph.partition import ChunkPartitioner, HashPartitioner, Partitioning, RangePartitioner
 
 __all__ = [
     "DiGraph",
+    "CSRGraph",
     "GraphBuilder",
     "HashPartitioner",
     "RangePartitioner",

@@ -1,0 +1,444 @@
+"""Array-native frozen graph: compressed sparse row (CSR) adjacency.
+
+:class:`CSRGraph` is the immutable, NumPy-backed counterpart of
+:class:`repro.graph.digraph.DiGraph`.  It implements the same read-side
+protocol (``vertices`` / ``successors`` / ``out_edges`` / ``degree`` queries /
+``subgraph`` / ``as_undirected`` / ``reverse`` / ...), so every consumer of a
+``DiGraph`` -- the BSP engine, the samplers, the property analysers, the
+partitioners -- works on a ``CSRGraph`` unchanged.  On top of the protocol it
+exposes the raw arrays, which is what enables the engine's vectorized
+superstep fast path and array-walking samplers.
+
+CSR layout
+----------
+The out-adjacency is stored as three parallel arrays:
+
+* ``indptr``   -- ``int64[n + 1]``; the out-edges of the vertex with index
+  ``i`` occupy edge slots ``indptr[i]:indptr[i + 1]``.
+* ``targets``  -- ``int64[m]``; target *vertex index* of each edge slot.
+* ``weights``  -- ``float64[m]``; weight of each edge slot.
+
+plus two cached degree arrays (``out_degrees = diff(indptr)`` and
+``in_degrees = bincount(targets)``).  Vertex *ids* remain arbitrary hashable
+objects: ``ids[i]`` maps an index back to its id and ``index[id]`` maps an id
+to its index.  Indices follow the insertion order of the source ``DiGraph``,
+and edge slots within a vertex keep the order in which the edges were added.
+
+Ordering guarantees
+-------------------
+The engine's differential-testing harness requires that a frozen graph is
+*observationally identical* to the ``DiGraph`` it came from: ``vertices()``
+iterates in the same order, ``out_edges`` returns edges in the same order, and
+the derivations (``subgraph``, ``as_undirected``, ``reverse``) produce the
+same vertex and edge orderings that the dict-of-lists implementations produce.
+``as_undirected`` and ``reverse`` achieve this with stable sorts over the edge
+event sequence, so message-send order -- and therefore every floating-point
+accumulation in a BSP run -- is bit-identical between the two representations.
+
+Mutation (``add_vertex`` / ``add_edge``) raises :class:`GraphError`; build a
+``DiGraph`` (or use :meth:`CSRGraph.from_edge_arrays`) and ``freeze()`` it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+VertexId = Hashable
+WeightedEdge = Tuple[VertexId, VertexId, float]
+
+
+class CSRGraph:
+    """Immutable directed graph over NumPy CSR arrays (``DiGraph`` protocol)."""
+
+    #: Frozen graphs advertise themselves so the engine can pick the fast path.
+    is_frozen = True
+
+    def __init__(
+        self,
+        name: str,
+        ids: Sequence[VertexId],
+        indptr: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        index: Optional[Dict[VertexId, int]] = None,
+    ) -> None:
+        self.name = name
+        self.ids: List[VertexId] = list(ids)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.targets = np.ascontiguousarray(targets, dtype=np.int64)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        n = len(self.ids)
+        if self.indptr.shape != (n + 1,):
+            raise GraphError(
+                f"indptr must have {n + 1} entries, got {self.indptr.shape}"
+            )
+        if self.targets.shape != self.weights.shape:
+            raise GraphError("targets and weights must have the same length")
+        if len(self.targets) and (
+            int(self.targets.min()) < 0 or int(self.targets.max()) >= n
+        ):
+            raise GraphError("edge targets must be vertex indices in [0, n)")
+        self.index: Dict[VertexId, int] = (
+            index if index is not None else {v: i for i, v in enumerate(self.ids)}
+        )
+        self.out_degrees = np.diff(self.indptr)
+        self.in_degrees = np.bincount(self.targets, minlength=n).astype(np.int64)
+        # The arrays are shared across copy()/relabel_to_integers()/freeze();
+        # make the sharing safe by enforcing the advertised immutability.
+        for array in (self.indptr, self.targets, self.weights,
+                      self.out_degrees, self.in_degrees):
+            array.setflags(write=False)
+        # Lazy per-vertex (target_id, weight) rows for the scalar protocol.
+        # Built on first access only: batch-path algorithms and the samplers
+        # never touch it, while scalar-fallback algorithms (one out_edges call
+        # per vertex per superstep) would otherwise pay NumPy-slice-to-tuple
+        # conversion on every call.
+        self._edge_rows: Optional[List[Optional[List[Tuple[VertexId, float]]]]] = None
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_digraph(cls, graph, name: Optional[str] = None) -> "CSRGraph":
+        """Freeze a ``DiGraph`` into CSR arrays (preserving all orderings)."""
+        ids = list(graph.vertices())
+        index = {vertex: i for i, vertex in enumerate(ids)}
+        n = len(ids)
+        num_edges = graph.num_edges
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        targets = np.empty(num_edges, dtype=np.int64)
+        weights = np.empty(num_edges, dtype=np.float64)
+        cursor = 0
+        for i, vertex in enumerate(ids):
+            for target, weight in graph.out_edges(vertex):
+                targets[cursor] = index[target]
+                weights[cursor] = weight
+                cursor += 1
+            indptr[i + 1] = cursor
+        return cls(name or graph.name, ids, indptr, targets, weights, index=index)
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        num_vertices: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        name: str = "csr-graph",
+    ) -> "CSRGraph":
+        """Build directly from parallel source/target index arrays.
+
+        Vertex ids are the integers ``0..num_vertices - 1``.  Edge slots are
+        grouped by source with a stable sort, so edges of the same source keep
+        their relative order in the input arrays.
+        """
+        if num_vertices <= 0:
+            raise GraphError(f"num_vertices must be positive, got {num_vertices}")
+        sources = np.ascontiguousarray(sources, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise GraphError("sources and targets must have the same length")
+        if len(sources) and (
+            int(sources.min()) < 0
+            or int(targets.min()) < 0
+            or int(sources.max()) >= num_vertices
+            or int(targets.max()) >= num_vertices
+        ):
+            raise GraphError("edge endpoints must be indices in [0, num_vertices)")
+        if weights is None:
+            weights = np.ones(len(sources), dtype=np.float64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if weights.shape != sources.shape:
+            raise GraphError("weights must have the same length as sources/targets")
+        order = np.argsort(sources, kind="stable")
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=num_vertices), out=indptr[1:])
+        ids = list(range(num_vertices))
+        return cls(
+            name,
+            ids,
+            indptr,
+            targets[order],
+            weights[order],
+            index={v: v for v in ids},
+        )
+
+    # ------------------------------------------------------------------ build
+    def add_vertex(self, vertex: VertexId) -> None:
+        raise GraphError(
+            f"graph {self.name!r} is frozen (CSR); build a DiGraph and freeze() it"
+        )
+
+    def add_edge(self, source: VertexId, target: VertexId, weight: float = 1.0) -> None:
+        raise GraphError(
+            f"graph {self.name!r} is frozen (CSR); build a DiGraph and freeze() it"
+        )
+
+    # ----------------------------------------------------------------- access
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges (parallel edges counted individually)."""
+        return int(self.targets.shape[0])
+
+    def vertices(self) -> Iterator[VertexId]:
+        """Iterate over vertex ids in (preserved) insertion order."""
+        return iter(self.ids)
+
+    def has_vertex(self, vertex: VertexId) -> bool:
+        """Return True if ``vertex`` is in the graph."""
+        return vertex in self.index
+
+    def has_edge(self, source: VertexId, target: VertexId) -> bool:
+        """Return True if at least one ``source -> target`` edge exists."""
+        si = self.index.get(source)
+        ti = self.index.get(target)
+        if si is None or ti is None:
+            return False
+        row = self.targets[self.indptr[si] : self.indptr[si + 1]]
+        return bool(np.any(row == ti))
+
+    def successors(self, vertex: VertexId) -> List[VertexId]:
+        """Return the list of out-neighbours of ``vertex`` (with duplicates)."""
+        return [target for target, _ in self._edge_row(self._require(vertex))]
+
+    def successor_at(self, vertex: VertexId, position: int) -> VertexId:
+        """The target of the ``position``-th outgoing edge (O(1), no list).
+
+        List-index semantics, matching ``DiGraph.successor_at``: negative
+        positions index from the end and out-of-range positions raise
+        ``IndexError`` instead of silently reading a neighbouring row.
+        """
+        i = self._require(vertex)
+        degree = int(self.out_degrees[i])
+        if position < 0:
+            position += degree
+        if not 0 <= position < degree:
+            raise IndexError(
+                f"edge position {position} out of range for vertex {vertex!r} "
+                f"with out-degree {degree}"
+            )
+        return self.ids[int(self.targets[self.indptr[i] + position])]
+
+    def out_edges(self, vertex: VertexId) -> List[Tuple[VertexId, float]]:
+        """Return ``(target, weight)`` pairs for the outgoing edges of ``vertex``."""
+        return list(self._edge_row(self._require(vertex)))
+
+    def _edge_row(self, i: int) -> List[Tuple[VertexId, float]]:
+        """The cached (target_id, weight) row of vertex index ``i``."""
+        rows = self._edge_rows
+        if rows is None:
+            rows = self._edge_rows = [None] * self.num_vertices
+        row = rows[i]
+        if row is None:
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            ids = self.ids
+            row = rows[i] = [
+                (ids[t], w)
+                for t, w in zip(self.targets[lo:hi].tolist(), self.weights[lo:hi].tolist())
+            ]
+        return row
+
+    def out_degree(self, vertex: VertexId) -> int:
+        """Number of outgoing edges of ``vertex``."""
+        return int(self.out_degrees[self._require(vertex)])
+
+    def in_degree(self, vertex: VertexId) -> int:
+        """Number of incoming edges of ``vertex``."""
+        return int(self.in_degrees[self._require(vertex)])
+
+    def degree(self, vertex: VertexId) -> int:
+        """Total (in + out) degree of ``vertex``."""
+        i = self._require(vertex)
+        return int(self.out_degrees[i] + self.in_degrees[i])
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over all edges as ``(source, target, weight)`` triples."""
+        ids = self.ids
+        indptr = self.indptr
+        targets = self.targets.tolist()
+        weights = self.weights.tolist()
+        for i, source in enumerate(ids):
+            for slot in range(int(indptr[i]), int(indptr[i + 1])):
+                yield source, ids[targets[slot]], weights[slot]
+
+    def out_degree_sequence(self) -> List[int]:
+        """Out-degrees of all vertices, in vertex-iteration order."""
+        return self.out_degrees.tolist()
+
+    def in_degree_sequence(self) -> List[int]:
+        """In-degrees of all vertices, in vertex-iteration order."""
+        return self.in_degrees.tolist()
+
+    @property
+    def integer_ids(self) -> bool:
+        """True when every vertex id is a plain Python int (array-friendly)."""
+        return all(type(v) is int for v in self.ids)
+
+    # ------------------------------------------------------------ derivations
+    def freeze(self, name: Optional[str] = None) -> "CSRGraph":
+        """Already frozen; return self (or a renamed shallow copy)."""
+        if name is None or name == self.name:
+            return self
+        return self.copy(name=name)
+
+    def to_digraph(self, name: Optional[str] = None):
+        """Thaw back into a mutable ``DiGraph`` with identical orderings."""
+        from repro.graph.digraph import DiGraph
+
+        graph = DiGraph(name=name or self.name)
+        for vertex in self.ids:
+            graph.add_vertex(vertex)
+        for source, target, weight in self.edges():
+            graph.add_edge(source, target, weight)
+        return graph
+
+    def subgraph(self, vertices: Sequence[VertexId], name: Optional[str] = None) -> "CSRGraph":
+        """Induced subgraph on ``vertices`` (kept in the given order).
+
+        Matches ``DiGraph.subgraph`` exactly, including its handling of
+        duplicate entries: vertices appear once (first occurrence order) but
+        the edge loop runs per *occurrence*, so a repeated vertex contributes
+        its edges repeatedly -- same multiset, same per-vertex edge order.
+        Ids not in the graph are skipped.
+        """
+        index = self.index
+        occurrence_idx = np.fromiter(
+            (index[v] for v in vertices if v in index), dtype=np.int64
+        )
+        kept_ids = list(dict.fromkeys(v for v in vertices if v in index))
+        kept_idx = np.fromiter(
+            (index[v] for v in kept_ids), dtype=np.int64, count=len(kept_ids)
+        )
+        new_name = name or f"{self.name}-sub"
+        n_new = len(kept_ids)
+        if n_new == 0:
+            return CSRGraph(
+                new_name,
+                [],
+                np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        # Old index -> new index (-1 = dropped).
+        remap = np.full(self.num_vertices, -1, dtype=np.int64)
+        remap[kept_idx] = np.arange(n_new, dtype=np.int64)
+        degrees = self.out_degrees[occurrence_idx]
+        slots = concat_ranges(self.indptr[occurrence_idx], degrees)
+        new_targets = remap[self.targets[slots]]
+        keep_edge = new_targets >= 0
+        new_sources = np.repeat(remap[occurrence_idx], degrees)[keep_edge]
+        new_targets = new_targets[keep_edge]
+        new_weights = self.weights[slots][keep_edge]
+        # Occurrences of the same vertex are not contiguous; a stable sort
+        # groups them per source while preserving occurrence order, which is
+        # exactly the per-vertex append order DiGraph.subgraph produces.
+        order = np.argsort(new_sources, kind="stable")
+        new_sources = new_sources[order]
+        indptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(np.bincount(new_sources, minlength=n_new), out=indptr[1:])
+        return CSRGraph(new_name, kept_ids, indptr, new_targets[order], new_weights[order])
+
+    def as_undirected(self, name: Optional[str] = None) -> "CSRGraph":
+        """Symmetrised copy: every edge gets a reverse edge.
+
+        Reproduces ``DiGraph.as_undirected``'s exact edge ordering: the edge
+        event sequence is ``(s0->t0, t0->s0, s1->t1, t1->s1, ...)`` in global
+        edge order, grouped per source with a stable sort.
+        """
+        m = self.num_edges
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees)
+        nsrc = np.empty(2 * m, dtype=np.int64)
+        ndst = np.empty(2 * m, dtype=np.int64)
+        nw = np.empty(2 * m, dtype=np.float64)
+        nsrc[0::2] = src
+        nsrc[1::2] = self.targets
+        ndst[0::2] = self.targets
+        ndst[1::2] = src
+        nw[0::2] = self.weights
+        nw[1::2] = self.weights
+        order = np.argsort(nsrc, kind="stable")
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(nsrc, minlength=self.num_vertices), out=indptr[1:])
+        return CSRGraph(
+            name or f"{self.name}-undirected",
+            self.ids,
+            indptr,
+            ndst[order],
+            nw[order],
+            index=dict(self.index),
+        )
+
+    def reverse(self, name: Optional[str] = None) -> "CSRGraph":
+        """Copy with every edge direction flipped (stable per-vertex order)."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees)
+        order = np.argsort(self.targets, kind="stable")
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(self.in_degrees, out=indptr[1:])
+        return CSRGraph(
+            name or f"{self.name}-reversed",
+            self.ids,
+            indptr,
+            src[order],
+            self.weights[order],
+            index=dict(self.index),
+        )
+
+    def copy(self, name: Optional[str] = None) -> "CSRGraph":
+        """Shallow copy; the underlying arrays are shared (they are immutable)."""
+        return CSRGraph(
+            name or self.name,
+            self.ids,
+            self.indptr,
+            self.targets,
+            self.weights,
+            index=dict(self.index),
+        )
+
+    def relabel_to_integers(
+        self, name: Optional[str] = None
+    ) -> Tuple["CSRGraph", Dict[VertexId, int]]:
+        """Copy with vertices relabelled ``0..n-1`` plus the mapping."""
+        mapping = {vertex: i for i, vertex in enumerate(self.ids)}
+        relabelled = CSRGraph(
+            name or f"{self.name}-int",
+            list(range(self.num_vertices)),
+            self.indptr,
+            self.targets,
+            self.weights,
+        )
+        return relabelled, mapping
+
+    # -------------------------------------------------------------- internals
+    def _require(self, vertex: VertexId) -> int:
+        index = self.index.get(vertex)
+        if index is None:
+            raise GraphError(f"vertex {vertex!r} is not in graph {self.name!r}")
+        return index
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self.index
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CSRGraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i] + lengths[i])`` vectorially."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    prefix = np.cumsum(lengths) - lengths
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - prefix, lengths)

@@ -16,6 +16,15 @@ Design notes
 * ``as_undirected`` mirrors the paper's setup step: "In Giraph, which
   inherently supports only directed graphs, a reverse edge is added to each
   edge" for algorithms that operate on undirected graphs (semi-clustering).
+* ``freeze()`` converts the dict-of-lists structure into an immutable,
+  NumPy-backed :class:`repro.graph.csr.CSRGraph` (``indptr`` / ``targets`` /
+  ``weights`` arrays plus cached in/out-degree arrays).  The frozen graph
+  implements the same read protocol with identical vertex- and edge-iteration
+  order, so it is a drop-in replacement everywhere; on top of that it enables
+  the BSP engine's vectorized superstep fast path and O(1) array walks for the
+  samplers.  The experiment harness freezes every loaded dataset before
+  running; build-time code (generators, I/O, builders) keeps using ``DiGraph``
+  and freezes once construction is complete.
 """
 
 from __future__ import annotations
@@ -31,6 +40,9 @@ WeightedEdge = Tuple[VertexId, VertexId, float]
 
 class DiGraph:
     """Directed graph with weighted edges and O(1) degree queries."""
+
+    #: Mutable dict-of-lists graphs are never frozen; see :meth:`freeze`.
+    is_frozen = False
 
     def __init__(self, name: str = "graph") -> None:
         self.name = name
@@ -93,6 +105,11 @@ class DiGraph:
         self._require(vertex)
         return [target for target, _ in self._out[vertex]]
 
+    def successor_at(self, vertex: VertexId, position: int) -> VertexId:
+        """The target of the ``position``-th outgoing edge (no list built)."""
+        self._require(vertex)
+        return self._out[vertex][position][0]
+
     def out_edges(self, vertex: VertexId) -> List[Tuple[VertexId, float]]:
         """Return ``(target, weight)`` pairs for the outgoing edges of ``vertex``."""
         self._require(vertex)
@@ -127,6 +144,18 @@ class DiGraph:
         return [self._in_degree[v] for v in self._out]
 
     # ------------------------------------------------------------ derivations
+    def freeze(self, name: Optional[str] = None):
+        """Return an immutable CSR (array-backed) view of this graph.
+
+        The frozen graph preserves vertex- and edge-iteration order exactly,
+        so BSP runs, samples and property reports are identical on either
+        representation; the CSR form is what unlocks the engine's vectorized
+        superstep path.
+        """
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_digraph(self, name=name)
+
     def subgraph(self, vertices: Sequence[VertexId], name: Optional[str] = None) -> "DiGraph":
         """Return the induced subgraph on ``vertices``.
 

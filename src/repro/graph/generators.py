@@ -16,6 +16,9 @@ qualitative shape matches the originals:
   prediction errors to its non-power-law out-degree distribution, so the LJ
   stand-in uses this generator.
 * ``erdos_renyi`` -- uniform random graphs for unit tests.
+* ``uniform_csr`` -- array-native uniform random graphs built directly as
+  frozen :class:`repro.graph.csr.CSRGraph` instances (no per-edge Python
+  work); used by the performance benchmarks that need 50k+ vertices.
 * ``chain`` / ``star`` / ``complete`` -- degenerate structures used to test
   the documented limitations of the methodology (§3.5 of the paper).
 
@@ -209,6 +212,37 @@ def lognormal_digraph(
             if rng.random() < reciprocity:
                 graph.add_edge(int(target), vertex)
     return graph
+
+
+def uniform_csr(
+    num_vertices: int,
+    num_edges: int,
+    seed: SeedLike = None,
+    name: str = "uniform-csr",
+):
+    """Uniform random directed graph built directly as a frozen CSR graph.
+
+    Samples ``num_edges`` (source, target) pairs uniformly (self-loops are
+    resampled away where possible) entirely with array operations -- no
+    per-edge Python work -- so it scales to the 50k+ vertex graphs the
+    performance benchmarks need.  Returns a
+    :class:`repro.graph.csr.CSRGraph`; use ``.to_digraph()`` when a mutable
+    copy is required (e.g. for scalar-vs-vectorized comparisons).
+    """
+    from repro.graph.csr import CSRGraph
+
+    _require_positive("num_vertices", num_vertices)
+    _require_positive("num_edges", num_edges)
+    rng = make_rng(seed)
+    sources = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    targets = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    if num_vertices > 1:
+        loops = sources == targets
+        # Shift loop targets by a random non-zero offset to break the loop
+        # without changing the uniform marginal distribution.
+        offsets = rng.integers(1, num_vertices, size=int(loops.sum()), dtype=np.int64)
+        targets[loops] = (targets[loops] + offsets) % num_vertices
+    return CSRGraph.from_edge_arrays(num_vertices, sources, targets, name=name)
 
 
 def erdos_renyi(

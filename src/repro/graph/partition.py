@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.graph.digraph import DiGraph, VertexId
 
@@ -41,6 +43,18 @@ class Partitioning:
         """Return the vertices owned by ``worker``."""
         return self.worker_vertices[worker]
 
+    def assignment_array(self, graph: DiGraph) -> np.ndarray:
+        """Worker index of each vertex, aligned with ``graph.vertices()`` order.
+
+        This is the partition map the engine's vectorized superstep uses to
+        classify messages as local or remote with one array comparison.
+        """
+        return np.fromiter(
+            (self.assignment[vertex] for vertex in graph.vertices()),
+            dtype=np.int64,
+            count=graph.num_vertices,
+        )
+
     def worker_outbound_edges(self, graph: DiGraph) -> List[int]:
         """Total outbound edges per worker.
 
@@ -48,6 +62,12 @@ class Partitioning:
         uses: "the worker with the largest number of outbound edges is
         considered to be on the critical path".
         """
+        degrees = getattr(graph, "out_degrees", None)
+        if degrees is not None:
+            # Frozen (CSR) graph: one bincount instead of a Python loop.
+            owners = self.assignment_array(graph)
+            totals = np.bincount(owners, weights=degrees, minlength=self.num_workers)
+            return [int(total) for total in totals]
         totals = [0] * self.num_workers
         for vertex, worker in self.assignment.items():
             totals[worker] += graph.out_degree(vertex)

@@ -110,11 +110,17 @@ class VertexSampler:
 
     @staticmethod
     def _random_successor(graph: DiGraph, vertex: VertexId, rng) -> Optional[VertexId]:
-        """A uniformly random out-neighbour of ``vertex`` (None at dead ends)."""
-        successors = graph.successors(vertex)
-        if not successors:
+        """A uniformly random out-neighbour of ``vertex`` (None at dead ends).
+
+        Uses ``successor_at`` so that walks over a frozen (CSR) graph index
+        straight into the adjacency arrays instead of materialising a
+        successor list per step.  The RNG draw is identical either way, so a
+        seeded walk picks the same vertices on both representations.
+        """
+        degree = graph.out_degree(vertex)
+        if degree == 0:
             return None
-        return successors[int(rng.integers(0, len(successors)))]
+        return graph.successor_at(vertex, int(rng.integers(0, degree)))
 
     def _walk_until(
         self,

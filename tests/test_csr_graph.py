@@ -1,0 +1,224 @@
+"""Unit tests of :class:`repro.graph.csr.CSRGraph` (the frozen graph core).
+
+The differential engine tests cover behavioural equivalence under BSP runs;
+here we pin the data-structure contract itself: protocol parity with
+``DiGraph``, immutability, array constructors, id handling (including
+non-integer ids) and the zero-copy derivations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connected_components import ConnectedComponents
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import GraphError
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture()
+def sample_digraph() -> DiGraph:
+    graph = DiGraph(name="sample")
+    edges = [(0, 1, 2.0), (0, 2, 1.0), (1, 2, 0.5), (2, 0, 1.0), (2, 3, 3.0), (3, 3, 1.0)]
+    for source, target, weight in edges:
+        graph.add_edge(source, target, weight)
+    graph.add_vertex(4)  # isolated vertex
+    return graph
+
+
+class TestFreezeProtocolParity:
+    def test_flags(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        assert frozen.is_frozen and not sample_digraph.is_frozen
+        assert frozen.freeze() is frozen
+
+    def test_counts_and_orders(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        assert frozen.num_vertices == sample_digraph.num_vertices
+        assert frozen.num_edges == sample_digraph.num_edges
+        assert len(frozen) == len(sample_digraph)
+        assert list(frozen.vertices()) == list(sample_digraph.vertices())
+        assert list(frozen.edges()) == list(sample_digraph.edges())
+
+    def test_adjacency_queries(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        for vertex in sample_digraph.vertices():
+            assert frozen.successors(vertex) == sample_digraph.successors(vertex)
+            assert frozen.out_edges(vertex) == sample_digraph.out_edges(vertex)
+            assert frozen.out_degree(vertex) == sample_digraph.out_degree(vertex)
+            assert frozen.in_degree(vertex) == sample_digraph.in_degree(vertex)
+            assert frozen.degree(vertex) == sample_digraph.degree(vertex)
+            for position in range(sample_digraph.out_degree(vertex)):
+                assert frozen.successor_at(vertex, position) == (
+                    sample_digraph.successor_at(vertex, position)
+                )
+
+    def test_membership_and_has_edge(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        assert 0 in frozen and 99 not in frozen
+        assert frozen.has_vertex(4) and not frozen.has_vertex(99)
+        assert frozen.has_edge(0, 1) and not frozen.has_edge(1, 0)
+        assert not frozen.has_edge(99, 0) and not frozen.has_edge(0, 99)
+
+    def test_degree_sequences(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        assert frozen.out_degree_sequence() == sample_digraph.out_degree_sequence()
+        assert frozen.in_degree_sequence() == sample_digraph.in_degree_sequence()
+
+    def test_successor_at_list_index_semantics(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        # Negative positions index from the end, like DiGraph's list access.
+        assert frozen.successor_at(0, -1) == sample_digraph.successor_at(0, -1)
+        # Out-of-range positions raise instead of reading a neighbouring row.
+        with pytest.raises(IndexError):
+            frozen.successor_at(0, sample_digraph.out_degree(0))
+        with pytest.raises(IndexError):
+            frozen.successor_at(4, 0)  # isolated vertex
+
+    def test_missing_vertex_raises(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        with pytest.raises(GraphError):
+            frozen.successors(99)
+        with pytest.raises(GraphError):
+            frozen.out_degree(99)
+
+
+class TestImmutability:
+    def test_add_vertex_raises(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        with pytest.raises(GraphError):
+            frozen.add_vertex(100)
+
+    def test_add_edge_raises(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        with pytest.raises(GraphError):
+            frozen.add_edge(0, 1)
+
+
+class TestDerivations:
+    def test_subgraph_matches_digraph(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        keep = [2, 0, 3]
+        expected = sample_digraph.subgraph(keep)
+        actual = frozen.subgraph(keep)
+        assert list(actual.vertices()) == list(expected.vertices())
+        assert list(actual.edges()) == list(expected.edges())
+
+    def test_subgraph_duplicate_vertices_match_digraph(self, sample_digraph):
+        # DiGraph.subgraph adds edges once per *occurrence* of a vertex in the
+        # input sequence; the CSR version replicates that exactly.
+        frozen = sample_digraph.freeze()
+        duplicated = [0, 1, 0, 2, 2]
+        expected = sample_digraph.subgraph(duplicated)
+        actual = frozen.subgraph(duplicated)
+        assert list(actual.vertices()) == list(expected.vertices())
+        assert list(actual.edges()) == list(expected.edges())
+
+    def test_subgraph_skips_unknown_and_empty(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        sub = frozen.subgraph([0, 77])
+        assert list(sub.vertices()) == [0]
+        empty = frozen.subgraph([])
+        assert empty.num_vertices == 0 and empty.num_edges == 0
+
+    def test_as_undirected_matches_digraph(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        assert list(frozen.as_undirected().edges()) == list(
+            sample_digraph.as_undirected().edges()
+        )
+        assert frozen.as_undirected().is_frozen
+
+    def test_reverse_matches_digraph(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        assert list(frozen.reverse().edges()) == list(sample_digraph.reverse().edges())
+
+    def test_copy_shares_arrays(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        duplicate = frozen.copy(name="dup")
+        assert duplicate.name == "dup"
+        assert duplicate.targets is frozen.targets
+        assert list(duplicate.edges()) == list(frozen.edges())
+
+    def test_relabel_to_integers(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c", 2.0)
+        frozen = graph.freeze()
+        relabelled, mapping = frozen.relabel_to_integers()
+        assert mapping == {"a": 0, "b": 1, "c": 2}
+        assert list(relabelled.edges()) == [(0, 1, 1.0), (1, 2, 2.0)]
+
+    def test_to_digraph_round_trip(self, sample_digraph):
+        frozen = sample_digraph.freeze()
+        thawed = frozen.to_digraph()
+        assert list(thawed.vertices()) == list(sample_digraph.vertices())
+        assert list(thawed.edges()) == list(sample_digraph.edges())
+        assert not thawed.is_frozen
+
+
+class TestArrayConstructors:
+    def test_from_edge_arrays_groups_by_source_stably(self):
+        graph = CSRGraph.from_edge_arrays(
+            4,
+            np.array([2, 0, 2, 1]),
+            np.array([0, 1, 3, 2]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        assert graph.num_vertices == 4 and graph.num_edges == 4
+        assert graph.out_edges(2) == [(0, 1.0), (3, 3.0)]
+        assert graph.out_edges(0) == [(1, 2.0)]
+
+    def test_from_edge_arrays_validates_bounds(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_arrays(2, np.array([0]), np.array([5]))
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_arrays(0, np.array([], dtype=int), np.array([], dtype=int))
+
+    def test_from_edge_arrays_validates_weights_length(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_arrays(
+                3, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 2.0, 3.0])
+            )
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_arrays(
+                3, np.array([0, 1]), np.array([1, 2]), np.array([1.0])
+            )
+
+    def test_uniform_csr_generator(self):
+        graph = generators.uniform_csr(500, 3000, seed=3)
+        assert graph.is_frozen
+        assert graph.num_vertices == 500
+        assert graph.num_edges == 3000
+        assert all(source != target for source, target, _ in graph.edges())
+
+
+class TestNonIntegerIds:
+    def test_string_ids_supported(self):
+        graph = DiGraph()
+        graph.add_edge("x", "y")
+        graph.add_edge("y", "z")
+        frozen = graph.freeze()
+        assert not frozen.integer_ids
+        assert frozen.successors("x") == ["y"]
+        assert list(frozen.edges()) == list(graph.edges())
+
+    def test_engine_falls_back_to_scalar_on_string_ids(self):
+        # Connected components over string labels cannot vectorize; the run
+        # must silently use the scalar path and agree with the DiGraph run.
+        graph = DiGraph()
+        for source, target in [("a", "b"), ("b", "a"), ("c", "d")]:
+            graph.add_edge(source, target)
+        engine = BSPEngine(
+            cluster=ClusterSpec(num_nodes=1, workers_per_node=2),
+            cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+        )
+        config = EngineConfig(num_workers=2, collect_vertex_values=True, runtime_seed=1)
+        scalar = engine.run(graph, ConnectedComponents(), None, config)
+        frozen = engine.run(graph.freeze(), ConnectedComponents(), None, config)
+        assert scalar.vertex_values == frozen.vertex_values
+        assert scalar.num_iterations == frozen.num_iterations

@@ -1,0 +1,235 @@
+"""Differential testing: scalar DiGraph path vs. frozen CSR / vectorized path.
+
+The engine's vectorized superstep fast path (``compute_batch`` on a frozen
+:class:`repro.graph.csr.CSRGraph`) promises to be *observationally identical*
+to the per-vertex scalar path: same vertex values, same convergence history,
+and the same value for every per-worker, per-superstep key-input-feature
+counter.  PREDIcT's whole methodology rests on those profiles, so the promise
+is enforced here exhaustively: PageRank (with and without combiner),
+connected components and top-k ranking are executed through both paths on a
+pool of 20+ seeded random graphs of varied shape -- scale-free, uniform,
+log-normal, R-MAT, and the degenerate structures of §3.5 -- and every field
+of the two :class:`repro.bsp.result.RunResult` objects is compared exactly
+(``==``, not approximately: the fast path replicates the scalar float
+accumulation order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms.connected_components import ConnectedComponents
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.topk_ranking import TopKRanking, TopKRankingConfig
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+
+COUNTER_FIELDS = (
+    "worker_id",
+    "superstep",
+    "total_vertices",
+    "active_vertices",
+    "messages_sent",
+    "local_messages",
+    "remote_messages",
+    "local_message_bytes",
+    "remote_message_bytes",
+    "compute_time",
+    "messaging_time",
+)
+
+# ----------------------------------------------------------------- graph pool
+def _graph_pool():
+    """20+ seeded random graphs of varied shape, as (label, builder) pairs."""
+    pool = []
+    for seed in range(5):
+        pool.append((
+            f"er-{seed}",
+            lambda seed=seed: generators.erdos_renyi(80, 0.05, seed=seed),
+        ))
+    for seed in range(5):
+        pool.append((
+            f"pa-{seed}",
+            lambda seed=seed: generators.preferential_attachment(120, out_degree=4, seed=seed),
+        ))
+    for seed in range(4):
+        pool.append((
+            f"copy-{seed}",
+            lambda seed=seed: generators.copying_model(100, out_degree=3, seed=seed),
+        ))
+    for seed in range(3):
+        pool.append((
+            f"lognorm-{seed}",
+            lambda seed=seed: generators.lognormal_digraph(90, mean_out_degree=5.0, seed=seed),
+        ))
+    for seed in range(3):
+        pool.append((
+            f"rmat-{seed}",
+            lambda seed=seed: generators.rmat(6, edge_factor=4, seed=seed),
+        ))
+    pool.append(("chain", lambda: generators.chain(50)))
+    pool.append(("star", lambda: generators.star(40)))
+    pool.append(("complete", lambda: generators.complete(12)))
+    pool.append((
+        "communities",
+        lambda: generators.two_level_hierarchy(4, 12, seed=1),
+    ))
+    return pool
+
+
+GRAPH_POOL = _graph_pool()
+GRAPH_IDS = [label for label, _ in GRAPH_POOL]
+
+# A couple of larger graphs exercise the same contract at scale; they are
+# marked slow so `pytest -m "not slow"` keeps the fast suite fast.
+LARGE_POOL = [
+    ("pa-large", lambda: generators.preferential_attachment(2000, out_degree=6, seed=23)),
+    ("uniform-large", lambda: generators.uniform_csr(3000, 18_000, seed=29).to_digraph()),
+]
+
+
+@pytest.fixture(scope="module")
+def diff_engine() -> BSPEngine:
+    return BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+
+
+# ----------------------------------------------------------------- assertions
+def assert_profiles_identical(scalar, vectorized):
+    """Assert two RunResults are exactly equal, field by field."""
+    assert scalar.num_iterations == vectorized.num_iterations
+    assert scalar.converged == vectorized.converged
+    assert scalar.num_workers == vectorized.num_workers
+    assert scalar.num_vertices == vectorized.num_vertices
+    assert scalar.num_edges == vectorized.num_edges
+    assert scalar.convergence_history == vectorized.convergence_history
+    assert scalar.vertex_values == vectorized.vertex_values
+    assert dataclasses.asdict(scalar.phase_times) == dataclasses.asdict(vectorized.phase_times)
+    for left, right in zip(scalar.iterations, vectorized.iterations):
+        assert left.superstep == right.superstep
+        assert left.critical_worker == right.critical_worker
+        assert left.runtime == right.runtime
+        assert left.barrier_time == right.barrier_time
+        assert left.convergence_metric == right.convergence_metric
+        assert left.aggregates == right.aggregates
+        assert len(left.worker_counters) == len(right.worker_counters)
+        for counters_left, counters_right in zip(left.worker_counters, right.worker_counters):
+            for field in COUNTER_FIELDS:
+                assert getattr(counters_left, field) == getattr(counters_right, field), (
+                    f"superstep {left.superstep}, worker {counters_left.worker_id}: "
+                    f"{field} differs"
+                )
+        assert left.graph_feature_dict() == right.graph_feature_dict()
+        assert left.critical_feature_dict() == right.critical_feature_dict()
+
+
+def run_both_paths(engine, graph, algorithm_factory, config, use_combiner=False):
+    """Run scalar-on-DiGraph and vectorized-on-CSR, return both results."""
+    frozen = graph.freeze()
+    scalar_config = EngineConfig(
+        num_workers=4, max_supersteps=60, runtime_seed=7,
+        collect_vertex_values=True, use_combiner=use_combiner, vectorized=False,
+    )
+    vector_config = EngineConfig(
+        num_workers=4, max_supersteps=60, runtime_seed=7,
+        collect_vertex_values=True, use_combiner=use_combiner, vectorized=True,
+    )
+    scalar = engine.run(graph, algorithm_factory(), config, scalar_config)
+    vectorized = engine.run(frozen, algorithm_factory(), config, vector_config)
+    return scalar, vectorized
+
+
+# ---------------------------------------------------------------------- tests
+@pytest.mark.parametrize("label,builder", GRAPH_POOL, ids=GRAPH_IDS)
+class TestDifferentialAllGraphs:
+    def test_pagerank(self, diff_engine, label, builder):
+        graph = builder()
+        scalar, vectorized = run_both_paths(
+            diff_engine, graph, PageRank, PageRankConfig(tolerance=1e-5)
+        )
+        assert_profiles_identical(scalar, vectorized)
+
+    def test_pagerank_with_combiner(self, diff_engine, label, builder):
+        graph = builder()
+        scalar, vectorized = run_both_paths(
+            diff_engine, graph, PageRank, PageRankConfig(tolerance=1e-5),
+            use_combiner=True,
+        )
+        assert_profiles_identical(scalar, vectorized)
+
+    def test_connected_components(self, diff_engine, label, builder):
+        graph = builder()
+        scalar, vectorized = run_both_paths(
+            diff_engine, graph, ConnectedComponents, None
+        )
+        assert_profiles_identical(scalar, vectorized)
+
+    def test_topk_scalar_fallback_on_csr(self, diff_engine, label, builder):
+        # Top-k has no compute_batch: on a frozen graph the engine falls back
+        # to the scalar path, which must behave identically on CSR adjacency.
+        graph = builder()
+        scalar, vectorized = run_both_paths(
+            diff_engine, graph, TopKRanking, TopKRankingConfig(k=3, tolerance=0.01)
+        )
+        assert_profiles_identical(scalar, vectorized)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("label,builder", LARGE_POOL, ids=[l for l, _ in LARGE_POOL])
+def test_differential_large_graphs(diff_engine, label, builder):
+    graph = builder()
+    scalar, vectorized = run_both_paths(
+        diff_engine, graph, PageRank, PageRankConfig(tolerance=1e-6)
+    )
+    assert_profiles_identical(scalar, vectorized)
+
+
+def test_vectorized_path_is_actually_taken(diff_engine):
+    """Guard against silent fallback: compute() must not run on the fast path."""
+
+    class TrapPageRank(PageRank):
+        def compute(self, ctx, messages, config):  # pragma: no cover - trap
+            raise AssertionError("scalar compute called on the vectorized path")
+
+    graph = generators.preferential_attachment(200, out_degree=4, seed=5).freeze()
+    result = diff_engine.run(
+        graph, TrapPageRank(), PageRankConfig(tolerance=1e-4),
+        EngineConfig(num_workers=4, max_supersteps=30, runtime_seed=1),
+    )
+    assert result.num_iterations > 1
+
+
+def test_vectorized_flag_forces_scalar_path(diff_engine):
+    """EngineConfig(vectorized=False) must run compute() even on CSR."""
+    calls = []
+
+    class CountingPageRank(PageRank):
+        def compute(self, ctx, messages, config):
+            calls.append(ctx.vertex_id)
+            super().compute(ctx, messages, config)
+
+    graph = generators.erdos_renyi(40, 0.1, seed=2).freeze()
+    diff_engine.run(
+        graph, CountingPageRank(), PageRankConfig(tolerance=1e-3),
+        EngineConfig(num_workers=2, max_supersteps=5, runtime_seed=1, vectorized=False),
+    )
+    assert calls
+
+
+def test_differential_with_runtime_noise(diff_engine):
+    """Seeded runtime noise draws once per superstep on both paths."""
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=DEFAULT_PROFILE,
+    )
+    graph = generators.preferential_attachment(150, out_degree=4, seed=11)
+    scalar, vectorized = run_both_paths(
+        engine, graph, PageRank, PageRankConfig(tolerance=1e-5)
+    )
+    assert_profiles_identical(scalar, vectorized)

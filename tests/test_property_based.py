@@ -3,6 +3,8 @@
 These cover the invariants the rest of the system silently relies on:
 
 * graph bookkeeping (degree sums, subgraph closure, undirected symmetry),
+* the frozen CSR graph (freeze round-trips, derivation commutativity,
+  reverse involution, degree preservation under relabelling),
 * the statistics helpers (R² of a perfect fit, D-statistic bounds),
 * the regression (exact recovery of linear ground truth, scale equivariance),
 * the extrapolator (linearity, identity at factor 1),
@@ -78,6 +80,57 @@ class TestGraphInvariants:
         for source, target, _ in sub.edges():
             assert source <= cutoff and target <= cutoff
             assert graph.has_edge(source, target)
+
+
+class TestCSRGraphInvariants:
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_freeze_round_trips_structure(self, edges):
+        graph = build_graph(edges)
+        frozen = graph.freeze()
+        assert list(frozen.vertices()) == list(graph.vertices())
+        assert list(frozen.edges()) == list(graph.edges())
+        assert frozen.out_degree_sequence() == graph.out_degree_sequence()
+        assert frozen.in_degree_sequence() == graph.in_degree_sequence()
+        thawed = frozen.to_digraph()
+        assert list(thawed.edges()) == list(graph.edges())
+
+    @given(edge_lists, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_subgraph_commutes_with_freeze(self, edges, cutoff):
+        graph = build_graph(edges)
+        keep = [v for v in graph.vertices() if v <= cutoff]
+        freeze_then_sub = graph.freeze().subgraph(keep)
+        sub_then_freeze = graph.subgraph(keep).freeze()
+        assert list(freeze_then_sub.vertices()) == list(sub_then_freeze.vertices())
+        assert list(freeze_then_sub.edges()) == list(sub_then_freeze.edges())
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_reverse_is_involution_on_csr(self, edges):
+        frozen = build_graph(edges).freeze()
+        double_reversed = frozen.reverse().reverse()
+        assert list(double_reversed.vertices()) == list(frozen.vertices())
+        assert sorted((s, t) for s, t, _ in double_reversed.edges()) == sorted(
+            (s, t) for s, t, _ in frozen.edges()
+        )
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_as_undirected_matches_digraph_exactly(self, edges):
+        graph = build_graph(edges)
+        assert list(graph.freeze().as_undirected().edges()) == list(
+            graph.as_undirected().edges()
+        )
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_relabelling_preserves_degree_sequences(self, edges):
+        frozen = build_graph(edges).freeze()
+        relabelled, mapping = frozen.relabel_to_integers()
+        assert relabelled.out_degree_sequence() == frozen.out_degree_sequence()
+        assert relabelled.in_degree_sequence() == frozen.in_degree_sequence()
+        assert sorted(mapping.values()) == list(range(frozen.num_vertices))
 
 
 class TestStatisticsProperties:
