@@ -1,0 +1,69 @@
+"""Performance regression guard for the ragged message plane.
+
+Runs neighborhood estimation -- the variable-size-message algorithm with
+fully array-native batch compute -- over a 50k-vertex uniform random graph
+through both engine paths and records the wall-clock speedup under
+``benchmarks/results/ragged_fastpath_speedup.txt``.  The run fails if the
+ragged plane falls below 3x (the ISSUE-2 acceptance bar), so a future change
+cannot silently lose the optimisation.  The two paths must also still agree
+on counters and convergence, otherwise the "speedup" would be comparing
+different computations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_utils import publish
+from repro.algorithms.neighborhood import NeighborhoodConfig, NeighborhoodEstimation
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+
+NUM_VERTICES = 50_000
+NUM_EDGES = 400_000
+SUPERSTEPS = 3
+MIN_SPEEDUP = 3.0
+
+
+def test_bench_ragged_fastpath(results_dir):
+    frozen = generators.uniform_csr(NUM_VERTICES, NUM_EDGES, seed=17, name="ragged-50k")
+    scalar_graph = frozen.to_digraph()
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=8),
+        cost_profile=DETERMINISTIC_PROFILE,
+    )
+    config = NeighborhoodConfig(num_sketches=4, max_hops=30, tolerance=1e-9)
+
+    def timed_run(graph, vectorized):
+        engine_config = EngineConfig(
+            num_workers=8, max_supersteps=SUPERSTEPS, runtime_seed=1,
+            vectorized=vectorized,
+        )
+        start = time.perf_counter()
+        result = engine.run(graph, NeighborhoodEstimation(), config, engine_config)
+        return time.perf_counter() - start, result
+
+    scalar_time, scalar_result = timed_run(scalar_graph, vectorized=False)
+    ragged_time, ragged_result = timed_run(frozen, vectorized=True)
+
+    # The speedup is only meaningful if both paths did identical work.
+    assert scalar_result.num_iterations == ragged_result.num_iterations
+    assert scalar_result.convergence_history == ragged_result.convergence_history
+    for left, right in zip(scalar_result.iterations, ragged_result.iterations):
+        assert left.graph_feature_dict() == right.graph_feature_dict()
+
+    speedup = scalar_time / ragged_time
+    lines = [
+        "Ragged message-plane speedup (neighborhood estimation, "
+        f"{NUM_VERTICES:,} vertices / {NUM_EDGES:,} edges / {SUPERSTEPS} supersteps)",
+        "",
+        f"  scalar path      : {scalar_time * 1000:9.1f} ms",
+        f"  ragged plane     : {ragged_time * 1000:9.1f} ms",
+        f"  speedup          : {speedup:9.1f} x   (regression floor: {MIN_SPEEDUP:.0f}x)",
+    ]
+    publish(results_dir, "ragged_fastpath_speedup", "\n".join(lines))
+    assert speedup >= MIN_SPEEDUP, (
+        f"ragged message plane speedup regressed: {speedup:.1f}x < {MIN_SPEEDUP}x"
+    )

@@ -91,25 +91,51 @@ class IterativeAlgorithm:
 
     # ----------------------------------------------------- vectorized batches
     #: Optional vectorized superstep implementation.  When an algorithm
-    #: defines ``compute_batch(batch, config)`` (see
-    #: :class:`repro.bsp.engine.BatchContext`) and the run's graph is a frozen
-    #: :class:`repro.graph.csr.CSRGraph`, the engine processes all active
-    #: vertices of a worker in one array pass instead of one ``compute`` call
-    #: per vertex.  The batch path must be observationally identical to
-    #: ``compute`` -- same values, same counters, same aggregates -- which the
-    #: differential-testing harness enforces.  ``None`` means scalar only.
+    #: defines ``compute_batch(batch, config)`` and the run's graph is a
+    #: frozen :class:`repro.graph.csr.CSRGraph`, the engine processes all
+    #: active vertices of a worker in one array pass instead of one
+    #: ``compute`` call per vertex.  The context handed in depends on
+    #: ``batch_payload``: :class:`repro.bsp.engine.BatchContext` for
+    #: ``"scalar"`` payloads, and the ragged-plane contexts of
+    #: :mod:`repro.bsp.ragged` for the variable-size kinds.  The batch path
+    #: must be observationally identical to ``compute`` -- same values, same
+    #: counters, same aggregates -- which the differential-testing harness
+    #: enforces.  ``None`` means scalar only.
     compute_batch = None
 
+    #: Payload representation of the batch path:
+    #:
+    #: * ``"scalar"`` -- fixed-size numeric messages reduced with
+    #:   ``batch_message_reducer`` (PageRank, connected components);
+    #: * ``"rows"`` -- fixed-width numeric rows reduced element-wise with
+    #:   ``batch_row_reducer`` (neighborhood estimation's FM sketches);
+    #: * ``"ragged"`` -- variable-length numeric rows delivered per vertex in
+    #:   scalar send order (top-k rank lists);
+    #: * ``"object"`` -- arbitrary Python payloads, batch-routed but folded
+    #:   per vertex (semi-cluster lists).
+    batch_payload: str = "scalar"
+
     #: How the engine reduces messages addressed to the same vertex for the
-    #: batch path: ``"sum"`` (numeric accumulation, e.g. PageRank) or
-    #: ``"min"`` (label propagation, e.g. connected components).  Must agree
-    #: with how ``compute`` folds its ``messages`` list.
+    #: ``"scalar"`` batch payload kind: ``"sum"`` (numeric accumulation,
+    #: e.g. PageRank) or ``"min"`` (label propagation, e.g. connected
+    #: components).  Must agree with how ``compute`` folds its ``messages``
+    #: list.
     batch_message_reducer: str = "sum"
 
-    #: Constant per-message payload size in bytes for the batch path.  The
-    #: batch path only supports fixed-size payloads (``message_size`` must
-    #: return this value for every payload); ``None`` disables batching.
+    #: Element-wise reducer of the ``"rows"`` payload kind (a key of
+    #: :data:`repro.bsp.ragged.ROW_REDUCERS`, e.g. ``"bitwise_or"``).
+    batch_row_reducer: str = "bitwise_or"
+
+    #: Constant per-message payload size in bytes for the ``"scalar"`` batch
+    #: payload kind (``message_size`` must return this value for every
+    #: payload); ``None`` disables the scalar-payload batch path.  The ragged
+    #: payload kinds report per-message sizes at send time instead.
     batch_message_size: Optional[int] = None
+
+    @classmethod
+    def supports_batch(cls) -> bool:
+        """True when the algorithm implements the vectorized batch protocol."""
+        return callable(cls.compute_batch)
 
     def aggregators(self, config) -> List[Aggregator]:
         """Global aggregators used by the algorithm (may be empty)."""

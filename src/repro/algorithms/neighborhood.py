@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import (
     IterativeAlgorithm,
     require_in_unit_interval,
@@ -120,6 +122,46 @@ class NeighborhoodEstimation(IterativeAlgorithm):
             ctx.send_message_to_all_neighbors(merged_tuple)
         else:
             ctx.vote_to_halt()
+
+    # ------------------------------------------------------- vectorized batch
+    batch_payload = "rows"
+    batch_row_reducer = "bitwise_or"
+
+    def compute_batch(self, batch, config: NeighborhoodConfig) -> None:
+        """Array-pass equivalent of :meth:`compute` (one call per worker).
+
+        Sketches are fixed-width integer rows, so the ragged plane's
+        ``"rows"`` kind applies: incoming sketches are OR-reduced per
+        destination at send time, and merging is a single ``|`` over the
+        active rows.  OR is exact and order-insensitive on integers, so
+        values and counters are bit-identical to the per-vertex path.
+        """
+        indices = batch.indices
+        width = batch.values.shape[1]
+        if batch.superstep == 0:
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(len(indices)))
+            batch.send_rows_to_all_neighbors(
+                indices,
+                batch.values[indices],
+                np.full(len(indices), 4 * width, dtype=np.int64),
+            )
+            return
+        if batch.superstep >= config.max_hops:
+            batch.vote_to_halt()
+            return
+        current = batch.values[indices]
+        merged = current | batch.incoming[indices]
+        changed = np.any(merged != current, axis=1)
+        if changed.any():
+            updated = indices[changed]
+            batch.values[updated] = merged[changed]
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(int(changed.sum())))
+            batch.send_rows_to_all_neighbors(
+                updated,
+                merged[changed],
+                np.full(len(updated), 4 * width, dtype=np.int64),
+            )
+        batch.vote_to_halt(~changed)
 
     # ------------------------------------------------------------ convergence
     def check_convergence(

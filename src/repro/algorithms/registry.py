@@ -40,15 +40,35 @@ def available_algorithms() -> List[str]:
     return list(_REGISTRY)
 
 
-def algorithm_by_name(name: str) -> IterativeAlgorithm:
-    """Instantiate the algorithm registered under ``name`` (or an alias)."""
+def _resolve(name: str) -> Type[IterativeAlgorithm]:
     key = name.lower()
     key = _ALIASES.get(key, key)
     if key not in _REGISTRY:
         raise ConfigurationError(
             f"unknown algorithm {name!r}; available: {', '.join(_REGISTRY)}"
         )
-    return _REGISTRY[key]()
+    return _REGISTRY[key]
+
+
+def algorithm_by_name(name: str) -> IterativeAlgorithm:
+    """Instantiate the algorithm registered under ``name`` (or an alias)."""
+    return _resolve(name)()
+
+
+def supports_batch(name: str) -> bool:
+    """True when the named algorithm implements ``compute_batch``.
+
+    Algorithms that support batching ride the engine's array fast path
+    (scalar plane or ragged message plane, per their ``batch_payload``)
+    whenever the run graph is frozen; the rest fall back to per-vertex
+    ``compute``.
+    """
+    return _resolve(name).supports_batch()
+
+
+def batch_support() -> Dict[str, bool]:
+    """Map every registered algorithm name to its batch-path support."""
+    return {name: cls.supports_batch() for name, cls in _REGISTRY.items()}
 
 
 def register_algorithm(algorithm_cls: Type[IterativeAlgorithm]) -> None:

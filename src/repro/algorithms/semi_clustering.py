@@ -37,6 +37,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import (
     IterativeAlgorithm,
     require_in_unit_interval,
@@ -168,6 +170,43 @@ class SemiClustering(IterativeAlgorithm):
             size += 20 + 8 * len(cluster.members)
         return size
 
+    def _fold_vertex(
+        self,
+        vertex,
+        received: List[SemiCluster],
+        out_edges: List[Tuple[Any, float]],
+        value: Tuple[SemiCluster, ...],
+        config: SemiClusteringConfig,
+    ) -> Tuple[Optional[Tuple[SemiCluster, ...]], Tuple[SemiCluster, ...], bool]:
+        """One vertex's candidate fold, shared by the scalar and batch paths.
+
+        Returns ``(to_send, new_value, updated)``; ``to_send`` is None when
+        there were no candidates at all (the vertex goes to sleep).
+        """
+        # Extend received clusters with this vertex where allowed.
+        candidates: List[SemiCluster] = list(received)
+        for cluster in received:
+            if not cluster.contains(vertex) and len(cluster.members) < config.v_max:
+                candidates.append(cluster.extended_with(vertex, out_edges))
+
+        if not candidates:
+            return None, value, False
+
+        def sort_key(cluster: SemiCluster):
+            # Deterministic ordering: score first, then members for ties.
+            return (-cluster.score(config.boundary_factor), tuple(sorted(map(str, cluster.members))))
+
+        candidates.sort(key=sort_key)
+
+        # Forward the best Smax candidates; keep the best Cmax that contain
+        # this vertex.
+        to_send = tuple(candidates[: config.s_max])
+        containing = [cluster for cluster in candidates if cluster.contains(vertex)]
+        new_value = tuple(containing[: config.c_max])
+        if new_value and set(new_value) != set(value):
+            return to_send, new_value, True
+        return to_send, value, False
+
     def compute(
         self,
         ctx: VertexContext,
@@ -189,36 +228,81 @@ class SemiClustering(IterativeAlgorithm):
         for payload in messages:
             received.extend(payload)
 
-        # Extend received clusters with this vertex where allowed.
-        candidates: List[SemiCluster] = list(received)
-        for cluster in received:
-            if not cluster.contains(vertex) and len(cluster.members) < config.v_max:
-                candidates.append(cluster.extended_with(vertex, out_edges))
-
-        if not candidates:
+        to_send, new_value, updated = self._fold_vertex(
+            vertex, received, out_edges, ctx.value, config
+        )
+        if to_send is None:
             ctx.aggregate(TOTAL_AGGREGATOR, float(len(ctx.value)))
             ctx.vote_to_halt()
             return
-
-        def sort_key(cluster: SemiCluster):
-            # Deterministic ordering: score first, then members for ties.
-            return (-cluster.score(config.boundary_factor), tuple(sorted(map(str, cluster.members))))
-
-        candidates.sort(key=sort_key)
-
-        # Forward the best Smax candidates to the neighbours.
-        to_send = tuple(candidates[: config.s_max])
         if to_send:
             ctx.send_message_to_all_neighbors(to_send)
-
-        # Keep the best Cmax clusters that contain this vertex.
-        containing = [cluster for cluster in candidates if cluster.contains(vertex)]
-        new_value = tuple(containing[: config.c_max])
-        previous = ctx.value
-        if new_value and set(new_value) != set(previous):
+        if updated:
             ctx.value = new_value
             ctx.aggregate(UPDATES_AGGREGATOR, 1.0)
         ctx.aggregate(TOTAL_AGGREGATOR, float(max(len(ctx.value), 1)))
+
+    # ------------------------------------------------------- vectorized batch
+    batch_payload = "object"
+
+    def compute_batch(self, batch, config: SemiClusteringConfig) -> None:
+        """Hybrid batch superstep: ragged routing, per-vertex cluster fold.
+
+        Semi-cluster lists are Python objects, so the fold mirrors
+        :meth:`compute` line for line per vertex; the win is the plane's
+        array-side message routing and counter accounting.  Vertices are
+        processed in partition order and sends are emitted in that order, so
+        delivery lists and every counter match the scalar path exactly.
+        """
+        indices = batch.indices
+        if batch.superstep == 0:
+            payloads = []
+            for i in indices.tolist():
+                singleton = SemiCluster.singleton(batch.vertex_id(i), batch.out_edges(i))
+                batch.set_value(i, (singleton,))
+                payloads.append((singleton,))
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(len(payloads)))
+            batch.aggregate(TOTAL_AGGREGATOR, np.ones(len(payloads)))
+            batch.send_objects_to_all_neighbors(indices, payloads)
+            return
+
+        senders: List[int] = []
+        payloads = []
+        halters: List[int] = []
+        totals: List[float] = []
+        updates = 0
+        for position, i in enumerate(indices.tolist()):
+            vertex = batch.vertex_id(i)
+            received: List[SemiCluster] = []
+            for payload in batch.messages_of(i):
+                received.extend(payload)
+
+            value = batch.value_of(i)
+            to_send, new_value, updated = self._fold_vertex(
+                vertex, received, batch.out_edges(i), value, config
+            )
+            if to_send is None:
+                totals.append(float(len(value)))
+                halters.append(position)
+                continue
+            if to_send:
+                senders.append(i)
+                payloads.append(to_send)
+            if updated:
+                batch.set_value(i, new_value)
+                updates += 1
+                value = new_value
+            totals.append(float(max(len(value), 1)))
+
+        if updates:
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(updates))
+        batch.aggregate(TOTAL_AGGREGATOR, totals)
+        if senders:
+            batch.send_objects_to_all_neighbors(
+                np.asarray(senders, dtype=np.int64), payloads
+            )
+        if halters:
+            batch.vote_to_halt(np.asarray(halters, dtype=np.int64))
 
     # ------------------------------------------------------------ convergence
     def check_convergence(

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import (
     IterativeAlgorithm,
     require_in_unit_interval,
@@ -32,7 +34,9 @@ from repro.algorithms.base import (
 )
 from repro.bsp.aggregators import Aggregator, sum_aggregator
 from repro.bsp.master import GraphInfo
+from repro.bsp.ragged import ragged_rows_equal, segment_unique_topk_desc
 from repro.bsp.vertex import VertexContext
+from repro.graph.csr import concat_ranges
 from repro.exceptions import ConfigurationError
 from repro.graph.digraph import DiGraph
 
@@ -114,6 +118,52 @@ class TopKRanking(IterativeAlgorithm):
             # A vertex whose list did not change sends nothing and goes to
             # sleep; incoming rank lists will re-activate it.
             ctx.vote_to_halt()
+
+    # ------------------------------------------------------- vectorized batch
+    batch_payload = "ragged"
+
+    def compute_batch(self, batch, config: TopKRankingConfig) -> None:
+        """Array-pass equivalent of :meth:`compute` (one call per worker).
+
+        Rank lists are variable-length float rows on the ragged plane.  The
+        scalar ``sorted(set(current) | received, reverse=True)[:k]`` is a
+        segment-wise sort/unique/top-k kernel -- value comparisons only, no
+        arithmetic -- so merged lists, counters and the convergence history
+        are bit-identical to the per-vertex path.
+        """
+        indices = batch.indices
+        if batch.superstep == 0:
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(len(indices)))
+            rows = batch.values.take(indices)
+            batch.send_ragged_to_all_neighbors(indices, rows, 4 + 8 * rows.lengths)
+            return
+
+        current = batch.values.take(indices)
+        in_data, in_indptr = batch.incoming_elements()
+        received = in_indptr[indices + 1] - in_indptr[indices]
+        # Candidate segments: each vertex's current list followed by every
+        # delivered rank-list element (set semantics make the order moot).
+        seg_lengths = current.lengths + received
+        seg_starts = np.cumsum(seg_lengths) - seg_lengths
+        candidates = np.empty(int(seg_lengths.sum()), dtype=np.float64)
+        candidates[concat_ranges(seg_starts, current.lengths)] = current.data
+        candidates[concat_ranges(seg_starts + current.lengths, received)] = in_data[
+            concat_ranges(in_indptr[:-1][indices], received)
+        ]
+        seg_ids = np.repeat(np.arange(len(indices), dtype=np.int64), seg_lengths)
+        best = segment_unique_topk_desc(candidates, seg_ids, len(indices), config.k)
+
+        changed = ~ragged_rows_equal(best, current)
+        if changed.any():
+            positions = np.nonzero(changed)[0]
+            updated = indices[positions]
+            best_rows = best.take(positions)
+            batch.set_rows(updated, best_rows)
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(len(updated)))
+            batch.send_ragged_to_all_neighbors(
+                updated, best_rows, 4 + 8 * best_rows.lengths
+            )
+        batch.vote_to_halt(~changed)
 
     # ------------------------------------------------------------ convergence
     def check_convergence(

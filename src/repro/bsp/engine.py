@@ -47,6 +47,13 @@ path:
 ``tests/test_differential_engine.py`` asserts this equivalence on dozens of
 seeded graphs; ``EngineConfig(vectorized=False)`` forces the scalar path.
 
+Algorithms with *variable-size* messages (semi-clustering, top-k ranking,
+neighborhood estimation) ride the **ragged message plane** instead: the same
+engine hooks, but payloads are offset-indexed ragged arrays (or batch-routed
+Python objects) and per-message byte sizes are reported at send time.  See
+:mod:`repro.bsp.ragged`; the dispatch between the two planes happens once per
+run in ``_build_batch_state`` based on the algorithm's ``batch_payload``.
+
 Sent vs. delivered messages (combiner semantics)
 ------------------------------------------------
 Message *counters* (the paper's Table 1 features) always reflect messages
@@ -69,6 +76,7 @@ from repro.bsp.aggregators import AggregatorRegistry
 from repro.bsp.counters import IterationProfile
 from repro.bsp.master import GraphInfo, Master
 from repro.bsp.messages import default_message_size
+from repro.bsp.ragged import BatchPlane, RaggedBatchContext, build_ragged_state
 from repro.bsp.result import PhaseTimes, RunResult
 from repro.bsp.runtime_model import RuntimeModel
 from repro.bsp.worker import Worker
@@ -165,42 +173,26 @@ class BSPEngine:
         return run.execute(original_graph_name=graph.name)
 
 
-class BatchContext:
+class BatchContext(RaggedBatchContext):
     """Whole-worker view handed to an algorithm's ``compute_batch``.
 
-    One instance is built per (worker, superstep) on the vectorized fast
-    path.  It is the array analogue of :class:`repro.bsp.vertex.VertexContext`:
+    One instance is built per (worker, superstep) on the scalar-payload fast
+    path.  It is the array analogue of :class:`repro.bsp.vertex.VertexContext`;
+    the shared surface (``indices`` / ``out_degrees`` / ``message_counts`` /
+    ``aggregate`` / ``vote_to_halt``) comes from
+    :class:`repro.bsp.ragged.RaggedBatchContext`, so the semantics every
+    batch plane must keep bit-identical exist once.  On top of it:
 
-    * ``indices`` -- the worker's *active* vertex indices (partition order);
-      all other arrays are graph-wide and meant to be indexed with it.
     * ``values`` -- the global vertex-value array; assign slices to update.
     * ``incoming`` -- reduced messages per vertex (via the algorithm's
       ``batch_message_reducer``); only meaningful where ``message_counts``
       is non-zero.
-    * ``out_degrees`` -- cached CSR out-degree array.
-    * ``aggregate`` / ``send_to_all_neighbors`` / ``vote_to_halt`` mirror the
-      scalar context, operating on whole arrays.
+    * ``send_to_all_neighbors`` sends one fixed-size payload per out-edge.
     """
 
-    __slots__ = ("_state", "_worker", "indices", "superstep")
-
-    def __init__(self, state: "_VectorizedState", worker: Worker, indices, superstep: int):
-        self._state = state
-        self._worker = worker
-        self.indices = indices
-        self.superstep = superstep
+    __slots__ = ()
 
     # ------------------------------------------------------------------ state
-    @property
-    def num_vertices(self) -> int:
-        """Global vertex count."""
-        return self._state.run.graph.num_vertices
-
-    @property
-    def num_edges(self) -> int:
-        """Global edge count."""
-        return self._state.run.graph.num_edges
-
     @property
     def values(self) -> np.ndarray:
         """Global vertex-value array (index with ``self.indices``)."""
@@ -211,25 +203,7 @@ class BatchContext:
         """Reduced incoming messages per vertex (this superstep's delivery)."""
         return self._state.msg_acc
 
-    @property
-    def message_counts(self) -> np.ndarray:
-        """Messages received per vertex this superstep (no allocation).
-
-        Slice with ``self.indices`` and compare (``> 0``) to test activation,
-        rather than materialising a graph-wide bool array per access.
-        """
-        return self._state.msg_count
-
-    @property
-    def out_degrees(self) -> np.ndarray:
-        """Cached out-degree array of the run graph."""
-        return self._state.out_degrees
-
     # ------------------------------------------------------------- operations
-    def aggregate(self, name: str, contributions) -> None:
-        """Fold per-vertex contributions into a global aggregator, in order."""
-        self._state.run.registry.contribute_many(name, contributions)
-
     def send_to_all_neighbors(self, payloads, mask=None) -> None:
         """Send ``payloads[i]`` along every out-edge of ``indices[i]``.
 
@@ -240,33 +214,21 @@ class BatchContext:
         """
         self._state.send_to_all_neighbors(self._worker, self.indices, payloads, mask)
 
-    def vote_to_halt(self, mask=None) -> None:
-        """Halt all active vertices (or the masked subset)."""
-        indices = self.indices if mask is None else self.indices[mask]
-        self._state.halted[indices] = True
 
+class _VectorizedState(BatchPlane):
+    """Array mirror of one engine run's mutable state (scalar payloads).
 
-class _VectorizedState:
-    """Array mirror of one engine run's mutable state (fast-path only)."""
+    The plane for fixed-size scalar messages; shares the superstep loop,
+    activation rule and barrier bookkeeping with the ragged payload kinds
+    through :class:`repro.bsp.ragged.BatchPlane`.
+    """
+
+    context_cls = BatchContext
 
     def __init__(self, run: "_EngineRun", values: np.ndarray) -> None:
-        self.run = run
-        graph = run.graph
-        n = graph.num_vertices
+        super().__init__(run)
+        n = run.graph.num_vertices
         self.values = values
-        self.indptr = graph.indptr
-        self.targets = graph.targets
-        self.out_degrees = graph.out_degrees
-        self.vertex_worker = run.partitioning.assignment_array(graph)
-        index = graph.index
-        self.own = [
-            np.fromiter(
-                (index[v] for v in worker.vertices),
-                dtype=np.int64,
-                count=len(worker.vertices),
-            )
-            for worker in run.workers
-        ]
         self.message_size = int(run.algorithm.batch_message_size)
         reducer = run.algorithm.batch_message_reducer
         if reducer == "sum":
@@ -280,11 +242,8 @@ class _VectorizedState:
                 self._neutral = values.dtype.type(np.inf)
         else:
             raise BSPError(f"unsupported batch_message_reducer {reducer!r}")
-        self.halted = np.zeros(n, dtype=bool)
         self.msg_acc = np.full(n, self._neutral, dtype=values.dtype)
-        self.msg_count = np.zeros(n, dtype=np.int64)
         self.acc_next = np.full(n, self._neutral, dtype=values.dtype)
-        self.count_next = np.zeros(n, dtype=np.int64)
 
     @classmethod
     def try_build(cls, run: "_EngineRun") -> Optional["_VectorizedState"]:
@@ -304,19 +263,7 @@ class _VectorizedState:
             return None
         return cls(run, values)
 
-    # -------------------------------------------------------------- superstep
-    def execute_superstep(self, superstep: int) -> None:
-        run = self.run
-        for worker in run.workers:
-            worker.begin_superstep(superstep)
-            active = worker.select_active(
-                self.own[worker.worker_id], self.halted, self.msg_count
-            )
-            if len(active) == 0:
-                continue
-            batch = BatchContext(self, worker, active, superstep)
-            run.algorithm.compute_batch(batch, run.config)
-
+    # -------------------------------------------------------------- messaging
     def send_to_all_neighbors(self, worker: Worker, indices, payloads, mask) -> None:
         payloads = np.asarray(payloads)
         if mask is not None:
@@ -349,10 +296,6 @@ class _VectorizedState:
         run._next_message_count += total
 
     # ------------------------------------------------------------- accounting
-    def count_active_next(self) -> int:
-        """Vertices active in the next superstep (scalar rule, array form)."""
-        return int(np.count_nonzero(~self.halted | (self.count_next > 0)))
-
     def buffered_for(self, worker: Worker):
         """(delivered_messages, delivered_bytes) buffered for ``worker``."""
         counts = self.count_next[self.own[worker.worker_id]]
@@ -362,16 +305,28 @@ class _VectorizedState:
             delivered = int(counts.sum())
         return delivered, delivered * self.message_size
 
-    def advance(self) -> None:
-        """Swap message buffers at the superstep barrier."""
+    def _advance_payloads(self) -> None:
         self.msg_acc = self.acc_next
-        self.msg_count = self.count_next
         self.acc_next = np.full(len(self.msg_acc), self._neutral, dtype=self.msg_acc.dtype)
-        self.count_next = np.zeros(len(self.msg_count), dtype=np.int64)
 
     def export_values(self) -> Dict[VertexId, Any]:
         """Write the value array back into an id-keyed dict (scalar types)."""
         return dict(zip(self.run.graph.vertices(), self.values.tolist()))
+
+
+def _build_batch_state(run: "_EngineRun"):
+    """Pick the batch plane for ``run``'s algorithm, or None for scalar.
+
+    Algorithms with ``batch_payload == "scalar"`` (fixed-size numeric
+    messages) ride :class:`_VectorizedState`; the variable-size payload kinds
+    (``"rows"`` / ``"ragged"`` / ``"object"``) ride the ragged message plane
+    of :mod:`repro.bsp.ragged`.  Both builders return None when the run is
+    ineligible (non-frozen graph, no ``compute_batch``, non-encodable
+    values), in which case the engine falls back to per-vertex ``compute``.
+    """
+    if getattr(run.algorithm, "batch_payload", "scalar") != "scalar":
+        return build_ragged_state(run)
+    return _VectorizedState.try_build(run)
 
 
 class _EngineRun:
@@ -411,7 +366,7 @@ class _EngineRun:
         # delivered (post-combining) bytes per worker for the memory model.
         self._next_message_count = 0
         self._next_buffered_bytes: Dict[int, int] = {}
-        self._vector: Optional[_VectorizedState] = None
+        self._vector: Optional[BatchPlane] = None
         self._worker_edge_counts: Optional[List[int]] = None
 
     # --------------------------------------------------------- vertex API
@@ -497,7 +452,7 @@ class _EngineRun:
             self.values[vertex] = algorithm.initial_value(vertex, graph, config)
 
         # Decide scalar vs. vectorized execution once per run.
-        self._vector = _VectorizedState.try_build(self)
+        self._vector = _build_batch_state(self)
 
         iterations: List[IterationProfile] = []
         convergence_history: List[float] = []

@@ -31,6 +31,30 @@ The engine implements the same rules inline in ``_EngineRun.send_message``
 (scalar) and ``_VectorizedState`` (batch) for speed; the unit tests in
 ``tests/test_combiner_semantics.py`` pin the reference model and both engine
 paths against each other.
+
+The ragged message protocol (variable-size payloads)
+----------------------------------------------------
+Fixed-size numeric messages ride the engine's scalar-payload batch plane;
+everything else rides the **ragged message plane** of
+:mod:`repro.bsp.ragged`.  Its protocol, shared by all three payload kinds:
+
+* a send call names the *senders* (vertex indices in partition order), one
+  payload per sender, and one byte size per payload; the plane expands the
+  payload along each sender's out-edges in exact scalar send order;
+* messages are grouped per destination vertex at the superstep barrier with
+  a stable sort, so each vertex's delivery list equals the scalar path's
+  bucket-append order;
+* counters stay **sent-stream** semantics (one count/size per routed edge,
+  pre-combining) and the memory model is fed per-destination delivered
+  counts and bytes, exactly as above.  Combiners are not supported on the
+  ragged plane -- a run with an active combiner falls back to the scalar
+  path (no variable-size algorithm defines one).
+
+Per payload kind: neighborhood estimation sends fixed-width FM-sketch rows
+(``"rows"``, OR-reduced at the destination), top-k ranking sends
+variable-length rank lists (``"ragged"`` numeric rows), and semi-clustering
+sends Python cluster-list objects (``"object"``, batch-routed, folded per
+vertex).
 """
 
 from __future__ import annotations

@@ -1,0 +1,668 @@
+"""Ragged message plane: vectorized variable-size messaging.
+
+The engine's original fast path (:class:`repro.bsp.engine._VectorizedState`)
+handles algorithms whose messages are fixed-size scalars reduced with ``sum``
+or ``min`` -- PageRank contributions, connected-components labels.  The
+paper's hardest prediction targets are the *category ii* algorithms whose
+messages are variable-size (semi-cluster lists, top-k rank lists, FM-sketch
+vectors): their per-iteration runtime varies precisely because message sizes
+grow and shrink.  This module is the batch plane for those payloads.
+
+Three payload representations share one routing/accounting core
+(:class:`_RaggedStateBase`), selected by the algorithm's ``batch_payload``
+attribute:
+
+``"rows"`` -- :class:`RowReduceState`
+    Fixed-width numeric rows (one row per message) reduced destination-wise
+    with an element-wise ufunc (``batch_row_reducer``, e.g. ``bitwise_or``
+    for neighborhood estimation's FM sketches).  Messages are folded into an
+    accumulator at send time; individual payloads are never materialised.
+
+``"ragged"`` -- :class:`RaggedStreamState`
+    Variable-length numeric rows (top-k rank lists).  Send events are
+    buffered per superstep and grouped by destination vertex at the barrier
+    with a stable sort, so each vertex sees its payload elements in *exact
+    scalar send order* (worker by worker, vertices in partition order,
+    out-edges in adjacency order).
+
+``"object"`` -- :class:`ObjectState`
+    Arbitrary Python payloads (semi-cluster lists).  Routing, grouping and
+    the Table 1 feature counters are array operations; only the per-vertex
+    fold runs in Python (the hybrid the semi-clustering algorithm uses).
+
+Counter semantics are identical to the scalar engine path: every send call
+reports per-message byte sizes, the local/remote split is derived from the
+destination-to-worker assignment array, and delivered (post-routing) counts
+and bytes feed the memory model per destination vertex.  The plane does not
+support combiners (none of the variable-size algorithms define one); when a
+run has an active combiner the engine falls back to the scalar path.
+
+``tests/test_differential_engine.py`` pins every algorithm in the registry
+against the scalar path -- bit-identical counters, vertex values, aggregates
+and convergence histories on 25+ seeded graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BSPError
+from repro.graph.csr import concat_ranges
+
+VertexId = Hashable
+
+#: Element-wise reducers available to the "rows" payload kind, as
+#: ``name -> (ufunc, neutral element)``.
+ROW_REDUCERS = {
+    "bitwise_or": (np.bitwise_or, 0),
+    "add": (np.add, 0),
+}
+
+
+class Ragged:
+    """A list of variable-length numeric rows stored as (data, offsets).
+
+    Row ``i`` occupies ``data[offsets[i]:offsets[i + 1]]``.  The layout is
+    the 1-D analogue of the CSR adjacency arrays, and the same
+    ``concat_ranges`` gather trick drives every row operation.
+    """
+
+    __slots__ = ("data", "offsets", "lengths")
+
+    def __init__(self, data: np.ndarray, offsets: np.ndarray) -> None:
+        self.data = np.asarray(data)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.lengths = np.diff(self.offsets)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence], dtype) -> "Ragged":
+        """Build from a sequence of (possibly empty) numeric rows."""
+        lengths = np.fromiter((len(row) for row in rows), dtype=np.int64, count=len(rows))
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        data = np.fromiter(
+            (value for row in rows for value in row), dtype=dtype, count=int(offsets[-1])
+        )
+        return cls(data, offsets)
+
+    @classmethod
+    def from_lengths(cls, data: np.ndarray, lengths: np.ndarray) -> "Ragged":
+        """Wrap contiguous ``data`` already grouped into ``lengths``-sized rows."""
+        offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return cls(data, offsets)
+
+    @classmethod
+    def concat(cls, parts: Sequence["Ragged"]) -> "Ragged":
+        """Row-wise concatenation of several ragged arrays."""
+        data = np.concatenate([part.data for part in parts])
+        lengths = np.concatenate([part.lengths for part in parts])
+        return cls.from_lengths(data, lengths)
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    def row(self, i: int) -> np.ndarray:
+        """Row ``i`` as an array view."""
+        return self.data[self.offsets[i] : self.offsets[i + 1]]
+
+    def take(self, indices: np.ndarray) -> "Ragged":
+        """Gather rows in the given order (duplicates allowed)."""
+        lengths = self.lengths[indices]
+        slots = concat_ranges(self.offsets[:-1][indices], lengths)
+        return Ragged.from_lengths(self.data[slots], lengths)
+
+    def replace_rows(self, indices: np.ndarray, rows: "Ragged") -> "Ragged":
+        """A new ragged array with ``rows`` substituted at ``indices``.
+
+        Row lengths may change; untouched rows keep their content.  Used by
+        the top-k batch path to commit per-superstep value updates in one
+        rebuild instead of per-row Python surgery.
+        """
+        lengths = self.lengths.copy()
+        lengths[indices] = rows.lengths
+        offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        data = np.empty(int(offsets[-1]), dtype=self.data.dtype)
+        kept = np.ones(len(lengths), dtype=bool)
+        kept[indices] = False
+        kept_idx = np.nonzero(kept)[0]
+        data[concat_ranges(offsets[:-1][kept_idx], lengths[kept_idx])] = self.data[
+            concat_ranges(self.offsets[:-1][kept_idx], self.lengths[kept_idx])
+        ]
+        data[concat_ranges(offsets[:-1][indices], rows.lengths)] = rows.data
+        return Ragged(data, offsets)
+
+    def to_tuples(self) -> List[Tuple]:
+        """Materialise every row as a tuple of Python scalars."""
+        flat = self.data.tolist()
+        bounds = self.offsets.tolist()
+        return [tuple(flat[bounds[i] : bounds[i + 1]]) for i in range(len(self))]
+
+
+# ------------------------------------------------------------------- kernels
+def segment_unique_topk_desc(
+    data: np.ndarray, seg_ids: np.ndarray, num_segments: int, k: int
+) -> Ragged:
+    """Per-segment ``sorted(set(values), reverse=True)[:k]`` as a Ragged.
+
+    Sorting and deduplication use value equality only (no arithmetic), so the
+    result is bit-identical to the Python set/sort expression the scalar
+    top-k compute evaluates per vertex.
+    """
+    order = np.lexsort((data, seg_ids))
+    sdata = data[order]
+    sseg = seg_ids[order]
+    keep = np.ones(len(sdata), dtype=bool)
+    if len(sdata):
+        keep[1:] = (sdata[1:] != sdata[:-1]) | (sseg[1:] != sseg[:-1])
+    udata = sdata[keep]
+    useg = sseg[keep]
+    counts = np.bincount(useg, minlength=num_segments)
+    take = np.minimum(counts, k)
+    ends = np.cumsum(counts)
+    total = int(take.sum())
+    prefix = np.cumsum(take) - take
+    intra = np.arange(total, dtype=np.int64) - np.repeat(prefix, take)
+    slots = np.repeat(ends - 1, take) - intra
+    return Ragged.from_lengths(udata[slots], take)
+
+
+def ragged_rows_equal(left: Ragged, right: Ragged) -> np.ndarray:
+    """Row-wise equality of two ragged arrays with the same row count."""
+    equal = left.lengths == right.lengths
+    same_idx = np.nonzero(equal)[0]
+    if len(same_idx):
+        a = left.take(same_idx)
+        b = right.take(same_idx)
+        seg = np.repeat(np.arange(len(same_idx), dtype=np.int64), a.lengths)
+        mismatched = np.bincount(seg[a.data != b.data], minlength=len(same_idx)) > 0
+        equal[same_idx[mismatched]] = False
+    return equal
+
+
+# ---------------------------------------------------------------- batch state
+class BatchPlane:
+    """Worker loop, activation and buffer bookkeeping shared by all planes.
+
+    Base of *every* batch execution plane -- the scalar-payload
+    ``_VectorizedState`` in :mod:`repro.bsp.engine` and the three ragged
+    kinds below -- so the superstep loop, the activation rule
+    (:meth:`repro.bsp.worker.Worker.select_active`) and the barrier swap
+    exist exactly once.  Implements the interface the engine's run loop
+    expects: ``execute_superstep`` / ``advance`` / ``count_active_next`` /
+    ``buffered_for`` / ``export_values``.
+    """
+
+    #: Context class handed to ``compute_batch`` (set by subclasses).
+    context_cls = None
+
+    def __init__(self, run) -> None:
+        self.run = run
+        graph = run.graph
+        n = graph.num_vertices
+        self.ids = graph.ids
+        self.indptr = graph.indptr
+        self.targets = graph.targets
+        self.out_degrees = graph.out_degrees
+        self.vertex_worker = run.partitioning.assignment_array(graph)
+        index = graph.index
+        self.own = [
+            np.fromiter(
+                (index[v] for v in worker.vertices),
+                dtype=np.int64,
+                count=len(worker.vertices),
+            )
+            for worker in run.workers
+        ]
+        self.halted = np.zeros(n, dtype=bool)
+        self.msg_count = np.zeros(n, dtype=np.int64)
+        self.count_next = np.zeros(n, dtype=np.int64)
+
+    # ----------------------------------------------------------- superstep run
+    def execute_superstep(self, superstep: int) -> None:
+        run = self.run
+        for worker in run.workers:
+            worker.begin_superstep(superstep)
+            active = worker.select_active(
+                self.own[worker.worker_id], self.halted, self.msg_count
+            )
+            if len(active) == 0:
+                continue
+            batch = self.context_cls(self, worker, active, superstep)
+            run.algorithm.compute_batch(batch, run.config)
+        self._commit_superstep()
+
+    def _commit_superstep(self) -> None:
+        """Apply value updates staged during the worker loop (subclass hook)."""
+
+    # ------------------------------------------------------------- accounting
+    def count_active_next(self) -> int:
+        """Vertices active in the next superstep (scalar rule, array form)."""
+        return int(np.count_nonzero(~self.halted | (self.count_next > 0)))
+
+    def advance(self) -> None:
+        """Swap message buffers at the superstep barrier."""
+        self.msg_count = self.count_next
+        self.count_next = np.zeros(len(self.msg_count), dtype=np.int64)
+        self._advance_payloads()
+
+    def _advance_payloads(self) -> None:
+        raise NotImplementedError
+
+    def buffered_for(self, worker):
+        """(delivered_messages, delivered_bytes) buffered for ``worker``."""
+        raise NotImplementedError
+
+    def export_values(self) -> Dict[VertexId, Any]:
+        raise NotImplementedError
+
+
+class _RaggedStateBase(BatchPlane):
+    """Per-message-size routing and counter core of the three ragged kinds."""
+
+    def __init__(self, run) -> None:
+        super().__init__(run)
+        self.bytes_next = np.zeros(run.graph.num_vertices, dtype=np.int64)
+
+    # --------------------------------------------------------------- messaging
+    def _route(self, worker, senders: np.ndarray, sizes: np.ndarray):
+        """Expand senders' out-edges in scalar send order and count them.
+
+        ``sizes[i]`` is the byte size of sender ``i``'s payload (every copy
+        along its out-edges has the same size, exactly as the scalar path's
+        per-edge ``message_size`` calls report).  Returns ``(destinations,
+        degrees)`` or None when no edges exist.
+        """
+        degrees = self.out_degrees[senders]
+        total = int(degrees.sum())
+        if total == 0:
+            return None
+        slots = concat_ranges(self.indptr[senders], degrees)
+        destinations = self.targets[slots]
+        sizes = np.asarray(sizes, dtype=np.int64)
+        per_edge_sizes = np.repeat(sizes, degrees)
+        n = len(self.count_next)
+        self.count_next += np.bincount(destinations, minlength=n)
+        # Per-vertex byte sums are sums of small ints, exact in float64.
+        self.bytes_next += np.bincount(
+            destinations, weights=per_edge_sizes, minlength=n
+        ).astype(np.int64)
+
+        local_mask = self.vertex_worker[destinations] == worker.worker_id
+        local = int(local_mask.sum())
+        local_bytes = int(per_edge_sizes[local_mask].sum())
+        total_bytes = int(per_edge_sizes.sum())
+        counters = worker.counters
+        counters.messages_sent += total
+        counters.local_messages += local
+        counters.local_message_bytes += local_bytes
+        counters.remote_messages += total - local
+        counters.remote_message_bytes += total_bytes - local_bytes
+        self.run._next_message_count += total
+        return destinations, degrees
+
+    # ------------------------------------------------------------- accounting
+    def buffered_for(self, worker):
+        """(delivered_messages, delivered_bytes) buffered for ``worker``.
+
+        The ragged plane never runs with a combiner, so delivered equals
+        sent: one buffered payload per routed message.
+        """
+        own = self.own[worker.worker_id]
+        return int(self.count_next[own].sum()), int(self.bytes_next[own].sum())
+
+    def advance(self) -> None:
+        super().advance()
+        self.bytes_next = np.zeros(len(self.msg_count), dtype=np.int64)
+
+
+class RaggedBatchContext:
+    """API surface shared by the ragged batch contexts.
+
+    The array analogue of :class:`repro.bsp.vertex.VertexContext` for
+    variable-size payloads; subclasses add the payload-kind-specific value
+    and messaging accessors.
+    """
+
+    __slots__ = ("_state", "_worker", "indices", "superstep")
+
+    def __init__(self, state: _RaggedStateBase, worker, indices, superstep: int) -> None:
+        self._state = state
+        self._worker = worker
+        self.indices = indices
+        self.superstep = superstep
+
+    @property
+    def num_vertices(self) -> int:
+        """Global vertex count."""
+        return self._state.run.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Global edge count."""
+        return self._state.run.graph.num_edges
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Cached out-degree array of the run graph."""
+        return self._state.out_degrees
+
+    @property
+    def message_counts(self) -> np.ndarray:
+        """Messages received per vertex this superstep (graph-wide array)."""
+        return self._state.msg_count
+
+    def aggregate(self, name: str, contributions) -> None:
+        """Fold per-vertex contributions into a global aggregator, in order."""
+        self._state.run.registry.contribute_many(name, contributions)
+
+    def vote_to_halt(self, mask=None) -> None:
+        """Halt all active vertices, or a subset of them.
+
+        ``mask`` selects within the active set: either a boolean mask or a
+        positional index array aligned with ``indices``.
+        """
+        indices = self.indices if mask is None else self.indices[mask]
+        self._state.halted[indices] = True
+
+
+# ------------------------------------------------------------------ rows kind
+class RowBatchContext(RaggedBatchContext):
+    """Batch context for fixed-width row payloads (e.g. FM sketch vectors)."""
+
+    __slots__ = ()
+
+    @property
+    def values(self) -> np.ndarray:
+        """Global ``(n, width)`` vertex-value matrix (index with ``indices``)."""
+        return self._state.values
+
+    @property
+    def incoming(self) -> np.ndarray:
+        """Destination-wise reduced rows delivered this superstep."""
+        return self._state.acc
+
+    def send_rows_to_all_neighbors(self, senders, rows, sizes) -> None:
+        """Send row ``rows[i]`` along every out-edge of ``senders[i]``."""
+        self._state.send_rows(self._worker, senders, rows, sizes)
+
+
+class RowReduceState(_RaggedStateBase):
+    """Fixed-width rows reduced destination-wise with an element-wise ufunc."""
+
+    context_cls = RowBatchContext
+
+    def __init__(self, run, values: np.ndarray) -> None:
+        super().__init__(run)
+        self.values = values
+        reducer = getattr(run.algorithm, "batch_row_reducer", "bitwise_or")
+        if reducer not in ROW_REDUCERS:
+            raise BSPError(f"unsupported batch_row_reducer {reducer!r}")
+        self._reduce, self._neutral = ROW_REDUCERS[reducer]
+        shape = values.shape
+        self.acc = np.full(shape, self._neutral, dtype=values.dtype)
+        self.acc_next = np.full(shape, self._neutral, dtype=values.dtype)
+
+    def send_rows(self, worker, senders, rows, sizes) -> None:
+        routed = self._route(worker, senders, sizes)
+        if routed is None:
+            return
+        destinations, degrees = routed
+        # ufunc.at folds element by element in index order: the reduction is
+        # commutative (OR / add on ints), so the value matches the scalar
+        # fold over the per-destination message list exactly.
+        self._reduce.at(self.acc_next, destinations, np.repeat(rows, degrees, axis=0))
+
+    def _advance_payloads(self) -> None:
+        self.acc = self.acc_next
+        self.acc_next = np.full(self.values.shape, self._neutral, dtype=self.values.dtype)
+
+    def export_values(self) -> Dict[VertexId, Any]:
+        return dict(zip(self.ids, (tuple(row) for row in self.values.tolist())))
+
+
+# ---------------------------------------------------------------- ragged kind
+class StreamBatchContext(RaggedBatchContext):
+    """Batch context for variable-length numeric row payloads (top-k lists)."""
+
+    __slots__ = ()
+
+    @property
+    def values(self) -> Ragged:
+        """Global ragged vertex-value rows (one row per vertex)."""
+        return self._state.values
+
+    def incoming_elements(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Delivered payload elements as ``(data, per-vertex indptr)``.
+
+        ``data[indptr[v]:indptr[v + 1]]`` is the concatenation of every
+        payload delivered to vertex ``v`` this superstep, in scalar send
+        order.
+        """
+        return self._state.in_data, self._state.in_elem_indptr
+
+    def set_rows(self, vertex_indices, rows: Ragged) -> None:
+        """Stage new value rows; committed at the end of the superstep."""
+        self._state.stage_rows(vertex_indices, rows)
+
+    def send_ragged_to_all_neighbors(self, senders, rows: Ragged, sizes) -> None:
+        """Send ragged row ``rows[i]`` along every out-edge of ``senders[i]``."""
+        self._state.send_ragged(self._worker, senders, rows, sizes)
+
+
+class RaggedStreamState(_RaggedStateBase):
+    """Variable-length numeric payloads delivered in exact scalar send order."""
+
+    context_cls = StreamBatchContext
+
+    def __init__(self, run, values: Ragged) -> None:
+        super().__init__(run)
+        self.values = values
+        n = run.graph.num_vertices
+        self.in_data = np.empty(0, dtype=values.data.dtype)
+        self.in_elem_indptr = np.zeros(n + 1, dtype=np.int64)
+        self._ev_dest: List[np.ndarray] = []
+        self._ev_ref: List[np.ndarray] = []
+        self._ev_rows: List[Ragged] = []
+        self._ev_row_base = 0
+        self._staged: List[Tuple[np.ndarray, Ragged]] = []
+
+    def send_ragged(self, worker, senders, rows: Ragged, sizes) -> None:
+        routed = self._route(worker, senders, sizes)
+        if routed is None:
+            return
+        destinations, degrees = routed
+        refs = np.repeat(
+            np.arange(len(senders), dtype=np.int64) + self._ev_row_base, degrees
+        )
+        self._ev_dest.append(destinations)
+        self._ev_ref.append(refs)
+        self._ev_rows.append(rows)
+        self._ev_row_base += len(senders)
+
+    def stage_rows(self, vertex_indices, rows: Ragged) -> None:
+        self._staged.append((np.asarray(vertex_indices, dtype=np.int64), rows))
+
+    def _commit_superstep(self) -> None:
+        if not self._staged:
+            return
+        if len(self._staged) == 1:
+            indices, rows = self._staged[0]
+        else:
+            indices = np.concatenate([idx for idx, _ in self._staged])
+            rows = Ragged.concat([rows for _, rows in self._staged])
+        self.values = self.values.replace_rows(indices, rows)
+        self._staged = []
+
+    def _advance_payloads(self) -> None:
+        n = self.run.graph.num_vertices
+        self.in_elem_indptr = np.zeros(n + 1, dtype=np.int64)
+        if not self._ev_dest:
+            self.in_data = np.empty(0, dtype=self.values.data.dtype)
+            return
+        dest = np.concatenate(self._ev_dest)
+        refs = np.concatenate(self._ev_ref)
+        pool = Ragged.concat(self._ev_rows)
+        # Stable sort groups messages per destination while preserving the
+        # global send order within each vertex's delivery list.
+        order = np.argsort(dest, kind="stable")
+        ordered_refs = refs[order]
+        lengths = pool.lengths[ordered_refs]
+        self.in_data = pool.data[
+            concat_ranges(pool.offsets[:-1][ordered_refs], lengths)
+        ]
+        elem_counts = np.bincount(
+            dest, weights=pool.lengths[refs], minlength=n
+        ).astype(np.int64)
+        np.cumsum(elem_counts, out=self.in_elem_indptr[1:])
+        self._ev_dest = []
+        self._ev_ref = []
+        self._ev_rows = []
+        self._ev_row_base = 0
+
+    def export_values(self) -> Dict[VertexId, Any]:
+        return dict(zip(self.ids, self.values.to_tuples()))
+
+
+# ---------------------------------------------------------------- object kind
+class ObjectBatchContext(RaggedBatchContext):
+    """Batch context for arbitrary Python payloads (semi-cluster lists).
+
+    Routing and counters stay vectorized; values and message payloads are
+    plain Python objects folded per vertex by the algorithm.
+    """
+
+    __slots__ = ()
+
+    def vertex_id(self, i: int) -> VertexId:
+        """The vertex id of vertex index ``i``."""
+        return self._state.ids[i]
+
+    def out_edges(self, i: int):
+        """Outgoing ``(target_id, weight)`` pairs of vertex index ``i``."""
+        state = self._state
+        return state.run.graph.out_edges(state.ids[i])
+
+    def value_of(self, i: int) -> Any:
+        """Current value of vertex index ``i``."""
+        return self._state.values[i]
+
+    def set_value(self, i: int, value: Any) -> None:
+        """Update the value of vertex index ``i``."""
+        self._state.values[i] = value
+
+    def messages_of(self, i: int) -> List[Any]:
+        """Payloads delivered to vertex index ``i``, in scalar send order."""
+        return self._state.messages_of(i)
+
+    def send_objects_to_all_neighbors(self, senders, payloads: List[Any]) -> None:
+        """Send payload ``payloads[i]`` along every out-edge of ``senders[i]``."""
+        self._state.send_objects(self._worker, senders, payloads)
+
+
+class ObjectState(_RaggedStateBase):
+    """Python payload plane: batch routing, per-vertex folds."""
+
+    context_cls = ObjectBatchContext
+
+    def __init__(self, run, values: List[Any]) -> None:
+        super().__init__(run)
+        self.values = values
+        self._pool: List[Any] = []
+        self._ev_dest: List[np.ndarray] = []
+        self._ev_ref: List[np.ndarray] = []
+        self.in_refs = np.empty(0, dtype=np.int64)
+        self.in_pool: List[Any] = []
+        n = run.graph.num_vertices
+        self.in_msg_indptr = np.zeros(n + 1, dtype=np.int64)
+
+    def send_objects(self, worker, senders, payloads: List[Any]) -> None:
+        # Per-message sizes via the algorithm's own sizer: one call per
+        # sender instead of the scalar path's one call per edge -- every
+        # copy of a payload has the same size either way.
+        sizer = self.run.message_sizer
+        sizes = np.fromiter(
+            (sizer(payload) for payload in payloads), dtype=np.int64, count=len(payloads)
+        )
+        routed = self._route(worker, senders, sizes)
+        if routed is None:
+            return
+        destinations, degrees = routed
+        refs = np.repeat(
+            np.arange(len(payloads), dtype=np.int64) + len(self._pool), degrees
+        )
+        self._ev_dest.append(destinations)
+        self._ev_ref.append(refs)
+        self._pool.extend(payloads)
+
+    def messages_of(self, i: int) -> List[Any]:
+        lo = self.in_msg_indptr[i]
+        hi = self.in_msg_indptr[i + 1]
+        if lo == hi:
+            return []
+        pool = self.in_pool
+        return [pool[j] for j in self.in_refs[lo:hi].tolist()]
+
+    def _advance_payloads(self) -> None:
+        n = self.run.graph.num_vertices
+        self.in_msg_indptr = np.zeros(n + 1, dtype=np.int64)
+        if not self._ev_dest:
+            self.in_refs = np.empty(0, dtype=np.int64)
+            self.in_pool = []
+            return
+        dest = np.concatenate(self._ev_dest)
+        refs = np.concatenate(self._ev_ref)
+        order = np.argsort(dest, kind="stable")
+        self.in_refs = refs[order]
+        self.in_pool = self._pool
+        np.cumsum(np.bincount(dest, minlength=n), out=self.in_msg_indptr[1:])
+        self._pool = []
+        self._ev_dest = []
+        self._ev_ref = []
+
+    def export_values(self) -> Dict[VertexId, Any]:
+        return dict(zip(self.ids, self.values))
+
+
+# ------------------------------------------------------------------- factory
+def build_ragged_state(run) -> Optional[_RaggedStateBase]:
+    """Build the ragged batch state for ``run``, or None when ineligible.
+
+    Ineligibility (non-frozen graph, scalar-only algorithm, an active
+    combiner, or values that do not encode into the declared payload kind)
+    silently falls back to the per-vertex scalar path, mirroring
+    ``_VectorizedState.try_build``.
+    """
+    algorithm = run.algorithm
+    if not (
+        run.engine_config.vectorized
+        and getattr(run.graph, "is_frozen", False)
+        and callable(getattr(algorithm, "compute_batch", None))
+    ):
+        return None
+    if run.combiner is not None:
+        return None
+    kind = getattr(algorithm, "batch_payload", "scalar")
+    values = [run.values[vertex] for vertex in run.graph.vertices()]
+    if kind == "rows":
+        try:
+            encoded = np.asarray(values, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return None
+        if encoded.ndim != 2:
+            return None
+        return RowReduceState(run, encoded)
+    if kind == "ragged":
+        try:
+            encoded = Ragged.from_rows(values, dtype=np.float64)
+        except (TypeError, ValueError):
+            return None
+        return RaggedStreamState(run, encoded)
+    if kind == "object":
+        return ObjectState(run, list(values))
+    raise BSPError(f"unknown batch_payload kind {kind!r}")

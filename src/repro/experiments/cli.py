@@ -91,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=0.4, help="stand-in dataset scale (default 0.4)")
     parser.add_argument("--workers", type=int, default=8, help="simulated BSP workers (default 8)")
     parser.add_argument("--seed", type=int, default=42, help="master seed (default 42)")
+    parser.add_argument(
+        "--no-freeze",
+        action="store_true",
+        help=(
+            "do not freeze datasets to CSR: forces the scalar per-vertex "
+            "engine path (debugging aid; results are identical, just slower)"
+        ),
+    )
     return parser
 
 
@@ -113,6 +121,7 @@ def main(argv=None) -> int:
         dataset_scale=args.scale,
         num_workers=args.workers,
         seed=args.seed,
+        freeze_datasets=not args.no_freeze,
     )
     for name in args.experiments:
         print(EXPERIMENTS[name](ctx))

@@ -60,6 +60,11 @@ class ExperimentContext:
         keep the pure-Python simulation fast without changing the shapes).
     seed:
         Master seed; per-component seeds are derived from it.
+    freeze_datasets:
+        When True (default) every loaded dataset is frozen to CSR so runs
+        and sampler walks ride the array fast paths.  ``--no-freeze`` on the
+        CLI sets this to False, forcing the scalar per-vertex path -- a
+        debugging aid; results are identical either way.
     """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
@@ -68,6 +73,7 @@ class ExperimentContext:
     num_workers: int = 8
     seed: int = 42
     max_supersteps: int = 200
+    freeze_datasets: bool = True
 
     _engine: BSPEngine = field(init=False, repr=False, default=None)
     _actual_runs: Dict[Tuple[str, str, str], RunResult] = field(
@@ -103,12 +109,14 @@ class ExperimentContext:
         run touches it, so every experiment -- actual runs, sample runs,
         sampler walks -- rides the engine's vectorized superstep fast path
         whenever the algorithm supports it.  Freezing preserves vertex and
-        edge order, so results are identical to the unfrozen path.
+        edge order, so results are identical to the unfrozen path; with
+        ``freeze_datasets=False`` the mutable ``DiGraph`` is returned and
+        everything executes on the scalar per-vertex path instead.
         """
         key = (dataset, self.dataset_scale, self.seed)
         if key not in self._frozen_graphs:
             graph = load_dataset(dataset, scale=self.dataset_scale, seed=self.seed)
-            self._frozen_graphs[key] = graph.freeze()
+            self._frozen_graphs[key] = graph.freeze() if self.freeze_datasets else graph
         return self._frozen_graphs[key]
 
     def sampler(self, name: str = "BRJ"):

@@ -98,6 +98,11 @@ class CSRGraph:
         # per vertex per superstep) would otherwise pay NumPy-slice-to-tuple
         # conversion on every call.
         self._edge_rows: Optional[List[Optional[List[Tuple[VertexId, float]]]]] = None
+        # Lazy Python-list forms of (indptr, targets) for the samplers' index
+        # walk: list indexing beats per-step NumPy scalar access, and the
+        # arrays are immutable, so the conversion is paid once per graph
+        # instead of once per sample() call.
+        self._walk_adjacency: Optional[Tuple[List[int], List[int]]] = None
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -267,6 +272,20 @@ class CSRGraph:
         for i, source in enumerate(ids):
             for slot in range(int(indptr[i]), int(indptr[i + 1])):
                 yield source, ids[targets[slot]], weights[slot]
+
+    def walk_adjacency(self) -> Tuple[List[int], List[int]]:
+        """Cached ``(indptr, targets)`` as Python lists (samplers' step loop).
+
+        The list forms cost ~4x the arrays' memory and live as long as the
+        graph -- a deliberate trade-off: experiment sweeps draw many samples
+        from one frozen graph, and per-step list indexing is what makes the
+        walk fast.  Callers that sample a huge graph once and care about
+        resident memory can set ``graph._walk_adjacency = None`` afterwards
+        to release the copies.
+        """
+        if self._walk_adjacency is None:
+            self._walk_adjacency = (self.indptr.tolist(), self.targets.tolist())
+        return self._walk_adjacency
 
     def out_degree_sequence(self) -> List[int]:
         """Out-degrees of all vertices, in vertex-iteration order."""

@@ -7,7 +7,12 @@ induced sample subgraph and bookkeeping (walks performed, restarts, ...).
 The paper's samplers are all walk-based, so the base class provides the
 common loop: maintain a current vertex, follow a random outgoing edge, restart
 with probability ``restart_probability`` (p = 0.15 in the evaluation), and
-jump out of dead ends (vertices without outgoing edges).
+jump out of dead ends (vertices without outgoing edges).  The loop itself
+lives in :mod:`repro.sampling.walkers`: all per-step randomness is consumed
+as uniform doubles from a block-refilled :class:`~repro.sampling.walkers.DrawStream`,
+and on frozen (CSR) graphs the walk steps through the adjacency arrays
+directly.  A seeded sampler therefore picks the identical vertex set on a
+``DiGraph`` and on its frozen counterpart.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.exceptions import SamplingError
 from repro.graph.digraph import DiGraph, VertexId
 from repro.sampling.induced import induced_sample
+from repro.sampling.walkers import DrawStream, walk_with_restart
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -127,50 +133,34 @@ class VertexSampler:
         graph: DiGraph,
         target: int,
         rng,
-        pick_seed,
+        seed_pool: Sequence[VertexId],
         accept_step=None,
     ) -> tuple:
-        """Shared walk-with-restart loop.
+        """Shared walk-with-restart loop (see :mod:`repro.sampling.walkers`).
 
-        ``pick_seed(rng)`` returns the start vertex of a new walk.
-        ``accept_step(current, proposed, rng)`` may veto a proposed move
-        (Metropolis-Hastings); None accepts every move.  Vertices visited by
-        the walk are added to the sample until ``target`` distinct vertices
-        are collected.
+        New walks start at a uniformly random member of ``seed_pool``.
+        ``accept_step(current, proposed, draw)`` may veto a proposed move
+        (Metropolis-Hastings) using one uniform draw; None accepts every
+        move.  Vertices visited by the walk are added to the sample until
+        ``target`` distinct vertices are collected.
         """
-        picked: List[VertexId] = []
-        picked_set = set()
-        walks = 0
-        steps = 0
-        max_steps = max(1000, 200 * target)
-
-        current = pick_seed(rng)
-        walks += 1
-        self._add(current, picked, picked_set)
-
-        while len(picked) < target and steps < max_steps:
-            steps += 1
-            restart = rng.random() < self.restart_probability
-            proposed = None if restart else self._random_successor(graph, current, rng)
-            if proposed is None:
-                current = pick_seed(rng)
-                walks += 1
-                self._add(current, picked, picked_set)
-                continue
-            if accept_step is not None and not accept_step(current, proposed, rng):
-                continue
-            current = proposed
-            self._add(current, picked, picked_set)
+        stream = DrawStream(rng)
+        picked, stats = walk_with_restart(
+            graph, target, stream, seed_pool,
+            restart_probability=self.restart_probability,
+            accept_step=accept_step,
+        )
 
         if len(picked) < target:
             # The walk got stuck (e.g. tiny strongly-connected region); fill
             # the remainder uniformly at random so the requested ratio is met.
+            picked_set = set(picked)
             remaining = [v for v in graph.vertices() if v not in picked_set]
             rng.shuffle(remaining)
             for vertex in remaining[: target - len(picked)]:
                 self._add(vertex, picked, picked_set)
 
-        return picked, {"walks": walks, "steps": steps}
+        return picked, stats
 
     @staticmethod
     def _add(vertex: VertexId, picked: List[VertexId], picked_set: set) -> None:

@@ -14,6 +14,8 @@ where uniform jumps tend to fragment the sample.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.exceptions import SamplingError
 from repro.graph.digraph import DiGraph
 from repro.sampling.base import VertexSampler
@@ -38,16 +40,22 @@ class BiasedRandomJump(VertexSampler):
 
     def _pick_vertices(self, graph: DiGraph, target: int, rng):
         seeds = self.select_seeds(graph)
-
-        def pick_seed(generator):
-            return seeds[int(generator.integers(0, len(seeds)))]
-
-        picked, stats = self._walk_until(graph, target, rng, pick_seed)
+        picked, stats = self._walk_until(graph, target, rng, seeds)
         stats["seeds"] = seeds
         return picked, stats
 
     def select_seeds(self, graph: DiGraph):
-        """Return the top ``seed_fraction`` of vertices by out-degree."""
+        """Return the top ``seed_fraction`` of vertices by out-degree.
+
+        On a frozen graph the ranking is an array argsort over the cached
+        out-degree vector; a stable descending sort keeps ties in vertex
+        order, exactly like the Python ``sorted(..., reverse=True)`` the
+        unfrozen path uses.
+        """
         num_seeds = max(1, int(round(graph.num_vertices * self.seed_fraction)))
+        if getattr(graph, "is_frozen", False):
+            order = np.argsort(-graph.out_degrees, kind="stable")[:num_seeds]
+            ids = graph.ids
+            return [ids[i] for i in order.tolist()]
         ranked = sorted(graph.vertices(), key=graph.out_degree, reverse=True)
         return ranked[:num_seeds]

@@ -23,15 +23,12 @@ class MetropolisHastingsRandomWalk(VertexSampler):
     def _pick_vertices(self, graph: DiGraph, target: int, rng):
         vertices = list(graph.vertices())
 
-        def pick_seed(generator):
-            return self._uniform_vertex(vertices, generator)
-
-        def accept_step(current, proposed, generator) -> bool:
+        def accept_step(current, proposed, draw: float) -> bool:
             current_degree = max(1, graph.out_degree(current))
             proposed_degree = max(1, graph.out_degree(proposed))
             acceptance = min(1.0, current_degree / proposed_degree)
-            return generator.random() < acceptance
+            return draw < acceptance
 
-        picked, stats = self._walk_until(graph, target, rng, pick_seed, accept_step=accept_step)
+        picked, stats = self._walk_until(graph, target, rng, vertices, accept_step=accept_step)
         stats["seeds"] = []
         return picked, stats

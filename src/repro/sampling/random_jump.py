@@ -22,10 +22,6 @@ class RandomJump(VertexSampler):
 
     def _pick_vertices(self, graph: DiGraph, target: int, rng):
         vertices = list(graph.vertices())
-
-        def pick_seed(generator):
-            return self._uniform_vertex(vertices, generator)
-
-        picked, stats = self._walk_until(graph, target, rng, pick_seed)
+        picked, stats = self._walk_until(graph, target, rng, vertices)
         stats["seeds"] = []
         return picked, stats

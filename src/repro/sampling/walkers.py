@@ -1,0 +1,182 @@
+"""Batched random-walk machinery shared by the walk-based samplers.
+
+The walk-with-restart chain is inherently sequential -- each step depends on
+the vertex reached by the previous one -- so the speedup comes from two
+sides:
+
+* **Batched RNG draws.**  All per-step randomness (restart tests, successor
+  choices, seed picks, Metropolis-Hastings accept tests) consumes uniform
+  doubles from a :class:`DrawStream`, which refills from the NumPy generator
+  in blocks (``rng.random(block)``) instead of one scalar call per draw.
+  Block draws produce exactly the same value sequence as repeated scalar
+  ``rng.random()`` calls, so a seeded walk is reproducible regardless of how
+  the stream is chunked.
+* **CSR-row stepping.**  On a frozen graph the walk runs over vertex
+  *indices*: out-degrees come from ``indptr`` differences and successors
+  from direct ``targets`` slots, with the arrays converted to Python lists
+  once per walk (list indexing beats both per-step NumPy scalar access and
+  the id-keyed protocol lookups).
+
+Both the CSR walk and the protocol walk (used for unfrozen graphs and for
+samplers with an accept hook, i.e. MHRW) consume the stream in exactly the
+same order, so a seeded sampler picks the *identical* vertex set on a graph
+and on its frozen counterpart -- ``tests/test_sampling_vectorized.py`` pins
+that equivalence.
+
+Draw protocol (per step)
+------------------------
+1. one draw ``u``: restart when ``u < restart_probability``;
+2. a move consumes one more draw ``c`` and steps to out-edge
+   ``floor(c * out_degree)`` (no draw at dead ends);
+3. a restart or dead end consumes one draw ``s`` and starts a new walk at
+   ``seed_pool[floor(s * len(seed_pool))]``;
+4. an accept hook (MHRW) consumes one draw per proposed move.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import VertexId
+
+#: ``accept_step(current, proposed, draw) -> bool`` -- Metropolis-Hastings
+#: style veto over a proposed move, fed one uniform draw.
+AcceptStep = Callable[[VertexId, VertexId, float], bool]
+
+
+class DrawStream:
+    """Uniform [0, 1) draws served from block-refilled buffers.
+
+    Equivalent to calling ``rng.random()`` once per draw: NumPy generators
+    fill ``random(size)`` from the same bit stream element by element, so
+    chunking does not change the values -- it only amortises the per-call
+    overhead across ``block`` draws.
+
+    The shared generator's state after a walk does depend on how many full
+    blocks were pulled (unused tail draws are discarded), so the ``block``
+    default is part of the seeded-reproducibility contract: changing it
+    changes every sample set whose walk falls through to the uniform
+    fill-up path in ``VertexSampler._walk_until`` (which draws from the
+    same generator).
+    """
+
+    __slots__ = ("_rng", "_block", "_buffer", "_position")
+
+    def __init__(self, rng, block: int = 4096) -> None:
+        self._rng = rng
+        self._block = block
+        self._buffer: List[float] = []
+        self._position = 0
+
+    def draw(self) -> float:
+        """Return the next uniform double from the stream."""
+        if self._position >= len(self._buffer):
+            self._buffer = self._rng.random(self._block).tolist()
+            self._position = 0
+        value = self._buffer[self._position]
+        self._position += 1
+        return value
+
+
+def walk_with_restart(
+    graph,
+    target: int,
+    stream: DrawStream,
+    seed_pool: Sequence[VertexId],
+    restart_probability: float,
+    accept_step: Optional[AcceptStep] = None,
+    max_steps: Optional[int] = None,
+) -> Tuple[List[VertexId], dict]:
+    """Collect up to ``target`` distinct vertices by walk-with-restart.
+
+    Dispatches to the CSR index walk on frozen graphs (when no accept hook
+    is involved) and to the id-protocol walk otherwise; both consume the
+    draw stream identically.
+    """
+    if max_steps is None:
+        max_steps = max(1000, 200 * target)
+    if accept_step is None and getattr(graph, "is_frozen", False):
+        return _walk_csr(graph, target, stream, seed_pool, restart_probability, max_steps)
+    return _walk_protocol(
+        graph, target, stream, seed_pool, restart_probability, accept_step, max_steps
+    )
+
+
+def _walk_csr(
+    graph, target, stream, seed_pool, restart_probability, max_steps
+) -> Tuple[List[VertexId], dict]:
+    """Index-domain walk over the frozen graph's CSR rows."""
+    index = graph.index
+    ids = graph.ids
+    indptr, targets = graph.walk_adjacency()
+    seeds = [index[vertex] for vertex in seed_pool]
+    num_seeds = len(seeds)
+    seen = bytearray(len(ids))
+    picked: List[int] = []
+    draw = stream.draw
+
+    current = seeds[int(draw() * num_seeds)]
+    walks = 1
+    seen[current] = 1
+    picked.append(current)
+    steps = 0
+
+    while len(picked) < target and steps < max_steps:
+        steps += 1
+        if draw() < restart_probability:
+            current = seeds[int(draw() * num_seeds)]
+            walks += 1
+        else:
+            low = indptr[current]
+            degree = indptr[current + 1] - low
+            if degree == 0:
+                current = seeds[int(draw() * num_seeds)]
+                walks += 1
+            else:
+                current = targets[low + int(draw() * degree)]
+        if not seen[current]:
+            seen[current] = 1
+            picked.append(current)
+
+    return [ids[i] for i in picked], {"walks": walks, "steps": steps}
+
+
+def _walk_protocol(
+    graph, target, stream, seed_pool, restart_probability, accept_step, max_steps
+) -> Tuple[List[VertexId], dict]:
+    """Id-domain walk through the ``DiGraph`` protocol (any graph type)."""
+    num_seeds = len(seed_pool)
+    picked: List[VertexId] = []
+    picked_set = set()
+    draw = stream.draw
+
+    def add(vertex) -> None:
+        if vertex not in picked_set:
+            picked_set.add(vertex)
+            picked.append(vertex)
+
+    current = seed_pool[int(draw() * num_seeds)]
+    walks = 1
+    add(current)
+    steps = 0
+
+    while len(picked) < target and steps < max_steps:
+        steps += 1
+        if draw() < restart_probability:
+            current = seed_pool[int(draw() * num_seeds)]
+            walks += 1
+            add(current)
+            continue
+        degree = graph.out_degree(current)
+        if degree == 0:
+            current = seed_pool[int(draw() * num_seeds)]
+            walks += 1
+            add(current)
+            continue
+        proposed = graph.successor_at(current, int(draw() * degree))
+        if accept_step is not None and not accept_step(current, proposed, draw()):
+            continue
+        current = proposed
+        add(current)
+
+    return picked, {"walks": walks, "steps": steps}

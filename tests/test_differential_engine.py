@@ -1,16 +1,19 @@
 """Differential testing: scalar DiGraph path vs. frozen CSR / vectorized path.
 
-The engine's vectorized superstep fast path (``compute_batch`` on a frozen
-:class:`repro.graph.csr.CSRGraph`) promises to be *observationally identical*
-to the per-vertex scalar path: same vertex values, same convergence history,
-and the same value for every per-worker, per-superstep key-input-feature
-counter.  PREDIcT's whole methodology rests on those profiles, so the promise
-is enforced here exhaustively: PageRank (with and without combiner),
-connected components and top-k ranking are executed through both paths on a
-pool of 20+ seeded random graphs of varied shape -- scale-free, uniform,
+The engine's batch planes (the scalar-payload fast path of
+``_VectorizedState`` and the ragged message plane of
+:mod:`repro.bsp.ragged`) promise to be *observationally identical* to the
+per-vertex scalar path: same vertex values, same convergence history, and the
+same value for every per-worker, per-superstep key-input-feature counter.
+PREDIcT's whole methodology rests on those profiles, so the promise is
+enforced here exhaustively -- and *automatically*: the test matrix is built
+from :func:`repro.algorithms.registry.available_algorithms`, so an algorithm
+that gains ``compute_batch`` is differentially tested on the full graph pool
+without editing this file.  Every algorithm runs through both paths on a pool
+of 20+ seeded random graphs of varied shape -- scale-free, uniform,
 log-normal, R-MAT, and the degenerate structures of §3.5 -- and every field
 of the two :class:`repro.bsp.result.RunResult` objects is compared exactly
-(``==``, not approximately: the fast path replicates the scalar float
+(``==``, not approximately: the batch planes replicate the scalar float
 accumulation order).
 """
 
@@ -20,9 +23,15 @@ import dataclasses
 
 import pytest
 
-from repro.algorithms.connected_components import ConnectedComponents
+from repro.algorithms.neighborhood import NeighborhoodConfig
 from repro.algorithms.pagerank import PageRank, PageRankConfig
-from repro.algorithms.topk_ranking import TopKRanking, TopKRankingConfig
+from repro.algorithms.registry import (
+    algorithm_by_name,
+    available_algorithms,
+    supports_batch,
+)
+from repro.algorithms.semi_clustering import SemiClusteringConfig
+from repro.algorithms.topk_ranking import TopKRankingConfig
 from repro.bsp.engine import BSPEngine, EngineConfig
 from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
 from repro.cluster.spec import ClusterSpec
@@ -41,6 +50,33 @@ COUNTER_FIELDS = (
     "compute_time",
     "messaging_time",
 )
+
+# ------------------------------------------------------------ algorithm pool
+#: Per-algorithm run settings: ``(config_factory, max_supersteps)``.  An
+#: algorithm absent from this table runs with its default configuration --
+#: new registry entries are covered automatically, these overrides only keep
+#: the suite fast and the runs short-but-representative.
+ALGORITHM_OVERRIDES = {
+    "pagerank": (lambda: PageRankConfig(tolerance=1e-5), 60),
+    "topk-ranking": (lambda: TopKRankingConfig(k=3, tolerance=0.01), 60),
+    "semi-clustering": (
+        lambda: SemiClusteringConfig(c_max=2, s_max=2, v_max=6, tolerance=0.02),
+        10,
+    ),
+    "neighborhood-estimation": (
+        lambda: NeighborhoodConfig(num_sketches=3, max_hops=12, tolerance=0.005),
+        14,
+    ),
+}
+
+ALGORITHM_NAMES = available_algorithms()
+
+
+def algorithm_settings(name: str):
+    """Return ``(config, max_supersteps)`` for one differential run."""
+    factory, max_supersteps = ALGORITHM_OVERRIDES.get(name, (lambda: None, 30))
+    return factory(), max_supersteps
+
 
 # ----------------------------------------------------------------- graph pool
 def _graph_pool():
@@ -129,15 +165,17 @@ def assert_profiles_identical(scalar, vectorized):
         assert left.critical_feature_dict() == right.critical_feature_dict()
 
 
-def run_both_paths(engine, graph, algorithm_factory, config, use_combiner=False):
+def run_both_paths(
+    engine, graph, algorithm_factory, config, use_combiner=False, max_supersteps=60
+):
     """Run scalar-on-DiGraph and vectorized-on-CSR, return both results."""
     frozen = graph.freeze()
     scalar_config = EngineConfig(
-        num_workers=4, max_supersteps=60, runtime_seed=7,
+        num_workers=4, max_supersteps=max_supersteps, runtime_seed=7,
         collect_vertex_values=True, use_combiner=use_combiner, vectorized=False,
     )
     vector_config = EngineConfig(
-        num_workers=4, max_supersteps=60, runtime_seed=7,
+        num_workers=4, max_supersteps=max_supersteps, runtime_seed=7,
         collect_vertex_values=True, use_combiner=use_combiner, vectorized=True,
     )
     scalar = engine.run(graph, algorithm_factory(), config, scalar_config)
@@ -147,37 +185,60 @@ def run_both_paths(engine, graph, algorithm_factory, config, use_combiner=False)
 
 # ---------------------------------------------------------------------- tests
 @pytest.mark.parametrize("label,builder", GRAPH_POOL, ids=GRAPH_IDS)
-class TestDifferentialAllGraphs:
-    def test_pagerank(self, diff_engine, label, builder):
+@pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
+class TestDifferentialAllAlgorithmsAllGraphs:
+    """Every registry algorithm, every pool graph, both engine paths."""
+
+    def test_differential(self, diff_engine, algorithm_name, label, builder):
         graph = builder()
+        config, max_supersteps = algorithm_settings(algorithm_name)
         scalar, vectorized = run_both_paths(
-            diff_engine, graph, PageRank, PageRankConfig(tolerance=1e-5)
+            diff_engine,
+            graph,
+            lambda: algorithm_by_name(algorithm_name),
+            config,
+            max_supersteps=max_supersteps,
         )
         assert_profiles_identical(scalar, vectorized)
 
-    def test_pagerank_with_combiner(self, diff_engine, label, builder):
-        graph = builder()
-        scalar, vectorized = run_both_paths(
-            diff_engine, graph, PageRank, PageRankConfig(tolerance=1e-5),
-            use_combiner=True,
-        )
-        assert_profiles_identical(scalar, vectorized)
 
-    def test_connected_components(self, diff_engine, label, builder):
-        graph = builder()
-        scalar, vectorized = run_both_paths(
-            diff_engine, graph, ConnectedComponents, None
-        )
-        assert_profiles_identical(scalar, vectorized)
+FALLBACK_GRAPHS = [GRAPH_POOL[0], GRAPH_POOL[5], GRAPH_POOL[14], GRAPH_POOL[18],
+                   GRAPH_POOL[20]]
 
-    def test_topk_scalar_fallback_on_csr(self, diff_engine, label, builder):
-        # Top-k has no compute_batch: on a frozen graph the engine falls back
-        # to the scalar path, which must behave identically on CSR adjacency.
-        graph = builder()
-        scalar, vectorized = run_both_paths(
-            diff_engine, graph, TopKRanking, TopKRankingConfig(k=3, tolerance=0.01)
-        )
-        assert_profiles_identical(scalar, vectorized)
+
+@pytest.mark.parametrize(
+    "label,builder", FALLBACK_GRAPHS, ids=[l for l, _ in FALLBACK_GRAPHS]
+)
+@pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
+def test_scalar_fallback_on_frozen_graph(diff_engine, algorithm_name, label, builder):
+    """Scalar compute over CSR adjacency must equal compute over DiGraph.
+
+    Every registry algorithm now defines ``compute_batch``, so the engine's
+    fallback -- per-vertex ``compute`` on a *frozen* graph when no batch
+    plane engages -- would otherwise go untested.  Stripping ``compute_batch``
+    from a subclass forces that fallback under ``vectorized=True``.
+    """
+    algorithm_cls = type(algorithm_by_name(algorithm_name))
+
+    class ScalarOnly(algorithm_cls):
+        compute_batch = None
+
+    graph = builder()
+    config, max_supersteps = algorithm_settings(algorithm_name)
+    scalar, fallback = run_both_paths(
+        diff_engine, graph, ScalarOnly, config, max_supersteps=max_supersteps
+    )
+    assert_profiles_identical(scalar, fallback)
+
+
+@pytest.mark.parametrize("label,builder", GRAPH_POOL, ids=GRAPH_IDS)
+def test_pagerank_with_combiner(diff_engine, label, builder):
+    graph = builder()
+    scalar, vectorized = run_both_paths(
+        diff_engine, graph, PageRank, PageRankConfig(tolerance=1e-5),
+        use_combiner=True,
+    )
+    assert_profiles_identical(scalar, vectorized)
 
 
 @pytest.mark.slow
@@ -190,17 +251,41 @@ def test_differential_large_graphs(diff_engine, label, builder):
     assert_profiles_identical(scalar, vectorized)
 
 
-def test_vectorized_path_is_actually_taken(diff_engine):
-    """Guard against silent fallback: compute() must not run on the fast path."""
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "algorithm_name", [n for n in ALGORITHM_NAMES if supports_batch(n)]
+)
+def test_differential_ragged_large_graph(diff_engine, algorithm_name):
+    """The batch planes hold up at a few thousand vertices, too."""
+    graph = generators.preferential_attachment(1200, out_degree=5, seed=31)
+    config, max_supersteps = algorithm_settings(algorithm_name)
+    scalar, vectorized = run_both_paths(
+        diff_engine,
+        graph,
+        lambda: algorithm_by_name(algorithm_name),
+        config,
+        max_supersteps=max_supersteps,
+    )
+    assert_profiles_identical(scalar, vectorized)
 
-    class TrapPageRank(PageRank):
+
+@pytest.mark.parametrize(
+    "algorithm_name", [n for n in ALGORITHM_NAMES if supports_batch(n)]
+)
+def test_batch_path_is_actually_taken(diff_engine, algorithm_name):
+    """Guard against silent fallback: compute() must not run on a batch plane."""
+
+    algorithm = algorithm_by_name(algorithm_name)
+
+    class Trap(type(algorithm)):
         def compute(self, ctx, messages, config):  # pragma: no cover - trap
             raise AssertionError("scalar compute called on the vectorized path")
 
     graph = generators.preferential_attachment(200, out_degree=4, seed=5).freeze()
+    config, max_supersteps = algorithm_settings(algorithm_name)
     result = diff_engine.run(
-        graph, TrapPageRank(), PageRankConfig(tolerance=1e-4),
-        EngineConfig(num_workers=4, max_supersteps=30, runtime_seed=1),
+        graph, Trap(), config,
+        EngineConfig(num_workers=4, max_supersteps=max_supersteps, runtime_seed=1),
     )
     assert result.num_iterations > 1
 

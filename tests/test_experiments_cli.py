@@ -28,6 +28,21 @@ class TestCli:
         assert args.scale == pytest.approx(0.4)
         assert args.workers == 8
         assert args.seed == 42
+        assert args.no_freeze is False
+
+    def test_no_freeze_flag_parses(self):
+        args = build_parser().parse_args(["fig4", "--no-freeze"])
+        assert args.no_freeze is True
+
+    def test_no_freeze_forces_scalar_path_with_identical_output(self, capsys):
+        # The scalar per-vertex path must print byte-for-byte the same table
+        # the frozen/vectorized path prints (the fast paths are bit-exact).
+        base = ["table2", "--scale", "0.1", "--workers", "4", "--seed", "3"]
+        assert main(base) == 0
+        frozen_output = capsys.readouterr().out
+        assert main(base + ["--no-freeze"]) == 0
+        scalar_output = capsys.readouterr().out
+        assert scalar_output == frozen_output
 
     def test_runs_a_cheap_experiment_end_to_end(self, capsys):
         # table2 at a tiny scale exercises the full dispatch path quickly.

@@ -1,0 +1,178 @@
+"""Unit tests for the ragged message plane's data structures and kernels.
+
+The end-to-end guarantees (bit-identical counters/values vs. the scalar
+engine path) live in ``tests/test_differential_engine.py``; these tests pin
+the building blocks in isolation: the :class:`repro.bsp.ragged.Ragged`
+container, the segment sort/unique/top-k kernel behind top-k ranking, the
+row-equality kernel, and the send-order / byte-accounting behaviour of the
+plane itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.registry import (
+    algorithm_by_name,
+    available_algorithms,
+    batch_support,
+    supports_batch,
+)
+from repro.algorithms.semi_clustering import SemiClustering, SemiClusteringConfig
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.ragged import (
+    Ragged,
+    build_ragged_state,
+    ragged_rows_equal,
+    segment_unique_topk_desc,
+)
+from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+from repro.utils.rng import make_rng
+
+
+class TestRagged:
+    def test_from_rows_round_trip(self):
+        rows = [(1.0, 2.0), (), (3.0,), (4.0, 5.0, 6.0)]
+        ragged = Ragged.from_rows(rows, dtype=np.float64)
+        assert len(ragged) == 4
+        assert ragged.lengths.tolist() == [2, 0, 1, 3]
+        assert ragged.to_tuples() == list(rows)
+        assert ragged.row(3).tolist() == [4.0, 5.0, 6.0]
+
+    def test_take_gathers_rows_with_duplicates(self):
+        ragged = Ragged.from_rows([(1,), (2, 3), (4, 5, 6)], dtype=np.int64)
+        taken = ragged.take(np.array([2, 0, 2]))
+        assert taken.to_tuples() == [(4, 5, 6), (1,), (4, 5, 6)]
+
+    def test_replace_rows_changes_lengths(self):
+        ragged = Ragged.from_rows([(1.0,), (2.0, 3.0), (4.0,)], dtype=np.float64)
+        replacement = Ragged.from_rows([(9.0, 8.0, 7.0), ()], dtype=np.float64)
+        updated = ragged.replace_rows(np.array([0, 2]), replacement)
+        assert updated.to_tuples() == [(9.0, 8.0, 7.0), (2.0, 3.0), ()]
+        # The original is untouched (value rows are rebuilt, not mutated).
+        assert ragged.to_tuples() == [(1.0,), (2.0, 3.0), (4.0,)]
+
+    def test_concat(self):
+        left = Ragged.from_rows([(1,), (2, 3)], dtype=np.int64)
+        right = Ragged.from_rows([(), (4,)], dtype=np.int64)
+        assert Ragged.concat([left, right]).to_tuples() == [(1,), (2, 3), (), (4,)]
+
+
+class TestSegmentUniqueTopK:
+    def test_matches_python_reference(self):
+        rng = make_rng(7)
+        for _ in range(25):
+            num_segments = int(rng.integers(1, 8))
+            seg_lengths = rng.integers(0, 12, size=num_segments)
+            seg_ids = np.repeat(np.arange(num_segments), seg_lengths)
+            # Draw from a small value pool so duplicates are common.
+            data = rng.integers(0, 10, size=int(seg_lengths.sum())).astype(np.float64)
+            k = int(rng.integers(1, 5))
+            result = segment_unique_topk_desc(data, seg_ids, num_segments, k)
+            for segment in range(num_segments):
+                expected = tuple(sorted(set(data[seg_ids == segment]), reverse=True)[:k])
+                assert result.to_tuples()[segment] == expected
+
+    def test_empty_input(self):
+        result = segment_unique_topk_desc(
+            np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), 3, 2
+        )
+        assert result.to_tuples() == [(), (), ()]
+
+
+class TestRaggedRowsEqual:
+    def test_mixed_equality(self):
+        left = Ragged.from_rows([(1.0, 2.0), (3.0,), (), (5.0,)], dtype=np.float64)
+        right = Ragged.from_rows([(1.0, 2.0), (4.0,), (), (5.0, 6.0)], dtype=np.float64)
+        assert ragged_rows_equal(left, right).tolist() == [True, False, True, False]
+
+
+class _RunRecorder:
+    """Capture the scalar engine's delivery order for comparison."""
+
+    def __init__(self, engine, graph, algorithm, config, **engine_kwargs):
+        self.result = engine.run(
+            graph, algorithm, config,
+            EngineConfig(collect_vertex_values=True, **engine_kwargs),
+        )
+
+
+class TestObjectPlaneDeliveryOrder:
+    def test_semi_clustering_message_order_matches_scalar(self):
+        """The grouped object deliveries replicate scalar bucket-append order.
+
+        Semi-clustering's candidate ranking is sensitive to delivery order on
+        score ties, so equal vertex values across paths (asserted here and,
+        exhaustively, in the differential suite) pin the ordering contract.
+        """
+        engine = BSPEngine(
+            cluster=ClusterSpec(num_nodes=1, workers_per_node=3),
+            cost_profile=DETERMINISTIC_PROFILE,
+        )
+        graph = generators.two_level_hierarchy(3, 8, seed=5)
+        config = SemiClusteringConfig(c_max=2, s_max=2, v_max=5, tolerance=0.02)
+        scalar = _RunRecorder(
+            engine, graph, SemiClustering(), config,
+            num_workers=3, max_supersteps=6, runtime_seed=1, vectorized=False,
+        ).result
+        ragged = _RunRecorder(
+            engine, graph.freeze(), SemiClustering(), config,
+            num_workers=3, max_supersteps=6, runtime_seed=1, vectorized=True,
+        ).result
+        assert scalar.vertex_values == ragged.vertex_values
+        assert scalar.convergence_history == ragged.convergence_history
+
+
+class TestBuildRaggedState:
+    def _run_stub(self, algorithm, graph, vectorized=True, use_combiner=False):
+        """Execute one run and return whether a batch plane was engaged."""
+        engine = BSPEngine(
+            cluster=ClusterSpec(num_nodes=1, workers_per_node=2),
+            cost_profile=DETERMINISTIC_PROFILE,
+        )
+        result = engine.run(
+            graph, algorithm, None,
+            EngineConfig(
+                num_workers=2, max_supersteps=3, runtime_seed=1,
+                vectorized=vectorized, use_combiner=use_combiner,
+            ),
+        )
+        return result
+
+    def test_registry_batch_support_flags(self):
+        support = batch_support()
+        assert set(support) == set(available_algorithms())
+        # After this PR every paper algorithm rides a batch plane.  (The
+        # registry may also hold user-registered algorithms without
+        # compute_batch; those legitimately report False.)
+        for name in ("pagerank", "connected-components", "topk-ranking",
+                     "semi-clustering", "neighborhood-estimation"):
+            assert support[name] is True
+        assert supports_batch("nh") and supports_batch("topk")
+
+    def test_payload_kinds_cover_the_variable_size_algorithms(self):
+        kinds = {
+            name: getattr(algorithm_by_name(name), "batch_payload")
+            for name in available_algorithms()
+        }
+        assert kinds["neighborhood-estimation"] == "rows"
+        assert kinds["topk-ranking"] == "ragged"
+        assert kinds["semi-clustering"] == "object"
+        assert kinds["pagerank"] == "scalar"
+
+    def test_unfrozen_graph_is_ineligible(self):
+        graph = generators.erdos_renyi(20, 0.2, seed=1)
+        algorithm = algorithm_by_name("neighborhood-estimation")
+
+        class Run:
+            pass
+
+        run = Run()
+        run.algorithm = algorithm
+        run.graph = graph
+        run.combiner = None
+        run.engine_config = EngineConfig()
+        run.values = {}
+        assert build_ragged_state(run) is None
