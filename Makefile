@@ -7,11 +7,14 @@
 #   make test-full  -- unit tests including the slow differential runs.
 #   make bench      -- regenerate every paper table/figure benchmark and the
 #                      CSR fast-path speedup record under benchmarks/results/.
+#   make bench-smoke -- tiny-graph sanity pass over the perf-guard benchmarks
+#                      (no speedup floors, results not recorded); CI runs this
+#                      on every PR so the guard code paths stay exercised.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test-fast test-full bench
+.PHONY: verify test-fast test-full bench bench-smoke
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -24,3 +27,10 @@ test-full:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -s
+
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_csr_fastpath.py \
+		benchmarks/test_bench_ragged_fastpath.py \
+		benchmarks/test_bench_partition_layout.py \
+		-q -s

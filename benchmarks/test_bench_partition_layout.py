@@ -1,0 +1,203 @@
+"""Performance regression guard for the partition-native execution layout.
+
+Measures the **per-superstep messaging phase** -- out-edge expansion, message
+routing/reduction, local/remote classification, counter updates and the
+barrier swap -- of the engine's scalar-payload batch plane under the two
+layouts:
+
+* the legacy *gather-based* layout (``partition_native=False``): per-worker
+  vertex index gathers, ``concat_ranges`` edge-slot gathers, a
+  vertex-to-worker map gather per send, ``np.add.at`` scatters;
+* the *partition-native* layout (``partition_native=True``): contiguous
+  per-worker CSR slices, range-comparison classification, one ``bincount``
+  fold per superstep.
+
+Setup follows the ISSUE-3 acceptance bar: PageRank payloads on a uniform
+random graph of 50k vertices / 400k edges over 8 workers.  The run fails if
+the partition-native messaging phase is less than 2x faster, so a future
+change cannot silently lose the layout optimisation.  Both layouts must also
+report identical counters, otherwise the "speedup" would be comparing
+different computations.  A full engine-run comparison is recorded alongside
+for context (not guarded: it dilutes the messaging phase with compute).
+
+``REPRO_BENCH_SMOKE=1`` (the ``make bench-smoke`` CI target) shrinks the
+graph and skips the floor assertion -- a sanity run that exercises every
+perf-guard code path on every PR without timing noise flakes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from bench_utils import bench_smoke, publish
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.bsp.engine import BSPEngine, EngineConfig, _build_batch_state, _EngineRun
+from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+
+SMOKE = bench_smoke()
+
+NUM_VERTICES = 2_000 if SMOKE else 50_000
+NUM_EDGES = 16_000 if SMOKE else 400_000
+NUM_WORKERS = 8
+MESSAGING_REPS = 2 if SMOKE else 10
+SUPERSTEPS = 3 if SMOKE else 10
+MIN_SPEEDUP = 2.0
+
+
+def _build_state(engine, graph, partition_native):
+    """An engine run + its scalar-payload batch plane, without executing."""
+    algorithm = PageRank()
+    config = PageRankConfig(tolerance=1e-12)
+    run = _EngineRun(
+        engine=engine,
+        graph=graph,
+        algorithm=algorithm,
+        config=config,
+        engine_config=EngineConfig(
+            num_workers=NUM_WORKERS,
+            runtime_seed=1,
+            partition_native=partition_native,
+        ),
+        num_workers=NUM_WORKERS,
+    )
+    for vertex in graph.vertices():
+        run.values[vertex] = algorithm.initial_value(vertex, graph, config)
+    state = _build_batch_state(run)
+    assert state is not None
+    assert (state.worker_offsets is not None) == partition_native
+    return run, state
+
+
+def _worker_indices(state, worker_id):
+    if state.worker_offsets is not None:
+        return np.arange(
+            state.worker_offsets[worker_id], state.worker_offsets[worker_id + 1]
+        )
+    return state.own[worker_id]
+
+
+def _messaging_cycle(run, state, superstep):
+    """One superstep's messaging phase: every worker sends along every edge."""
+    for worker in run.workers:
+        worker.begin_superstep(superstep)
+        indices = _worker_indices(state, worker.worker_id)
+        payloads = np.full(len(indices), 0.5, dtype=np.float64)
+        state.send_to_all_neighbors(worker, indices, payloads, None)
+    state._commit_superstep()
+    state.advance()
+
+
+def _timed_messaging_attempt(run, state):
+    start = time.perf_counter()
+    for superstep in range(1, MESSAGING_REPS + 1):
+        _messaging_cycle(run, state, superstep)
+    return time.perf_counter() - start
+
+
+def _sent_totals(run):
+    # Counters reset at begin_superstep, so these totals describe the last
+    # superstep of the loop (every superstep routes the identical stream).
+    return {
+        "sent": sum(w.counters.messages_sent for w in run.workers),
+        "local": sum(w.counters.local_messages for w in run.workers),
+        "remote": sum(w.counters.remote_messages for w in run.workers),
+        "local_bytes": sum(w.counters.local_message_bytes for w in run.workers),
+        "remote_bytes": sum(w.counters.remote_message_bytes for w in run.workers),
+    }
+
+
+def _time_messaging_both(engine, graph):
+    """Best-of-3 per layout, attempts interleaved so load spikes hit both."""
+    gather_run, gather_state = _build_state(engine, graph, partition_native=False)
+    native_run, native_state = _build_state(engine, graph, partition_native=True)
+    _messaging_cycle(gather_run, gather_state, 0)  # warm-up: caches, allocator
+    _messaging_cycle(native_run, native_state, 0)
+    gather_time = native_time = float("inf")
+    for attempt in range(3):
+        gather_time = min(gather_time, _timed_messaging_attempt(gather_run, gather_state))
+        native_time = min(native_time, _timed_messaging_attempt(native_run, native_state))
+    return gather_time, _sent_totals(gather_run), native_time, _sent_totals(native_run)
+
+
+def _timed_run_attempt(engine, graph, engine_config):
+    start = time.perf_counter()
+    result = engine.run(
+        graph, PageRank(), PageRankConfig(tolerance=1e-12), engine_config
+    )
+    return time.perf_counter() - start, result
+
+
+def _time_full_runs_both(engine, graph):
+    """Best-of-3 full engine runs per layout, attempts interleaved."""
+    configs = {
+        native: EngineConfig(
+            num_workers=NUM_WORKERS,
+            max_supersteps=SUPERSTEPS,
+            runtime_seed=1,
+            partition_native=native,
+        )
+        for native in (False, True)
+    }
+    times = {False: float("inf"), True: float("inf")}
+    results = {}
+    for attempt in range(3):
+        for native in (False, True):
+            elapsed, results[native] = _timed_run_attempt(engine, graph, configs[native])
+            times[native] = min(times[native], elapsed)
+    return times[False], results[False], times[True], results[True]
+
+
+def test_bench_partition_layout(results_dir):
+    graph = generators.uniform_csr(
+        NUM_VERTICES, NUM_EDGES, seed=17, name="partition-layout"
+    )
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=NUM_WORKERS),
+        cost_profile=DETERMINISTIC_PROFILE,
+    )
+
+    gather_time, gather_totals, native_time, native_totals = _time_messaging_both(
+        engine, graph
+    )
+
+    # The speedup is only meaningful if both layouts routed identical traffic.
+    assert native_totals == gather_totals
+    assert native_totals["sent"] == NUM_EDGES
+
+    full_gather, gather_result, full_native, native_result = _time_full_runs_both(
+        engine, graph
+    )
+    assert gather_result.convergence_history == native_result.convergence_history
+    for left, right in zip(gather_result.iterations, native_result.iterations):
+        assert left.graph_feature_dict() == right.graph_feature_dict()
+
+    speedup = gather_time / native_time
+    full_speedup = full_gather / full_native
+    lines = [
+        "Partition-native layout speedup (PageRank messaging phase, "
+        f"{NUM_VERTICES:,} vertices / {NUM_EDGES:,} edges / {NUM_WORKERS} workers)",
+        "",
+        f"  messaging phase, gather layout  : {gather_time * 1000:9.1f} ms"
+        f"  ({MESSAGING_REPS} supersteps)",
+        f"  messaging phase, native layout  : {native_time * 1000:9.1f} ms",
+        f"  messaging speedup               : {speedup:9.1f} x"
+        f"   (regression floor: {MIN_SPEEDUP:.0f}x)",
+        "",
+        f"  full run, gather layout         : {full_gather * 1000:9.1f} ms"
+        f"  ({SUPERSTEPS} supersteps)",
+        f"  full run, native layout         : {full_native * 1000:9.1f} ms",
+        f"  full-run speedup                : {full_speedup:9.1f} x   (recorded, not guarded)",
+    ]
+    if SMOKE:
+        lines.append("")
+        lines.append("  smoke mode: reduced sizes, floor not enforced")
+    publish(results_dir, "partition_layout_speedup", "\n".join(lines))
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"partition-native messaging speedup regressed: "
+            f"{speedup:.1f}x < {MIN_SPEEDUP}x"
+        )

@@ -14,15 +14,17 @@ from __future__ import annotations
 
 import time
 
-from bench_utils import publish
+from bench_utils import bench_smoke, publish
 from repro.algorithms.neighborhood import NeighborhoodConfig, NeighborhoodEstimation
 from repro.bsp.engine import BSPEngine, EngineConfig
 from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
 from repro.cluster.spec import ClusterSpec
 from repro.graph import generators
 
-NUM_VERTICES = 50_000
-NUM_EDGES = 400_000
+SMOKE = bench_smoke()
+
+NUM_VERTICES = 2_000 if SMOKE else 50_000
+NUM_EDGES = 16_000 if SMOKE else 400_000
 SUPERSTEPS = 3
 MIN_SPEEDUP = 3.0
 
@@ -63,7 +65,10 @@ def test_bench_ragged_fastpath(results_dir):
         f"  ragged plane     : {ragged_time * 1000:9.1f} ms",
         f"  speedup          : {speedup:9.1f} x   (regression floor: {MIN_SPEEDUP:.0f}x)",
     ]
+    if SMOKE:
+        lines.append("  smoke mode: reduced sizes, floor not enforced")
     publish(results_dir, "ragged_fastpath_speedup", "\n".join(lines))
-    assert speedup >= MIN_SPEEDUP, (
-        f"ragged message plane speedup regressed: {speedup:.1f}x < {MIN_SPEEDUP}x"
-    )
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"ragged message plane speedup regressed: {speedup:.1f}x < {MIN_SPEEDUP}x"
+        )

@@ -42,6 +42,22 @@ class WorkerCounters:
     compute_time: float = 0.0
     messaging_time: float = 0.0
 
+    def record_sent(
+        self, total: int, local: int, local_bytes: int, remote_bytes: int
+    ) -> None:
+        """Fold one batched send (pre-combining stream) into the counters.
+
+        The batch planes classify a whole send call's destinations at once --
+        on a partition-native layout with range arithmetic over the worker
+        offsets -- and commit the local/remote split here in one step instead
+        of one counter update per message.
+        """
+        self.messages_sent += total
+        self.local_messages += local
+        self.local_message_bytes += local_bytes
+        self.remote_messages += total - local
+        self.remote_message_bytes += remote_bytes
+
     @property
     def total_messages(self) -> int:
         """Local plus remote messages sent by this worker."""

@@ -30,11 +30,10 @@ simulator at toy graph sizes.  When three conditions hold --
 3. the vertex values vectorize into a numeric NumPy array --
 
 the engine instead processes **all active vertices of a worker in one array
-pass** per superstep.  Message routing and combining are scatter operations
-on the CSR arrays (``np.add.at`` / ``np.minimum.at``) and the per-worker
-local/remote message and byte counters are derived from the same arrays, so
-every :class:`IterationProfile` feature stays *bit-identical* to the scalar
-path:
+pass** per superstep.  Message routing and combining are array reductions
+over the CSR edge stream and the per-worker local/remote message and byte
+counters are derived from the same arrays, so every
+:class:`IterationProfile` feature stays *bit-identical* to the scalar path:
 
 * edges are expanded in exactly the scalar send order (worker by worker,
   vertices in partition order, out-edges in adjacency order), so the
@@ -46,6 +45,32 @@ path:
 
 ``tests/test_differential_engine.py`` asserts this equivalence on dozens of
 seeded graphs; ``EngineConfig(vectorized=False)`` forces the scalar path.
+
+Partition-native execution layout
+---------------------------------
+By default (``EngineConfig(partition_native=True)``) a batch-plane run does
+not execute on the frozen graph as loaded: it executes on
+``graph.repartition(partitioning)`` -- a one-time relabelling into
+*partition-contiguous* vertex order (see
+:class:`repro.graph.partition.PartitionLayout`).  Worker ``w`` then owns the
+contiguous index range ``offsets[w]:offsets[w + 1]`` and a contiguous CSR
+edge slice, which turns the per-superstep hot loops into slice arithmetic:
+
+* activation works on array slices (:meth:`Worker.select_active_range`);
+* a worker whose active set is its whole partition expands its out-edges as
+  a *view* of the CSR ``targets`` array -- no ``concat_ranges`` gather;
+* the local/remote message split is two range comparisons against the
+  sender's offsets instead of a gather through a vertex-to-worker map;
+* per-worker delivered counts/bytes for the memory model are segment sums
+  over the worker boundaries, one pass for all workers.
+
+Message reductions are deferred to the superstep barrier: the edge stream is
+buffered per send call and folded once -- ``np.bincount`` for ``sum``
+(element-order identical to the scalar bucket-append-then-``sum``),
+destination-sort + ``reduceat`` for ``min``.  Vertex ids travel with the
+permutation, so results and counters are reported exactly as before;
+``partition_native=False`` keeps the legacy gather-based batch plane (the
+baseline the layout benchmark compares against).
 
 Algorithms with *variable-size* messages (semi-clustering, top-k ranking,
 neighborhood estimation) ride the **ragged message plane** instead: the same
@@ -75,7 +100,6 @@ import numpy as np
 from repro.bsp.aggregators import AggregatorRegistry
 from repro.bsp.counters import IterationProfile
 from repro.bsp.master import GraphInfo, Master
-from repro.bsp.messages import default_message_size
 from repro.bsp.ragged import BatchPlane, RaggedBatchContext, build_ragged_state
 from repro.bsp.result import PhaseTimes, RunResult
 from repro.bsp.runtime_model import RuntimeModel
@@ -84,7 +108,6 @@ from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
 from repro.cluster.memory import MemoryModel
 from repro.cluster.spec import ClusterSpec
 from repro.exceptions import BSPError
-from repro.graph.csr import concat_ranges
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import BasePartitioner, HashPartitioner
 from repro.utils.rng import SeedLike
@@ -119,6 +142,13 @@ class EngineConfig:
         implements ``compute_batch``, supersteps run on the array fast path.
         Set to False to force the scalar per-vertex path (the differential
         tests do this to compare both).
+    partition_native:
+        When True (default) a batch-plane run executes on the
+        partition-contiguous relabelling of the frozen graph
+        (``graph.repartition(partitioning)``): per-worker vertex ranges and
+        edge slices are contiguous, so routing and accounting run on slice
+        arithmetic.  Set to False to keep the legacy gather-based batch
+        plane (differential baseline; results are bit-identical either way).
     """
 
     num_workers: Optional[int] = None
@@ -129,6 +159,7 @@ class EngineConfig:
     runtime_seed: SeedLike = None
     partitioner: BasePartitioner = field(default_factory=HashPartitioner)
     vectorized: bool = True
+    partition_native: bool = True
 
 
 class BSPEngine:
@@ -210,7 +241,9 @@ class BatchContext(RaggedBatchContext):
         ``payloads`` is aligned with ``self.indices``; ``mask`` (optional,
         bool, same alignment) restricts the senders.  Edge expansion follows
         the scalar send order exactly, so message accumulation and counters
-        match the per-vertex path bit for bit.
+        match the per-vertex path bit for bit.  The payload array is buffered
+        until the superstep barrier -- treat it as immutable after sending
+        (the batch algorithms always pass freshly computed arrays).
         """
         self._state.send_to_all_neighbors(self._worker, self.indices, payloads, mask)
 
@@ -227,23 +260,33 @@ class _VectorizedState(BatchPlane):
 
     def __init__(self, run: "_EngineRun", values: np.ndarray) -> None:
         super().__init__(run)
-        n = run.graph.num_vertices
+        n = self.graph.num_vertices
         self.values = values
         self.message_size = int(run.algorithm.batch_message_size)
         reducer = run.algorithm.batch_message_reducer
         if reducer == "sum":
-            self._reduce_at = np.add.at
             self._neutral = values.dtype.type(0)
         elif reducer == "min":
-            self._reduce_at = np.minimum.at
             if values.dtype.kind == "i":
                 self._neutral = np.iinfo(values.dtype).max
             else:
                 self._neutral = values.dtype.type(np.inf)
         else:
             raise BSPError(f"unsupported batch_message_reducer {reducer!r}")
+        self._reducer = reducer
         self.msg_acc = np.full(n, self._neutral, dtype=values.dtype)
         self.acc_next = np.full(n, self._neutral, dtype=values.dtype)
+        # Per-superstep send-event buffers: the edge stream is folded once at
+        # the barrier (_commit_superstep) instead of one ufunc.at per call.
+        # Payloads are buffered per *sender* with their edge lengths -- the
+        # per-edge expansion is one np.repeat over the concatenated stream at
+        # the barrier.  _ev_espan records the CSR edge-slot span of contiguous
+        # sends (None for gathered sends) -- when the spans tile the edge
+        # array, the concatenated destination stream *is* the targets array.
+        self._ev_dest: List[np.ndarray] = []
+        self._ev_pay: List[np.ndarray] = []
+        self._ev_len: List[np.ndarray] = []
+        self._ev_espan: List[Optional[tuple]] = []
 
     @classmethod
     def try_build(cls, run: "_EngineRun") -> Optional["_VectorizedState"]:
@@ -256,7 +299,9 @@ class _VectorizedState(BatchPlane):
             and getattr(algorithm, "batch_message_size", None) is not None
         ):
             return None
-        values = np.asarray([run.values[vertex] for vertex in run.graph.vertices()])
+        values = np.asarray(
+            [run.values[vertex] for vertex in run.batch_graph().vertices()]
+        )
         if values.dtype.kind not in "if":
             # Non-numeric vertex values (e.g. string component labels) cannot
             # ride the array path; fall back to scalar compute.
@@ -269,40 +314,100 @@ class _VectorizedState(BatchPlane):
         if mask is not None:
             indices = indices[mask]
             payloads = payloads[mask]
-        lengths = self.out_degrees[indices]
-        total = int(lengths.sum())
-        if total == 0:
+        expanded = self._expand(indices)
+        if expanded is None:
             return
-        slots = concat_ranges(self.indptr[indices], lengths)
-        destinations = self.targets[slots]
-        per_edge = np.repeat(payloads, lengths)
-        # Scatter in scalar send order: np.ufunc.at applies element by element
-        # following the index array, which matches the bucket-append order of
-        # the per-vertex path (the differential harness pins this down).
-        self._reduce_at(self.acc_next, destinations, per_edge)
-        self.count_next += np.bincount(destinations, minlength=len(self.count_next))
+        destinations, lengths, total, span, edge_span = expanded
+        self._ev_dest.append(destinations)
+        self._ev_pay.append(payloads)
+        self._ev_len.append(lengths)
+        self._ev_espan.append(edge_span)
 
-        run = self.run
-        destination_workers = self.vertex_worker[destinations]
-        local = int((destination_workers == worker.worker_id).sum())
-        remote = total - local
+        _, local = self._local_mask(worker, destinations, span)
         size = self.message_size
-        counters = worker.counters
-        counters.messages_sent += total
-        counters.local_messages += local
-        counters.local_message_bytes += local * size
-        counters.remote_messages += remote
-        counters.remote_message_bytes += remote * size
-        run._next_message_count += total
+        worker.counters.record_sent(total, local, local * size, (total - local) * size)
+        self.run._next_message_count += total
+
+    def _commit_superstep(self) -> None:
+        """Fold the superstep's buffered edge stream into the accumulators.
+
+        The buffered stream concatenates the send calls in scalar send order
+        (worker by worker, vertices in partition order, out-edges in
+        adjacency order).  For ``sum`` the fold is one ``np.bincount`` with
+        weights: bincount adds weights element by element in stream order, so
+        float accumulation per destination is bit-identical to both the
+        per-call ``np.add.at`` scatter it replaces and the scalar path's
+        bucket-append-then-``sum``.  For ``min`` the stream is grouped by
+        destination (sort + ``reduceat``); min is exact and order-insensitive.
+        """
+        if not self._ev_dest:
+            return
+        spans = self._ev_espan
+        tiled = all(span is not None for span in spans) and all(
+            spans[i][1] == spans[i + 1][0] for i in range(len(spans) - 1)
+        )
+        if tiled:
+            # Contiguous sends in worker order tile one CSR edge-slot range:
+            # the concatenated destination stream is a *view* of targets.
+            dest = self.targets[spans[0][0] : spans[-1][1]]
+        elif len(self._ev_dest) == 1:
+            dest = self._ev_dest[0]
+        else:
+            dest = np.concatenate(self._ev_dest)
+        if len(self._ev_pay) == 1:
+            payloads = np.repeat(self._ev_pay[0], self._ev_len[0])
+        else:
+            # One per-edge expansion over the whole stream: repeat distributes
+            # over concatenation, so this equals the per-call expansions in
+            # exact send order.
+            payloads = np.repeat(
+                np.concatenate(self._ev_pay), np.concatenate(self._ev_len)
+            )
+        self._ev_dest = []
+        self._ev_pay = []
+        self._ev_len = []
+        self._ev_espan = []
+        n = len(self.count_next)
+        if tiled and spans[0][0] == 0 and spans[-1][1] == len(self.targets):
+            # Full-graph steady state (PageRank: every vertex sends along
+            # every edge): the destination counts are the cached in-degrees.
+            self.count_next += self.graph.in_degrees
+        else:
+            self.count_next += np.bincount(dest, minlength=n)
+        if self._reducer == "sum" and self.acc_next.dtype.kind == "f":
+            self.acc_next += np.bincount(dest, weights=payloads, minlength=n)
+        elif self._reducer == "sum":
+            np.add.at(self.acc_next, dest, payloads)
+        else:
+            # Non-stable sort: min is commutative and exact (it selects one
+            # of the operands), so the within-group order cannot change bits.
+            order = np.argsort(dest)
+            sorted_dest = dest[order]
+            group_starts = np.flatnonzero(
+                np.concatenate(([True], sorted_dest[1:] != sorted_dest[:-1]))
+            )
+            reduced = np.minimum.reduceat(payloads[order], group_starts)
+            unique_dest = sorted_dest[group_starts]
+            self.acc_next[unique_dest] = np.minimum(self.acc_next[unique_dest], reduced)
 
     # ------------------------------------------------------------- accounting
     def buffered_for(self, worker: Worker):
         """(delivered_messages, delivered_bytes) buffered for ``worker``."""
-        counts = self.count_next[self.own[worker.worker_id]]
+        counts = self.count_next[self.own_selector(worker.worker_id)]
         if self.run.combiner is not None:
             delivered = int(np.count_nonzero(counts))
         else:
             delivered = int(counts.sum())
+        return delivered, delivered * self.message_size
+
+    def buffered_all(self):
+        """Per-worker delivered ``(messages, bytes)`` arrays for all workers."""
+        if self.worker_offsets is None:
+            return super().buffered_all()
+        if self.run.combiner is not None:
+            delivered = self._segment_sums((self.count_next > 0).astype(np.int64))
+        else:
+            delivered = self._segment_sums(self.count_next)
         return delivered, delivered * self.message_size
 
     def _advance_payloads(self) -> None:
@@ -311,7 +416,7 @@ class _VectorizedState(BatchPlane):
 
     def export_values(self) -> Dict[VertexId, Any]:
         """Write the value array back into an id-keyed dict (scalar types)."""
-        return dict(zip(self.run.graph.vertices(), self.values.tolist()))
+        return dict(zip(self.graph.vertices(), self.values.tolist()))
 
 
 def _build_batch_state(run: "_EngineRun"):
@@ -367,7 +472,27 @@ class _EngineRun:
         self._next_message_count = 0
         self._next_buffered_bytes: Dict[int, int] = {}
         self._vector: Optional[BatchPlane] = None
-        self._worker_edge_counts: Optional[List[int]] = None
+        self._worker_edge_counts: Optional[np.ndarray] = None
+        self._batch_graph = None
+
+    def batch_graph(self):
+        """The graph the batch planes execute on (cached per run).
+
+        With ``partition_native`` enabled and a frozen graph this is the
+        partition-contiguous relabelling ``graph.repartition(partitioning)``
+        -- built once per run, carrying its ``partition_layout``.  Otherwise
+        it is the run graph itself (legacy gather-based layout).
+        """
+        if self._batch_graph is None:
+            graph = self.graph
+            if (
+                self.engine_config.partition_native
+                and getattr(graph, "is_frozen", False)
+                and hasattr(graph, "repartition")
+            ):
+                graph = graph.repartition(self.partitioning)
+            self._batch_graph = graph
+        return self._batch_graph
 
     # --------------------------------------------------------- vertex API
     def vertex_value(self, vertex: VertexId) -> Any:
@@ -557,14 +682,33 @@ class _EngineRun:
 
     def _check_memory(self) -> None:
         if self._worker_edge_counts is None:
-            # Constant per run; worker_outbound_edges uses the CSR bincount
-            # fast path on frozen graphs.
-            self._worker_edge_counts = self.partitioning.worker_outbound_edges(self.graph)
+            # Constant per run: one bincount over the degree array (or pure
+            # slice arithmetic on a partition-native layout).
+            self._worker_edge_counts = self.partitioning.worker_outbound_edges_array(
+                self.graph
+            )
+        if self._vector is not None:
+            # Batch path: the plane reports delivered counts/bytes for all
+            # workers at once (segment sums over the worker boundaries) and
+            # the memory model consumes the arrays directly.
+            buffered_messages, buffered_bytes = self._vector.buffered_all()
+            vertex_counts = np.asarray(
+                self.partitioning.worker_vertex_counts(), dtype=np.int64
+            )
+            estimates = self.memory_model.estimate_batch(
+                num_vertices=vertex_counts,
+                num_edges=self._worker_edge_counts,
+                state_bytes=vertex_counts * 64,
+                buffered_messages=buffered_messages,
+                buffered_message_bytes=buffered_bytes,
+            )
+            self.memory_model.check_batch(estimates)
+            return
         for worker in self.workers:
             buffered_messages, buffered_bytes = self._buffered_for(worker)
             estimate = self.memory_model.estimate(
                 num_vertices=len(worker.vertices),
-                num_edges=self._worker_edge_counts[worker.worker_id],
+                num_edges=int(self._worker_edge_counts[worker.worker_id]),
                 state_bytes=len(worker.vertices) * 64,
                 buffered_messages=buffered_messages,
                 buffered_message_bytes=buffered_bytes,

@@ -55,6 +55,29 @@ Per payload kind: neighborhood estimation sends fixed-width FM-sketch rows
 variable-length rank lists (``"ragged"`` numeric rows), and semi-clustering
 sends Python cluster-list objects (``"object"``, batch-routed, folded per
 vertex).
+
+The partition-native layout (message routing as slice arithmetic)
+-----------------------------------------------------------------
+On the batch planes, *which worker a message lands on* is not looked up per
+message: before the superstep loop starts the engine relabels the frozen
+graph into **partition-contiguous order** (``CSRGraph.repartition``), so
+worker ``w`` owns the vertex index range ``offsets[w]:offsets[w + 1]`` and a
+contiguous CSR edge slice.  The consequences for the message plane:
+
+* the local/remote split of a send call is two range comparisons of the
+  destination indices against the sender's ``[start, stop)`` offsets -- and
+  for a *full-partition* send it is a constant of the layout, classified
+  once per run;
+* delivered (post-routing) counts and bytes per worker -- what the memory
+  model charges -- are segment sums of the per-vertex buffers over the
+  worker boundaries, one pass for all workers;
+* the send *stream* is unchanged: vertices iterate in the same per-worker
+  order as the scalar path (the relabelling is stable), so bucket-append
+  delivery order, float accumulation order and every sent-stream counter
+  stay bit-identical.
+
+Vertex ids travel with the permutation; everything reported to the user
+(counters, vertex values, aggregate histories) is keyed by original ids.
 """
 
 from __future__ import annotations

@@ -31,11 +31,19 @@ attribute:
     fold runs in Python (the hybrid the semi-clustering algorithm uses).
 
 Counter semantics are identical to the scalar engine path: every send call
-reports per-message byte sizes, the local/remote split is derived from the
-destination-to-worker assignment array, and delivered (post-routing) counts
+reports per-message byte sizes, the local/remote split is classified against
+the partition-native worker offsets (range arithmetic; a vertex-to-worker
+assignment gather on the legacy layout), and delivered (post-routing) counts
 and bytes feed the memory model per destination vertex.  The plane does not
 support combiners (none of the variable-size algorithms define one); when a
 run has an active combiner the engine falls back to the scalar path.
+
+All planes share :class:`BatchPlane`, which owns the partition-native layout
+machinery: the execution graph (``run.batch_graph()``, the
+partition-contiguous relabelling when ``partition_native`` is on), contiguous
+per-worker ownership ranges, slice-view out-edge expansion for contiguous
+sender ranges, cached full-partition local/remote classification, and
+per-worker segment sums over the worker boundaries.
 
 ``tests/test_differential_engine.py`` pins every algorithm in the registry
 against the scalar path -- bit-identical counters, vertex values, aggregates
@@ -203,34 +211,58 @@ class BatchPlane:
 
     def __init__(self, run) -> None:
         self.run = run
-        graph = run.graph
+        graph = run.batch_graph()
+        self.graph = graph
         n = graph.num_vertices
         self.ids = graph.ids
         self.indptr = graph.indptr
         self.targets = graph.targets
         self.out_degrees = graph.out_degrees
-        self.vertex_worker = run.partitioning.assignment_array(graph)
-        index = graph.index
-        self.own = [
-            np.fromiter(
-                (index[v] for v in worker.vertices),
-                dtype=np.int64,
-                count=len(worker.vertices),
-            )
-            for worker in run.workers
-        ]
+        layout = getattr(graph, "partition_layout", None)
+        if layout is not None and layout.num_workers == run.num_workers:
+            # Partition-native layout: worker ``w`` owns the contiguous index
+            # range ``worker_offsets[w]:worker_offsets[w + 1]``.  Ownership,
+            # activation and the local/remote message split all become range
+            # arithmetic -- no per-run index gathers, no vertex-to-worker map.
+            self.worker_offsets = layout.offsets
+            self.vertex_worker = None
+            self.own = None
+        else:
+            self.worker_offsets = None
+            self.vertex_worker = run.partitioning.assignment_array(graph)
+            index = graph.index
+            self.own = [
+                np.fromiter(
+                    (index[v] for v in worker.vertices),
+                    dtype=np.int64,
+                    count=len(worker.vertices),
+                )
+                for worker in run.workers
+            ]
         self.halted = np.zeros(n, dtype=bool)
         self.msg_count = np.zeros(n, dtype=np.int64)
         self.count_next = np.zeros(n, dtype=np.int64)
+        # Per-worker (mask, local_count) of a full-partition send; constant
+        # across supersteps on the frozen layout (see _local_mask).
+        self._span_cache: List[Optional[tuple]] = [None] * run.num_workers
 
     # ----------------------------------------------------------- superstep run
     def execute_superstep(self, superstep: int) -> None:
         run = self.run
+        offsets = self.worker_offsets
         for worker in run.workers:
             worker.begin_superstep(superstep)
-            active = worker.select_active(
-                self.own[worker.worker_id], self.halted, self.msg_count
-            )
+            if offsets is not None:
+                active = worker.select_active_range(
+                    int(offsets[worker.worker_id]),
+                    int(offsets[worker.worker_id + 1]),
+                    self.halted,
+                    self.msg_count,
+                )
+            else:
+                active = worker.select_active(
+                    self.own[worker.worker_id], self.halted, self.msg_count
+                )
             if len(active) == 0:
                 continue
             batch = self.context_cls(self, worker, active, superstep)
@@ -239,6 +271,97 @@ class BatchPlane:
 
     def _commit_superstep(self) -> None:
         """Apply value updates staged during the worker loop (subclass hook)."""
+
+    # ------------------------------------------------------- layout primitives
+    def own_selector(self, worker_id: int):
+        """Index ``halted``/``count_next``-shaped arrays with a worker's vertices.
+
+        A slice (zero-copy view) on the partition-native layout, an index
+        array otherwise.
+        """
+        if self.worker_offsets is not None:
+            return slice(
+                int(self.worker_offsets[worker_id]),
+                int(self.worker_offsets[worker_id + 1]),
+            )
+        return self.own[worker_id]
+
+    def _expand(self, senders: np.ndarray):
+        """Out-edge expansion: ``(destinations, lengths, total, span)`` or None.
+
+        ``senders`` must be ascending vertex indices (the activation order).
+        On the partition-native layout a contiguous sender range -- the common
+        case: a worker whose active set is its whole partition -- expands to a
+        *slice view* of the CSR ``targets`` array; no ``concat_ranges`` gather
+        and no copy.  Scattered senders fall back to the gather.  ``span`` is
+        the ``(start, stop)`` vertex range of a contiguous expansion (None for
+        the gather path); :meth:`_local_mask` uses it to reuse the
+        classification of full-partition sends.
+        """
+        k = len(senders)
+        if k == 0:
+            return None
+        if self.worker_offsets is not None and (
+            k == 1 or int(senders[-1]) - int(senders[0]) + 1 == k
+        ):
+            start = int(senders[0])
+            stop = int(senders[-1]) + 1
+            lo = int(self.indptr[start])
+            hi = int(self.indptr[stop])
+            if lo == hi:
+                return None
+            return (
+                self.targets[lo:hi],
+                self.out_degrees[start:stop],
+                hi - lo,
+                (start, stop),
+                (lo, hi),
+            )
+        lengths = self.out_degrees[senders]
+        total = int(lengths.sum())
+        if total == 0:
+            return None
+        slots = concat_ranges(self.indptr[senders], lengths)
+        return self.targets[slots], lengths, total, None, None
+
+    def _local_mask(self, worker, destinations: np.ndarray, span=None):
+        """``(mask, local_count)`` for destinations on the sending worker.
+
+        Partition-native layout: two range comparisons against the worker's
+        ``[start, stop)`` offsets.  Legacy layout: a gather through the
+        vertex-to-worker assignment array.  A *full-partition* send (``span``
+        equals the worker's own range) has a classification that depends only
+        on the frozen layout, so it is computed once per run and reused every
+        superstep -- PageRank-style always-active workloads pay zero
+        per-superstep classification cost.
+        """
+        worker_id = worker.worker_id
+        offsets = self.worker_offsets
+        if offsets is None:
+            mask = self.vertex_worker[destinations] == worker_id
+            return mask, int(np.count_nonzero(mask))
+        lo = int(offsets[worker_id])
+        hi = int(offsets[worker_id + 1])
+        full_span = span is not None and span == (lo, hi)
+        if full_span and self._span_cache[worker_id] is not None:
+            return self._span_cache[worker_id]
+        mask = (destinations >= lo) & (destinations < hi)
+        result = (mask, int(np.count_nonzero(mask)))
+        if full_span:
+            mask.setflags(write=False)
+            self._span_cache[worker_id] = result
+        return result
+
+    def _segment_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-worker sums of a vertex-aligned array via the worker offsets.
+
+        ``cumsum`` + boundary differences instead of ``add.reduceat`` so that
+        empty workers (``offsets[w] == offsets[w + 1]``) correctly sum to 0.
+        Only valid on the partition-native layout.
+        """
+        prefix = np.zeros(len(values) + 1, dtype=np.int64)
+        np.cumsum(values, out=prefix[1:])
+        return prefix[self.worker_offsets[1:]] - prefix[self.worker_offsets[:-1]]
 
     # ------------------------------------------------------------- accounting
     def count_active_next(self) -> int:
@@ -258,6 +381,14 @@ class BatchPlane:
         """(delivered_messages, delivered_bytes) buffered for ``worker``."""
         raise NotImplementedError
 
+    def buffered_all(self):
+        """Per-worker delivered ``(messages, bytes)`` arrays for all workers."""
+        pairs = [self.buffered_for(worker) for worker in self.run.workers]
+        return (
+            np.asarray([p[0] for p in pairs], dtype=np.int64),
+            np.asarray([p[1] for p in pairs], dtype=np.int64),
+        )
+
     def export_values(self) -> Dict[VertexId, Any]:
         raise NotImplementedError
 
@@ -276,14 +407,14 @@ class _RaggedStateBase(BatchPlane):
         ``sizes[i]`` is the byte size of sender ``i``'s payload (every copy
         along its out-edges has the same size, exactly as the scalar path's
         per-edge ``message_size`` calls report).  Returns ``(destinations,
-        degrees)`` or None when no edges exist.
+        degrees, span)`` or None when no edges exist; ``span`` is the
+        contiguous ``(start, stop)`` sender range (None for scattered
+        senders).
         """
-        degrees = self.out_degrees[senders]
-        total = int(degrees.sum())
-        if total == 0:
+        expanded = self._expand(senders)
+        if expanded is None:
             return None
-        slots = concat_ranges(self.indptr[senders], degrees)
-        destinations = self.targets[slots]
+        destinations, degrees, total, span, _ = expanded
         sizes = np.asarray(sizes, dtype=np.int64)
         per_edge_sizes = np.repeat(sizes, degrees)
         n = len(self.count_next)
@@ -293,28 +424,34 @@ class _RaggedStateBase(BatchPlane):
             destinations, weights=per_edge_sizes, minlength=n
         ).astype(np.int64)
 
-        local_mask = self.vertex_worker[destinations] == worker.worker_id
-        local = int(local_mask.sum())
+        local_mask, local = self._local_mask(worker, destinations, span)
         local_bytes = int(per_edge_sizes[local_mask].sum())
         total_bytes = int(per_edge_sizes.sum())
-        counters = worker.counters
-        counters.messages_sent += total
-        counters.local_messages += local
-        counters.local_message_bytes += local_bytes
-        counters.remote_messages += total - local
-        counters.remote_message_bytes += total_bytes - local_bytes
+        worker.counters.record_sent(total, local, local_bytes, total_bytes - local_bytes)
         self.run._next_message_count += total
-        return destinations, degrees
+        return destinations, degrees, span
 
     # ------------------------------------------------------------- accounting
     def buffered_for(self, worker):
         """(delivered_messages, delivered_bytes) buffered for ``worker``.
 
         The ragged plane never runs with a combiner, so delivered equals
-        sent: one buffered payload per routed message.
+        sent: one buffered payload per routed message.  On the partition-native
+        layout the worker's vertices are a contiguous range, so both sums run
+        over slice views.
         """
-        own = self.own[worker.worker_id]
+        own = self.own_selector(worker.worker_id)
         return int(self.count_next[own].sum()), int(self.bytes_next[own].sum())
+
+    def buffered_all(self):
+        """Per-worker delivered ``(messages, bytes)`` arrays for all workers.
+
+        Partition-native layout: two segment-sum passes over the worker
+        boundaries; one call replaces ``num_workers`` ``buffered_for`` calls.
+        """
+        if self.worker_offsets is not None:
+            return self._segment_sums(self.count_next), self._segment_sums(self.bytes_next)
+        return super().buffered_all()
 
     def advance(self) -> None:
         super().advance()
@@ -340,12 +477,12 @@ class RaggedBatchContext:
     @property
     def num_vertices(self) -> int:
         """Global vertex count."""
-        return self._state.run.graph.num_vertices
+        return self._state.graph.num_vertices
 
     @property
     def num_edges(self) -> int:
         """Global edge count."""
-        return self._state.run.graph.num_edges
+        return self._state.graph.num_edges
 
     @property
     def out_degrees(self) -> np.ndarray:
@@ -407,16 +544,92 @@ class RowReduceState(_RaggedStateBase):
         shape = values.shape
         self.acc = np.full(shape, self._neutral, dtype=values.dtype)
         self.acc_next = np.full(shape, self._neutral, dtype=values.dtype)
+        self._ev_dest: List[np.ndarray] = []
+        self._ev_ref: List[np.ndarray] = []
+        self._ev_rows: List[np.ndarray] = []
+        self._ev_vspan: List[Optional[tuple]] = []
+        self._ev_row_base = 0
+        # Cached destination grouping of the *whole* edge stream (the
+        # reverse-CSR structure): constant per run, built on the first
+        # full-graph superstep.
+        self._rev_group: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def send_rows(self, worker, senders, rows, sizes) -> None:
         routed = self._route(worker, senders, sizes)
         if routed is None:
             return
-        destinations, degrees = routed
-        # ufunc.at folds element by element in index order: the reduction is
-        # commutative (OR / add on ints), so the value matches the scalar
-        # fold over the per-destination message list exactly.
-        self._reduce.at(self.acc_next, destinations, np.repeat(rows, degrees, axis=0))
+        destinations, degrees, span = routed
+        # Buffer the send events; the destination-wise fold happens once per
+        # superstep in _commit_superstep.  Only sender *references* are
+        # repeated per edge here -- rows are gathered after the sort.
+        refs = np.repeat(
+            np.arange(len(senders), dtype=np.int64) + self._ev_row_base, degrees
+        )
+        self._ev_dest.append(destinations)
+        self._ev_ref.append(refs)
+        self._ev_rows.append(np.asarray(rows))
+        self._ev_vspan.append(span)
+        self._ev_row_base += len(senders)
+
+    def _commit_superstep(self) -> None:
+        if not self._ev_dest:
+            return
+        # Destination-sort + reduceat instead of ufunc.at: group the edge
+        # stream by destination (stable, though the reducers are commutative
+        # and exact on ints, so any order yields identical bits), reduce each
+        # group in one vectorized pass, and fold the per-destination results
+        # into the accumulator with a single fancy-indexed assignment.
+        spans = self._ev_vspan
+        n = len(self.acc_next)
+        tiled_full = (
+            all(span is not None for span in spans)
+            and spans[0][0] == 0
+            and spans[-1][1] == n
+            and all(spans[i][1] == spans[i + 1][0] for i in range(len(spans) - 1))
+        )
+        if len(self._ev_rows) == 1:
+            pool = self._ev_rows[0]
+        else:
+            pool = np.concatenate(self._ev_rows, axis=0)
+        if tiled_full:
+            # Full-graph steady state (every vertex sends every superstep, the
+            # common case for sketch propagation): the destination stream is
+            # the CSR targets array and pool row i is vertex i's payload, so
+            # the sort is a constant of the frozen layout -- computed once,
+            # leaving one row gather + one reduceat per superstep.
+            if self._rev_group is None:
+                # Non-stable sort: the reducers are commutative and exact on
+                # ints, so the within-group order cannot change the result.
+                order = np.argsort(self.targets)
+                sorted_dest = self.targets[order]
+                group_starts = np.flatnonzero(
+                    np.concatenate(([True], sorted_dest[1:] != sorted_dest[:-1]))
+                )
+                sources = np.repeat(
+                    np.arange(n, dtype=np.int64), self.out_degrees
+                )[order]
+                self._rev_group = (group_starts, sorted_dest[group_starts], sources)
+            group_starts, unique_dest, edge_rows = self._rev_group
+        else:
+            if len(self._ev_dest) == 1:
+                dest, refs = self._ev_dest[0], self._ev_ref[0]
+            else:
+                dest = np.concatenate(self._ev_dest)
+                refs = np.concatenate(self._ev_ref)
+            order = np.argsort(dest)  # non-stable: commutative exact reducers
+            sorted_dest = dest[order]
+            group_starts = np.flatnonzero(
+                np.concatenate(([True], sorted_dest[1:] != sorted_dest[:-1]))
+            )
+            unique_dest = sorted_dest[group_starts]
+            edge_rows = refs[order]
+        self._ev_dest = []
+        self._ev_ref = []
+        self._ev_rows = []
+        self._ev_vspan = []
+        self._ev_row_base = 0
+        reduced = self._reduce.reduceat(pool[edge_rows], group_starts, axis=0)
+        self.acc_next[unique_dest] = self._reduce(self.acc_next[unique_dest], reduced)
 
     def _advance_payloads(self) -> None:
         self.acc = self.acc_next
@@ -463,7 +676,7 @@ class RaggedStreamState(_RaggedStateBase):
     def __init__(self, run, values: Ragged) -> None:
         super().__init__(run)
         self.values = values
-        n = run.graph.num_vertices
+        n = self.graph.num_vertices
         self.in_data = np.empty(0, dtype=values.data.dtype)
         self.in_elem_indptr = np.zeros(n + 1, dtype=np.int64)
         self._ev_dest: List[np.ndarray] = []
@@ -476,7 +689,7 @@ class RaggedStreamState(_RaggedStateBase):
         routed = self._route(worker, senders, sizes)
         if routed is None:
             return
-        destinations, degrees = routed
+        destinations, degrees, _ = routed
         refs = np.repeat(
             np.arange(len(senders), dtype=np.int64) + self._ev_row_base, degrees
         )
@@ -500,7 +713,7 @@ class RaggedStreamState(_RaggedStateBase):
         self._staged = []
 
     def _advance_payloads(self) -> None:
-        n = self.run.graph.num_vertices
+        n = self.graph.num_vertices
         self.in_elem_indptr = np.zeros(n + 1, dtype=np.int64)
         if not self._ev_dest:
             self.in_data = np.empty(0, dtype=self.values.data.dtype)
@@ -546,7 +759,7 @@ class ObjectBatchContext(RaggedBatchContext):
     def out_edges(self, i: int):
         """Outgoing ``(target_id, weight)`` pairs of vertex index ``i``."""
         state = self._state
-        return state.run.graph.out_edges(state.ids[i])
+        return state.graph.out_edges(state.ids[i])
 
     def value_of(self, i: int) -> Any:
         """Current value of vertex index ``i``."""
@@ -578,7 +791,7 @@ class ObjectState(_RaggedStateBase):
         self._ev_ref: List[np.ndarray] = []
         self.in_refs = np.empty(0, dtype=np.int64)
         self.in_pool: List[Any] = []
-        n = run.graph.num_vertices
+        n = self.graph.num_vertices
         self.in_msg_indptr = np.zeros(n + 1, dtype=np.int64)
 
     def send_objects(self, worker, senders, payloads: List[Any]) -> None:
@@ -592,7 +805,7 @@ class ObjectState(_RaggedStateBase):
         routed = self._route(worker, senders, sizes)
         if routed is None:
             return
-        destinations, degrees = routed
+        destinations, degrees, _ = routed
         refs = np.repeat(
             np.arange(len(payloads), dtype=np.int64) + len(self._pool), degrees
         )
@@ -609,7 +822,7 @@ class ObjectState(_RaggedStateBase):
         return [pool[j] for j in self.in_refs[lo:hi].tolist()]
 
     def _advance_payloads(self) -> None:
-        n = self.run.graph.num_vertices
+        n = self.graph.num_vertices
         self.in_msg_indptr = np.zeros(n + 1, dtype=np.int64)
         if not self._ev_dest:
             self.in_refs = np.empty(0, dtype=np.int64)
@@ -648,7 +861,7 @@ def build_ragged_state(run) -> Optional[_RaggedStateBase]:
     if run.combiner is not None:
         return None
     kind = getattr(algorithm, "batch_payload", "scalar")
-    values = [run.values[vertex] for vertex in run.graph.vertices()]
+    values = [run.values[vertex] for vertex in run.batch_graph().vertices()]
     if kind == "rows":
         try:
             encoded = np.asarray(values, dtype=np.int64)

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.bsp.counters import WorkerCounters
 from repro.cluster.cost_profile import CostProfile
 from repro.cluster.network import NetworkModel
@@ -60,15 +62,42 @@ class RuntimeModel:
         """Return ``(superstep_runtime, critical_worker_index)``.
 
         Fills in the per-worker compute/messaging times as a side effect so
-        that the profiles record the full breakdown.
+        that the profiles record the full breakdown.  All workers are timed in
+        one vectorized pass: the counters' local/remote message and byte split
+        is gathered into arrays and handed to
+        :meth:`repro.cluster.network.NetworkModel.messaging_time_batch`; the
+        expressions mirror the scalar methods term for term, so every
+        per-worker time is bit-identical to the scalar computation.
         """
-        worker_times = []
-        for counters in worker_counters:
-            counters.compute_time = self.compute_time(counters)
-            counters.messaging_time = self.messaging_time(counters)
-            worker_times.append(counters.worker_time)
-        critical_worker = int(max(range(len(worker_times)), key=worker_times.__getitem__))
-        runtime = worker_times[critical_worker] + self.profile.barrier_overhead
+        profile = self.profile
+        active = np.asarray([c.active_vertices for c in worker_counters], dtype=np.float64)
+        sent = np.asarray([c.messages_sent for c in worker_counters], dtype=np.float64)
+        local_messages = np.asarray(
+            [c.local_messages for c in worker_counters], dtype=np.float64
+        )
+        local_bytes = np.asarray(
+            [c.local_message_bytes for c in worker_counters], dtype=np.float64
+        )
+        remote_messages = np.asarray(
+            [c.remote_messages for c in worker_counters], dtype=np.float64
+        )
+        remote_bytes = np.asarray(
+            [c.remote_message_bytes for c in worker_counters], dtype=np.float64
+        )
+        compute_times = (
+            active * profile.cost_per_active_vertex + sent * profile.cost_per_message_sent
+        )
+        messaging_times = self._network.messaging_time_batch(
+            local_messages, local_bytes, remote_messages, remote_bytes
+        )
+        worker_times = compute_times + messaging_times
+        for counters, compute, messaging in zip(
+            worker_counters, compute_times.tolist(), messaging_times.tolist()
+        ):
+            counters.compute_time = compute
+            counters.messaging_time = messaging
+        critical_worker = int(np.argmax(worker_times))
+        runtime = float(worker_times[critical_worker]) + self.profile.barrier_overhead
         runtime *= self._noise_factor()
         return runtime, critical_worker
 

@@ -84,3 +84,24 @@ class Worker:
         active = own[~halted_own | has_messages]
         self.counters.active_vertices = len(active)
         return active
+
+    def select_active_range(
+        self, start: int, stop: int, halted: np.ndarray, message_counts: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`select_active` for a partition-contiguous vertex range.
+
+        On a partition-native graph layout this worker owns exactly the index
+        range ``[start, stop)``, so activation works on array *slices* (views)
+        instead of fancy-index gathers.  Same rule, same counter update.
+        """
+        halted_own = halted[start:stop]
+        has_messages = message_counts[start:stop] > 0
+        # ``halted_own`` is a view into ``halted``; materialise the activation
+        # mask before clearing the halt votes below mutates it.
+        active_mask = ~halted_own | has_messages
+        reactivated = halted_own & has_messages
+        if reactivated.any():
+            halted_own[reactivated] = False
+        active = np.flatnonzero(active_mask) + start
+        self.counters.active_vertices = len(active)
+        return active

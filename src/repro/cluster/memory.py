@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cluster.spec import ClusterSpec
 from repro.exceptions import OutOfMemoryError
 
@@ -60,13 +62,46 @@ class MemoryModel:
             message_bytes=message_bytes,
         )
 
+    def estimate_batch(
+        self,
+        num_vertices: np.ndarray,
+        num_edges: np.ndarray,
+        state_bytes: np.ndarray,
+        buffered_messages: np.ndarray,
+        buffered_message_bytes: np.ndarray,
+    ) -> np.ndarray:
+        """Per-worker total footprint, all workers in one array expression.
+
+        The array counterpart of :meth:`estimate` for the engine's
+        partition-native batch path: the per-worker vertex/edge counts and the
+        delivered message split arrive as aligned arrays (segment sums over
+        the worker boundaries) and the estimate never leaves NumPy.  Returns
+        the ``total_bytes`` vector; the integer arithmetic is identical to the
+        scalar method.
+        """
+        graph_bytes = num_vertices * VERTEX_OVERHEAD_BYTES + num_edges * EDGE_OVERHEAD_BYTES
+        message_bytes = buffered_messages * MESSAGE_OVERHEAD_BYTES + buffered_message_bytes
+        return graph_bytes + state_bytes + message_bytes
+
     def check(self, worker_id: int, estimate: MemoryEstimate) -> None:
         """Raise :class:`OutOfMemoryError` when enforcement is on and exceeded."""
         if not self.enforce:
             return
-        if estimate.total_bytes > self.spec.worker_memory_bytes:
+        self._raise_if_exceeded(worker_id, estimate.total_bytes)
+
+    def check_batch(self, total_bytes: np.ndarray) -> None:
+        """Check every worker's total at once (first offender raises)."""
+        if not self.enforce:
+            return
+        exceeded = np.nonzero(total_bytes > self.spec.worker_memory_bytes)[0]
+        if len(exceeded):
+            worker_id = int(exceeded[0])
+            self._raise_if_exceeded(worker_id, int(total_bytes[worker_id]))
+
+    def _raise_if_exceeded(self, worker_id: int, total_bytes: int) -> None:
+        if total_bytes > self.spec.worker_memory_bytes:
             raise OutOfMemoryError(
-                f"worker {worker_id} needs {estimate.total_bytes} bytes "
+                f"worker {worker_id} needs {total_bytes} bytes "
                 f"but only {self.spec.worker_memory_bytes} are allocated "
                 "(Giraph cannot spill messages to disk)"
             )

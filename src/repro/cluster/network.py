@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cluster.cost_profile import CostProfile
 
 
@@ -57,3 +59,47 @@ class NetworkModel:
         return self.local_delivery_time(local_messages, local_bytes) + self.remote_delivery_time(
             remote_messages, remote_bytes
         )
+
+    def messaging_time_batch(
+        self,
+        local_messages: np.ndarray,
+        local_bytes: np.ndarray,
+        remote_messages: np.ndarray,
+        remote_bytes: np.ndarray,
+    ) -> np.ndarray:
+        """Messaging-phase time of every worker at once.
+
+        The array counterpart of :meth:`messaging_time`: the engine hands over
+        the per-worker local/remote message and byte split as aligned arrays
+        and all workers are timed in one vectorized expression.  The formula
+        mirrors the scalar methods term for term (same association order, same
+        float64 operations), so each element is bit-identical to the scalar
+        result for that worker.  The congestion power term is evaluated with
+        Python's float ``**`` per worker (the worker count is tiny): numpy's
+        array power can differ from it in the last ulp, which would break the
+        bit-identity promise above.
+        """
+        profile = self.profile
+        local = (
+            local_messages * profile.cost_per_local_message
+            + local_bytes * profile.cost_per_local_byte
+        )
+        remote = (
+            remote_messages * profile.cost_per_remote_message
+            + remote_bytes * profile.cost_per_remote_byte
+        )
+        if profile.congestion_factor > 0:
+            extra = np.asarray(
+                [
+                    profile.congestion_factor
+                    * ((num_bytes / 1e6) ** 1.2)
+                    * 1e6
+                    * profile.cost_per_remote_byte
+                    if num_bytes > 0
+                    else 0.0
+                    for num_bytes in remote_bytes.tolist()
+                ],
+                dtype=np.float64,
+            )
+            remote = remote + extra
+        return local + remote

@@ -14,8 +14,11 @@ usable for prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+import numpy as np
+
+from repro.exceptions import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import Partitioning
 
@@ -39,14 +42,43 @@ class CriticalPathEstimate:
         return self.outbound_edges[self.critical_worker] / mean
 
 
-def estimate_critical_path(graph: DiGraph, partitioning: Partitioning) -> CriticalPathEstimate:
-    """Predict which worker will be on the critical path for ``partitioning``."""
-    outbound = partitioning.worker_outbound_edges(graph)
+def estimate_critical_path(
+    graph: DiGraph, partitioning: Optional[Partitioning] = None
+) -> CriticalPathEstimate:
+    """Predict which worker will be on the critical path for ``partitioning``.
+
+    On a partition-native graph (``graph.partition_layout`` set by
+    ``CSRGraph.repartition``) the per-worker statistics are pure slice
+    arithmetic over the layout: worker ``w``'s outbound edge count is
+    ``indptr[offsets[w + 1]] - indptr[offsets[w]]`` -- the bounds of its
+    contiguous CSR edge slice -- and its vertex count is the width of its
+    index range.  These are exactly the edge volumes the engine's batch path
+    routes per worker, so the detection is *exact* for that path (no
+    per-vertex re-aggregation, no Python loop).  ``partitioning`` may be
+    omitted for such a graph; for any other graph it is required and the
+    statistics come from the partitioning's vectorized per-worker bincounts.
+    """
+    layout = getattr(graph, "partition_layout", None)
+    if layout is not None and (
+        partitioning is None or partitioning.layout() is layout
+    ):
+        outbound = (
+            graph.indptr[layout.offsets[1:]] - graph.indptr[layout.offsets[:-1]]
+        ).tolist()
+        vertex_counts = np.diff(layout.offsets).tolist()
+    elif partitioning is None:
+        raise ConfigurationError(
+            "estimate_critical_path needs a partitioning for a graph without "
+            "a partition-native layout"
+        )
+    else:
+        outbound = partitioning.worker_outbound_edges(graph)
+        vertex_counts = partitioning.worker_vertex_counts()
     critical = int(max(range(len(outbound)), key=outbound.__getitem__))
     return CriticalPathEstimate(
         critical_worker=critical,
         outbound_edges=outbound,
-        vertex_counts=partitioning.worker_vertex_counts(),
+        vertex_counts=vertex_counts,
     )
 
 

@@ -20,6 +20,7 @@ from typing import Callable, Dict
 from repro.cluster.cost_profile import DEFAULT_PROFILE
 from repro.experiments import figures
 from repro.experiments.harness import ExperimentContext
+from repro.graph.partition import PARTITIONERS
 
 
 def _render_fig4(ctx: ExperimentContext) -> str:
@@ -99,6 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
             "engine path (debugging aid; results are identical, just slower)"
         ),
     )
+    parser.add_argument(
+        "--partitioner",
+        choices=sorted(PARTITIONERS),
+        default="hash",
+        help="vertex-to-worker partitioning strategy (default: hash, as in Giraph)",
+    )
+    parser.add_argument(
+        "--no-partition-native",
+        action="store_true",
+        help=(
+            "keep the legacy gather-based batch layout instead of executing "
+            "on the partition-contiguous relabelling (debugging aid; results "
+            "are identical, just slower)"
+        ),
+    )
     return parser
 
 
@@ -122,6 +138,8 @@ def main(argv=None) -> int:
         num_workers=args.workers,
         seed=args.seed,
         freeze_datasets=not args.no_freeze,
+        partitioner_name=args.partitioner,
+        partition_native=not args.no_partition_native,
     )
     for name in args.experiments:
         print(EXPERIMENTS[name](ctx))

@@ -35,6 +35,7 @@ from repro.core.transform import TransformFunction
 from repro.exceptions import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load_dataset
+from repro.graph.partition import partitioner_by_name
 from repro.sampling.registry import sampler_by_name
 from repro.utils.rng import derive_seed
 from repro.utils.stats import signed_relative_error
@@ -65,6 +66,15 @@ class ExperimentContext:
         and sampler walks ride the array fast paths.  ``--no-freeze`` on the
         CLI sets this to False, forcing the scalar per-vertex path -- a
         debugging aid; results are identical either way.
+    partitioner_name:
+        Vertex-to-worker partitioning strategy for every run (``"hash"`` --
+        Giraph's default -- ``"range"`` or ``"chunk"``).  The partitioning
+        shapes the per-worker local/remote message split and therefore the
+        critical-path features PREDIcT extrapolates.
+    partition_native:
+        When True (default) batch-plane runs execute on the
+        partition-contiguous relabelled layout; ``--no-partition-native``
+        keeps the legacy gather-based layout (results identical, slower).
     """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
@@ -74,6 +84,8 @@ class ExperimentContext:
     seed: int = 42
     max_supersteps: int = 200
     freeze_datasets: bool = True
+    partitioner_name: str = "hash"
+    partition_native: bool = True
 
     _engine: BSPEngine = field(init=False, repr=False, default=None)
     _actual_runs: Dict[Tuple[str, str, str], RunResult] = field(
@@ -100,6 +112,8 @@ class ExperimentContext:
             max_supersteps=self.max_supersteps,
             collect_vertex_values=collect_values,
             runtime_seed=derive_seed(self.seed, "runtime"),
+            partitioner=partitioner_by_name(self.partitioner_name),
+            partition_native=self.partition_native,
         )
 
     def load(self, dataset: str) -> CSRGraph:

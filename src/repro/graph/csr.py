@@ -57,6 +57,11 @@ class CSRGraph:
     #: Frozen graphs advertise themselves so the engine can pick the fast path.
     is_frozen = True
 
+    #: Set by :meth:`repartition`: the partition-contiguous layout this graph
+    #: was relabelled into (``repro.graph.partition.PartitionLayout``), or
+    #: None for a graph in plain insertion order.
+    partition_layout = None
+
     def __init__(
         self,
         name: str,
@@ -82,9 +87,7 @@ class CSRGraph:
             int(self.targets.min()) < 0 or int(self.targets.max()) >= n
         ):
             raise GraphError("edge targets must be vertex indices in [0, n)")
-        self.index: Dict[VertexId, int] = (
-            index if index is not None else {v: i for i, v in enumerate(self.ids)}
-        )
+        self._index: Optional[Dict[VertexId, int]] = index
         self.out_degrees = np.diff(self.indptr)
         self.in_degrees = np.bincount(self.targets, minlength=n).astype(np.int64)
         # The arrays are shared across copy()/relabel_to_integers()/freeze();
@@ -103,6 +106,11 @@ class CSRGraph:
         # arrays are immutable, so the conversion is paid once per graph
         # instead of once per sample() call.
         self._walk_adjacency: Optional[Tuple[List[int], List[int]]] = None
+        # One-slot repartition cache: experiment sweeps run many algorithms
+        # over one frozen graph with the same partitioning, and the
+        # relabelled graph is immutable, so the permutation cost is paid once
+        # per (graph, assignment) instead of once per run.
+        self._repartition_cache: Optional[Tuple[Tuple[int, bytes], "CSRGraph"]] = None
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -160,15 +168,9 @@ class CSRGraph:
         order = np.argsort(sources, kind="stable")
         indptr = np.zeros(num_vertices + 1, dtype=np.int64)
         np.cumsum(np.bincount(sources, minlength=num_vertices), out=indptr[1:])
-        ids = list(range(num_vertices))
-        return cls(
-            name,
-            ids,
-            indptr,
-            targets[order],
-            weights[order],
-            index={v: v for v in ids},
-        )
+        # index is left lazy: for integer ids 0..n-1 the lazy build
+        # ({v: i}) coincides with the identity mapping.
+        return cls(name, list(range(num_vertices)), indptr, targets[order], weights[order])
 
     # ------------------------------------------------------------------ build
     def add_vertex(self, vertex: VertexId) -> None:
@@ -182,6 +184,18 @@ class CSRGraph:
         )
 
     # ----------------------------------------------------------------- access
+    @property
+    def index(self) -> Dict[VertexId, int]:
+        """Map vertex id -> vertex index (built lazily, never mutated).
+
+        Pure-array consumers -- the partition-native batch planes, the
+        samplers' index walks -- never touch it, so graphs derived on those
+        paths (e.g. ``repartition``) skip the O(n) dict build entirely.
+        """
+        if self._index is None:
+            self._index = {v: i for i, v in enumerate(self.ids)}
+        return self._index
+
     @property
     def num_vertices(self) -> int:
         """Number of vertices."""
@@ -391,7 +405,7 @@ class CSRGraph:
             indptr,
             ndst[order],
             nw[order],
-            index=dict(self.index),
+            index=self._index,
         )
 
     def reverse(self, name: Optional[str] = None) -> "CSRGraph":
@@ -406,7 +420,7 @@ class CSRGraph:
             indptr,
             src[order],
             self.weights[order],
-            index=dict(self.index),
+            index=self._index,
         )
 
     def copy(self, name: Optional[str] = None) -> "CSRGraph":
@@ -417,8 +431,68 @@ class CSRGraph:
             self.indptr,
             self.targets,
             self.weights,
-            index=dict(self.index),
+            index=self._index,
         )
+
+    def repartition(self, partitioning) -> "CSRGraph":
+        """Relabel vertices into partition-contiguous order for ``partitioning``.
+
+        Returns a new :class:`CSRGraph` whose vertex *indices* follow the
+        partitioning's stable layout: worker ``w`` owns exactly the contiguous
+        index range ``layout.offsets[w]:layout.offsets[w + 1]`` and therefore a
+        contiguous CSR edge slice.  Vertex *ids* travel with the permutation,
+        so results keyed by id are unchanged; within each vertex the adjacency
+        order is preserved exactly, so message-send order -- and every
+        floating-point accumulation derived from it -- is untouched.
+
+        The layout is recorded on the result as ``partition_layout``.  When
+        the graph is already partition-contiguous for ``partitioning`` (e.g.
+        repartitioning a repartitioned graph with a stable partitioner), the
+        relabelling is the identity and a shallow copy is returned --
+        ``repartition`` is idempotent.
+
+        The most recent relabelling is cached on the graph (both graphs are
+        immutable): experiment sweeps that run many algorithms over one
+        frozen graph with the same partitioning pay the permutation cost
+        once, not once per run.
+        """
+        layout = partitioning.layout()
+        if layout.num_vertices != self.num_vertices:
+            raise GraphError(
+                f"partitioning covers {layout.num_vertices} vertices but graph "
+                f"{self.name!r} has {self.num_vertices}"
+            )
+        if partitioning.ids is not self.ids and partitioning.ids != self.ids:
+            # Same count but different ids/order: the workers array would be
+            # applied to the wrong vertices.  (Identity check first -- the
+            # partitioners reuse the frozen graph's ids list, so the O(n)
+            # comparison only runs for partitionings built elsewhere.)
+            raise GraphError(
+                f"partitioning is not aligned with graph {self.name!r}: "
+                "it was built for a different vertex set or vertex order"
+            )
+        cache_key = (partitioning.num_workers, partitioning.workers.tobytes())
+        if self._repartition_cache is not None and self._repartition_cache[0] == cache_key:
+            return self._repartition_cache[1]
+        if layout.is_identity:
+            relabelled = self.copy()
+            relabelled.partition_layout = layout
+        else:
+            perm = layout.perm
+            lengths = self.out_degrees[perm]
+            indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+            np.cumsum(lengths, out=indptr[1:])
+            slots = concat_ranges(self.indptr[perm], lengths)
+            relabelled = CSRGraph(
+                f"{self.name}-partitioned",
+                [self.ids[i] for i in perm.tolist()],
+                indptr,
+                layout.inverse_perm[self.targets[slots]],
+                self.weights[slots],
+            )
+            relabelled.partition_layout = layout
+        self._repartition_cache = (cache_key, relabelled)
+        return relabelled
 
     def relabel_to_integers(
         self, name: Optional[str] = None

@@ -6,76 +6,229 @@ strategy is hash partitioning of vertex ids.  The partitioning matters for
 PREDIcT because the *worker on the critical path* -- the one with the most
 outbound edges -- determines the runtime of each superstep, and the paper's
 critical-path detection runs directly on the partitioning.
+
+Array-native layout
+-------------------
+:class:`Partitioning` is array-native: the canonical representation is a
+``workers`` array (``int64[n]``, worker index of each vertex, aligned with
+the source graph's vertex order) plus the derived *partition-contiguous
+layout*:
+
+* ``offsets``      -- ``int64[W + 1]``; in partition-contiguous vertex order
+  worker ``w`` owns exactly the index range ``offsets[w]:offsets[w + 1]``.
+* ``perm``         -- ``int64[n]``; ``perm[k]`` is the source-order index of
+  the vertex at contiguous position ``k``.  The permutation is *stable*:
+  within a worker, vertices keep their source insertion order, which is the
+  per-worker iteration order of the scalar engine path.
+* ``inverse_perm`` -- ``int64[n]``; ``inverse_perm[perm[k]] == k``.
+
+``CSRGraph.repartition(partitioning)`` uses this layout to relabel a frozen
+graph so each worker's vertices (and therefore its CSR edge slice) are
+contiguous -- the engine's batch planes then classify local vs. remote
+messages with range arithmetic on ``offsets`` instead of gathering a
+vertex-to-worker map per superstep.
+
+The historical dict API (``assignment``, ``worker_vertices``, ``worker_of``,
+``vertices_of``) is preserved as thin lazy wrappers over the arrays; nothing
+on the hot path builds the dictionaries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.graph.digraph import DiGraph, VertexId
 
+#: Python's hash(n) == n for 0 <= n < 2**61 - 1 (the Mersenne prime modulus
+#: of CPython's integer hash), which is what lets HashPartitioner vectorize
+#: integer vertex ids with one modulo instead of n hash() calls.
+_PYHASH_MODULUS = (1 << 61) - 1
 
-@dataclass
-class Partitioning:
-    """The result of partitioning a graph across workers.
 
-    Attributes
-    ----------
-    assignment:
-        Map vertex id -> worker index.
-    worker_vertices:
-        For each worker, the list of vertices it owns.
+@dataclass(frozen=True)
+class PartitionLayout:
+    """The partition-contiguous vertex layout derived from a partitioning.
+
+    Attached to a repartitioned :class:`repro.graph.csr.CSRGraph` as
+    ``graph.partition_layout`` so that every consumer -- the engine's batch
+    planes, the critical-path estimator, the memory accounting -- can turn
+    per-worker questions into slice arithmetic over ``offsets``.
     """
 
     num_workers: int
-    assignment: Dict[VertexId, int]
-    worker_vertices: List[List[VertexId]] = field(default_factory=list)
+    offsets: np.ndarray
+    perm: np.ndarray
+    inverse_perm: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices covered by the layout."""
+        return len(self.perm)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the source order is already partition-contiguous."""
+        return bool(np.array_equal(self.perm, np.arange(len(self.perm))))
+
+    def worker_slice(self, worker: int) -> slice:
+        """The contiguous index range owned by ``worker``."""
+        return slice(int(self.offsets[worker]), int(self.offsets[worker + 1]))
+
+    def worker_of_index(self, index) -> np.ndarray:
+        """Worker of contiguous vertex index/indices (searchsorted on offsets)."""
+        return np.searchsorted(self.offsets, index, side="right") - 1
+
+    def assignment_contiguous(self) -> np.ndarray:
+        """Worker of every vertex, in partition-contiguous vertex order."""
+        return np.repeat(
+            np.arange(self.num_workers, dtype=np.int64), np.diff(self.offsets)
+        )
+
+
+class Partitioning:
+    """The result of partitioning a graph across workers (array-native).
+
+    Attributes
+    ----------
+    num_workers:
+        Number of workers.
+    ids:
+        Vertex ids in source-graph iteration order.
+    workers:
+        ``int64[n]`` worker index of each vertex, aligned with ``ids``.
+    offsets / perm / inverse_perm:
+        The partition-contiguous layout (see the module docstring).
+    """
+
+    def __init__(self, num_workers: int, ids: Sequence[VertexId], workers: np.ndarray) -> None:
+        self.num_workers = int(num_workers)
+        self.ids: List[VertexId] = ids if isinstance(ids, list) else list(ids)
+        workers = np.ascontiguousarray(workers, dtype=np.int64)
+        if workers.shape != (len(self.ids),):
+            raise ConfigurationError(
+                f"workers array must have one entry per vertex "
+                f"({len(self.ids)}), got shape {workers.shape}"
+            )
+        if len(workers) and (
+            int(workers.min()) < 0 or int(workers.max()) >= self.num_workers
+        ):
+            raise ConfigurationError(
+                f"worker indices must lie in [0, {self.num_workers})"
+            )
+        self.workers = workers
+        counts = np.bincount(workers, minlength=self.num_workers)
+        self.offsets = np.zeros(self.num_workers + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.offsets[1:])
+        # Stable sort: within a worker, vertices keep source insertion order
+        # (the scalar engine's per-worker iteration order).
+        self.perm = np.argsort(workers, kind="stable").astype(np.int64, copy=False)
+        self.inverse_perm = np.empty(len(workers), dtype=np.int64)
+        self.inverse_perm[self.perm] = np.arange(len(workers), dtype=np.int64)
+        for array in (self.workers, self.offsets, self.perm, self.inverse_perm):
+            array.setflags(write=False)
+        self._layout: Optional[PartitionLayout] = None
+        self._assignment: Optional[Dict[VertexId, int]] = None
+        self._worker_vertices: Optional[List[List[VertexId]]] = None
+
+    # -------------------------------------------------------------- dict API
+    @property
+    def assignment(self) -> Dict[VertexId, int]:
+        """Map vertex id -> worker index (lazy wrapper over ``workers``)."""
+        if self._assignment is None:
+            self._assignment = dict(zip(self.ids, self.workers.tolist()))
+        return self._assignment
+
+    @property
+    def worker_vertices(self) -> List[List[VertexId]]:
+        """For each worker, its vertices (lazy wrapper over the layout)."""
+        if self._worker_vertices is None:
+            ids = self.ids
+            bounds = self.offsets.tolist()
+            order = self.perm.tolist()
+            self._worker_vertices = [
+                [ids[i] for i in order[bounds[w] : bounds[w + 1]]]
+                for w in range(self.num_workers)
+            ]
+        return self._worker_vertices
 
     def worker_of(self, vertex: VertexId) -> int:
         """Return the worker that owns ``vertex``."""
         return self.assignment[vertex]
 
     def vertices_of(self, worker: int) -> List[VertexId]:
-        """Return the vertices owned by ``worker``."""
+        """Return the vertices owned by ``worker`` (source insertion order)."""
         return self.worker_vertices[worker]
 
-    def assignment_array(self, graph: DiGraph) -> np.ndarray:
+    # ------------------------------------------------------------- array API
+    def layout(self) -> PartitionLayout:
+        """The partition-contiguous layout (cached; shared with repartition)."""
+        if self._layout is None:
+            self._layout = PartitionLayout(
+                num_workers=self.num_workers,
+                offsets=self.offsets,
+                perm=self.perm,
+                inverse_perm=self.inverse_perm,
+            )
+        return self._layout
+
+    def assignment_array(self, graph=None) -> np.ndarray:
         """Worker index of each vertex, aligned with ``graph.vertices()`` order.
 
-        This is the partition map the engine's vectorized superstep uses to
-        classify messages as local or remote with one array comparison.
+        With no ``graph`` (or a graph in the source vertex order) this is the
+        stored ``workers`` array -- no per-vertex Python work.  A graph whose
+        iteration order differs (e.g. a repartitioned copy) falls back to the
+        id-keyed dict so the result is always aligned with the caller's graph.
         """
-        return np.fromiter(
-            (self.assignment[vertex] for vertex in graph.vertices()),
-            dtype=np.int64,
-            count=graph.num_vertices,
+        if graph is None:
+            return self.workers
+        ids = getattr(graph, "ids", None)
+        if ids is self.ids:
+            return self.workers
+        if graph.num_vertices == len(self.ids):
+            vertices = list(graph.vertices())
+            if vertices == self.ids:
+                return self.workers
+            assignment = self.assignment
+            return np.fromiter(
+                (assignment[vertex] for vertex in vertices),
+                dtype=np.int64,
+                count=len(vertices),
+            )
+        raise ConfigurationError(
+            f"graph has {graph.num_vertices} vertices but the partitioning "
+            f"covers {len(self.ids)}"
         )
 
-    def worker_outbound_edges(self, graph: DiGraph) -> List[int]:
-        """Total outbound edges per worker.
+    def worker_outbound_edges_array(self, graph) -> np.ndarray:
+        """Total outbound edges per worker, as an ``int64[W]`` array.
 
         This is exactly the statistic the paper's critical-path heuristic
         uses: "the worker with the largest number of outbound edges is
-        considered to be on the critical path".
+        considered to be on the critical path".  One bincount over the degree
+        array -- no per-vertex Python loop on either graph representation.
         """
         degrees = getattr(graph, "out_degrees", None)
-        if degrees is not None:
-            # Frozen (CSR) graph: one bincount instead of a Python loop.
-            owners = self.assignment_array(graph)
-            totals = np.bincount(owners, weights=degrees, minlength=self.num_workers)
-            return [int(total) for total in totals]
-        totals = [0] * self.num_workers
-        for vertex, worker in self.assignment.items():
-            totals[worker] += graph.out_degree(vertex)
-        return totals
+        if degrees is None:
+            degrees = np.fromiter(
+                (graph.out_degree(vertex) for vertex in graph.vertices()),
+                dtype=np.int64,
+                count=graph.num_vertices,
+            )
+        owners = self.assignment_array(graph)
+        totals = np.bincount(owners, weights=degrees, minlength=self.num_workers)
+        return totals.astype(np.int64)
+
+    def worker_outbound_edges(self, graph) -> List[int]:
+        """Total outbound edges per worker (list form of the array above)."""
+        return self.worker_outbound_edges_array(graph).tolist()
 
     def worker_vertex_counts(self) -> List[int]:
         """Number of vertices per worker."""
-        return [len(vertices) for vertices in self.worker_vertices]
+        return np.diff(self.offsets).tolist()
 
 
 class BasePartitioner:
@@ -83,6 +236,15 @@ class BasePartitioner:
 
     def partition(self, graph: DiGraph, num_workers: int) -> Partitioning:
         """Return a :class:`Partitioning` of ``graph`` over ``num_workers``."""
+        self._validate(graph, num_workers)
+        ids = getattr(graph, "ids", None)
+        if ids is None:
+            ids = list(graph.vertices())
+        workers = self._assign(ids, num_workers)
+        return Partitioning(num_workers, ids, workers)
+
+    def _assign(self, ids: List[VertexId], num_workers: int) -> np.ndarray:
+        """Worker index per vertex, aligned with ``ids`` (subclass hook)."""
         raise NotImplementedError
 
     @staticmethod
@@ -92,46 +254,67 @@ class BasePartitioner:
         if graph.num_vertices == 0:
             raise ConfigurationError("cannot partition an empty graph")
 
-    @staticmethod
-    def _build(num_workers: int, assignment: Dict[VertexId, int]) -> Partitioning:
-        worker_vertices: List[List[VertexId]] = [[] for _ in range(num_workers)]
-        for vertex, worker in assignment.items():
-            worker_vertices[worker].append(vertex)
-        return Partitioning(
-            num_workers=num_workers,
-            assignment=assignment,
-            worker_vertices=worker_vertices,
-        )
-
 
 class HashPartitioner(BasePartitioner):
-    """Giraph's default: worker = hash(vertex id) mod num_workers."""
+    """Giraph's default: worker = hash(vertex id) mod num_workers.
 
-    def partition(self, graph: DiGraph, num_workers: int) -> Partitioning:
-        self._validate(graph, num_workers)
-        assignment = {vertex: hash(vertex) % num_workers for vertex in graph.vertices()}
-        return self._build(num_workers, assignment)
+    The assignment depends only on the vertex *id*, so it is stable across
+    ``freeze()`` / ``to_digraph()`` round trips and across repartitioned
+    copies of the same graph.  Non-negative integer ids below ``2**61 - 1``
+    hash to themselves in CPython, so the common array-friendly case is one
+    vectorized modulo.
+    """
+
+    def _assign(self, ids: List[VertexId], num_workers: int) -> np.ndarray:
+        if ids and type(ids[0]) is int:
+            # No dtype forced: a list that is not purely (machine-size)
+            # integers comes back as float/object and takes the hash()
+            # fallback instead of being silently truncated to int64.
+            arr = np.asarray(ids)
+            if (
+                arr.dtype.kind in "iu"
+                and int(arr.min()) >= 0
+                and int(arr.max()) < _PYHASH_MODULUS
+            ):
+                return arr.astype(np.int64) % num_workers
+        return np.fromiter(
+            (hash(vertex) % num_workers for vertex in ids),
+            dtype=np.int64,
+            count=len(ids),
+        )
 
 
 class RangePartitioner(BasePartitioner):
     """Contiguous id ranges: vertices are sorted and split into equal ranges."""
 
-    def partition(self, graph: DiGraph, num_workers: int) -> Partitioning:
-        self._validate(graph, num_workers)
-        ordered: Sequence[VertexId] = sorted(graph.vertices(), key=lambda v: (str(type(v)), v))
-        assignment: Dict[VertexId, int] = {}
-        chunk = max(1, (len(ordered) + num_workers - 1) // num_workers)
-        for index, vertex in enumerate(ordered):
-            assignment[vertex] = min(index // chunk, num_workers - 1)
-        return self._build(num_workers, assignment)
+    def _assign(self, ids: List[VertexId], num_workers: int) -> np.ndarray:
+        order = sorted(range(len(ids)), key=lambda i: (str(type(ids[i])), ids[i]))
+        ranks = np.empty(len(ids), dtype=np.int64)
+        ranks[np.asarray(order, dtype=np.int64)] = np.arange(len(ids), dtype=np.int64)
+        chunk = max(1, (len(ids) + num_workers - 1) // num_workers)
+        return np.minimum(ranks // chunk, num_workers - 1)
 
 
 class ChunkPartitioner(BasePartitioner):
     """Round-robin over vertex insertion order (balanced vertex counts)."""
 
-    def partition(self, graph: DiGraph, num_workers: int) -> Partitioning:
-        self._validate(graph, num_workers)
-        assignment = {
-            vertex: index % num_workers for index, vertex in enumerate(graph.vertices())
-        }
-        return self._build(num_workers, assignment)
+    def _assign(self, ids: List[VertexId], num_workers: int) -> np.ndarray:
+        return np.arange(len(ids), dtype=np.int64) % num_workers
+
+
+#: Partitioner registry used by the experiments CLI.
+PARTITIONERS = {
+    "hash": HashPartitioner,
+    "range": RangePartitioner,
+    "chunk": ChunkPartitioner,
+}
+
+
+def partitioner_by_name(name: str) -> BasePartitioner:
+    """Instantiate a partitioner by registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in PARTITIONERS:
+        raise ConfigurationError(
+            f"unknown partitioner {name!r}; available: {sorted(PARTITIONERS)}"
+        )
+    return PARTITIONERS[key]()

@@ -36,6 +36,7 @@ from repro.bsp.engine import BSPEngine, EngineConfig
 from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
 from repro.cluster.spec import ClusterSpec
 from repro.graph import generators
+from repro.graph.partition import ChunkPartitioner, HashPartitioner, RangePartitioner
 
 COUNTER_FIELDS = (
     "worker_id",
@@ -166,20 +167,24 @@ def assert_profiles_identical(scalar, vectorized):
 
 
 def run_both_paths(
-    engine, graph, algorithm_factory, config, use_combiner=False, max_supersteps=60
+    engine, graph, algorithm_factory, config, use_combiner=False, max_supersteps=60,
+    num_workers=4, partitioner_factory=None, partition_native=True,
 ):
     """Run scalar-on-DiGraph and vectorized-on-CSR, return both results."""
     frozen = graph.freeze()
-    scalar_config = EngineConfig(
-        num_workers=4, max_supersteps=max_supersteps, runtime_seed=7,
-        collect_vertex_values=True, use_combiner=use_combiner, vectorized=False,
-    )
-    vector_config = EngineConfig(
-        num_workers=4, max_supersteps=max_supersteps, runtime_seed=7,
-        collect_vertex_values=True, use_combiner=use_combiner, vectorized=True,
-    )
-    scalar = engine.run(graph, algorithm_factory(), config, scalar_config)
-    vectorized = engine.run(frozen, algorithm_factory(), config, vector_config)
+
+    def engine_config(vectorized):
+        kwargs = dict(
+            num_workers=num_workers, max_supersteps=max_supersteps, runtime_seed=7,
+            collect_vertex_values=True, use_combiner=use_combiner,
+            vectorized=vectorized, partition_native=partition_native,
+        )
+        if partitioner_factory is not None:
+            kwargs["partitioner"] = partitioner_factory()
+        return EngineConfig(**kwargs)
+
+    scalar = engine.run(graph, algorithm_factory(), config, engine_config(False))
+    vectorized = engine.run(frozen, algorithm_factory(), config, engine_config(True))
     return scalar, vectorized
 
 
@@ -200,6 +205,82 @@ class TestDifferentialAllAlgorithmsAllGraphs:
             max_supersteps=max_supersteps,
         )
         assert_profiles_identical(scalar, vectorized)
+
+
+# ----------------------------------------- partition-native layout coverage
+#: Graphs for the worker-count / partitioner matrix (kept small: the matrix
+#: multiplies over every registry algorithm).
+LAYOUT_GRAPHS = [GRAPH_POOL[1], GRAPH_POOL[7]]
+LAYOUT_PARTITIONERS = [
+    ("hash", HashPartitioner),
+    ("chunk", ChunkPartitioner),
+    ("range", RangePartitioner),
+]
+
+
+@pytest.mark.parametrize("num_workers", [1, 2, 8])
+@pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
+class TestDifferentialWorkerCounts:
+    """Partition-native path vs. scalar path across worker counts.
+
+    The partition-contiguous relabelling changes with the worker count (the
+    layout *is* the partitioning), so every Table 1 counter, per-worker
+    local/remote split and convergence history must stay bit-identical for
+    skewed (1), tiny (2) and wide (8) cluster shapes alike.
+    """
+
+    @pytest.mark.parametrize(
+        "label,builder", LAYOUT_GRAPHS, ids=[l for l, _ in LAYOUT_GRAPHS]
+    )
+    def test_differential_across_worker_counts(
+        self, diff_engine, algorithm_name, num_workers, label, builder
+    ):
+        graph = builder()
+        config, max_supersteps = algorithm_settings(algorithm_name)
+        scalar, vectorized = run_both_paths(
+            diff_engine,
+            graph,
+            lambda: algorithm_by_name(algorithm_name),
+            config,
+            max_supersteps=max_supersteps,
+            num_workers=num_workers,
+        )
+        assert_profiles_identical(scalar, vectorized)
+
+
+@pytest.mark.parametrize("partitioner_name,partitioner_cls", LAYOUT_PARTITIONERS)
+@pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
+def test_differential_across_partitioners(
+    diff_engine, algorithm_name, partitioner_name, partitioner_cls
+):
+    """Every partitioner produces a valid contiguous layout on every plane."""
+    graph = GRAPH_POOL[6][1]()
+    config, max_supersteps = algorithm_settings(algorithm_name)
+    scalar, vectorized = run_both_paths(
+        diff_engine,
+        graph,
+        lambda: algorithm_by_name(algorithm_name),
+        config,
+        max_supersteps=max_supersteps,
+        partitioner_factory=partitioner_cls,
+    )
+    assert_profiles_identical(scalar, vectorized)
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
+def test_partition_native_equals_gather_layout(diff_engine, algorithm_name):
+    """The relabelled layout and the legacy gather layout agree exactly."""
+    graph = GRAPH_POOL[10][1]()
+    config, max_supersteps = algorithm_settings(algorithm_name)
+    _, native = run_both_paths(
+        diff_engine, graph, lambda: algorithm_by_name(algorithm_name), config,
+        max_supersteps=max_supersteps, partition_native=True,
+    )
+    _, gather = run_both_paths(
+        diff_engine, graph, lambda: algorithm_by_name(algorithm_name), config,
+        max_supersteps=max_supersteps, partition_native=False,
+    )
+    assert_profiles_identical(gather, native)
 
 
 FALLBACK_GRAPHS = [GRAPH_POOL[0], GRAPH_POOL[5], GRAPH_POOL[14], GRAPH_POOL[18],

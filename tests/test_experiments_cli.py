@@ -29,10 +29,28 @@ class TestCli:
         assert args.workers == 8
         assert args.seed == 42
         assert args.no_freeze is False
+        assert args.partitioner == "hash"
+        assert args.no_partition_native is False
 
     def test_no_freeze_flag_parses(self):
         args = build_parser().parse_args(["fig4", "--no-freeze"])
         assert args.no_freeze is True
+
+    def test_partitioner_flag_parses(self):
+        args = build_parser().parse_args(["fig4", "--partitioner", "range"])
+        assert args.partitioner == "range"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--partitioner", "metis"])
+
+    def test_no_partition_native_identical_output(self, capsys):
+        # The gather-based legacy layout must print byte-for-byte the same
+        # table as the partition-native layout (the layouts are bit-exact).
+        base = ["table2", "--scale", "0.1", "--workers", "4", "--seed", "3"]
+        assert main(base) == 0
+        native_output = capsys.readouterr().out
+        assert main(base + ["--no-partition-native"]) == 0
+        gather_output = capsys.readouterr().out
+        assert gather_output == native_output
 
     def test_no_freeze_forces_scalar_path_with_identical_output(self, capsys):
         # The scalar per-vertex path must print byte-for-byte the same table

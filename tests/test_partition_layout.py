@@ -1,0 +1,220 @@
+"""Partition-native layout invariants.
+
+The engine's partition-native execution rests on a handful of structural
+guarantees of :class:`repro.graph.partition.Partitioning` and
+:meth:`repro.graph.csr.CSRGraph.repartition`:
+
+* the permutation round-trips (``perm[inverse_perm] == arange``);
+* every vertex is owned by exactly one worker and the contiguous layout
+  covers the vertex set exactly;
+* repartitioning is idempotent (a partition-contiguous graph repartitioned
+  with the same assignment comes back unchanged);
+* hash partitioning depends only on vertex ids, so it is stable across
+  ``freeze()`` / ``to_digraph()`` round trips;
+* a repartitioned graph is *observationally identical* per vertex id
+  (same out-edges, in the same order) -- the property that makes the batch
+  planes bit-compatible with the scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, GraphError
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import (
+    ChunkPartitioner,
+    HashPartitioner,
+    Partitioning,
+    RangePartitioner,
+    partitioner_by_name,
+)
+
+PARTITIONER_CLASSES = [HashPartitioner, RangePartitioner, ChunkPartitioner]
+
+
+@pytest.fixture(scope="module")
+def frozen_graph():
+    return generators.preferential_attachment(240, out_degree=4, seed=9).freeze()
+
+
+@pytest.mark.parametrize("partitioner_cls", PARTITIONER_CLASSES)
+class TestLayoutInvariants:
+    def test_permutation_round_trip(self, frozen_graph, partitioner_cls):
+        partitioning = partitioner_cls().partition(frozen_graph, 4)
+        n = frozen_graph.num_vertices
+        assert (partitioning.perm[partitioning.inverse_perm] == np.arange(n)).all()
+        assert (partitioning.inverse_perm[partitioning.perm] == np.arange(n)).all()
+
+    def test_every_vertex_owned_exactly_once(self, frozen_graph, partitioner_cls):
+        partitioning = partitioner_cls().partition(frozen_graph, 4)
+        # The workers array covers every vertex with exactly one worker ...
+        assert len(partitioning.workers) == frozen_graph.num_vertices
+        assert set(np.unique(partitioning.workers)) <= set(range(4))
+        # ... and the contiguous layout partitions [0, n) exactly.
+        assert int(partitioning.offsets[0]) == 0
+        assert int(partitioning.offsets[-1]) == frozen_graph.num_vertices
+        assert (np.diff(partitioning.offsets) >= 0).all()
+        assert sorted(partitioning.perm.tolist()) == list(range(frozen_graph.num_vertices))
+        # Dict API agrees with the arrays.
+        seen = set()
+        for worker in range(4):
+            vertices = partitioning.vertices_of(worker)
+            assert not (seen & set(vertices))
+            seen.update(vertices)
+            for vertex in vertices:
+                assert partitioning.worker_of(vertex) == worker
+        assert len(seen) == frozen_graph.num_vertices
+
+    def test_contiguous_assignment_matches_workers(self, frozen_graph, partitioner_cls):
+        partitioning = partitioner_cls().partition(frozen_graph, 4)
+        layout = partitioning.layout()
+        contiguous = layout.assignment_contiguous()
+        assert (contiguous == partitioning.workers[layout.perm]).all()
+        assert (np.diff(contiguous) >= 0).all()  # grouped by worker
+        # searchsorted lookup agrees with the expanded assignment.
+        probes = np.arange(frozen_graph.num_vertices)
+        assert (layout.worker_of_index(probes) == contiguous).all()
+
+    def test_repartitioned_graph_observationally_identical(
+        self, frozen_graph, partitioner_cls
+    ):
+        partitioning = partitioner_cls().partition(frozen_graph, 4)
+        relabelled = frozen_graph.repartition(partitioning)
+        assert relabelled.num_vertices == frozen_graph.num_vertices
+        assert relabelled.num_edges == frozen_graph.num_edges
+        assert sorted(map(str, relabelled.ids)) == sorted(map(str, frozen_graph.ids))
+        for vertex in frozen_graph.vertices():
+            assert relabelled.out_edges(vertex) == frozen_graph.out_edges(vertex)
+        # Worker w owns exactly the contiguous index range of the layout.
+        layout = relabelled.partition_layout
+        for worker in range(4):
+            owned = relabelled.ids[layout.offsets[worker] : layout.offsets[worker + 1]]
+            assert owned == partitioning.vertices_of(worker)
+
+
+class TestRepartitionIdempotence:
+    def test_repartition_of_contiguous_graph_is_identity(self, frozen_graph):
+        partitioning = HashPartitioner().partition(frozen_graph, 4)
+        once = frozen_graph.repartition(partitioning)
+        # Hash partitioning depends only on ids, so re-running the partitioner
+        # on the relabelled graph yields an already-contiguous assignment.
+        again = HashPartitioner().partition(once, 4)
+        assert again.layout().is_identity
+        twice = once.repartition(again)
+        assert twice.ids == once.ids
+        assert (twice.indptr == once.indptr).all()
+        assert (twice.targets == once.targets).all()
+        assert (twice.weights == once.weights).all()
+
+    def test_layout_based_repartition_is_identity_for_any_partitioner(
+        self, frozen_graph
+    ):
+        # Chunk/range partitioners assign by position, so re-running them on
+        # the relabelled graph is a *different* partitioning; idempotence is
+        # about the same assignment, re-expressed on the new vertex order.
+        partitioning = ChunkPartitioner().partition(frozen_graph, 3)
+        once = frozen_graph.repartition(partitioning)
+        re_expressed = Partitioning(
+            3, once.ids, once.partition_layout.assignment_contiguous()
+        )
+        assert re_expressed.layout().is_identity
+        twice = once.repartition(re_expressed)
+        assert twice.ids == once.ids
+        assert (twice.targets == once.targets).all()
+
+    def test_repartition_cached_for_same_assignment(self, frozen_graph):
+        first = frozen_graph.repartition(HashPartitioner().partition(frozen_graph, 4))
+        # A fresh but identical partitioning hits the one-slot cache ...
+        second = frozen_graph.repartition(HashPartitioner().partition(frozen_graph, 4))
+        assert second is first
+        # ... and a different assignment replaces it.  (Chunk would coincide:
+        # on integer ids 0..n-1, hash(v) % W == position % W.)
+        third = frozen_graph.repartition(RangePartitioner().partition(frozen_graph, 4))
+        assert third is not first
+        assert third.partition_layout.num_workers == 4
+
+    def test_vertex_count_mismatch_raises(self, frozen_graph):
+        other = generators.chain(10).freeze()
+        partitioning = HashPartitioner().partition(other, 2)
+        with pytest.raises(GraphError):
+            frozen_graph.repartition(partitioning)
+
+    def test_misaligned_same_size_partitioning_raises(self, frozen_graph):
+        # Same vertex count, different ids: the workers array would land on
+        # the wrong vertices, so repartition must refuse rather than relabel.
+        other = generators.chain(frozen_graph.num_vertices)
+        shifted = DiGraph()
+        for vertex in other.vertices():
+            shifted.add_vertex(vertex + 1_000_000)
+        partitioning = HashPartitioner().partition(shifted.freeze(), 2)
+        with pytest.raises(GraphError):
+            frozen_graph.repartition(partitioning)
+
+
+class TestHashStability:
+    def test_hash_partitioner_stable_across_freeze(self):
+        graph = generators.preferential_attachment(200, out_degree=3, seed=4)
+        frozen = graph.freeze()
+        thawed = frozen.to_digraph()
+        reference = HashPartitioner().partition(graph, 5).assignment
+        assert HashPartitioner().partition(frozen, 5).assignment == reference
+        assert HashPartitioner().partition(thawed, 5).assignment == reference
+
+    def test_hash_partitioner_matches_python_hash_on_string_ids(self):
+        graph = DiGraph()
+        for name in ("alpha", "beta", "gamma", "delta"):
+            graph.add_vertex(name)
+        partitioning = HashPartitioner().partition(graph, 3)
+        for name in graph.vertices():
+            assert partitioning.worker_of(name) == hash(name) % 3
+
+    def test_hash_partitioner_matches_python_hash_on_int_ids(self):
+        graph = DiGraph()
+        for vertex in (0, 1, 7, 2**61, -5, 123456789):
+            graph.add_vertex(vertex)
+        partitioning = HashPartitioner().partition(graph, 4)
+        for vertex in graph.vertices():
+            assert partitioning.worker_of(vertex) == hash(vertex) % 4
+
+    def test_hash_partitioner_mixed_int_float_ids_not_truncated(self):
+        # An int first id must not drag float ids through an int64 cast
+        # (2.5 -> 2); the mixed list takes the hash() fallback instead.
+        graph = DiGraph()
+        for vertex in (0, 2.5, 3):
+            graph.add_vertex(vertex)
+        partitioning = HashPartitioner().partition(graph, 3)
+        for vertex in graph.vertices():
+            assert partitioning.worker_of(vertex) == hash(vertex) % 3
+
+
+class TestPartitioningAPI:
+    def test_assignment_array_alignment_with_reordered_graph(self, frozen_graph):
+        partitioning = HashPartitioner().partition(frozen_graph, 4)
+        relabelled = frozen_graph.repartition(partitioning)
+        aligned = partitioning.assignment_array(relabelled)
+        expected = [partitioning.worker_of(v) for v in relabelled.vertices()]
+        assert aligned.tolist() == expected
+
+    def test_worker_outbound_edges_matches_slice_arithmetic(self, frozen_graph):
+        partitioning = HashPartitioner().partition(frozen_graph, 4)
+        relabelled = frozen_graph.repartition(partitioning)
+        offsets = relabelled.partition_layout.offsets
+        slice_counts = (
+            relabelled.indptr[offsets[1:]] - relabelled.indptr[offsets[:-1]]
+        ).tolist()
+        assert partitioning.worker_outbound_edges(frozen_graph) == slice_counts
+
+    def test_invalid_workers_array_raises(self):
+        with pytest.raises(ConfigurationError):
+            Partitioning(2, [0, 1, 2], np.asarray([0, 1, 2]))
+        with pytest.raises(ConfigurationError):
+            Partitioning(2, [0, 1, 2], np.asarray([0, 1]))
+
+    def test_partitioner_by_name(self):
+        assert isinstance(partitioner_by_name("hash"), HashPartitioner)
+        assert isinstance(partitioner_by_name("Range"), RangePartitioner)
+        with pytest.raises(ConfigurationError):
+            partitioner_by_name("metis")
