@@ -10,11 +10,13 @@
 #   make bench-smoke -- tiny-graph sanity pass over the perf-guard benchmarks
 #                      (no speedup floors, results not recorded); CI runs this
 #                      on every PR so the guard code paths stay exercised.
+#   make docs-check -- markdown link check over README.md + docs/ plus a
+#                      compileall pass over src/; the CI docs job runs this.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test-fast test-full bench bench-smoke
+.PHONY: verify test-fast test-full bench bench-smoke docs-check
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -33,4 +35,9 @@ bench-smoke:
 		benchmarks/test_bench_csr_fastpath.py \
 		benchmarks/test_bench_ragged_fastpath.py \
 		benchmarks/test_bench_partition_layout.py \
+		benchmarks/test_bench_semicluster_fastpath.py \
 		-q -s
+
+docs-check:
+	$(PYTHON) scripts/check_doc_links.py README.md docs/*.md
+	$(PYTHON) -m compileall -q src

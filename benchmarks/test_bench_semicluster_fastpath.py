@@ -1,0 +1,99 @@
+"""Performance regression guard for the numeric semi-clustering plane.
+
+Runs semi-clustering -- the last algorithm whose batch fold used to run on
+Python payload objects -- over a 20k-vertex uniform random graph through both
+``"object"``-kind planes and records the speedup under
+``benchmarks/results/semicluster_fastpath_speedup.txt``.  The guarded number
+is the **fold phase**: the time spent inside ``compute_batch``, which is
+exactly what the numeric record plane replaces (routing, delivery and
+accounting are shared by both planes).  The run fails if the fold-phase
+speedup falls below 3x (the ISSUE-4 acceptance bar), so a future change
+cannot silently lose the optimisation.  Both planes must also agree on
+values and convergence, otherwise the "speedup" would be comparing
+different computations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_utils import bench_smoke, publish
+from repro.algorithms.semi_clustering import SemiClustering, SemiClusteringConfig
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+
+SMOKE = bench_smoke()
+
+NUM_VERTICES = 1_500 if SMOKE else 20_000
+NUM_EDGES = 6_000 if SMOKE else 80_000
+SUPERSTEPS = 4
+MIN_SPEEDUP = 3.0
+
+
+class FoldTimed(SemiClustering):
+    """Accumulates the wall-clock time spent in the batch fold."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fold_seconds = 0.0
+
+    def compute_batch(self, batch, config) -> None:
+        start = time.perf_counter()
+        super().compute_batch(batch, config)
+        self.fold_seconds += time.perf_counter() - start
+
+
+def test_bench_semicluster_fastpath(results_dir):
+    frozen = generators.uniform_csr(NUM_VERTICES, NUM_EDGES, seed=3, name="sc-20k")
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=8),
+        cost_profile=DETERMINISTIC_PROFILE,
+    )
+    config = SemiClusteringConfig(
+        c_max=2, s_max=2, v_max=5, tolerance=1e-9, max_iterations=60
+    )
+
+    def timed_run(numeric: bool):
+        algorithm = FoldTimed()
+        engine_config = EngineConfig(
+            num_workers=8, max_supersteps=SUPERSTEPS, runtime_seed=1,
+            semicluster_numeric=numeric, collect_vertex_values=True,
+        )
+        start = time.perf_counter()
+        result = engine.run(frozen, algorithm, config, engine_config)
+        return time.perf_counter() - start, algorithm.fold_seconds, result
+
+    object_time, object_fold, object_result = timed_run(numeric=False)
+    numeric_time, numeric_fold, numeric_result = timed_run(numeric=True)
+
+    # The speedup is only meaningful if both planes did identical work.
+    assert object_result.num_iterations == numeric_result.num_iterations
+    assert object_result.convergence_history == numeric_result.convergence_history
+    assert object_result.vertex_values == numeric_result.vertex_values
+    for left, right in zip(object_result.iterations, numeric_result.iterations):
+        assert left.graph_feature_dict() == right.graph_feature_dict()
+
+    fold_speedup = object_fold / numeric_fold
+    run_speedup = object_time / numeric_time
+    lines = [
+        "Numeric semi-clustering plane speedup (object fold vs. numeric records, "
+        f"{NUM_VERTICES:,} vertices / {NUM_EDGES:,} edges / {SUPERSTEPS} supersteps)",
+        "",
+        f"  object fold phase   : {object_fold * 1000:9.1f} ms   "
+        f"(full run {object_time * 1000:9.1f} ms)",
+        f"  numeric fold phase  : {numeric_fold * 1000:9.1f} ms   "
+        f"(full run {numeric_time * 1000:9.1f} ms)",
+        f"  fold-phase speedup  : {fold_speedup:9.1f} x   (regression floor: "
+        f"{MIN_SPEEDUP:.0f}x)",
+        f"  full-run speedup    : {run_speedup:9.1f} x",
+    ]
+    if SMOKE:
+        lines.append("  smoke mode: reduced sizes, floor not enforced")
+    publish(results_dir, "semicluster_fastpath_speedup", "\n".join(lines))
+    if not SMOKE:
+        assert fold_speedup >= MIN_SPEEDUP, (
+            f"numeric semi-clustering fold speedup regressed: "
+            f"{fold_speedup:.1f}x < {MIN_SPEEDUP}x"
+        )

@@ -17,12 +17,43 @@ Run with::
 from __future__ import annotations
 
 from repro import BSPEngine, EngineConfig, PageRank, PageRankConfig, Predictor
+from repro.algorithms import registry
 from repro.graph.datasets import load_dataset
 from repro.utils.stats import signed_relative_error
 from repro.utils.tables import format_table
 
+#: Human-readable label per batch payload kind (docs/BATCH_PLANES.md).
+PLANE_LABELS = {
+    "scalar": "scalar (sum/min reduced)",
+    "rows": "rows (fixed-width, ufunc-reduced)",
+    "ragged": "ragged (variable-length numeric)",
+    "object": "object (numeric records / Python fold)",
+}
+
+
+def print_batch_plane_coverage() -> None:
+    """Per-algorithm batch-plane coverage, straight from the registry.
+
+    ``registry.supports_batch(name)`` answers the question for one
+    algorithm; ``registry.batch_support()`` maps the whole registry.  On a
+    frozen graph every covered algorithm runs its supersteps as array
+    kernels (see docs/BATCH_PLANES.md for the payload contracts).
+    """
+    rows = []
+    for name, supported in registry.batch_support().items():
+        kind = getattr(registry.algorithm_by_name(name), "batch_payload", "scalar")
+        rows.append([
+            name,
+            PLANE_LABELS.get(kind, kind),
+            "yes" if supported else "no (scalar fallback)",
+        ])
+    print(format_table(["algorithm", "batch plane", "vectorized"], rows,
+                       title="Batch-plane coverage"))
+
 
 def main() -> None:
+    print_batch_plane_coverage()
+    print()
     # The 'wikipedia' stand-in is a scale-free web graph; scale=0.5 keeps this
     # example fast (a couple of seconds) while remaining non-trivial.
     graph = load_dataset("wikipedia", scale=0.5)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (no third-party dependencies).
+
+Scans the given markdown files for inline links and images
+(``[text](target)`` / ``![alt](target)``) and verifies that
+
+* relative file targets exist on disk (resolved against the linking file),
+* ``#fragment`` anchors -- bare or attached to a local markdown file --
+  match a heading in the target document (GitHub-style slugs),
+* external ``http(s)://`` / ``mailto:`` targets are skipped (CI must not
+  depend on the network).
+
+Exit status is non-zero when any link is broken, printing one line per
+problem.  Used by ``make docs-check`` and the CI docs job::
+
+    python scripts/check_doc_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: [text](target) with no nested parentheses.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks are excluded from link scanning.
+FENCE_RE = re.compile(r"^(```|~~~)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (lowercased, hyphenated)."""
+    text = heading.strip().strip("#").strip()
+    text = re.sub(r"`([^`]*)`", r"\1", text)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.lstrip().startswith("#"):
+            slugs.add(github_slug(line))
+    return slugs
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    for line_number, target in iter_links(path):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}:{line_number}: broken link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+            if fragment not in heading_slugs(resolved):
+                problems.append(
+                    f"{path}:{line_number}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    problems = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            problems.append(f"{name}: file not found")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} broken link(s)")
+        return 1
+    print(f"checked {len(argv)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

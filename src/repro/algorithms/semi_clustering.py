@@ -46,13 +46,32 @@ from repro.algorithms.base import (
 )
 from repro.bsp.aggregators import Aggregator, sum_aggregator
 from repro.bsp.master import GraphInfo
+from repro.bsp.ragged import (
+    ClusterRowsContext,
+    Ragged,
+    masked_segment_left_fold,
+    segment_unique_records,
+)
 from repro.bsp.vertex import VertexContext
+from repro.graph.csr import concat_ranges
 from repro.graph.digraph import DiGraph
 
 #: Aggregator counting vertices whose semi-cluster list changed.
 UPDATES_AGGREGATOR = "semiclustering.updated"
 #: Aggregator counting the total number of semi-clusters maintained.
 TOTAL_AGGREGATOR = "semiclustering.total"
+
+#: Ceiling on ``v_max`` for the numeric batch plane: records are padded to
+#: ``v_max`` member slots, so pathological configs fall back to the object
+#: fold instead of allocating huge mostly-empty rows.
+NUMERIC_VMAX_LIMIT = 64
+
+
+def _positions_within(counts: np.ndarray) -> np.ndarray:
+    """0-based position of each element within its (concatenated) segment."""
+    total = int(counts.sum())
+    prefix = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(prefix, counts)
 
 
 @dataclass(frozen=True)
@@ -246,14 +265,28 @@ class SemiClustering(IterativeAlgorithm):
     batch_payload = "object"
 
     def compute_batch(self, batch, config: SemiClusteringConfig) -> None:
-        """Hybrid batch superstep: ragged routing, per-vertex cluster fold.
+        """Batch superstep on either ``"object"`` plane.
 
-        Semi-cluster lists are Python objects, so the fold mirrors
-        :meth:`compute` line for line per vertex; the win is the plane's
-        array-side message routing and counter accounting.  Vertices are
-        processed in partition order and sends are emitted in that order, so
-        delivery lists and every counter match the scalar path exactly.
+        The engine hands this method one of two context types, decided once
+        per run in ``repro.bsp.ragged.build_ragged_state``:
+
+        * :class:`~repro.bsp.ragged.ClusterRowsContext` -- the **numeric
+          fast path** (default): semi-clusters are fixed-width float64
+          records and the whole fold (extension, scoring, the sorted
+          top-``Smax``/``Cmax`` merge, the update test) runs as array
+          kernels in :meth:`_compute_batch_numeric`.
+        * :class:`~repro.bsp.ragged.ObjectBatchContext` -- the hybrid
+          fallback (``EngineConfig(semicluster_numeric=False)``, or an
+          input the encoder declines): array-side routing and counters, but
+          the per-vertex fold mirrors :meth:`compute` on Python objects.
+
+        Both process vertices in partition order and emit sends in that
+        order, so delivery lists and every counter match the scalar path
+        exactly.
         """
+        if isinstance(batch, ClusterRowsContext):
+            self._compute_batch_numeric(batch, config)
+            return
         indices = batch.indices
         if batch.superstep == 0:
             payloads = []
@@ -303,6 +336,338 @@ class SemiClustering(IterativeAlgorithm):
             )
         if halters:
             batch.vote_to_halt(np.asarray(halters, dtype=np.int64))
+
+    # ----------------------------------------------- numeric record plane
+    # Record layout (width = v_max + 3, all float64):
+    #   [0] internal_weight   [1] boundary_weight   [2] member count
+    #   [3 : 3 + v_max] member vertex indices, sorted by string rank,
+    #                   padded with -1.
+    # Member ids as indices stay exact in float64 (< 2**53), and storing
+    # them in string-rank order makes the scalar sort tie-break
+    # (tuple(sorted(map(str, members)))) a plain lexicographic comparison
+    # of the rank columns.
+
+    def encode_numeric_object_plane(self, graph, values, config):
+        """Encode initial values for the numeric plane, or None to decline.
+
+        Declines (falling back to the Python-object fold) when the numeric
+        representation cannot reproduce the scalar semantics: distinct
+        vertex ids whose ``str()`` forms collide (the rank order would no
+        longer equal the scalar string tie-break), clusters over ``v_max``
+        members, members missing from the graph, or an oversized ``v_max``.
+        Returns ``(Ragged values, cache)`` with the per-run constants the
+        fold needs: the record ``width`` and the ``str_rank`` permutation.
+        """
+        v_max = int(config.v_max)
+        if v_max > NUMERIC_VMAX_LIMIT:
+            return None
+        n = graph.num_vertices
+        ids = graph.ids
+        strings = [str(vertex) for vertex in ids]
+        order = sorted(range(n), key=strings.__getitem__)
+        if any(strings[a] == strings[b] for a, b in zip(order, order[1:])):
+            return None
+        str_rank = np.empty(n, dtype=np.int64)
+        str_rank[np.asarray(order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+        width = v_max + 3
+        if any(len(value) for value in values):
+            index = graph.index
+            rank_of = str_rank.tolist()
+            rows: List[List[float]] = []
+            for value in values:
+                row: List[float] = []
+                for cluster in value:
+                    if len(cluster.members) > v_max:
+                        return None
+                    try:
+                        members = sorted(
+                            (index[m] for m in cluster.members),
+                            key=rank_of.__getitem__,
+                        )
+                    except KeyError:
+                        return None
+                    row.append(float(cluster.internal_weight))
+                    row.append(float(cluster.boundary_weight))
+                    row.append(float(len(members)))
+                    row.extend(float(m) for m in members)
+                    row.extend([-1.0] * (v_max - len(members)))
+                rows.append(row)
+            encoded = Ragged.from_rows(rows, dtype=np.float64)
+        else:
+            encoded = Ragged(
+                np.empty(0, dtype=np.float64), np.zeros(n + 1, dtype=np.int64)
+            )
+        cache = {"width": width, "str_rank": str_rank}
+        return encoded, cache
+
+    def decode_numeric_object_values(self, state) -> Dict[Any, Tuple[SemiCluster, ...]]:
+        """Decode the plane's record store back into per-vertex cluster tuples."""
+        width = state.cache["width"]
+        ids = state.ids
+        data = state.values.data.tolist()
+        bounds = state.values.offsets.tolist()
+        out: Dict[Any, Tuple[SemiCluster, ...]] = {}
+        for i, vertex in enumerate(ids):
+            lo, hi = bounds[i], bounds[i + 1]
+            clusters = []
+            while lo < hi:
+                record = data[lo : lo + width]
+                count = int(record[2])
+                members = frozenset(ids[int(m)] for m in record[3 : 3 + count])
+                clusters.append(SemiCluster(members, record[0], record[1]))
+                lo += width
+            out[vertex] = tuple(clusters)
+        return out
+
+    def _compute_batch_numeric(self, batch, config: SemiClusteringConfig) -> None:
+        """Fully vectorized superstep on the numeric record plane.
+
+        Reproduces :meth:`_fold_vertex` bit for bit without touching Python
+        payload objects:
+
+        * the masked adjacency sums of ``extended_with``/``singleton`` use
+          :func:`~repro.bsp.ragged.masked_segment_left_fold`, whose per-row
+          accumulation is strictly sequential in adjacency order -- the same
+          IEEE rounding as the scalar Python fold (``np.sum``'s pairwise
+          reduction would differ);
+        * scores are recomputed with the exact scalar expression, and the
+          candidate sort is one ``np.lexsort`` keyed by (vertex, -score,
+          member string ranks) -- stable, like ``list.sort`` -- with member
+          slots padded by -1 so that a rank-prefix cluster orders before its
+          extensions, exactly like Python's shorter-tuple-first rule;
+        * the ``set(new_value) != set(value)`` update test becomes a
+          canonical sort + dedup comparison of old and new record blocks
+          (:func:`~repro.bsp.ragged.segment_unique_records`);
+        * sent byte sizes follow the scalar wire format, ``4 + sum(20 + 8 *
+          members)`` per message, never the padded record width.
+        """
+        cache = batch.cache
+        str_rank: np.ndarray = cache["str_rank"]
+        width: int = cache["width"]
+        v_max = int(config.v_max)
+        idx = batch.indices
+        k = len(idx)
+        n = len(str_rank)
+        indptr = batch.edge_indptr
+        targets = batch.edge_targets
+        weights = batch.edge_weights
+        out_degrees = batch.out_degrees
+
+        if batch.superstep == 0:
+            degrees = out_degrees[idx]
+            slots = concat_ranges(indptr[idx], degrees)
+            stream_seg = np.repeat(np.arange(k, dtype=np.int64), degrees)
+            not_self = targets[slots] != idx[stream_seg]
+            boundary = masked_segment_left_fold(
+                weights[slots], not_self, stream_seg, k
+            )
+            records = np.full((k, width), -1.0, dtype=np.float64)
+            records[:, 0] = 0.0
+            records[:, 1] = boundary
+            records[:, 2] = 1.0
+            records[:, 3] = idx.astype(np.float64)
+            rows = Ragged.from_lengths(
+                records.reshape(-1), np.full(k, width, dtype=np.int64)
+            )
+            batch.set_rows(idx, rows)
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(k))
+            batch.aggregate(TOTAL_AGGREGATOR, np.ones(k))
+            # Wire size of a one-member singleton message: 4 + (20 + 8).
+            batch.send_ragged_to_all_neighbors(
+                idx, rows, np.full(k, 32, dtype=np.int64)
+            )
+            return
+
+        # ------------------------------------------------ delivered records
+        in_data, in_indptr = batch.incoming_elements()
+        elem_starts = in_indptr[idx]
+        elem_lens = in_indptr[idx + 1] - elem_starts
+        rec_counts = elem_lens // width
+        values = batch.values
+        old_counts = values.lengths[idx] // width
+        halt_mask = rec_counts == 0
+        total_records = int(rec_counts.sum())
+
+        if total_records == 0:
+            batch.aggregate(TOTAL_AGGREGATOR, old_counts.astype(np.float64))
+            batch.vote_to_halt(np.flatnonzero(halt_mask))
+            return
+
+        received = in_data[concat_ranges(elem_starts, elem_lens)].reshape(-1, width)
+        rec_seg = np.repeat(np.arange(k, dtype=np.int64), rec_counts)
+        rec_members_int = received[:, 3:].astype(np.int64)
+        rec_counts_col = received[:, 2]
+        contains = (rec_members_int == idx[rec_seg][:, None]).any(axis=1)
+        extendable = ~contains & (rec_counts_col < v_max)
+
+        # ------------------------------------------------------- extensions
+        ext = np.flatnonzero(extendable)
+        num_ext = len(ext)
+        if num_ext:
+            ext_seg = rec_seg[ext]
+            ext_vertex = idx[ext_seg]
+            degrees = out_degrees[ext_vertex]
+            slots = concat_ranges(indptr[ext_vertex], degrees)
+            stream_t = targets[slots]
+            stream_w = weights[slots]
+            ext_members = received[ext, 3:]
+            ext_members_int = rec_members_int[ext]
+            in_members = np.zeros(len(stream_t), dtype=bool)
+            for j in range(v_max):
+                in_members |= stream_t == np.repeat(ext_members_int[:, j], degrees)
+            stream_seg = np.repeat(np.arange(num_ext, dtype=np.int64), degrees)
+            weight_to_members = masked_segment_left_fold(
+                stream_w, in_members, stream_seg, num_ext
+            )
+            outside = ~in_members & (stream_t != np.repeat(ext_vertex, degrees))
+            weight_to_outside = masked_segment_left_fold(
+                stream_w, outside, stream_seg, num_ext
+            )
+            ext_internal = received[ext, 0] + weight_to_members
+            shrunk = received[ext, 1] - weight_to_members
+            ext_boundary = np.where(shrunk > 0.0, shrunk, 0.0) + weight_to_outside
+            # Insert the vertex into the rank-sorted member slots.
+            member_ranks = np.where(
+                ext_members_int >= 0, str_rank[np.maximum(ext_members_int, 0)], n
+            )
+            insert_rank = str_rank[ext_vertex]
+            insert_pos = (member_ranks < insert_rank[:, None]).sum(axis=1)
+            ext_new_members = np.empty_like(ext_members)
+            vertex_col = ext_vertex.astype(np.float64)
+            for j in range(v_max):
+                shifted = ext_members[:, j - 1] if j else np.full(num_ext, -1.0)
+                ext_new_members[:, j] = np.where(
+                    j < insert_pos,
+                    ext_members[:, j],
+                    np.where(j == insert_pos, vertex_col, shifted),
+                )
+            ext_counts_per_vertex = np.bincount(ext_seg, minlength=k)
+        else:
+            ext_counts_per_vertex = np.zeros(k, dtype=np.int64)
+
+        # ------------------------------------------- candidate list assembly
+        # Scalar order per vertex: all received clusters first (delivery
+        # order), then the extensions in the order of the clusters that
+        # spawned them.
+        cand_counts = rec_counts + ext_counts_per_vertex
+        total = int(cand_counts.sum())
+        cand_offsets = np.cumsum(cand_counts) - cand_counts
+        rec_to = cand_offsets[rec_seg] + _positions_within(rec_counts)
+        cand_rec = np.empty((total, width), dtype=np.float64)
+        cand_contains = np.empty(total, dtype=bool)
+        cand_rec[rec_to] = received
+        cand_contains[rec_to] = contains
+        if num_ext:
+            ext_to = (
+                cand_offsets[ext_seg]
+                + rec_counts[ext_seg]
+                + _positions_within(ext_counts_per_vertex)
+            )
+            cand_rec[ext_to, 0] = ext_internal
+            cand_rec[ext_to, 1] = ext_boundary
+            cand_rec[ext_to, 2] = rec_counts_col[ext] + 1.0
+            cand_rec[ext_to, 3:] = ext_new_members
+            cand_contains[ext_to] = True
+        cand_seg = np.repeat(np.arange(k, dtype=np.int64), cand_counts)
+
+        # -------------------------------------------------- score + sorting
+        # The exact scalar expression of SemiCluster.score, term for term.
+        cand_count = cand_rec[:, 2]
+        normaliser = cand_count * (cand_count - 1.0) / 2.0
+        safe_norm = np.where(normaliser == 0.0, 1.0, normaliser)
+        score = np.where(
+            cand_count <= 1.0,
+            0.0,
+            (cand_rec[:, 0] - config.boundary_factor * cand_rec[:, 1]) / safe_norm,
+        )
+        members_int = cand_rec[:, 3:].astype(np.int64)
+        # Tie-break keys: member string ranks shifted to 1..n with 0 for
+        # padding, so a rank-prefix cluster sorts before its extensions --
+        # Python's shorter-tuple-first rule.  As many rank columns as fit
+        # are bit-packed into each int64 lexsort key (fields compare
+        # lexicographically, so the order is unchanged); this halves the
+        # number of stable sort passes, the hottest part of the fold.
+        rank_plus = np.where(
+            members_int >= 0, str_rank[np.maximum(members_int, 0)] + 1, 0
+        )
+        bits = max(1, int(n).bit_length())
+        per_key = max(1, 63 // bits)
+        packed = []
+        for j0 in range(0, v_max, per_key):
+            key = np.zeros(total, dtype=np.int64)
+            for j in range(j0, min(j0 + per_key, v_max)):
+                key = (key << bits) | rank_plus[:, j]
+            packed.append(key)
+        # lexsort: last key is primary.  Priority (vertex, -score, ranks).
+        order = np.lexsort(tuple(reversed(packed)) + (np.negative(score), cand_seg))
+        s_rec = cand_rec[order]
+        s_count = s_rec[:, 2]
+        s_contains = cand_contains[order]
+        # The sort is grouped by vertex (primary key), so segment offsets and
+        # per-element positions are unchanged.
+        position = _positions_within(cand_counts)
+
+        # ------------------------------------------------- forward the best
+        live_mask = ~halt_mask
+        send_sel = position < config.s_max
+        send_counts = np.minimum(cand_counts, config.s_max)
+        send_records = s_rec[send_sel]
+        member_totals = np.bincount(
+            cand_seg[send_sel], weights=s_count[send_sel], minlength=k
+        ).astype(np.int64)
+        senders = idx[live_mask]
+        sizes = 4 + 20 * send_counts[live_mask] + 8 * member_totals[live_mask]
+        payload = Ragged.from_lengths(
+            send_records.reshape(-1), send_counts[live_mask] * width
+        )
+        batch.send_ragged_to_all_neighbors(senders, payload, sizes)
+
+        # ------------------------------------- keep the best Cmax containing
+        cont_int = s_contains.astype(np.int64)
+        cumulative = np.cumsum(cont_int)
+        safe_offsets = np.minimum(cand_offsets, max(total - 1, 0))
+        seg_base = cumulative[safe_offsets] - cont_int[safe_offsets]
+        containing_rank = cumulative - np.repeat(seg_base, cand_counts)
+        keep_sel = s_contains & (containing_rank <= config.c_max)
+        new_counts = np.bincount(cand_seg[keep_sel], minlength=k)
+
+        # Update test: set(new_value) != set(value), on canonical record sets.
+        old_starts = values.offsets[:-1][idx]
+        old_lens = values.lengths[idx]
+        old_records = values.data[concat_ranges(old_starts, old_lens)].reshape(-1, width)
+        old_seg = np.repeat(np.arange(k, dtype=np.int64), old_counts)
+        new_records = s_rec[keep_sel]
+        new_seg = cand_seg[keep_sel]
+        old_u, old_u_seg, old_u_counts = segment_unique_records(old_records, old_seg, k)
+        new_u, new_u_seg, new_u_counts = segment_unique_records(new_records, new_seg, k)
+        count_match = old_u_counts == new_u_counts
+        aligned_new = count_match[new_u_seg]
+        aligned_old = count_match[old_u_seg]
+        mismatch_rows = ~np.all(new_u[aligned_new] == old_u[aligned_old], axis=1)
+        mismatched = (
+            np.bincount(new_u_seg[aligned_new][mismatch_rows], minlength=k) > 0
+        )
+        sets_equal = count_match & ~mismatched
+        updated = (new_counts > 0) & ~sets_equal & live_mask
+
+        if np.any(updated):
+            store = new_records[updated[new_seg]]
+            batch.set_rows(
+                idx[updated],
+                Ragged.from_lengths(store.reshape(-1), new_counts[updated] * width),
+            )
+
+        # -------------------------------------------- aggregates + halting
+        num_updates = int(np.count_nonzero(updated))
+        if num_updates:
+            batch.aggregate(UPDATES_AGGREGATOR, np.ones(num_updates))
+        kept_len = np.where(updated, new_counts, old_counts)
+        totals = np.where(
+            halt_mask, old_counts.astype(np.float64), np.maximum(kept_len, 1)
+        )
+        batch.aggregate(TOTAL_AGGREGATOR, totals)
+        if np.any(halt_mask):
+            batch.vote_to_halt(np.flatnonzero(halt_mask))
 
     # ------------------------------------------------------------ convergence
     def check_convergence(

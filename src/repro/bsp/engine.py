@@ -74,10 +74,15 @@ baseline the layout benchmark compares against).
 
 Algorithms with *variable-size* messages (semi-clustering, top-k ranking,
 neighborhood estimation) ride the **ragged message plane** instead: the same
-engine hooks, but payloads are offset-indexed ragged arrays (or batch-routed
-Python objects) and per-message byte sizes are reported at send time.  See
-:mod:`repro.bsp.ragged`; the dispatch between the two planes happens once per
-run in ``_build_batch_state`` based on the algorithm's ``batch_payload``.
+engine hooks, but payloads are offset-indexed ragged arrays (or numeric
+record rows, or batch-routed Python objects) and per-message byte sizes are
+reported at send time.  See :mod:`repro.bsp.ragged`; the dispatch between the
+planes happens once per run in ``_build_batch_state`` based on the
+algorithm's ``batch_payload``.  Semi-clustering's ``"object"`` kind has a
+numeric fast path (``EngineConfig.semicluster_numeric``, default on) that
+encodes semi-clusters as fixed-width numeric records so the whole fold runs
+as array kernels; ``semicluster_numeric=False`` keeps the per-vertex Python
+fold reachable as the differential baseline.
 
 Sent vs. delivered messages (combiner semantics)
 ------------------------------------------------
@@ -149,6 +154,14 @@ class EngineConfig:
         edge slices are contiguous, so routing and accounting run on slice
         arithmetic.  Set to False to keep the legacy gather-based batch
         plane (differential baseline; results are bit-identical either way).
+    semicluster_numeric:
+        When True (default) an ``"object"``-kind algorithm that provides the
+        numeric-record hooks (semi-clustering) runs its batch supersteps on
+        the numeric fast path (:class:`repro.bsp.ragged.ClusterRowsState`):
+        payloads are fixed-width float64 records and the per-vertex Python
+        fold disappears.  Set to False to keep the Python-object fold
+        (:class:`repro.bsp.ragged.ObjectState`) as the differential/benchmark
+        baseline; results are bit-identical either way.
     """
 
     num_workers: Optional[int] = None
@@ -160,6 +173,7 @@ class EngineConfig:
     partitioner: BasePartitioner = field(default_factory=HashPartitioner)
     vectorized: bool = True
     partition_native: bool = True
+    semicluster_numeric: bool = True
 
 
 class BSPEngine:

@@ -53,8 +53,15 @@ everything else rides the **ragged message plane** of
 Per payload kind: neighborhood estimation sends fixed-width FM-sketch rows
 (``"rows"``, OR-reduced at the destination), top-k ranking sends
 variable-length rank lists (``"ragged"`` numeric rows), and semi-clustering
-sends Python cluster-list objects (``"object"``, batch-routed, folded per
-vertex).
+sends semi-cluster lists (``"object"``).  The ``"object"`` kind has two
+interchangeable executions: by default the clusters travel as fixed-width
+*numeric records* riding the ``"ragged"`` delivery machinery (the numeric
+fast path, ``repro.bsp.ragged.ClusterRowsState``), and with
+``EngineConfig(semicluster_numeric=False)`` -- or for inputs the numeric
+encoder declines -- they travel as batch-routed Python objects folded per
+vertex (``ObjectState``).  Either way the *wire format* is what the byte
+counters report: ``4 + sum(20 + 8 * members)`` per message, exactly the
+scalar path's ``message_size``, never the padded in-memory record width.
 
 The partition-native layout (message routing as slice arithmetic)
 -----------------------------------------------------------------

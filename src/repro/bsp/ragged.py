@@ -25,10 +25,20 @@ attribute:
     scalar send order* (worker by worker, vertices in partition order,
     out-edges in adjacency order).
 
-``"object"`` -- :class:`ObjectState`
-    Arbitrary Python payloads (semi-cluster lists).  Routing, grouping and
-    the Table 1 feature counters are array operations; only the per-vertex
-    fold runs in Python (the hybrid the semi-clustering algorithm uses).
+``"object"`` -- :class:`ObjectState` / :class:`ClusterRowsState`
+    Arbitrary Python payloads (semi-cluster lists).  Two interchangeable
+    states implement the kind.  :class:`ObjectState` batch-routes the Python
+    objects and folds them per vertex in Python (the original hybrid).
+    :class:`ClusterRowsState` is the **numeric fast path**: when the
+    algorithm can encode its payloads as fixed-width numeric records
+    (semi-clusters become ``[internal, boundary, count, member ids...]``
+    rows) the whole superstep -- delivery, score recomputation, the sorted
+    top-``Smax``/``Cmax`` merge -- runs as array kernels on the ``"ragged"``
+    machinery, and no Python payload objects exist during the run.  The
+    engine picks the numeric state whenever the algorithm provides the
+    encoding hooks and ``EngineConfig.semicluster_numeric`` is left on;
+    ``semicluster_numeric=False`` keeps the object fold reachable as the
+    differential baseline.
 
 Counter semantics are identical to the scalar engine path: every send call
 reports per-message byte sizes, the local/remote split is classified against
@@ -178,6 +188,94 @@ def segment_unique_topk_desc(
     intra = np.arange(total, dtype=np.int64) - np.repeat(prefix, take)
     slots = np.repeat(ends - 1, take) - intra
     return Ragged.from_lengths(udata[slots], take)
+
+
+def segment_left_fold_sums(data: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment *sequential* float sums, bit-identical to a Python fold.
+
+    ``data`` concatenates the segments back to back; segment ``i`` occupies
+    ``data[offsets[i]:offsets[i] + lengths[i]]`` with ``offsets`` the
+    exclusive prefix sum of ``lengths``.  Returns, per segment, exactly the
+    value of ``acc = 0.0; for v in segment: acc += v`` -- a strict
+    left-to-right IEEE accumulation.  Neither ``np.sum`` nor
+    ``np.add.reduceat`` can be used for this: both reduce with pairwise /
+    multi-accumulator schemes whose rounding differs from the sequential
+    fold, which would break the engine's bit-identity contract with the
+    scalar path.
+
+    Implementation: segments are ordered by length (descending), and
+    iteration ``j`` adds the ``j``-th element of every segment that still has
+    one -- per segment the additions happen strictly in element order, while
+    each step is one vectorized gather + add over all live segments.  The
+    loop runs ``max(lengths)`` times, so cost is ``O(sum(lengths))`` work
+    plus one small Python iteration per distinct element position.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    k = len(lengths)
+    sums = np.zeros(k, dtype=np.float64)
+    total = int(lengths.sum())
+    if k == 0 or total == 0:
+        return sums
+    offsets = np.cumsum(lengths) - lengths
+    order = np.argsort(-lengths, kind="stable")
+    sorted_offsets = offsets[order]
+    sorted_lengths = lengths[order]
+    max_len = int(sorted_lengths[0])
+    # below[j] = number of segments with length <= j, so the segments still
+    # live at element position j are the sorted prefix of size k - below[j].
+    below = np.cumsum(np.bincount(sorted_lengths, minlength=max_len + 1))
+    acc = np.zeros(k, dtype=np.float64)
+    for j in range(max_len):
+        live = k - int(below[j])
+        acc[:live] = acc[:live] + data[sorted_offsets[:live] + j]
+    sums[order] = acc
+    return sums
+
+
+def masked_segment_left_fold(
+    values: np.ndarray, mask: np.ndarray, seg_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sequential per-segment sums of the ``mask``-selected ``values``.
+
+    ``seg_ids`` must be ascending (segments contiguous in stream order), so
+    compacting with ``mask`` preserves each segment's element order and the
+    result equals the scalar ``acc = 0.0; for v, keep in row: acc += v if
+    keep`` fold bit for bit.  Segments with no selected element sum to 0.0.
+    """
+    selected = values[mask]
+    lengths = np.bincount(seg_ids[mask], minlength=num_segments)
+    return segment_left_fold_sums(selected, lengths)
+
+
+def segment_unique_records(
+    records: np.ndarray, seg_ids: np.ndarray, num_segments: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonical per-segment record sets: lexicographically sorted + deduped.
+
+    ``records`` is a ``(m, width)`` float matrix; rows are grouped per
+    segment, sorted by all columns (a total order up to float ``==``
+    equality, so ``-0.0`` and ``0.0`` coalesce exactly like Python's
+    hash/eq do in a ``set``), and exact duplicates within a segment are
+    dropped.  Returns ``(unique_records, unique_seg_ids, counts)`` with
+    rows ordered by (segment, record key) -- two segments hold equal record
+    *sets* iff their counts match and their aligned rows compare equal,
+    which is how the numeric semi-clustering plane evaluates the scalar
+    path's ``set(new_value) != set(value)`` update test without building
+    Python sets.
+    """
+    m, width = records.shape
+    if m == 0:
+        return records, seg_ids, np.zeros(num_segments, dtype=np.int64)
+    keys = tuple(records[:, c] for c in reversed(range(width))) + (seg_ids,)
+    order = np.lexsort(keys)
+    rows = records[order]
+    segs = seg_ids[order]
+    keep = np.ones(m, dtype=bool)
+    keep[1:] = (segs[1:] != segs[:-1]) | np.any(rows[1:] != rows[:-1], axis=1)
+    unique_rows = rows[keep]
+    unique_segs = segs[keep]
+    counts = np.bincount(unique_segs, minlength=num_segments)
+    return unique_rows, unique_segs, counts
 
 
 def ragged_rows_equal(left: Ragged, right: Ragged) -> np.ndarray:
@@ -842,6 +940,75 @@ class ObjectState(_RaggedStateBase):
         return dict(zip(self.ids, self.values))
 
 
+# --------------------------------------------------- numeric object fast path
+class ClusterRowsContext(StreamBatchContext):
+    """Batch context for the numeric fast path of the ``"object"`` kind.
+
+    The payloads are fixed-width numeric *records* (one semi-cluster per
+    record) travelling flattened through the ``"ragged"`` delivery machinery,
+    so the full :class:`StreamBatchContext` surface applies: ``values`` is
+    the global ragged value store (row ``v`` holds vertex ``v``'s records,
+    flattened), ``incoming_elements()`` yields the delivered record stream in
+    exact scalar send order, ``set_rows`` stages value updates and
+    ``send_ragged_to_all_neighbors`` routes record blocks with explicit
+    wire-format byte sizes.  On top of that the context exposes the frozen
+    graph's CSR arrays -- the vectorized fold consumes adjacency directly
+    instead of going through per-vertex ``out_edges`` calls -- and a per-run
+    ``cache`` dict where the algorithm keeps run constants (for
+    semi-clustering: the record width and the string-rank permutation that
+    reproduces the scalar sort tie-break).
+    """
+
+    __slots__ = ()
+
+    @property
+    def edge_indptr(self) -> np.ndarray:
+        """CSR ``indptr`` of the run graph (edge slots of vertex ``i``)."""
+        return self._state.indptr
+
+    @property
+    def edge_targets(self) -> np.ndarray:
+        """CSR ``targets`` of the run graph (destination vertex indices)."""
+        return self._state.targets
+
+    @property
+    def edge_weights(self) -> np.ndarray:
+        """CSR ``weights`` of the run graph, aligned with ``edge_targets``."""
+        return self._state.graph.weights
+
+    @property
+    def cache(self) -> Dict[str, Any]:
+        """Per-run scratch space for algorithm-owned constants."""
+        return self._state.cache
+
+
+class ClusterRowsState(RaggedStreamState):
+    """Numeric record plane: the ``"object"`` kind without Python payloads.
+
+    Built instead of :class:`ObjectState` when the algorithm encodes its
+    payloads as fixed-width float64 records (see
+    ``SemiClustering.encode_numeric_object_plane``) and
+    ``EngineConfig.semicluster_numeric`` is on.  Everything below the
+    algorithm -- routing, stable per-destination delivery, counter and
+    delivered-bytes accounting -- is inherited unchanged from
+    :class:`RaggedStreamState`; byte sizes follow the algorithm's *wire
+    format* (reported per sender at send time), never the padded in-memory
+    record width, so every Table 1 feature matches the scalar path exactly.
+    Only value export differs: records decode back into the algorithm's
+    Python value objects once, at the end of the run.
+    """
+
+    context_cls = ClusterRowsContext
+
+    def __init__(self, run, values: Ragged, decode, cache: Dict[str, Any]) -> None:
+        super().__init__(run, values)
+        self._decode = decode
+        self.cache = cache
+
+    def export_values(self) -> Dict[VertexId, Any]:
+        return self._decode(self)
+
+
 # ------------------------------------------------------------------- factory
 def build_ragged_state(run) -> Optional[_RaggedStateBase]:
     """Build the ragged batch state for ``run``, or None when ineligible.
@@ -850,6 +1017,16 @@ def build_ragged_state(run) -> Optional[_RaggedStateBase]:
     combiner, or values that do not encode into the declared payload kind)
     silently falls back to the per-vertex scalar path, mirroring
     ``_VectorizedState.try_build``.
+
+    For the ``"object"`` kind there is a second, inner dispatch: when the
+    engine config leaves ``semicluster_numeric`` on and the algorithm
+    provides the numeric-record hooks (``encode_numeric_object_plane`` /
+    ``decode_numeric_object_values``), the numeric
+    :class:`ClusterRowsState` is built; if the encoder declines (string-id
+    rank collisions, oversized clusters, unencodable members) or the flag is
+    off, the Python-fold :class:`ObjectState` is used.  Both are
+    bit-identical to the scalar path, so the choice is purely a speed/
+    baseline trade-off.
     """
     algorithm = run.algorithm
     if not (
@@ -877,5 +1054,13 @@ def build_ragged_state(run) -> Optional[_RaggedStateBase]:
             return None
         return RaggedStreamState(run, encoded)
     if kind == "object":
+        encoder = getattr(algorithm, "encode_numeric_object_plane", None)
+        if getattr(run.engine_config, "semicluster_numeric", True) and callable(encoder):
+            built = encoder(run.batch_graph(), values, run.config)
+            if built is not None:
+                encoded, cache = built
+                return ClusterRowsState(
+                    run, encoded, algorithm.decode_numeric_object_values, cache
+                )
         return ObjectState(run, list(values))
     raise BSPError(f"unknown batch_payload kind {kind!r}")

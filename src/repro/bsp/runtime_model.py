@@ -13,6 +13,14 @@ the paper:
   PREDIcT's regression never sees a perfectly linear system;
 * the setup/read/write phases are modelled from graph size.
 
+The message and byte counters fed in here are *wire-format* quantities,
+independent of how the engine represents payloads internally: a semi-cluster
+message costs ``4 + sum(20 + 8 * members)`` bytes whether it travelled as a
+Python tuple on the scalar path, a batch-routed object, or a padded numeric
+record row on the numeric fast path (the padding never reaches the
+counters).  That invariant is what lets the differential suite compare
+simulated runtimes across all engine paths with ``==``.
+
 PREDIcT never calls into this module: it only sees the resulting
 (features, runtime) observations.
 """

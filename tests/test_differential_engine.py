@@ -312,6 +312,86 @@ def test_scalar_fallback_on_frozen_graph(diff_engine, algorithm_name, label, bui
     assert_profiles_identical(scalar, fallback)
 
 
+# -------------------------------------------- numeric semi-clustering plane
+SEMICLUSTER_GRAPHS = [GRAPH_POOL[2], GRAPH_POOL[8], GRAPH_POOL[16], GRAPH_POOL[21]]
+
+
+@pytest.mark.parametrize(
+    "label,builder", SEMICLUSTER_GRAPHS, ids=[l for l, _ in SEMICLUSTER_GRAPHS]
+)
+def test_semicluster_numeric_equals_object_plane(diff_engine, label, builder):
+    """The numeric record plane and the Python-object fold agree exactly.
+
+    The registry-wide matrix above already pins numeric-vs-scalar (the
+    numeric plane is the default); this pins the two ``"object"``-kind
+    planes against each other so ``semicluster_numeric=False`` remains a
+    valid differential baseline.
+    """
+    graph = builder()
+    config, max_supersteps = algorithm_settings("semi-clustering")
+
+    def run(numeric: bool):
+        return diff_engine.run(
+            graph.freeze(),
+            algorithm_by_name("semi-clustering"),
+            config,
+            EngineConfig(
+                num_workers=4, max_supersteps=max_supersteps, runtime_seed=7,
+                collect_vertex_values=True, semicluster_numeric=numeric,
+            ),
+        )
+
+    assert_profiles_identical(run(False), run(True))
+
+
+def test_semicluster_numeric_plane_is_actually_taken(diff_engine):
+    """Guard against silent fallback to the object fold.
+
+    The numeric plane never builds ``SemiCluster`` objects during
+    supersteps, so trapping the shared Python fold helper proves the run
+    stayed on the record kernels end to end.
+    """
+    from repro.algorithms.semi_clustering import SemiClustering
+
+    class Trap(SemiClustering):
+        def _fold_vertex(self, *args, **kwargs):  # pragma: no cover - trap
+            raise AssertionError("Python cluster fold called on the numeric plane")
+
+    graph = generators.preferential_attachment(150, out_degree=4, seed=9).freeze()
+    config, max_supersteps = algorithm_settings("semi-clustering")
+    result = diff_engine.run(
+        graph, Trap(), config,
+        EngineConfig(num_workers=4, max_supersteps=max_supersteps, runtime_seed=1),
+    )
+    assert result.num_iterations > 1
+
+
+def test_semicluster_numeric_declines_on_string_id_collision(diff_engine):
+    """Ids whose str() forms collide fall back to the object fold, correctly.
+
+    The numeric plane reproduces the scalar sort tie-break
+    (``sorted(map(str, members))``) through a per-vertex string rank, which
+    is only a total order when all ``str(id)`` values are distinct.  A graph
+    mixing the int ``0`` and the string ``"0"`` must therefore decline the
+    encoding -- and still match the scalar path through the object fold.
+    """
+    from repro.graph.digraph import DiGraph
+
+    graph = DiGraph(name="collide")
+    vertices = [0, "0", 1, "2", 3]
+    for vertex in vertices:
+        graph.add_vertex(vertex)
+    for i, source in enumerate(vertices):
+        graph.add_edge(source, vertices[(i + 1) % len(vertices)], 1.0 + i)
+        graph.add_edge(source, vertices[(i + 2) % len(vertices)], 2.0)
+    config, max_supersteps = algorithm_settings("semi-clustering")
+    scalar, vectorized = run_both_paths(
+        diff_engine, graph, lambda: algorithm_by_name("semi-clustering"), config,
+        max_supersteps=max_supersteps, num_workers=2,
+    )
+    assert_profiles_identical(scalar, vectorized)
+
+
 @pytest.mark.parametrize("label,builder", GRAPH_POOL, ids=GRAPH_IDS)
 def test_pagerank_with_combiner(diff_engine, label, builder):
     graph = builder()

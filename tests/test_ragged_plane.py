@@ -23,7 +23,10 @@ from repro.bsp.engine import BSPEngine, EngineConfig
 from repro.bsp.ragged import (
     Ragged,
     build_ragged_state,
+    masked_segment_left_fold,
     ragged_rows_equal,
+    segment_left_fold_sums,
+    segment_unique_records,
     segment_unique_topk_desc,
 )
 from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
@@ -87,6 +90,142 @@ class TestRaggedRowsEqual:
         left = Ragged.from_rows([(1.0, 2.0), (3.0,), (), (5.0,)], dtype=np.float64)
         right = Ragged.from_rows([(1.0, 2.0), (4.0,), (), (5.0, 6.0)], dtype=np.float64)
         assert ragged_rows_equal(left, right).tolist() == [True, False, True, False]
+
+
+class TestSegmentLeftFoldSums:
+    def test_matches_python_sequential_fold_bit_for_bit(self):
+        # The whole point of the kernel: np.sum's pairwise reduction rounds
+        # differently from a sequential Python fold, and the numeric
+        # semi-clustering plane needs the *scalar* semantics exactly.
+        rng = make_rng(7)
+        for _ in range(25):
+            lengths = rng.integers(0, 60, size=rng.integers(1, 40)).astype(np.int64)
+            data = rng.random(int(lengths.sum())) * 3.0
+            sums = segment_left_fold_sums(data, lengths)
+            offset = 0
+            for i, length in enumerate(lengths.tolist()):
+                acc = 0.0
+                for value in data[offset : offset + length].tolist():
+                    acc += value
+                assert acc == sums[i]
+                offset += length
+
+    def test_empty_segments_sum_to_zero(self):
+        sums = segment_left_fold_sums(np.empty(0), np.zeros(3, dtype=np.int64))
+        assert sums.tolist() == [0.0, 0.0, 0.0]
+
+    def test_masked_variant_preserves_element_order(self):
+        values = np.array([1e16, 1.0, -1e16, 2.0, 0.5, 4.0])
+        seg = np.array([0, 0, 0, 1, 1, 1])
+        mask = np.array([True, True, True, True, False, True])
+        sums = masked_segment_left_fold(values, mask, seg, 3)
+        assert sums[0] == ((0.0 + 1e16) + 1.0) + -1e16  # order-sensitive
+        assert sums[1] == 2.0 + 4.0
+        assert sums[2] == 0.0
+
+
+class TestSegmentUniqueRecords:
+    def test_dedups_within_segments_only(self):
+        records = np.array(
+            [[1.0, 2.0], [1.0, 2.0], [3.0, 0.0], [1.0, 2.0]], dtype=np.float64
+        )
+        seg = np.array([0, 0, 0, 1])
+        unique, unique_seg, counts = segment_unique_records(records, seg, 3)
+        assert counts.tolist() == [2, 1, 0]
+        assert unique_seg.tolist() == [0, 0, 1]
+        assert unique.tolist() == [[1.0, 2.0], [3.0, 0.0], [1.0, 2.0]]
+
+    def test_rows_sorted_canonically_for_aligned_comparison(self):
+        left = np.array([[2.0, 1.0], [1.0, 1.0]])
+        right = np.array([[1.0, 1.0], [2.0, 1.0]])
+        seg = np.array([0, 0])
+        unique_l, _, _ = segment_unique_records(left, seg, 1)
+        unique_r, _, _ = segment_unique_records(right, seg, 1)
+        # Same record *set*, different input order -> identical canon form.
+        assert np.array_equal(unique_l, unique_r)
+
+    def test_signed_zeros_coalesce_like_python_sets(self):
+        records = np.array([[0.0, 5.0], [-0.0, 5.0]])
+        seg = np.array([0, 0])
+        _, _, counts = segment_unique_records(records, seg, 1)
+        assert counts.tolist() == [1]
+
+
+class TestNumericObjectCodec:
+    """The semi-clustering record codec, exercised directly.
+
+    Engine runs always start from empty cluster tuples, so the non-empty
+    branch of the encoder (warm-started values, e.g. an ``initial_value``
+    override) is pinned here rather than through a full run.
+    """
+
+    def _graph(self):
+        return generators.erdos_renyi(10, 0.3, seed=4).freeze()
+
+    def test_encode_decode_round_trip_with_nonempty_values(self):
+        from repro.algorithms.semi_clustering import SemiCluster
+
+        graph = self._graph()
+        algorithm = SemiClustering()
+        config = SemiClusteringConfig(v_max=4)
+        ids = graph.ids
+        full = SemiCluster(frozenset({ids[0], ids[3], ids[7]}), 1.5, 2.5)
+        single = SemiCluster(frozenset({ids[2]}), 0.0, 1.0)
+        values = [() for _ in ids]
+        values[0] = (full, single)
+        values[5] = (full,)
+        built = algorithm.encode_numeric_object_plane(graph, values, config)
+        assert built is not None
+        encoded, cache = built
+        assert cache["width"] == config.v_max + 3
+        assert encoded.lengths.tolist()[0] == 2 * cache["width"]
+
+        class FakeState:
+            pass
+
+        state = FakeState()
+        state.cache = cache
+        state.ids = ids
+        state.values = encoded
+        decoded = algorithm.decode_numeric_object_values(state)
+        assert decoded == dict(zip(ids, values))
+
+    def test_encode_declines_oversized_clusters_and_vmax(self):
+        from repro.algorithms.semi_clustering import SemiCluster
+
+        graph = self._graph()
+        algorithm = SemiClustering()
+        ids = graph.ids
+        values = [() for _ in ids]
+        values[1] = (SemiCluster(frozenset(ids[:3]), 1.0, 1.0),)
+        # A cluster with more members than v_max cannot be padded.
+        assert (
+            algorithm.encode_numeric_object_plane(
+                graph, values, SemiClusteringConfig(v_max=2)
+            )
+            is None
+        )
+        # v_max beyond the padding ceiling declines regardless of values.
+        assert (
+            algorithm.encode_numeric_object_plane(
+                graph, [() for _ in ids], SemiClusteringConfig(v_max=1000)
+            )
+            is None
+        )
+
+    def test_encode_declines_unknown_members(self):
+        from repro.algorithms.semi_clustering import SemiCluster
+
+        graph = self._graph()
+        algorithm = SemiClustering()
+        values = [() for _ in graph.ids]
+        values[0] = (SemiCluster(frozenset({"not-a-vertex"}), 0.0, 0.0),)
+        assert (
+            algorithm.encode_numeric_object_plane(
+                graph, values, SemiClusteringConfig(v_max=4)
+            )
+            is None
+        )
 
 
 class _RunRecorder:
