@@ -36,6 +36,7 @@ bench-smoke:
 		benchmarks/test_bench_ragged_fastpath.py \
 		benchmarks/test_bench_partition_layout.py \
 		benchmarks/test_bench_semicluster_fastpath.py \
+		benchmarks/test_bench_parallel_backend.py \
 		-q -s
 
 docs-check:

@@ -162,6 +162,24 @@ class EngineConfig:
         fold disappears.  Set to False to keep the Python-object fold
         (:class:`repro.bsp.ragged.ObjectState`) as the differential/benchmark
         baseline; results are bit-identical either way.
+    backend:
+        ``"inline"`` (default) runs supersteps in this process.
+        ``"process"`` executes them on the shared-memory multiprocess
+        backend (:mod:`repro.bsp.parallel`): each worker process owns a
+        contiguous block of BSP workers of the partition-native layout and
+        message reduction is owner-sharded -- results stay bit-identical to
+        the inline backend.  Requires a frozen graph, a batch-capable
+        algorithm and the partition-native layout; ineligible runs fall back
+        to the inline loop (same results).
+    processes:
+        OS processes of the ``"process"`` backend.  Defaults to
+        ``min(num_workers, available cpus)``; always clamped to
+        ``num_workers``.  Independent of the *simulated* worker count: the
+        Table 1 profiles describe the modelled cluster either way.
+    process_start_method:
+        ``multiprocessing`` start method of the worker pool (default
+        ``"spawn"``: slowest to start but safe everywhere; pools are
+        persistent and cached on the engine, so the cost is paid once).
     """
 
     num_workers: Optional[int] = None
@@ -174,6 +192,9 @@ class EngineConfig:
     vectorized: bool = True
     partition_native: bool = True
     semicluster_numeric: bool = True
+    backend: str = "inline"
+    processes: Optional[int] = None
+    process_start_method: str = "spawn"
 
 
 class BSPEngine:
@@ -186,6 +207,29 @@ class BSPEngine:
     ) -> None:
         self.cluster = cluster or ClusterSpec()
         self.cost_profile = cost_profile or DEFAULT_PROFILE
+        # Process-backend pools, keyed by (processes, start_method).  Pools
+        # are persistent: sweeps and test suites reuse the same worker
+        # processes across runs instead of paying interpreter start-up per
+        # run.  close_pools() shuts them down explicitly; the processes are
+        # daemonic, so an un-closed pool cannot outlive the interpreter.
+        self._pools: Dict[tuple, Any] = {}
+
+    def process_pool(self, processes: int, start_method: str = "spawn"):
+        """The cached persistent worker pool for the process backend."""
+        from repro.bsp.parallel.pool import ProcessWorkerPool
+
+        key = (processes, start_method)
+        pool = self._pools.get(key)
+        if pool is None or not pool.alive:
+            pool = ProcessWorkerPool(processes, start_method)
+            self._pools[key] = pool
+        return pool
+
+    def close_pools(self) -> None:
+        """Shut down every cached process-backend pool."""
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
 
     # -------------------------------------------------------------- run loop
     def run(
@@ -200,6 +244,11 @@ class BSPEngine:
         config = config if config is not None else algorithm.default_config()
         algorithm.validate_config(config)
 
+        if engine_config.backend not in ("inline", "process"):
+            raise BSPError(
+                f"unknown execution backend {engine_config.backend!r}; "
+                "available: 'inline', 'process'"
+            )
         if graph.num_vertices == 0:
             raise BSPError("cannot execute an algorithm on an empty graph")
 
@@ -381,10 +430,25 @@ class _VectorizedState(BatchPlane):
         self._ev_pay = []
         self._ev_len = []
         self._ev_espan = []
+        full_tiled = tiled and spans[0][0] == 0 and spans[-1][1] == len(self.targets)
+        self._fold_stream(dest, payloads, use_in_degrees=full_tiled)
+
+    def _fold_stream(
+        self, dest: np.ndarray, payloads: np.ndarray, use_in_degrees: bool = False
+    ) -> None:
+        """Fold one pre-expanded edge stream into the next-superstep buffers.
+
+        ``dest[i]`` / ``payloads[i]`` describe one message; the stream must
+        be in scalar send order.  Factored out of :meth:`_commit_superstep`
+        so the process backend's owner-sharded reduction
+        (:mod:`repro.bsp.parallel.protocol`) folds its range-filtered
+        sub-stream through the *same* kernels -- one implementation of the
+        accumulation order either way.  ``use_in_degrees`` short-circuits the
+        destination counts with the cached in-degrees in the full-graph
+        steady state (PageRank: every vertex sends along every edge).
+        """
         n = len(self.count_next)
-        if tiled and spans[0][0] == 0 and spans[-1][1] == len(self.targets):
-            # Full-graph steady state (PageRank: every vertex sends along
-            # every edge): the destination counts are the cached in-degrees.
+        if use_in_degrees:
             self.count_next += self.graph.in_degrees
         else:
             self.count_next += np.bincount(dest, minlength=n)
@@ -593,6 +657,21 @@ class _EngineRun:
         # Decide scalar vs. vectorized execution once per run.
         self._vector = _build_batch_state(self)
 
+        # The process backend shards batch-plane supersteps over a pool of
+        # OS worker processes (see repro.bsp.parallel).  It needs the
+        # partition-native layout (contiguous per-worker vertex ranges are
+        # the shard boundaries); any ineligible run -- scalar fallback,
+        # unfrozen graph, legacy gather layout -- executes inline instead,
+        # with identical results.
+        if (
+            engine_config.backend == "process"
+            and self._vector is not None
+            and self._vector.worker_offsets is not None
+        ):
+            from repro.bsp.parallel.pool import run_process_backend
+
+            return run_process_backend(self, master, phase_times, original_graph_name)
+
         iterations: List[IterationProfile] = []
         convergence_history: List[float] = []
         converged = False
@@ -694,30 +773,45 @@ class _EngineRun:
         )
         return buffered_messages, self._next_buffered_bytes.get(worker.worker_id, 0)
 
-    def _check_memory(self) -> None:
+    def _check_memory_batch(
+        self, buffered_messages: np.ndarray, buffered_bytes: np.ndarray
+    ) -> None:
+        """Feed per-worker delivered arrays to the memory model.
+
+        Shared by the inline batch path (arrays from the plane's
+        ``buffered_all``) and the process backend (arrays assembled from the
+        workers' ``reduced`` reports) so the accounting formula exists once.
+        """
         if self._worker_edge_counts is None:
             # Constant per run: one bincount over the degree array (or pure
             # slice arithmetic on a partition-native layout).
             self._worker_edge_counts = self.partitioning.worker_outbound_edges_array(
                 self.graph
             )
+        vertex_counts = np.asarray(
+            self.partitioning.worker_vertex_counts(), dtype=np.int64
+        )
+        estimates = self.memory_model.estimate_batch(
+            num_vertices=vertex_counts,
+            num_edges=self._worker_edge_counts,
+            state_bytes=vertex_counts * 64,
+            buffered_messages=buffered_messages,
+            buffered_message_bytes=buffered_bytes,
+        )
+        self.memory_model.check_batch(estimates)
+
+    def _check_memory(self) -> None:
         if self._vector is not None:
             # Batch path: the plane reports delivered counts/bytes for all
             # workers at once (segment sums over the worker boundaries) and
             # the memory model consumes the arrays directly.
             buffered_messages, buffered_bytes = self._vector.buffered_all()
-            vertex_counts = np.asarray(
-                self.partitioning.worker_vertex_counts(), dtype=np.int64
-            )
-            estimates = self.memory_model.estimate_batch(
-                num_vertices=vertex_counts,
-                num_edges=self._worker_edge_counts,
-                state_bytes=vertex_counts * 64,
-                buffered_messages=buffered_messages,
-                buffered_message_bytes=buffered_bytes,
-            )
-            self.memory_model.check_batch(estimates)
+            self._check_memory_batch(buffered_messages, buffered_bytes)
             return
+        if self._worker_edge_counts is None:
+            self._worker_edge_counts = self.partitioning.worker_outbound_edges_array(
+                self.graph
+            )
         for worker in self.workers:
             buffered_messages, buffered_bytes = self._buffered_for(worker)
             estimate = self.memory_model.estimate(

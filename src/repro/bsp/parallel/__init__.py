@@ -1,0 +1,36 @@
+"""Shared-memory multiprocess execution backend for the BSP engine.
+
+``EngineConfig(backend="process")`` executes a batch-plane run's supersteps
+on true OS-process parallelism: each worker process owns a contiguous block
+of BSP workers of the partition-native layout (its vertex range and CSR edge
+slice), maps the frozen graph zero-copy from a :class:`SharedCSR` shared
+memory export, and exchanges per-superstep send streams through
+shared-memory arenas.  Message reduction is *owner-computes*: every process
+folds exactly the sub-stream addressed to its range, in the global send
+order, so counters, vertex values, aggregates and simulated runtimes are
+bit-identical to the inline backend (``backend="inline"``, the default).
+
+Package layout:
+
+* :mod:`~repro.bsp.parallel.shared_csr` -- shared-memory graph export and
+  the grow-only stream arenas (teardown contract included);
+* :mod:`~repro.bsp.parallel.protocol` -- the stream wire format and the
+  order-preserving owner reduction;
+* :mod:`~repro.bsp.parallel.worker` -- the worker-process superstep loop;
+* :mod:`~repro.bsp.parallel.pool` -- the persistent process pool and the
+  master-side run driver.
+
+See ``docs/ARCHITECTURE.md`` ("Execution backends") for the determinism
+argument and the shared-memory lifecycle.
+"""
+
+from repro.bsp.parallel.pool import ProcessWorkerPool, run_process_backend
+from repro.bsp.parallel.shared_csr import SharedArena, SharedCSR, SharedCSRHandle
+
+__all__ = [
+    "ProcessWorkerPool",
+    "SharedArena",
+    "SharedCSR",
+    "SharedCSRHandle",
+    "run_process_backend",
+]

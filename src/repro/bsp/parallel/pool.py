@@ -1,0 +1,283 @@
+"""Master side of the shared-memory execution backend.
+
+:class:`ProcessWorkerPool` owns the persistent worker processes (spawn-safe
+by default: children re-import the code, nothing relies on forked state) and
+the pipes to them.  A pool outlives individual engine runs -- experiment
+sweeps and the differential suite reuse one pool for every run, paying the
+interpreter start-up cost once; :meth:`BSPEngine.process_pool
+<repro.bsp.engine.BSPEngine.process_pool>` caches pools per
+``(processes, start_method)``.
+
+:func:`run_process_backend` drives one engine execution over the pool.  It
+is the process-backend twin of the superstep loop in
+``_EngineRun.execute`` -- the master keeps every responsibility that defines
+the run's observable profile (runtime model and its seeded noise stream,
+aggregator folds in worker order, memory checks, the
+:class:`~repro.bsp.master.Master` stop decision), while compute and message
+reduction run sharded in the workers.  Both loops must stay semantically
+identical; ``tests/test_parallel_backend.py`` enforces it field by field.
+
+Worker-to-process mapping: BSP workers are split into ``processes``
+contiguous, ascending blocks, so each process owns a contiguous vertex range
+of the partition-native layout and stream order concatenates back to the
+inline send order.  The simulated cluster keeps ``num_workers`` workers
+regardless of the process count -- Table 1 profiles describe the modelled
+cluster, not the host machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bsp.counters import IterationProfile
+from repro.bsp.parallel.protocol import export_plane_init, paste_values, plane_kind
+from repro.bsp.parallel.shared_csr import SharedCSR
+from repro.bsp.parallel.worker import worker_main
+from repro.bsp.result import RunResult
+from repro.exceptions import BSPError
+
+
+class ProcessWorkerPool:
+    """Persistent pool of worker processes for the process backend."""
+
+    def __init__(self, processes: int, start_method: str = "spawn") -> None:
+        if processes < 1:
+            raise BSPError(f"process pool needs at least one process, got {processes}")
+        self.processes = processes
+        self.start_method = start_method
+        context = multiprocessing.get_context(start_method)
+        self._procs = []
+        self._conns = []
+        self.alive = True
+        try:
+            for index in range(processes):
+                parent_conn, child_conn = context.Pipe()
+                proc = context.Process(
+                    target=worker_main,
+                    args=(child_conn, index),
+                    daemon=True,
+                    name=f"repro-bsp-worker-{index}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- messaging
+    def send(self, index: int, message) -> None:
+        """Send ``message`` to process ``index``."""
+        self._conns[index].send(message)
+
+    def broadcast(self, message) -> None:
+        """Send ``message`` to every process."""
+        for conn in self._conns:
+            conn.send(message)
+
+    def receive_all(self, expected_tag: str) -> List[tuple]:
+        """One ``expected_tag`` message per process, ordered by process index.
+
+        A child that reports an ``error`` (or dies) fails the run: the
+        formatted child traceback is re-raised here as a :class:`BSPError`
+        and the pool is closed -- sibling processes may be blocked
+        mid-superstep, so the run state is unrecoverable by design.
+        """
+        messages: List[Optional[tuple]] = [None] * self.processes
+        for conn in self._conns:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError) as exc:
+                self._fail()
+                raise BSPError("a worker process died mid-run") from exc
+            if message[0] == "error":
+                self._fail()
+                raise BSPError(
+                    f"worker process {message[1]} failed:\n{message[2]}"
+                )
+            if message[0] != expected_tag:
+                self._fail()
+                raise BSPError(
+                    f"protocol error: expected {expected_tag!r}, got {message[0]!r}"
+                )
+            messages[message[1]] = message
+        return messages  # type: ignore[return-value]
+
+    def _fail(self) -> None:
+        """Tear the pool down after a protocol failure.
+
+        Surviving workers may be blocked mid-superstep waiting for a reply;
+        ``abort`` unblocks them onto their command loop first, so ``close``'s
+        shutdown message is read as a command (clean exit) rather than as a
+        bogus protocol reply that would only die at the join timeout.
+        """
+        self.abort()
+        self.close()
+
+    # -------------------------------------------------------------- lifecycle
+    def abort(self) -> None:
+        """Best-effort unblock of children waiting on a reply."""
+        for conn in self._conns:
+            try:
+                conn.send(("abort",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        """Shut the pool down; blocks briefly, then terminates stragglers."""
+        if not self.alive:
+            return
+        self.alive = False
+        for conn in self._conns:
+            try:
+                conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - hung child guard
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+
+def available_cores() -> int:
+    """CPU cores this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def default_process_count(num_workers: int) -> int:
+    """Processes used when ``EngineConfig.processes`` is None."""
+    return max(1, min(num_workers, available_cores()))
+
+
+def run_process_backend(run, master, phase_times, original_graph_name: str) -> RunResult:
+    """Execute ``run``'s superstep loop on the process pool.
+
+    ``run`` arrives with its batch plane built (``run._vector``) on the
+    partition-native layout; this function mirrors the inline loop of
+    ``_EngineRun.execute`` with compute and reduction delegated to the pool.
+    """
+    engine_config = run.engine_config
+    plane = run._vector
+    kind = plane_kind(plane)
+    num_workers = run.num_workers
+    processes = engine_config.processes or default_process_count(num_workers)
+    processes = max(1, min(int(processes), num_workers))
+    pool = run.engine.process_pool(processes, engine_config.process_start_method)
+
+    graph = run.batch_graph()
+    offsets = np.asarray(graph.partition_layout.offsets, dtype=np.int64)
+    blocks = np.array_split(np.arange(num_workers, dtype=np.int64), processes)
+    shared = SharedCSR.export(graph)
+    iterations: List[IterationProfile] = []
+    convergence_history: List[float] = []
+    converged = False
+    try:
+        setup = {
+            "graph": shared.handle,
+            "offsets": offsets,
+            "num_workers": num_workers,
+            "algorithm": run.algorithm,
+            "config": run.config,
+            "engine_config": engine_config,
+            "plane": export_plane_init(plane, kind),
+            "kind": kind,
+        }
+        for index, block in enumerate(blocks):
+            pool.send(index, ("init", {
+                **setup, "worker_block": (int(block[0]), int(block[-1]) + 1),
+            }))
+
+        for superstep in range(engine_config.max_supersteps):
+            run._begin_superstep()
+            computed = pool.receive_all("computed")
+            tables = []
+            for message in computed:  # process order == ascending worker blocks
+                _, _, counters, aggregator_events, sent, table = message
+                for worker_counters in counters:
+                    run.workers[worker_counters.worker_id].counters = worker_counters
+                for name, contributions in aggregator_events:
+                    run.registry.contribute_many(name, contributions)
+                run._next_message_count += sent
+                tables.append(table)
+            pool.broadcast(("table", tables))
+
+            reduced = pool.receive_all("reduced")
+            active_next = 0
+            delivered_messages = np.zeros(num_workers, dtype=np.int64)
+            delivered_bytes = np.zeros(num_workers, dtype=np.int64)
+            for message, block in zip(reduced, blocks):
+                _, _, block_active, delivered = message
+                active_next += block_active
+                for worker_id, (messages_, bytes_) in zip(block.tolist(), delivered):
+                    delivered_messages[worker_id] = messages_
+                    delivered_bytes[worker_id] = bytes_
+            if engine_config.enforce_memory:
+                run._check_memory_batch(delivered_messages, delivered_bytes)
+
+            worker_counters = [run.workers[w].counters for w in range(num_workers)]
+            runtime, critical_worker = run.runtime_model.superstep_time(worker_counters)
+            aggregates = run.registry.barrier()
+            decision = master.after_superstep(
+                superstep, aggregates, active_next, run._next_message_count
+            )
+            profile = IterationProfile(
+                superstep=superstep,
+                worker_counters=worker_counters,
+                critical_worker=critical_worker,
+                runtime=runtime,
+                barrier_time=run.engine.cost_profile.barrier_overhead,
+                convergence_metric=decision.convergence_metric,
+                aggregates=aggregates,
+            )
+            iterations.append(profile)
+            if decision.convergence_metric is not None:
+                convergence_history.append(decision.convergence_metric)
+
+            pool.broadcast(("continue", decision.stop, aggregates))
+            if decision.stop:
+                converged = decision.converged
+                break
+
+        values_messages = pool.receive_all("values")
+        paste_values(plane, kind, [message[2] for message in values_messages])
+        run.values = plane.export_values()
+    except Exception:
+        # Children may be blocked mid-protocol; the pool is not salvageable.
+        pool.abort()
+        pool.close()
+        raise
+    finally:
+        shared.close()
+        shared.unlink()
+
+    phase_times.superstep = sum(profile.runtime for profile in iterations)
+    phase_times.write = run.runtime_model.write_time(
+        run.graph.num_vertices, run.num_workers
+    )
+    vertex_values = dict(run.values) if engine_config.collect_vertex_values else None
+    return RunResult(
+        algorithm=run.algorithm.name,
+        graph_name=original_graph_name,
+        num_vertices=run.graph.num_vertices,
+        num_edges=run.graph.num_edges,
+        num_workers=run.num_workers,
+        iterations=iterations,
+        phase_times=phase_times,
+        converged=converged,
+        convergence_history=convergence_history,
+        vertex_values=vertex_values,
+        config=run.algorithm.config_dict(run.config),
+    )

@@ -1,0 +1,441 @@
+"""Wire protocol of the process backend: streams, reduction, value export.
+
+One execution model, four payload kinds.  Every superstep each worker
+process:
+
+1. runs the inline engine's per-range batch kernels for the workers it owns,
+   which buffers *send events* on its (process-local) batch plane exactly as
+   the inline path would;
+2. :func:`extract_stream`\\ s those events into flat arrays packed into its
+   shared-memory arena -- the stream preserves scalar send order (workers in
+   id order, events in call order, edges in adjacency order);
+3. after the exchange barrier, :func:`reduce_streams` replays *every*
+   process's stream filtered to the vertex range this process owns.
+
+The bit-identity argument is the same one the inline batch planes make,
+applied once more:
+
+* filtering a stream by destination preserves the relative order of the
+  surviving elements, and per-destination reductions only ever see elements
+  addressed to that destination -- so folding the filtered concatenation
+  (process 0's stream, then process 1's, ...) accumulates each destination's
+  messages in exactly the global stream order the single-process barrier
+  fold uses;
+* processes own *contiguous, ascending* worker blocks, so concatenating
+  their streams in process order reproduces the inline worker-by-worker send
+  order;
+* integer counters and byte sums are exact in any order; float message sums
+  ride the same ``np.bincount`` sequential accumulation as the inline fold
+  (:meth:`_VectorizedState._fold_stream`); ``min`` / ``bitwise_or``
+  reductions are commutative and exact.
+
+The owner-side replay injects the filtered stream back into the plane's own
+event buffers and reuses the plane's *unmodified* commit/advance kernels, so
+there is exactly one implementation of every reduction in the codebase.
+
+``tests/test_parallel_backend.py`` pins the equivalence run-for-run against
+the inline engine across every registry algorithm.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bsp.parallel.shared_csr import ArenaReader, SharedArena, StreamHandle
+from repro.bsp.ragged import (
+    ClusterRowsState,
+    ObjectState,
+    Ragged,
+    RaggedStreamState,
+    RowReduceState,
+)
+from repro.exceptions import BSPError
+
+KIND_SCALAR = "scalar"
+KIND_ROWS = "rows"
+KIND_RAGGED = "ragged"
+KIND_CLUSTER = "cluster-rows"
+KIND_OBJECT = "object"
+
+#: Kinds whose delivered counts/bytes accrue at send time (the ragged core):
+#: the owner re-derives both from the filtered streams, so the sender-side
+#: contributions are zeroed before the replay.
+_RAGGED_KINDS = (KIND_ROWS, KIND_RAGGED, KIND_CLUSTER, KIND_OBJECT)
+
+
+def plane_kind(plane) -> str:
+    """The wire kind of a batch plane (also the child/master sanity token)."""
+    from repro.bsp.engine import _VectorizedState
+
+    if isinstance(plane, _VectorizedState):
+        return KIND_SCALAR
+    if isinstance(plane, RowReduceState):
+        return KIND_ROWS
+    if isinstance(plane, ClusterRowsState):
+        return KIND_CLUSTER
+    if isinstance(plane, RaggedStreamState):
+        return KIND_RAGGED
+    if isinstance(plane, ObjectState):
+        return KIND_OBJECT
+    raise BSPError(f"no process-backend wire kind for plane {type(plane).__name__}")
+
+
+class ScalarStreamCache:
+    """Per-run steady-state caches of the scalar kind's stream protocol.
+
+    Iterative workloads send along the *same* edges superstep after
+    superstep (PageRank: every vertex with out-edges, every superstep), so
+    both ends of the protocol memoise everything that depends only on the
+    destination stream:
+
+    * the sender tags each event with an *epoch* that advances only when the
+      event's destination/length arrays actually change (one ``memcmp``-fast
+      comparison per superstep) and ships the destinations only on an epoch
+      change;
+    * each owner caches, per ``(process, event slot, epoch)``, the filter of
+      that event to its vertex range -- the filtered destinations and the
+      per-edge sender positions -- leaving a single payload gather of
+      O(owned in-edges) per superstep.
+
+    Contiguous ("span") sends are cached by their CSR edge span instead: the
+    destinations are a slice of the shared ``targets`` array and never travel
+    at all.
+    """
+
+    def __init__(self) -> None:
+        #: sender side: event slot -> (dest, lens, epoch) of the last ship.
+        self.sender_slots: Dict[int, tuple] = {}
+        self.epoch_counter = 0
+        #: owner side: (process, event slot) -> (epoch, dest_f, sender_f).
+        self.owner: Dict[tuple, tuple] = {}
+        #: owner side: (elo, ehi, k) -> (dest_f, sender_f) for span events.
+        self.span: Dict[tuple, tuple] = {}
+
+
+# ------------------------------------------------------------------ extraction
+def extract_stream(
+    plane, kind: str, arena: SharedArena, cache: ScalarStreamCache
+) -> Tuple[Dict[str, Any], StreamHandle, List[np.ndarray]]:
+    """Drain the plane's buffered send events into the process's arena.
+
+    Returns ``(meta, handle, arrays)``: ``meta`` + ``handle`` travel to the
+    master (and from there to every process); ``arrays`` are the packed
+    arrays themselves so the owning process can replay its own stream without
+    attaching its own arena.
+    """
+    if kind == KIND_SCALAR:
+        events: List[tuple] = []
+        arrays: List[np.ndarray] = []
+        for slot, (dest, pay, lens, espan) in enumerate(zip(
+            plane._ev_dest, plane._ev_pay, plane._ev_len, plane._ev_espan
+        )):
+            if espan is not None:
+                # Contiguous send: the destinations are the shared CSR
+                # ``targets[elo:ehi]`` slice -- every process maps the same
+                # pages, so only the payloads and lengths travel.
+                events.append(("span", int(espan[0]), int(espan[1]), len(pay)))
+                arrays.append(np.ascontiguousarray(pay))
+                arrays.append(np.ascontiguousarray(lens))
+                continue
+            entry = cache.sender_slots.get(slot)
+            if (
+                entry is not None
+                and np.array_equal(entry[0], dest)
+                and np.array_equal(entry[1], lens)
+            ):
+                # Same destinations as the last superstep: owners still hold
+                # the filtered form, only the payloads travel.
+                events.append(("gather", len(pay), entry[2], False))
+                arrays.append(np.ascontiguousarray(pay))
+                arrays.append(np.ascontiguousarray(lens))
+            else:
+                cache.epoch_counter += 1
+                cache.sender_slots[slot] = (dest, lens, cache.epoch_counter)
+                events.append(("gather", len(pay), cache.epoch_counter, True))
+                arrays.append(np.ascontiguousarray(dest))
+                arrays.append(np.ascontiguousarray(pay))
+                arrays.append(np.ascontiguousarray(lens))
+        plane._ev_dest = []
+        plane._ev_pay = []
+        plane._ev_len = []
+        plane._ev_espan = []
+        meta = {"events": events}
+        return meta, arena.pack(arrays), arrays
+
+    if kind in (KIND_ROWS, KIND_RAGGED, KIND_CLUSTER, KIND_OBJECT):
+        if not plane._ev_dest:
+            _clear_ragged_events(plane, kind)
+            return {}, arena.pack([]), []
+        dest = _concat(plane._ev_dest)
+        refs = _concat(plane._ev_ref)
+        sizes = _concat(plane._ev_sizes)
+        if kind == KIND_ROWS:
+            pool = (
+                plane._ev_rows[0]
+                if len(plane._ev_rows) == 1
+                else np.concatenate(plane._ev_rows, axis=0)
+            )
+            arrays = [dest, refs, np.ascontiguousarray(pool), sizes]
+        elif kind == KIND_OBJECT:
+            blob = np.frombuffer(
+                pickle.dumps(plane._pool, protocol=pickle.HIGHEST_PROTOCOL),
+                dtype=np.uint8,
+            )
+            arrays = [dest, refs, sizes, blob]
+        else:
+            pool = (
+                plane._ev_rows[0]
+                if len(plane._ev_rows) == 1
+                else Ragged.concat(plane._ev_rows)
+            )
+            arrays = [
+                dest,
+                refs,
+                np.ascontiguousarray(pool.data),
+                np.ascontiguousarray(pool.lengths),
+                sizes,
+            ]
+        _clear_ragged_events(plane, kind)
+        return {}, arena.pack(arrays), arrays
+
+    raise BSPError(f"unknown stream kind {kind!r}")
+
+
+def _clear_ragged_events(plane, kind: str) -> None:
+    plane._ev_dest = []
+    plane._ev_ref = []
+    plane._ev_sizes = []
+    if kind == KIND_OBJECT:
+        plane._pool = []
+    else:
+        plane._ev_rows = []
+        plane._ev_row_base = 0
+        if kind == KIND_ROWS:
+            plane._ev_vspan = []
+
+
+def _concat(parts: Sequence[np.ndarray]) -> np.ndarray:
+    return np.ascontiguousarray(parts[0]) if len(parts) == 1 else np.concatenate(parts)
+
+
+# ------------------------------------------------------------------- reduction
+def reset_delivery_buffers(plane, kind: str) -> None:
+    """Zero the sender-side delivered counts before the owner replay.
+
+    The ragged core accrues ``count_next`` / ``bytes_next`` at *send* time,
+    so after the compute phase a process's arrays hold only its own sends'
+    contributions (for all destinations).  The owner replay re-derives both
+    for the owned range from the full filtered streams.
+    """
+    if kind in _RAGGED_KINDS:
+        n = len(plane.count_next)
+        plane.count_next = np.zeros(n, dtype=np.int64)
+        plane.bytes_next = np.zeros(n, dtype=np.int64)
+
+
+def reduce_streams(
+    plane,
+    kind: str,
+    streams: Sequence[Tuple[Dict[str, Any], List[np.ndarray]]],
+    lo: int,
+    hi: int,
+    cache: ScalarStreamCache,
+) -> None:
+    """Replay every process's stream, filtered to the owned range ``[lo, hi)``.
+
+    ``streams`` is ordered by process index (= ascending worker blocks), so
+    the filtered concatenation is the global scalar send order restricted to
+    the owned destinations.  After this call the plane's ``acc_next`` /
+    ``count_next`` / ``bytes_next`` / delivery buffers are correct for the
+    owned range (and meaningless elsewhere -- no other range is ever read).
+
+    ``cache`` persists across supersteps (see :class:`ScalarStreamCache`):
+    steady-state scalar workloads pay the range filter once per epoch and a
+    payload gather of O(owned in-edges) per superstep.
+    """
+    if kind == KIND_SCALAR:
+        _reduce_scalar(plane, streams, lo, hi, cache)
+        return
+    base = plane._ev_row_base if kind != KIND_OBJECT else len(plane._pool)
+    n = len(plane.count_next)
+    for meta, arrays in streams:
+        if not arrays:
+            continue
+        if kind == KIND_OBJECT:
+            dest, refs, sizes, blob = arrays
+        elif kind == KIND_ROWS:
+            dest, refs, pool, sizes = arrays
+        else:
+            dest, refs, pool_data, pool_lengths, sizes = arrays
+        mask = (dest >= lo) & (dest < hi)
+        dest_f = np.ascontiguousarray(dest[mask])
+        if len(dest_f) == 0:
+            continue
+        refs_f = refs[mask]
+        plane.count_next += np.bincount(dest_f, minlength=n)
+        plane.bytes_next += np.bincount(
+            dest_f, weights=sizes[refs_f], minlength=n
+        ).astype(np.int64)
+        # Compact the pool to the payloads the owned range actually
+        # references: delivery then holds O(owned payload), not O(global).
+        uniq, remapped = np.unique(refs_f, return_inverse=True)
+        plane._ev_dest.append(dest_f)
+        plane._ev_ref.append(remapped + base)
+        if kind == KIND_OBJECT:
+            pool_list = pickle.loads(blob.tobytes())
+            plane._pool.extend(pool_list[i] for i in uniq.tolist())
+            base += len(uniq)
+            continue
+        if kind == KIND_ROWS:
+            plane._ev_rows.append(pool[uniq])
+            plane._ev_vspan.append(None)
+        else:
+            plane._ev_rows.append(Ragged.from_lengths(pool_data, pool_lengths).take(uniq))
+        base += len(uniq)
+    if kind != KIND_OBJECT:
+        plane._ev_row_base = base
+
+
+def _reduce_scalar(plane, streams, lo: int, hi: int, cache: ScalarStreamCache) -> None:
+    dest_parts: List[np.ndarray] = []
+    pay_parts: List[np.ndarray] = []
+    for process, (meta, arrays) in enumerate(streams):
+        cursor = 0
+        for slot, event in enumerate(meta.get("events", ())):
+            if event[0] == "span":
+                _, elo, ehi, k = event
+                pay = arrays[cursor]
+                lens = arrays[cursor + 1]
+                cursor += 2
+                cached = cache.span.get((elo, ehi, k))
+                if cached is None:
+                    dest = plane.targets[elo:ehi]
+                    senders = np.repeat(np.arange(k, dtype=np.int64), lens)
+                    mask = (dest >= lo) & (dest < hi)
+                    cached = (np.ascontiguousarray(dest[mask]), senders[mask])
+                    cache.span[(elo, ehi, k)] = cached
+                dest_f, sender_f = cached
+            else:
+                _, k, epoch, has_dest = event
+                if has_dest:
+                    dest = arrays[cursor]
+                    pay = arrays[cursor + 1]
+                    lens = arrays[cursor + 2]
+                    cursor += 3
+                else:
+                    pay = arrays[cursor]
+                    lens = arrays[cursor + 1]
+                    cursor += 2
+                entry = cache.owner.get((process, slot))
+                if entry is not None and entry[0] == epoch:
+                    _, dest_f, sender_f = entry
+                else:
+                    if not has_dest:  # pragma: no cover - protocol guard
+                        raise BSPError(
+                            "scalar stream epoch advanced without destinations"
+                        )
+                    senders = np.repeat(np.arange(k, dtype=np.int64), lens)
+                    mask = (dest >= lo) & (dest < hi)
+                    dest_f = np.ascontiguousarray(dest[mask])
+                    sender_f = senders[mask]
+                    cache.owner[(process, slot)] = (epoch, dest_f, sender_f)
+            pay_f = pay[sender_f]
+            if len(dest_f):
+                dest_parts.append(dest_f)
+                pay_parts.append(pay_f)
+    if not dest_parts:
+        return
+    dest = _concat(dest_parts)
+    payloads = _concat(pay_parts)
+    plane._fold_stream(dest, payloads)
+
+
+# ----------------------------------------------------------------- plane init
+def export_plane_init(plane, kind: str) -> Dict[str, Any]:
+    """The master plane's initial value store, picklable, for the children.
+
+    Shipping the *encoded* arrays (instead of the raw per-vertex Python
+    values) lets a worker process construct its plane replica directly --
+    no id-keyed dict, no O(n) Python encode loop, and by-construction the
+    same plane class the master built.
+    """
+    if kind in (KIND_SCALAR, KIND_ROWS):
+        return {"values": plane.values}
+    if kind in (KIND_RAGGED, KIND_CLUSTER):
+        init = {"data": plane.values.data, "lengths": plane.values.lengths}
+        if kind == KIND_CLUSTER:
+            init["cache"] = plane.cache
+        return init
+    return {"values": list(plane.values)}
+
+
+def build_child_plane(run, kind: str, init: Dict[str, Any]):
+    """Construct a worker process's plane replica from the shipped state."""
+    if kind == KIND_SCALAR:
+        from repro.bsp.engine import _VectorizedState
+
+        return _VectorizedState(run, init["values"])
+    if kind == KIND_ROWS:
+        return RowReduceState(run, init["values"])
+    if kind == KIND_RAGGED:
+        return RaggedStreamState(
+            run, Ragged.from_lengths(init["data"], init["lengths"])
+        )
+    if kind == KIND_CLUSTER:
+        return ClusterRowsState(
+            run,
+            Ragged.from_lengths(init["data"], init["lengths"]),
+            run.algorithm.decode_numeric_object_values,
+            dict(init["cache"]),
+        )
+    if kind == KIND_OBJECT:
+        return ObjectState(run, list(init["values"]))
+    raise BSPError(f"unknown stream kind {kind!r}")
+
+
+# --------------------------------------------------------------- value export
+def export_values_slice(plane, kind: str, lo: int, hi: int):
+    """This process's final vertex values for the owned range (picklable)."""
+    if kind in (KIND_SCALAR, KIND_ROWS):
+        return np.ascontiguousarray(plane.values[lo:hi])
+    if kind in (KIND_RAGGED, KIND_CLUSTER):
+        values = plane.values
+        data = np.ascontiguousarray(
+            values.data[values.offsets[lo] : values.offsets[hi]]
+        )
+        return data, np.ascontiguousarray(values.lengths[lo:hi])
+    return list(plane.values[lo:hi])
+
+
+def paste_values(plane, kind: str, parts: Sequence[Tuple[int, int, Any]]) -> None:
+    """Assemble the owned-range payloads into the master plane's value store.
+
+    ``parts`` is ``(lo, hi, payload)`` per process, in process order; the
+    ranges tile ``[0, n)``, so ragged values rebuild by plain concatenation.
+    """
+    if kind in (KIND_RAGGED, KIND_CLUSTER):
+        data = np.concatenate([payload[0] for _, _, payload in parts])
+        lengths = np.concatenate([payload[1] for _, _, payload in parts])
+        plane.values = Ragged.from_lengths(data, lengths)
+        return
+    for lo, hi, payload in parts:
+        plane.values[lo:hi] = payload
+
+
+__all__ = [
+    "ArenaReader",
+    "KIND_CLUSTER",
+    "KIND_OBJECT",
+    "KIND_RAGGED",
+    "KIND_ROWS",
+    "KIND_SCALAR",
+    "export_values_slice",
+    "extract_stream",
+    "paste_values",
+    "plane_kind",
+    "reduce_streams",
+    "reset_delivery_buffers",
+]

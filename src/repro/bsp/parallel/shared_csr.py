@@ -1,0 +1,264 @@
+"""Shared-memory transport for the process execution backend.
+
+Two building blocks live here:
+
+:class:`SharedCSR`
+    Exports a frozen :class:`repro.graph.csr.CSRGraph`'s arrays
+    (``indptr`` / ``targets`` / ``weights``) into one
+    ``multiprocessing.shared_memory`` block and hands out a picklable
+    :class:`SharedCSRHandle`.  Worker processes :meth:`attach <SharedCSR.attach>`
+    the handle and rebuild a ``CSRGraph`` whose arrays are zero-copy views of
+    the block -- the graph is immutable, so every process reads the same
+    physical pages and per-process memory stays O(vertices) (ids + degree
+    caches), not O(edges).
+
+:class:`SharedArena`
+    A grow-only shared-memory out-buffer owned by one worker process.  Each
+    superstep the owner packs its send stream (destination / payload / size
+    arrays) into the arena and publishes a :class:`StreamHandle`; every other
+    process attaches the arena read-only and slices the arrays back out as
+    views.  The arena is reallocated (under a fresh name) only when a
+    superstep's stream outgrows it; the engine's barrier protocol guarantees
+    no reader still needs the old block when that happens.
+
+Teardown contract
+-----------------
+POSIX shared memory is a named kernel object: a block leaks (survives the
+process, shows up under ``/dev/shm``) unless exactly one owner ``unlink``\\ s
+it.  The rules here are:
+
+* the *creator* of a block (``SharedCSR.export`` on the master,
+  ``SharedArena`` on a worker) is responsible for ``unlink``;
+* *attachers* only ever ``close`` their mapping;
+* attaching on CPython < 3.13 registers the block with the process-local
+  ``resource_tracker``, which would unlink it again when the attaching
+  process exits -- double-frees that manifest as "leaked shared_memory"
+  warnings and vanishing segments.  :func:`attach_shared_memory` therefore
+  de-registers the attachment immediately.
+
+``tests/test_parallel_backend.py`` verifies the contract end to end: after a
+run (and after a pool shutdown) no ``/dev/shm`` segment created by this
+module is left behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Alignment of packed segments inside an arena (keeps float64 views aligned).
+_ALIGN = 16
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without adopting cleanup responsibility.
+
+    On CPython < 3.13 ``SharedMemory(name=...)`` registers the segment with
+    the resource tracker, which then wants to unlink it when the attaching
+    process exits -- wrong for attachers (the creator owns the unlink), and
+    noisy when several pool processes attach the same block (they share one
+    tracker, so the duplicate deregistrations raise KeyErrors inside it).
+    Suppressing the registration during the attach sidesteps both; the
+    pool's worker processes are single-threaded when they attach.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Picklable description of an exported graph (ships once per run)."""
+
+    block_name: str
+    graph_name: str
+    num_vertices: int
+    num_edges: int
+    #: Vertex ids in (partition-contiguous) index order.  Ids are arbitrary
+    #: hashables, so they travel by pickle, not through the block.
+    ids: list
+
+
+class SharedCSR:
+    """A frozen ``CSRGraph``'s arrays in one shared-memory block.
+
+    The block layout is ``indptr | targets | weights`` (16-byte aligned).
+    The degree caches are *not* shipped: rebuilding them costs one O(m) pass
+    per process per run, which is cheaper than pinning two more arrays for
+    the lifetime of the run.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: SharedCSRHandle,
+                 owner: bool) -> None:
+        self._shm = shm
+        self.handle = handle
+        self._owner = owner
+        self._closed = False
+
+    # -------------------------------------------------------------- lifecycle
+    @classmethod
+    def export(cls, graph) -> "SharedCSR":
+        """Copy ``graph``'s CSR arrays into a new shared block (master side)."""
+        n = graph.num_vertices
+        m = graph.num_edges
+        indptr_bytes = _aligned((n + 1) * 8)
+        targets_bytes = _aligned(m * 8)
+        weights_bytes = _aligned(m * 8)
+        total = max(indptr_bytes + targets_bytes + weights_bytes, _ALIGN)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        offset = 0
+        for array, nbytes in (
+            (graph.indptr, indptr_bytes),
+            (graph.targets, targets_bytes),
+            (graph.weights, weights_bytes),
+        ):
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset)
+            view[...] = array
+            offset += nbytes
+        handle = SharedCSRHandle(
+            block_name=shm.name,
+            graph_name=graph.name,
+            num_vertices=n,
+            num_edges=m,
+            ids=graph.ids,
+        )
+        return cls(shm, handle, owner=True)
+
+    @classmethod
+    def attach(cls, handle: SharedCSRHandle) -> "SharedCSR":
+        """Map an exported graph in a worker process (read-only use)."""
+        return cls(attach_shared_memory(handle.block_name), handle, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (both sides)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the block's name; creator only, after every run user closed."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink guard
+                pass
+
+    # ----------------------------------------------------------------- access
+    def graph(self):
+        """Rebuild a ``CSRGraph`` over zero-copy views of the block.
+
+        The returned graph re-derives the degree caches and validates the
+        arrays exactly like a locally built one; its ``indptr`` / ``targets``
+        / ``weights`` alias the shared pages (``CSRGraph.__init__`` marks
+        them read-only, which is also what makes the aliasing safe).
+        """
+        from repro.graph.csr import CSRGraph
+
+        handle = self.handle
+        n = handle.num_vertices
+        m = handle.num_edges
+        offset = 0
+        indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=self._shm.buf, offset=offset)
+        offset += _aligned((n + 1) * 8)
+        targets = np.ndarray((m,), dtype=np.int64, buffer=self._shm.buf, offset=offset)
+        offset += _aligned(m * 8)
+        weights = np.ndarray((m,), dtype=np.float64, buffer=self._shm.buf, offset=offset)
+        return CSRGraph(handle.graph_name, handle.ids, indptr, targets, weights)
+
+
+# --------------------------------------------------------------------- arenas
+@dataclass(frozen=True)
+class StreamHandle:
+    """Picklable locator of one process's packed superstep stream.
+
+    ``segments[i]`` is ``(dtype_str, shape, offset)`` into the arena block;
+    ``block_name`` is None for an empty stream (nothing was packed).
+    """
+
+    block_name: Optional[str]
+    segments: Tuple[Tuple[str, tuple, int], ...]
+
+
+class SharedArena:
+    """Grow-only shared out-buffer owned by one worker process."""
+
+    def __init__(self) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = None
+
+    def pack(self, arrays: Sequence[np.ndarray]) -> StreamHandle:
+        """Copy ``arrays`` into the arena, growing it if needed."""
+        if not arrays:
+            return StreamHandle(block_name=None, segments=())
+        offsets = []
+        cursor = 0
+        for array in arrays:
+            offsets.append(cursor)
+            cursor += _aligned(array.nbytes)
+        if self._shm is None or self._shm.size < cursor:
+            # Readers of the previous block are guaranteed done (the barrier
+            # protocol serialises write -> read -> next write), so the old
+            # name can be freed before the replacement is published.
+            self.destroy()
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(cursor, _ALIGN) * 2
+            )
+        segments = []
+        for array, offset in zip(arrays, offsets):
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=self._shm.buf, offset=offset)
+            view[...] = array
+            segments.append((array.dtype.str, tuple(array.shape), offset))
+        return StreamHandle(block_name=self._shm.name, segments=tuple(segments))
+
+    def destroy(self) -> None:
+        """Close and unlink the arena block (owner side, end of run)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink guard
+                pass
+            self._shm = None
+
+
+class ArenaReader:
+    """Read-side cache of arena attachments (one per peer process)."""
+
+    def __init__(self) -> None:
+        self._attached: dict = {}
+
+    def arrays(self, handle: StreamHandle) -> List[np.ndarray]:
+        """The stream's arrays as zero-copy views into the peer's arena."""
+        if handle.block_name is None:
+            return []
+        shm = self._attached.get(handle.block_name)
+        if shm is None:
+            shm = attach_shared_memory(handle.block_name)
+            self._attached[handle.block_name] = shm
+        return [
+            np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            for dtype, shape, offset in handle.segments
+        ]
+
+    def release_except(self, live_names) -> None:
+        """Close attachments whose arena was reallocated under a new name."""
+        for name in list(self._attached):
+            if name not in live_names:
+                self._attached.pop(name).close()
+
+    def close(self) -> None:
+        """Close every cached attachment (end of run)."""
+        for shm in self._attached.values():
+            shm.close()
+        self._attached.clear()
+
+
+def _aligned(nbytes: int) -> int:
+    """Round ``nbytes`` up to the arena alignment."""
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN

@@ -1,0 +1,230 @@
+"""Worker-process side of the shared-memory execution backend.
+
+Each process owns a contiguous block of BSP workers -- and therefore a
+contiguous vertex range and CSR edge slice of the partition-native layout.
+Per superstep it runs the *inline engine's own kernels*
+(:meth:`repro.bsp.worker.Worker.select_active_range`, the algorithm's
+``compute_batch`` on the plane's context) for exactly its workers, exchanges
+send streams through shared-memory arenas, and owner-reduces the messages
+addressed to its range (:mod:`repro.bsp.parallel.protocol`).
+
+The process keeps a full-size replica of the plane's state arrays but only
+its owned slice is ever meaningful: activation, value updates and message
+delivery all stay inside the owned range by the Pregel contract (a vertex
+reads its own value and its own mailbox), which is what makes the shards
+correct without any locking.
+
+Control flow is a straight request/reply protocol over the pool's pipe --
+the two round trips per superstep *are* the BSP barrier:
+
+======================  =====================================================
+child -> ``computed``   per-worker counters, aggregator contributions (in
+                        contribution order), sent-message count, stream table
+master -> ``table``     every process's stream table (all streams written)
+child -> ``reduced``    next-superstep active count + per-worker delivered
+                        messages/bytes for the owned workers
+master -> ``continue``  stop flag + the barrier's reduced aggregator values
+======================  =====================================================
+
+On ``stop`` the child ships its owned slice of the final vertex values and
+returns to the command loop, ready for the next run (the pool is
+persistent).  Any exception is reported as an ``error`` message with the
+formatted traceback; the master re-raises it as a :class:`BSPError`.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bsp.parallel.protocol import (
+    ScalarStreamCache,
+    build_child_plane,
+    export_values_slice,
+    extract_stream,
+    reduce_streams,
+    reset_delivery_buffers,
+)
+from repro.bsp.parallel.shared_csr import ArenaReader, SharedArena, SharedCSR
+from repro.bsp.worker import Worker
+from repro.exceptions import BSPError
+from repro.graph.partition import PartitionLayout
+
+
+class _RecordingRegistry:
+    """Captures aggregator contributions in order instead of folding them.
+
+    The master owns the only real :class:`AggregatorRegistry`; it replays the
+    recorded ``(name, contributions)`` events worker block by worker block --
+    the same sequential fold order as the inline path, so sum aggregators
+    keep their exact IEEE accumulation.  ``previous_value`` serves the values
+    the master reduced at the last barrier (broadcast with ``continue``).
+    """
+
+    def __init__(self, initial: Dict[str, float]) -> None:
+        self.events: List[Tuple[str, np.ndarray]] = []
+        self.previous: Dict[str, float] = dict(initial)
+
+    def contribute_many(self, name: str, values) -> None:
+        self.events.append((name, np.asarray(values, dtype=np.float64)))
+
+    def contribute(self, name: str, value: float) -> None:
+        self.contribute_many(name, [value])
+
+    def previous_value(self, name: str) -> float:
+        if name not in self.previous:
+            raise BSPError(f"unknown aggregator {name!r}")
+        return self.previous[name]
+
+
+class _ChildRun:
+    """The slice of the ``_EngineRun`` surface the batch planes consume.
+
+    Mirrors the attributes :func:`repro.bsp.engine._build_batch_state` and
+    the plane/context classes read; everything else (runtime model, memory
+    model, master) lives only on the master side.
+    """
+
+    def __init__(self, graph, algorithm, config, engine_config, num_workers,
+                 registry) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.config = config
+        self.engine_config = engine_config
+        self.num_workers = num_workers
+        self.registry = registry
+        self.message_sizer = algorithm.message_size
+        self.combiner = algorithm.combiner(config) if engine_config.use_combiner else None
+        self._next_message_count = 0
+
+    def batch_graph(self):
+        """The shared graph is already partition-contiguous."""
+        return self.graph
+
+
+def worker_main(conn, proc_index: int) -> None:
+    """Entry point of one pool process: command loop over the pipe."""
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "shutdown":
+                return
+            if message[0] != "init":  # pragma: no cover - protocol guard
+                continue
+            try:
+                _execute_run(conn, proc_index, message[1])
+            except Exception:
+                conn.send(("error", proc_index, traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        return
+
+
+def _execute_run(conn, proc_index: int, setup: dict) -> None:
+    """Run one engine execution's superstep loop for this process's block."""
+    shared = SharedCSR.attach(setup["graph"])
+    arena = SharedArena()
+    reader = ArenaReader()
+    try:
+        graph = shared.graph()
+        offsets = np.asarray(setup["offsets"], dtype=np.int64)
+        num_workers = int(setup["num_workers"])
+        identity = np.arange(graph.num_vertices, dtype=np.int64)
+        # The shipped graph is the master's repartitioned layout, so the
+        # contiguous order *is* the vertex order: an identity layout.
+        graph.partition_layout = PartitionLayout(
+            num_workers=num_workers, offsets=offsets,
+            perm=identity, inverse_perm=identity,
+        )
+        algorithm = setup["algorithm"]
+        config = setup["config"]
+        engine_config = setup["engine_config"]
+        registry = _RecordingRegistry(
+            {agg.name: agg.initial for agg in algorithm.aggregators(config)}
+        )
+        run = _ChildRun(
+            graph, algorithm, config, engine_config, num_workers, registry
+        )
+        kind = setup["kind"]
+        plane = build_child_plane(run, kind, setup["plane"])
+        if plane.worker_offsets is None:  # pragma: no cover - layout guard
+            raise BSPError(
+                f"worker process {proc_index} has no partition-native layout"
+            )
+        block_lo, block_hi = setup["worker_block"]
+        workers = [
+            Worker(w, graph.ids[int(offsets[w]) : int(offsets[w + 1])], run)
+            for w in range(block_lo, block_hi)
+        ]
+        lo = int(offsets[block_lo])
+        hi = int(offsets[block_hi])
+        stream_cache = ScalarStreamCache()
+
+        superstep = 0
+        while True:
+            # ---- compute phase: the inline kernels, owned workers only.
+            run._next_message_count = 0
+            registry.events = []
+            for worker in workers:
+                worker.begin_superstep(superstep)
+                active = worker.select_active_range(
+                    int(offsets[worker.worker_id]),
+                    int(offsets[worker.worker_id + 1]),
+                    plane.halted,
+                    plane.msg_count,
+                )
+                if len(active):
+                    batch = plane.context_cls(plane, worker, active, superstep)
+                    algorithm.compute_batch(batch, config)
+            meta, handle, local_arrays = extract_stream(plane, kind, arena, stream_cache)
+            conn.send((
+                "computed", proc_index,
+                [worker.counters for worker in workers],
+                registry.events, run._next_message_count, (meta, handle),
+            ))
+
+            # ---- exchange barrier: all streams are on shared memory now.
+            reply = conn.recv()
+            if reply[0] == "abort":
+                return
+            tables = reply[1]
+            streams = []
+            live_names = set()
+            for peer, (peer_meta, peer_handle) in enumerate(tables):
+                if peer == proc_index:
+                    streams.append((peer_meta, local_arrays))
+                    continue
+                if peer_handle.block_name is not None:
+                    live_names.add(peer_handle.block_name)
+                streams.append((peer_meta, reader.arrays(peer_handle)))
+
+            # ---- owner reduce: fold messages addressed to [lo, hi).
+            reset_delivery_buffers(plane, kind)
+            reduce_streams(plane, kind, streams, lo, hi, stream_cache)
+            plane._commit_superstep()
+            reader.release_except(live_names)
+            active_next = int(np.count_nonzero(
+                ~plane.halted[lo:hi] | (plane.count_next[lo:hi] > 0)
+            ))
+            delivered = [plane.buffered_for(worker) for worker in workers]
+            conn.send(("reduced", proc_index, active_next, delivered))
+
+            # ---- master barrier: aggregates reduced, stop decided.
+            reply = conn.recv()
+            if reply[0] == "abort":
+                return
+            _, stop, previous = reply
+            registry.previous = dict(previous)
+            plane.advance()
+            if stop:
+                conn.send((
+                    "values", proc_index,
+                    (lo, hi, export_values_slice(plane, kind, lo, hi)),
+                ))
+                return
+            superstep += 1
+    finally:
+        reader.close()
+        arena.destroy()
+        shared.close()

@@ -497,6 +497,12 @@ class _RaggedStateBase(BatchPlane):
     def __init__(self, run) -> None:
         super().__init__(run)
         self.bytes_next = np.zeros(run.graph.num_vertices, dtype=np.int64)
+        # Per-send-event payload sizes (one entry per sender, aligned with
+        # the payload pool entries the subclasses buffer).  The inline path
+        # never reads it back -- it is the partial-reduction entry point the
+        # process backend serialises so that destination owners can rebuild
+        # delivered counts/bytes for their range from the raw streams.
+        self._ev_sizes: List[np.ndarray] = []
 
     # --------------------------------------------------------------- messaging
     def _route(self, worker, senders: np.ndarray, sizes: np.ndarray):
@@ -514,6 +520,7 @@ class _RaggedStateBase(BatchPlane):
             return None
         destinations, degrees, total, span, _ = expanded
         sizes = np.asarray(sizes, dtype=np.int64)
+        self._ev_sizes.append(sizes)
         per_edge_sizes = np.repeat(sizes, degrees)
         n = len(self.count_next)
         self.count_next += np.bincount(destinations, minlength=n)
@@ -554,6 +561,7 @@ class _RaggedStateBase(BatchPlane):
     def advance(self) -> None:
         super().advance()
         self.bytes_next = np.zeros(len(self.msg_count), dtype=np.int64)
+        self._ev_sizes = []
 
 
 class RaggedBatchContext:

@@ -115,6 +115,25 @@ def build_parser() -> argparse.ArgumentParser:
             "are identical, just slower)"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        choices=("inline", "process"),
+        default="inline",
+        help=(
+            "execution backend: 'inline' runs supersteps in this process, "
+            "'process' on the shared-memory multiprocess backend "
+            "(bit-identical results, true parallelism)"
+        ),
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help=(
+            "worker processes of the 'process' backend "
+            "(default: min(workers, available cpus))"
+        ),
+    )
     return parser
 
 
@@ -140,10 +159,15 @@ def main(argv=None) -> int:
         freeze_datasets=not args.no_freeze,
         partitioner_name=args.partitioner,
         partition_native=not args.no_partition_native,
+        backend=args.backend,
+        processes=args.processes,
     )
-    for name in args.experiments:
-        print(EXPERIMENTS[name](ctx))
-        print()
+    try:
+        for name in args.experiments:
+            print(EXPERIMENTS[name](ctx))
+            print()
+    finally:
+        ctx.engine.close_pools()
     return 0
 
 

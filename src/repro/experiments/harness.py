@@ -75,6 +75,15 @@ class ExperimentContext:
         When True (default) batch-plane runs execute on the
         partition-contiguous relabelled layout; ``--no-partition-native``
         keeps the legacy gather-based layout (results identical, slower).
+    backend:
+        Execution backend for every run: ``"inline"`` (default,
+        single-process) or ``"process"`` (the shared-memory multiprocess
+        backend; results are bit-identical, supersteps run in parallel).
+        ``--backend`` on the CLI.
+    processes:
+        Worker processes of the ``"process"`` backend (``--processes``);
+        None picks ``min(num_workers, available cpus)``.  The pool is
+        persistent: every run of the context reuses it.
     """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
@@ -86,6 +95,8 @@ class ExperimentContext:
     freeze_datasets: bool = True
     partitioner_name: str = "hash"
     partition_native: bool = True
+    backend: str = "inline"
+    processes: Optional[int] = None
 
     _engine: BSPEngine = field(init=False, repr=False, default=None)
     _actual_runs: Dict[Tuple[str, str, str], RunResult] = field(
@@ -114,6 +125,8 @@ class ExperimentContext:
             runtime_seed=derive_seed(self.seed, "runtime"),
             partitioner=partitioner_by_name(self.partitioner_name),
             partition_native=self.partition_native,
+            backend=self.backend,
+            processes=self.processes,
         )
 
     def load(self, dataset: str) -> CSRGraph:

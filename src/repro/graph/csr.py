@@ -89,11 +89,15 @@ class CSRGraph:
             raise GraphError("edge targets must be vertex indices in [0, n)")
         self._index: Optional[Dict[VertexId, int]] = index
         self.out_degrees = np.diff(self.indptr)
-        self.in_degrees = np.bincount(self.targets, minlength=n).astype(np.int64)
+        # The in-degree cache is lazy: consumers on the write-light paths
+        # (repartitioned copies, the process backend's per-worker shared-
+        # memory attachments) never ask for it, and the O(m) bincount is the
+        # most expensive part of constructing a CSRGraph over existing
+        # arrays.
+        self._in_degrees: Optional[np.ndarray] = None
         # The arrays are shared across copy()/relabel_to_integers()/freeze();
         # make the sharing safe by enforcing the advertised immutability.
-        for array in (self.indptr, self.targets, self.weights,
-                      self.out_degrees, self.in_degrees):
+        for array in (self.indptr, self.targets, self.weights, self.out_degrees):
             array.setflags(write=False)
         # Lazy per-vertex (target_id, weight) rows for the scalar protocol.
         # Built on first access only: batch-path algorithms and the samplers
@@ -184,6 +188,17 @@ class CSRGraph:
         )
 
     # ----------------------------------------------------------------- access
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """Cached in-degree array (built lazily, immutable once built)."""
+        if self._in_degrees is None:
+            degrees = np.bincount(
+                self.targets, minlength=self.num_vertices
+            ).astype(np.int64)
+            degrees.setflags(write=False)
+            self._in_degrees = degrees
+        return self._in_degrees
+
     @property
     def index(self) -> Dict[VertexId, int]:
         """Map vertex id -> vertex index (built lazily, never mutated).

@@ -256,8 +256,19 @@ class BasePartitioner:
         ids = getattr(graph, "ids", None)
         if ids is None:
             ids = list(graph.vertices())
-        workers = self._assign(ids, num_workers)
+        workers = self._assign_graph(graph, ids, num_workers)
         return Partitioning(num_workers, ids, workers)
+
+    def _assign_graph(
+        self, graph: DiGraph, ids: List[VertexId], num_workers: int
+    ) -> np.ndarray:
+        """Worker index per vertex; override to use the graph structure.
+
+        The default delegates to :meth:`_assign`, which sees only the vertex
+        ids -- enough for hash/range/chunk.  Edge-cut-aware partitioners
+        (LDG) override this hook instead.
+        """
+        return self._assign(ids, num_workers)
 
     def _assign(self, ids: List[VertexId], num_workers: int) -> np.ndarray:
         """Worker index per vertex, aligned with ``ids`` (subclass hook)."""
@@ -318,11 +329,112 @@ class ChunkPartitioner(BasePartitioner):
         return np.arange(len(ids), dtype=np.int64) % num_workers
 
 
+class LDGPartitioner(BasePartitioner):
+    """Greedy streaming Linear Deterministic Greedy (edge-cut minimising).
+
+    Vertices are streamed in graph iteration order; each is placed on the
+    worker maximising ``|N(v) ∩ P_w| * (1 - |P_w| / C)`` with capacity
+    ``C = ceil(n / num_workers)`` (Stanton & Kliot, "Streaming graph
+    partitioning for large distributed graphs", KDD'12).  ``N(v)`` counts
+    *edges* between ``v`` and the worker's already-placed vertices, both
+    directions, parallel edges included -- an order-independent multiset, so
+    a graph and its frozen CSR counterpart (identical vertex order, identical
+    adjacency) partition identically and the differential suite can sweep
+    this partitioner like any other.  Ties break deterministically: least
+    loaded worker first, then lowest worker index; workers at capacity are
+    excluded, so vertex counts stay balanced within one vertex.
+
+    Unlike hash partitioning the assignment depends on the graph structure,
+    not just the ids -- measurably fewer cut edges on clustered graphs (see
+    :func:`edge_cut`), at the cost of an O(n) Python streaming loop at
+    partition time (paid once per run; the supersteps it speeds up run many
+    times).
+    """
+
+    def _assign_graph(
+        self, graph: DiGraph, ids: List[VertexId], num_workers: int
+    ) -> np.ndarray:
+        n = len(ids)
+        sources, targets = _edge_index_arrays(graph, ids)
+        # Undirected multiset adjacency: every edge contributes to both
+        # endpoints' neighbourhoods (CSR layout over 2m edge stubs).
+        stub_src = np.concatenate([sources, targets])
+        stub_dst = np.concatenate([targets, sources])
+        order = np.argsort(stub_src, kind="stable")
+        stub_dst = stub_dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(stub_src, minlength=n), out=indptr[1:])
+
+        capacity = -(-n // num_workers)
+        assignment = np.full(n, -1, dtype=np.int64)
+        sizes = np.zeros(num_workers, dtype=np.int64)
+        for vertex in range(n):
+            neighbours = stub_dst[indptr[vertex] : indptr[vertex + 1]]
+            placed = assignment[neighbours]
+            counts = np.bincount(placed[placed >= 0], minlength=num_workers)
+            scores = counts * (1.0 - sizes / capacity)
+            scores[sizes >= capacity] = -np.inf
+            best = np.flatnonzero(scores == scores.max())
+            least_loaded = best[sizes[best] == sizes[best].min()]
+            worker = int(least_loaded[0])
+            assignment[vertex] = worker
+            sizes[worker] += 1
+        return assignment
+
+
+def _edge_index_arrays(graph, ids: List[VertexId]):
+    """``(sources, targets)`` index arrays of the graph's directed edges.
+
+    Edge order follows per-vertex adjacency order, which ``freeze()``
+    preserves -- so a ``DiGraph`` and its CSR counterpart yield identical
+    arrays and therefore identical LDG assignments.
+    """
+    graph_targets = getattr(graph, "targets", None)
+    if graph_targets is not None and getattr(graph, "ids", None) is ids:
+        sources = np.repeat(np.arange(len(ids), dtype=np.int64), graph.out_degrees)
+        return sources, graph_targets
+    index = {vertex: i for i, vertex in enumerate(ids)}
+    sources_list: List[int] = []
+    targets_list: List[int] = []
+    for i, vertex in enumerate(ids):
+        for target, _ in graph.out_edges(vertex):
+            sources_list.append(i)
+            targets_list.append(index[target])
+    return (
+        np.asarray(sources_list, dtype=np.int64),
+        np.asarray(targets_list, dtype=np.int64),
+    )
+
+
+def edge_cut(graph, partitioning: Partitioning) -> int:
+    """Number of directed edges whose endpoints live on different workers.
+
+    The partition-quality metric LDG minimises: cut edges are exactly the
+    *remote* messages of a full-graph superstep, the quantity the paper's
+    network model charges for.  One vectorized pass on a frozen graph; a
+    Python edge loop on a ``DiGraph``.
+    """
+    workers = partitioning.assignment_array(graph)
+    targets = getattr(graph, "targets", None)
+    if targets is not None:
+        source_workers = np.repeat(workers, graph.out_degrees)
+        return int(np.count_nonzero(source_workers != workers[targets]))
+    assignment = partitioning.assignment
+    count = 0
+    for vertex in graph.vertices():
+        worker = assignment[vertex]
+        for target, _ in graph.out_edges(vertex):
+            if assignment[target] != worker:
+                count += 1
+    return count
+
+
 #: Partitioner registry used by the experiments CLI.
 PARTITIONERS = {
     "hash": HashPartitioner,
     "range": RangePartitioner,
     "chunk": ChunkPartitioner,
+    "ldg": LDGPartitioner,
 }
 
 

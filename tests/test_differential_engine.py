@@ -36,7 +36,12 @@ from repro.bsp.engine import BSPEngine, EngineConfig
 from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
 from repro.cluster.spec import ClusterSpec
 from repro.graph import generators
-from repro.graph.partition import ChunkPartitioner, HashPartitioner, RangePartitioner
+from repro.graph.partition import (
+    ChunkPartitioner,
+    HashPartitioner,
+    LDGPartitioner,
+    RangePartitioner,
+)
 
 COUNTER_FIELDS = (
     "worker_id",
@@ -215,6 +220,7 @@ LAYOUT_PARTITIONERS = [
     ("hash", HashPartitioner),
     ("chunk", ChunkPartitioner),
     ("range", RangePartitioner),
+    ("ldg", LDGPartitioner),
 ]
 
 

@@ -1,0 +1,234 @@
+"""Differential + lifecycle tests for the shared-memory process backend.
+
+The process backend (``EngineConfig(backend="process")``) promises to be
+*observationally identical* to the inline engine: same vertex values, same
+convergence history, same value for every per-worker, per-superstep Table 1
+counter and simulated runtime.  This module enforces that promise across
+every registry algorithm and the cluster shapes of the differential suite,
+and pins the backend's operational contract: persistent pools survive many
+runs, child failures surface as :class:`BSPError` with the worker traceback,
+ineligible runs fall back to the inline loop, and no shared-memory segment
+outlives its run (``/dev/shm`` stays clean).
+
+The worker processes are spawned (``start_method="spawn"``), so these tests
+also catch pickling regressions in everything that ships to a worker:
+algorithms, configs, engine configs, plane init payloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from test_differential_engine import (
+    ALGORITHM_NAMES,
+    algorithm_settings,
+    assert_profiles_identical,
+)
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.registry import algorithm_by_name
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.parallel.shared_csr import SharedCSR
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import BSPError
+from repro.graph import generators
+
+PROCESSES = 2
+
+
+@pytest.fixture(scope="module")
+def process_engine():
+    """One engine for the whole module: every run reuses its worker pool."""
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+    yield engine
+    engine.close_pools()
+
+
+@pytest.fixture(scope="module")
+def diff_graph():
+    return generators.preferential_attachment(150, out_degree=4, seed=3).freeze()
+
+
+def shm_segments():
+    """Names of live POSIX shared-memory segments (Python-created)."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux hosts
+        return None
+    return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+
+
+def run_backends(engine, graph, algorithm_name, backend, num_workers,
+                 processes=PROCESSES, **overrides):
+    config, max_supersteps = algorithm_settings(algorithm_name)
+    engine_config = EngineConfig(
+        num_workers=num_workers, max_supersteps=max_supersteps, runtime_seed=7,
+        collect_vertex_values=True, backend=backend, processes=processes,
+        **overrides,
+    )
+    return engine.run(graph, algorithm_by_name(algorithm_name), config, engine_config)
+
+
+# ------------------------------------------------------------ differential
+@pytest.mark.parametrize("num_workers", [1, 2, 8])
+@pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
+def test_process_backend_bit_identical(
+    process_engine, diff_graph, algorithm_name, num_workers
+):
+    """Every registry algorithm, every cluster shape: process == inline.
+
+    The inline batch planes are themselves pinned against the scalar path by
+    ``test_differential_engine``, so equality here gives process == scalar
+    transitively -- values, counters, histories and per-worker byte/time
+    accounting included.
+    """
+    inline = run_backends(process_engine, diff_graph, algorithm_name, "inline", num_workers)
+    process = run_backends(process_engine, diff_graph, algorithm_name, "process", num_workers)
+    assert_profiles_identical(inline, process)
+
+
+@pytest.mark.parametrize("algorithm_name", ["pagerank", "topk-ranking"])
+def test_process_count_does_not_change_results(
+    process_engine, diff_graph, algorithm_name
+):
+    """Worker blocks per process are an implementation detail: P=2 == P=3."""
+    two = run_backends(process_engine, diff_graph, algorithm_name, "process", 8, processes=2)
+    three = run_backends(process_engine, diff_graph, algorithm_name, "process", 8, processes=3)
+    assert_profiles_identical(two, three)
+
+
+def test_process_backend_object_plane(process_engine):
+    """The Python-object fold (numeric plane declined) also shards correctly."""
+    graph = generators.two_level_hierarchy(4, 12, seed=1).freeze()
+    kwargs = dict(semicluster_numeric=False)
+    inline = run_backends(process_engine, graph, "semi-clustering", "inline", 4, **kwargs)
+    process = run_backends(process_engine, graph, "semi-clustering", "process", 4, **kwargs)
+    assert_profiles_identical(inline, process)
+
+
+def test_process_backend_with_combiner_and_memory_model(process_engine, diff_graph):
+    """Combined buffers + the memory model's delivered accounting survive."""
+    kwargs = dict(use_combiner=True, enforce_memory=True)
+    inline = run_backends(process_engine, diff_graph, "pagerank", "inline", 4, **kwargs)
+    process = run_backends(process_engine, diff_graph, "pagerank", "process", 4, **kwargs)
+    assert_profiles_identical(inline, process)
+
+
+# ------------------------------------------------------------ eligibility
+def test_process_backend_falls_back_inline_on_unfrozen_graph(process_engine):
+    """No CSR arrays to share: the run executes inline, results identical."""
+    graph = generators.preferential_attachment(80, out_degree=3, seed=5)
+    inline = run_backends(process_engine, graph, "pagerank", "inline", 4)
+    fallback = run_backends(process_engine, graph, "pagerank", "process", 4)
+    assert_profiles_identical(inline, fallback)
+
+
+def test_process_backend_falls_back_on_gather_layout(process_engine, diff_graph):
+    """partition_native=False has no contiguous shards: inline fallback."""
+    inline = run_backends(
+        process_engine, diff_graph, "pagerank", "inline", 4, partition_native=False
+    )
+    fallback = run_backends(
+        process_engine, diff_graph, "pagerank", "process", 4, partition_native=False
+    )
+    assert_profiles_identical(inline, fallback)
+
+
+def test_unknown_backend_raises(process_engine, diff_graph):
+    with pytest.raises(BSPError):
+        process_engine.run(
+            diff_graph, PageRank(), PageRankConfig(),
+            EngineConfig(backend="threads"),
+        )
+
+
+# --------------------------------------------------------------- lifecycle
+def test_pool_is_persistent_and_reused(process_engine, diff_graph):
+    run_backends(process_engine, diff_graph, "pagerank", "process", 4)
+    pool = process_engine.process_pool(PROCESSES)
+    run_backends(process_engine, diff_graph, "connected-components", "process", 4)
+    assert process_engine.process_pool(PROCESSES) is pool
+    assert pool.alive
+
+
+class ExplodingPageRank(PageRank):
+    """Raises inside a worker process after the run is underway."""
+
+    def compute_batch(self, batch, config):
+        if batch.superstep == 2:
+            raise RuntimeError("boom in worker process")
+        super().compute_batch(batch, config)
+
+
+def test_child_error_propagates_and_pool_recovers(process_engine, diff_graph):
+    before = shm_segments()
+    with pytest.raises(BSPError, match="boom in worker process"):
+        process_engine.run(
+            diff_graph, ExplodingPageRank(), PageRankConfig(tolerance=1e-5),
+            EngineConfig(num_workers=4, max_supersteps=10, runtime_seed=7,
+                         backend="process", processes=PROCESSES),
+        )
+    # The failed pool is closed; the next run transparently gets a fresh one.
+    inline = run_backends(process_engine, diff_graph, "pagerank", "inline", 4)
+    process = run_backends(process_engine, diff_graph, "pagerank", "process", 4)
+    assert_profiles_identical(inline, process)
+    if before is not None:
+        leaked = shm_segments() - before
+        assert not leaked, f"stale shared-memory segments after failed run: {leaked}"
+
+
+# ----------------------------------------------------------- shared memory
+def test_shared_csr_roundtrip(diff_graph):
+    batch_graph = diff_graph
+    shared = SharedCSR.export(batch_graph)
+    try:
+        attached = SharedCSR.attach(shared.handle)
+        try:
+            clone = attached.graph()
+            assert clone.num_vertices == batch_graph.num_vertices
+            assert clone.num_edges == batch_graph.num_edges
+            assert clone.ids == batch_graph.ids
+            assert np.array_equal(clone.indptr, batch_graph.indptr)
+            assert np.array_equal(clone.targets, batch_graph.targets)
+            assert np.array_equal(clone.weights, batch_graph.weights)
+            # Zero-copy: the clone's arrays alias the shared block, and the
+            # block outlives the exporter's mapping.
+            assert not clone.targets.flags.owndata
+        finally:
+            attached.close()
+    finally:
+        shared.close()
+        shared.unlink()
+
+
+def test_process_run_leaves_no_shm_segments(process_engine, diff_graph):
+    before = shm_segments()
+    if before is None:  # pragma: no cover - non-Linux hosts
+        pytest.skip("/dev/shm not available")
+    run_backends(process_engine, diff_graph, "pagerank", "process", 4)
+    run_backends(process_engine, diff_graph, "neighborhood-estimation", "process", 4)
+    leaked = shm_segments() - before
+    assert not leaked, f"stale shared-memory segments after runs: {leaked}"
+
+
+def test_close_pools_shuts_processes_down(diff_graph):
+    before = shm_segments()
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+    run_backends(engine, diff_graph, "pagerank", "process", 4)
+    pool = engine.process_pool(PROCESSES)
+    procs = list(pool._procs)
+    assert all(proc.is_alive() for proc in procs)
+    engine.close_pools()
+    assert not pool.alive
+    assert all(not proc.is_alive() for proc in procs)
+    if before is not None:
+        leaked = shm_segments() - before
+        assert not leaked, f"stale shared-memory segments after close: {leaked}"

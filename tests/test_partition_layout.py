@@ -27,12 +27,16 @@ from repro.graph.digraph import DiGraph
 from repro.graph.partition import (
     ChunkPartitioner,
     HashPartitioner,
+    LDGPartitioner,
     Partitioning,
     RangePartitioner,
+    edge_cut,
     partitioner_by_name,
 )
 
-PARTITIONER_CLASSES = [HashPartitioner, RangePartitioner, ChunkPartitioner]
+PARTITIONER_CLASSES = [
+    HashPartitioner, RangePartitioner, ChunkPartitioner, LDGPartitioner,
+]
 
 
 @pytest.fixture(scope="module")
@@ -216,5 +220,58 @@ class TestPartitioningAPI:
     def test_partitioner_by_name(self):
         assert isinstance(partitioner_by_name("hash"), HashPartitioner)
         assert isinstance(partitioner_by_name("Range"), RangePartitioner)
+        assert isinstance(partitioner_by_name("ldg"), LDGPartitioner)
         with pytest.raises(ConfigurationError):
             partitioner_by_name("metis")
+
+
+class TestEdgeCutAndLDG:
+    """Partition quality: the edge_cut metric and the LDG streaming greedy."""
+
+    def test_edge_cut_matches_naive_count(self, frozen_graph):
+        partitioning = HashPartitioner().partition(frozen_graph, 4)
+        assignment = partitioning.assignment
+        expected = sum(
+            1
+            for source in frozen_graph.vertices()
+            for target, _ in frozen_graph.out_edges(source)
+            if assignment[source] != assignment[target]
+        )
+        assert edge_cut(frozen_graph, partitioning) == expected
+        # DiGraph loop path agrees with the vectorized CSR path.
+        thawed = frozen_graph.to_digraph()
+        assert edge_cut(thawed, HashPartitioner().partition(thawed, 4)) == expected
+
+    def test_edge_cut_zero_when_single_worker(self, frozen_graph):
+        partitioning = HashPartitioner().partition(frozen_graph, 1)
+        assert edge_cut(frozen_graph, partitioning) == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("num_workers", [2, 4, 8])
+    def test_ldg_beats_hash_on_clustered_graphs(self, seed, num_workers):
+        """On community-structured graphs LDG must cut fewer edges than hash.
+
+        Hash partitioning scatters each community uniformly (expected cut
+        fraction (W-1)/W); the streaming greedy keeps communities together.
+        The margin is large (typically 1.5-5x fewer cut edges), so this is
+        not a flaky statistical bound -- the generators are seeded.
+        """
+        graph = generators.two_level_hierarchy(4, 12, seed=seed).freeze()
+        ldg = LDGPartitioner().partition(graph, num_workers)
+        hashed = HashPartitioner().partition(graph, num_workers)
+        assert edge_cut(graph, ldg) < edge_cut(graph, hashed)
+
+    def test_ldg_balanced_within_capacity(self, frozen_graph):
+        for num_workers in (2, 3, 4, 7):
+            partitioning = LDGPartitioner().partition(frozen_graph, num_workers)
+            counts = np.diff(partitioning.offsets)
+            capacity = -(-frozen_graph.num_vertices // num_workers)
+            assert int(counts.max()) <= capacity
+
+    def test_ldg_identical_on_digraph_and_frozen(self):
+        graph = generators.two_level_hierarchy(5, 9, seed=7)
+        frozen = graph.freeze()
+        scalar = LDGPartitioner().partition(graph, 3)
+        vectorized = LDGPartitioner().partition(frozen, 3)
+        assert np.array_equal(scalar.workers, vectorized.workers)
+        assert scalar.ids == vectorized.ids
