@@ -37,6 +37,7 @@ bench-smoke:
 		benchmarks/test_bench_partition_layout.py \
 		benchmarks/test_bench_semicluster_fastpath.py \
 		benchmarks/test_bench_parallel_backend.py \
+		benchmarks/test_bench_outofcore.py \
 		-q -s
 
 docs-check:

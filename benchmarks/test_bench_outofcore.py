@@ -1,0 +1,211 @@
+"""Memory-footprint guard for the out-of-core ingestion pipeline.
+
+Generates a ~10M-edge uniform random edge list on disk, ingests it through
+the chunked two-pass pipeline of :mod:`repro.graph.ingest` into an on-disk
+CSR cache, then runs PageRank twice from that cache -- once loaded fully
+into RAM, once memmap-backed -- in separate measured subprocesses.  Three
+properties are pinned (full mode; smoke mode only exercises the code path):
+
+1. *Ingest is out-of-core*: the ingest subprocess's peak-RSS delta stays
+   below ``INGEST_RSS_FRACTION`` of the final cache size.  The pipeline
+   never holds the edge list, the spill, or more than one sort bucket in
+   memory at once, so its footprint is bounded by the bucket budget --
+   not by the graph.
+2. *Memmap runs are bit-identical*: both runs report exactly the same
+   convergence history (the engine promises observational equivalence; the
+   differential suite pins it broadly, this pins it at benchmark scale).
+3. *Memmap backing saves real memory*: the memmap run's peak-RSS delta is
+   below the in-RAM run's by at least ``MMAP_MARGIN_FRACTION`` of the
+   weights array -- PageRank never reads edge weights, and the memmap path
+   simply never pages them in, while the RAM load must materialise them.
+
+Peak RSS is measured with ``resource.getrusage`` inside each subprocess,
+relative to a baseline taken after imports, so interpreter and NumPy
+overheads cancel out.  The measured floors are recorded under
+``benchmarks/results/outofcore_ingest.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+
+from bench_utils import bench_smoke, publish
+
+SMOKE = bench_smoke()
+
+NUM_VERTICES = 20_000 if SMOKE else 250_000
+NUM_EDGES = 200_000 if SMOKE else 10_000_000
+BUCKET_BYTES = 1 << 20 if SMOKE else 8 * (1 << 20)
+SUPERSTEPS = 3
+
+#: Ingest peak-RSS delta must stay below this fraction of the cache size.
+INGEST_RSS_FRACTION = 0.6
+#: The memmap run must beat the RAM run by at least this fraction of the
+#: (never-read) weights array.
+MMAP_MARGIN_FRACTION = 0.2
+
+SRC_DIR = str(Path(__file__).parent.parent / "src")
+
+#: Peak-RSS probe shared by both subprocess scripts.  ``VmHWM`` (and not
+#: ``getrusage``'s ``ru_maxrss``) because ``ru_maxrss`` survives ``exec``:
+#: a child forked off a fat parent inherits the parent's peak and can never
+#: register a peak below it, which silently blinds the assertions.  ``VmHWM``
+#: is per-``mm`` and resets on ``exec``, so it measures only this process.
+_PEAK_RSS_PROBE = textwrap.dedent("""
+    def peak_rss_kb():
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+        raise RuntimeError("VmHWM not found in /proc/self/status")
+""")
+
+_INGEST_SCRIPT = _PEAK_RSS_PROBE + textwrap.dedent("""
+    import json, os, sys
+    sys.path.insert(0, sys.argv[1])
+    from repro.graph.ingest import ingest_edge_list
+    baseline = peak_rss_kb()
+    cache = ingest_edge_list(
+        sys.argv[2], sys.argv[3],
+        deduplicate=False, bucket_bytes=int(sys.argv[4]), force=True,
+    )
+    peak = peak_rss_kb()
+    cache_bytes = sum(
+        os.path.getsize(os.path.join(cache, entry)) for entry in os.listdir(cache)
+    )
+    print(json.dumps({
+        "rss_delta_bytes": (peak - baseline) * 1024,
+        "baseline_bytes": baseline * 1024,
+        "cache_bytes": cache_bytes,
+        "cache": str(cache),
+    }))
+""")
+
+_RUN_SCRIPT = _PEAK_RSS_PROBE + textwrap.dedent("""
+    import json, sys
+    sys.path.insert(0, sys.argv[1])
+    from repro.algorithms.pagerank import PageRank, PageRankConfig
+    from repro.bsp.engine import BSPEngine, EngineConfig
+    from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+    from repro.cluster.spec import ClusterSpec
+    from repro.graph.ingest import load_csr_cache
+    from repro.graph.partition import ContiguousPartitioner
+    baseline = peak_rss_kb()
+    graph = load_csr_cache(sys.argv[2], mmap_mode="r" if sys.argv[3] == "mmap" else None)
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=8),
+        cost_profile=DETERMINISTIC_PROFILE,
+    )
+    # The contiguous partitioner yields an identity layout, so repartitioning
+    # is a metadata no-op: no relabelled copy of the arrays is materialised.
+    # (A shuffling partitioner would force a full in-RAM copy on both paths
+    # and erase the memmap advantage -- that copy is what out-of-core
+    # ingestion + contiguous partitioning exists to avoid.)
+    result = engine.run(
+        graph, PageRank(), PageRankConfig(tolerance=1e-12),
+        EngineConfig(num_workers=8, max_supersteps=int(sys.argv[4]),
+                     runtime_seed=1, collect_vertex_values=False,
+                     partitioner=ContiguousPartitioner()),
+    )
+    peak = peak_rss_kb()
+    print(json.dumps({
+        "rss_delta_bytes": (peak - baseline) * 1024,
+        "baseline_bytes": baseline * 1024,
+        "history": result.convergence_history,
+        "num_iterations": result.num_iterations,
+    }))
+""")
+
+
+def _measured(script: str, *args: str) -> dict:
+    completed = subprocess.run(
+        [sys.executable, "-c", script, SRC_DIR, *map(str, args)],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def _write_edge_list(path: Path, num_vertices: int, num_edges: int) -> None:
+    """Stream a seeded uniform edge list to disk in bounded chunks."""
+    rng = np.random.default_rng(20260808)
+    chunk = 1_000_000
+    with open(path, "wb") as handle:
+        handle.write(b"# synthetic uniform graph for the out-of-core benchmark\n")
+        # Pin the vertex-count contract: make ids 0 and n-1 appear.
+        handle.write(b"0 %d\n" % (num_vertices - 1))
+        remaining = num_edges - 1
+        while remaining > 0:
+            count = min(chunk, remaining)
+            sources = rng.integers(0, num_vertices, size=count)
+            targets = rng.integers(0, num_vertices, size=count)
+            body = b"\n".join(
+                b"%d %d" % (s, t) for s, t in zip(sources, targets)
+            )
+            handle.write(body + b"\n")
+            remaining -= count
+
+
+def test_bench_outofcore_ingest_and_memmap_run(results_dir, tmp_path):
+    edge_list = tmp_path / "uniform.txt"
+    _write_edge_list(edge_list, NUM_VERTICES, NUM_EDGES)
+    edge_list_bytes = edge_list.stat().st_size
+
+    ingest = _measured(_INGEST_SCRIPT, edge_list, tmp_path / "cache", BUCKET_BYTES)
+    cache_bytes = ingest["cache_bytes"]
+    weights_bytes = 8 * NUM_EDGES
+
+    ram = _measured(_RUN_SCRIPT, ingest["cache"], "ram", SUPERSTEPS)
+    mmap = _measured(_RUN_SCRIPT, ingest["cache"], "mmap", SUPERSTEPS)
+
+    # Bit-identity at benchmark scale: same history, same iteration count.
+    assert mmap["history"] == ram["history"]
+    assert mmap["num_iterations"] == ram["num_iterations"] == SUPERSTEPS
+
+    mib = 1 << 20
+    lines = [
+        "Out-of-core ingestion + memmap-backed PageRank "
+        f"({NUM_VERTICES:,} vertices, {NUM_EDGES:,} edges)",
+        "",
+        "Peak-RSS deltas are measured against a post-import baseline "
+        f"(~{ingest['baseline_bytes'] / mib:.0f} MiB of interpreter + NumPy), "
+        "so 0.0 means the phase never grew past that baseline.",
+        "",
+        f"edge list on disk      : {edge_list_bytes / mib:8.1f} MiB",
+        f"CSR cache on disk      : {cache_bytes / mib:8.1f} MiB",
+        f"ingest peak RSS delta  : {ingest['rss_delta_bytes'] / mib:8.1f} MiB "
+        f"(floor: < {INGEST_RSS_FRACTION:.0%} of cache)",
+        f"PageRank RSS (in-RAM)  : {ram['rss_delta_bytes'] / mib:8.1f} MiB",
+        f"PageRank RSS (memmap)  : {mmap['rss_delta_bytes'] / mib:8.1f} MiB "
+        f"(floor: < in-RAM - {MMAP_MARGIN_FRACTION:.0%} of weights; the "
+        "remainder is the engine's O(edges) message plane, identical in "
+        "both modes)",
+        f"supersteps             : {SUPERSTEPS} (histories bit-identical: "
+        f"{mmap['history'] == ram['history']})",
+    ]
+    publish(results_dir, "outofcore_ingest", "\n".join(lines))
+
+    if SMOKE:
+        return
+    # 1. Ingest never materialises the graph: bounded by the bucket budget.
+    assert ingest["rss_delta_bytes"] < INGEST_RSS_FRACTION * cache_bytes, (
+        f"ingest RSS {ingest['rss_delta_bytes'] / mib:.1f} MiB exceeds "
+        f"{INGEST_RSS_FRACTION:.0%} of the {cache_bytes / mib:.1f} MiB cache"
+    )
+    # (The run phase itself is NOT asserted below the cache size: the
+    # engine's message plane legitimately allocates several O(edges) arrays
+    # per superstep -- identically in both modes -- so run peaks track the
+    # plane, not the graph backing.  The graph-backing saving is exactly the
+    # in-RAM minus memmap delta asserted next.)
+    # 3. Memmap backing avoids paging the never-read weights array in.
+    assert mmap["rss_delta_bytes"] < ram["rss_delta_bytes"] - (
+        MMAP_MARGIN_FRACTION * weights_bytes
+    ), (
+        f"memmap run RSS {mmap['rss_delta_bytes'] / mib:.1f} MiB not measurably "
+        f"below in-RAM run RSS {ram['rss_delta_bytes'] / mib:.1f} MiB"
+    )

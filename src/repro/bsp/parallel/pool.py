@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.bsp.counters import IterationProfile
 from repro.bsp.parallel.protocol import export_plane_init, paste_values, plane_kind
-from repro.bsp.parallel.shared_csr import SharedCSR
+from repro.bsp.parallel.shared_csr import OWNED_SEGMENT_PREFIX, SharedCSR
 from repro.bsp.parallel.worker import worker_main
 from repro.bsp.result import RunResult
 from repro.exceptions import BSPError
@@ -129,7 +129,14 @@ class ProcessWorkerPool:
                 pass
 
     def close(self) -> None:
-        """Shut the pool down; blocks briefly, then terminates stragglers."""
+        """Shut the pool down; blocks briefly, then terminates stragglers.
+
+        After the children are joined, any ``repro_shm_<pid>_*`` arena block
+        one of them left behind is unlinked.  A child that died abruptly
+        (SIGKILL, OOM) cannot run its own ``SharedArena.destroy``; its
+        blocks are identifiable by pid precisely because the arenas use
+        deterministic names -- see :mod:`repro.bsp.parallel.shared_csr`.
+        """
         if not self.alive:
             return
         self.alive = False
@@ -138,6 +145,7 @@ class ProcessWorkerPool:
                 conn.send(("shutdown",))
             except (BrokenPipeError, OSError):
                 pass
+        child_pids = [proc.pid for proc in self._procs if proc.pid is not None]
         for proc in self._procs:
             proc.join(timeout=2.0)
             if proc.is_alive():  # pragma: no cover - hung child guard
@@ -147,6 +155,21 @@ class ProcessWorkerPool:
             conn.close()
         self._procs = []
         self._conns = []
+        _sweep_owned_segments(child_pids)
+
+
+def _sweep_owned_segments(pids) -> None:
+    """Unlink ``repro_shm_<pid>_*`` blocks left by (now-joined) children."""
+    shm_dir = "/dev/shm"
+    if not pids or not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return
+    prefixes = tuple(f"{OWNED_SEGMENT_PREFIX}{pid}_" for pid in pids)
+    for entry in os.listdir(shm_dir):
+        if entry.startswith(prefixes):
+            try:
+                os.unlink(os.path.join(shm_dir, entry))
+            except FileNotFoundError:  # pragma: no cover - concurrent cleanup
+                pass
 
 
 def available_cores() -> int:
@@ -254,8 +277,11 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
         values_messages = pool.receive_all("values")
         paste_values(plane, kind, [message[2] for message in values_messages])
         run.values = plane.export_values()
-    except Exception:
+    except BaseException:
         # Children may be blocked mid-protocol; the pool is not salvageable.
+        # BaseException on purpose: a KeyboardInterrupt mid-run must also
+        # tear the pool down (joining the children and sweeping their arena
+        # blocks), or the interrupted session leaks /dev/shm segments.
         pool.abort()
         pool.close()
         raise

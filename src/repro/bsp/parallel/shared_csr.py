@@ -36,13 +36,24 @@ it.  The rules here are:
   warnings and vanishing segments.  :func:`attach_shared_memory` therefore
   de-registers the attachment immediately.
 
+Crash robustness: a worker killed mid-superstep (SIGKILL, OOM) can never run
+its own cleanup.  Arena blocks therefore carry deterministic
+``repro_shm_<pid>_*`` names (:func:`create_owned_shared_memory`); after the
+pool joins its children, ``ProcessWorkerPool.close`` sweeps any block still
+carrying a dead child's pid.  The master-side ``SharedCSR`` block is covered
+by ``try/finally`` in ``run_process_backend`` on every exit path, including
+``KeyboardInterrupt``.
+
 ``tests/test_parallel_backend.py`` verifies the contract end to end: after a
 run (and after a pool shutdown) no ``/dev/shm`` segment created by this
-module is left behind.
+module is left behind -- including crash-injection runs that SIGKILL a
+child mid-superstep.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import List, Optional, Sequence, Tuple
@@ -51,6 +62,61 @@ import numpy as np
 
 #: Alignment of packed segments inside an arena (keeps float64 views aligned).
 _ALIGN = 16
+
+#: Name prefix of worker-owned arena blocks: ``repro_shm_<pid>_<seq>``.
+#: Deterministic names are the crash-cleanup mechanism -- the master knows
+#: its children's pids, so after joining them it can sweep any block a
+#: SIGKILLed child left behind (``ProcessWorkerPool.close``), something
+#: impossible with the default random ``psm_`` names.
+OWNED_SEGMENT_PREFIX = "repro_shm_"
+
+_owned_counter = itertools.count()
+
+
+def create_owned_shared_memory(size: int) -> shared_memory.SharedMemory:
+    """Create a block named ``repro_shm_<pid>_<seq>`` (sweepable by name).
+
+    The resource tracker is bypassed: cleanup is deterministic -- the owner
+    ``destroy``\\ s the block on every normal and error path, and the pool
+    master sweeps leftovers of dead children by pid -- so tracker
+    registration would only add double-unlink noise (and, for a SIGKILLed
+    child, an asynchronous unlink racing the master's sweep).
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        while True:
+            name = f"{OWNED_SEGMENT_PREFIX}{os.getpid()}_{next(_owned_counter)}"
+            try:
+                return shared_memory.SharedMemory(name=name, create=True, size=size)
+            except FileExistsError:  # pragma: no cover - stale recycled-pid block
+                try:
+                    stale = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    continue
+                unlink_owned_shared_memory(stale)
+                stale.close()
+    finally:
+        resource_tracker.register = original_register
+
+
+def unlink_owned_shared_memory(shm: shared_memory.SharedMemory) -> None:
+    """Unlink a block created by :func:`create_owned_shared_memory`.
+
+    Owned blocks were never registered with the resource tracker, so the
+    unregister message ``SharedMemory.unlink`` would send refers to an
+    unknown name and makes the tracker process print a spurious
+    ``KeyError`` traceback.  Suppressing the unregister keeps teardown
+    silent; the unlink itself is unaffected.
+    """
+    original_unregister = resource_tracker.unregister
+    resource_tracker.unregister = lambda *args, **kwargs: None
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - double unlink guard
+        pass
+    finally:
+        resource_tracker.unregister = original_unregister
 
 
 def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
@@ -205,9 +271,7 @@ class SharedArena:
             # protocol serialises write -> read -> next write), so the old
             # name can be freed before the replacement is published.
             self.destroy()
-            self._shm = shared_memory.SharedMemory(
-                create=True, size=max(cursor, _ALIGN) * 2
-            )
+            self._shm = create_owned_shared_memory(max(cursor, _ALIGN) * 2)
         segments = []
         for array, offset in zip(arrays, offsets):
             view = np.ndarray(array.shape, dtype=array.dtype,
@@ -220,10 +284,7 @@ class SharedArena:
         """Close and unlink the arena block (owner side, end of run)."""
         if self._shm is not None:
             self._shm.close()
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - double unlink guard
-                pass
+            unlink_owned_shared_memory(self._shm)
             self._shm = None
 
 

@@ -134,6 +134,28 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: min(workers, available cpus))"
         ),
     )
+    parser.add_argument(
+        "--edge-list",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run every experiment on this edge-list file (SNAP format, "
+            "optionally gzipped) instead of the stand-in datasets; ingested "
+            "out-of-core into an on-disk CSR cache and memmapped, so the "
+            "graph may be larger than RAM"
+        ),
+    )
+    parser.add_argument(
+        "--csr-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "on-disk CSR cache directory: holds the ingested --edge-list "
+            "cache (default: <edge-list>.csr-cache), or -- without "
+            "--edge-list -- persists the generated stand-ins so they are "
+            "served memmap-backed across sessions"
+        ),
+    )
     return parser
 
 
@@ -161,6 +183,8 @@ def main(argv=None) -> int:
         partition_native=not args.no_partition_native,
         backend=args.backend,
         processes=args.processes,
+        edge_list=args.edge_list,
+        csr_cache=args.csr_cache,
     )
     try:
         for name in args.experiments:

@@ -17,12 +17,26 @@ real web/social graphs).  It provides:
   quality report and by the Table 2 benchmark.
 * :mod:`repro.graph.partition` -- vertex partitioners mapping vertices to BSP
   workers (hash partitioning is Giraph's default).
+* :mod:`repro.graph.ingest` -- out-of-core edge-list ingestion into on-disk,
+  memmap-backed CSR caches (graphs larger than RAM).
 """
 
 from repro.graph.digraph import DiGraph
 from repro.graph.csr import CSRGraph
 from repro.graph.builder import GraphBuilder
-from repro.graph.partition import ChunkPartitioner, HashPartitioner, Partitioning, RangePartitioner
+from repro.graph.ingest import (
+    ingest_edge_list,
+    ingest_or_load,
+    load_csr_cache,
+    save_csr_cache,
+)
+from repro.graph.partition import (
+    ChunkPartitioner,
+    ContiguousPartitioner,
+    HashPartitioner,
+    Partitioning,
+    RangePartitioner,
+)
 
 __all__ = [
     "DiGraph",
@@ -31,5 +45,10 @@ __all__ = [
     "HashPartitioner",
     "RangePartitioner",
     "ChunkPartitioner",
+    "ContiguousPartitioner",
     "Partitioning",
+    "ingest_edge_list",
+    "ingest_or_load",
+    "load_csr_cache",
+    "save_csr_cache",
 ]

@@ -41,7 +41,8 @@ Mutation (``add_vertex`` / ``add_edge``) raises :class:`GraphError`; build a
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+import weakref
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,6 +50,12 @@ from repro.exceptions import GraphError
 
 VertexId = Hashable
 WeightedEdge = Tuple[VertexId, VertexId, float]
+
+#: Vertex-id containers a CSRGraph stores as-is.  ``range`` is the id form
+#: of the out-of-core caches (dense integer ids): slicing a range is lazy
+#: and pickles in O(1), so a 100M-vertex memmapped graph never materialises
+#: a Python list of its ids.
+IdSequence = Union[List[VertexId], range]
 
 
 class CSRGraph:
@@ -62,6 +69,17 @@ class CSRGraph:
     #: None for a graph in plain insertion order.
     partition_layout = None
 
+    #: True when the CSR arrays are ``np.memmap`` views of an on-disk cache
+    #: (see :mod:`repro.graph.ingest`).  Consumers that would pin a second
+    #: full copy (the repartition cache) hold it weakly instead.
+    mmap_backed = False
+
+    #: Set by :func:`repro.graph.ingest.load_csr_cache` for caches written
+    #: partition-contiguous at ingest time: ``{"partitioner", "num_workers",
+    #: "offsets"}``.  ``ContiguousPartitioner`` reuses the offsets, turning
+    #: ``repartition`` into a metadata no-op.
+    ingest_partition = None
+
     def __init__(
         self,
         name: str,
@@ -70,9 +88,10 @@ class CSRGraph:
         targets: np.ndarray,
         weights: np.ndarray,
         index: Optional[Dict[VertexId, int]] = None,
+        validate: bool = True,
     ) -> None:
         self.name = name
-        self.ids: List[VertexId] = list(ids)
+        self.ids: IdSequence = ids if isinstance(ids, (list, range)) else list(ids)
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.targets = np.ascontiguousarray(targets, dtype=np.int64)
         self.weights = np.ascontiguousarray(weights, dtype=np.float64)
@@ -83,7 +102,11 @@ class CSRGraph:
             )
         if self.targets.shape != self.weights.shape:
             raise GraphError("targets and weights must have the same length")
-        if len(self.targets) and (
+        # ``validate=False`` skips the O(m) bounds scan for arrays whose
+        # invariants are guaranteed by construction (shared copies, the
+        # ingest pipeline's own output) -- on a memmapped graph the scan
+        # would fault in every targets page just to re-check them.
+        if validate and len(self.targets) and (
             int(self.targets.min()) < 0 or int(self.targets.max()) >= n
         ):
             raise GraphError("edge targets must be vertex indices in [0, n)")
@@ -113,8 +136,10 @@ class CSRGraph:
         # One-slot repartition cache: experiment sweeps run many algorithms
         # over one frozen graph with the same partitioning, and the
         # relabelled graph is immutable, so the permutation cost is paid once
-        # per (graph, assignment) instead of once per run.
-        self._repartition_cache: Optional[Tuple[Tuple[int, bytes], "CSRGraph"]] = None
+        # per (graph, assignment) instead of once per run.  On a memmapped
+        # graph the slot holds a weakref -- a strong reference would pin a
+        # second, fully-materialised copy of a graph that may not fit RAM.
+        self._repartition_cache: Optional[Tuple[Tuple[int, bytes], object]] = None
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -327,6 +352,8 @@ class CSRGraph:
     @property
     def integer_ids(self) -> bool:
         """True when every vertex id is a plain Python int (array-friendly)."""
+        if isinstance(self.ids, range):
+            return True
         return all(type(v) is int for v in self.ids)
 
     # ------------------------------------------------------------ derivations
@@ -440,14 +467,18 @@ class CSRGraph:
 
     def copy(self, name: Optional[str] = None) -> "CSRGraph":
         """Shallow copy; the underlying arrays are shared (they are immutable)."""
-        return CSRGraph(
+        clone = CSRGraph(
             name or self.name,
             self.ids,
             self.indptr,
             self.targets,
             self.weights,
             index=self._index,
+            validate=False,  # sharing already-validated arrays
         )
+        clone.mmap_backed = self.mmap_backed
+        clone.ingest_partition = self.ingest_partition
+        return clone
 
     def repartition(self, partitioning) -> "CSRGraph":
         """Relabel vertices into partition-contiguous order for ``partitioning``.
@@ -477,7 +508,7 @@ class CSRGraph:
                 f"partitioning covers {layout.num_vertices} vertices but graph "
                 f"{self.name!r} has {self.num_vertices}"
             )
-        if partitioning.ids is not self.ids and partitioning.ids != self.ids:
+        if partitioning.ids is not self.ids and not _ids_match(partitioning.ids, self.ids):
             # Same count but different ids/order: the workers array would be
             # applied to the wrong vertices.  (Identity check first -- the
             # partitioners reuse the frozen graph's ids list, so the O(n)
@@ -487,8 +518,9 @@ class CSRGraph:
                 "it was built for a different vertex set or vertex order"
             )
         cache_key = (partitioning.num_workers, partitioning.workers.tobytes())
-        if self._repartition_cache is not None and self._repartition_cache[0] == cache_key:
-            return self._repartition_cache[1]
+        cached = self._cached_repartition(cache_key)
+        if cached is not None:
+            return cached
         if layout.is_identity:
             relabelled = self.copy()
             relabelled.partition_layout = layout
@@ -497,17 +529,38 @@ class CSRGraph:
             lengths = self.out_degrees[perm]
             indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
             np.cumsum(lengths, out=indptr[1:])
-            slots = concat_ranges(self.indptr[perm], lengths)
+            slots = concat_ranges(np.asarray(self.indptr)[perm], lengths)
             relabelled = CSRGraph(
                 f"{self.name}-partitioned",
                 [self.ids[i] for i in perm.tolist()],
                 indptr,
-                layout.inverse_perm[self.targets[slots]],
-                self.weights[slots],
+                np.asarray(layout.inverse_perm)[np.asarray(self.targets)[slots]],
+                np.asarray(self.weights)[slots],
+                validate=False,  # a permutation of already-validated arrays
             )
             relabelled.partition_layout = layout
-        self._repartition_cache = (cache_key, relabelled)
+        if self.mmap_backed and not layout.is_identity:
+            # A materialised relabelling of a memmapped graph can dwarf the
+            # graph object itself; hold it only as long as a consumer does.
+            self._repartition_cache = (cache_key, weakref.ref(relabelled))
+        else:
+            self._repartition_cache = (cache_key, relabelled)
         return relabelled
+
+    def _cached_repartition(self, cache_key) -> Optional["CSRGraph"]:
+        """The cached relabelling for ``cache_key``, if it is still alive."""
+        if self._repartition_cache is None or self._repartition_cache[0] != cache_key:
+            return None
+        cached = self._repartition_cache[1]
+        if isinstance(cached, weakref.ref):
+            cached = cached()
+            if cached is None:
+                self._repartition_cache = None
+        return cached
+
+    def invalidate_repartition_cache(self) -> None:
+        """Drop the cached relabelled graph (frees it if nothing else holds it)."""
+        self._repartition_cache = None
 
     def relabel_to_integers(
         self, name: Optional[str] = None
@@ -541,6 +594,13 @@ class CSRGraph:
             f"CSRGraph(name={self.name!r}, vertices={self.num_vertices}, "
             f"edges={self.num_edges})"
         )
+
+
+def _ids_match(a, b) -> bool:
+    """Element-wise id equality across list/range container mixes."""
+    if type(a) is type(b):
+        return a == b
+    return len(a) == len(b) and all(x == y for x, y in zip(a, b))
 
 
 def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:

@@ -33,8 +33,10 @@ per (name, scale) because generation is the most expensive part of the suite.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.graph import generators
@@ -158,7 +160,29 @@ _SPECS: Dict[str, DatasetSpec] = {
     ),
 }
 
-_CACHE: Dict[Tuple[str, float, int], DiGraph] = {}
+# LRU-bounded instance cache.  A plain dict here grew without bound: every
+# (name, scale, seed) cell of a sweep pinned a full graph forever, which is
+# exactly the wrong behaviour once scales get large.  The bound is small --
+# one sweep revisits only a handful of graphs -- and evicted entries are
+# freed as soon as the caller drops its own reference.
+_CACHE: "OrderedDict[Tuple[str, float, int], DiGraph]" = OrderedDict()
+_CACHE_LIMIT = 4
+
+
+def set_cache_limit(limit: int) -> int:
+    """Set the dataset-cache capacity; returns the previous limit."""
+    global _CACHE_LIMIT
+    if limit < 1:
+        raise ConfigurationError(f"cache limit must be >= 1, got {limit}")
+    previous = _CACHE_LIMIT
+    _CACHE_LIMIT = int(limit)
+    _evict()
+    return previous
+
+
+def _evict() -> None:
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
 
 
 def available_datasets() -> List[str]:
@@ -176,21 +200,52 @@ def dataset_spec(name: str) -> DatasetSpec:
     return _SPECS[key]
 
 
-def load_dataset(name: str, scale: float = 1.0, seed: int = 42) -> DiGraph:
+def load_dataset(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 42,
+    csr_cache_dir: Optional[Union[str, Path]] = None,
+):
     """Generate (or fetch from cache) the stand-in graph for ``name``.
 
     ``scale`` multiplies the baseline vertex count: the unit-test suite uses
     ``scale <= 0.3`` for speed while the benchmarks use ``scale = 1.0``.
+
+    With ``csr_cache_dir`` the dataset is served from an on-disk CSR cache
+    instead: generated once, persisted via
+    :func:`repro.graph.ingest.save_csr_cache`, and returned as a
+    memmap-backed :class:`~repro.graph.csr.CSRGraph` whose arrays page in
+    on demand -- repeated sessions skip generation entirely and the
+    in-process cache holds only the O(1) graph object.
     """
     spec = dataset_spec(name)
     if scale <= 0:
         raise ConfigurationError("scale must be positive")
+    if csr_cache_dir is not None:
+        return _load_csr_dataset(spec, float(scale), int(seed), Path(csr_cache_dir))
     cache_key = (spec.name, float(scale), int(seed))
     if cache_key not in _CACHE:
         num_vertices = max(64, int(spec.base_vertices * scale))
         graph_seed = derive_seed(seed, spec.name)
         _CACHE[cache_key] = spec.generator(num_vertices, graph_seed)
+        _evict()
+    else:
+        _CACHE.move_to_end(cache_key)
     return _CACHE[cache_key]
+
+
+def _load_csr_dataset(spec: DatasetSpec, scale: float, seed: int, cache_dir: Path):
+    """Serve a stand-in dataset from (and into) an on-disk CSR cache."""
+    from repro.graph.ingest import load_csr_cache, save_csr_cache
+
+    cache_path = cache_dir / f"{spec.name}-scale{scale:g}-seed{seed}"
+    if not (cache_path / "meta.json").exists():
+        num_vertices = max(64, int(spec.base_vertices * scale))
+        graph_seed = derive_seed(seed, spec.name)
+        graph = spec.generator(num_vertices, graph_seed)
+        save_csr_cache(graph.freeze(), cache_path, name=spec.name)
+        del graph
+    return load_csr_cache(cache_path, mmap_mode="r")
 
 
 def clear_cache() -> None:

@@ -114,7 +114,10 @@ class Partitioning:
 
     def __init__(self, num_workers: int, ids: Sequence[VertexId], workers: np.ndarray) -> None:
         self.num_workers = int(num_workers)
-        self.ids: List[VertexId] = ids if isinstance(ids, list) else list(ids)
+        # ``range`` ids (the memmap-backed caches) are kept lazy: slicing a
+        # range is O(1) and the dict/list wrappers below stay unbuilt on the
+        # array paths.
+        self.ids = ids if isinstance(ids, (list, range)) else list(ids)
         workers = np.ascontiguousarray(workers, dtype=np.int64)
         if workers.shape != (len(self.ids),):
             raise ConfigurationError(
@@ -140,7 +143,7 @@ class Partitioning:
             array.setflags(write=False)
         self._layout: Optional[PartitionLayout] = None
         self._assignment: Optional[Dict[VertexId, int]] = None
-        self._worker_vertices: Optional[List[List[VertexId]]] = None
+        self._worker_vertices: Optional[List[Sequence[VertexId]]] = None
 
     # -------------------------------------------------------------- dict API
     @property
@@ -156,11 +159,18 @@ class Partitioning:
         if self._worker_vertices is None:
             ids = self.ids
             bounds = self.offsets.tolist()
-            order = self.perm.tolist()
-            self._worker_vertices = [
-                [ids[i] for i in order[bounds[w] : bounds[w + 1]]]
-                for w in range(self.num_workers)
-            ]
+            if isinstance(ids, range) and self.layout().is_identity:
+                # Contiguous assignment over lazy ids: each worker's vertex
+                # list is a range slice -- O(1) per worker, no n-sized list.
+                self._worker_vertices = [
+                    ids[bounds[w] : bounds[w + 1]] for w in range(self.num_workers)
+                ]
+            else:
+                order = self.perm.tolist()
+                self._worker_vertices = [
+                    [ids[i] for i in order[bounds[w] : bounds[w + 1]]]
+                    for w in range(self.num_workers)
+                ]
         return self._worker_vertices
 
     def worker_of(self, vertex: VertexId) -> int:
@@ -382,6 +392,56 @@ class LDGPartitioner(BasePartitioner):
         return assignment
 
 
+class ContiguousPartitioner(BasePartitioner):
+    """Contiguous vertex blocks, balanced by *outbound edges*.
+
+    The vertex order is kept as-is and split into ``num_workers`` contiguous
+    blocks whose edge counts are as even as one cut per boundary allows --
+    the layout is therefore always the identity permutation, and
+    ``CSRGraph.repartition`` degenerates to a metadata-only shallow copy.
+    That makes this the natural partitioner for memmap-backed graphs: no
+    second on-disk-sized copy is ever materialised.
+
+    A graph ingested with a partitioner (``ingest_edge_list(...,
+    partitioner="ldg")``) already *is* partition-contiguous on disk; when
+    its recorded worker count matches, the stored offsets are reused
+    verbatim, so the at-ingest assignment (e.g. LDG's edge-cut-minimising
+    one) is reproduced exactly -- the "LDG at ingest" contract.
+    """
+
+    def _assign_graph(
+        self, graph: DiGraph, ids: Sequence[VertexId], num_workers: int
+    ) -> np.ndarray:
+        n = len(ids)
+        recorded = getattr(graph, "ingest_partition", None)
+        if recorded is not None and int(recorded["num_workers"]) == num_workers:
+            offsets = np.asarray(recorded["offsets"], dtype=np.int64)
+        else:
+            degrees = getattr(graph, "out_degrees", None)
+            if degrees is None:
+                degrees = np.fromiter(
+                    (graph.out_degree(vertex) for vertex in graph.vertices()),
+                    dtype=np.int64,
+                    count=n,
+                )
+            cumulative = np.cumsum(degrees, dtype=np.int64)
+            total = int(cumulative[-1]) if n else 0
+            if total == 0:
+                # No edges to balance: fall back to even vertex blocks.
+                offsets = (np.arange(num_workers + 1, dtype=np.int64) * n) // num_workers
+            else:
+                quotas = total * np.arange(1, num_workers, dtype=np.float64) / num_workers
+                offsets = np.empty(num_workers + 1, dtype=np.int64)
+                offsets[0] = 0
+                offsets[-1] = n
+                offsets[1:-1] = np.searchsorted(cumulative, quotas, side="left") + 1
+                np.minimum(offsets, n, out=offsets)
+                np.maximum.accumulate(offsets, out=offsets)
+        return np.repeat(
+            np.arange(num_workers, dtype=np.int64), np.diff(offsets)
+        )
+
+
 def _edge_index_arrays(graph, ids: List[VertexId]):
     """``(sources, targets)`` index arrays of the graph's directed edges.
 
@@ -435,6 +495,7 @@ PARTITIONERS = {
     "range": RangePartitioner,
     "chunk": ChunkPartitioner,
     "ldg": LDGPartitioner,
+    "contiguous": ContiguousPartitioner,
 }
 
 

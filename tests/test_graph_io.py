@@ -90,3 +90,37 @@ class TestReadEdgeCases:
         path.write_text("0 1\n")
         graph = read_edge_list(path)
         assert graph.name == "mygraph"
+
+
+class TestCommentCharRoundTrip:
+    """Regression: ``write_edge_list`` always emits ``# graph:`` / ``#
+    vertices:`` headers, so reading its output back with a non-default
+    ``comment`` character used to raise ``GraphFormatError`` on our own
+    header.  The reader must skip its own headers regardless of ``comment``.
+    """
+
+    @pytest.mark.parametrize("comment", ["#", ";", "%", "//"])
+    @pytest.mark.parametrize("suffix", [".txt", ".txt.gz"])
+    @pytest.mark.parametrize("write_weights", [False, True])
+    def test_round_trip_all_comment_chars(
+        self, sample_graph, tmp_path, comment, suffix, write_weights
+    ):
+        path = tmp_path / f"graph{suffix}"
+        write_edge_list(sample_graph, path, write_weights=write_weights)
+        loaded = read_edge_list(path, comment=comment)
+        assert loaded.num_vertices == sample_graph.num_vertices
+        assert loaded.num_edges == sample_graph.num_edges
+        if write_weights:
+            weights = {(s, t): w for s, t, w in loaded.edges()}
+            assert weights[(0, 1)] == pytest.approx(2.0)
+
+    def test_custom_comment_char_still_skips_its_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("; a comment\n# graph: x\n# vertices: 2 edges: 1\n0 1\n")
+        graph = read_edge_list(path, comment=";")
+        assert graph.num_edges == 1
+
+    def test_default_comment_unaffected(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(sample_graph, path)
+        assert read_edge_list(path).num_edges == sample_graph.num_edges

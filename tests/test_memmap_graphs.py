@@ -1,0 +1,110 @@
+"""Differential testing: memmap-backed CSR graphs vs in-RAM graphs.
+
+The out-of-core path (:mod:`repro.graph.ingest`) promises that a graph
+served from an on-disk CSR cache -- whether loaded memmap-backed or fully
+into RAM -- is *observationally identical* to the frozen graph it was saved
+from: every algorithm, every backend, every field of the run profile.  The
+differential machinery is imported from ``test_differential_engine`` so the
+matrix automatically widens when the registry gains algorithms.
+
+Process-backend note: ``SharedCSR.export`` copies the arrays into the shared
+block regardless of backing, so the workers never touch the memmap -- but
+the export itself reads through it, which is exactly the page-in path the
+benchmark relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from test_differential_engine import (
+    ALGORITHM_NAMES,
+    algorithm_settings,
+    assert_profiles_identical,
+)
+
+from repro.algorithms.registry import algorithm_by_name
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+from repro.graph.ingest import ingest_edge_list, load_csr_cache, save_csr_cache
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture(scope="module")
+def memmap_engine():
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+    yield engine
+    engine.close_pools()
+
+
+@pytest.fixture(scope="module")
+def graph_trio(tmp_path_factory):
+    """(frozen original, memmap-backed load, in-RAM load) of one cache."""
+    cache_dir = tmp_path_factory.mktemp("csr-cache")
+    frozen = generators.preferential_attachment(130, out_degree=4, seed=3).freeze()
+    cache = save_csr_cache(frozen, cache_dir / "pa")
+    return frozen, load_csr_cache(cache, mmap_mode="r"), load_csr_cache(cache, mmap_mode=None)
+
+
+def run_one(engine, graph, algorithm_name, backend, num_workers=4):
+    config, max_supersteps = algorithm_settings(algorithm_name)
+    return engine.run(
+        graph, algorithm_by_name(algorithm_name), config,
+        EngineConfig(
+            num_workers=num_workers, max_supersteps=max_supersteps, runtime_seed=7,
+            collect_vertex_values=True, backend=backend, processes=2,
+        ),
+    )
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+@pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
+def test_memmap_and_ram_loads_bit_identical(
+    memmap_engine, graph_trio, algorithm_name, backend
+):
+    """Every algorithm, both backends: original == memmap load == RAM load."""
+    frozen, mmapped, ram = graph_trio
+    baseline = run_one(memmap_engine, frozen, algorithm_name, backend)
+    assert_profiles_identical(baseline, run_one(memmap_engine, mmapped, algorithm_name, backend))
+    assert_profiles_identical(baseline, run_one(memmap_engine, ram, algorithm_name, backend))
+
+
+@pytest.mark.parametrize("algorithm_name", ["pagerank", "connected-components"])
+def test_ingested_graph_runs_bit_identical_to_saved_cache(
+    memmap_engine, tmp_path, algorithm_name
+):
+    """The full chunked-ingest path feeds the engine identically.
+
+    A dense-id graph is written out as an edge list, ingested out-of-core,
+    and run memmapped against the in-memory original.  Dense ids make the
+    ingester's index == id contract line up with the original's labelling,
+    so the whole profile -- values included -- must match exactly.
+    """
+    frozen = generators.uniform_csr(150, 900, seed=17)
+    edge_list = tmp_path / "uniform.txt"
+    write_edge_list(frozen, edge_list, write_weights=True)
+    # allow_self_loops=True / no dedup: the edge list is preserved verbatim,
+    # so the ingested multiset and order equal the original CSR exactly.
+    cache = ingest_edge_list(edge_list, tmp_path / "cache", allow_self_loops=True)
+    ingested = load_csr_cache(cache)
+    assert ingested.num_vertices == frozen.num_vertices
+    baseline = run_one(memmap_engine, frozen, algorithm_name, "inline")
+    memmapped = run_one(memmap_engine, ingested, algorithm_name, "inline")
+    assert_profiles_identical(baseline, memmapped)
+
+
+def test_memmap_graph_stays_memmapped_through_a_run(memmap_engine, graph_trio):
+    """Running must not silently materialise the backing arrays."""
+    _, mmapped, _ = graph_trio
+    run_one(memmap_engine, mmapped, "pagerank", "inline")
+    base = mmapped.targets
+    while isinstance(base, np.ndarray) and not isinstance(base, np.memmap):
+        base = base.base
+    assert isinstance(base, np.memmap)
+    assert mmapped.mmap_backed

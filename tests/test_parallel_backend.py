@@ -18,6 +18,7 @@ algorithms, configs, engine configs, plane init payloads.
 from __future__ import annotations
 
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -57,10 +58,18 @@ def diff_graph():
 
 
 def shm_segments():
-    """Names of live POSIX shared-memory segments (Python-created)."""
+    """Names of live POSIX shared-memory segments created by this backend.
+
+    ``psm_`` is CPython's default random-name prefix (used by the master's
+    ``SharedCSR`` export); ``repro_shm_`` is the deterministic prefix of
+    worker-owned arena blocks (see ``shared_csr.create_owned_shared_memory``).
+    """
     if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux hosts
         return None
-    return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    return {
+        name for name in os.listdir("/dev/shm")
+        if name.startswith(("psm_", "repro_shm_"))
+    }
 
 
 def run_backends(engine, graph, algorithm_name, backend, num_workers,
@@ -180,6 +189,72 @@ def test_child_error_propagates_and_pool_recovers(process_engine, diff_graph):
     if before is not None:
         leaked = shm_segments() - before
         assert not leaked, f"stale shared-memory segments after failed run: {leaked}"
+
+
+class ChildKillingPageRank(PageRank):
+    """SIGKILLs its own worker process mid-superstep (crash injection).
+
+    Unlike :class:`ExplodingPageRank`, the child gets no chance to run any
+    cleanup -- no ``finally``, no atexit, no resource tracker.  Its arena
+    blocks (created while packing superstep 0's send stream) can only be
+    reclaimed by the master's pid-based sweep in ``ProcessWorkerPool.close``.
+    """
+
+    def compute_batch(self, batch, config):
+        if batch.superstep == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+        super().compute_batch(batch, config)
+
+
+def test_sigkilled_child_leaves_no_shm_segments(process_engine, diff_graph):
+    """Regression: a SIGKILLed child used to leak its /dev/shm arena blocks."""
+    before = shm_segments()
+    if before is None:  # pragma: no cover - non-Linux hosts
+        pytest.skip("/dev/shm not available")
+    with pytest.raises(BSPError, match="died mid-run"):
+        process_engine.run(
+            diff_graph, ChildKillingPageRank(), PageRankConfig(tolerance=1e-5),
+            EngineConfig(num_workers=4, max_supersteps=10, runtime_seed=7,
+                         backend="process", processes=PROCESSES),
+        )
+    leaked = shm_segments() - before
+    assert not leaked, f"stale shared-memory segments after SIGKILL: {leaked}"
+    # The dead pool was torn down; the next process run gets a fresh one.
+    inline = run_backends(process_engine, diff_graph, "pagerank", "inline", 4)
+    process = run_backends(process_engine, diff_graph, "pagerank", "process", 4)
+    assert_profiles_identical(inline, process)
+
+
+def test_interrupt_mid_run_sweeps_segments(diff_graph):
+    """A KeyboardInterrupt on the master mid-run must not leak segments.
+
+    ``run_process_backend`` catches ``BaseException`` (not just ``Exception``)
+    so an interrupted session still joins the children and sweeps their arena
+    blocks; this pins that path by injecting the interrupt at the first
+    master->pool broadcast, when every child has already packed superstep 0's
+    stream into its arena.
+    """
+    before = shm_segments()
+    if before is None:  # pragma: no cover - non-Linux hosts
+        pytest.skip("/dev/shm not available")
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+    try:
+        pool = engine.process_pool(PROCESSES)
+
+        def interrupting_broadcast(message):
+            raise KeyboardInterrupt
+
+        pool.broadcast = interrupting_broadcast
+        with pytest.raises(KeyboardInterrupt):
+            run_backends(engine, diff_graph, "pagerank", "process", 4)
+        assert not pool.alive
+        leaked = shm_segments() - before
+        assert not leaked, f"stale shared-memory segments after interrupt: {leaked}"
+    finally:
+        engine.close_pools()
 
 
 # ----------------------------------------------------------- shared memory
