@@ -38,6 +38,7 @@ bench-smoke:
 		benchmarks/test_bench_semicluster_fastpath.py \
 		benchmarks/test_bench_parallel_backend.py \
 		benchmarks/test_bench_outofcore.py \
+		benchmarks/test_bench_trace_overhead.py \
 		-q -s
 
 docs-check:

@@ -59,22 +59,24 @@ def main() -> None:
     graph = load_dataset("wikipedia", scale=0.5)
     print(f"dataset: {graph.name}  vertices={graph.num_vertices}  edges={graph.num_edges}")
 
-    engine = BSPEngine()
-    engine_config = EngineConfig(num_workers=8)
-    algorithm = PageRank()
-    # The paper's convergence setting: tau = epsilon / N with epsilon = 0.001.
-    config = PageRankConfig.for_tolerance_level(0.001, graph.num_vertices)
+    # The context manager closes the engine's cached process pools on exit
+    # (a no-op for inline runs, required hygiene once backend="process").
+    with BSPEngine() as engine:
+        engine_config = EngineConfig(num_workers=8)
+        algorithm = PageRank()
+        # The paper's convergence setting: tau = epsilon / N with epsilon = 0.001.
+        config = PageRankConfig.for_tolerance_level(0.001, graph.num_vertices)
 
-    # ---------------------------------------------------------------- predict
-    predictor = Predictor(engine, algorithm, engine_config=engine_config)
-    prediction = predictor.predict(graph, config, sampling_ratio=0.1)
+        # ------------------------------------------------------------ predict
+        predictor = Predictor(engine, algorithm, engine_config=engine_config)
+        prediction = predictor.predict(graph, config, sampling_ratio=0.1)
 
-    print("\nPREDIcT prediction (from a 10% sample run):")
-    for key, value in prediction.summary().items():
-        print(f"  {key}: {value}")
+        print("\nPREDIcT prediction (from a 10% sample run):")
+        for key, value in prediction.summary().items():
+            print(f"  {key}: {value}")
 
-    # ------------------------------------------------------------------ actual
-    actual = engine.run(graph, algorithm, config, engine_config)
+        # -------------------------------------------------------------- actual
+        actual = engine.run(graph, algorithm, config, engine_config)
 
     rows = [
         ["iterations", prediction.predicted_iterations, actual.num_iterations,

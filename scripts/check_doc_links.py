@@ -2,11 +2,14 @@
 """Markdown link checker for the repo docs (no third-party dependencies).
 
 Scans the given markdown files for inline links and images
-(``[text](target)`` / ``![alt](target)``) and verifies that
+(``[text](target)`` / ``![alt](target)``) and reference-style link
+definitions (``[ref]: target``) and verifies that
 
 * relative file targets exist on disk (resolved against the linking file),
 * ``#fragment`` anchors -- bare or attached to a local markdown file --
-  match a heading in the target document (GitHub-style slugs),
+  match a heading in the target document (GitHub-style slugs, including
+  ATX ``#`` headings, setext underlined headings and the ``-1``/``-2``
+  suffixes GitHub appends to duplicated headings),
 * external ``http(s)://`` / ``mailto:`` targets are skipped (CI must not
   depend on the network).
 
@@ -24,6 +27,10 @@ from pathlib import Path
 
 #: Inline markdown links/images: [text](target) with no nested parentheses.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference-style link definitions: [label]: target (optionally "title").
+REF_DEF_RE = re.compile(r"^ {0,3}\[([^\]]+)\]:\s*(\S+)")
+#: Setext heading underlines: a run of = or - under a paragraph line.
+SETEXT_RE = re.compile(r"^ {0,3}(=+|-+)\s*$")
 #: Fenced code blocks are excluded from link scanning.
 FENCE_RE = re.compile(r"^(```|~~~)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
@@ -40,24 +47,57 @@ def github_slug(heading: str) -> str:
 
 
 def heading_slugs(path: Path) -> set:
-    slugs = set()
+    """All anchor slugs of a markdown document.
+
+    Recognises ATX (``# Title``) and setext (``Title`` over ``====`` or
+    ``----``) headings, and mirrors GitHub's handling of duplicates: the
+    second ``## Setup`` becomes ``setup-1``, the third ``setup-2``...
+    """
+    headings = []
     in_fence = False
+    previous = ""
     for line in path.read_text(encoding="utf-8").splitlines():
         if FENCE_RE.match(line):
             in_fence = not in_fence
+            previous = ""
             continue
-        if not in_fence and line.lstrip().startswith("#"):
-            slugs.add(github_slug(line))
+        if in_fence:
+            continue
+        stripped = line.lstrip()
+        if stripped.startswith("#"):
+            headings.append(github_slug(line))
+        elif SETEXT_RE.match(line) and previous.strip() and not previous.lstrip().startswith(("#", "-", "*", ">", "|")):
+            # A = / - underline promotes the preceding paragraph line to a
+            # heading; the guards exclude thematic breaks after blank lines,
+            # list items and table separator rows.
+            headings.append(github_slug(previous))
+        previous = line
+    slugs = set()
+    seen = {}
+    for slug in headings:
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
     return slugs
 
 
 def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every checkable link target.
+
+    Covers inline links/images and the targets of reference-style link
+    definitions (``[ref]: target``) -- the latter used to be silently
+    skipped, so a stale reference target never failed ``docs-check``.
+    """
     in_fence = False
     for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
         if FENCE_RE.match(line):
             in_fence = not in_fence
             continue
         if in_fence:
+            continue
+        definition = REF_DEF_RE.match(line)
+        if definition:
+            yield number, definition.group(2)
             continue
         for match in LINK_RE.finditer(line):
             yield number, match.group(1)

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Summarise a trace file written by ``--trace`` / ``repro.obs`` exporters.
+
+Stdlib-only on purpose (usable on a bare host where the repo's sources are
+not importable): reads either exporter format -- Chrome ``trace_event`` JSON
+(the default ``--trace`` output) or JSONL -- and prints per-span aggregates
+plus the superstep measured-vs-modeled table.
+
+Usage::
+
+    python scripts/trace_summary.py out.json
+    python scripts/trace_summary.py out.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: (name, duration_s, attrs) -- the common denominator of both formats.
+SpanRow = Tuple[str, float, dict]
+
+
+def load_spans(path: str) -> List[SpanRow]:
+    """Parse ``path`` as Chrome trace JSON or JSONL, whichever it is."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        # Chrome trace_event JSON: one object with a traceEvents array.
+        # (JSONL also starts with "{", but a multi-line file fails this parse.)
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return [
+            (e["name"], e.get("dur", 0.0) / 1e6, e.get("args") or {})
+            for e in payload.get("traceEvents", [])
+            if e.get("ph") == "X"
+        ]
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") == "span":
+            rows.append(
+                (record["name"], record.get("duration_s", 0.0),
+                 record.get("attrs") or {})
+            )
+    return rows
+
+
+def format_table(headers: List[str], rows: List[tuple], title: Optional[str] = None) -> str:
+    """Minimal aligned-table renderer (mirrors repro.utils.tables)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    fmt = lambda cells: "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines += [fmt(row) for row in str_rows]
+    return "\n".join(lines)
+
+
+def summarise(spans: List[SpanRow]) -> str:
+    """Aggregate report text for one trace."""
+    by_name: Dict[str, List[float]] = {}
+    for name, duration, _ in spans:
+        by_name.setdefault(name, []).append(duration)
+    parts = [format_table(
+        ["span", "count", "total_s", "mean_s", "max_s"],
+        [
+            (name, len(d), f"{sum(d):.6f}", f"{sum(d) / len(d):.6f}", f"{max(d):.6f}")
+            for name, d in sorted(by_name.items(), key=lambda kv: -sum(kv[1]))
+        ],
+        title="Span summary",
+    )]
+
+    supersteps = sorted(
+        ((duration, attrs) for name, duration, attrs in spans
+         if name == "superstep" and "superstep" in attrs),
+        key=lambda row: row[1]["superstep"],
+    )
+    if supersteps:
+        parts.append(format_table(
+            ["superstep", "measured_s", "modeled_s", "active",
+             "messages", "remote_bytes", "imbalance"],
+            [
+                (a["superstep"], f"{duration:.6f}",
+                 f"{a.get('modeled_s', 0.0):.6f}", a.get("active_vertices"),
+                 a.get("messages_sent"), a.get("remote_message_bytes"),
+                 a.get("worker_imbalance"))
+                for duration, a in supersteps
+            ],
+            title="Measured vs modeled supersteps",
+        ))
+        measured = sum(duration for duration, _ in supersteps)
+        modeled = sum(a.get("modeled_s", 0.0) for _, a in supersteps)
+        parts.append(
+            f"superstep totals: measured {measured:.6f}s, modeled {modeled:.3f}s "
+            f"(simulated cluster time; see docs/OBSERVABILITY.md)"
+        )
+    return "\n\n".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace file (--trace output: Chrome JSON or JSONL)")
+    args = parser.parse_args(argv)
+    spans = load_spans(args.trace)
+    if not spans:
+        print(f"{args.trace}: no spans found", file=sys.stderr)
+        return 1
+    print(summarise(spans))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

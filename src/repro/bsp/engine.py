@@ -115,6 +115,8 @@ from repro.cluster.spec import ClusterSpec
 from repro.exceptions import BSPError
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import BasePartitioner, HashPartitioner
+from repro.obs.probes import superstep_attrs
+from repro.obs.tracer import NULL_TRACER
 from repro.utils.rng import SeedLike
 
 VertexId = Hashable
@@ -180,6 +182,15 @@ class EngineConfig:
         ``multiprocessing`` start method of the worker pool (default
         ``"spawn"``: slowest to start but safe everywhere; pools are
         persistent and cached on the engine, so the cost is paid once).
+    trace:
+        A :class:`repro.obs.Tracer` to record the run into, or None
+        (default) for no tracing.  When set, the engine emits phase and
+        superstep spans -- each superstep span carries the measured wall
+        time *and* the modeled :class:`RuntimeModel` time plus the Table 1
+        counters -- and ``RunResult.trace`` references the tracer.  When
+        None every instrumentation point runs against the allocation-free
+        :data:`repro.obs.NULL_TRACER`, so the hot path is untouched.  See
+        ``docs/OBSERVABILITY.md``.
     """
 
     num_workers: Optional[int] = None
@@ -195,6 +206,7 @@ class EngineConfig:
     backend: str = "inline"
     processes: Optional[int] = None
     process_start_method: str = "spawn"
+    trace: Optional[Any] = None
 
 
 class BSPEngine:
@@ -230,6 +242,16 @@ class BSPEngine:
         for pool in self._pools.values():
             pool.close()
         self._pools.clear()
+
+    def __enter__(self) -> "BSPEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Context-manager exit releases the cached process pools (joining
+        # the worker processes and sweeping their /dev/shm arena blocks);
+        # without it a CLI run that built a pool leaks it until interpreter
+        # exit.  Entering is free -- pools are still created lazily.
+        self.close_pools()
 
     # -------------------------------------------------------------- run loop
     def run(
@@ -533,6 +555,10 @@ class _EngineRun:
             worker._context.num_edges = graph.num_edges
         self.runtime_model = RuntimeModel(engine.cost_profile, seed=engine_config.runtime_seed)
         self.memory_model = MemoryModel(engine.cluster, enforce=engine_config.enforce_memory)
+        # The tracer is threaded explicitly (never via the ambient context
+        # variable) so the disabled path is a plain attribute load of the
+        # allocation-free null tracer.
+        self.tracer = engine_config.trace if engine_config.trace is not None else NULL_TRACER
 
         self.values: Dict[VertexId, Any] = {}
         self.halted: set = set()
@@ -634,7 +660,20 @@ class _EngineRun:
         algorithm = self.algorithm
         config = self.config
         engine_config = self.engine_config
+        tracer = self.tracer
 
+        run_span = tracer.begin("engine.run")
+        if tracer.enabled:
+            run_span.merge({
+                "algorithm": algorithm.name,
+                "graph": original_graph_name,
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "num_workers": self.num_workers,
+                "backend": engine_config.backend,
+            })
+
+        setup_span = tracer.begin("phase.setup")
         graph_info = GraphInfo(
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
@@ -649,13 +688,22 @@ class _EngineRun:
                 graph.num_vertices, graph.num_edges, self.num_workers
             ),
         )
+        if tracer.enabled:
+            setup_span.set("modeled_s", phase_times.setup)
+        setup_span.finish()
 
-        # Initial vertex values.
+        # The read phase's measured twin is initial-value assignment plus
+        # the batch-plane build (the engine's analogue of loading
+        # partitions); its modeled time comes from the runtime model.
+        read_span = tracer.begin("phase.read")
         for vertex in graph.vertices():
             self.values[vertex] = algorithm.initial_value(vertex, graph, config)
 
         # Decide scalar vs. vectorized execution once per run.
         self._vector = _build_batch_state(self)
+        if tracer.enabled:
+            read_span.set("modeled_s", phase_times.read)
+        read_span.finish()
 
         # The process backend shards batch-plane supersteps over a pool of
         # OS worker processes (see repro.bsp.parallel).  It needs the
@@ -670,17 +718,23 @@ class _EngineRun:
         ):
             from repro.bsp.parallel.pool import run_process_backend
 
-            return run_process_backend(self, master, phase_times, original_graph_name)
+            try:
+                return run_process_backend(self, master, phase_times, original_graph_name)
+            finally:
+                run_span.finish()
 
         iterations: List[IterationProfile] = []
         convergence_history: List[float] = []
         converged = False
 
+        loop_span = tracer.begin("phase.superstep")
         for superstep in range(engine_config.max_supersteps):
+            ss_span = tracer.begin("superstep")
             self._begin_superstep()
             if self._vector is not None:
                 self._vector.execute_superstep(superstep)
             else:
+                compute_span = tracer.begin("compute")
                 for worker in self.workers:
                     worker.begin_superstep(superstep)
                     worker.execute_superstep(
@@ -689,6 +743,7 @@ class _EngineRun:
                         self.halted,
                         lambda ctx, msgs: algorithm.compute(ctx, msgs, config),
                     )
+                compute_span.finish()
 
             # Memory accounting for the buffered (next-superstep) messages.
             if engine_config.enforce_memory:
@@ -696,12 +751,15 @@ class _EngineRun:
 
             worker_counters = [worker.counters for worker in self.workers]
             runtime, critical_worker = self.runtime_model.superstep_time(worker_counters)
+
+            barrier_span = tracer.begin("barrier")
             aggregates = self.registry.barrier()
 
             active_next = self._count_active_next()
             decision = master.after_superstep(
                 superstep, aggregates, active_next, self._next_message_count
             )
+            barrier_span.finish()
 
             profile = IterationProfile(
                 superstep=superstep,
@@ -723,10 +781,16 @@ class _EngineRun:
                 self.incoming = self.next_incoming
                 self.next_incoming = {}
 
+            if tracer.enabled:
+                ss_span.merge(superstep_attrs(profile))
+            ss_span.finish()
+
             if decision.stop:
                 converged = decision.converged
                 break
+        loop_span.finish()
 
+        write_span = tracer.begin("phase.write")
         if self._vector is not None:
             self.values = self._vector.export_values()
 
@@ -734,6 +798,10 @@ class _EngineRun:
         phase_times.write = self.runtime_model.write_time(graph.num_vertices, self.num_workers)
 
         vertex_values = dict(self.values) if engine_config.collect_vertex_values else None
+        if tracer.enabled:
+            write_span.set("modeled_s", phase_times.write)
+        write_span.finish()
+        run_span.finish()
         return RunResult(
             algorithm=algorithm.name,
             graph_name=original_graph_name,
@@ -746,6 +814,7 @@ class _EngineRun:
             convergence_history=convergence_history,
             vertex_values=vertex_values,
             config=algorithm.config_dict(config),
+            trace=tracer if tracer.enabled else None,
         )
 
     # -------------------------------------------------------------- helpers

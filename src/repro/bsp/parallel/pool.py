@@ -27,6 +27,7 @@ cluster, not the host machine.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 from typing import List, Optional
@@ -39,6 +40,7 @@ from repro.bsp.parallel.shared_csr import OWNED_SEGMENT_PREFIX, SharedCSR
 from repro.bsp.parallel.worker import worker_main
 from repro.bsp.result import RunResult
 from repro.exceptions import BSPError
+from repro.obs.probes import superstep_attrs
 
 
 class ProcessWorkerPool:
@@ -200,6 +202,7 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
     processes = max(1, min(int(processes), num_workers))
     pool = run.engine.process_pool(processes, engine_config.process_start_method)
 
+    tracer = run.tracer
     graph = run.batch_graph()
     offsets = np.asarray(graph.partition_layout.offsets, dtype=np.int64)
     blocks = np.array_split(np.arange(num_workers, dtype=np.int64), processes)
@@ -208,16 +211,28 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
     convergence_history: List[float] = []
     converged = False
     try:
+        # The tracer cannot travel to the children (it is live, unpicklable
+        # state); they get a stripped config plus a ``trace`` flag and run
+        # their own per-process tracers, drained back at the barrier.
+        child_config = engine_config
+        if engine_config.trace is not None:
+            child_config = dataclasses.replace(engine_config, trace=None)
         setup = {
             "graph": shared.handle,
             "offsets": offsets,
             "num_workers": num_workers,
             "algorithm": run.algorithm,
             "config": run.config,
-            "engine_config": engine_config,
+            "engine_config": child_config,
             "plane": export_plane_init(plane, kind),
             "kind": kind,
+            "trace": tracer.enabled,
         }
+        loop_span = tracer.begin("phase.superstep")
+        # Children start computing superstep 0 the moment "init" lands, so
+        # the first superstep span opens before the sends: every adopted
+        # child span must fall inside the master span it is re-parented to.
+        ss_span = tracer.begin("superstep")
         for index, block in enumerate(blocks):
             pool.send(index, ("init", {
                 **setup, "worker_block": (int(block[0]), int(block[-1]) + 1),
@@ -225,6 +240,7 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
 
         for superstep in range(engine_config.max_supersteps):
             run._begin_superstep()
+            exchange_span = tracer.begin("exchange")
             computed = pool.receive_all("computed")
             tables = []
             for message in computed:  # process order == ascending worker blocks
@@ -236,26 +252,33 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
                 run._next_message_count += sent
                 tables.append(table)
             pool.broadcast(("table", tables))
+            exchange_span.finish()
 
+            reduce_span = tracer.begin("reduce")
             reduced = pool.receive_all("reduced")
             active_next = 0
             delivered_messages = np.zeros(num_workers, dtype=np.int64)
             delivered_bytes = np.zeros(num_workers, dtype=np.int64)
             for message, block in zip(reduced, blocks):
-                _, _, block_active, delivered = message
+                _, _, block_active, delivered, child_records = message
                 active_next += block_active
                 for worker_id, (messages_, bytes_) in zip(block.tolist(), delivered):
                     delivered_messages[worker_id] = messages_
                     delivered_bytes[worker_id] = bytes_
+                if child_records:
+                    tracer.adopt(child_records, parent_id=ss_span.span_id)
+            reduce_span.finish()
             if engine_config.enforce_memory:
                 run._check_memory_batch(delivered_messages, delivered_bytes)
 
             worker_counters = [run.workers[w].counters for w in range(num_workers)]
             runtime, critical_worker = run.runtime_model.superstep_time(worker_counters)
+            barrier_span = tracer.begin("barrier")
             aggregates = run.registry.barrier()
             decision = master.after_superstep(
                 superstep, aggregates, active_next, run._next_message_count
             )
+            barrier_span.finish()
             profile = IterationProfile(
                 superstep=superstep,
                 worker_counters=worker_counters,
@@ -269,11 +292,22 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
             if decision.convergence_metric is not None:
                 convergence_history.append(decision.convergence_metric)
 
+            # Close superstep S before the continue broadcast releases the
+            # children into superstep S+1, and open span S+1 first -- the
+            # staggering keeps child compute inside the master's span.
+            if tracer.enabled:
+                ss_span.merge(superstep_attrs(profile))
+            ss_span.finish()
+            if not decision.stop:
+                ss_span = tracer.begin("superstep")
             pool.broadcast(("continue", decision.stop, aggregates))
             if decision.stop:
                 converged = decision.converged
                 break
+        ss_span.finish()  # no-op unless the superstep budget ran out
+        loop_span.finish()
 
+        write_span = tracer.begin("phase.write")
         values_messages = pool.receive_all("values")
         paste_values(plane, kind, [message[2] for message in values_messages])
         run.values = plane.export_values()
@@ -293,6 +327,9 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
     phase_times.write = run.runtime_model.write_time(
         run.graph.num_vertices, run.num_workers
     )
+    if tracer.enabled:
+        write_span.set("modeled_s", phase_times.write)
+    write_span.finish()
     vertex_values = dict(run.values) if engine_config.collect_vertex_values else None
     return RunResult(
         algorithm=run.algorithm.name,
@@ -306,4 +343,5 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
         convergence_history=convergence_history,
         vertex_values=vertex_values,
         config=run.algorithm.config_dict(run.config),
+        trace=tracer if tracer.enabled else None,
     )

@@ -21,10 +21,19 @@ the two round trips per superstep *are* the BSP barrier:
 child -> ``computed``   per-worker counters, aggregator contributions (in
                         contribution order), sent-message count, stream table
 master -> ``table``     every process's stream table (all streams written)
-child -> ``reduced``    next-superstep active count + per-worker delivered
-                        messages/bytes for the owned workers
+child -> ``reduced``    next-superstep active count, per-worker delivered
+                        messages/bytes for the owned workers, and the
+                        drained trace spans of the superstep (None when
+                        tracing is off)
 master -> ``continue``  stop flag + the barrier's reduced aggregator values
 ======================  =====================================================
+
+When the master traces (``setup["trace"]``), each child runs its own
+:class:`repro.obs.Tracer` on track ``proc<index>``, records compute /
+messaging / reduce spans per superstep, and ships them -- closed, as
+wall-clock records -- with the ``reduced`` reply.  The master re-bases them
+onto its clock and re-parents them under its superstep span
+(:meth:`Tracer.adopt <repro.obs.tracer.Tracer.adopt>`).
 
 On ``stop`` the child ships its owned slice of the final vertex values and
 returns to the command loop, ready for the next run (the pool is
@@ -51,6 +60,7 @@ from repro.bsp.parallel.shared_csr import ArenaReader, SharedArena, SharedCSR
 from repro.bsp.worker import Worker
 from repro.exceptions import BSPError
 from repro.graph.partition import PartitionLayout
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class _RecordingRegistry:
@@ -98,6 +108,7 @@ class _ChildRun:
         self.message_sizer = algorithm.message_size
         self.combiner = algorithm.combiner(config) if engine_config.use_combiner else None
         self._next_message_count = 0
+        self.tracer = NULL_TRACER
 
     def batch_graph(self):
         """The shared graph is already partition-contiguous."""
@@ -146,6 +157,8 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
         run = _ChildRun(
             graph, algorithm, config, engine_config, num_workers, registry
         )
+        tracer = Tracer(track=f"proc{proc_index}") if setup.get("trace") else NULL_TRACER
+        run.tracer = tracer
         kind = setup["kind"]
         plane = build_child_plane(run, kind, setup["plane"])
         if plane.worker_offsets is None:  # pragma: no cover - layout guard
@@ -166,6 +179,9 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
             # ---- compute phase: the inline kernels, owned workers only.
             run._next_message_count = 0
             registry.events = []
+            compute_span = tracer.begin("compute")
+            if tracer.enabled:
+                compute_span.set("superstep", superstep)
             for worker in workers:
                 worker.begin_superstep(superstep)
                 active = worker.select_active_range(
@@ -177,7 +193,10 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
                 if len(active):
                     batch = plane.context_cls(plane, worker, active, superstep)
                     algorithm.compute_batch(batch, config)
+            compute_span.finish()
+            messaging_span = tracer.begin("messaging")
             meta, handle, local_arrays = extract_stream(plane, kind, arena, stream_cache)
+            messaging_span.finish()
             conn.send((
                 "computed", proc_index,
                 [worker.counters for worker in workers],
@@ -200,15 +219,22 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
                 streams.append((peer_meta, reader.arrays(peer_handle)))
 
             # ---- owner reduce: fold messages addressed to [lo, hi).
+            reduce_span = tracer.begin("reduce")
             reset_delivery_buffers(plane, kind)
             reduce_streams(plane, kind, streams, lo, hi, stream_cache)
             plane._commit_superstep()
+            reduce_span.finish()
             reader.release_except(live_names)
             active_next = int(np.count_nonzero(
                 ~plane.halted[lo:hi] | (plane.count_next[lo:hi] > 0)
             ))
             delivered = [plane.buffered_for(worker) for worker in workers]
-            conn.send(("reduced", proc_index, active_next, delivered))
+            # Ship this superstep's closed spans with the barrier reply; the
+            # master adopts them under its current superstep span.
+            conn.send((
+                "reduced", proc_index, active_next, delivered,
+                tracer.drain() if tracer.enabled else None,
+            ))
 
             # ---- master barrier: aggregates reduced, stop decided.
             reply = conn.recv()

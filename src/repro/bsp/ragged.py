@@ -347,7 +347,9 @@ class BatchPlane:
     # ----------------------------------------------------------- superstep run
     def execute_superstep(self, superstep: int) -> None:
         run = self.run
+        tracer = run.tracer
         offsets = self.worker_offsets
+        compute_span = tracer.begin("compute")
         for worker in run.workers:
             worker.begin_superstep(superstep)
             if offsets is not None:
@@ -365,7 +367,10 @@ class BatchPlane:
                 continue
             batch = self.context_cls(self, worker, active, superstep)
             run.algorithm.compute_batch(batch, run.config)
+        compute_span.finish()
+        messaging_span = tracer.begin("messaging")
         self._commit_superstep()
+        messaging_span.finish()
 
     def _commit_superstep(self) -> None:
         """Apply value updates staged during the worker loop (subclass hook)."""

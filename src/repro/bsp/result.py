@@ -47,6 +47,11 @@ class RunResult:
     convergence_history: List[float] = field(default_factory=list)
     vertex_values: Optional[Dict[VertexId, Any]] = None
     config: Dict[str, Any] = field(default_factory=dict)
+    #: The :class:`repro.obs.Tracer` the run recorded into when
+    #: ``EngineConfig.trace`` was set (None otherwise).  Holds the measured
+    #: wall-clock spans whose superstep attributes pair with the simulated
+    #: ``iterations`` runtimes -- the measured-vs-modeled link.
+    trace: Optional[Any] = None
 
     @property
     def num_iterations(self) -> int:

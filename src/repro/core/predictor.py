@@ -37,6 +37,7 @@ from repro.core.sample_run import SampleRunner, SampleRunProfile
 from repro.core.transform import TransformFunction
 from repro.exceptions import PredictionError
 from repro.graph.digraph import DiGraph
+from repro.obs.tracer import activate, current_tracer
 from repro.sampling.base import VertexSampler
 
 #: The paper's training sampling ratios (Figures 7 and 8).
@@ -142,21 +143,37 @@ class Predictor:
         config = config if config is not None else self.algorithm.default_config()
         dataset = dataset_name or graph.name
 
-        profiles = self._run_training_samples(graph, config, sampling_ratio)
-        prediction_profile = profiles[sampling_ratio]
+        # The engine tracer (when configured) becomes ambient for the whole
+        # prediction, so the regression spans land in the same trace as the
+        # sample runs' engine spans.
+        tracer = self.runner.engine_config.trace
+        tracer = tracer if tracer is not None else current_tracer()
+        with activate(tracer), tracer.span("predict") as predict_span:
+            if tracer.enabled:
+                predict_span.set("algorithm", self.algorithm.name)
+                predict_span.set("dataset", dataset)
+                predict_span.set("sampling_ratio", sampling_ratio)
 
-        table, used_history = self._build_training_table(profiles, dataset)
-        cost_model = self.cost_model_factory()
-        cost_model.train(table)
+            profiles = self._run_training_samples(graph, config, sampling_ratio)
+            prediction_profile = profiles[sampling_ratio]
 
-        extrapolator = Extrapolator(prediction_profile.factors)
-        critical_rows = extrapolator.extrapolate_rows(
-            prediction_profile.feature_rows(level=self.feature_level)
-        )
-        graph_rows = extrapolator.extrapolate_rows(
-            prediction_profile.feature_rows(level="graph")
-        )
-        iteration_runtimes = cost_model.predict_run(critical_rows)
+            table, used_history = self._build_training_table(profiles, dataset)
+            cost_model = self.cost_model_factory()
+            cost_model.train(table)
+
+            extrapolator = Extrapolator(prediction_profile.factors)
+            critical_rows = extrapolator.extrapolate_rows(
+                prediction_profile.feature_rows(level=self.feature_level)
+            )
+            graph_rows = extrapolator.extrapolate_rows(
+                prediction_profile.feature_rows(level="graph")
+            )
+            iteration_runtimes = cost_model.predict_run(critical_rows)
+            if tracer.enabled:
+                predict_span.set("training_observations", len(table))
+                predict_span.set(
+                    "predicted_superstep_runtime_s", float(sum(iteration_runtimes))
+                )
 
         return Prediction(
             algorithm=self.algorithm.name,

@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.exceptions import ModelingError
+from repro.obs.tracer import current_tracer
 from repro.utils.stats import coefficient_of_determination
 
 
@@ -77,16 +78,25 @@ def fit_linear_model(
     if matrix.shape[1] != len(feature_names):
         raise ModelingError("feature_names length must match matrix columns")
 
-    design = np.hstack([matrix, np.ones((matrix.shape[0], 1))])
-    solution, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
-    coefficients = solution[:-1]
-    intercept = float(solution[-1])
+    tracer = current_tracer()
+    with tracer.span("regression.fit") as fit_span:
+        design = np.hstack([matrix, np.ones((matrix.shape[0], 1))])
+        solution, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+        coefficients = solution[:-1]
+        intercept = float(solution[-1])
 
-    if non_negative and coefficients.size and np.any(coefficients < 0):
-        coefficients, intercept = _non_negative_refit(matrix, y, coefficients)
+        if non_negative and coefficients.size and np.any(coefficients < 0):
+            coefficients, intercept = _non_negative_refit(matrix, y, coefficients)
 
-    predictions = matrix @ coefficients + intercept
-    r_squared = coefficient_of_determination(y, predictions)
+        predictions = matrix @ coefficients + intercept
+        r_squared = coefficient_of_determination(y, predictions)
+        if tracer.enabled:
+            fit_span.merge({
+                "features": list(feature_names),
+                "observations": int(matrix.shape[0]),
+                "r_squared": r_squared,
+                "non_negative": non_negative,
+            })
     return LinearModel(
         feature_names=list(feature_names),
         coefficients=coefficients,
@@ -140,19 +150,27 @@ def cross_validate(
     n = matrix.shape[0]
     if n < 2:
         raise ModelingError("cross validation needs at least two observations")
-    folds = min(num_folds, n)
-    indices = np.arange(n)
-    fold_errors: List[float] = []
-    for fold in range(folds):
-        test_mask = indices % folds == fold
-        train_mask = ~test_mask
-        if not np.any(train_mask) or not np.any(test_mask):
-            continue
-        model = fit_linear_model(matrix[train_mask], y[train_mask], feature_names)
-        predictions = model.predict_matrix(matrix[test_mask])
-        fold_errors.append(float(np.mean(np.abs(predictions - y[test_mask]))))
-    if not fold_errors:
-        raise ModelingError("cross validation produced no folds")
+    tracer = current_tracer()
+    with tracer.span("regression.cross_validate") as cv_span:
+        folds = min(num_folds, n)
+        indices = np.arange(n)
+        fold_errors: List[float] = []
+        for fold in range(folds):
+            test_mask = indices % folds == fold
+            train_mask = ~test_mask
+            if not np.any(train_mask) or not np.any(test_mask):
+                continue
+            model = fit_linear_model(matrix[train_mask], y[train_mask], feature_names)
+            predictions = model.predict_matrix(matrix[test_mask])
+            fold_errors.append(float(np.mean(np.abs(predictions - y[test_mask]))))
+        if not fold_errors:
+            raise ModelingError("cross validation produced no folds")
+        if tracer.enabled:
+            cv_span.merge({
+                "features": list(feature_names),
+                "observations": int(n),
+                "folds": len(fold_errors),
+            })
     return CrossValidationResult(
         mean_absolute_error=float(np.mean(fold_errors)),
         fold_errors=fold_errors,

@@ -23,6 +23,7 @@ from repro.core.features import FeatureRow, FeatureTable
 from repro.core.transform import TransformFunction, default_transform
 from repro.exceptions import ConfigurationError
 from repro.graph.digraph import DiGraph
+from repro.obs.tracer import current_tracer
 from repro.sampling.base import SampleResult, VertexSampler
 from repro.sampling.biased_random_jump import BiasedRandomJump
 
@@ -81,20 +82,33 @@ class SampleRunner:
             raise ConfigurationError(
                 f"sampling_ratio must be in (0, 1], got {sampling_ratio}"
             )
-        sample = self.sampler.sample(graph, sampling_ratio)
-        if sample.graph.num_edges == 0:
-            raise ConfigurationError(
-                "the sample contains no edges; increase the sampling ratio or "
-                "use a sampler that preserves connectivity"
+        # Trace through the engine's explicit tracer when one is configured;
+        # otherwise through the ambient tracer (NULL_TRACER when off).
+        tracer = self.engine_config.trace
+        tracer = tracer if tracer is not None else current_tracer()
+        with tracer.span("sample_run") as run_span:
+            if tracer.enabled:
+                run_span.set("algorithm", self.algorithm.name)
+                run_span.set("sampling_ratio", sampling_ratio)
+            with tracer.span("sample") as sample_span:
+                sample = self.sampler.sample(graph, sampling_ratio)
+                if tracer.enabled:
+                    sample_span.set("sample_vertices", sample.graph.num_vertices)
+                    sample_span.set("sample_edges", sample.graph.num_edges)
+            if sample.graph.num_edges == 0:
+                raise ConfigurationError(
+                    "the sample contains no edges; increase the sampling ratio or "
+                    "use a sampler that preserves connectivity"
+                )
+            with tracer.span("transform"):
+                sample_config = self.transform(self.algorithm, config, sampling_ratio)
+            run = self.engine.run(
+                sample.graph,
+                self.algorithm,
+                config=sample_config,
+                engine_config=self.engine_config,
             )
-        sample_config = self.transform(self.algorithm, config, sampling_ratio)
-        run = self.engine.run(
-            sample.graph,
-            self.algorithm,
-            config=sample_config,
-            engine_config=self.engine_config,
-        )
-        factors = ScalingFactors.from_sample(graph, sample)
+            factors = ScalingFactors.from_sample(graph, sample)
         return SampleRunProfile(
             algorithm=self.algorithm.name,
             graph_name=graph.name,

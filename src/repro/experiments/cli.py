@@ -156,6 +156,19 @@ def build_parser() -> argparse.ArgumentParser:
             "served memmap-backed across sessions"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a runtime trace of every run (phases, supersteps with "
+            "measured wall + modeled time and message counters, per-worker "
+            "spans) and write it to PATH: '.jsonl' writes JSON lines, "
+            "anything else a Chrome trace_event file that loads in "
+            "https://ui.perfetto.dev; a text summary is printed at exit "
+            "(see docs/OBSERVABILITY.md)"
+        ),
+    )
     return parser
 
 
@@ -173,7 +186,13 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
-    ctx = ExperimentContext(
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
+    with ExperimentContext(
         cost_profile=DEFAULT_PROFILE,
         dataset_scale=args.scale,
         num_workers=args.workers,
@@ -185,13 +204,26 @@ def main(argv=None) -> int:
         processes=args.processes,
         edge_list=args.edge_list,
         csr_cache=args.csr_cache,
-    )
-    try:
-        for name in args.experiments:
-            print(EXPERIMENTS[name](ctx))
-            print()
-    finally:
-        ctx.engine.close_pools()
+        tracer=tracer,
+    ) as ctx:
+        # The tracer is also made ambient so cold layers that instrument
+        # through current_tracer() (regression, ingest) land in the trace.
+        from repro.obs import activate
+
+        with activate(tracer):
+            for name in args.experiments:
+                print(EXPERIMENTS[name](ctx))
+                print()
+
+    if tracer is not None:
+        from repro.obs import summary_table, write_chrome_trace, write_jsonl
+
+        if args.trace.endswith(".jsonl"):
+            write_jsonl(tracer, args.trace)
+        else:
+            write_chrome_trace(tracer, args.trace)
+        print(summary_table(tracer))
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 

@@ -95,6 +95,11 @@ class ExperimentContext:
         ``edge_list`` it holds the ingested cache (default: a sibling
         ``<edge_list>.csr-cache`` directory); without it, stand-in datasets
         are generated once, persisted there, and served memmap-backed.
+    tracer:
+        A :class:`repro.obs.Tracer` recording every run of the context
+        (``--trace`` on the CLI).  Threaded into every
+        :meth:`engine_config` and into edge-list ingestion; None (default)
+        leaves tracing off at zero cost.
     """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
@@ -110,6 +115,7 @@ class ExperimentContext:
     processes: Optional[int] = None
     edge_list: Optional[str] = None
     csr_cache: Optional[str] = None
+    tracer: Optional[object] = None
 
     _engine: BSPEngine = field(init=False, repr=False, default=None)
     _actual_runs: Dict[Tuple[str, str, str], RunResult] = field(
@@ -122,6 +128,17 @@ class ExperimentContext:
 
     def __post_init__(self) -> None:
         self._engine = BSPEngine(cluster=self.cluster, cost_profile=self.cost_profile)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release held resources (the engine's cached process pools)."""
+        self._engine.close_pools()
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- pieces
     @property
@@ -140,6 +157,7 @@ class ExperimentContext:
             partition_native=self.partition_native,
             backend=self.backend,
             processes=self.processes,
+            trace=self.tracer,
         )
 
     def load(self, dataset: str) -> CSRGraph:
@@ -163,7 +181,9 @@ class ExperimentContext:
                     if self.csr_cache
                     else Path(f"{self.edge_list}.csr-cache")
                 )
-                self._frozen_graphs[key] = ingest_or_load(self.edge_list, cache_dir)
+                self._frozen_graphs[key] = ingest_or_load(
+                    self.edge_list, cache_dir, tracer=self.tracer
+                )
             return self._frozen_graphs[key]
         key = (dataset, self.dataset_scale, self.seed)
         if key not in self._frozen_graphs:

@@ -71,6 +71,7 @@ import numpy as np
 from repro.exceptions import GraphError, GraphFormatError
 from repro.graph.csr import CSRGraph, concat_ranges
 from repro.graph.io import HEADER_PREFIXES
+from repro.obs.tracer import current_tracer
 
 PathLike = Union[str, Path]
 
@@ -278,6 +279,7 @@ def ingest_edge_list(
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
     bucket_bytes: int = DEFAULT_BUCKET_BYTES,
     force: bool = False,
+    tracer=None,
 ) -> Path:
     """Ingest an edge-list file into an on-disk CSR cache; return its path.
 
@@ -286,42 +288,59 @@ def ingest_edge_list(
     returned without re-reading the input (unless ``force``).  With
     ``partitioner`` (a :data:`repro.graph.partition.PARTITIONERS` name) and
     ``num_workers``, the cache lands partition-contiguous on disk.
+    ``tracer`` (default: the ambient :func:`repro.obs.current_tracer`)
+    records one span per pipeline stage.
     """
     file_path = Path(path)
+    tracer = tracer if tracer is not None else current_tracer()
     if partitioner is not None and not num_workers:
         raise GraphError("partitioner at ingest requires num_workers")
-    digest = cache_digest(
-        file_path, comment=comment, allow_self_loops=allow_self_loops,
-        deduplicate=deduplicate, partitioner=partitioner, num_workers=num_workers,
-    )
-    cache_root = Path(cache_dir)
-    final_dir = cache_root / digest
-    if (final_dir / "meta.json").exists() and not force:
-        return final_dir
-    cache_root.mkdir(parents=True, exist_ok=True)
-    tmp_dir = cache_root / f".tmp-{digest}-{os.getpid()}"
-    if tmp_dir.exists():
-        shutil.rmtree(tmp_dir)
-    tmp_dir.mkdir()
-    try:
-        meta = _ingest_into(
-            file_path, tmp_dir,
-            name=name or file_path.name.partition(".")[0],
-            comment=comment, allow_self_loops=allow_self_loops,
-            deduplicate=deduplicate, chunk_bytes=chunk_bytes,
-            bucket_bytes=bucket_bytes,
+    with tracer.span("ingest") as ingest_span:
+        if tracer.enabled:
+            ingest_span.set("path", str(file_path))
+        digest = cache_digest(
+            file_path, comment=comment, allow_self_loops=allow_self_loops,
+            deduplicate=deduplicate, partitioner=partitioner, num_workers=num_workers,
         )
-        if partitioner is not None:
-            _partition_stage(tmp_dir, meta, partitioner, int(num_workers))
-        meta["digest"] = digest
-        with open(tmp_dir / "meta.json", "w") as handle:
-            json.dump(meta, handle, indent=1)
-        if final_dir.exists():
-            shutil.rmtree(final_dir)
-        os.replace(tmp_dir, final_dir)
-    finally:
+        cache_root = Path(cache_dir)
+        final_dir = cache_root / digest
+        if (final_dir / "meta.json").exists() and not force:
+            if tracer.enabled:
+                ingest_span.set("cache_hit", True)
+            return final_dir
+        if tracer.enabled:
+            ingest_span.set("cache_hit", False)
+        cache_root.mkdir(parents=True, exist_ok=True)
+        tmp_dir = cache_root / f".tmp-{digest}-{os.getpid()}"
         if tmp_dir.exists():
             shutil.rmtree(tmp_dir)
+        tmp_dir.mkdir()
+        try:
+            meta = _ingest_into(
+                file_path, tmp_dir,
+                name=name or file_path.name.partition(".")[0],
+                comment=comment, allow_self_loops=allow_self_loops,
+                deduplicate=deduplicate, chunk_bytes=chunk_bytes,
+                bucket_bytes=bucket_bytes, tracer=tracer,
+            )
+            if partitioner is not None:
+                with tracer.span("ingest.partition") as part_span:
+                    _partition_stage(tmp_dir, meta, partitioner, int(num_workers))
+                    if tracer.enabled:
+                        part_span.set("partitioner", partitioner)
+                        part_span.set("num_workers", int(num_workers))
+            meta["digest"] = digest
+            with open(tmp_dir / "meta.json", "w") as handle:
+                json.dump(meta, handle, indent=1)
+            if final_dir.exists():
+                shutil.rmtree(final_dir)
+            os.replace(tmp_dir, final_dir)
+        finally:
+            if tmp_dir.exists():
+                shutil.rmtree(tmp_dir)
+        if tracer.enabled:
+            ingest_span.set("num_vertices", meta["num_vertices"])
+            ingest_span.set("num_edges", meta["num_edges"])
     return final_dir
 
 
@@ -334,8 +353,10 @@ def _ingest_into(
     deduplicate: bool,
     chunk_bytes: int,
     bucket_bytes: int,
+    tracer=None,
 ) -> dict:
     """Run the parse/spill/bucket/CSR passes; write arrays into ``out_dir``."""
+    tracer = tracer if tracer is not None else current_tracer()
     comment_b = comment.encode("utf-8")
     spill_path = out_dir / "spill.bin"
     max_id = -1
@@ -344,6 +365,7 @@ def _ingest_into(
     has_weights = False
 
     # Pass A: chunked parse -> binary spill of (source, target, weight).
+    parse_span = tracer.begin("ingest.parse")
     with _open_binary(file_path) as handle, open(spill_path, "wb") as spill:
         for sources, targets, weights, _ in _iter_chunks(
             handle, comment_b, chunk_bytes, file_path
@@ -367,6 +389,10 @@ def _ingest_into(
             max_id = max(max_id, chunk_max)
             raw_edges += len(records)
             spill.write(records.tobytes())
+    if tracer.enabled:
+        parse_span.set("raw_edges", raw_edges + self_loops_dropped)
+        parse_span.set("spilled_edges", raw_edges)
+    parse_span.finish()
 
     num_vertices = max_id + 1
     spill_bytes = raw_edges * _SPILL_DTYPE.itemsize
@@ -375,6 +401,9 @@ def _ingest_into(
 
     # Pass B: route the spill into per-source-range bucket files.  Skipped
     # when everything fits one bucket -- the spill already is that bucket.
+    bucket_span = tracer.begin("ingest.bucket")
+    if tracer.enabled:
+        bucket_span.set("num_buckets", num_buckets)
     if num_buckets > 1:
         bucket_paths = [out_dir / f"bucket-{k}.bin" for k in range(num_buckets)]
         bucket_files = [open(p, "wb") for p in bucket_paths]
@@ -395,8 +424,10 @@ def _ingest_into(
         spill_path.unlink()
     else:
         bucket_paths = [spill_path]
+    bucket_span.finish()
 
     # Pass C: per bucket -- sort by source, dedup, sequential CSR append.
+    csr_span = tracer.begin("ingest.csr_write")
     duplicates_dropped = 0
     num_edges = 0
     indptr_f = _open_npy_stream(out_dir / "indptr.npy")
@@ -448,6 +479,10 @@ def _ingest_into(
         indptr_f.close()
         targets_f.close()
         weights_f.close()
+    if tracer.enabled:
+        csr_span.set("num_vertices", num_vertices)
+        csr_span.set("num_edges", num_edges)
+    csr_span.finish()
 
     return {
         "format_version": FORMAT_VERSION,

@@ -1,0 +1,51 @@
+"""Telemetry: low-overhead spans/counters plus exporters.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and the
+measured-vs-modeled semantics.  Quick use::
+
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    result = engine.run(graph, algorithm, config,
+                        EngineConfig(trace=tracer))
+    write_chrome_trace(tracer, "out.json")   # load in ui.perfetto.dev
+
+When ``EngineConfig.trace`` is None the engine instruments against
+:data:`NULL_TRACER`, which is allocation-free -- tracing off costs nothing.
+"""
+
+from repro.obs.export import (
+    span_dicts,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.probes import rss_kb, superstep_attrs, worker_imbalance
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullSpan",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "current_tracer",
+    "activate",
+    "span_dicts",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+    "rss_kb",
+    "superstep_attrs",
+    "worker_imbalance",
+]

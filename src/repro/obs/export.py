@@ -1,0 +1,182 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, text summary.
+
+All three consume a finished :class:`~repro.obs.tracer.Tracer`.  The Chrome
+format is the ``traceEvents`` array documented for ``chrome://tracing`` --
+load the file in https://ui.perfetto.dev to browse the span tree.  Tracks
+("main", "proc0", "proc1", ...) map to Chrome *thread* ids inside one
+process, each labelled with a ``thread_name`` metadata event, so the
+per-worker spans stack as separate rows under the master timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.utils.tables import format_table
+
+__all__ = [
+    "span_dicts",
+    "write_jsonl",
+    "write_chrome_trace",
+    "summary_table",
+]
+
+_PID = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars and other oddities to plain JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    item = getattr(value, "item", None)  # numpy scalar
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def span_dicts(tracer) -> List[Dict[str, Any]]:
+    """Closed spans as plain dicts (start-ordered), the JSONL row format."""
+    rows = [
+        {
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "name": s.name,
+            "track": s.track,
+            "start_s": s.start,
+            "duration_s": s.duration,
+            "attrs": _json_safe(s.attrs) if s.attrs else {},
+        }
+        for s in tracer.spans
+    ]
+    rows.sort(key=lambda row: row["start_s"])
+    return rows
+
+
+def write_jsonl(tracer, path: str) -> None:
+    """One JSON object per line: spans, then counters, then gauges."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in span_dicts(tracer):
+            handle.write(json.dumps({"type": "span", **row}) + "\n")
+        for name, total in sorted(tracer.counters.items()):
+            handle.write(json.dumps(
+                {"type": "counter", "name": name, "total": _json_safe(total)}
+            ) + "\n")
+        for name, track, when, value in tracer.gauges:
+            handle.write(json.dumps(
+                {"type": "gauge", "name": name, "track": track,
+                 "time_s": when, "value": value}
+            ) + "\n")
+
+
+def chrome_trace_events(tracer) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` array for one tracer."""
+    spans = list(tracer.spans)
+    if spans:
+        t0 = min(s.start for s in spans)
+    elif tracer.gauges:
+        t0 = min(g[2] for g in tracer.gauges)
+    else:
+        t0 = 0.0
+
+    tracks = sorted({s.track for s in spans} | {g[1] for g in tracer.gauges})
+    # Keep "main" first so Perfetto shows the master timeline on top.
+    tracks.sort(key=lambda t: (t != "main", t))
+    tids = {track: index for index, track in enumerate(tracks)}
+
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M", "name": "thread_name", "pid": _PID, "tid": tid,
+            "args": {"name": track},
+        }
+        for track, tid in tids.items()
+    ]
+    for s in sorted(spans, key=lambda s: s.start):
+        event = {
+            "ph": "X",
+            "name": s.name,
+            "cat": "repro",
+            "pid": _PID,
+            "tid": tids[s.track],
+            "ts": (s.start - t0) * 1e6,
+            "dur": s.duration * 1e6,
+        }
+        if s.attrs:
+            event["args"] = _json_safe(s.attrs)
+        events.append(event)
+    for name, track, when, value in tracer.gauges:
+        events.append({
+            "ph": "C", "name": name, "cat": "repro", "pid": _PID,
+            "tid": tids[track], "ts": (when - t0) * 1e6,
+            "args": {"value": value},
+        })
+    return events
+
+
+def write_chrome_trace(tracer, path: str) -> None:
+    """Write a Chrome ``trace_event`` JSON file (loads in Perfetto)."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def summary_table(tracer) -> str:
+    """Aggregate text report: per-span-name totals, then the superstep
+    measured-vs-modeled table (the pair ROADMAP item 3 calibrates on)."""
+    by_name: Dict[str, List[float]] = {}
+    for s in tracer.spans:
+        by_name.setdefault(s.name, []).append(s.duration)
+    rows = [
+        (name, len(durs), f"{sum(durs):.6f}",
+         f"{sum(durs) / len(durs):.6f}", f"{max(durs):.6f}")
+        for name, durs in sorted(
+            by_name.items(), key=lambda item: -sum(item[1])
+        )
+    ]
+    parts = [format_table(
+        ["span", "count", "total_s", "mean_s", "max_s"], rows,
+        title="Span summary",
+    )]
+
+    supersteps = sorted(
+        (s for s in tracer.spans if s.name == "superstep" and s.attrs),
+        key=lambda s: s.attrs.get("superstep", 0),
+    )
+    if supersteps:
+        ss_rows = []
+        for s in supersteps:
+            a = s.attrs
+            ss_rows.append((
+                a.get("superstep"),
+                f"{s.duration:.6f}",
+                f"{a.get('modeled_s', 0.0):.6f}",
+                a.get("active_vertices"),
+                a.get("messages_sent"),
+                a.get("remote_message_bytes"),
+                a.get("worker_imbalance"),
+            ))
+        parts.append(format_table(
+            ["superstep", "measured_s", "modeled_s", "active",
+             "messages", "remote_bytes", "imbalance"],
+            ss_rows,
+            title="Measured vs modeled supersteps",
+        ))
+
+    if tracer.counters:
+        parts.append(format_table(
+            ["counter", "total"],
+            [(name, _json_safe(total))
+             for name, total in sorted(tracer.counters.items())],
+            title="Counters",
+        ))
+    return "\n\n".join(parts)

@@ -1,0 +1,59 @@
+"""Cheap process/iteration probes attached to spans as attributes.
+
+Everything here is only called when tracing is enabled (call sites guard on
+``tracer.enabled``), so the probes trade a little cost for portability-free
+simplicity: RSS comes straight from ``/proc/self/statm``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+_PAGE_KB = os.sysconf("SC_PAGE_SIZE") // 1024 if hasattr(os, "sysconf") else 4
+
+
+def rss_kb() -> int:
+    """Resident set size of this process in KiB (0 where /proc is absent)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            return int(handle.read().split()[1]) * _PAGE_KB
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        return 0
+
+
+def worker_imbalance(worker_counters) -> float:
+    """Max-over-mean of the per-worker simulated times (1.0 = balanced).
+
+    This is the straggler factor the paper's per-worker features exist to
+    capture: the barrier waits for the slowest worker, so superstep runtime
+    scales with max(worker_time) while total work scales with the mean.
+    """
+    times = [c.worker_time for c in worker_counters]
+    if not times:
+        return 1.0
+    mean = sum(times) / len(times)
+    if mean <= 0.0:
+        return 1.0
+    return max(times) / mean
+
+
+def superstep_attrs(profile) -> Dict[str, Any]:
+    """Span attributes summarising one :class:`IterationProfile`.
+
+    ``modeled_s`` is the :class:`RuntimeModel` simulated superstep time --
+    the quantity the predictor extrapolates -- so each superstep span pairs
+    it with the measured wall duration the span itself records.
+    """
+    return {
+        "superstep": profile.superstep,
+        "modeled_s": profile.runtime,
+        "barrier_s": profile.barrier_time,
+        "active_vertices": profile.active_vertices,
+        "messages_sent": profile.total_messages,
+        "local_message_bytes": profile.local_message_bytes,
+        "remote_message_bytes": profile.remote_message_bytes,
+        "critical_worker": profile.critical_worker,
+        "worker_imbalance": round(worker_imbalance(profile.worker_counters), 4),
+        "rss_kb": rss_kb(),
+    }

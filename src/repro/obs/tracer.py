@@ -1,0 +1,279 @@
+"""Low-overhead tracing core: spans, counters, gauges, and the no-op twin.
+
+Design constraints, in priority order:
+
+1. **Off means free.**  Every instrumentation point in the engine hot path
+   runs against :data:`NULL_TRACER` when tracing is disabled.  The null
+   objects are allocation-free: singletons with ``__slots__ = ()``, fixed
+   argument signatures (no ``*args``/``**kwargs`` -- star-args build a tuple
+   or dict per call), and bodies that touch nothing.
+   ``tests/test_obs_trace.py`` pins this with a tracemalloc probe.
+2. **Spans are context managers.**  ``with tracer.span("compute") as sp:``
+   records a monotonic (``time.perf_counter``) start/duration pair, nests
+   under the innermost open span of the same tracer, and may carry
+   attributes attached via :meth:`Span.set` / :meth:`Span.merge`.
+   Instrumented code guards attribute computation with
+   ``if tracer.enabled:`` so the disabled path never evaluates them.
+3. **Cross-process shipping.**  Pool children each run their own
+   :class:`Tracer` and :meth:`Tracer.drain` closed spans into picklable
+   tuples with *wall-clock* timestamps; the master re-bases them onto its
+   own ``perf_counter`` timeline in :meth:`Tracer.adopt`, remapping span ids
+   and re-parenting roots under a master span.  Wall clocks are shared
+   across processes on one host (perf_counter is not), so drained spans
+   line up with master spans up to NTP jitter -- microseconds locally.
+
+The ambient-tracer helpers (:func:`current_tracer` / :func:`activate`) are
+for *cold* layers only -- the predictor and regression instrument themselves
+through the ambient tracer so callers need not thread one through every
+signature.  The engine hot path never touches the context variable (a
+ContextVar set/reset allocates a Token) and takes the tracer explicitly via
+``EngineConfig.trace``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullSpan",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "current_tracer",
+    "activate",
+]
+
+#: Picklable drained-span record:
+#: ``(span_id, parent_id, name, track, start_wall, duration, attrs)``.
+SpanRecord = Tuple[int, Optional[int], str, str, float, float, Optional[dict]]
+
+
+class Span:
+    """One timed region.  Created via :meth:`Tracer.span`; use as a
+    context manager (or pair :meth:`Tracer.begin` with :meth:`finish`)."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "track",
+                 "start", "duration", "attrs", "_open")
+
+    def __init__(self, tracer: "Tracer", name: str, track: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+        self.span_id: int = 0
+        self.parent_id: Optional[int] = None
+        self.start: float = 0.0
+        self.duration: float = 0.0
+        self.attrs: Optional[Dict[str, Any]] = None
+        self._open = False
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        tracer._next_id += 1
+        self.span_id = tracer._next_id
+        stack = tracer._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self._open = True
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    def finish(self) -> None:
+        """Close the span; idempotent."""
+        if not self._open:
+            return
+        self.duration = time.perf_counter() - self.start
+        self._open = False
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        else:  # out-of-order finish (begin/finish misuse); drop from stack
+            try:
+                tracer._stack.remove(self)
+            except ValueError:
+                pass
+        tracer.spans.append(self)
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute; returns self for chaining."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+        return self
+
+    def merge(self, mapping: Dict[str, Any]) -> "Span":
+        """Attach every item of ``mapping`` as attributes."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(mapping)
+        return self
+
+
+class Tracer:
+    """Recording tracer: collects closed spans, counters and gauges.
+
+    Spans land in :attr:`spans` in *close* order (children before parents).
+    :attr:`counters` accumulates name -> total; :attr:`gauges` keeps
+    ``(name, track, wall_time, value)`` samples for time-series export.
+    """
+
+    enabled = True
+
+    def __init__(self, track: str = "main") -> None:
+        self.track = track
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: List[Tuple[str, str, float, float]] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+        # Wall/perf anchors taken at the same instant: ``drain`` converts
+        # perf timestamps to wall clock for shipping, ``adopt`` converts back
+        # onto this tracer's perf timeline.
+        self._wall0 = time.time()
+        self._perf0 = time.perf_counter()
+
+    # ------------------------------------------------------------------ spans
+    def span(self, name: str, track: Optional[str] = None) -> Span:
+        """New (unstarted) span; enter it with ``with`` to start the clock."""
+        return Span(self, name, track if track is not None else self.track)
+
+    def begin(self, name: str, track: Optional[str] = None) -> Span:
+        """Start a span without ``with``; close it via :meth:`Span.finish`."""
+        return self.span(name, track).__enter__()
+
+    # --------------------------------------------------------------- counters
+    def counter(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the running total for ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float, track: Optional[str] = None) -> None:
+        """Record an instantaneous sample of ``name`` at the current time."""
+        now = time.perf_counter()
+        self.gauges.append(
+            (name, track if track is not None else self.track, now, float(value))
+        )
+
+    # ------------------------------------------------- cross-process shipping
+    def drain(self) -> List[SpanRecord]:
+        """Pop all closed spans as picklable wall-clock records.
+
+        Open spans stay on the stack untouched; call sites drain at a
+        barrier, after the spans of the finished phase are closed.
+        """
+        offset = self._wall0 - self._perf0
+        records = [
+            (s.span_id, s.parent_id, s.name, s.track,
+             s.start + offset, s.duration, s.attrs)
+            for s in self.spans
+        ]
+        self.spans = []
+        return records
+
+    def adopt(self, records: Sequence[SpanRecord],
+              parent_id: Optional[int] = None) -> None:
+        """Graft drained ``records`` from another tracer into this one.
+
+        Span ids are remapped into this tracer's id space; records whose
+        parent is not in the batch become children of ``parent_id``.  Wall
+        timestamps are re-based to this tracer's ``perf_counter`` timeline
+        so adopted spans and locally recorded ones share one clock.
+        """
+        offset = self._perf0 - self._wall0
+        mapping: Dict[int, int] = {}
+        for old_id, _, _, _, _, _, _ in records:
+            self._next_id += 1
+            mapping[old_id] = self._next_id
+        for old_id, old_parent, name, track, start_wall, duration, attrs in records:
+            span = Span(self, name, track)
+            span.span_id = mapping[old_id]
+            span.parent_id = mapping.get(old_parent, parent_id)
+            span.start = start_wall + offset
+            span.duration = duration
+            span.attrs = dict(attrs) if attrs else None
+            self.spans.append(span)
+
+
+class NullSpan:
+    """Allocation-free no-op span.  A single shared instance stands in for
+    every span when tracing is off; all methods are empty and return fast."""
+
+    __slots__ = ()
+
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    name = ""
+    track = ""
+    start = 0.0
+    duration = 0.0
+    attrs: Optional[dict] = None
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> "NullSpan":
+        return self
+
+    def merge(self, mapping: Dict[str, Any]) -> "NullSpan":
+        return self
+
+
+class NullTracer:
+    """Allocation-free no-op tracer; the default when tracing is off."""
+
+    __slots__ = ()
+
+    enabled = False
+    track = ""
+
+    def span(self, name: str, track: Optional[str] = None) -> NullSpan:
+        return NULL_SPAN
+
+    def begin(self, name: str, track: Optional[str] = None) -> NullSpan:
+        return NULL_SPAN
+
+    def counter(self, name: str, value: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float, track: Optional[str] = None) -> None:
+        return None
+
+    def drain(self) -> List[SpanRecord]:
+        return []
+
+    def adopt(self, records: Sequence[SpanRecord],
+              parent_id: Optional[int] = None) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+NULL_TRACER = NullTracer()
+
+_ACTIVE: ContextVar = ContextVar("repro_tracer", default=NULL_TRACER)
+
+
+def current_tracer():
+    """The ambient tracer (:data:`NULL_TRACER` unless one is activated)."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def activate(tracer) -> Iterator[None]:
+    """Make ``tracer`` ambient for the duration of the ``with`` block."""
+    token = _ACTIVE.set(tracer if tracer is not None else NULL_TRACER)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

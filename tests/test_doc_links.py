@@ -1,0 +1,132 @@
+"""Unit tests for ``scripts/check_doc_links.py`` plus a live docs check.
+
+The checker is a standalone script (no package), so it is loaded with
+importlib.  The unit tests pin the three classes of links it historically
+missed -- setext headings, GitHub's ``-N`` duplicate-heading suffixes and
+reference-style link definitions -- and the live test runs the real
+``make docs-check`` file set so a broken link fails the tier-1 suite, not
+just the CI docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_doc_links.py"
+
+spec = importlib.util.spec_from_file_location("check_doc_links", SCRIPT)
+check_doc_links = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_doc_links)
+
+
+def write(tmp_path: Path, name: str, text: str) -> Path:
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+# ------------------------------------------------------------------ slugs
+def test_atx_heading_slugs(tmp_path):
+    doc = write(tmp_path, "doc.md", "# Big Title\n\n## `code` and [link](x.md) text\n")
+    assert check_doc_links.heading_slugs(doc) == {"big-title", "code-and-link-text"}
+
+
+def test_setext_headings_are_recognised(tmp_path):
+    doc = write(
+        tmp_path,
+        "doc.md",
+        "Top Title\n=========\n\nbody\n\nSection Two\n-----------\n\nmore body\n",
+    )
+    assert {"top-title", "section-two"} <= check_doc_links.heading_slugs(doc)
+
+
+def test_setext_underline_is_not_confused_with_rules(tmp_path):
+    # A --- after a blank line is a thematic break; after a list item or
+    # table row it is not a heading either.
+    doc = write(
+        tmp_path,
+        "doc.md",
+        "# Real\n\n---\n\n- item\n---\n\n| a | b |\n|---|---|\n",
+    )
+    assert check_doc_links.heading_slugs(doc) == {"real"}
+
+
+def test_duplicate_headings_get_suffixed_slugs(tmp_path):
+    doc = write(tmp_path, "doc.md", "## Setup\n\n## Setup\n\n## Setup\n")
+    assert check_doc_links.heading_slugs(doc) == {"setup", "setup-1", "setup-2"}
+
+
+def test_fenced_code_headings_are_ignored(tmp_path):
+    doc = write(tmp_path, "doc.md", "# Real\n```\n# not a heading\n```\n")
+    assert check_doc_links.heading_slugs(doc) == {"real"}
+
+
+# ------------------------------------------------------------------ links
+def test_missing_file_and_anchor_are_reported(tmp_path):
+    write(tmp_path, "other.md", "# Exists\n")
+    doc = write(
+        tmp_path,
+        "doc.md",
+        "[ok](other.md#exists)\n[bad file](nope.md)\n[bad anchor](other.md#missing)\n",
+    )
+    problems = check_doc_links.check_file(doc)
+    assert len(problems) == 2
+    assert any("nope.md" in p for p in problems)
+    assert any("missing anchor" in p for p in problems)
+
+
+def test_duplicate_heading_anchor_links_resolve(tmp_path):
+    write(tmp_path, "other.md", "## Setup\n\n## Setup\n")
+    doc = write(tmp_path, "doc.md", "[second setup](other.md#setup-1)\n")
+    assert check_doc_links.check_file(doc) == []
+
+
+def test_setext_anchor_links_resolve(tmp_path):
+    write(tmp_path, "other.md", "Install Guide\n=============\n")
+    doc = write(tmp_path, "doc.md", "[guide](other.md#install-guide)\n")
+    assert check_doc_links.check_file(doc) == []
+
+
+def test_reference_style_definitions_are_checked(tmp_path):
+    write(tmp_path, "real.md", "# Here\n")
+    doc = write(
+        tmp_path,
+        "doc.md",
+        "See [the docs][docs] and [more][gone].\n\n"
+        "[docs]: real.md#here\n"
+        "[gone]: missing.md\n",
+    )
+    problems = check_doc_links.check_file(doc)
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]
+
+
+def test_external_targets_are_skipped(tmp_path):
+    doc = write(
+        tmp_path,
+        "doc.md",
+        "[site](https://example.com/x)\n\n[ref]: https://example.com/y\n",
+    )
+    assert check_doc_links.check_file(doc) == []
+
+
+def test_bare_fragment_checks_own_document(tmp_path):
+    doc = write(tmp_path, "doc.md", "# Intro\n[jump](#intro)\n[bad](#nope)\n")
+    problems = check_doc_links.check_file(doc)
+    assert len(problems) == 1
+    assert "#nope" in problems[0]
+
+
+# ------------------------------------------------------------- live docs
+def test_repo_docs_have_no_broken_links(capsys):
+    """Run the checker over the same file set as ``make docs-check``."""
+    files = [str(REPO_ROOT / "README.md")]
+    files += sorted(str(p) for p in (REPO_ROOT / "docs").glob("*.md"))
+    assert files, "docs/*.md glob found nothing"
+    rc = check_doc_links.main(files)
+    output = capsys.readouterr().out
+    assert rc == 0, f"broken documentation links:\n{output}"

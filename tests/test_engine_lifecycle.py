@@ -1,0 +1,96 @@
+"""Engine and harness lifecycle: context managers release process pools.
+
+``BSPEngine`` caches its process pools across runs (by design -- the spawn
+cost amortises over a whole experiment sweep), which means someone has to
+call :meth:`BSPEngine.close_pools` eventually.  The context-manager protocol
+on :class:`BSPEngine` and :class:`ExperimentContext` makes that automatic;
+these tests pin that the ``with`` exit really tears the pool down and that a
+full harness run over the process backend leaves ``/dev/shm`` clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from test_parallel_backend import PROCESSES, run_backends, shm_segments
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.bsp.engine import BSPEngine
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.harness import ExperimentContext
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.preferential_attachment(120, out_degree=4, seed=5).freeze()
+
+
+def make_engine() -> BSPEngine:
+    return BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+
+
+def test_engine_context_manager_returns_engine():
+    engine = make_engine()
+    with engine as bound:
+        assert bound is engine
+
+
+def test_engine_context_manager_closes_pools(graph):
+    before = shm_segments()
+    with make_engine() as engine:
+        run_backends(engine, graph, "pagerank", "process", 4)
+        pool = engine.process_pool(PROCESSES)
+        procs = list(pool._procs)
+        assert all(proc.is_alive() for proc in procs)
+    assert not pool.alive
+    assert all(not proc.is_alive() for proc in procs)
+    if before is not None:
+        leaked = shm_segments() - before
+        assert not leaked, f"stale shared-memory segments after with-exit: {leaked}"
+
+
+def test_engine_context_manager_closes_pools_on_error(graph):
+    with pytest.raises(RuntimeError, match="boom"):
+        with make_engine() as engine:
+            run_backends(engine, graph, "pagerank", "process", 4)
+            pool = engine.process_pool(PROCESSES)
+            assert pool.alive
+            raise RuntimeError("boom")
+    assert not pool.alive
+
+
+def test_engine_context_manager_without_pools_is_noop():
+    # Inline-only usage never creates a pool; the exit must still be safe.
+    with make_engine() as engine:
+        assert engine is not None
+
+
+def test_harness_run_leaves_dev_shm_clean(graph):
+    """Regression: an ExperimentContext over the process backend used to
+    leave its persistent pool (and, if interrupted, /dev/shm arena blocks)
+    behind because nothing ever called close_pools()."""
+    before = shm_segments()
+    if before is None:  # pragma: no cover - non-Linux hosts
+        pytest.skip("/dev/shm not available")
+    with ExperimentContext(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+        dataset_scale=0.02,
+        num_workers=4,
+        backend="process",
+        processes=PROCESSES,
+    ) as ctx:
+        dataset = ctx.load("wikipedia")
+        config = PageRankConfig.for_tolerance_level(0.01, dataset.num_vertices)
+        result = ctx.actual_run("wikipedia", PageRank(), config)
+        assert result.num_iterations >= 1
+        pool = ctx.engine.process_pool(PROCESSES)
+        assert pool.alive
+    assert not pool.alive
+    leaked = shm_segments() - before
+    assert not leaked, f"stale shared-memory segments after harness run: {leaked}"

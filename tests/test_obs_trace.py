@@ -1,0 +1,419 @@
+"""Tests for the ``repro.obs`` telemetry subsystem.
+
+Four layers, matching the subsystem's promises:
+
+1. tracer core -- span nesting, begin/finish, attributes, counters/gauges,
+   drain/adopt round-trips across a simulated process boundary;
+2. **off means free** -- the inline engine hot path makes zero allocations
+   inside ``repro/obs`` when tracing is disabled (tracemalloc probe);
+3. engine integration -- an inline traced run produces the full span
+   taxonomy with measured *and* modeled time on every superstep span, and
+   the process backend ships child spans to the master with correct
+   re-parenting and wall-clock containment;
+4. exporters -- JSONL, Chrome ``trace_event`` and the text summary, plus
+   the standalone ``scripts/trace_summary.py`` reader over both formats.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pickle
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    activate,
+    current_tracer,
+    span_dicts,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Span names every traced engine run must produce (inline backend).
+ENGINE_SPAN_NAMES = {
+    "engine.run", "phase.setup", "phase.read", "phase.superstep",
+    "phase.write", "superstep", "compute", "barrier",
+}
+
+#: Attribute keys every superstep span carries (measured + modeled pairing).
+SUPERSTEP_ATTR_KEYS = {
+    "superstep", "modeled_s", "barrier_s", "active_vertices",
+    "messages_sent", "local_message_bytes", "remote_message_bytes",
+    "critical_worker", "worker_imbalance", "rss_kb",
+}
+
+
+def make_engine() -> BSPEngine:
+    return BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+
+
+def traced_run(backend: str, tracer: Tracer, processes: int = 2):
+    graph = generators.preferential_attachment(150, out_degree=4, seed=3).freeze()
+    engine = make_engine()
+    try:
+        return engine.run(
+            graph, PageRank(), PageRankConfig(tolerance=1e-4),
+            EngineConfig(num_workers=4, max_supersteps=30, runtime_seed=7,
+                         backend=backend, processes=processes, trace=tracer),
+        )
+    finally:
+        engine.close_pools()
+
+
+@pytest.fixture(scope="module")
+def inline_trace():
+    tracer = Tracer()
+    result = traced_run("inline", tracer)
+    return tracer, result
+
+
+@pytest.fixture(scope="module")
+def process_trace():
+    tracer = Tracer()
+    result = traced_run("process", tracer)
+    return tracer, result
+
+
+# ------------------------------------------------------------- tracer core
+def test_span_nesting_and_parent_ids():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+        with tracer.span("sibling") as sibling:
+            assert sibling.parent_id == outer.span_id
+    assert outer.parent_id is None
+    # Close order: children before parents.
+    assert [s.name for s in tracer.spans] == ["inner", "sibling", "outer"]
+    assert all(s.duration >= 0.0 for s in tracer.spans)
+
+
+def test_begin_finish_is_idempotent():
+    tracer = Tracer()
+    span = tracer.begin("phase")
+    span.finish()
+    duration = span.duration
+    span.finish()  # no double-append, no duration change
+    assert span.duration == duration
+    assert len(tracer.spans) == 1
+
+
+def test_span_attrs_set_and_merge():
+    tracer = Tracer()
+    with tracer.span("s") as span:
+        span.set("a", 1).merge({"b": 2.5, "c": "x"})
+    assert span.attrs == {"a": 1, "b": 2.5, "c": "x"}
+
+
+def test_counters_accumulate_and_gauges_record():
+    tracer = Tracer()
+    tracer.counter("messages")
+    tracer.counter("messages", 4)
+    tracer.gauge("rss_kb", 123.0)
+    assert tracer.counters == {"messages": 5}
+    [(name, track, _, value)] = tracer.gauges
+    assert (name, track, value) == ("rss_kb", "main", 123.0)
+
+
+def test_drain_adopt_roundtrip_reparents_and_remaps():
+    child = Tracer(track="proc0")
+    with child.span("compute") as comp:
+        comp.set("superstep", 0)
+        with child.span("kernel"):
+            pass
+    records = child.drain()
+    assert child.spans == []  # drained
+    # Records must survive the pipe: picklable plain tuples.
+    records = pickle.loads(pickle.dumps(records))
+
+    master = Tracer()
+    host = master.begin("superstep")
+    master.adopt(records, parent_id=host.span_id)
+    host.finish()
+
+    by_name = {s.name: s for s in master.spans}
+    assert by_name["compute"].parent_id == host.span_id  # root re-parented
+    assert by_name["kernel"].parent_id == by_name["compute"].span_id  # remapped
+    assert by_name["compute"].track == "proc0"
+    assert by_name["compute"].attrs == {"superstep": 0}
+    ids = [s.span_id for s in master.spans]
+    assert len(ids) == len(set(ids))  # no id collisions after remap
+
+
+def test_drain_adopt_rebases_clocks():
+    child = Tracer(track="proc0")
+    with child.span("compute"):
+        pass
+    master = Tracer()
+    host = master.begin("host")
+    master.adopt(child.drain(), parent_id=host.span_id)
+    host.finish()
+    adopted = next(s for s in master.spans if s.name == "compute")
+    # Both tracers were created moments apart in this process, so after the
+    # wall->perf re-base the adopted span sits on the master timeline.
+    assert abs(adopted.start - host.start) < 5.0
+
+
+def test_drain_leaves_open_spans_on_stack():
+    tracer = Tracer()
+    open_span = tracer.begin("open")
+    with tracer.span("closed"):
+        pass
+    records = tracer.drain()
+    assert [r[2] for r in records] == ["closed"]
+    open_span.finish()
+    assert [s.name for s in tracer.spans] == ["open"]
+
+
+# ----------------------------------------------------------- off means free
+def test_null_tracer_is_a_shared_noop():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.span("x") is NULL_SPAN
+    assert NULL_TRACER.begin("x") is NULL_SPAN
+    assert NULL_SPAN.set("k", 1) is NULL_SPAN
+    assert NULL_SPAN.merge({"k": 1}) is NULL_SPAN
+    with NULL_TRACER.span("x") as span:
+        assert span is NULL_SPAN
+    assert NULL_TRACER.drain() == []
+
+
+def test_untraced_run_allocates_nothing_in_obs():
+    """The inline hot path must be allocation-free inside repro/obs when
+    tracing is off -- the 'off means free' contract of docs/OBSERVABILITY.md."""
+    graph = generators.preferential_attachment(80, out_degree=3, seed=1).freeze()
+    engine = make_engine()
+    config = EngineConfig(num_workers=2, max_supersteps=10, runtime_seed=7)
+    engine.run(graph, PageRank(), PageRankConfig(tolerance=1e-3), config)  # warm up
+
+    import repro.obs.tracer as tracer_module
+
+    obs_filter = tracemalloc.Filter(True, tracer_module.__file__)
+    tracemalloc.start(10)
+    try:
+        result = engine.run(graph, PageRank(), PageRankConfig(tolerance=1e-3), config)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    obs_allocations = snapshot.filter_traces([obs_filter]).statistics("lineno")
+    assert not obs_allocations, (
+        f"tracing-off run allocated inside repro/obs: {obs_allocations}"
+    )
+    assert result.trace is None
+
+
+# ------------------------------------------------------- engine integration
+def test_inline_trace_has_full_span_taxonomy(inline_trace):
+    tracer, result = inline_trace
+    assert result.trace is tracer
+    names = {s.name for s in tracer.spans}
+    assert ENGINE_SPAN_NAMES <= names
+    assert not any(s._open for s in tracer.spans)
+
+
+def test_inline_superstep_spans_carry_measured_and_modeled(inline_trace):
+    tracer, result = inline_trace
+    supersteps = sorted(
+        (s for s in tracer.spans if s.name == "superstep"),
+        key=lambda s: s.attrs["superstep"],
+    )
+    assert len(supersteps) == result.num_iterations
+    for index, span in enumerate(supersteps):
+        assert SUPERSTEP_ATTR_KEYS <= set(span.attrs)
+        assert span.attrs["superstep"] == index
+        assert span.duration > 0.0            # measured wall time
+        assert span.attrs["modeled_s"] > 0.0  # RuntimeModel simulated time
+        assert span.attrs["worker_imbalance"] >= 1.0
+    # Modeled time must sum to the run's simulated superstep runtime.
+    modeled = sum(s.attrs["modeled_s"] for s in supersteps)
+    assert modeled == pytest.approx(result.superstep_runtime, rel=1e-9)
+
+
+def test_inline_phase_spans_nest_under_engine_run(inline_trace):
+    tracer, _ = inline_trace
+    run_span = next(s for s in tracer.spans if s.name == "engine.run")
+    phases = [s for s in tracer.spans if s.name.startswith("phase.")]
+    assert {s.name for s in phases} == {
+        "phase.setup", "phase.read", "phase.superstep", "phase.write"
+    }
+    assert all(s.parent_id == run_span.span_id for s in phases)
+    loop = next(s for s in phases if s.name == "phase.superstep")
+    supersteps = [s for s in tracer.spans if s.name == "superstep"]
+    assert all(s.parent_id == loop.span_id for s in supersteps)
+
+
+def test_process_trace_matches_inline_results(process_trace, inline_trace):
+    _, process_result = process_trace
+    _, inline_result = inline_trace
+    assert process_result.num_iterations == inline_result.num_iterations
+    assert process_result.superstep_runtime == pytest.approx(
+        inline_result.superstep_runtime
+    )
+
+
+def test_process_trace_ships_child_spans(process_trace):
+    tracer, result = process_trace
+    tracks = {s.track for s in tracer.spans}
+    assert tracks == {"main", "proc0", "proc1"}
+    child_compute = [
+        s for s in tracer.spans if s.name == "compute" and s.track != "main"
+    ]
+    # Two worker processes, one compute span each per superstep.
+    assert len(child_compute) == 2 * result.num_iterations
+
+
+def test_process_child_spans_nest_under_their_superstep(process_trace):
+    tracer, _ = process_trace
+    superstep_by_id = {
+        s.span_id: s for s in tracer.spans if s.name == "superstep"
+    }
+    child_compute = [
+        s for s in tracer.spans if s.name == "compute" and s.track != "main"
+    ]
+    assert child_compute
+    for child in child_compute:
+        parent = superstep_by_id.get(child.parent_id)
+        assert parent is not None, "child compute span not under a superstep"
+        # The superstep attr recorded by the child matches the master span
+        # the record was re-parented to.
+        assert child.attrs["superstep"] == parent.attrs["superstep"]
+        # Wall-clock containment (clocks are shared on one host; allow the
+        # wall->perf re-base tolerance).
+        assert child.start >= parent.start - 1e-3
+        assert child.start + child.duration <= parent.start + parent.duration + 1e-3
+
+
+def test_process_superstep_wall_covers_child_compute(process_trace):
+    tracer, _ = process_trace
+    supersteps = {
+        s.attrs["superstep"]: s for s in tracer.spans if s.name == "superstep"
+    }
+    for index, span in supersteps.items():
+        children = [
+            c for c in tracer.spans
+            if c.name == "compute" and c.track != "main"
+            and c.attrs["superstep"] == index
+        ]
+        assert span.duration + 1e-3 >= max(c.duration for c in children)
+        assert SUPERSTEP_ATTR_KEYS <= set(span.attrs)
+        assert span.attrs["modeled_s"] > 0.0
+
+
+# ---------------------------------------------------------------- ambient
+def test_ambient_tracer_activation():
+    assert current_tracer() is NULL_TRACER
+    tracer = Tracer()
+    with activate(tracer):
+        assert current_tracer() is tracer
+        with activate(None):
+            assert current_tracer() is NULL_TRACER
+        assert current_tracer() is tracer
+    assert current_tracer() is NULL_TRACER
+
+
+def test_predictor_spans_reach_engine_tracer():
+    from repro.core.predictor import Predictor
+    from repro.sampling.registry import sampler_by_name
+
+    graph = generators.preferential_attachment(150, out_degree=4, seed=3).freeze()
+    tracer = Tracer()
+    engine = make_engine()
+    predictor = Predictor(
+        engine, PageRank(),
+        sampler=sampler_by_name("BRJ", seed=11),  # unseeded default would flake
+        engine_config=EngineConfig(num_workers=4, max_supersteps=30,
+                                   runtime_seed=7, trace=tracer),
+        training_ratios=(0.2, 0.3),
+    )
+    predictor.predict(graph, PageRankConfig(tolerance=1e-3), sampling_ratio=0.3)
+    names = {s.name for s in tracer.spans}
+    assert {"predict", "sample_run", "sample", "transform",
+            "regression.fit", "engine.run"} <= names
+    predict_span = next(s for s in tracer.spans if s.name == "predict")
+    assert predict_span.attrs["predicted_superstep_runtime_s"] > 0.0
+    # Sample runs nest under the prediction.
+    sample_runs = [s for s in tracer.spans if s.name == "sample_run"]
+    assert all(s.parent_id == predict_span.span_id for s in sample_runs)
+
+
+# --------------------------------------------------------------- exporters
+def test_span_dicts_are_start_ordered(inline_trace):
+    tracer, _ = inline_trace
+    rows = span_dicts(tracer)
+    starts = [row["start_s"] for row in rows]
+    assert starts == sorted(starts)
+    assert {"span_id", "parent_id", "name", "track", "start_s",
+            "duration_s", "attrs"} <= set(rows[0])
+
+
+def test_jsonl_export(inline_trace, tmp_path):
+    tracer, _ = inline_trace
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(tracer, str(path))
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    spans = [r for r in records if r["type"] == "span"]
+    assert len(spans) == len(tracer.spans)
+    assert all(json.dumps(r) for r in records)  # every row JSON-safe
+
+
+def test_chrome_trace_export(process_trace, tmp_path):
+    tracer, result = process_trace
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tracer, str(path))
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    thread_names = {e["args"]["name"] for e in metadata}
+    assert thread_names == {"main", "proc0", "proc1"}
+    # "main" gets tid 0 so Perfetto shows the master timeline first.
+    assert next(e for e in metadata if e["args"]["name"] == "main")["tid"] == 0
+    assert len(complete) == len(tracer.spans)
+    assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+    supersteps = [e for e in complete if e["name"] == "superstep"]
+    assert len(supersteps) == result.num_iterations
+    assert all("modeled_s" in e["args"] for e in supersteps)
+
+
+def test_summary_table_reports_measured_vs_modeled(inline_trace):
+    tracer, _ = inline_trace
+    text = summary_table(tracer)
+    assert "Span summary" in text
+    assert "Measured vs modeled supersteps" in text
+    assert "superstep" in text and "modeled_s" in text
+
+
+@pytest.mark.parametrize("fmt", ["chrome", "jsonl"])
+def test_trace_summary_script_reads_both_formats(inline_trace, tmp_path, fmt, capsys):
+    tracer, _ = inline_trace
+    if fmt == "chrome":
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+    else:
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, str(path))
+
+    script = REPO_ROOT / "scripts" / "trace_summary.py"
+    spec = importlib.util.spec_from_file_location("trace_summary", script)
+    trace_summary = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(trace_summary)
+    assert trace_summary.main([str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "Span summary" in output
+    assert "Measured vs modeled supersteps" in output
