@@ -4,6 +4,7 @@ module name is unique when several test roots are collected together)."""
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -33,6 +34,32 @@ def bench_smoke() -> bool:
     paying full benchmark time or flaking on shared-runner timing noise.
     """
     return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def warm_up(fn, passes: int = 1) -> None:
+    """Run ``fn`` untimed before measurement.
+
+    Benchmarks call this once per configuration so one-time costs -- JIT
+    compilation of the compiled kernel tier, page-faulting memmapped CSR
+    caches, allocator growth -- land outside the timed iterations.
+    """
+    for _ in range(passes):
+        fn()
+
+
+def measure_best(fn, repeats: int = 3, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn()``, after ``warmup`` untimed passes.
+
+    Minimum (not mean) is the standard noise-robust estimator for
+    speedup-floor guards on shared runners.
+    """
+    warm_up(fn, passes=warmup)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def publish(results_dir: Path, name: str, text: str) -> None:

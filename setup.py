@@ -20,5 +20,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
-    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis"],
+        # Opt-in compiled kernel tier (--kernel-tier numba; docs/KERNELS.md).
+        "numba": ["numba"],
+    },
 )

@@ -46,12 +46,7 @@ from repro.algorithms.base import (
 )
 from repro.bsp.aggregators import Aggregator, sum_aggregator
 from repro.bsp.master import GraphInfo
-from repro.bsp.ragged import (
-    ClusterRowsContext,
-    Ragged,
-    masked_segment_left_fold,
-    segment_unique_records,
-)
+from repro.bsp.ragged import ClusterRowsContext, Ragged
 from repro.bsp.vertex import VertexContext
 from repro.graph.csr import concat_ranges
 from repro.graph.digraph import DiGraph
@@ -458,7 +453,7 @@ class SemiClustering(IterativeAlgorithm):
             slots = concat_ranges(indptr[idx], degrees)
             stream_seg = np.repeat(np.arange(k, dtype=np.int64), degrees)
             not_self = targets[slots] != idx[stream_seg]
-            boundary = masked_segment_left_fold(
+            boundary = batch.kernels.masked_segment_left_fold(
                 weights[slots], not_self, stream_seg, k
             )
             records = np.full((k, width), -1.0, dtype=np.float64)
@@ -516,11 +511,11 @@ class SemiClustering(IterativeAlgorithm):
             for j in range(v_max):
                 in_members |= stream_t == np.repeat(ext_members_int[:, j], degrees)
             stream_seg = np.repeat(np.arange(num_ext, dtype=np.int64), degrees)
-            weight_to_members = masked_segment_left_fold(
+            weight_to_members = batch.kernels.masked_segment_left_fold(
                 stream_w, in_members, stream_seg, num_ext
             )
             outside = ~in_members & (stream_t != np.repeat(ext_vertex, degrees))
-            weight_to_outside = masked_segment_left_fold(
+            weight_to_outside = batch.kernels.masked_segment_left_fold(
                 stream_w, outside, stream_seg, num_ext
             )
             ext_internal = received[ext, 0] + weight_to_members
@@ -592,12 +587,7 @@ class SemiClustering(IterativeAlgorithm):
         )
         bits = max(1, int(n).bit_length())
         per_key = max(1, 63 // bits)
-        packed = []
-        for j0 in range(0, v_max, per_key):
-            key = np.zeros(total, dtype=np.int64)
-            for j in range(j0, min(j0 + per_key, v_max)):
-                key = (key << bits) | rank_plus[:, j]
-            packed.append(key)
+        packed = batch.kernels.pack_rank_keys(rank_plus, bits, per_key)
         # lexsort: last key is primary.  Priority (vertex, -score, ranks).
         order = np.lexsort(tuple(reversed(packed)) + (np.negative(score), cand_seg))
         s_rec = cand_rec[order]
@@ -638,8 +628,9 @@ class SemiClustering(IterativeAlgorithm):
         old_seg = np.repeat(np.arange(k, dtype=np.int64), old_counts)
         new_records = s_rec[keep_sel]
         new_seg = cand_seg[keep_sel]
-        old_u, old_u_seg, old_u_counts = segment_unique_records(old_records, old_seg, k)
-        new_u, new_u_seg, new_u_counts = segment_unique_records(new_records, new_seg, k)
+        unique_records = batch.kernels.segment_unique_records
+        old_u, old_u_seg, old_u_counts = unique_records(old_records, old_seg, k)
+        new_u, new_u_seg, new_u_counts = unique_records(new_records, new_seg, k)
         count_match = old_u_counts == new_u_counts
         aligned_new = count_match[new_u_seg]
         aligned_old = count_match[old_u_seg]

@@ -34,7 +34,7 @@ from repro.algorithms.base import (
 )
 from repro.bsp.aggregators import Aggregator, sum_aggregator
 from repro.bsp.master import GraphInfo
-from repro.bsp.ragged import ragged_rows_equal, segment_unique_topk_desc
+from repro.bsp.ragged import Ragged, ragged_rows_equal
 from repro.bsp.vertex import VertexContext
 from repro.graph.csr import concat_ranges
 from repro.exceptions import ConfigurationError
@@ -151,7 +151,11 @@ class TopKRanking(IterativeAlgorithm):
             concat_ranges(in_indptr[:-1][indices], received)
         ]
         seg_ids = np.repeat(np.arange(len(indices), dtype=np.int64), seg_lengths)
-        best = segment_unique_topk_desc(candidates, seg_ids, len(indices), config.k)
+        best = Ragged.from_lengths(
+            *batch.kernels.segment_unique_topk_desc(
+                candidates, seg_ids, len(indices), config.k
+            )
+        )
 
         changed = ~ragged_rows_equal(best, current)
         if changed.any():

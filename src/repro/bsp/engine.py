@@ -115,6 +115,7 @@ from repro.cluster.spec import ClusterSpec
 from repro.exceptions import BSPError
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import BasePartitioner, HashPartitioner
+from repro.bsp.kernels import get_kernels
 from repro.obs.probes import superstep_attrs
 from repro.obs.tracer import NULL_TRACER
 from repro.utils.rng import SeedLike
@@ -191,6 +192,22 @@ class EngineConfig:
         None every instrumentation point runs against the allocation-free
         :data:`repro.obs.NULL_TRACER`, so the hot path is untouched.  See
         ``docs/OBSERVABILITY.md``.
+    kernel_tier:
+        Which implementation tier the hot segment kernels run on:
+        ``"numpy"`` (the pure-NumPy reference implementations), ``"numba"``
+        (compiled nogil loop twins; silently falls back to ``"numpy"`` when
+        numba is not installed) or ``"auto"`` (compiled when available).
+        None (default) defers to the ``REPRO_KERNEL_TIER`` environment
+        variable, then ``"auto"``.  Results are bit-identical across tiers
+        -- the differential suite runs parametrized over them.  See
+        ``docs/KERNELS.md``.
+    threads:
+        Thread count for the compiled tier's nogil fold kernels (default 1
+        = no threading).  The numba kernels release the GIL, so a pool
+        child can split one kernel invocation across threads -- processes x
+        threads hybrid parallelism on big hosts.  Ignored on the numpy
+        tier.  Thread splits are aligned to segment boundaries, so results
+        stay bit-identical for any thread count.
     """
 
     num_workers: Optional[int] = None
@@ -207,6 +224,8 @@ class EngineConfig:
     processes: Optional[int] = None
     process_start_method: str = "spawn"
     trace: Optional[Any] = None
+    kernel_tier: Optional[str] = None
+    threads: Optional[int] = None
 
 
 class BSPEngine:
@@ -555,6 +574,9 @@ class _EngineRun:
             worker._context.num_edges = graph.num_edges
         self.runtime_model = RuntimeModel(engine.cost_profile, seed=engine_config.runtime_seed)
         self.memory_model = MemoryModel(engine.cluster, enforce=engine_config.enforce_memory)
+        # Tier-resolved hot-kernel set (see repro.bsp.kernels): bound once
+        # per run so every batch plane and algorithm call site shares it.
+        self.kernels = get_kernels(engine_config.kernel_tier, engine_config.threads)
         # The tracer is threaded explicitly (never via the ambient context
         # variable) so the disabled path is a plain attribute load of the
         # allocation-free null tracer.
@@ -671,6 +693,8 @@ class _EngineRun:
                 "num_edges": graph.num_edges,
                 "num_workers": self.num_workers,
                 "backend": engine_config.backend,
+                "kernel_tier": self.kernels.tier,
+                "threads": self.kernels.threads,
             })
 
         setup_span = tracer.begin("phase.setup")
@@ -782,7 +806,9 @@ class _EngineRun:
                 self.next_incoming = {}
 
             if tracer.enabled:
-                ss_span.merge(superstep_attrs(profile))
+                ss_span.merge(
+                    superstep_attrs(profile, self.kernels.tier, self.kernels.threads)
+                )
             ss_span.finish()
 
             if decision.stop:
@@ -815,6 +841,8 @@ class _EngineRun:
             vertex_values=vertex_values,
             config=algorithm.config_dict(config),
             trace=tracer if tracer.enabled else None,
+            kernel_tier=self.kernels.tier,
+            threads=self.kernels.threads,
         )
 
     # -------------------------------------------------------------- helpers

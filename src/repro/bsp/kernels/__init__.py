@@ -1,0 +1,161 @@
+"""Kernel tier dispatch: one semantic contract, two execution tiers.
+
+The engine's hot segment kernels live in two interchangeable
+implementations -- :mod:`repro.bsp.kernels.reference` (pure NumPy, always
+available, the semantic ground truth) and :mod:`repro.bsp.kernels.compiled`
+(numba ``@njit(nogil=True, cache=True)`` loop twins, optionally threaded).
+A :class:`KernelSet` resolved once per run binds the chosen tier's
+callables; every call site goes through the set, so switching tiers never
+forks the algorithm code.
+
+Selection (``resolve_kernel_tier``):
+
+- ``"numpy"``  -- always the reference implementations.
+- ``"numba"``  -- the compiled twins if numba imports, else silently the
+  reference tier (requesting the fast tier must never break a host that
+  lacks the compiler; CI's default leg pins this fallback).
+- ``"auto"``   -- compiled when available, reference otherwise.
+- ``None``     -- the ``REPRO_KERNEL_TIER`` environment variable if set,
+  else ``"auto"``.
+
+Anything else raises :class:`repro.exceptions.BSPError`.  Bit-identity
+across tiers is pinned by the differential suite and the kernel unit tests
+parametrized over ``available_kernel_tiers()``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import BSPError
+from repro.bsp.kernels import reference
+
+KERNEL_TIER_ENV = "REPRO_KERNEL_TIER"
+KERNEL_TIERS = ("numpy", "numba", "auto")
+
+# Memoized import probe; tests monkeypatch this to exercise the compiled
+# dispatch path (whose loop twins run as plain Python under the njit shim)
+# on hosts without numba.
+_NUMBA_PROBE: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """True iff ``import numba`` succeeds (probed once per process)."""
+    global _NUMBA_PROBE
+    if _NUMBA_PROBE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_PROBE = True
+        except Exception:
+            _NUMBA_PROBE = False
+    return _NUMBA_PROBE
+
+
+def available_kernel_tiers() -> Tuple[str, ...]:
+    """The concrete tiers runnable on this host (``"auto"`` excluded)."""
+    if numba_available():
+        return ("numpy", "numba")
+    return ("numpy",)
+
+
+def resolve_kernel_tier(request: Optional[str] = None) -> str:
+    """Resolve a tier request to the concrete tier this host will run.
+
+    ``None`` defers to ``REPRO_KERNEL_TIER`` (then ``"auto"``); ``"numba"``
+    and ``"auto"`` silently fall back to ``"numpy"`` when numba is absent.
+    """
+    if request is None:
+        request = os.environ.get(KERNEL_TIER_ENV) or "auto"
+    if request not in KERNEL_TIERS:
+        raise BSPError(
+            f"unknown kernel tier {request!r}: expected one of {KERNEL_TIERS}"
+        )
+    if request == "numpy":
+        return "numpy"
+    return "numba" if numba_available() else "numpy"
+
+
+class KernelSet:
+    """The resolved kernels of one tier, bound once per engine run.
+
+    The numpy tier binds the reference functions *directly* (no wrapper
+    frames), so routing call sites through a ``KernelSet`` costs the
+    pure-NumPy path nothing -- the perf-guard benchmark asserts the
+    identity.  ``threads`` only changes behavior on the compiled tier,
+    where the nogil folds split across a shared thread pool.
+    """
+
+    __slots__ = (
+        "tier",
+        "threads",
+        "segment_left_fold_sums",
+        "masked_segment_left_fold",
+        "segment_unique_topk_desc",
+        "segment_unique_records",
+        "pack_rank_keys",
+        "filter_range",
+    )
+
+    def __init__(self, tier: str, threads: int, table: Dict[str, object]):
+        self.tier = tier
+        self.threads = threads
+        for name in self.__slots__[2:]:
+            setattr(self, name, table[name])
+
+    def warm_up(self) -> None:
+        """Run every kernel once on tiny inputs, forcing JIT compilation on
+        the compiled tier so timed benchmark iterations never include it."""
+        data = np.array([2.0, 1.0, 1.0, 3.0])
+        seg = np.array([0, 0, 0, 1], dtype=np.int64)
+        self.segment_left_fold_sums(data, np.array([3, 1], dtype=np.int64))
+        self.masked_segment_left_fold(data, np.array([True, False, True, True]), seg, 2)
+        self.segment_unique_topk_desc(data, seg, 2, 2)
+        self.segment_unique_records(data.reshape(2, 2), seg[:2].copy(), 2)
+        self.pack_rank_keys(np.array([[1, 2], [3, 4]], dtype=np.int64), 3, 2)
+        self.filter_range(seg, 0, 1)
+
+
+_CACHE: Dict[Tuple[str, int], KernelSet] = {}
+
+
+def get_kernels(tier: Optional[str] = None, threads: Optional[int] = None) -> KernelSet:
+    """The (cached) :class:`KernelSet` for a tier request + thread count."""
+    resolved = resolve_kernel_tier(tier)
+    nthreads = 1 if threads is None else int(threads)
+    if nthreads < 1:
+        raise BSPError(f"threads must be >= 1, got {threads!r}")
+    key = (resolved, nthreads)
+    kernels = _CACHE.get(key)
+    if kernels is None:
+        if resolved == "numba":
+            from repro.bsp.kernels import compiled
+
+            table = compiled.make_kernel_set(nthreads)
+        else:
+            table = {
+                "segment_left_fold_sums": reference.segment_left_fold_sums,
+                "masked_segment_left_fold": reference.masked_segment_left_fold,
+                "segment_unique_topk_desc": reference.segment_unique_topk_desc,
+                "segment_unique_records": reference.segment_unique_records,
+                "pack_rank_keys": reference.pack_rank_keys,
+                "filter_range": reference.filter_range,
+            }
+        kernels = KernelSet(resolved, nthreads, table)
+        _CACHE[key] = kernels
+    return kernels
+
+
+__all__ = [
+    "KERNEL_TIER_ENV",
+    "KERNEL_TIERS",
+    "KernelSet",
+    "available_kernel_tiers",
+    "get_kernels",
+    "numba_available",
+    "reference",
+    "resolve_kernel_tier",
+]

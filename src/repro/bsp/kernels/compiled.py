@@ -1,0 +1,403 @@
+"""Numba loop twins of the reference kernels, plus hybrid threading.
+
+Every kernel here is a plain-loop re-statement of its twin in
+:mod:`repro.bsp.kernels.reference`, decorated ``@njit(nogil=True,
+cache=True)``.  ``nogil`` lets one pool child split a kernel invocation
+across a thread pool (processes x threads); ``cache=True`` persists the
+compiled machine code on disk so repeat runs (and CI re-runs) skip JIT
+compilation.  When numba is not installed the module still imports -- the
+``njit`` shim below is a no-op decorator -- so the loop twins remain
+callable as ordinary Python and the bit-identity tests can exercise them
+without the compiler (slowly).
+
+Bit-identity notes (the parts that are easy to get wrong):
+
+- The folds accumulate per segment strictly in element order -- the same
+  left-to-right IEEE fold as the reference and the scalar path.
+- numba's ``np.sort``/``np.argsort`` are NOT stable and accept no ``kind``
+  argument, but the reference dedups with a *stable* lexsort: among
+  ``==``-equal floats (``-0.0`` vs ``0.0``) the kept representative is the
+  first in stream order, and its bits are observable.  The sorts here are
+  therefore hand-written stable ones: a bottom-up mergesort for the top-k
+  values and a stable insertion sort for the (small) per-segment record
+  groups.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - the sandbox/CI-default path
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """No-op ``@njit`` stand-in: keeps the loop twins importable and
+        plain-Python-callable when numba is absent."""
+
+        if len(args) == 1 and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+# Below this many stream elements a fold is not worth shipping to threads:
+# the pool handoff costs more than the loop.
+_MIN_PARALLEL_ELEMENTS = 1 << 15
+
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _get_pool(threads: int) -> ThreadPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-kernel"
+            )
+            _POOLS[threads] = pool
+        return pool
+
+
+# ---------------------------------------------------------------------------
+# Sequential folds
+# ---------------------------------------------------------------------------
+
+
+@njit(nogil=True, cache=True)
+def _fold_sums(data, offsets, lengths, out, start, stop):
+    for s in range(start, stop):
+        acc = 0.0
+        base = offsets[s]
+        for j in range(lengths[s]):
+            acc = acc + data[base + j]
+        out[s] = acc
+
+
+@njit(nogil=True, cache=True)
+def _masked_fold(values, mask, seg_ids, out, start, stop):
+    for i in range(start, stop):
+        if mask[i]:
+            s = seg_ids[i]
+            out[s] = out[s] + values[i]
+
+
+def _segment_cuts(ends: np.ndarray, threads: int) -> List[int]:
+    """Segment-index boundaries splitting ``ends[-1]`` elements of work into
+    ``threads`` roughly equal contiguous chunks (whole segments only)."""
+    k = ends.shape[0]
+    total = int(ends[-1])
+    cuts = [0]
+    for t in range(1, threads):
+        c = int(np.searchsorted(ends, (total * t) // threads, side="left"))
+        cuts.append(min(max(c, cuts[-1]), k))
+    cuts.append(k)
+    return cuts
+
+
+def _element_cuts(seg_ids: np.ndarray, threads: int) -> List[int]:
+    """Element-index boundaries aligned to segment starts, so no segment's
+    accumulation spans two threads (``seg_ids`` ascending)."""
+    m = seg_ids.shape[0]
+    cuts = [0]
+    for t in range(1, threads):
+        c = (m * t) // threads
+        if 0 < c < m:
+            c = int(np.searchsorted(seg_ids, seg_ids[c], side="left"))
+        cuts.append(min(max(c, cuts[-1]), m))
+    cuts.append(m)
+    return cuts
+
+
+def _make_fold_sums(threads: int) -> Callable:
+    def segment_left_fold_sums(data: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        k = lengths.shape[0]
+        sums = np.zeros(k, dtype=np.float64)
+        if k == 0:
+            return sums
+        ends = np.cumsum(lengths)
+        total = int(ends[-1])
+        if total == 0:
+            return sums
+        offsets = ends - lengths
+        if threads > 1 and total >= _MIN_PARALLEL_ELEMENTS:
+            cuts = _segment_cuts(ends, threads)
+            pool = _get_pool(threads)
+            futures = [
+                pool.submit(_fold_sums, data, offsets, lengths, sums, lo, hi)
+                for lo, hi in zip(cuts[:-1], cuts[1:])
+                if hi > lo
+            ]
+            for future in futures:
+                future.result()
+        else:
+            _fold_sums(data, offsets, lengths, sums, 0, k)
+        return sums
+
+    return segment_left_fold_sums
+
+
+def _make_masked_fold(threads: int) -> Callable:
+    def masked_segment_left_fold(
+        values: np.ndarray, mask: np.ndarray, seg_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        mask = np.ascontiguousarray(mask, dtype=np.bool_)
+        seg_ids = np.ascontiguousarray(seg_ids, dtype=np.int64)
+        out = np.zeros(num_segments, dtype=np.float64)
+        m = values.shape[0]
+        if m == 0:
+            return out
+        if threads > 1 and m >= _MIN_PARALLEL_ELEMENTS:
+            cuts = _element_cuts(seg_ids, threads)
+            pool = _get_pool(threads)
+            futures = [
+                pool.submit(_masked_fold, values, mask, seg_ids, out, lo, hi)
+                for lo, hi in zip(cuts[:-1], cuts[1:])
+                if hi > lo
+            ]
+            for future in futures:
+                future.result()
+        else:
+            _masked_fold(values, mask, seg_ids, out, 0, m)
+        return out
+
+    return masked_segment_left_fold
+
+
+# ---------------------------------------------------------------------------
+# Stable sorts + dedup
+# ---------------------------------------------------------------------------
+
+
+@njit(nogil=True, cache=True)
+def _stable_sort(arr, lo, hi, buf):
+    """Bottom-up mergesort of ``arr[lo:hi]`` (``buf`` same length as
+    ``arr``).  Takes from the left run on ties, so ``==``-equal values keep
+    their input order -- the stability the dedup representative relies on."""
+    n = hi - lo
+    width = 1
+    while width < n:
+        left = lo
+        while left < hi:
+            mid = min(left + width, hi)
+            end = min(left + 2 * width, hi)
+            i = left
+            j = mid
+            k = left
+            while i < mid and j < end:
+                if arr[j] < arr[i]:
+                    buf[k] = arr[j]
+                    j += 1
+                else:
+                    buf[k] = arr[i]
+                    i += 1
+                k += 1
+            while i < mid:
+                buf[k] = arr[i]
+                i += 1
+                k += 1
+            while j < end:
+                buf[k] = arr[j]
+                j += 1
+                k += 1
+            for t in range(left, end):
+                arr[t] = buf[t]
+            left = end
+        width *= 2
+
+
+@njit(nogil=True, cache=True)
+def _group_values(data, seg_ids, seg_offsets, grouped):
+    cursor = seg_offsets.copy()
+    for i in range(data.shape[0]):
+        s = seg_ids[i]
+        grouped[cursor[s]] = data[i]
+        cursor[s] += 1
+
+
+@njit(nogil=True, cache=True)
+def _seg_unique_topk(grouped, seg_offsets, counts, k, out_data, out_lengths, buf):
+    pos = 0
+    for s in range(counts.shape[0]):
+        lo = seg_offsets[s]
+        hi = lo + counts[s]
+        if hi == lo:
+            out_lengths[s] = 0
+            continue
+        _stable_sort(grouped, lo, hi, buf)
+        # Dedup ascending, compacting in place; first-of-run survives, so the
+        # representative's bits match the reference's stable lexsort dedup.
+        u = 1
+        for i in range(lo + 1, hi):
+            if grouped[i] != grouped[lo + u - 1]:
+                grouped[lo + u] = grouped[i]
+                u += 1
+        take = u if u < k else k
+        out_lengths[s] = take
+        for t in range(take):
+            out_data[pos] = grouped[lo + u - 1 - t]
+            pos += 1
+    return pos
+
+
+def segment_unique_topk_desc(
+    data: np.ndarray, seg_ids: np.ndarray, num_segments: int, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    seg_ids = np.ascontiguousarray(seg_ids, dtype=np.int64)
+    counts = np.bincount(seg_ids, minlength=num_segments).astype(np.int64)
+    seg_offsets = np.cumsum(counts) - counts
+    m = data.shape[0]
+    grouped = np.empty(m, dtype=np.float64)
+    buf = np.empty(m, dtype=np.float64)
+    _group_values(data, seg_ids, seg_offsets, grouped)
+    out_data = np.empty(int(np.minimum(counts, k).sum()), dtype=np.float64)
+    out_lengths = np.zeros(num_segments, dtype=np.int64)
+    used = _seg_unique_topk(
+        grouped, seg_offsets, counts, k, out_data, out_lengths, buf
+    )
+    return out_data[:used], out_lengths
+
+
+@njit(nogil=True, cache=True)
+def _row_less(records, a, b):
+    for c in range(records.shape[1]):
+        x = records[a, c]
+        y = records[b, c]
+        if x < y:
+            return True
+        if y < x:
+            return False
+    return False
+
+
+@njit(nogil=True, cache=True)
+def _row_equal(records, a, b):
+    for c in range(records.shape[1]):
+        if records[a, c] != records[b, c]:
+            return False
+    return True
+
+
+@njit(nogil=True, cache=True)
+def _seg_unique_rows(records, seg_ids, seg_offsets, counts, order, kept):
+    # Counting-sort row indices by segment: stream order survives within
+    # each segment, which is what makes the insertion sort's stability
+    # meaningful for ==-equal rows.
+    cursor = seg_offsets.copy()
+    for i in range(seg_ids.shape[0]):
+        s = seg_ids[i]
+        order[cursor[s]] = i
+        cursor[s] += 1
+    total = 0
+    for s in range(counts.shape[0]):
+        lo = seg_offsets[s]
+        hi = lo + counts[s]
+        # Stable insertion sort by lexicographic row order; segments are
+        # candidate-list sized (c_max-scale), so O(g^2) is cheap.
+        for i in range(lo + 1, hi):
+            key = order[i]
+            j = i - 1
+            while j >= lo and _row_less(records, key, order[j]):
+                order[j + 1] = order[j]
+                j -= 1
+            order[j + 1] = key
+        last = -1
+        for i in range(lo, hi):
+            row = order[i]
+            if last < 0 or not _row_equal(records, row, last):
+                kept[total] = row
+                last = row
+                total += 1
+    return total
+
+
+def segment_unique_records(
+    records: np.ndarray, seg_ids: np.ndarray, num_segments: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    m = records.shape[0]
+    if m == 0:
+        return records, seg_ids, np.zeros(num_segments, dtype=np.int64)
+    records_c = np.ascontiguousarray(records, dtype=np.float64)
+    seg_ids_c = np.ascontiguousarray(seg_ids, dtype=np.int64)
+    counts = np.bincount(seg_ids_c, minlength=num_segments).astype(np.int64)
+    seg_offsets = np.cumsum(counts) - counts
+    order = np.empty(m, dtype=np.int64)
+    kept = np.empty(m, dtype=np.int64)
+    total = _seg_unique_rows(records_c, seg_ids_c, seg_offsets, counts, order, kept)
+    kept_idx = kept[:total]
+    unique_rows = records_c[kept_idx]
+    unique_segs = seg_ids_c[kept_idx]
+    return unique_rows, unique_segs, np.bincount(unique_segs, minlength=num_segments)
+
+
+# ---------------------------------------------------------------------------
+# Key packing + stream filtering
+# ---------------------------------------------------------------------------
+
+
+@njit(nogil=True, cache=True)
+def _pack_keys(rank_plus, bits, j0, j1, key):
+    for i in range(rank_plus.shape[0]):
+        v = np.int64(0)
+        for j in range(j0, j1):
+            v = (v << bits) | rank_plus[i, j]
+        key[i] = v
+
+
+def pack_rank_keys(rank_plus: np.ndarray, bits: int, per_key: int) -> List[np.ndarray]:
+    rank_plus = np.ascontiguousarray(rank_plus, dtype=np.int64)
+    m, v_max = rank_plus.shape
+    packed: List[np.ndarray] = []
+    for j0 in range(0, v_max, per_key):
+        key = np.empty(m, dtype=np.int64)
+        _pack_keys(rank_plus, bits, j0, min(j0 + per_key, v_max), key)
+        packed.append(key)
+    return packed
+
+
+@njit(nogil=True, cache=True)
+def _filter_range(dest, lo, hi, idx):
+    n = 0
+    for i in range(dest.shape[0]):
+        d = dest[i]
+        if lo <= d < hi:
+            idx[n] = i
+            n += 1
+    return n
+
+
+def filter_range(dest: np.ndarray, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+    dest_c = np.ascontiguousarray(dest, dtype=np.int64)
+    idx = np.empty(dest_c.shape[0], dtype=np.int64)
+    n = _filter_range(dest_c, lo, hi, idx)
+    idx = idx[:n]
+    return np.ascontiguousarray(np.asarray(dest)[idx]), idx
+
+
+def make_kernel_set(threads: int) -> Dict[str, Callable]:
+    """Kernel-name -> callable map for the compiled tier; the folds close
+    over ``threads`` (the only kernels worth splitting -- they dominate the
+    steady-state superstep and parallelize over disjoint output ranges)."""
+    return {
+        "segment_left_fold_sums": _make_fold_sums(threads),
+        "masked_segment_left_fold": _make_masked_fold(threads),
+        "segment_unique_topk_desc": segment_unique_topk_desc,
+        "segment_unique_records": segment_unique_records,
+        "pack_rank_keys": pack_rank_keys,
+        "filter_range": filter_range,
+    }

@@ -1,0 +1,171 @@
+"""Pure-NumPy reference implementations of the scalar-exactness kernels.
+
+These are the engine's *semantic contract*: every kernel reproduces, bit for
+bit, the result of a scalar per-vertex Python evaluation (a strict
+left-to-right IEEE fold, a ``sorted(set(...))`` expression, a lexicographic
+record sort).  The compiled twins in :mod:`repro.bsp.kernels.compiled` must
+match these outputs exactly -- see ``docs/KERNELS.md`` for the contract and
+``tests/test_ragged_plane.py`` / ``tests/test_kernel_tier.py`` for the pins.
+
+Everything here is array-in / array-out: no engine types, no
+:class:`repro.bsp.ragged.Ragged` containers (callers wrap results
+themselves), so the module stays import-cycle-free and the kernels are
+directly comparable across tiers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def segment_left_fold_sums(data: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment *sequential* float sums, bit-identical to a Python fold.
+
+    ``data`` concatenates the segments back to back; segment ``i`` occupies
+    ``data[offsets[i]:offsets[i] + lengths[i]]`` with ``offsets`` the
+    exclusive prefix sum of ``lengths``.  Returns, per segment, exactly the
+    value of ``acc = 0.0; for v in segment: acc += v`` -- a strict
+    left-to-right IEEE accumulation.  Neither ``np.sum`` nor
+    ``np.add.reduceat`` can be used for this: both reduce with pairwise /
+    multi-accumulator schemes whose rounding differs from the sequential
+    fold, which would break the engine's bit-identity contract with the
+    scalar path.
+
+    Implementation: segments are ordered by length (descending), and
+    iteration ``j`` adds the ``j``-th element of every segment that still has
+    one -- per segment the additions happen strictly in element order, while
+    each step is one vectorized gather + add over all live segments.  The
+    loop runs ``max(lengths)`` times, so cost is ``O(sum(lengths))`` work
+    plus one small Python iteration per distinct element position.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    k = len(lengths)
+    sums = np.zeros(k, dtype=np.float64)
+    total = int(lengths.sum())
+    if k == 0 or total == 0:
+        return sums
+    offsets = np.cumsum(lengths) - lengths
+    order = np.argsort(-lengths, kind="stable")
+    sorted_offsets = offsets[order]
+    sorted_lengths = lengths[order]
+    max_len = int(sorted_lengths[0])
+    # below[j] = number of segments with length <= j, so the segments still
+    # live at element position j are the sorted prefix of size k - below[j].
+    below = np.cumsum(np.bincount(sorted_lengths, minlength=max_len + 1))
+    acc = np.zeros(k, dtype=np.float64)
+    for j in range(max_len):
+        live = k - int(below[j])
+        acc[:live] = acc[:live] + data[sorted_offsets[:live] + j]
+    sums[order] = acc
+    return sums
+
+
+def masked_segment_left_fold(
+    values: np.ndarray, mask: np.ndarray, seg_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sequential per-segment sums of the ``mask``-selected ``values``.
+
+    ``seg_ids`` must be ascending (segments contiguous in stream order), so
+    compacting with ``mask`` preserves each segment's element order and the
+    result equals the scalar ``acc = 0.0; for v, keep in row: acc += v if
+    keep`` fold bit for bit.  Segments with no selected element sum to 0.0.
+    """
+    selected = values[mask]
+    lengths = np.bincount(seg_ids[mask], minlength=num_segments)
+    return segment_left_fold_sums(selected, lengths)
+
+
+def segment_unique_topk_desc(
+    data: np.ndarray, seg_ids: np.ndarray, num_segments: int, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``sorted(set(values), reverse=True)[:k]``.
+
+    Sorting and deduplication use value equality only (no arithmetic), so the
+    result is bit-identical to the Python set/sort expression the scalar
+    top-k compute evaluates per vertex.  Returns ``(values, lengths)``:
+    segment ``i``'s descending unique top-``k`` occupies the next
+    ``lengths[i]`` entries of ``values`` (wrap with
+    ``Ragged.from_lengths`` for row access).
+    """
+    order = np.lexsort((data, seg_ids))
+    sdata = data[order]
+    sseg = seg_ids[order]
+    keep = np.ones(len(sdata), dtype=bool)
+    if len(sdata):
+        keep[1:] = (sdata[1:] != sdata[:-1]) | (sseg[1:] != sseg[:-1])
+    udata = sdata[keep]
+    useg = sseg[keep]
+    counts = np.bincount(useg, minlength=num_segments)
+    take = np.minimum(counts, k)
+    ends = np.cumsum(counts)
+    total = int(take.sum())
+    prefix = np.cumsum(take) - take
+    intra = np.arange(total, dtype=np.int64) - np.repeat(prefix, take)
+    slots = np.repeat(ends - 1, take) - intra
+    return udata[slots], take
+
+
+def segment_unique_records(
+    records: np.ndarray, seg_ids: np.ndarray, num_segments: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonical per-segment record sets: lexicographically sorted + deduped.
+
+    ``records`` is a ``(m, width)`` float matrix; rows are grouped per
+    segment, sorted by all columns (a total order up to float ``==``
+    equality, so ``-0.0`` and ``0.0`` coalesce exactly like Python's
+    hash/eq do in a ``set``), and exact duplicates within a segment are
+    dropped.  Returns ``(unique_records, unique_seg_ids, counts)`` with
+    rows ordered by (segment, record key) -- two segments hold equal record
+    *sets* iff their counts match and their aligned rows compare equal,
+    which is how the numeric semi-clustering plane evaluates the scalar
+    path's ``set(new_value) != set(value)`` update test without building
+    Python sets.
+    """
+    m, width = records.shape
+    if m == 0:
+        return records, seg_ids, np.zeros(num_segments, dtype=np.int64)
+    keys = tuple(records[:, c] for c in reversed(range(width))) + (seg_ids,)
+    order = np.lexsort(keys)
+    rows = records[order]
+    segs = seg_ids[order]
+    keep = np.ones(m, dtype=bool)
+    keep[1:] = (segs[1:] != segs[:-1]) | np.any(rows[1:] != rows[:-1], axis=1)
+    unique_rows = rows[keep]
+    unique_segs = segs[keep]
+    counts = np.bincount(unique_segs, minlength=num_segments)
+    return unique_rows, unique_segs, counts
+
+
+def pack_rank_keys(rank_plus: np.ndarray, bits: int, per_key: int) -> List[np.ndarray]:
+    """Bit-pack per-member rank columns into int64 lexsort keys.
+
+    ``rank_plus`` is ``(m, v_max)`` with each entry in ``[0, 2**bits)``;
+    ``per_key`` columns are packed per int64 key (most significant first),
+    so comparing the key list lexicographically equals comparing the rank
+    columns left to right.  Returns the keys most-significant-group first;
+    pass ``tuple(reversed(keys))`` to ``np.lexsort`` (whose *last* key is
+    primary).  This is the tie-break-key builder of the numeric
+    semi-clustering sort -- packing halves the number of stable sort passes.
+    """
+    m, v_max = rank_plus.shape
+    packed: List[np.ndarray] = []
+    for j0 in range(0, v_max, per_key):
+        key = np.zeros(m, dtype=np.int64)
+        for j in range(j0, min(j0 + per_key, v_max)):
+            key = (key << bits) | rank_plus[:, j]
+        packed.append(key)
+    return packed
+
+
+def filter_range(dest: np.ndarray, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Stream positions whose destination lies in ``[lo, hi)``.
+
+    Returns ``(dest_f, idx)``: the filtered destinations (contiguous) and
+    the positions of the surviving elements in ``dest`` (ascending, so the
+    filtered stream preserves global send order).  This is the owner-side
+    range filter of the process backend's owner-computes reduction.
+    """
+    idx = np.flatnonzero((dest >= lo) & (dest < hi))
+    return np.ascontiguousarray(dest[idx]), idx

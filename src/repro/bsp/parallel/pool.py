@@ -296,7 +296,9 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
             # children into superstep S+1, and open span S+1 first -- the
             # staggering keeps child compute inside the master's span.
             if tracer.enabled:
-                ss_span.merge(superstep_attrs(profile))
+                ss_span.merge(
+                    superstep_attrs(profile, run.kernels.tier, run.kernels.threads)
+                )
             ss_span.finish()
             if not decision.stop:
                 ss_span = tracer.begin("superstep")
@@ -344,4 +346,6 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
         vertex_values=vertex_values,
         config=run.algorithm.config_dict(run.config),
         trace=tracer if tracer.enabled else None,
+        kernel_tier=run.kernels.tier,
+        threads=run.kernels.threads,
     )

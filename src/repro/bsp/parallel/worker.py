@@ -48,8 +48,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.bsp.kernels import get_kernels
 from repro.bsp.parallel.protocol import (
-    ScalarStreamCache,
+    StreamCache,
     build_child_plane,
     export_values_slice,
     extract_stream,
@@ -109,6 +110,10 @@ class _ChildRun:
         self.combiner = algorithm.combiner(config) if engine_config.use_combiner else None
         self._next_message_count = 0
         self.tracer = NULL_TRACER
+        # Re-resolve the kernel tier in this process: the pickled engine
+        # config carries the *request*, and each child probes numba itself
+        # (hybrid parallelism: this process's folds may split over threads).
+        self.kernels = get_kernels(engine_config.kernel_tier, engine_config.threads)
 
     def batch_graph(self):
         """The shared graph is already partition-contiguous."""
@@ -172,7 +177,7 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
         ]
         lo = int(offsets[block_lo])
         hi = int(offsets[block_hi])
-        stream_cache = ScalarStreamCache()
+        stream_cache = StreamCache()
 
         superstep = 0
         while True:

@@ -67,6 +67,8 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import BSPError
+from repro.bsp.kernels import get_kernels
+from repro.bsp.kernels import reference as _ref_kernels
 from repro.graph.csr import concat_ranges
 
 VertexId = Hashable
@@ -163,119 +165,31 @@ class Ragged:
 
 
 # ------------------------------------------------------------------- kernels
+# The scalar-exactness kernels themselves now live in the tier-dispatched
+# package ``repro.bsp.kernels`` (PR 8): ``kernels/reference.py`` holds the
+# pure-NumPy implementations that used to be defined here, and
+# ``kernels/compiled.py`` their numba nogil twins.  These module-level
+# bindings keep the historical import surface (`from repro.bsp.ragged
+# import segment_left_fold_sums`, ...) working and always mean the
+# reference tier; tier-aware code goes through ``BatchPlane.kernels`` /
+# ``RaggedBatchContext.kernels`` instead.
+segment_left_fold_sums = _ref_kernels.segment_left_fold_sums
+masked_segment_left_fold = _ref_kernels.masked_segment_left_fold
+segment_unique_records = _ref_kernels.segment_unique_records
+
+
 def segment_unique_topk_desc(
     data: np.ndarray, seg_ids: np.ndarray, num_segments: int, k: int
 ) -> Ragged:
     """Per-segment ``sorted(set(values), reverse=True)[:k]`` as a Ragged.
 
-    Sorting and deduplication use value equality only (no arithmetic), so the
-    result is bit-identical to the Python set/sort expression the scalar
-    top-k compute evaluates per vertex.
+    Reference-tier wrapper kept for the historical call signature; see
+    :func:`repro.bsp.kernels.reference.segment_unique_topk_desc` for the
+    array-level kernel and its bit-identity contract.
     """
-    order = np.lexsort((data, seg_ids))
-    sdata = data[order]
-    sseg = seg_ids[order]
-    keep = np.ones(len(sdata), dtype=bool)
-    if len(sdata):
-        keep[1:] = (sdata[1:] != sdata[:-1]) | (sseg[1:] != sseg[:-1])
-    udata = sdata[keep]
-    useg = sseg[keep]
-    counts = np.bincount(useg, minlength=num_segments)
-    take = np.minimum(counts, k)
-    ends = np.cumsum(counts)
-    total = int(take.sum())
-    prefix = np.cumsum(take) - take
-    intra = np.arange(total, dtype=np.int64) - np.repeat(prefix, take)
-    slots = np.repeat(ends - 1, take) - intra
-    return Ragged.from_lengths(udata[slots], take)
-
-
-def segment_left_fold_sums(data: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Per-segment *sequential* float sums, bit-identical to a Python fold.
-
-    ``data`` concatenates the segments back to back; segment ``i`` occupies
-    ``data[offsets[i]:offsets[i] + lengths[i]]`` with ``offsets`` the
-    exclusive prefix sum of ``lengths``.  Returns, per segment, exactly the
-    value of ``acc = 0.0; for v in segment: acc += v`` -- a strict
-    left-to-right IEEE accumulation.  Neither ``np.sum`` nor
-    ``np.add.reduceat`` can be used for this: both reduce with pairwise /
-    multi-accumulator schemes whose rounding differs from the sequential
-    fold, which would break the engine's bit-identity contract with the
-    scalar path.
-
-    Implementation: segments are ordered by length (descending), and
-    iteration ``j`` adds the ``j``-th element of every segment that still has
-    one -- per segment the additions happen strictly in element order, while
-    each step is one vectorized gather + add over all live segments.  The
-    loop runs ``max(lengths)`` times, so cost is ``O(sum(lengths))`` work
-    plus one small Python iteration per distinct element position.
-    """
-    lengths = np.asarray(lengths, dtype=np.int64)
-    k = len(lengths)
-    sums = np.zeros(k, dtype=np.float64)
-    total = int(lengths.sum())
-    if k == 0 or total == 0:
-        return sums
-    offsets = np.cumsum(lengths) - lengths
-    order = np.argsort(-lengths, kind="stable")
-    sorted_offsets = offsets[order]
-    sorted_lengths = lengths[order]
-    max_len = int(sorted_lengths[0])
-    # below[j] = number of segments with length <= j, so the segments still
-    # live at element position j are the sorted prefix of size k - below[j].
-    below = np.cumsum(np.bincount(sorted_lengths, minlength=max_len + 1))
-    acc = np.zeros(k, dtype=np.float64)
-    for j in range(max_len):
-        live = k - int(below[j])
-        acc[:live] = acc[:live] + data[sorted_offsets[:live] + j]
-    sums[order] = acc
-    return sums
-
-
-def masked_segment_left_fold(
-    values: np.ndarray, mask: np.ndarray, seg_ids: np.ndarray, num_segments: int
-) -> np.ndarray:
-    """Sequential per-segment sums of the ``mask``-selected ``values``.
-
-    ``seg_ids`` must be ascending (segments contiguous in stream order), so
-    compacting with ``mask`` preserves each segment's element order and the
-    result equals the scalar ``acc = 0.0; for v, keep in row: acc += v if
-    keep`` fold bit for bit.  Segments with no selected element sum to 0.0.
-    """
-    selected = values[mask]
-    lengths = np.bincount(seg_ids[mask], minlength=num_segments)
-    return segment_left_fold_sums(selected, lengths)
-
-
-def segment_unique_records(
-    records: np.ndarray, seg_ids: np.ndarray, num_segments: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Canonical per-segment record sets: lexicographically sorted + deduped.
-
-    ``records`` is a ``(m, width)`` float matrix; rows are grouped per
-    segment, sorted by all columns (a total order up to float ``==``
-    equality, so ``-0.0`` and ``0.0`` coalesce exactly like Python's
-    hash/eq do in a ``set``), and exact duplicates within a segment are
-    dropped.  Returns ``(unique_records, unique_seg_ids, counts)`` with
-    rows ordered by (segment, record key) -- two segments hold equal record
-    *sets* iff their counts match and their aligned rows compare equal,
-    which is how the numeric semi-clustering plane evaluates the scalar
-    path's ``set(new_value) != set(value)`` update test without building
-    Python sets.
-    """
-    m, width = records.shape
-    if m == 0:
-        return records, seg_ids, np.zeros(num_segments, dtype=np.int64)
-    keys = tuple(records[:, c] for c in reversed(range(width))) + (seg_ids,)
-    order = np.lexsort(keys)
-    rows = records[order]
-    segs = seg_ids[order]
-    keep = np.ones(m, dtype=bool)
-    keep[1:] = (segs[1:] != segs[:-1]) | np.any(rows[1:] != rows[:-1], axis=1)
-    unique_rows = rows[keep]
-    unique_segs = segs[keep]
-    counts = np.bincount(unique_segs, minlength=num_segments)
-    return unique_rows, unique_segs, counts
+    return Ragged.from_lengths(
+        *_ref_kernels.segment_unique_topk_desc(data, seg_ids, num_segments, k)
+    )
 
 
 def ragged_rows_equal(left: Ragged, right: Ragged) -> np.ndarray:
@@ -309,6 +223,9 @@ class BatchPlane:
 
     def __init__(self, run) -> None:
         self.run = run
+        # The tier-resolved kernel set for this run; engine-run objects carry
+        # one, bare test stubs fall back to the default resolution.
+        self.kernels = getattr(run, "kernels", None) or get_kernels()
         graph = run.batch_graph()
         self.graph = graph
         n = graph.num_vertices
@@ -508,6 +425,13 @@ class _RaggedStateBase(BatchPlane):
         # process backend serialises so that destination owners can rebuild
         # delivered counts/bytes for their range from the raw streams.
         self._ev_sizes: List[np.ndarray] = []
+        # Steady-state delivery cache: ``(dest, refs, derived)`` of the last
+        # superstep's routing.  In the common always-active steady state the
+        # routing arrays repeat bit for bit every superstep, so the sort /
+        # grouping products derived from them are reusable; validity is
+        # checked by direct array comparison (memcmp-fast), not by trusting
+        # any phase flag.
+        self._steady: Optional[Tuple[np.ndarray, np.ndarray, Any]] = None
 
     # --------------------------------------------------------------- messaging
     def _route(self, worker, senders: np.ndarray, sizes: np.ndarray):
@@ -568,6 +492,22 @@ class _RaggedStateBase(BatchPlane):
         self.bytes_next = np.zeros(len(self.msg_count), dtype=np.int64)
         self._ev_sizes = []
 
+    # ------------------------------------------------------ steady-state cache
+    def _steady_lookup(self, dest: np.ndarray, refs: np.ndarray):
+        """The cached derived products iff this superstep's routing arrays
+        are bit-identical to the last one's, else None."""
+        cached = self._steady
+        if (
+            cached is not None
+            and np.array_equal(cached[0], dest)
+            and np.array_equal(cached[1], refs)
+        ):
+            return cached[2]
+        return None
+
+    def _steady_store(self, dest: np.ndarray, refs: np.ndarray, derived) -> None:
+        self._steady = (dest, refs, derived)
+
 
 class RaggedBatchContext:
     """API surface shared by the ragged batch contexts.
@@ -604,6 +544,15 @@ class RaggedBatchContext:
     def message_counts(self) -> np.ndarray:
         """Messages received per vertex this superstep (graph-wide array)."""
         return self._state.msg_count
+
+    @property
+    def kernels(self):
+        """The run's tier-resolved :class:`repro.bsp.kernels.KernelSet`.
+
+        Algorithms route their hot segment kernels through this so the
+        compiled tier applies without forking any algorithm code.
+        """
+        return self._state.kernels
 
     def aggregate(self, name: str, contributions) -> None:
         """Fold per-vertex contributions into a global aggregator, in order."""
@@ -727,13 +676,16 @@ class RowReduceState(_RaggedStateBase):
             else:
                 dest = np.concatenate(self._ev_dest)
                 refs = np.concatenate(self._ev_ref)
-            order = np.argsort(dest)  # non-stable: commutative exact reducers
-            sorted_dest = dest[order]
-            group_starts = np.flatnonzero(
-                np.concatenate(([True], sorted_dest[1:] != sorted_dest[:-1]))
-            )
-            unique_dest = sorted_dest[group_starts]
-            edge_rows = refs[order]
+            derived = self._steady_lookup(dest, refs)
+            if derived is None:
+                order = np.argsort(dest)  # non-stable: commutative exact reducers
+                sorted_dest = dest[order]
+                group_starts = np.flatnonzero(
+                    np.concatenate(([True], sorted_dest[1:] != sorted_dest[:-1]))
+                )
+                derived = (group_starts, sorted_dest[group_starts], refs[order])
+                self._steady_store(dest, refs, derived)
+            group_starts, unique_dest, edge_rows = derived
         self._ev_dest = []
         self._ev_ref = []
         self._ev_rows = []
@@ -833,9 +785,14 @@ class RaggedStreamState(_RaggedStateBase):
         refs = np.concatenate(self._ev_ref)
         pool = Ragged.concat(self._ev_rows)
         # Stable sort groups messages per destination while preserving the
-        # global send order within each vertex's delivery list.
-        order = np.argsort(dest, kind="stable")
-        ordered_refs = refs[order]
+        # global send order within each vertex's delivery list.  The sorted
+        # ref order depends only on the routing arrays, which repeat in the
+        # always-active steady state -- reuse it when they do.
+        ordered_refs = self._steady_lookup(dest, refs)
+        if ordered_refs is None:
+            order = np.argsort(dest, kind="stable")
+            ordered_refs = refs[order]
+            self._steady_store(dest, refs, ordered_refs)
         lengths = pool.lengths[ordered_refs]
         self.in_data = pool.data[
             concat_ranges(pool.offsets[:-1][ordered_refs], lengths)
@@ -941,10 +898,14 @@ class ObjectState(_RaggedStateBase):
             return
         dest = np.concatenate(self._ev_dest)
         refs = np.concatenate(self._ev_ref)
-        order = np.argsort(dest, kind="stable")
-        self.in_refs = refs[order]
+        derived = self._steady_lookup(dest, refs)
+        if derived is None:
+            order = np.argsort(dest, kind="stable")
+            derived = (refs[order], np.bincount(dest, minlength=n))
+            self._steady_store(dest, refs, derived)
+        self.in_refs, counts = derived
         self.in_pool = self._pool
-        np.cumsum(np.bincount(dest, minlength=n), out=self.in_msg_indptr[1:])
+        np.cumsum(counts, out=self.in_msg_indptr[1:])
         self._pool = []
         self._ev_dest = []
         self._ev_ref = []

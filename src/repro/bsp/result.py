@@ -52,6 +52,12 @@ class RunResult:
     #: wall-clock spans whose superstep attributes pair with the simulated
     #: ``iterations`` runtimes -- the measured-vs-modeled link.
     trace: Optional[Any] = None
+    #: Resolved kernel tier the run executed on (``"numpy"`` or ``"numba"``;
+    #: None on results produced before tier dispatch existed) and the thread
+    #: count of the compiled folds -- so any recorded timing says which
+    #: implementation produced it.
+    kernel_tier: Optional[str] = None
+    threads: int = 1
 
     @property
     def num_iterations(self) -> int:
@@ -106,4 +112,6 @@ class RunResult:
             "superstep_runtime_s": round(self.superstep_runtime, 3),
             "total_runtime_s": round(self.total_runtime, 3),
             "remote_message_bytes": self.total_remote_message_bytes(),
+            "kernel_tier": self.kernel_tier,
+            "threads": self.threads,
         }

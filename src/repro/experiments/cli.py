@@ -135,6 +135,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--kernel-tier",
+        choices=("numpy", "numba", "auto"),
+        default=None,
+        help=(
+            "hot-kernel implementation tier: 'numpy' (pure-NumPy reference), "
+            "'numba' (compiled nogil twins; falls back to numpy when numba "
+            "is not installed -- install with `pip install .[numba]`) or "
+            "'auto' (compiled when available); default: the "
+            "REPRO_KERNEL_TIER environment variable, then 'auto'.  Results "
+            "are bit-identical across tiers (see docs/KERNELS.md)"
+        ),
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help=(
+            "threads per process for the compiled tier's nogil fold kernels "
+            "(default 1; ignored on the numpy tier)"
+        ),
+    )
+    parser.add_argument(
         "--edge-list",
         default=None,
         metavar="PATH",
@@ -202,6 +224,8 @@ def main(argv=None) -> int:
         partition_native=not args.no_partition_native,
         backend=args.backend,
         processes=args.processes,
+        kernel_tier=args.kernel_tier,
+        threads=args.threads,
         edge_list=args.edge_list,
         csr_cache=args.csr_cache,
         tracer=tracer,

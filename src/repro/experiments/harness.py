@@ -100,6 +100,14 @@ class ExperimentContext:
         (``--trace`` on the CLI).  Threaded into every
         :meth:`engine_config` and into edge-list ingestion; None (default)
         leaves tracing off at zero cost.
+    kernel_tier:
+        Hot-kernel implementation tier for every run (``--kernel-tier``):
+        ``"numpy"``, ``"numba"`` or ``"auto"``.  None defers to the
+        ``REPRO_KERNEL_TIER`` environment variable, then ``"auto"``.
+        Results are bit-identical across tiers (see ``docs/KERNELS.md``).
+    threads:
+        Threads per process for the compiled tier's nogil fold kernels
+        (``--threads``); None means 1.  Ignored on the numpy tier.
     """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
@@ -116,6 +124,8 @@ class ExperimentContext:
     edge_list: Optional[str] = None
     csr_cache: Optional[str] = None
     tracer: Optional[object] = None
+    kernel_tier: Optional[str] = None
+    threads: Optional[int] = None
 
     _engine: BSPEngine = field(init=False, repr=False, default=None)
     _actual_runs: Dict[Tuple[str, str, str], RunResult] = field(
@@ -158,6 +168,8 @@ class ExperimentContext:
             backend=self.backend,
             processes=self.processes,
             trace=self.tracer,
+            kernel_tier=self.kernel_tier,
+            threads=self.threads,
         )
 
     def load(self, dataset: str) -> CSRGraph:

@@ -156,6 +156,7 @@ def summary_table(tracer) -> str:
         ss_rows = []
         for s in supersteps:
             a = s.attrs
+            tier = a.get("kernel_tier")
             ss_rows.append((
                 a.get("superstep"),
                 f"{s.duration:.6f}",
@@ -164,10 +165,11 @@ def summary_table(tracer) -> str:
                 a.get("messages_sent"),
                 a.get("remote_message_bytes"),
                 a.get("worker_imbalance"),
+                "-" if tier is None else f"{tier}/{a.get('threads', 1)}",
             ))
         parts.append(format_table(
             ["superstep", "measured_s", "modeled_s", "active",
-             "messages", "remote_bytes", "imbalance"],
+             "messages", "remote_bytes", "imbalance", "tier"],
             ss_rows,
             title="Measured vs modeled supersteps",
         ))

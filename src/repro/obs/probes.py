@@ -38,14 +38,17 @@ def worker_imbalance(worker_counters) -> float:
     return max(times) / mean
 
 
-def superstep_attrs(profile) -> Dict[str, Any]:
+def superstep_attrs(profile, kernel_tier=None, threads=None) -> Dict[str, Any]:
     """Span attributes summarising one :class:`IterationProfile`.
 
     ``modeled_s`` is the :class:`RuntimeModel` simulated superstep time --
     the quantity the predictor extrapolates -- so each superstep span pairs
-    it with the measured wall duration the span itself records.
+    it with the measured wall duration the span itself records.  When the
+    caller passes the run's resolved ``kernel_tier`` (and thread count),
+    they ride along so every measured time says which kernel implementation
+    produced it.
     """
-    return {
+    attrs = {
         "superstep": profile.superstep,
         "modeled_s": profile.runtime,
         "barrier_s": profile.barrier_time,
@@ -57,3 +60,7 @@ def superstep_attrs(profile) -> Dict[str, Any]:
         "worker_imbalance": round(worker_imbalance(profile.worker_counters), 4),
         "rss_kb": rss_kb(),
     }
+    if kernel_tier is not None:
+        attrs["kernel_tier"] = kernel_tier
+        attrs["threads"] = 1 if threads is None else threads
+    return attrs

@@ -33,6 +33,7 @@ from repro.algorithms.registry import (
 from repro.algorithms.semi_clustering import SemiClusteringConfig
 from repro.algorithms.topk_ranking import TopKRankingConfig
 from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.kernels import available_kernel_tiers
 from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
 from repro.cluster.spec import ClusterSpec
 from repro.graph import generators
@@ -76,6 +77,13 @@ ALGORITHM_OVERRIDES = {
 }
 
 ALGORITHM_NAMES = available_algorithms()
+
+#: The concrete kernel tiers runnable on this host.  The full differential
+#: matrix repeats per tier, so when numba is installed (CI's numba leg, or
+#: `pip install .[numba]` locally) the compiled kernels are pinned against
+#: the scalar path on exactly the same algorithm x graph x layout grid as
+#: the reference kernels.
+KERNEL_TIERS = available_kernel_tiers()
 
 
 def algorithm_settings(name: str):
@@ -173,7 +181,7 @@ def assert_profiles_identical(scalar, vectorized):
 
 def run_both_paths(
     engine, graph, algorithm_factory, config, use_combiner=False, max_supersteps=60,
-    num_workers=4, partitioner_factory=None, partition_native=True,
+    num_workers=4, partitioner_factory=None, partition_native=True, kernel_tier=None,
 ):
     """Run scalar-on-DiGraph and vectorized-on-CSR, return both results."""
     frozen = graph.freeze()
@@ -183,6 +191,7 @@ def run_both_paths(
             num_workers=num_workers, max_supersteps=max_supersteps, runtime_seed=7,
             collect_vertex_values=True, use_combiner=use_combiner,
             vectorized=vectorized, partition_native=partition_native,
+            kernel_tier=kernel_tier,
         )
         if partitioner_factory is not None:
             kwargs["partitioner"] = partitioner_factory()
@@ -194,12 +203,14 @@ def run_both_paths(
 
 
 # ---------------------------------------------------------------------- tests
+@pytest.mark.parametrize("kernel_tier", KERNEL_TIERS)
 @pytest.mark.parametrize("label,builder", GRAPH_POOL, ids=GRAPH_IDS)
 @pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
 class TestDifferentialAllAlgorithmsAllGraphs:
-    """Every registry algorithm, every pool graph, both engine paths."""
+    """Every registry algorithm, every pool graph, both engine paths --
+    repeated per available kernel tier."""
 
-    def test_differential(self, diff_engine, algorithm_name, label, builder):
+    def test_differential(self, diff_engine, algorithm_name, label, builder, kernel_tier):
         graph = builder()
         config, max_supersteps = algorithm_settings(algorithm_name)
         scalar, vectorized = run_both_paths(
@@ -208,6 +219,7 @@ class TestDifferentialAllAlgorithmsAllGraphs:
             lambda: algorithm_by_name(algorithm_name),
             config,
             max_supersteps=max_supersteps,
+            kernel_tier=kernel_tier,
         )
         assert_profiles_identical(scalar, vectorized)
 
@@ -224,6 +236,7 @@ LAYOUT_PARTITIONERS = [
 ]
 
 
+@pytest.mark.parametrize("kernel_tier", KERNEL_TIERS)
 @pytest.mark.parametrize("num_workers", [1, 2, 8])
 @pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
 class TestDifferentialWorkerCounts:
@@ -232,14 +245,15 @@ class TestDifferentialWorkerCounts:
     The partition-contiguous relabelling changes with the worker count (the
     layout *is* the partitioning), so every Table 1 counter, per-worker
     local/remote split and convergence history must stay bit-identical for
-    skewed (1), tiny (2) and wide (8) cluster shapes alike.
+    skewed (1), tiny (2) and wide (8) cluster shapes alike -- on every
+    available kernel tier.
     """
 
     @pytest.mark.parametrize(
         "label,builder", LAYOUT_GRAPHS, ids=[l for l, _ in LAYOUT_GRAPHS]
     )
     def test_differential_across_worker_counts(
-        self, diff_engine, algorithm_name, num_workers, label, builder
+        self, diff_engine, algorithm_name, num_workers, label, builder, kernel_tier
     ):
         graph = builder()
         config, max_supersteps = algorithm_settings(algorithm_name)
@@ -250,6 +264,7 @@ class TestDifferentialWorkerCounts:
             config,
             max_supersteps=max_supersteps,
             num_workers=num_workers,
+            kernel_tier=kernel_tier,
         )
         assert_profiles_identical(scalar, vectorized)
 

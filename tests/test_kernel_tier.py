@@ -1,0 +1,371 @@
+"""Tier selection, fallback and bit-identity tests for the kernel package.
+
+The dispatch rules (``repro.bsp.kernels``) are pinned directly: explicit
+tier names, the ``REPRO_KERNEL_TIER`` environment override, the silent
+numba -> numpy fallback, and the error paths.  Bit-identity of the compiled
+loop twins against the NumPy reference is pinned *without* numba by
+monkeypatching the import probe: the ``njit`` shim in
+:mod:`repro.bsp.kernels.compiled` makes every twin an ordinary Python
+function, so the exact loops that numba would compile run (slowly) under
+plain CPython and their outputs are compared bit for bit -- including the
+``-0.0`` vs ``0.0`` representative choice and order-sensitive IEEE folds,
+the cases an unstable sort or re-associated accumulation would break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.bsp.kernels as kernels_mod
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.kernels import (
+    KERNEL_TIER_ENV,
+    available_kernel_tiers,
+    compiled,
+    get_kernels,
+    numba_available,
+    reference,
+    resolve_kernel_tier,
+)
+from repro.bsp.ragged import Ragged
+from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import BSPError
+from repro.graph import generators
+from repro.utils.rng import make_rng
+
+
+class TestTierSelection:
+    def test_numpy_always_resolves_to_numpy(self):
+        assert resolve_kernel_tier("numpy") == "numpy"
+
+    def test_numba_and_auto_follow_availability(self):
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_kernel_tier("numba") == expected
+        assert resolve_kernel_tier("auto") == expected
+
+    def test_available_tiers_match_probe(self):
+        tiers = available_kernel_tiers()
+        assert tiers[0] == "numpy"
+        assert ("numba" in tiers) == numba_available()
+
+    def test_invalid_tier_raises(self):
+        with pytest.raises(BSPError, match="unknown kernel tier"):
+            resolve_kernel_tier("fortran")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_TIER_ENV, "numpy")
+        assert resolve_kernel_tier(None) == "numpy"
+        monkeypatch.setenv(KERNEL_TIER_ENV, "numba")
+        assert resolve_kernel_tier(None) == ("numba" if numba_available() else "numpy")
+        monkeypatch.setenv(KERNEL_TIER_ENV, "fortran")
+        with pytest.raises(BSPError, match="unknown kernel tier"):
+            resolve_kernel_tier(None)
+
+    def test_explicit_request_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_TIER_ENV, "fortran")  # would raise if read
+        assert resolve_kernel_tier("numpy") == "numpy"
+
+    def test_missing_numba_falls_back_silently(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_NUMBA_PROBE", False)
+        assert resolve_kernel_tier("numba") == "numpy"
+        assert resolve_kernel_tier("auto") == "numpy"
+        assert available_kernel_tiers() == ("numpy",)
+        kernels = get_kernels("numba")
+        assert kernels.tier == "numpy"
+        assert kernels.segment_left_fold_sums is reference.segment_left_fold_sums
+
+    def test_threads_below_one_raises(self):
+        with pytest.raises(BSPError, match="threads"):
+            get_kernels("numpy", threads=0)
+
+    def test_kernel_set_is_cached_per_tier_and_threads(self):
+        assert get_kernels("numpy") is get_kernels("numpy", threads=1)
+        assert get_kernels("numpy").threads == 1
+
+    def test_warm_up_runs_every_kernel(self):
+        # Smoke: warm_up must execute on any tier without raising.
+        for tier in available_kernel_tiers():
+            get_kernels(tier).warm_up()
+
+
+@pytest.fixture
+def loop_twins(monkeypatch):
+    """The compiled tier's kernel table with the loop twins guaranteed to be
+    plain-Python callable (probe forced; a no-op where numba is installed)."""
+    monkeypatch.setattr(kernels_mod, "_NUMBA_PROBE", True)
+    return compiled.make_kernel_set(threads=1)
+
+
+class TestCompiledTwinBitIdentity:
+    """Every compiled twin against its reference, bit for bit."""
+
+    def test_fold_sums(self, loop_twins):
+        rng = make_rng(11)
+        for _ in range(15):
+            lengths = rng.integers(0, 40, size=rng.integers(1, 30)).astype(np.int64)
+            data = rng.random(int(lengths.sum())) * 3.0
+            expected = reference.segment_left_fold_sums(data, lengths)
+            got = loop_twins["segment_left_fold_sums"](data, lengths)
+            assert np.array_equal(
+                expected.view(np.uint64), got.view(np.uint64)
+            )
+
+    def test_fold_sums_order_sensitive_case(self, loop_twins):
+        # (1e16 + 1.0) - 1e16 == 0.0 but 1e16 + (1.0 - 1e16) rounds away:
+        # any re-association shows up here.
+        data = np.array([1e16, 1.0, -1e16])
+        lengths = np.array([3], dtype=np.int64)
+        expected = reference.segment_left_fold_sums(data, lengths)
+        got = loop_twins["segment_left_fold_sums"](data, lengths)
+        assert expected[0] == got[0] == ((0.0 + 1e16) + 1.0) + -1e16
+
+    def test_masked_fold(self, loop_twins):
+        rng = make_rng(12)
+        for _ in range(15):
+            num_segments = int(rng.integers(1, 10))
+            seg_lengths = rng.integers(0, 20, size=num_segments)
+            seg_ids = np.repeat(np.arange(num_segments), seg_lengths)
+            values = rng.random(len(seg_ids)) * 5.0
+            mask = rng.random(len(seg_ids)) < 0.6
+            expected = reference.masked_segment_left_fold(
+                values, mask, seg_ids, num_segments
+            )
+            got = loop_twins["masked_segment_left_fold"](
+                values, mask, seg_ids, num_segments
+            )
+            assert np.array_equal(expected.view(np.uint64), got.view(np.uint64))
+
+    def test_unique_topk(self, loop_twins):
+        rng = make_rng(13)
+        for _ in range(15):
+            num_segments = int(rng.integers(1, 8))
+            seg_lengths = rng.integers(0, 12, size=num_segments)
+            seg_ids = np.repeat(np.arange(num_segments), seg_lengths)
+            data = rng.integers(0, 10, size=len(seg_ids)).astype(np.float64)
+            k = int(rng.integers(1, 5))
+            ref_values, ref_lengths = reference.segment_unique_topk_desc(
+                data, seg_ids, num_segments, k
+            )
+            got_values, got_lengths = loop_twins["segment_unique_topk_desc"](
+                data, seg_ids, num_segments, k
+            )
+            assert np.array_equal(ref_lengths, got_lengths)
+            assert np.array_equal(
+                ref_values.view(np.uint64), got_values.view(np.uint64)
+            )
+
+    def test_unique_topk_signed_zero_representative(self, loop_twins):
+        # -0.0 == 0.0, so dedup keeps ONE of them -- and it must be the same
+        # one as the reference's stable lexsort (first in stream order).
+        # The kept representative's sign bit is observable downstream.
+        data = np.array([-0.0, 0.0, 1.0, 0.0, -0.0, 2.0])
+        seg_ids = np.array([0, 0, 0, 1, 1, 1], dtype=np.int64)
+        ref_values, ref_lengths = reference.segment_unique_topk_desc(
+            data, seg_ids, 2, 3
+        )
+        got_values, got_lengths = loop_twins["segment_unique_topk_desc"](
+            data, seg_ids, 2, 3
+        )
+        assert np.array_equal(ref_lengths, got_lengths)
+        assert np.array_equal(ref_values.view(np.uint64), got_values.view(np.uint64))
+
+    def test_unique_records(self, loop_twins):
+        rng = make_rng(14)
+        for _ in range(15):
+            num_segments = int(rng.integers(1, 6))
+            seg_lengths = rng.integers(0, 8, size=num_segments)
+            seg_ids = np.repeat(np.arange(num_segments), seg_lengths)
+            # Narrow value pool -> duplicate rows are common.
+            records = rng.integers(0, 3, size=(len(seg_ids), 3)).astype(np.float64)
+            ref_rows, ref_segs, ref_counts = reference.segment_unique_records(
+                records, seg_ids, num_segments
+            )
+            got_rows, got_segs, got_counts = loop_twins["segment_unique_records"](
+                records, seg_ids, num_segments
+            )
+            assert np.array_equal(ref_counts, got_counts)
+            assert np.array_equal(ref_segs, got_segs)
+            assert np.array_equal(
+                ref_rows.view(np.uint64), got_rows.view(np.uint64)
+            )
+
+    def test_unique_records_signed_zero_representative(self, loop_twins):
+        records = np.array([[0.0, 5.0], [-0.0, 5.0], [-0.0, 4.0], [0.0, 4.0]])
+        seg_ids = np.array([0, 0, 1, 1], dtype=np.int64)
+        ref_rows, _, ref_counts = reference.segment_unique_records(
+            records, seg_ids, 2
+        )
+        got_rows, _, got_counts = loop_twins["segment_unique_records"](
+            records, seg_ids, 2
+        )
+        assert np.array_equal(ref_counts, got_counts)
+        assert np.array_equal(ref_rows.view(np.uint64), got_rows.view(np.uint64))
+
+    def test_pack_rank_keys(self, loop_twins):
+        rng = make_rng(15)
+        for _ in range(10):
+            m = int(rng.integers(1, 30))
+            v_max = int(rng.integers(1, 9))
+            bits = int(rng.integers(1, 7))
+            per_key = max(1, 63 // bits)
+            rank_plus = rng.integers(0, 2 ** bits, size=(m, v_max)).astype(np.int64)
+            expected = reference.pack_rank_keys(rank_plus, bits, per_key)
+            got = loop_twins["pack_rank_keys"](rank_plus, bits, per_key)
+            assert len(expected) == len(got)
+            for left, right in zip(expected, got):
+                assert np.array_equal(left, right)
+
+    def test_filter_range(self, loop_twins):
+        rng = make_rng(16)
+        for _ in range(10):
+            dest = rng.integers(0, 50, size=rng.integers(0, 80)).astype(np.int64)
+            lo = int(rng.integers(0, 25))
+            hi = int(rng.integers(lo, 51))
+            ref_dest, ref_idx = reference.filter_range(dest, lo, hi)
+            got_dest, got_idx = loop_twins["filter_range"](dest, lo, hi)
+            assert np.array_equal(ref_dest, got_dest)
+            assert np.array_equal(ref_idx, got_idx)
+            assert got_dest.dtype == dest.dtype
+
+    def test_empty_inputs(self, loop_twins):
+        empty_f = np.empty(0, dtype=np.float64)
+        empty_i = np.empty(0, dtype=np.int64)
+        assert loop_twins["segment_left_fold_sums"](
+            empty_f, np.zeros(3, dtype=np.int64)
+        ).tolist() == [0.0, 0.0, 0.0]
+        values, lengths = loop_twins["segment_unique_topk_desc"](empty_f, empty_i, 3, 2)
+        assert len(values) == 0 and lengths.tolist() == [0, 0, 0]
+        rows, segs, counts = loop_twins["segment_unique_records"](
+            empty_f.reshape(0, 2), empty_i, 2
+        )
+        assert len(rows) == 0 and counts.tolist() == [0, 0]
+        dest_f, idx = loop_twins["filter_range"](empty_i, 0, 5)
+        assert len(dest_f) == 0 and len(idx) == 0
+
+
+class TestHybridThreadSplit:
+    """The threaded fold paths produce bit-identical output for any thread
+    count: the cuts are segment-aligned so no accumulation spans threads."""
+
+    def test_fold_sums_threaded_matches_sequential(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_NUMBA_PROBE", True)
+        monkeypatch.setattr(compiled, "_MIN_PARALLEL_ELEMENTS", 1)
+        rng = make_rng(21)
+        lengths = rng.integers(0, 25, size=200).astype(np.int64)
+        data = rng.random(int(lengths.sum())) * 3.0
+        expected = reference.segment_left_fold_sums(data, lengths)
+        for threads in (2, 3, 7):
+            got = compiled._make_fold_sums(threads)(data, lengths)
+            assert np.array_equal(expected.view(np.uint64), got.view(np.uint64))
+
+    def test_masked_fold_threaded_matches_sequential(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_NUMBA_PROBE", True)
+        monkeypatch.setattr(compiled, "_MIN_PARALLEL_ELEMENTS", 1)
+        rng = make_rng(22)
+        num_segments = 150
+        seg_lengths = rng.integers(0, 20, size=num_segments)
+        seg_ids = np.repeat(np.arange(num_segments), seg_lengths)
+        values = rng.random(len(seg_ids)) * 5.0
+        mask = rng.random(len(seg_ids)) < 0.5
+        expected = reference.masked_segment_left_fold(
+            values, mask, seg_ids, num_segments
+        )
+        for threads in (2, 3, 7):
+            got = compiled._make_masked_fold(threads)(
+                values, mask, seg_ids, num_segments
+            )
+            assert np.array_equal(expected.view(np.uint64), got.view(np.uint64))
+
+    def test_segment_cuts_cover_and_are_monotone(self):
+        ends = np.cumsum(np.array([3, 0, 5, 1, 2, 8], dtype=np.int64))
+        cuts = compiled._segment_cuts(ends, 4)
+        assert cuts[0] == 0 and cuts[-1] == len(ends)
+        assert all(a <= b for a, b in zip(cuts, cuts[1:]))
+
+    def test_element_cuts_align_to_segment_starts(self):
+        seg_ids = np.repeat(np.arange(5), [4, 1, 6, 0, 9])
+        cuts = compiled._element_cuts(seg_ids, 3)
+        assert cuts[0] == 0 and cuts[-1] == len(seg_ids)
+        for c in cuts[1:-1]:
+            if 0 < c < len(seg_ids):
+                assert seg_ids[c] != seg_ids[c - 1]
+
+
+class TestEngineIntegration:
+    def _engine(self):
+        return BSPEngine(
+            cluster=ClusterSpec(num_nodes=1, workers_per_node=4),
+            cost_profile=DETERMINISTIC_PROFILE,
+        )
+
+    def test_run_result_records_tier_and_threads(self):
+        from repro.algorithms.pagerank import PageRank
+
+        graph = generators.erdos_renyi(30, 0.2, seed=2).freeze()
+        result = self._engine().run(
+            graph, PageRank(), None,
+            EngineConfig(
+                num_workers=4, max_supersteps=3, runtime_seed=1,
+                kernel_tier="numpy", threads=2,
+            ),
+        )
+        assert result.kernel_tier == "numpy"
+        assert result.threads == 2
+        assert result.summary()["kernel_tier"] == "numpy"
+
+    def test_invalid_tier_fails_the_run(self):
+        from repro.algorithms.pagerank import PageRank
+
+        graph = generators.erdos_renyi(10, 0.2, seed=2).freeze()
+        with pytest.raises(BSPError, match="unknown kernel tier"):
+            self._engine().run(
+                graph, PageRank(), None,
+                EngineConfig(num_workers=2, max_supersteps=2, runtime_seed=1,
+                             kernel_tier="fortran"),
+            )
+
+    def test_loop_twin_tier_run_is_bit_identical(self, monkeypatch):
+        """A full inline run on the compiled dispatch (loop twins as plain
+        Python when numba is absent) matches the numpy-tier run exactly."""
+        from repro.algorithms.topk_ranking import TopKRanking
+
+        monkeypatch.setattr(kernels_mod, "_NUMBA_PROBE", True)
+        graph = generators.uniform_csr(120, 600, seed=9, name="kt-small")
+        engine = self._engine()
+
+        def run(tier):
+            return engine.run(
+                graph, TopKRanking(), None,
+                EngineConfig(
+                    num_workers=4, max_supersteps=8, runtime_seed=1,
+                    collect_vertex_values=True, kernel_tier=tier,
+                ),
+            )
+
+        baseline = run("numpy")
+        twinned = run("numba")
+        assert twinned.kernel_tier == "numba"
+        assert baseline.vertex_values == twinned.vertex_values
+        assert baseline.convergence_history == twinned.convergence_history
+        assert baseline.num_iterations == twinned.num_iterations
+        for left, right in zip(baseline.iterations, twinned.iterations):
+            assert left.graph_feature_dict() == right.graph_feature_dict()
+
+
+class TestRaggedReExports:
+    def test_ragged_module_still_exports_the_reference_kernels(self):
+        # Back-compat: the kernels moved to repro.bsp.kernels.reference but
+        # the old repro.bsp.ragged names keep working (and stay zero-cost).
+        from repro.bsp import ragged
+
+        assert ragged.segment_left_fold_sums is reference.segment_left_fold_sums
+        assert ragged.masked_segment_left_fold is reference.masked_segment_left_fold
+        assert ragged.segment_unique_records is reference.segment_unique_records
+        # The topk name wraps the reference in a Ragged for row access.
+        result = ragged.segment_unique_topk_desc(
+            np.array([2.0, 1.0, 3.0]), np.array([0, 0, 1], dtype=np.int64), 2, 2
+        )
+        assert isinstance(result, Ragged)
+        assert result.to_tuples() == [(2.0, 1.0), (3.0,)]

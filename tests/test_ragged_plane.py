@@ -11,6 +11,7 @@ plane itself.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.algorithms.registry import (
     algorithm_by_name,
@@ -20,14 +21,11 @@ from repro.algorithms.registry import (
 )
 from repro.algorithms.semi_clustering import SemiClustering, SemiClusteringConfig
 from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.kernels import available_kernel_tiers, get_kernels
 from repro.bsp.ragged import (
     Ragged,
     build_ragged_state,
-    masked_segment_left_fold,
     ragged_rows_equal,
-    segment_left_fold_sums,
-    segment_unique_records,
-    segment_unique_topk_desc,
 )
 from repro.cluster.cost_profile import DETERMINISTIC_PROFILE
 from repro.cluster.spec import ClusterSpec
@@ -63,8 +61,17 @@ class TestRagged:
         assert Ragged.concat([left, right]).to_tuples() == [(1,), (2, 3), (), (4,)]
 
 
+# Every concrete tier runnable on this host; the kernel unit tests below run
+# once per tier, pinning the cross-tier bit-identity contract wherever the
+# compiled tier is installed (tests/test_kernel_tier.py additionally pins the
+# compiled loop twins without numba, via the njit shim).
+@pytest.fixture(params=available_kernel_tiers())
+def kernels(request):
+    return get_kernels(request.param)
+
+
 class TestSegmentUniqueTopK:
-    def test_matches_python_reference(self):
+    def test_matches_python_reference(self, kernels):
         rng = make_rng(7)
         for _ in range(25):
             num_segments = int(rng.integers(1, 8))
@@ -73,14 +80,18 @@ class TestSegmentUniqueTopK:
             # Draw from a small value pool so duplicates are common.
             data = rng.integers(0, 10, size=int(seg_lengths.sum())).astype(np.float64)
             k = int(rng.integers(1, 5))
-            result = segment_unique_topk_desc(data, seg_ids, num_segments, k)
+            result = Ragged.from_lengths(
+                *kernels.segment_unique_topk_desc(data, seg_ids, num_segments, k)
+            )
             for segment in range(num_segments):
                 expected = tuple(sorted(set(data[seg_ids == segment]), reverse=True)[:k])
                 assert result.to_tuples()[segment] == expected
 
-    def test_empty_input(self):
-        result = segment_unique_topk_desc(
-            np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), 3, 2
+    def test_empty_input(self, kernels):
+        result = Ragged.from_lengths(
+            *kernels.segment_unique_topk_desc(
+                np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), 3, 2
+            )
         )
         assert result.to_tuples() == [(), (), ()]
 
@@ -93,7 +104,7 @@ class TestRaggedRowsEqual:
 
 
 class TestSegmentLeftFoldSums:
-    def test_matches_python_sequential_fold_bit_for_bit(self):
+    def test_matches_python_sequential_fold_bit_for_bit(self, kernels):
         # The whole point of the kernel: np.sum's pairwise reduction rounds
         # differently from a sequential Python fold, and the numeric
         # semi-clustering plane needs the *scalar* semantics exactly.
@@ -101,7 +112,7 @@ class TestSegmentLeftFoldSums:
         for _ in range(25):
             lengths = rng.integers(0, 60, size=rng.integers(1, 40)).astype(np.int64)
             data = rng.random(int(lengths.sum())) * 3.0
-            sums = segment_left_fold_sums(data, lengths)
+            sums = kernels.segment_left_fold_sums(data, lengths)
             offset = 0
             for i, length in enumerate(lengths.tolist()):
                 acc = 0.0
@@ -110,44 +121,44 @@ class TestSegmentLeftFoldSums:
                 assert acc == sums[i]
                 offset += length
 
-    def test_empty_segments_sum_to_zero(self):
-        sums = segment_left_fold_sums(np.empty(0), np.zeros(3, dtype=np.int64))
+    def test_empty_segments_sum_to_zero(self, kernels):
+        sums = kernels.segment_left_fold_sums(np.empty(0), np.zeros(3, dtype=np.int64))
         assert sums.tolist() == [0.0, 0.0, 0.0]
 
-    def test_masked_variant_preserves_element_order(self):
+    def test_masked_variant_preserves_element_order(self, kernels):
         values = np.array([1e16, 1.0, -1e16, 2.0, 0.5, 4.0])
         seg = np.array([0, 0, 0, 1, 1, 1])
         mask = np.array([True, True, True, True, False, True])
-        sums = masked_segment_left_fold(values, mask, seg, 3)
+        sums = kernels.masked_segment_left_fold(values, mask, seg, 3)
         assert sums[0] == ((0.0 + 1e16) + 1.0) + -1e16  # order-sensitive
         assert sums[1] == 2.0 + 4.0
         assert sums[2] == 0.0
 
 
 class TestSegmentUniqueRecords:
-    def test_dedups_within_segments_only(self):
+    def test_dedups_within_segments_only(self, kernels):
         records = np.array(
             [[1.0, 2.0], [1.0, 2.0], [3.0, 0.0], [1.0, 2.0]], dtype=np.float64
         )
         seg = np.array([0, 0, 0, 1])
-        unique, unique_seg, counts = segment_unique_records(records, seg, 3)
+        unique, unique_seg, counts = kernels.segment_unique_records(records, seg, 3)
         assert counts.tolist() == [2, 1, 0]
         assert unique_seg.tolist() == [0, 0, 1]
         assert unique.tolist() == [[1.0, 2.0], [3.0, 0.0], [1.0, 2.0]]
 
-    def test_rows_sorted_canonically_for_aligned_comparison(self):
+    def test_rows_sorted_canonically_for_aligned_comparison(self, kernels):
         left = np.array([[2.0, 1.0], [1.0, 1.0]])
         right = np.array([[1.0, 1.0], [2.0, 1.0]])
         seg = np.array([0, 0])
-        unique_l, _, _ = segment_unique_records(left, seg, 1)
-        unique_r, _, _ = segment_unique_records(right, seg, 1)
+        unique_l, _, _ = kernels.segment_unique_records(left, seg, 1)
+        unique_r, _, _ = kernels.segment_unique_records(right, seg, 1)
         # Same record *set*, different input order -> identical canon form.
         assert np.array_equal(unique_l, unique_r)
 
-    def test_signed_zeros_coalesce_like_python_sets(self):
+    def test_signed_zeros_coalesce_like_python_sets(self, kernels):
         records = np.array([[0.0, 5.0], [-0.0, 5.0]])
         seg = np.array([0, 0])
-        _, _, counts = segment_unique_records(records, seg, 1)
+        _, _, counts = kernels.segment_unique_records(records, seg, 1)
         assert counts.tolist() == [1]
 
 
