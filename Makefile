@@ -39,6 +39,7 @@ bench-smoke:
 		benchmarks/test_bench_parallel_backend.py \
 		benchmarks/test_bench_outofcore.py \
 		benchmarks/test_bench_trace_overhead.py \
+		benchmarks/test_bench_checkpoint_overhead.py \
 		benchmarks/test_bench_kernel_tier.py \
 		-q -s
 

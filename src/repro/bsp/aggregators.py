@@ -135,6 +135,22 @@ class AggregatorRegistry:
             aggregator.reset()
         return snapshot
 
+    def snapshot_previous(self) -> Dict[str, float]:
+        """Barrier values visible to the next superstep (checkpoint payload)."""
+        return dict(self._previous)
+
+    def restore_previous(self, previous: Dict[str, float]) -> None:
+        """Rewind to a checkpointed barrier snapshot.
+
+        Installs the snapshotted barrier values and resets the running
+        accumulators to their neutral elements — exactly the state the
+        registry holds right after :meth:`barrier` returned at the
+        checkpointed superstep.
+        """
+        self._previous = dict(previous)
+        for aggregator in self._aggregators.values():
+            aggregator.reset()
+
     def names(self):
         """Registered aggregator names."""
         return list(self._aggregators)

@@ -208,6 +208,37 @@ class EngineConfig:
         threads hybrid parallelism on big hosts.  Ignored on the numpy
         tier.  Thread splits are aligned to segment boundaries, so results
         stay bit-identical for any thread count.
+    checkpoint_every:
+        Checkpoint the full mutable engine state (plane values, active
+        sets, delivered messages, aggregator barrier results, runtime-model
+        RNG state, iteration history) every N supersteps, at the barrier (0,
+        the default, disables checkpointing).  On the process backend a
+        recoverable barrier fault (crashed or straggling child, corrupted
+        stream) then rewinds to the last checkpoint and replays -- the
+        recovered run is bit-identical to an undisturbed one.  Requires a
+        batch-plane run; the scalar fallback ignores it.  See
+        ``docs/RESILIENCE.md``.
+    checkpoint_dir:
+        Directory to additionally persist checkpoints to (atomic tmp +
+        ``os.replace`` writes with a config-hash manifest); None (default)
+        keeps them in memory only.  Needed for ``resume``.
+    resume:
+        Load the latest checkpoint from ``checkpoint_dir`` before the run
+        and continue from its superstep.  The manifest's config hash must
+        match this run's configuration.
+    barrier_timeout_s:
+        Deadline in seconds for each process-backend barrier collect.  On
+        expiry child pids are probed and the failure is classified (crash /
+        straggler); None (default) waits forever.
+    recovery_attempts:
+        Bounded rewind-and-replay retries per run on the process backend.
+        When exhausted (or the pool cannot be respawned) the run degrades
+        gracefully: the pool is shut down and the remaining supersteps
+        replay inline from the last checkpoint.
+    fault_plan:
+        A :class:`repro.bsp.resilience.FaultPlan` of injected faults (kill /
+        stop / stall / poison / corrupt a worker process at a superstep) for
+        testing the recovery machinery; None (default) injects nothing.
     """
 
     num_workers: Optional[int] = None
@@ -226,6 +257,12 @@ class EngineConfig:
     trace: Optional[Any] = None
     kernel_tier: Optional[str] = None
     threads: Optional[int] = None
+    checkpoint_every: int = 0
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    barrier_timeout_s: Optional[float] = None
+    recovery_attempts: int = 2
+    fault_plan: Optional[Any] = None
 
 
 class BSPEngine:
@@ -601,6 +638,22 @@ class _EngineRun:
         self._worker_edge_counts: Optional[np.ndarray] = None
         self._batch_graph = None
 
+        # Resilience: superstep checkpoints + recovery accounting (see
+        # repro.bsp.resilience and docs/RESILIENCE.md).  The attempt token
+        # versions process-backend runs so barrier collects can discard
+        # stale messages from an attempt abandoned by a rewind.
+        from repro.bsp.resilience import CheckpointManager, RecoveryLog, config_fingerprint
+
+        self.checkpoint_manager = CheckpointManager(
+            every=engine_config.checkpoint_every,
+            directory=engine_config.checkpoint_dir,
+            config_hash=config_fingerprint(
+                engine_config, algorithm.name, graph.name, num_workers
+            ),
+        )
+        self.recovery = RecoveryLog()
+        self._attempt_token = 0
+
     def batch_graph(self):
         """The graph the batch planes execute on (cached per run).
 
@@ -747,12 +800,61 @@ class _EngineRun:
             finally:
                 run_span.finish()
 
+        # Inline resilience: optionally resume from a persisted checkpoint,
+        # otherwise store a baseline checkpoint so the first rewind target
+        # exists before the first interval elapses.
         iterations: List[IterationProfile] = []
         convergence_history: List[float] = []
+        start_superstep = 0
+        manager = self.checkpoint_manager
+        if engine_config.resume and self._vector is not None:
+            resume_from = manager.load_from_disk()
+            self._restore_checkpoint(resume_from)
+            iterations = list(resume_from.iterations)
+            convergence_history = list(resume_from.convergence_history)
+            start_superstep = resume_from.superstep
+        elif (
+            manager.enabled
+            and self._vector is not None
+            and manager.latest() is None
+        ):
+            manager.store(self._build_checkpoint(0, [], []))
+            self.recovery.checkpoints += 1
+            tracer.counter("recovery.checkpoints")
+
+        converged = self._superstep_loop(
+            master, iterations, convergence_history, start_superstep
+        )
+        result = self._finish_run(
+            iterations, convergence_history, converged, phase_times, original_graph_name
+        )
+        run_span.finish()
+        return result
+
+    def _superstep_loop(
+        self,
+        master: Master,
+        iterations: List[IterationProfile],
+        convergence_history: List[float],
+        start_superstep: int = 0,
+    ) -> bool:
+        """Run inline supersteps from ``start_superstep`` until convergence.
+
+        Appends to ``iterations`` / ``convergence_history`` in place (they
+        may already hold the profiles replayed from a checkpoint) and
+        returns whether the run converged.  Checkpoints are taken at the
+        barrier, *after* the buffer swap — the stored superstep is the next
+        one to execute.
+        """
+        engine_config = self.engine_config
+        algorithm = self.algorithm
+        config = self.config
+        tracer = self.tracer
+        manager = self.checkpoint_manager
         converged = False
 
         loop_span = tracer.begin("phase.superstep")
-        for superstep in range(engine_config.max_supersteps):
+        for superstep in range(start_superstep, engine_config.max_supersteps):
             ss_span = tracer.begin("superstep")
             self._begin_superstep()
             if self._vector is not None:
@@ -814,7 +916,32 @@ class _EngineRun:
             if decision.stop:
                 converged = decision.converged
                 break
+
+            if self._vector is not None and manager.should_checkpoint(superstep + 1):
+                ckpt_span = tracer.begin("recovery.checkpoint")
+                manager.store(
+                    self._build_checkpoint(superstep + 1, iterations, convergence_history)
+                )
+                self.recovery.checkpoints += 1
+                tracer.counter("recovery.checkpoints")
+                if tracer.enabled:
+                    ckpt_span.set("superstep", superstep + 1)
+                ckpt_span.finish()
         loop_span.finish()
+        return converged
+
+    def _finish_run(
+        self,
+        iterations: List[IterationProfile],
+        convergence_history: List[float],
+        converged: bool,
+        phase_times: PhaseTimes,
+        original_graph_name: str,
+    ) -> RunResult:
+        """Write phase + result assembly, shared by first run and resumes."""
+        engine_config = self.engine_config
+        tracer = self.tracer
+        graph = self.graph
 
         write_span = tracer.begin("phase.write")
         if self._vector is not None:
@@ -827,9 +954,8 @@ class _EngineRun:
         if tracer.enabled:
             write_span.set("modeled_s", phase_times.write)
         write_span.finish()
-        run_span.finish()
         return RunResult(
-            algorithm=algorithm.name,
+            algorithm=self.algorithm.name,
             graph_name=original_graph_name,
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
@@ -839,10 +965,81 @@ class _EngineRun:
             converged=converged,
             convergence_history=convergence_history,
             vertex_values=vertex_values,
-            config=algorithm.config_dict(config),
+            config=self.algorithm.config_dict(self.config),
             trace=tracer if tracer.enabled else None,
             kernel_tier=self.kernels.tier,
             threads=self.kernels.threads,
+            recovery=self.recovery if self.recovery.active else None,
+        )
+
+    # ----------------------------------------------------------- resilience
+    def _build_checkpoint(
+        self,
+        next_superstep: int,
+        iterations: List[IterationProfile],
+        convergence_history: List[float],
+        plane_snapshot: Optional[Dict[str, Any]] = None,
+    ):
+        """Capture all mutable engine state as of the current barrier.
+
+        ``plane_snapshot`` lets the process backend substitute the snapshot
+        it assembled from the children's slices; inline runs snapshot the
+        master's own plane.  Pickling at store time deep-copies the
+        iteration profiles, so later supersteps cannot mutate a checkpoint.
+        """
+        from repro.bsp.parallel.protocol import plane_kind
+        from repro.bsp.resilience import Checkpoint, snapshot_plane
+
+        kind = plane_kind(self._vector)
+        if plane_snapshot is None:
+            plane_snapshot = snapshot_plane(self._vector, kind)
+        manager = self.checkpoint_manager
+        return Checkpoint(
+            version=manager.next_version(),
+            superstep=next_superstep,
+            kind=kind,
+            plane=plane_snapshot,
+            aggregates=self.registry.snapshot_previous(),
+            rng_state=self.runtime_model.snapshot_rng(),
+            iterations=list(iterations),
+            convergence_history=list(convergence_history),
+            config_hash=manager.config_hash,
+        )
+
+    def _restore_checkpoint(self, checkpoint) -> None:
+        """Rewind plane, aggregators and RNG to a checkpoint.
+
+        Building a fresh plane resets every steady-state/epoch cache — the
+        replay must not see cache state minted after the checkpoint.
+        """
+        from repro.bsp.resilience import restore_plane
+
+        self._vector = restore_plane(self, checkpoint.kind, checkpoint.plane)
+        self.registry.restore_previous(checkpoint.aggregates)
+        self.runtime_model.restore_rng(checkpoint.rng_state)
+
+    def _resume_inline(
+        self,
+        master: Master,
+        phase_times: PhaseTimes,
+        original_graph_name: str,
+        checkpoint,
+    ) -> RunResult:
+        """Graceful degradation: finish a process-backend run inline.
+
+        Called by the process backend when the pool is unrecoverable (or
+        the retry budget is exhausted): rewinds to ``checkpoint`` and
+        replays the remaining supersteps on the inline loop — bit-identical
+        to what the pool would have produced.
+        """
+        self._restore_checkpoint(checkpoint)
+        iterations = list(checkpoint.iterations)
+        convergence_history = list(checkpoint.convergence_history)
+        converged = self._superstep_loop(
+            master, iterations, convergence_history, checkpoint.superstep
+        )
+        return self._finish_run(
+            iterations, convergence_history, converged, phase_times, original_graph_name
         )
 
     # -------------------------------------------------------------- helpers

@@ -23,6 +23,20 @@ of the partition-native layout and stream order concatenates back to the
 inline send order.  The simulated cluster keeps ``num_workers`` workers
 regardless of the process count -- Table 1 profiles describe the modelled
 cluster, not the host machine.
+
+Fault tolerance (see ``docs/RESILIENCE.md``): every barrier collect can run
+against a deadline (``EngineConfig.barrier_timeout_s``); on expiry (or a
+closed pipe, or a child-reported error) the failure is classified into a
+:class:`~repro.bsp.resilience.BarrierFault` -- *crash* (dead pid),
+*straggler* (alive but late), *poison* (child raised) or *corrupt* (stream
+validation failed).  With checkpointing enabled
+(``EngineConfig.checkpoint_every``) :func:`run_process_backend` recovers
+from crash/straggler/corrupt faults: kill stragglers, respawn dead
+children, rewind everyone to the last checkpoint and replay -- bounded by
+``EngineConfig.recovery_attempts``, after which the run degrades gracefully
+onto the inline loop.  Every run attempt carries a *token* that stamps all
+child messages, so a collect never confuses a stale message from an
+abandoned attempt with a live one.
 """
 
 from __future__ import annotations
@@ -30,7 +44,9 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
-from typing import List, Optional
+import time
+from multiprocessing.connection import wait as _connection_wait
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -38,39 +54,55 @@ from repro.bsp.counters import IterationProfile
 from repro.bsp.parallel.protocol import export_plane_init, paste_values, plane_kind
 from repro.bsp.parallel.shared_csr import OWNED_SEGMENT_PREFIX, SharedCSR
 from repro.bsp.parallel.worker import worker_main
+from repro.bsp.resilience import BarrierFault, assemble_plane_snapshot
 from repro.bsp.result import RunResult
 from repro.exceptions import BSPError
 from repro.obs.probes import superstep_attrs
 
+#: Child->master message tags that carry the run-attempt token at index 2.
+_TOKENED_TAGS = ("computed", "reduced", "values", "ckpt", "error")
+
 
 class ProcessWorkerPool:
     """Persistent pool of worker processes for the process backend."""
+
+    # Join/terminate/kill escalation timeouts (seconds).  Instance
+    # attributes so tests exercising the escalation can shrink them.
+    JOIN_TIMEOUT = 2.0
+    TERMINATE_TIMEOUT = 1.0
+    KILL_TIMEOUT = 5.0
 
     def __init__(self, processes: int, start_method: str = "spawn") -> None:
         if processes < 1:
             raise BSPError(f"process pool needs at least one process, got {processes}")
         self.processes = processes
         self.start_method = start_method
-        context = multiprocessing.get_context(start_method)
+        self._context = multiprocessing.get_context(start_method)
         self._procs = []
         self._conns = []
         self.alive = True
         try:
             for index in range(processes):
-                parent_conn, child_conn = context.Pipe()
-                proc = context.Process(
-                    target=worker_main,
-                    args=(child_conn, index),
-                    daemon=True,
-                    name=f"repro-bsp-worker-{index}",
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+                self._procs.append(None)
+                self._conns.append(None)
+                self._spawn(index)
         except Exception:
             self.close()
             raise
+
+    def _spawn(self, index: int) -> None:
+        """(Re)start worker process ``index`` with a fresh pipe."""
+        parent_conn, child_conn = self._context.Pipe()
+        proc = self._context.Process(
+            target=worker_main,
+            args=(child_conn, index),
+            daemon=True,
+            name=f"repro-bsp-worker-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[index] = proc
+        self._conns[index] = parent_conn
 
     # ------------------------------------------------------------- messaging
     def send(self, index: int, message) -> None:
@@ -82,33 +114,88 @@ class ProcessWorkerPool:
         for conn in self._conns:
             conn.send(message)
 
-    def receive_all(self, expected_tag: str) -> List[tuple]:
+    def receive_all(
+        self,
+        expected_tag: str,
+        token: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[tuple]:
         """One ``expected_tag`` message per process, ordered by process index.
 
-        A child that reports an ``error`` (or dies) fails the run: the
-        formatted child traceback is re-raised here as a :class:`BSPError`
-        and the pool is closed -- sibling processes may be blocked
-        mid-superstep, so the run state is unrecoverable by design.
+        With ``token`` set, messages stamped with a different run-attempt
+        token are silently discarded (they belong to an attempt abandoned by
+        a recovery rewind).  With ``timeout`` set, the whole collect must
+        finish within the deadline; on expiry the missing children's pids
+        are probed and a :class:`BarrierFault` classifies the failure as
+        *crash* (dead) or *straggler* (alive but late).  A closed pipe is a
+        *crash*; a child-reported error is *poison* (the child raised) or
+        *corrupt* (stream validation failed).  :class:`BarrierFault` leaves
+        the pool open -- the caller decides between recovery and teardown.
+        A tag mismatch is a protocol bug, not a fault: it still tears the
+        pool down and raises a plain :class:`BSPError`.
         """
         messages: List[Optional[tuple]] = [None] * self.processes
-        for conn in self._conns:
-            try:
-                message = conn.recv()
-            except (EOFError, OSError) as exc:
-                self._fail()
-                raise BSPError("a worker process died mid-run") from exc
-            if message[0] == "error":
-                self._fail()
-                raise BSPError(
-                    f"worker process {message[1]} failed:\n{message[2]}"
-                )
-            if message[0] != expected_tag:
-                self._fail()
-                raise BSPError(
-                    f"protocol error: expected {expected_tag!r}, got {message[0]!r}"
-                )
-            messages[message[1]] = message
+        pending = {conn: index for index, conn in enumerate(self._conns)}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while pending:
+            conns = list(pending)
+            if deadline is None:
+                ready = _connection_wait(conns)
+            else:
+                remaining = deadline - time.monotonic()
+                ready = _connection_wait(conns, timeout=remaining) if remaining > 0 else []
+                if not ready:
+                    raise self._classify_timeout(pending, timeout)
+            for conn in ready:
+                index = pending[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise BarrierFault(
+                        "crash",
+                        [index],
+                        f"a worker process died mid-run (process {index})",
+                    ) from exc
+                if (
+                    token is not None
+                    and message[0] in _TOKENED_TAGS
+                    and message[2] != token
+                ):
+                    continue  # stale message from an abandoned attempt
+                if message[0] == "error":
+                    fault_kind = message[4] if len(message) > 4 else "poison"
+                    raise BarrierFault(
+                        fault_kind,
+                        [message[1]],
+                        f"worker process {message[1]} failed:\n{message[3]}",
+                        traceback_text=message[3],
+                    )
+                if message[0] != expected_tag:
+                    self._fail()
+                    raise BSPError(
+                        f"protocol error: expected {expected_tag!r}, got {message[0]!r}"
+                    )
+                messages[message[1]] = message
+                del pending[conn]
         return messages  # type: ignore[return-value]
+
+    def _classify_timeout(self, pending, timeout: float) -> BarrierFault:
+        """Probe the pids of the missing children and classify the failure."""
+        crashed = sorted(
+            index for index in pending.values() if not self._procs[index].is_alive()
+        )
+        if crashed:
+            return BarrierFault(
+                "crash",
+                crashed,
+                f"a worker process died mid-run (processes {crashed} dead at the barrier)",
+            )
+        stragglers = sorted(pending.values())
+        return BarrierFault(
+            "straggler",
+            stragglers,
+            f"worker processes {stragglers} missed the barrier deadline ({timeout:g}s)",
+        )
 
     def _fail(self) -> None:
         """Tear the pool down after a protocol failure.
@@ -130,6 +217,53 @@ class ProcessWorkerPool:
             except (BrokenPipeError, OSError):  # pragma: no cover
                 pass
 
+    def force_kill(self, indices: Sequence[int]) -> None:
+        """Terminate (escalating to SIGKILL) the given worker processes.
+
+        SIGTERM cannot end a SIGSTOP-ped process (the signal stays queued
+        while it is stopped), so the escalation to ``kill()`` is what makes
+        straggler recovery -- and :meth:`close` -- reliable against stopped
+        or wedged children.
+        """
+        for index in indices:
+            proc = self._procs[index]
+            if proc is None:
+                continue
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=self.TERMINATE_TIMEOUT)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=self.KILL_TIMEOUT)
+
+    def respawn(self, indices: Sequence[int]) -> None:
+        """Replace dead worker processes with fresh ones (same indices).
+
+        Joins the corpse, sweeps the ``repro_shm_<pid>_*`` arena blocks it
+        could not clean up itself, closes the dead pipe and spawns a
+        replacement.  Raises :class:`BSPError` if a replacement fails to
+        come up -- the caller then degrades to the inline backend.
+        """
+        for index in indices:
+            proc = self._procs[index]
+            old_pid = proc.pid if proc is not None else None
+            if proc is not None:
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.kill()
+                proc.join(timeout=self.KILL_TIMEOUT)
+                if proc.is_alive():
+                    raise BSPError(f"worker process {index} cannot be reaped for respawn")
+            try:
+                self._conns[index].close()
+            except OSError:  # pragma: no cover
+                pass
+            if old_pid is not None:
+                _sweep_owned_segments([old_pid])
+            try:
+                self._spawn(index)
+            except Exception as exc:
+                raise BSPError(f"failed to respawn worker process {index}") from exc
+
     def close(self) -> None:
         """Shut the pool down; blocks briefly, then terminates stragglers.
 
@@ -138,23 +272,37 @@ class ProcessWorkerPool:
         (SIGKILL, OOM) cannot run its own ``SharedArena.destroy``; its
         blocks are identifiable by pid precisely because the arenas use
         deterministic names -- see :mod:`repro.bsp.parallel.shared_csr`.
+
+        A child that survives ``terminate()`` (e.g. one injected with
+        SIGSTOP, which queues SIGTERM without delivering it) is escalated
+        to ``kill()`` -- the pool never abandons a live child as a zombie.
         """
         if not self.alive:
             return
         self.alive = False
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("shutdown",))
             except (BrokenPipeError, OSError):
                 pass
-        child_pids = [proc.pid for proc in self._procs if proc.pid is not None]
+        child_pids = [
+            proc.pid for proc in self._procs if proc is not None and proc.pid is not None
+        ]
         for proc in self._procs:
-            proc.join(timeout=2.0)
+            if proc is None:
+                continue
+            proc.join(timeout=self.JOIN_TIMEOUT)
             if proc.is_alive():  # pragma: no cover - hung child guard
                 proc.terminate()
-                proc.join(timeout=1.0)
+                proc.join(timeout=self.TERMINATE_TIMEOUT)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=self.KILL_TIMEOUT)
         for conn in self._conns:
-            conn.close()
+            if conn is not None:
+                conn.close()
         self._procs = []
         self._conns = []
         _sweep_owned_segments(child_pids)
@@ -187,12 +335,50 @@ def default_process_count(num_workers: int) -> int:
     return max(1, min(num_workers, available_cores()))
 
 
+def _recover_pool(pool: ProcessWorkerPool, fault: BarrierFault) -> List[int]:
+    """Bring the pool back to a clean command-loop state after a fault.
+
+    Stragglers are presumed wedged and force-killed (SIGTERM escalating to
+    SIGKILL -- a stopped child only dies to the latter).  Every dead slot is
+    then respawned with a fresh pipe, and survivors are aborted back onto
+    their command loop (an ``abort`` read at the command loop is ignored, so
+    over-aborting is harmless).  Returns the indices respawned.  Raises when
+    a replacement cannot be spawned -- the caller degrades inline.
+    """
+    if fault.kind == "straggler":
+        pool.force_kill(fault.processes)
+    # The fault's own processes are dead by classification (crash) or by the
+    # force-kill above (straggler) -- the ``is_alive`` sweep alone is not
+    # enough, because a SIGKILLed child's pipe reports EOF a beat before the
+    # process becomes waitable, so the probe can still say "alive".
+    dead = set(fault.processes) if fault.kind in ("crash", "straggler") else set()
+    dead.update(
+        index
+        for index, proc in enumerate(pool._procs)
+        if proc is None or not proc.is_alive()
+    )
+    dead = sorted(dead)
+    # Unblock survivors *before* respawning so the abort cannot land on a
+    # fresh replacement's pipe.
+    pool.abort()
+    if dead:
+        pool.respawn(dead)
+    return dead
+
+
 def run_process_backend(run, master, phase_times, original_graph_name: str) -> RunResult:
     """Execute ``run``'s superstep loop on the process pool.
 
     ``run`` arrives with its batch plane built (``run._vector``) on the
     partition-native layout; this function mirrors the inline loop of
     ``_EngineRun.execute`` with compute and reduction delegated to the pool.
+
+    With checkpointing enabled this is also the recovery driver: each call
+    to :func:`_drive_attempt` is one run attempt; a recoverable
+    :class:`BarrierFault` rewinds to the last checkpoint, heals the pool and
+    retries (bounded by ``EngineConfig.recovery_attempts``), and an
+    unrecoverable pool degrades onto the inline loop -- all paths produce a
+    result bit-identical to an undisturbed run.
     """
     engine_config = run.engine_config
     plane = run._vector
@@ -203,48 +389,181 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
     pool = run.engine.process_pool(processes, engine_config.process_start_method)
 
     tracer = run.tracer
+    recovery = run.recovery
+    manager = run.checkpoint_manager
     graph = run.batch_graph()
     offsets = np.asarray(graph.partition_layout.offsets, dtype=np.int64)
     blocks = np.array_split(np.arange(num_workers, dtype=np.int64), processes)
+
+    fault_plan = None
+    if engine_config.fault_plan is not None:
+        fault_plan = engine_config.fault_plan.resolve(processes)
+
     shared = SharedCSR.export(graph)
-    iterations: List[IterationProfile] = []
-    convergence_history: List[float] = []
-    converged = False
     try:
-        # The tracer cannot travel to the children (it is live, unpicklable
-        # state); they get a stripped config plus a ``trace`` flag and run
-        # their own per-process tracers, drained back at the barrier.
-        child_config = engine_config
-        if engine_config.trace is not None:
-            child_config = dataclasses.replace(engine_config, trace=None)
-        setup = {
-            "graph": shared.handle,
-            "offsets": offsets,
-            "num_workers": num_workers,
-            "algorithm": run.algorithm,
-            "config": run.config,
-            "engine_config": child_config,
-            "plane": export_plane_init(plane, kind),
-            "kind": kind,
-            "trace": tracer.enabled,
+        resume_from = None
+        if engine_config.resume:
+            resume_from = manager.load_from_disk()
+        elif manager.enabled and manager.latest() is None:
+            # Baseline checkpoint from the master's own (untouched) plane:
+            # a rewind before the first interval lands on the initial state.
+            manager.store(run._build_checkpoint(0, [], []))
+            recovery.checkpoints += 1
+            tracer.counter("recovery.checkpoints")
+
+        attempts_left = max(0, int(engine_config.recovery_attempts))
+        while True:
+            run._attempt_token += 1
+            try:
+                return _drive_attempt(
+                    run, master, pool, phase_times, original_graph_name,
+                    shared, offsets, blocks, kind, fault_plan, resume_from,
+                )
+            except BarrierFault as fault:
+                recovery.record_fault(fault)
+                recoverable = manager.enabled and fault.kind in (
+                    "crash", "straggler", "corrupt",
+                )
+                if not recoverable:
+                    # Poison (the algorithm raised) would raise again on
+                    # replay; faults without checkpointing have no rewind
+                    # target.  Either way the pool is not salvageable.
+                    pool.abort()
+                    pool.close()
+                    raise
+                checkpoint = manager.latest()
+                rewind_span = tracer.begin("recovery.rewind")
+                recovery.rewinds += 1
+                tracer.counter("recovery.rewinds")
+                if fault_plan is not None and fault.superstep is not None:
+                    # The fault fired (or its superstep was survived); a
+                    # replayed superstep must not re-trigger it.
+                    fault_plan = fault_plan.disarm_through(fault.superstep)
+                degrade = attempts_left <= 0
+                if not degrade:
+                    attempts_left -= 1
+                    respawn_span = tracer.begin("recovery.respawn")
+                    try:
+                        respawned = _recover_pool(pool, fault)
+                    except BSPError:
+                        degrade = True
+                        respawned = []
+                    if respawned:
+                        recovery.respawns += len(respawned)
+                        tracer.counter("recovery.respawns", len(respawned))
+                    if tracer.enabled:
+                        respawn_span.set("respawned", len(respawned))
+                    respawn_span.finish()
+                if tracer.enabled:
+                    rewind_span.merge({
+                        "fault": fault.kind,
+                        "processes": list(fault.processes),
+                        "to_superstep": checkpoint.superstep,
+                        "degraded": degrade,
+                    })
+                rewind_span.finish()
+                if degrade:
+                    recovery.degraded = True
+                    tracer.counter("recovery.degraded")
+                    pool.abort()
+                    pool.close()
+                    return run._resume_inline(
+                        master, phase_times, original_graph_name, checkpoint
+                    )
+                resume_from = checkpoint
+            except BaseException:
+                # Children may be blocked mid-protocol; the pool is not
+                # salvageable.  BaseException on purpose: a
+                # KeyboardInterrupt mid-run must also tear the pool down
+                # (joining the children and sweeping their arena blocks), or
+                # the interrupted session leaks /dev/shm segments.
+                pool.abort()
+                pool.close()
+                raise
+    finally:
+        shared.close()
+        shared.unlink()
+
+
+def _drive_attempt(
+    run, master, pool, phase_times, original_graph_name: str,
+    shared, offsets, blocks, kind: str, fault_plan, resume_from,
+) -> RunResult:
+    """One end-to-end attempt of the process-backend superstep loop.
+
+    Raises :class:`BarrierFault` (annotated with the failing superstep, pool
+    left open) when a barrier collect fails; the caller owns recovery.
+    """
+    engine_config = run.engine_config
+    tracer = run.tracer
+    manager = run.checkpoint_manager
+    plane = run._vector
+    num_workers = run.num_workers
+    token = run._attempt_token
+    timeout = engine_config.barrier_timeout_s
+
+    if resume_from is not None:
+        start_superstep = resume_from.superstep
+        iterations = list(resume_from.iterations)
+        convergence_history = list(resume_from.convergence_history)
+        run.registry.restore_previous(resume_from.aggregates)
+        run.runtime_model.restore_rng(resume_from.rng_state)
+        resume_payload = {
+            "superstep": start_superstep,
+            "plane": resume_from.plane,
+            "aggregates": dict(resume_from.aggregates),
+            "epoch_base": resume_from.epoch_base,
         }
-        loop_span = tracer.begin("phase.superstep")
-        # Children start computing superstep 0 the moment "init" lands, so
-        # the first superstep span opens before the sends: every adopted
-        # child span must fall inside the master span it is re-parented to.
-        ss_span = tracer.begin("superstep")
+    else:
+        start_superstep = 0
+        iterations: List[IterationProfile] = []
+        convergence_history: List[float] = []
+        resume_payload = None
+    converged = False
+
+    # The tracer cannot travel to the children (it is live, unpicklable
+    # state); they get a stripped config plus a ``trace`` flag and run
+    # their own per-process tracers, drained back at the barrier.  The
+    # fault plan ships resolved, as its own setup entry.
+    child_config = engine_config
+    if engine_config.trace is not None or engine_config.fault_plan is not None:
+        child_config = dataclasses.replace(engine_config, trace=None, fault_plan=None)
+    setup = {
+        "graph": shared.handle,
+        "offsets": offsets,
+        "num_workers": num_workers,
+        "algorithm": run.algorithm,
+        "config": run.config,
+        "engine_config": child_config,
+        "plane": export_plane_init(plane, kind),
+        "kind": kind,
+        "trace": tracer.enabled,
+        "token": token,
+        "faults": fault_plan,
+        "resume": resume_payload,
+    }
+    current_superstep = start_superstep
+    loop_span = tracer.begin("phase.superstep")
+    # Children start computing the moment "init" lands, so the first
+    # superstep span opens before the sends: every adopted child span must
+    # fall inside the master span it is re-parented to.
+    ss_span = tracer.begin("superstep")
+    attempt_spans = [loop_span, ss_span]
+    try:
         for index, block in enumerate(blocks):
             pool.send(index, ("init", {
                 **setup, "worker_block": (int(block[0]), int(block[-1]) + 1),
             }))
 
-        for superstep in range(engine_config.max_supersteps):
+        for superstep in range(start_superstep, engine_config.max_supersteps):
+            current_superstep = superstep
             run._begin_superstep()
             exchange_span = tracer.begin("exchange")
-            computed = pool.receive_all("computed")
+            attempt_spans.append(exchange_span)
+            computed = pool.receive_all("computed", token=token, timeout=timeout)
             tables = []
             for message in computed:  # process order == ascending worker blocks
-                _, _, counters, aggregator_events, sent, table = message
+                _, _, _, counters, aggregator_events, sent, table = message
                 for worker_counters in counters:
                     run.workers[worker_counters.worker_id].counters = worker_counters
                 for name, contributions in aggregator_events:
@@ -255,12 +574,13 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
             exchange_span.finish()
 
             reduce_span = tracer.begin("reduce")
-            reduced = pool.receive_all("reduced")
+            attempt_spans.append(reduce_span)
+            reduced = pool.receive_all("reduced", token=token, timeout=timeout)
             active_next = 0
             delivered_messages = np.zeros(num_workers, dtype=np.int64)
             delivered_bytes = np.zeros(num_workers, dtype=np.int64)
             for message, block in zip(reduced, blocks):
-                _, _, block_active, delivered, child_records = message
+                _, _, _, block_active, delivered, child_records = message
                 active_next += block_active
                 for worker_id, (messages_, bytes_) in zip(block.tolist(), delivered):
                     delivered_messages[worker_id] = messages_
@@ -292,6 +612,8 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
             if decision.convergence_metric is not None:
                 convergence_history.append(decision.convergence_metric)
 
+            ckpt_flag = (not decision.stop) and manager.should_checkpoint(superstep + 1)
+
             # Close superstep S before the continue broadcast releases the
             # children into superstep S+1, and open span S+1 first -- the
             # staggering keeps child compute inside the master's span.
@@ -302,7 +624,26 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
             ss_span.finish()
             if not decision.stop:
                 ss_span = tracer.begin("superstep")
-            pool.broadcast(("continue", decision.stop, aggregates))
+                attempt_spans.append(ss_span)
+            pool.broadcast(("continue", decision.stop, aggregates, ckpt_flag))
+            if ckpt_flag:
+                # Children send their plane slice right after advance(),
+                # before computing superstep S+1 -- no ack, so the snapshot
+                # ships off the critical path.  Per-pipe FIFO guarantees the
+                # slice precedes the next "computed" on each connection.
+                ckpt_span = tracer.begin("recovery.checkpoint")
+                attempt_spans.append(ckpt_span)
+                slices = pool.receive_all("ckpt", token=token, timeout=timeout)
+                snapshot = assemble_plane_snapshot([message[3] for message in slices])
+                manager.store(run._build_checkpoint(
+                    superstep + 1, iterations, convergence_history,
+                    plane_snapshot=snapshot,
+                ))
+                run.recovery.checkpoints += 1
+                tracer.counter("recovery.checkpoints")
+                if tracer.enabled:
+                    ckpt_span.set("superstep", superstep + 1)
+                ckpt_span.finish()
             if decision.stop:
                 converged = decision.converged
                 break
@@ -310,20 +651,18 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
         loop_span.finish()
 
         write_span = tracer.begin("phase.write")
-        values_messages = pool.receive_all("values")
-        paste_values(plane, kind, [message[2] for message in values_messages])
+        attempt_spans.append(write_span)
+        values_messages = pool.receive_all("values", token=token, timeout=timeout)
+        paste_values(plane, kind, [message[3] for message in values_messages])
         run.values = plane.export_values()
-    except BaseException:
-        # Children may be blocked mid-protocol; the pool is not salvageable.
-        # BaseException on purpose: a KeyboardInterrupt mid-run must also
-        # tear the pool down (joining the children and sweeping their arena
-        # blocks), or the interrupted session leaks /dev/shm segments.
-        pool.abort()
-        pool.close()
+    except BarrierFault as fault:
+        if fault.superstep is None:
+            fault.superstep = current_superstep
+        # Close whatever spans the abandoned attempt left open (finish is
+        # idempotent and order-tolerant) so the retry's spans nest cleanly.
+        for span in reversed(attempt_spans):
+            span.finish()
         raise
-    finally:
-        shared.close()
-        shared.unlink()
 
     phase_times.superstep = sum(profile.runtime for profile in iterations)
     phase_times.write = run.runtime_model.write_time(
@@ -348,4 +687,5 @@ def run_process_backend(run, master, phase_times, original_graph_name: str) -> R
         trace=tracer if tracer.enabled else None,
         kernel_tier=run.kernels.tier,
         threads=run.kernels.threads,
+        recovery=run.recovery if run.recovery.active else None,
     )

@@ -52,7 +52,7 @@ from repro.bsp.ragged import (
     RaggedStreamState,
     RowReduceState,
 )
-from repro.exceptions import BSPError
+from repro.exceptions import BSPError, StreamCorruptionError
 
 KIND_SCALAR = "scalar"
 KIND_ROWS = "rows"
@@ -113,10 +113,15 @@ class StreamCache:
     payload-pool gather, both O(filtered stream).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, epoch_base: int = 0) -> None:
         #: sender side: event slot -> (dest, lens, epoch) of the last ship.
         self.sender_slots: Dict[int, tuple] = {}
-        self.epoch_counter = 0
+        #: Epochs count up from ``epoch_base`` -- a recovery rewind restarts
+        #: every cache from ``checkpoint.version << EPOCH_VERSION_SHIFT`` so
+        #: epochs minted before the rewind can never collide with replayed
+        #: ones (an owner must never reuse a filter cached for a stream that
+        #: the abandoned attempt shipped).
+        self.epoch_counter = int(epoch_base)
         #: owner side: (process, event slot) -> (epoch, dest_f, sender_f).
         self.owner: Dict[tuple, tuple] = {}
         #: owner side: (elo, ehi, k) -> (dest_f, sender_f) for span events.
@@ -313,6 +318,19 @@ def reduce_streams(
                 arrays[cursor + 1],
                 arrays[cursor + 2],
             )
+        # Owner-side integrity checks on the stream metadata: wire byte
+        # sizes are non-negative by construction, and the routing arrays
+        # index the payload pool element for element.
+        if len(sizes) and int(sizes.min()) < 0:
+            raise StreamCorruptionError(
+                f"corrupt ragged stream from process {process}: "
+                f"negative payload size {int(sizes.min())}"
+            )
+        if routed and len(dest) != len(refs):
+            raise StreamCorruptionError(
+                f"corrupt ragged stream from process {process}: "
+                f"{len(dest)} destinations but {len(refs)} payload refs"
+            )
         # The range filter, destination counts and pool-compaction index
         # depend only on the routing arrays -- reuse them while the sender's
         # epoch stands still, recompute (and re-cache) when it advances.
@@ -366,6 +384,17 @@ def _reduce_scalar(plane, streams, lo: int, hi: int, cache: ScalarStreamCache) -
                 pay = arrays[cursor]
                 lens = arrays[cursor + 1]
                 cursor += 2
+                # Owner-side integrity check: a span send covers exactly the
+                # CSR edge slice, so the per-sender lengths must tile it.
+                # Checked unconditionally (lens travel every superstep).
+                if len(lens) and (
+                    int(lens.min()) < 0 or int(lens.sum()) != ehi - elo
+                ):
+                    raise StreamCorruptionError(
+                        f"corrupt span stream from process {process}: "
+                        f"lengths sum to {int(lens.sum())}, expected "
+                        f"{ehi - elo} edges"
+                    )
                 cached = cache.span.get((elo, ehi, k))
                 if cached is None:
                     senders = np.repeat(np.arange(k, dtype=np.int64), lens)
@@ -393,6 +422,17 @@ def _reduce_scalar(plane, streams, lo: int, hi: int, cache: ScalarStreamCache) -
                     if not has_dest:  # pragma: no cover - protocol guard
                         raise BSPError(
                             "scalar stream epoch advanced without destinations"
+                        )
+                    # A corrupted ``lens`` always lands here: the sender cache
+                    # compares (dest, lens) bit for bit, so any mutation
+                    # forces an epoch advance and ships the destinations.
+                    if len(lens) and (
+                        int(lens.min()) < 0 or int(lens.sum()) != len(dest)
+                    ):
+                        raise StreamCorruptionError(
+                            f"corrupt gather stream from process {process}: "
+                            f"lengths sum to {int(lens.sum())}, expected "
+                            f"{len(dest)} destinations"
                         )
                     senders = np.repeat(np.arange(k, dtype=np.int64), lens)
                     dest_f, idx = plane.kernels.filter_range(dest, lo, hi)

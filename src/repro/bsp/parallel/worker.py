@@ -26,7 +26,22 @@ child -> ``reduced``    next-superstep active count, per-worker delivered
                         drained trace spans of the superstep (None when
                         tracing is off)
 master -> ``continue``  stop flag + the barrier's reduced aggregator values
+                        + a checkpoint flag
+child -> ``ckpt``       (only when the flag was set) the owned plane-state
+                        slice, sent right after ``advance()`` with no ack --
+                        the snapshot ships off the critical path
 ======================  =====================================================
+
+Every child -> master message carries the run-attempt *token* (from the
+``init`` setup) at index 2, so the master can discard stale messages from an
+attempt abandoned by a recovery rewind.  An ``init`` may carry a ``resume``
+payload -- a full plane snapshot plus aggregates and a checkpoint-versioned
+stream-cache epoch base -- in which case the child rebuilds its plane from
+the checkpoint instead of the initial plane export and replays from the
+checkpointed superstep.  A ``faults`` entry (a resolved
+:class:`repro.bsp.resilience.FaultPlan`) injects deterministic faults: kill
+/ stop / stall / poison fire at the start of the compute phase, ``corrupt``
+mutates the outgoing stream metadata just before extraction.
 
 When the master traces (``setup["trace"]``), each child runs its own
 :class:`repro.obs.Tracer` on track ``proc<index>``, records compute /
@@ -58,8 +73,14 @@ from repro.bsp.parallel.protocol import (
     reset_delivery_buffers,
 )
 from repro.bsp.parallel.shared_csr import ArenaReader, SharedArena, SharedCSR
+from repro.bsp.resilience import (
+    corrupt_stream,
+    restore_plane,
+    snapshot_plane_slice,
+    trigger_fault,
+)
 from repro.bsp.worker import Worker
-from repro.exceptions import BSPError
+from repro.exceptions import BSPError, StreamCorruptionError
 from repro.graph.partition import PartitionLayout
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -127,12 +148,23 @@ def worker_main(conn, proc_index: int) -> None:
             message = conn.recv()
             if message[0] == "shutdown":
                 return
-            if message[0] != "init":  # pragma: no cover - protocol guard
+            if message[0] != "init":
+                # Aborts (or any stray reply) landing between runs are
+                # ignored -- recovery may over-abort harmlessly.
                 continue
+            setup = message[1]
             try:
-                _execute_run(conn, proc_index, message[1])
+                _execute_run(conn, proc_index, setup)
+            except StreamCorruptionError:
+                conn.send((
+                    "error", proc_index, setup.get("token", 0),
+                    traceback.format_exc(), "corrupt",
+                ))
             except Exception:
-                conn.send(("error", proc_index, traceback.format_exc()))
+                conn.send((
+                    "error", proc_index, setup.get("token", 0),
+                    traceback.format_exc(), "poison",
+                ))
     except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
         return
 
@@ -165,7 +197,22 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
         tracer = Tracer(track=f"proc{proc_index}") if setup.get("trace") else NULL_TRACER
         run.tracer = tracer
         kind = setup["kind"]
-        plane = build_child_plane(run, kind, setup["plane"])
+        token = setup.get("token", 0)
+        fault_plan = setup.get("faults")
+        resume = setup.get("resume")
+        if resume is not None:
+            # Recovery replay: rebuild the plane from the checkpoint
+            # snapshot.  A fresh plane means cold steady-state caches, and
+            # the checkpoint-versioned epoch base keeps any epoch minted
+            # before the rewind from ever colliding with a replayed one.
+            plane = restore_plane(run, kind, resume["plane"])
+            registry.previous = dict(resume["aggregates"])
+            start_superstep = int(resume["superstep"])
+            epoch_base = int(resume.get("epoch_base", 0))
+        else:
+            plane = build_child_plane(run, kind, setup["plane"])
+            start_superstep = 0
+            epoch_base = 0
         if plane.worker_offsets is None:  # pragma: no cover - layout guard
             raise BSPError(
                 f"worker process {proc_index} has no partition-native layout"
@@ -177,11 +224,17 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
         ]
         lo = int(offsets[block_lo])
         hi = int(offsets[block_hi])
-        stream_cache = StreamCache()
+        stream_cache = StreamCache(epoch_base=epoch_base)
 
-        superstep = 0
+        superstep = start_superstep
         while True:
             # ---- compute phase: the inline kernels, owned workers only.
+            fault = (
+                fault_plan.fault_for(proc_index, superstep)
+                if fault_plan is not None else None
+            )
+            if fault is not None and fault.kind != "corrupt":
+                trigger_fault(fault, proc_index, superstep)
             run._next_message_count = 0
             registry.events = []
             compute_span = tracer.begin("compute")
@@ -199,11 +252,13 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
                     batch = plane.context_cls(plane, worker, active, superstep)
                     algorithm.compute_batch(batch, config)
             compute_span.finish()
+            if fault is not None and fault.kind == "corrupt":
+                corrupt_stream(plane, kind)
             messaging_span = tracer.begin("messaging")
             meta, handle, local_arrays = extract_stream(plane, kind, arena, stream_cache)
             messaging_span.finish()
             conn.send((
-                "computed", proc_index,
+                "computed", proc_index, token,
                 [worker.counters for worker in workers],
                 registry.events, run._next_message_count, (meta, handle),
             ))
@@ -237,7 +292,7 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
             # Ship this superstep's closed spans with the barrier reply; the
             # master adopts them under its current superstep span.
             conn.send((
-                "reduced", proc_index, active_next, delivered,
+                "reduced", proc_index, token, active_next, delivered,
                 tracer.drain() if tracer.enabled else None,
             ))
 
@@ -245,15 +300,24 @@ def _execute_run(conn, proc_index: int, setup: dict) -> None:
             reply = conn.recv()
             if reply[0] == "abort":
                 return
-            _, stop, previous = reply
+            _, stop, previous, checkpoint_now = reply
             registry.previous = dict(previous)
             plane.advance()
             if stop:
                 conn.send((
-                    "values", proc_index,
+                    "values", proc_index, token,
                     (lo, hi, export_values_slice(plane, kind, lo, hi)),
                 ))
                 return
+            if checkpoint_now:
+                # Post-advance state slice -- msg_count/inboxes hold the
+                # deliveries for superstep+1, exactly what a rewound replay
+                # must start from.  No ack: the pipe's FIFO keeps this ahead
+                # of the next "computed".
+                conn.send((
+                    "ckpt", proc_index, token,
+                    snapshot_plane_slice(plane, kind, lo, hi),
+                ))
             superstep += 1
     finally:
         reader.close()

@@ -1,0 +1,587 @@
+"""Fault tolerance for the BSP engine: checkpoints, faults and recovery.
+
+Pregel-style systems recover from worker failures by checkpointing vertex
+state at superstep barriers and replaying from the last checkpoint; the
+barrier is the natural consistency point because no messages are in flight
+across it.  This module supplies every building block of that story for both
+execution backends:
+
+* :class:`Checkpoint` / :class:`CheckpointManager` — versioned snapshots of
+  all mutable engine state (plane values, active sets, delivered messages,
+  aggregator barrier results, runtime-model RNG state, iteration history),
+  kept in memory for intra-run rewinds and optionally persisted atomically
+  to disk (tmp file + ``os.replace``, manifest keyed by a config hash) for
+  cross-run resume via ``EngineConfig(resume=True)``.
+* :func:`snapshot_plane_slice` / :func:`restore_plane` — the per-plane-kind
+  (scalar/rows/ragged/cluster-rows/object) state serialization.  Restoring
+  always builds a *fresh* plane so every steady-state/epoch cache starts
+  cold; stream-cache epochs are additionally versioned by the checkpoint
+  (``epoch_base = version << 20``) so a stale epoch from before the rewind
+  can never collide with a post-rewind epoch.
+* :class:`Fault` / :class:`FaultPlan` — deterministic fault injection (kill,
+  SIGSTOP, stall, poison, stream corruption) addressed by worker process and
+  superstep, threaded through ``EngineConfig(fault_plan=...)`` and the CLI's
+  ``--inject-fault``; unpinned processes are resolved with the seed in
+  ``REPRO_FAULT_SEED``.
+* :class:`BarrierFault` — the classified barrier failure (*crash* /
+  *straggler* / *poison* / *corrupt*) raised by the hardened
+  ``ProcessWorkerPool.receive_all``.
+* :class:`RecoveryLog` — counters surfaced on ``RunResult.summary()``.
+
+The recovery policy itself lives in ``repro.bsp.parallel.pool`` (process
+backend) and ``repro.bsp.engine`` (inline resume / graceful degradation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BSPError, ConfigurationError
+from repro.utils.rng import make_rng
+
+MANIFEST_NAME = "manifest.json"
+
+#: Checkpoint versions shift into the high bits of stream-cache epochs so a
+#: replayed superstep can never reuse an epoch minted before the rewind.
+EPOCH_VERSION_SHIFT = 20
+
+FAULT_KINDS = ("kill", "stop", "stall", "poison", "corrupt")
+
+#: Environment variable that seeds the resolution of faults whose target
+#: process is unpinned (``--inject-fault kill:?:2``).
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+
+class FaultInjected(BSPError):
+    """Raised inside a worker by a ``poison`` fault."""
+
+
+class BarrierFault(BSPError):
+    """A classified failure observed at (or on the way to) a barrier.
+
+    ``kind`` is one of ``"crash"`` (a child pid is dead), ``"straggler"``
+    (alive but missed the barrier deadline), ``"poison"`` (the child raised)
+    or ``"corrupt"`` (a stream failed validation).  ``processes`` lists the
+    implicated worker-process indices and ``superstep`` is annotated by the
+    driver with the superstep being executed when the fault surfaced.
+    """
+
+    def __init__(self, kind: str, processes: Sequence[int], message: str,
+                 traceback_text: str = "", superstep: Optional[int] = None):
+        super().__init__(message)
+        self.kind = kind
+        self.processes = list(processes)
+        self.traceback_text = traceback_text
+        self.superstep = superstep
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+def fault_seed() -> int:
+    """Seed used to resolve unpinned fault targets (``REPRO_FAULT_SEED``)."""
+
+    try:
+        return int(os.environ.get(FAULT_SEED_ENV, "0"))
+    except ValueError:
+        return 0
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: ``kind`` hits ``process`` at ``superstep``.
+
+    ``process=None`` means "a seeded-random worker process" and is resolved
+    by :meth:`FaultPlan.resolve` before the plan ships to the children.
+    ``delay_s`` only matters for ``stall`` faults (barrier delay).
+    """
+
+    kind: str
+    process: Optional[int]
+    superstep: int
+    delay_s: float = 0.0
+
+    def describe(self) -> str:
+        target = "?" if self.process is None else str(self.process)
+        text = f"{self.kind}:{target}:{self.superstep}"
+        if self.delay_s:
+            text += f":{self.delay_s:g}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults for one run."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def single(cls, kind: str, process: Optional[int], superstep: int,
+               delay_s: float = 0.0) -> "FaultPlan":
+        return cls((Fault(kind, process, superstep, delay_s),))
+
+    @classmethod
+    def parse(cls, specs: Iterable[str]) -> "FaultPlan":
+        """Parse CLI specs of the form ``kind:process:superstep[:seconds]``.
+
+        ``process`` may be ``?`` (or ``*``) for a seeded-random target.
+        """
+
+        faults = []
+        for spec in specs:
+            parts = str(spec).split(":")
+            if len(parts) not in (3, 4):
+                raise ConfigurationError(
+                    f"bad fault spec {spec!r}: expected kind:process:superstep[:seconds]"
+                )
+            kind = parts[0].strip().lower()
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"bad fault spec {spec!r}: unknown kind {kind!r} "
+                    f"(choose from {', '.join(FAULT_KINDS)})"
+                )
+            target = parts[1].strip()
+            try:
+                process = None if target in ("?", "*", "") else int(target)
+                superstep = int(parts[2])
+                delay_s = float(parts[3]) if len(parts) == 4 else 0.0
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad fault spec {spec!r}: process/superstep must be "
+                    f"integers, seconds a float"
+                ) from exc
+            faults.append(Fault(kind, process, superstep, delay_s))
+        return cls(tuple(faults))
+
+    def resolve(self, num_processes: int) -> "FaultPlan":
+        """Pin every unpinned fault to a process, seeded by REPRO_FAULT_SEED."""
+
+        rng = make_rng(fault_seed())
+        resolved = []
+        for fault in self.faults:
+            process = fault.process
+            if process is None:
+                process = int(rng.integers(num_processes))
+            resolved.append(dataclasses.replace(fault, process=process % num_processes))
+        return FaultPlan(tuple(resolved))
+
+    def fault_for(self, process: int, superstep: int) -> Optional[Fault]:
+        for fault in self.faults:
+            if fault.process == process and fault.superstep == superstep:
+                return fault
+        return None
+
+    def disarm_through(self, superstep: int) -> "FaultPlan":
+        """Drop faults at or before ``superstep`` (already fired / survived)."""
+
+        return FaultPlan(tuple(f for f in self.faults if f.superstep > superstep))
+
+
+def trigger_fault(fault: Fault, process: int, superstep: int) -> None:
+    """Fire a compute-phase fault inside a worker process.
+
+    ``corrupt`` faults are not handled here — they mutate the outgoing
+    stream just before extraction (see :func:`corrupt_stream`).
+    """
+
+    if fault.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault.kind == "stop":
+        os.kill(os.getpid(), signal.SIGSTOP)
+    elif fault.kind == "stall":
+        time.sleep(fault.delay_s if fault.delay_s > 0 else 0.5)
+    elif fault.kind == "poison":
+        raise FaultInjected(
+            f"injected fault: worker process {process} poisoned at superstep {superstep}"
+        )
+
+
+def corrupt_stream(plane: Any, kind: str) -> bool:
+    """Corrupt the plane's pending outgoing stream metadata (fault injection).
+
+    Mutates *copies* of the event-length arrays — the originals may be views
+    of shared run constants such as ``out_degrees``.  Returns ``False`` when
+    the plane has no pending events to corrupt (the fault is a no-op).
+    """
+
+    if kind == "scalar":
+        if not plane._ev_len:
+            return False
+        plane._ev_len = [np.array(lens, dtype=np.int64, copy=True)
+                         for lens in plane._ev_len]
+        plane._ev_len[0][0] += 7
+        return True
+    if not getattr(plane, "_ev_sizes", None):
+        return False
+    plane._ev_sizes = [np.array(sizes, dtype=np.int64, copy=True)
+                       for sizes in plane._ev_sizes]
+    plane._ev_sizes[0][0] = -1
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Plane snapshots
+# ---------------------------------------------------------------------------
+
+
+def snapshot_plane_slice(plane: Any, kind: str, lo: int, hi: int) -> Dict[str, Any]:
+    """Snapshot the mutable state of ``plane`` for vertices ``[lo, hi)``.
+
+    Taken at the barrier, *after* ``advance()`` — i.e. ``msg_count`` holds
+    the delivered counts for the next superstep and the per-kind inbox
+    fields hold the delivered payloads.  Everything else on a plane is a
+    run constant or a cache that restore rebuilds from scratch.
+    """
+
+    snap: Dict[str, Any] = {
+        "kind": kind,
+        "lo": int(lo),
+        "hi": int(hi),
+        "halted": np.array(plane.halted[lo:hi], copy=True),
+        "msg_count": np.array(plane.msg_count[lo:hi], copy=True),
+    }
+    if kind == "scalar":
+        snap["values"] = np.array(plane.values[lo:hi], copy=True)
+        snap["msg_acc"] = np.array(plane.msg_acc[lo:hi], copy=True)
+    elif kind == "rows":
+        snap["values"] = np.array(plane.values[lo:hi], copy=True)
+        snap["acc"] = np.array(plane.acc[lo:hi], copy=True)
+    elif kind in ("ragged", "cluster-rows"):
+        values = plane.values
+        vlo = int(values.offsets[lo])
+        vhi = int(values.offsets[hi])
+        snap["values_data"] = np.array(values.data[vlo:vhi], copy=True)
+        snap["values_lengths"] = np.array(values.lengths[lo:hi], copy=True)
+        indptr = plane.in_elem_indptr
+        snap["in_data"] = np.array(plane.in_data[int(indptr[lo]):int(indptr[hi])],
+                                   copy=True)
+        snap["in_counts"] = np.diff(indptr[lo:hi + 1]).astype(np.int64)
+        if kind == "cluster-rows":
+            snap["cache"] = dict(plane.cache)
+    elif kind == "object":
+        snap["values"] = list(plane.values[lo:hi])
+        indptr = plane.in_msg_indptr
+        refs = plane.in_refs[int(indptr[lo]):int(indptr[hi])]
+        pool = plane.in_pool
+        snap["in_msgs"] = [pool[int(ref)] for ref in refs]
+        snap["in_counts"] = np.diff(indptr[lo:hi + 1]).astype(np.int64)
+    else:
+        raise BSPError(f"cannot snapshot unknown plane kind {kind!r}")
+    return snap
+
+
+def snapshot_plane(plane: Any, kind: str) -> Dict[str, Any]:
+    """Snapshot the full plane (all vertices)."""
+
+    return snapshot_plane_slice(plane, kind, 0, len(plane.halted))
+
+
+def assemble_plane_snapshot(parts: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-process slice snapshots (sorted by ``lo``) into a full one."""
+
+    ordered = sorted(parts, key=lambda part: part["lo"])
+    first = ordered[0]
+    if len(ordered) == 1 and first["lo"] == 0:
+        return first
+    merged: Dict[str, Any] = {"kind": first["kind"], "lo": first["lo"],
+                              "hi": ordered[-1]["hi"]}
+    for key, value in first.items():
+        if key in ("kind", "lo", "hi"):
+            continue
+        if key == "cache":
+            merged[key] = value  # run constants, identical in every slice
+        elif isinstance(value, np.ndarray):
+            merged[key] = np.concatenate([part[key] for part in ordered])
+        elif isinstance(value, list):
+            merged[key] = [item for part in ordered for item in part[key]]
+        else:
+            raise BSPError(f"cannot merge snapshot field {key!r}")
+    return merged
+
+
+def _indptr_from_counts(counts: np.ndarray) -> np.ndarray:
+    indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+def restore_plane(run: Any, kind: str, snap: Dict[str, Any]) -> Any:
+    """Build a fresh plane of ``kind`` carrying the snapshotted state.
+
+    Constructing a new plane (instead of patching the live one) is the
+    point: every steady-state cache, epoch cache, reverse-group index and
+    span cache starts cold, so a replayed superstep cannot observe state
+    minted after the checkpoint.
+    """
+
+    if snap["kind"] != kind:
+        raise BSPError(
+            f"checkpoint holds a {snap['kind']!r} plane, engine expected {kind!r}"
+        )
+    if kind == "scalar":
+        from repro.bsp.engine import _VectorizedState
+
+        plane = _VectorizedState(run, np.array(snap["values"], copy=True))
+        plane.msg_acc = np.array(snap["msg_acc"], copy=True)
+    elif kind == "rows":
+        from repro.bsp.ragged import RowReduceState
+
+        plane = RowReduceState(run, np.array(snap["values"], copy=True))
+        plane.acc = np.array(snap["acc"], copy=True)
+    elif kind in ("ragged", "cluster-rows"):
+        from repro.bsp.ragged import ClusterRowsState, Ragged, RaggedStreamState
+
+        values = Ragged.from_lengths(np.array(snap["values_data"], copy=True),
+                                     np.array(snap["values_lengths"], copy=True))
+        if kind == "cluster-rows":
+            plane = ClusterRowsState(run, values,
+                                     run.algorithm.decode_numeric_object_values,
+                                     dict(snap["cache"]))
+        else:
+            plane = RaggedStreamState(run, values)
+        plane.in_data = np.array(snap["in_data"], copy=True)
+        plane.in_elem_indptr = _indptr_from_counts(np.asarray(snap["in_counts"]))
+    elif kind == "object":
+        from repro.bsp.ragged import ObjectState
+
+        plane = ObjectState(run, list(snap["values"]))
+        plane.in_pool = list(snap["in_msgs"])
+        plane.in_refs = np.arange(len(plane.in_pool), dtype=np.int64)
+        plane.in_msg_indptr = _indptr_from_counts(np.asarray(snap["in_counts"]))
+    else:
+        raise BSPError(f"cannot restore unknown plane kind {kind!r}")
+    plane.halted = np.array(snap["halted"], dtype=bool, copy=True)
+    plane.msg_count = np.array(snap["msg_count"], dtype=np.int64, copy=True)
+    return plane
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints
+# ---------------------------------------------------------------------------
+
+
+def config_fingerprint(engine_config: Any, algorithm_name: str, graph_name: str,
+                       num_workers: int) -> str:
+    """Hash of everything a checkpoint's validity depends on.
+
+    Deliberately *excludes* backend/processes/kernel tier/threads/trace and
+    the resilience knobs themselves: all of those are bit-identical
+    execution strategies, so a checkpoint written by the process backend may
+    be resumed inline (that is the graceful-degradation path).  The
+    superstep budget (``max_supersteps``) is also excluded -- resuming an
+    interrupted run with a larger budget is the point of on-disk resume.
+    """
+
+    partitioner = getattr(engine_config, "partitioner", None)
+    payload = {
+        "algorithm": algorithm_name,
+        "graph": graph_name,
+        "num_workers": int(num_workers),
+        "use_combiner": bool(getattr(engine_config, "use_combiner", True)),
+        "runtime_seed": repr(getattr(engine_config, "runtime_seed", None)),
+        "vectorized": bool(getattr(engine_config, "vectorized", True)),
+        "partition_native": bool(getattr(engine_config, "partition_native", True)),
+        "semicluster_numeric": bool(getattr(engine_config, "semicluster_numeric", True)),
+        "partitioner": type(partitioner).__name__ if partitioner is not None else None,
+    }
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class Checkpoint:
+    """Everything needed to replay from superstep ``superstep`` onwards."""
+
+    version: int
+    superstep: int            # the next superstep to execute
+    kind: str                 # plane kind of ``plane``
+    plane: Dict[str, Any]     # snapshot_plane() payload
+    aggregates: Dict[str, Any]  # registry barrier results visible at ``superstep``
+    rng_state: Any            # runtime-model bit-generator state
+    iterations: List[Any]     # IterationProfiles for supersteps < ``superstep``
+    convergence_history: List[float]
+    config_hash: str
+
+    @property
+    def epoch_base(self) -> int:
+        """Stream-cache epoch floor for the replay after restoring this."""
+
+        return self.version << EPOCH_VERSION_SHIFT
+
+
+class CheckpointManager:
+    """Stores checkpoints in memory and (optionally) atomically on disk.
+
+    The in-memory copy is a pickle blob so every :meth:`latest` call yields
+    a fresh, independently mutable checkpoint — restoring twice (rewind,
+    then rewind again after a second fault) can never alias state.  Disk
+    persistence writes each checkpoint to a temp file and publishes it with
+    ``os.replace``, then updates ``manifest.json`` the same way; a reader
+    therefore never observes a half-written checkpoint, and a crash between
+    the two replaces leaves the manifest pointing at the previous (intact)
+    checkpoint.
+    """
+
+    def __init__(self, every: int = 0, directory: Optional[str] = None,
+                 config_hash: str = ""):
+        self.every = int(every or 0)
+        self.directory = Path(directory) if directory else None
+        self.config_hash = config_hash
+        self._latest_blob: Optional[bytes] = None
+        self._version = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.every > 0
+
+    def should_checkpoint(self, next_superstep: int) -> bool:
+        return self.enabled and next_superstep > 0 and next_superstep % self.every == 0
+
+    def next_version(self) -> int:
+        self._version += 1
+        return self._version
+
+    def latest(self) -> Optional[Checkpoint]:
+        if self._latest_blob is None:
+            return None
+        return pickle.loads(self._latest_blob)
+
+    def store(self, checkpoint: Checkpoint) -> None:
+        blob = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+        self._latest_blob = blob
+        self._version = max(self._version, checkpoint.version)
+        if self.directory is not None:
+            self._persist(checkpoint, blob)
+
+    # -- disk persistence ---------------------------------------------------
+
+    def _checkpoint_name(self, version: int) -> str:
+        return f"checkpoint-{version:06d}.pkl"
+
+    def _replace_into(self, path: Path, data: bytes) -> None:
+        tmp = path.with_name(f".tmp-{path.name}-{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    def _persist(self, checkpoint: Checkpoint, blob: bytes) -> None:
+        directory = self.directory
+        directory.mkdir(parents=True, exist_ok=True)
+        name = self._checkpoint_name(checkpoint.version)
+        self._replace_into(directory / name, blob)
+        manifest = {
+            "config_hash": self.config_hash,
+            "latest": name,
+            "version": checkpoint.version,
+            "superstep": checkpoint.superstep,
+            "kind": checkpoint.kind,
+        }
+        self._replace_into(directory / MANIFEST_NAME,
+                           json.dumps(manifest, indent=2).encode("utf-8"))
+        # Only after the manifest points at the new checkpoint is it safe to
+        # prune older ones (and leftover temp files from interrupted writes).
+        for entry in directory.iterdir():
+            if entry.name in (name, MANIFEST_NAME):
+                continue
+            if entry.name.startswith("checkpoint-") or entry.name.startswith(".tmp-"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+    def load_from_disk(self) -> Checkpoint:
+        """Load the manifest's latest checkpoint, validating the config hash."""
+
+        if self.directory is None:
+            raise BSPError("EngineConfig(resume=True) requires checkpoint_dir")
+        manifest_path = self.directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise BSPError(f"no checkpoint manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if self.config_hash and manifest.get("config_hash") != self.config_hash:
+            raise BSPError(
+                "checkpoint config hash mismatch: manifest was written by "
+                f"{manifest.get('config_hash')!r}, this run hashes to "
+                f"{self.config_hash!r} — refusing to resume from an "
+                "incompatible configuration"
+            )
+        blob = (self.directory / manifest["latest"]).read_bytes()
+        checkpoint = pickle.loads(blob)
+        self._latest_blob = blob
+        self._version = max(self._version, int(checkpoint.version))
+        return checkpoint
+
+
+# ---------------------------------------------------------------------------
+# Recovery log
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryLog:
+    """Counters for the resilience machinery, surfaced on ``RunResult``."""
+
+    checkpoints: int = 0
+    rewinds: int = 0
+    respawns: int = 0
+    degraded: bool = False
+    faults: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.checkpoints or self.rewinds or self.respawns
+                    or self.degraded or self.faults)
+
+    def record_fault(self, fault: BarrierFault) -> None:
+        superstep = "?" if fault.superstep is None else fault.superstep
+        self.faults.append(
+            f"{fault.kind} at superstep {superstep}: processes {fault.processes}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "checkpoints": self.checkpoints,
+            "rewinds": self.rewinds,
+            "respawns": self.respawns,
+            "degraded": self.degraded,
+            "faults": list(self.faults),
+        }
+
+
+__all__ = [
+    "BarrierFault",
+    "Checkpoint",
+    "CheckpointManager",
+    "EPOCH_VERSION_SHIFT",
+    "FAULT_KINDS",
+    "FAULT_SEED_ENV",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "MANIFEST_NAME",
+    "RecoveryLog",
+    "assemble_plane_snapshot",
+    "config_fingerprint",
+    "corrupt_stream",
+    "fault_seed",
+    "restore_plane",
+    "snapshot_plane",
+    "snapshot_plane_slice",
+    "trigger_fault",
+]

@@ -58,6 +58,11 @@ class RunResult:
     #: implementation produced it.
     kernel_tier: Optional[str] = None
     threads: int = 1
+    #: :class:`repro.bsp.resilience.RecoveryLog` when checkpointing/recovery
+    #: was active during the run (None otherwise): checkpoint/rewind/respawn
+    #: counts, the classified faults survived, and whether the run degraded
+    #: to the inline backend.
+    recovery: Optional[Any] = None
 
     @property
     def num_iterations(self) -> int:
@@ -101,7 +106,7 @@ class RunResult:
 
     def summary(self) -> Dict[str, Any]:
         """Compact summary used by examples and reports."""
-        return {
+        summary = {
             "algorithm": self.algorithm,
             "graph": self.graph_name,
             "vertices": self.num_vertices,
@@ -115,3 +120,6 @@ class RunResult:
             "kernel_tier": self.kernel_tier,
             "threads": self.threads,
         }
+        if self.recovery is not None:
+            summary["recovery"] = self.recovery.as_dict()
+        return summary

@@ -127,6 +127,21 @@ class RuntimeModel:
         per_worker_vertices = num_vertices / max(1, num_workers)
         return per_worker_vertices * self.profile.per_vertex_write_cost
 
+    # ----------------------------------------------------------- checkpoints
+    def snapshot_rng(self):
+        """Bit-generator state for checkpoints.
+
+        The noise stream advances once per superstep, so restoring this
+        state before a replay makes the rewound run draw the exact noise
+        factors the undisturbed run would have drawn — a requirement for
+        bit-identical recovery.
+        """
+        return self._rng.bit_generator.state
+
+    def restore_rng(self, state) -> None:
+        """Rewind the noise stream to a checkpointed state."""
+        self._rng.bit_generator.state = state
+
     # -------------------------------------------------------------- internals
     def _noise_factor(self) -> float:
         if self.profile.noise_std <= 0:

@@ -45,6 +45,19 @@ class OutOfMemoryError(BSPError):
     """
 
 
+class StreamCorruptionError(BSPError):
+    """Raised when a process-backend message stream fails validation.
+
+    The owner-side replay of the shared-memory stream protocol
+    (:mod:`repro.bsp.parallel.protocol`) cross-checks the routing metadata it
+    receives -- per-sender edge lengths must be non-negative and sum to the
+    advertised destination count, payload byte sizes must be non-negative.
+    A mismatch means the stream was corrupted in flight (or by an injected
+    ``corrupt`` fault); the recovery policy treats it as a *recoverable*
+    barrier fault and rewinds to the last checkpoint.
+    """
+
+
 class ModelingError(ReproError):
     """Raised when a cost model cannot be fitted or used for prediction."""
 

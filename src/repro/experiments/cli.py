@@ -179,6 +179,51 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "checkpoint the engine state every N supersteps (0 disables); "
+            "with --backend process a worker crash rewinds to the last "
+            "checkpoint and replays bit-identically (see docs/RESILIENCE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist checkpoints to DIR (atomic write + manifest); without "
+            "it checkpoints live in memory for the duration of the run"
+        ),
+    )
+    parser.add_argument(
+        "--barrier-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "barrier deadline of the process backend: a worker that misses "
+            "it is classified as crashed (dead pid) or straggling (alive but "
+            "late) and the run recovers from the last checkpoint"
+        ),
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="KIND:PROC:SUPERSTEP[:SECONDS]",
+        help=(
+            "inject a deterministic fault into the process backend (may be "
+            "repeated): KIND is kill|stop|stall|poison|corrupt, PROC a "
+            "process index (or '?' for one drawn from REPRO_FAULT_SEED), "
+            "SUPERSTEP the superstep it fires at, SECONDS the stall delay; "
+            "e.g. --inject-fault kill:1:2 SIGKILLs worker process 1 at "
+            "superstep 2"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -214,6 +259,12 @@ def main(argv=None) -> int:
 
         tracer = Tracer()
 
+    fault_plan = None
+    if args.inject_fault:
+        from repro.bsp.resilience import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.inject_fault)
+
     with ExperimentContext(
         cost_profile=DEFAULT_PROFILE,
         dataset_scale=args.scale,
@@ -226,6 +277,10 @@ def main(argv=None) -> int:
         processes=args.processes,
         kernel_tier=args.kernel_tier,
         threads=args.threads,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        barrier_timeout_s=args.barrier_timeout,
+        fault_plan=fault_plan,
         edge_list=args.edge_list,
         csr_cache=args.csr_cache,
         tracer=tracer,

@@ -108,6 +108,19 @@ class ExperimentContext:
     threads:
         Threads per process for the compiled tier's nogil fold kernels
         (``--threads``); None means 1.  Ignored on the numpy tier.
+    checkpoint_every:
+        Superstep checkpoint interval for every run (``--checkpoint-every``);
+        0 (default) disables checkpointing.  See ``docs/RESILIENCE.md``.
+    checkpoint_dir:
+        Directory persisting checkpoints to disk (``--checkpoint-dir``);
+        None keeps them in memory only.
+    barrier_timeout_s:
+        Barrier deadline in seconds for the process backend
+        (``--barrier-timeout``); None waits forever.
+    fault_plan:
+        A :class:`repro.bsp.resilience.FaultPlan` injecting deterministic
+        faults into process-backend runs (``--inject-fault``); None (default)
+        injects nothing.
     """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
@@ -126,6 +139,10 @@ class ExperimentContext:
     tracer: Optional[object] = None
     kernel_tier: Optional[str] = None
     threads: Optional[int] = None
+    checkpoint_every: int = 0
+    checkpoint_dir: Optional[str] = None
+    barrier_timeout_s: Optional[float] = None
+    fault_plan: Optional[object] = None
 
     _engine: BSPEngine = field(init=False, repr=False, default=None)
     _actual_runs: Dict[Tuple[str, str, str], RunResult] = field(
@@ -170,6 +187,10 @@ class ExperimentContext:
             trace=self.tracer,
             kernel_tier=self.kernel_tier,
             threads=self.threads,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_dir=self.checkpoint_dir,
+            barrier_timeout_s=self.barrier_timeout_s,
+            fault_plan=self.fault_plan,
         )
 
     def load(self, dataset: str) -> CSRGraph:

@@ -1,0 +1,255 @@
+"""Checkpoint snapshot/restore, disk persistence and resume semantics.
+
+Pins the :mod:`repro.bsp.resilience` checkpoint format end to end: every
+plane kind snapshots and restores losslessly (an interrupted run resumed
+from disk finishes bit-identical to an undisturbed one), the on-disk layout
+is crash-safe (atomic tmp + ``os.replace``; a failed write never leaves a
+half-written checkpoint visible, and the manifest keeps pointing at the
+last intact one), and a checkpoint refuses to resume under an incompatible
+configuration (manifest config-hash check).
+
+Plane-kind coverage rides the registry: ``pagerank`` -> scalar,
+``neighborhood-estimation`` -> rows, ``topk-ranking`` -> ragged,
+``semi-clustering`` -> cluster-rows (numeric) / object
+(``semicluster_numeric=False``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from test_differential_engine import algorithm_settings, assert_profiles_identical
+
+from repro.algorithms.registry import algorithm_by_name
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.parallel.protocol import StreamCache
+from repro.bsp.resilience import (
+    EPOCH_VERSION_SHIFT,
+    MANIFEST_NAME,
+    Checkpoint,
+    CheckpointManager,
+)
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import BSPError
+from repro.graph import generators
+
+#: (id, algorithm, engine-config overrides) -- one row per plane kind.
+PLANE_KIND_MATRIX = [
+    ("scalar", "pagerank", {}),
+    ("rows", "neighborhood-estimation", {}),
+    ("ragged", "topk-ranking", {}),
+    ("cluster-rows", "semi-clustering", {}),
+    ("object", "semi-clustering", {"semicluster_numeric": False}),
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+    yield eng
+    eng.close_pools()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.preferential_attachment(150, out_degree=4, seed=3).freeze()
+
+
+def run_one(engine, graph, algorithm_name, **overrides):
+    config, max_supersteps = algorithm_settings(algorithm_name)
+    overrides.setdefault("max_supersteps", max_supersteps)
+    overrides.setdefault("runtime_seed", 7)
+    engine_config = EngineConfig(
+        num_workers=5, collect_vertex_values=True, **overrides,
+    )
+    return engine.run(graph, algorithm_by_name(algorithm_name), config, engine_config)
+
+
+# ------------------------------------------------------ resume (every kind)
+@pytest.mark.parametrize(
+    "kind,algorithm_name,overrides",
+    PLANE_KIND_MATRIX,
+    ids=[row[0] for row in PLANE_KIND_MATRIX],
+)
+def test_interrupted_run_resumes_bit_identical(
+    engine, graph, tmp_path, kind, algorithm_name, overrides
+):
+    """Cut a run short, resume from the on-disk checkpoint, compare exactly.
+
+    The resumed result must equal the undisturbed run field for field --
+    including the iterations *before* the checkpoint (they travel inside
+    it) and the seeded runtime noise of the replayed tail (the checkpoint
+    snapshots the RNG state).
+    """
+    baseline = run_one(engine, graph, algorithm_name, **overrides)
+    run_one(
+        engine, graph, algorithm_name,
+        max_supersteps=4, checkpoint_every=2, checkpoint_dir=str(tmp_path),
+        **overrides,
+    )
+    resumed = run_one(
+        engine, graph, algorithm_name,
+        checkpoint_every=2, checkpoint_dir=str(tmp_path), resume=True,
+        **overrides,
+    )
+    assert_profiles_identical(baseline, resumed)
+
+
+def test_checkpoint_from_inline_resumes_on_process_backend(
+    engine, graph, tmp_path
+):
+    """The fingerprint excludes the backend: inline checkpoints resume
+    sharded (and implicitly the reverse -- degradation resumes inline)."""
+    baseline = run_one(engine, graph, "pagerank")
+    run_one(
+        engine, graph, "pagerank",
+        max_supersteps=4, checkpoint_every=2, checkpoint_dir=str(tmp_path),
+    )
+    resumed = run_one(
+        engine, graph, "pagerank",
+        checkpoint_every=2, checkpoint_dir=str(tmp_path), resume=True,
+        backend="process", processes=2,
+    )
+    assert_profiles_identical(baseline, resumed)
+
+
+# ----------------------------------------------------------- rejection paths
+def test_resume_rejects_config_hash_mismatch(engine, graph, tmp_path):
+    run_one(
+        engine, graph, "pagerank",
+        max_supersteps=4, checkpoint_every=2, checkpoint_dir=str(tmp_path),
+    )
+    with pytest.raises(BSPError, match="config hash mismatch"):
+        run_one(
+            engine, graph, "pagerank",
+            checkpoint_every=2, checkpoint_dir=str(tmp_path), resume=True,
+            runtime_seed=8,  # different noise stream -> different run
+        )
+
+
+def test_resume_requires_checkpoint_dir(engine, graph):
+    with pytest.raises(BSPError, match="checkpoint_dir"):
+        run_one(engine, graph, "pagerank", checkpoint_every=2, resume=True)
+
+
+def test_resume_requires_manifest(engine, graph, tmp_path):
+    with pytest.raises(BSPError, match="no checkpoint manifest"):
+        run_one(
+            engine, graph, "pagerank",
+            checkpoint_every=2, checkpoint_dir=str(tmp_path), resume=True,
+        )
+
+
+# ------------------------------------------------------------ disk format
+def make_checkpoint(version: int, superstep: int, config_hash: str) -> Checkpoint:
+    """A structurally valid checkpoint with an opaque toy plane snapshot."""
+    return Checkpoint(
+        version=version,
+        superstep=superstep,
+        kind="scalar",
+        plane={"kind": "scalar", "superstep": superstep},
+        aggregates={"sum": float(superstep)},
+        rng_state={"state": superstep},
+        iterations=[],
+        convergence_history=[0.5 / (superstep + 1)],
+        config_hash=config_hash,
+    )
+
+
+def disk_files(directory) -> set:
+    return set(os.listdir(directory))
+
+
+def test_store_prunes_older_checkpoints(tmp_path):
+    manager = CheckpointManager(every=1, directory=str(tmp_path), config_hash="abcd")
+    for version, superstep in ((1, 0), (2, 3), (3, 6)):
+        manager.store(make_checkpoint(version, superstep, "abcd"))
+    files = disk_files(tmp_path)
+    assert MANIFEST_NAME in files
+    checkpoint_files = {name for name in files if name.startswith("checkpoint-")}
+    assert len(checkpoint_files) == 1  # older versions pruned
+    assert manager.load_from_disk().superstep == 6
+
+
+def test_atomic_write_crash_leaves_last_checkpoint_intact(tmp_path, monkeypatch):
+    """``os.replace`` dying mid-store never corrupts what is on disk.
+
+    The write order is checkpoint file first, manifest second, prune last;
+    failing the replace at either step must leave the manifest pointing at
+    an intact, loadable checkpoint and no half-written final-name files.
+    """
+    import repro.bsp.resilience as resilience
+
+    manager = CheckpointManager(every=1, directory=str(tmp_path), config_hash="abcd")
+    manager.store(make_checkpoint(1, 2, "abcd"))
+    survivor_files = disk_files(tmp_path)
+
+    real_replace = os.replace
+    for fail_at in (1, 2):  # 1: the checkpoint blob, 2: the manifest
+        calls = [0]
+
+        def exploding_replace(src, dst, *, _fail_at=fail_at, _calls=calls):
+            _calls[0] += 1
+            if _calls[0] == _fail_at:
+                raise OSError("disk full")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(resilience.os, "replace", exploding_replace)
+        fresh = CheckpointManager(every=1, directory=str(tmp_path), config_hash="abcd")
+        with pytest.raises(OSError, match="disk full"):
+            fresh.store(make_checkpoint(2, 4, "abcd"))
+        monkeypatch.setattr(resilience.os, "replace", real_replace)
+
+        # Every final-name file is intact: the manifest parses, the
+        # checkpoint it points to unpickles, and it is still version 1.
+        final = {f for f in disk_files(tmp_path) if not f.startswith("tmp-")}
+        assert survivor_files <= final | {f for f in survivor_files}
+        recovered = CheckpointManager(
+            every=1, directory=str(tmp_path), config_hash="abcd"
+        ).load_from_disk()
+        assert recovered.version == 1
+        assert recovered.superstep == 2
+        with open(tmp_path / manager._checkpoint_name(1), "rb") as fh:
+            assert pickle.load(fh).superstep == 2
+
+
+def test_latest_returns_independent_copies():
+    """Repeated rewinds must not share mutable state between restores."""
+    manager = CheckpointManager(every=1, config_hash="abcd")
+    manager.store(make_checkpoint(1, 2, "abcd"))
+    first = manager.latest()
+    first.convergence_history.append(999.0)
+    first.aggregates["sum"] = -1.0
+    second = manager.latest()
+    assert second.convergence_history == [0.5 / 3]
+    assert second.aggregates == {"sum": 2.0}
+
+
+def test_should_checkpoint_cadence():
+    manager = CheckpointManager(every=3)
+    assert manager.enabled
+    assert [s for s in range(10) if manager.should_checkpoint(s)] == [3, 6, 9]
+    disabled = CheckpointManager(every=0)
+    assert not disabled.enabled
+    assert not any(disabled.should_checkpoint(s) for s in range(10))
+
+
+# ----------------------------------------------------- epoch-cache versioning
+def test_checkpoint_version_partitions_epoch_space():
+    cp = make_checkpoint(5, 10, "abcd")
+    assert cp.epoch_base == 5 << EPOCH_VERSION_SHIFT
+    cache = StreamCache(epoch_base=cp.epoch_base)
+    assert cache.epoch_counter == 5 << EPOCH_VERSION_SHIFT
+    # Epochs minted after a rewind can never collide with pre-rewind ones:
+    # each version owns a disjoint band of 2**EPOCH_VERSION_SHIFT epochs.
+    earlier = StreamCache(epoch_base=make_checkpoint(4, 8, "x").epoch_base)
+    for _ in range(1000):
+        earlier.epoch_counter += 1
+    assert earlier.epoch_counter < cache.epoch_counter

@@ -1,0 +1,194 @@
+"""Barrier fault classification and pool teardown under hostile children.
+
+The chaos matrix: each way a worker process can go wrong maps to exactly one
+:class:`repro.bsp.resilience.BarrierFault` kind --
+
+==========================  ============  ================================
+injected fault              classified    detector
+==========================  ============  ================================
+SIGKILL (dead pid)          ``crash``     pipe EOF / dead pid at deadline
+SIGSTOP (alive but late)    ``straggler``  liveness probe at the deadline
+raise in the algorithm      ``poison``    child ``error`` report
+stream metadata mutation    ``corrupt``   owner-side stream validation
+==========================  ============  ================================
+
+-- and every path, recovered or not, leaves ``/dev/shm`` clean.  Also pins
+the ``ProcessWorkerPool.close()`` escalation: a child that ignores SIGTERM
+(SIGSTOP queues it undelivered) must be SIGKILLed and reaped, never
+abandoned as a zombie.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from test_differential_engine import algorithm_settings
+from test_parallel_backend import shm_segments
+
+from repro.algorithms.registry import algorithm_by_name
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.parallel.pool import ProcessWorkerPool
+from repro.bsp.resilience import BarrierFault, FaultPlan
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.graph import generators
+
+PROCESSES = 2
+
+
+@pytest.fixture(scope="module")
+def chaos_engine():
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+    yield engine
+    engine.close_pools()
+
+
+@pytest.fixture(scope="module")
+def diff_graph():
+    return generators.preferential_attachment(150, out_degree=4, seed=3).freeze()
+
+
+def run_with_fault(engine, graph, spec, **overrides):
+    config, max_supersteps = algorithm_settings("pagerank")
+    engine_config = EngineConfig(
+        num_workers=5, max_supersteps=max_supersteps, runtime_seed=7,
+        backend="process", processes=PROCESSES,
+        fault_plan=FaultPlan.parse([spec]), **overrides,
+    )
+    return engine.run(graph, algorithm_by_name("pagerank"), config, engine_config)
+
+
+# -------------------------------------------------------- classification
+#: (spec, expected kind, expected processes, engine-config overrides).
+#: ``corrupt`` leaves the blamed process unasserted -- the *detector* is
+#: whichever process reduces the corrupt stream, not the injector.
+CLASSIFICATION_MATRIX = [
+    ("kill:1:2", "crash", [1], {}),
+    ("stop:1:2", "straggler", [1], {"barrier_timeout_s": 1.5}),
+    ("poison:1:2", "poison", [1], {}),
+    ("corrupt:1:2", "corrupt", None, {}),
+]
+
+
+@pytest.mark.parametrize(
+    "spec,expected_kind,expected_processes,overrides",
+    CLASSIFICATION_MATRIX,
+    ids=[kind for _, kind, _, _ in CLASSIFICATION_MATRIX],
+)
+def test_fault_classification(
+    chaos_engine, diff_graph, spec, expected_kind, expected_processes, overrides
+):
+    """Without checkpointing every fault kind surfaces, correctly labelled,
+    the pool is torn down (stragglers shot, not leaked), and /dev/shm is
+    swept."""
+    before = shm_segments()
+    pool = chaos_engine.process_pool(PROCESSES)
+    procs = list(pool._procs)
+    with pytest.raises(BarrierFault) as excinfo:
+        run_with_fault(chaos_engine, diff_graph, spec, **overrides)
+    assert excinfo.value.kind == expected_kind
+    if expected_processes is not None:
+        assert excinfo.value.processes == expected_processes
+    assert not pool.alive
+    # Teardown reaped every child -- including a SIGSTOPped straggler.
+    deadline = time.monotonic() + 10.0
+    while any(p.is_alive() for p in procs) and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert all(not p.is_alive() for p in procs)
+    if before is not None:
+        leaked = shm_segments() - before
+        assert not leaked, f"stale segments after {expected_kind}: {leaked}"
+
+
+def test_crash_classification_with_deadline_armed(chaos_engine, diff_graph):
+    """A dead worker is a crash whichever detector fires first -- the pipe
+    EOF usually wins, but with a barrier deadline armed the timeout path's
+    pid probe must reach the same classification."""
+    with pytest.raises(BarrierFault) as excinfo:
+        run_with_fault(
+            chaos_engine, diff_graph, "kill:1:2", barrier_timeout_s=5.0
+        )
+    assert excinfo.value.kind == "crash"
+
+
+def test_recovered_chaos_paths_leave_shm_clean(chaos_engine, diff_graph):
+    """The recovery paths (respawn + rewind) sweep the dead child's arenas."""
+    before = shm_segments()
+    if before is None:  # pragma: no cover - non-Linux hosts
+        pytest.skip("/dev/shm not available")
+    for spec, overrides in (
+        ("kill:1:2", {}),
+        ("stop:0:2", {"barrier_timeout_s": 1.5}),
+        ("corrupt:1:2", {}),
+    ):
+        result = run_with_fault(
+            chaos_engine, diff_graph, spec, checkpoint_every=1, **overrides
+        )
+        assert result.recovery.rewinds == 1
+        leaked = shm_segments() - before
+        assert not leaked, f"stale segments after recovering {spec}: {leaked}"
+
+
+# --------------------------------------------------------- close escalation
+def test_close_reaps_sigstopped_child():
+    """Regression: ``close()`` used to abandon a child that survived
+    ``terminate()`` -- a SIGSTOPped process queues SIGTERM without dying, so
+    only the SIGKILL escalation reaps it."""
+    pool = ProcessWorkerPool(2)
+    try:
+        victim = pool._procs[1]
+        # Let the child finish booting before stopping it, so it is not
+        # stopped inside interpreter startup with the pipe half-open.
+        deadline = time.monotonic() + 10.0
+        while not victim.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        os.kill(victim.pid, signal.SIGSTOP)
+        pool.JOIN_TIMEOUT = 0.2  # instance attrs: shrink the escalation
+        pool.TERMINATE_TIMEOUT = 0.2
+        pool.close()
+        assert not victim.is_alive()
+        assert victim.exitcode is not None
+    finally:
+        if pool.alive:  # pragma: no cover - failure cleanup
+            os.kill(pool._procs[1].pid, signal.SIGCONT)
+            pool.close()
+
+
+def test_force_kill_ends_sigstopped_child():
+    """Straggler recovery's kill path, unit-level."""
+    pool = ProcessWorkerPool(2)
+    try:
+        victim = pool._procs[0]
+        os.kill(victim.pid, signal.SIGSTOP)
+        pool.TERMINATE_TIMEOUT = 0.2
+        pool.force_kill([0])
+        assert not victim.is_alive()
+        pool.respawn([0])
+        assert pool._procs[0].is_alive()
+        assert pool._procs[0] is not victim
+    finally:
+        pool.close()
+
+
+def test_respawn_after_sigkill_reuses_slot():
+    pool = ProcessWorkerPool(2)
+    try:
+        victim = pool._procs[1]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5.0)
+        pool.respawn([1])
+        assert pool._procs[1].is_alive()
+        assert pool._procs[1].pid != victim.pid
+        # The fresh pipe is live: a shutdown command is accepted.
+        pool.send(1, ("shutdown",))
+        pool._procs[1].join(timeout=5.0)
+        assert not pool._procs[1].is_alive()
+    finally:
+        pool.close()

@@ -1,0 +1,302 @@
+"""Fault injection + recovery: the process backend survives crashes losslessly.
+
+The resilience contract (see ``docs/RESILIENCE.md``): with checkpointing
+enabled, a process-backend run that loses a worker -- SIGKILLed, stopped past
+the barrier deadline, or shipping a corrupted stream -- rewinds to the last
+superstep checkpoint, heals the pool and replays to a :class:`RunResult`
+**bit-identical** to an undisturbed run.  This module enforces that promise
+with deterministic fault injection (:class:`repro.bsp.resilience.FaultPlan`)
+across every registry algorithm, checkpoint intervals and recovery paths,
+reusing the exact-equality assertions of the differential suite.
+
+The undisturbed baseline is the *inline* backend, so equality here chains
+through ``test_parallel_backend`` to the scalar engine: a recovered run
+matches the single-process ground truth field by field -- vertex values,
+convergence history, per-worker Table 1 counters and the seeded runtime
+noise stream (checkpoints snapshot the RNG state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from test_differential_engine import (
+    ALGORITHM_NAMES,
+    algorithm_settings,
+    assert_profiles_identical,
+)
+from test_parallel_backend import shm_segments
+
+from repro.algorithms.pagerank import PageRank, PageRankConfig
+from repro.algorithms.registry import algorithm_by_name
+from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.resilience import FAULT_SEED_ENV, Fault, FaultPlan
+from repro.cluster.cost_profile import CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import BSPError, ConfigurationError
+from repro.graph import generators
+from repro.obs.tracer import Tracer
+
+PROCESSES = 2
+
+
+@pytest.fixture(scope="module")
+def process_engine():
+    engine = BSPEngine(
+        cluster=ClusterSpec(num_nodes=1, workers_per_node=5),
+        cost_profile=CostProfile(noise_std=0.0, congestion_factor=0.0),
+    )
+    yield engine
+    engine.close_pools()
+
+
+@pytest.fixture(scope="module")
+def diff_graph():
+    return generators.preferential_attachment(150, out_degree=4, seed=3).freeze()
+
+
+def run_one(engine, graph, algorithm_name, **overrides):
+    config, max_supersteps = algorithm_settings(algorithm_name)
+    engine_config = EngineConfig(
+        num_workers=5, max_supersteps=max_supersteps, runtime_seed=7,
+        collect_vertex_values=True, **overrides,
+    )
+    return engine.run(graph, algorithm_by_name(algorithm_name), config, engine_config)
+
+
+def undisturbed(engine, graph, algorithm_name):
+    return run_one(engine, graph, algorithm_name)
+
+
+# --------------------------------------------------------- crash recovery
+@pytest.mark.parametrize("checkpoint_every", [1, 3])
+@pytest.mark.parametrize("algorithm_name", ALGORITHM_NAMES)
+def test_kill_recovery_bit_identical(
+    process_engine, diff_graph, algorithm_name, checkpoint_every
+):
+    """Worker 1 SIGKILLed at superstep 2: the run recovers bit-identically.
+
+    Every registry algorithm (all five plane kinds), both a per-superstep
+    checkpoint cadence and a sparse one that forces a multi-superstep
+    replay.  The acceptance scenario of the resilience subsystem.
+    """
+    baseline = undisturbed(process_engine, diff_graph, algorithm_name)
+    recovered = run_one(
+        process_engine, diff_graph, algorithm_name,
+        backend="process", processes=PROCESSES,
+        checkpoint_every=checkpoint_every,
+        fault_plan=FaultPlan.parse(["kill:1:2"]),
+    )
+    assert_profiles_identical(baseline, recovered)
+    assert recovered.recovery is not None
+    assert recovered.recovery.rewinds == 1
+    assert recovered.recovery.respawns == 1
+    assert not recovered.recovery.degraded
+    assert any("crash" in fault for fault in recovered.recovery.faults)
+
+
+def test_checkpointing_alone_perturbs_nothing(process_engine, diff_graph):
+    """No fault: a checkpointed run equals an uncheckpointed one, per backend."""
+    baseline = undisturbed(process_engine, diff_graph, "pagerank")
+    for backend in ("inline", "process"):
+        checkpointed = run_one(
+            process_engine, diff_graph, "pagerank",
+            backend=backend, processes=PROCESSES, checkpoint_every=2,
+        )
+        assert_profiles_identical(baseline, checkpointed)
+        assert checkpointed.recovery.rewinds == 0
+        assert checkpointed.recovery.checkpoints > 0
+
+
+def test_straggler_recovery_bit_identical(process_engine, diff_graph):
+    """A SIGSTOPped worker misses the deadline, is shot and replaced."""
+    baseline = undisturbed(process_engine, diff_graph, "pagerank")
+    recovered = run_one(
+        process_engine, diff_graph, "pagerank",
+        backend="process", processes=PROCESSES,
+        checkpoint_every=3, barrier_timeout_s=2.0,
+        fault_plan=FaultPlan.parse(["stop:0:2"]),
+    )
+    assert_profiles_identical(baseline, recovered)
+    assert recovered.recovery.rewinds == 1
+    assert any("straggler" in fault for fault in recovered.recovery.faults)
+
+
+@pytest.mark.parametrize("algorithm_name", ["pagerank", "semi-clustering"])
+def test_corrupt_stream_recovery_bit_identical(
+    process_engine, diff_graph, algorithm_name
+):
+    """Stream-length corruption is caught owner-side and recovered from.
+
+    ``pagerank`` corrupts the scalar span/gather length arrays,
+    ``semi-clustering`` the ragged per-payload byte sizes -- both detectors
+    in :mod:`repro.bsp.parallel.protocol`.
+    """
+    baseline = undisturbed(process_engine, diff_graph, algorithm_name)
+    recovered = run_one(
+        process_engine, diff_graph, algorithm_name,
+        backend="process", processes=PROCESSES,
+        checkpoint_every=1,
+        fault_plan=FaultPlan.parse(["corrupt:1:3"]),
+    )
+    assert_profiles_identical(baseline, recovered)
+    assert recovered.recovery.rewinds == 1
+    assert recovered.recovery.respawns == 0  # nobody died
+    assert any("corrupt" in fault for fault in recovered.recovery.faults)
+
+
+def test_stall_within_deadline_is_benign(process_engine, diff_graph):
+    """A delay that stays under the barrier deadline triggers nothing."""
+    baseline = undisturbed(process_engine, diff_graph, "pagerank")
+    result = run_one(
+        process_engine, diff_graph, "pagerank",
+        backend="process", processes=PROCESSES,
+        checkpoint_every=1, barrier_timeout_s=30.0,
+        fault_plan=FaultPlan.parse(["stall:1:2:0.05"]),
+    )
+    assert_profiles_identical(baseline, result)
+    assert result.recovery.rewinds == 0
+
+
+# ------------------------------------------------------- degraded execution
+def test_exhausted_attempts_degrade_inline_bit_identical(
+    process_engine, diff_graph
+):
+    """recovery_attempts=0: the pool is abandoned, the inline loop finishes
+    the run from the checkpoint -- still bit-identical."""
+    baseline = undisturbed(process_engine, diff_graph, "pagerank")
+    degraded = run_one(
+        process_engine, diff_graph, "pagerank",
+        backend="process", processes=PROCESSES,
+        checkpoint_every=1, recovery_attempts=0,
+        fault_plan=FaultPlan.parse(["kill:1:2"]),
+    )
+    assert_profiles_identical(baseline, degraded)
+    assert degraded.recovery.degraded
+    assert degraded.recovery.rewinds == 1
+    # The next process run transparently gets a fresh pool.
+    after = run_one(
+        process_engine, diff_graph, "pagerank",
+        backend="process", processes=PROCESSES,
+    )
+    assert_profiles_identical(baseline, after)
+
+
+# --------------------------------------------------------- unrecoverable
+def test_crash_without_checkpointing_raises(process_engine, diff_graph):
+    """No checkpoints -> no rewind target: the crash surfaces as before."""
+    with pytest.raises(BSPError, match="died mid-run"):
+        run_one(
+            process_engine, diff_graph, "pagerank",
+            backend="process", processes=PROCESSES,
+            fault_plan=FaultPlan.parse(["kill:1:2"]),
+        )
+
+
+def test_poison_fault_is_unrecoverable(process_engine, diff_graph):
+    """An algorithm exception would raise again on replay: no retry."""
+    with pytest.raises(BSPError, match="poisoned at superstep 2"):
+        run_one(
+            process_engine, diff_graph, "pagerank",
+            backend="process", processes=PROCESSES,
+            checkpoint_every=1,
+            fault_plan=FaultPlan.parse(["poison:1:2"]),
+        )
+
+
+# ------------------------------------------------------------ observability
+def test_recovery_spans_and_counters_in_trace(process_engine, diff_graph):
+    """Checkpoint / rewind / respawn events are visible in a --trace export."""
+    tracer = Tracer()
+    result = run_one(
+        process_engine, diff_graph, "pagerank",
+        backend="process", processes=PROCESSES,
+        checkpoint_every=1, trace=tracer,
+        fault_plan=FaultPlan.parse(["kill:1:2"]),
+    )
+    names = {span.name for span in tracer.spans}
+    assert "recovery.checkpoint" in names
+    assert "recovery.rewind" in names
+    assert "recovery.respawn" in names
+    assert tracer.counters["recovery.rewinds"] == 1
+    assert tracer.counters["recovery.respawns"] == 1
+    assert tracer.counters["recovery.checkpoints"] >= 1
+    rewinds = [span for span in tracer.spans if span.name == "recovery.rewind"]
+    assert rewinds[0].attrs["fault"] == "crash"
+    assert result.recovery.rewinds == 1
+
+
+def test_summary_reports_recovery(process_engine, diff_graph):
+    result = run_one(
+        process_engine, diff_graph, "pagerank",
+        backend="process", processes=PROCESSES,
+        checkpoint_every=1,
+        fault_plan=FaultPlan.parse(["kill:1:2"]),
+    )
+    summary = result.summary()
+    assert summary["recovery"]["rewinds"] == 1
+    assert summary["recovery"]["respawns"] == 1
+    assert summary["recovery"]["degraded"] is False
+    assert summary["recovery"]["faults"]
+    # An untouched run reports no recovery section at all.
+    plain = undisturbed(process_engine, diff_graph, "pagerank")
+    assert "recovery" not in plain.summary()
+    assert plain.recovery is None
+
+
+def test_recovered_runs_leave_no_shm_segments(process_engine, diff_graph):
+    before = shm_segments()
+    if before is None:  # pragma: no cover - non-Linux hosts
+        pytest.skip("/dev/shm not available")
+    run_one(
+        process_engine, diff_graph, "pagerank",
+        backend="process", processes=PROCESSES,
+        checkpoint_every=1, fault_plan=FaultPlan.parse(["kill:1:2"]),
+    )
+    leaked = shm_segments() - before
+    assert not leaked, f"stale shared-memory segments after recovery: {leaked}"
+
+
+# ---------------------------------------------------------------- FaultPlan
+def test_fault_plan_parse_roundtrip():
+    plan = FaultPlan.parse(["kill:1:2", "stall:0:3:0.25"])
+    assert plan
+    assert plan.faults[0] == Fault(kind="kill", process=1, superstep=2)
+    assert plan.faults[1].delay_s == 0.25
+    assert plan.fault_for(1, 2).kind == "kill"
+    assert plan.fault_for(1, 3) is None
+    disarmed = plan.disarm_through(2)
+    assert disarmed.fault_for(1, 2) is None
+    assert disarmed.fault_for(0, 3) is not None
+
+
+def test_fault_plan_parse_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse(["explode:1:2"])
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse(["kill:1"])
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse(["kill:one:two"])
+
+
+def test_fault_plan_wildcard_process_resolves_from_seed(monkeypatch):
+    monkeypatch.setenv(FAULT_SEED_ENV, "1234")
+    plan = FaultPlan.parse(["kill:?:2"])
+    assert plan.faults[0].process is None
+    resolved = plan.resolve(4)
+    assert resolved.faults[0].process in range(4)
+    # Deterministic under the pinned seed.
+    assert resolved.faults[0].process == plan.resolve(4).faults[0].process
+
+
+def test_kill_fault_via_engine_run_wildcard(process_engine, diff_graph, monkeypatch):
+    """The CI chaos leg's shape: REPRO_FAULT_SEED picks the victim."""
+    monkeypatch.setenv(FAULT_SEED_ENV, "99")
+    baseline = undisturbed(process_engine, diff_graph, "pagerank")
+    recovered = run_one(
+        process_engine, diff_graph, "pagerank",
+        backend="process", processes=PROCESSES,
+        checkpoint_every=1, fault_plan=FaultPlan.parse(["kill:?:2"]),
+    )
+    assert_profiles_identical(baseline, recovered)
+    assert recovered.recovery.rewinds == 1
