@@ -41,6 +41,7 @@ bench-smoke:
 		benchmarks/test_bench_trace_overhead.py \
 		benchmarks/test_bench_checkpoint_overhead.py \
 		benchmarks/test_bench_kernel_tier.py \
+		benchmarks/test_bench_service_cache.py \
 		-q -s
 
 docs-check:

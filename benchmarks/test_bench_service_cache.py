@@ -1,0 +1,105 @@
+"""Perf guard for the prediction service's sample-run cache (docs/SERVICE.md).
+
+The service's promise: a warm prediction is a cache lookup plus JSON
+framing, not a sample-run sweep.  This guard measures the same question
+asked cold (caches cleared -- the full PREDIcT pipeline executes) and warm
+(served from the prediction cache) **through the daemon socket**, so the
+warm figure honestly includes the wire round-trip, and floors the speedup
+at ``MIN_WARM_SPEEDUP`` (the real ratio is orders of magnitude).
+
+It also re-asserts the cache contract while timing: the warm answer is
+``==`` the cold one field by field (floats cross the wire bit for bit).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the dataset scale and skips the floor;
+the committed ``benchmarks/results/service_cache_speedup.txt`` always
+records a full run.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from bench_utils import bench_smoke, measure_best, publish
+from repro.service.client import PredictionClient
+from repro.service.daemon import PredictionDaemon, PredictionService
+
+SMOKE = bench_smoke()
+
+SCALE = 0.05 if SMOKE else 0.25
+WORKERS = 4
+REPEATS = 2 if SMOKE else 5
+MIN_WARM_SPEEDUP = 20.0
+
+QUESTION = dict(dataset="livejournal", algorithm="pagerank", sampling_ratio=0.1)
+
+
+def test_bench_service_cache_speedup(results_dir):
+    socket_path = str(Path(tempfile.mkdtemp()) / "bench.sock")
+    service = PredictionService(dataset_scale=SCALE, num_workers=WORKERS, seed=42)
+    daemon = PredictionDaemon(service, socket_path=socket_path, max_workers=2)
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+
+    client = PredictionClient(socket_path)
+    client.wait_until_ready(timeout=60.0)
+    try:
+        client.predict(**QUESTION)  # warm-up: dataset load, freeze, partitions
+
+        def cold():
+            client.clear_cache()
+            return client.predict(**QUESTION)
+
+        cold_time = float("inf")
+        cold_answer = None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            cold_answer = cold()
+            cold_time = min(cold_time, time.perf_counter() - start)
+        assert cold_answer["cache"] == "miss"
+
+        warm_answer = client.predict(**QUESTION)
+        assert warm_answer["cache"] == "hit"
+        strip = lambda wire: {k: v for k, v in wire.items() if k != "cache"}
+        assert strip(warm_answer) == strip(cold_answer), (
+            "warm answer must replay the cold answer bit for bit"
+        )
+
+        warm_time = measure_best(
+            lambda: client.predict(**QUESTION), repeats=5 * REPEATS, warmup=1
+        )
+        speedup = cold_time / warm_time
+
+        stats = client.stats()
+        client.shutdown()
+    finally:
+        daemon.request_shutdown()
+        client.close()
+        thread.join(timeout=60)
+
+    lines = [
+        "Prediction service: warm-vs-cold speedup over the daemon socket",
+        f"(pagerank on livejournal, scale {SCALE}, ratio 0.1, "
+        f"{WORKERS} workers; best of {REPEATS} cold / {5 * REPEATS} warm)",
+        "",
+        f"  cold prediction (caches cleared): {cold_time * 1000:9.1f} ms",
+        f"  warm prediction (cache + wire)  : {warm_time * 1000:9.3f} ms",
+        f"  speedup                         : {speedup:9.0f} x"
+        f"   (guard: >= {MIN_WARM_SPEEDUP:.0f} x)",
+        "",
+        f"  cache hits/misses (prediction)  : "
+        f"{stats['caches']['prediction']['hits']}/"
+        f"{stats['caches']['prediction']['misses']}",
+    ]
+    if SMOKE:
+        lines.append("")
+        lines.append("  smoke mode: reduced scale, floor not enforced")
+    publish(results_dir, "service_cache_speedup", "\n".join(lines))
+
+    if not SMOKE:
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm path only {speedup:.1f}x faster than cold "
+            f"(floor {MIN_WARM_SPEEDUP}x)"
+        )

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Prediction-as-a-service: daemon, cache, single-flight, live.
+
+The service walkthrough (docs/SERVICE.md):
+
+1. start a prediction daemon on a unix socket, executing sample runs on
+   the shared-memory **process backend** with tracing on,
+2. ask it a cold question -- the full PREDIcT pipeline runs (sample the
+   graph, sweep the training ratios, fit the cost model, extrapolate),
+3. ask the identical question again -- the answer comes back warm from the
+   prediction cache, **bit-identical** to the cold one, in O(lookup),
+4. fire the same new question from several threads at once -- single-flight
+   dedup computes it exactly once; the duplicates coalesce onto the
+   winner's answer,
+5. ask an *overlapping* question (a different prediction ratio) -- the
+   per-ratio profile cache reuses every training sample run already done,
+6. shut down cleanly and print the daemon's trace summary: spans plus the
+   service and cache counters.
+
+Run with::
+
+    python examples/demonstrate_service.py
+
+The same workflow over the installed CLI::
+
+    repro-predict serve --socket /tmp/predict.sock --scale 0.4 --trace &
+    repro-predict ask livejournal pagerank --socket /tmp/predict.sock
+    repro-predict shutdown --socket /tmp/predict.sock
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.obs.export import summary_table
+from repro.obs.tracer import Tracer
+from repro.service.client import PredictionClient
+from repro.service.daemon import PredictionDaemon, PredictionService
+
+SCALE = 0.1
+WORKERS = 4
+SEED = 42
+
+
+def show(tag: str, result: dict, elapsed: float) -> None:
+    print(
+        f"  {tag:<6} cache={result['cache']:<9} "
+        f"iterations={result['predicted_iterations']:<3} "
+        f"runtime={result['predicted_superstep_runtime']:.2f}s "
+        f"R^2={result['r_squared']:.4f}  ({elapsed * 1000:.1f} ms)"
+    )
+
+
+def main() -> None:
+    tracer = Tracer()
+    socket_path = str(Path(tempfile.mkdtemp()) / "predict.sock")
+    service = PredictionService(
+        dataset_scale=SCALE,
+        num_workers=WORKERS,
+        seed=SEED,
+        backend="process",
+        processes=2,
+        tracer=tracer,
+    )
+    daemon = PredictionDaemon(service, socket_path=socket_path, max_workers=4)
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+
+    client = PredictionClient(socket_path)
+    client.wait_until_ready(timeout=30.0)
+    print(f"daemon ready on {socket_path} (backend=process, scale={SCALE})")
+
+    # ------------------------------------------------------------ cold / warm
+    question = dict(dataset="livejournal", algorithm="pagerank", sampling_ratio=0.1)
+    print("\npagerank on livejournal, ratio 0.1:")
+    start = time.perf_counter()
+    cold = client.predict(**question)
+    show("cold", cold, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    warm = client.predict(**question)
+    show("warm", warm, time.perf_counter() - start)
+
+    identical = {k: v for k, v in cold.items() if k != "cache"} == {
+        k: v for k, v in warm.items() if k != "cache"
+    }
+    print(f"  warm answer bit-identical to cold: {identical}")
+    assert identical, "cache must replay the exact cold answer"
+
+    # ---------------------------------------------------------- single-flight
+    print("\n6 concurrent clients, one new question (wikipedia):")
+
+    def ask() -> str:
+        c = PredictionClient(socket_path)
+        try:
+            return c.predict(dataset="wikipedia", algorithm="pagerank")["cache"]
+        finally:
+            c.close()
+
+    with concurrent.futures.ThreadPoolExecutor(6) as pool:
+        kinds = sorted(f.result() for f in [pool.submit(ask) for _ in range(6)])
+    counters = service.counters()
+    print(f"  response kinds : {kinds}")
+    print(f"  computed       : {counters['service.predict.computed'] - 1} "
+          "(for this question -- exactly one fan-out)")
+    print(f"  coalesced      : {counters.get('service.singleflight.coalesced', 0)}")
+    assert kinds.count("miss") == 1, "single-flight must compute exactly once"
+
+    # --------------------------------------------------------- partial overlap
+    print("\noverlapping sweep (livejournal, ratio 0.15 -- a training ratio):")
+    before = service.profile_cache.stats()
+    start = time.perf_counter()
+    overlap = client.predict(dataset="livejournal", algorithm="pagerank",
+                             sampling_ratio=0.15)
+    show("miss*", overlap, time.perf_counter() - start)
+    after = service.profile_cache.stats()
+    print(f"  profile cells reused: {after['hits'] - before['hits']}, "
+          f"newly executed: {after['puts'] - before['puts']} "
+          "(the sweep was already cached cell by cell)")
+
+    # ------------------------------------------------------------------ stats
+    stats = client.stats()
+    print("\ndaemon stats:")
+    for name in sorted(stats["counters"]):
+        print(f"  {name:<36} {stats['counters'][name]}")
+
+    # --------------------------------------------------------------- shutdown
+    print("\nshutting down:", client.shutdown())
+    client.close()
+    thread.join(timeout=60)
+    print("\ntrace summary (spans + service/cache counters):\n")
+    print(summary_table(tracer))
+
+
+if __name__ == "__main__":
+    main()

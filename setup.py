@@ -20,6 +20,13 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            # The prediction daemon + client CLI (docs/SERVICE.md); the
+            # uninstalled spelling is ``python -m repro.service``.
+            "repro-predict = repro.service.cli:main",
+        ],
+    },
     extras_require={
         "dev": ["pytest", "pytest-benchmark", "hypothesis"],
         # Opt-in compiled kernel tier (--kernel-tier numba; docs/KERNELS.md).

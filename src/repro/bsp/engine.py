@@ -272,6 +272,7 @@ class BSPEngine:
         self,
         cluster: Optional[ClusterSpec] = None,
         cost_profile: Optional[CostProfile] = None,
+        shared_pools: Optional[Dict[tuple, Any]] = None,
     ) -> None:
         self.cluster = cluster or ClusterSpec()
         self.cost_profile = cost_profile or DEFAULT_PROFILE
@@ -280,7 +281,15 @@ class BSPEngine:
         # processes across runs instead of paying interpreter start-up per
         # run.  close_pools() shuts them down explicitly; the processes are
         # daemonic, so an un-closed pool cannot outlive the interpreter.
-        self._pools: Dict[tuple, Any] = {}
+        #
+        # A caller owning several engines (the prediction service keeps one
+        # ExperimentContext per cluster-spec/budget combination) can pass the
+        # same ``shared_pools`` dict to all of them: the engines then borrow
+        # one pool map instead of spawning worker processes per engine, and
+        # the owner -- not the engines -- closes the map exactly once via
+        # :meth:`release_pools`.
+        self._pools: Dict[tuple, Any] = shared_pools if shared_pools is not None else {}
+        self._owns_pools = shared_pools is None
 
     def process_pool(self, processes: int, start_method: str = "spawn"):
         """The cached persistent worker pool for the process backend."""
@@ -294,10 +303,46 @@ class BSPEngine:
         return pool
 
     def close_pools(self) -> None:
-        """Shut down every cached process-backend pool."""
-        for pool in self._pools.values():
-            pool.close()
-        self._pools.clear()
+        """Shut down every cached process-backend pool.
+
+        A no-op on engines borrowing a shared pool map -- the map's owner
+        closes it (exactly once) with :meth:`release_pools`.
+        """
+        if not self._owns_pools:
+            return
+        self.release_pools(self._pools)
+
+    @staticmethod
+    def release_pools(pools: Dict[tuple, Any]) -> None:
+        """Close every pool in ``pools`` and empty the map.
+
+        Exception-safe: every pool's close() is attempted even when an
+        earlier one fails (a worker that died mid-close must not leave the
+        remaining pools' shared-memory arenas behind); the first failure is
+        re-raised after the sweep.
+        """
+        first_error: Optional[BaseException] = None
+        for pool in pools.values():
+            try:
+                pool.close()
+            except BaseException as exc:  # keep sweeping /dev/shm
+                if first_error is None:
+                    first_error = exc
+        pools.clear()
+        if first_error is not None:
+            raise first_error
+
+    @staticmethod
+    def describe_pools(pools: Dict[tuple, Any]) -> List[Dict[str, Any]]:
+        """One status row per pool in a pool map (the service ``status`` verb)."""
+        return [
+            {
+                "processes": key[0],
+                "start_method": key[1],
+                "alive": bool(getattr(pool, "alive", False)),
+            }
+            for key, pool in pools.items()
+        ]
 
     def __enter__(self) -> "BSPEngine":
         return self

@@ -8,16 +8,45 @@ those profiled runs, indexed by algorithm and dataset, and can produce a
 training :class:`~repro.core.features.FeatureTable` that excludes the dataset
 currently being predicted (the paper's leave-the-predicted-dataset-out
 protocol for Figures 7b / 8b).
+
+Concurrency and persistence
+---------------------------
+A store is safe to share between threads (every mutation and snapshot holds
+an internal lock -- the prediction service records from its executor threads
+while ``status`` reads concurrently).  With a ``path`` the store also
+persists to a JSON file, safely across *processes*:
+
+* every write is **atomic** -- the new content goes to a temp file in the
+  same directory, then ``os.replace`` swaps it in, so a reader (or a crash)
+  never observes a half-written file;
+* every append is a **load-modify-write under an exclusive file lock**
+  (``fcntl.flock`` on a sibling ``.lock`` file): concurrent writers -- two
+  daemons, a daemon plus a CLI -- serialise, re-read the rows the other just
+  wrote, and append to the merged list, so no recorded run is ever dropped.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
 
 from repro.bsp.result import RunResult
 from repro.core.features import FeatureTable
 from repro.exceptions import HistoryError
+
+try:  # POSIX-only; the file lock degrades to best-effort elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+#: On-disk format version (bumped on incompatible changes).
+_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -32,15 +61,114 @@ class HistoricalRun:
     table: FeatureTable
     total_runtime: float
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (for the persistent store)."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "num_iterations": self.num_iterations,
+            "rows": [dict(row) for row in self.table.rows],
+            "runtimes": [float(r) for r in self.table.runtimes],
+            "total_runtime": float(self.total_runtime),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "HistoricalRun":
+        """Rebuild a run from :meth:`to_dict` output."""
+        try:
+            return cls(
+                algorithm=payload["algorithm"],
+                dataset=payload["dataset"],
+                num_vertices=int(payload["num_vertices"]),
+                num_edges=int(payload["num_edges"]),
+                num_iterations=int(payload["num_iterations"]),
+                table=FeatureTable(
+                    rows=[dict(row) for row in payload["rows"]],
+                    runtimes=[float(r) for r in payload["runtimes"]],
+                ),
+                total_runtime=float(payload["total_runtime"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HistoryError(f"malformed history record: {exc}") from exc
+
 
 @dataclass
 class HistoryStore:
-    """In-memory archive of profiled runs."""
+    """Archive of profiled runs; in-memory, optionally persisted to a file."""
 
     _runs: List[HistoricalRun] = field(default_factory=list)
+    path: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        self._lock = threading.RLock()
+        if self.path is not None and Path(self.path).exists():
+            self._runs = self._read_file()
+
+    # ------------------------------------------------------------ file layer
+    @contextmanager
+    def _file_lock(self) -> Iterator[None]:
+        """Exclusive inter-process lock guarding load-modify-write cycles."""
+        lock_path = Path(f"{self.path}.lock")
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(lock_path, "a+b") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _read_file(self) -> List[HistoricalRun]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return []
+        except (OSError, json.JSONDecodeError) as exc:
+            raise HistoryError(f"cannot read history file {self.path!r}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise HistoryError(
+                f"history file {self.path!r} has unsupported format "
+                f"{payload.get('version') if isinstance(payload, dict) else '?'}"
+            )
+        return [HistoricalRun.from_dict(item) for item in payload.get("runs", [])]
+
+    def _write_file(self, runs: List[HistoricalRun]) -> None:
+        """Atomically replace the history file with ``runs``."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "runs": [run.to_dict() for run in runs],
+        }
+        directory = Path(self.path).parent
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=str(directory), prefix=Path(self.path).name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except FileNotFoundError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------- API
     def record(self, run: RunResult, dataset: Optional[str] = None, level: str = "critical") -> HistoricalRun:
-        """Archive a finished run and return the stored record."""
+        """Archive a finished run and return the stored record.
+
+        With a persistent ``path``, the append is a load-modify-write under
+        the file lock: rows recorded concurrently by other processes are
+        re-read and kept, the new record is appended, and the merged list is
+        written atomically.
+        """
         if run.num_iterations == 0:
             raise HistoryError("cannot archive a run with no iterations")
         record = HistoricalRun(
@@ -52,14 +180,31 @@ class HistoryStore:
             table=FeatureTable.from_run(run, level=level),
             total_runtime=run.superstep_runtime,
         )
-        self._runs.append(record)
+        with self._lock:
+            if self.path is None:
+                self._runs.append(record)
+            else:
+                with self._file_lock():
+                    merged = self._read_file()
+                    merged.append(record)
+                    self._write_file(merged)
+                    self._runs = merged
         return record
+
+    def reload(self) -> None:
+        """Refresh the in-memory view from the persistent file (if any)."""
+        if self.path is None:
+            return
+        with self._lock, self._file_lock():
+            self._runs = self._read_file()
 
     def runs(self, algorithm: Optional[str] = None) -> List[HistoricalRun]:
         """All archived runs, optionally filtered by algorithm name."""
+        with self._lock:
+            snapshot = list(self._runs)
         if algorithm is None:
-            return list(self._runs)
-        return [run for run in self._runs if run.algorithm == algorithm]
+            return snapshot
+        return [run for run in snapshot if run.algorithm == algorithm]
 
     def datasets(self, algorithm: str) -> List[str]:
         """Datasets for which runs of ``algorithm`` are archived."""
@@ -83,11 +228,16 @@ class HistoryStore:
         return FeatureTable.merge(tables)
 
     def __len__(self) -> int:
-        return len(self._runs)
+        with self._lock:
+            return len(self._runs)
 
     def clear(self) -> None:
-        """Drop every archived run."""
-        self._runs.clear()
+        """Drop every archived run (and empty the persistent file, if any)."""
+        with self._lock:
+            if self.path is not None:
+                with self._file_lock():
+                    self._write_file([])
+            self._runs = []
 
     def summary(self) -> List[Dict[str, object]]:
         """One row per archived run (for reports)."""
@@ -98,5 +248,5 @@ class HistoryStore:
                 "iterations": run.num_iterations,
                 "runtime_s": round(run.total_runtime, 3),
             }
-            for run in self._runs
+            for run in self.runs()
         ]

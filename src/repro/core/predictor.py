@@ -29,16 +29,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.bsp.engine import BSPEngine, EngineConfig
+from repro.bsp.resilience import config_fingerprint
 from repro.core.cost_model import CostModel
 from repro.core.extrapolation import Extrapolator
 from repro.core.features import FeatureRow, FeatureTable
 from repro.core.history import HistoryStore
-from repro.core.sample_run import SampleRunner, SampleRunProfile
+from repro.core.sample_run import DictProfileCache, SampleRunner, SampleRunProfile
 from repro.core.transform import TransformFunction
 from repro.exceptions import PredictionError
 from repro.graph.digraph import DiGraph
 from repro.obs.tracer import activate, current_tracer
 from repro.sampling.base import VertexSampler
+from repro.utils.canonical import config_token, graph_token
 
 #: The paper's training sampling ratios (Figures 7 and 8).
 DEFAULT_TRAINING_RATIOS = (0.05, 0.1, 0.15, 0.2)
@@ -107,6 +109,8 @@ class Predictor:
         engine_config: Optional[EngineConfig] = None,
         feature_level: str = "critical",
         cache_sample_runs: bool = True,
+        profile_cache=None,
+        profile_key=None,
     ) -> None:
         self.engine = engine
         self.algorithm = algorithm
@@ -115,17 +119,27 @@ class Predictor:
         self.cost_model_factory = cost_model_factory or CostModel
         self.feature_level = feature_level
         self.cache_sample_runs = cache_sample_runs
+        # Sample runs are deterministic given (graph, config, ratio), so they
+        # can be reused when the same predictor is asked for several sampling
+        # ratios on the same input (the Figure 7/8 sweeps).  The cache keys
+        # are canonical content hashes (graph digest + config token + the
+        # checkpoint-style engine fingerprint), never object ids -- two
+        # equal-valued configs share their sample runs.  An external cache +
+        # key function (the prediction service's canonical-keyed store) can
+        # be plugged in to share profiles across predictors.
+        if profile_cache is None and cache_sample_runs:
+            profile_cache = DictProfileCache()
+        if profile_cache is not None and profile_key is None:
+            profile_key = self._local_profile_key
         self.runner = SampleRunner(
             engine,
             algorithm,
             sampler=sampler,
             transform=transform,
             engine_config=engine_config,
+            profile_cache=profile_cache if cache_sample_runs else None,
+            profile_key=profile_key if cache_sample_runs else None,
         )
-        # Sample runs are deterministic given (graph, config, ratio), so they
-        # can be reused when the same predictor is asked for several sampling
-        # ratios on the same input (the Figure 7/8 sweeps).
-        self._profile_cache: Dict[tuple, SampleRunProfile] = {}
 
     # ------------------------------------------------------------------ API
     def predict(
@@ -205,21 +219,41 @@ class Predictor:
         return profile.num_iterations
 
     # -------------------------------------------------------------- internals
+    def _local_profile_key(self, graph: DiGraph, config, ratio: float) -> tuple:
+        """Canonical in-process cache key of one sample run.
+
+        Combines the graph's content digest, the checkpoint-style engine
+        fingerprint (PR 9 discipline: trajectory-shaping knobs only, never
+        execution mechanics), the config's content token and the sampling
+        pipeline identity.  ``graph_token`` falls back to ``id()`` for
+        mutable graphs, so the key is process-local -- exactly the scope of
+        this memoisation.
+        """
+        engine_config = self.runner.engine_config
+        return (
+            graph_token(graph),
+            config_fingerprint(
+                engine_config,
+                self.algorithm.name,
+                getattr(graph, "name", ""),
+                engine_config.num_workers or self.engine.cluster.num_workers,
+            ),
+            config_token(config),
+            self.runner.sampler.name,
+            repr(self.runner.sampler.seed),
+            self.runner.transform.name,
+            int(engine_config.max_supersteps),
+            float(ratio),
+        )
+
     def _run_training_samples(
         self, graph: DiGraph, config, sampling_ratio: float
     ) -> Dict[float, SampleRunProfile]:
         ratios = sorted(set(self.training_ratios) | {sampling_ratio})
-        profiles: Dict[float, SampleRunProfile] = {}
-        for ratio in ratios:
-            cache_key = (id(graph), id(config), ratio)
-            if self.cache_sample_runs and cache_key in self._profile_cache:
-                profiles[ratio] = self._profile_cache[cache_key]
-                continue
-            profile = self.runner.run(graph, config, ratio)
-            if self.cache_sample_runs:
-                self._profile_cache[cache_key] = profile
-            profiles[ratio] = profile
-        return profiles
+        # The runner memoises (graph, config, ratio) repeats through its
+        # profile cache, so a sweep over several prediction ratios re-runs
+        # only the ratios it has not seen.
+        return {ratio: self.runner.run(graph, config, ratio) for ratio in ratios}
 
     def _build_training_table(
         self, profiles: Dict[float, SampleRunProfile], dataset: str

@@ -14,7 +14,7 @@ transformed configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.bsp.engine import BSPEngine, EngineConfig
 from repro.bsp.result import RunResult
@@ -59,8 +59,42 @@ class SampleRunProfile:
         return FeatureTable.from_run(self.run, level=level)
 
 
+class DictProfileCache:
+    """Minimal in-process profile cache (an unbounded dict behind get/put).
+
+    Speaks the same ``get``/``put`` protocol as the service's pluggable
+    :class:`~repro.service.cache.CacheBackend`, so a :class:`SampleRunner`
+    takes either interchangeably.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[Any, SampleRunProfile] = {}
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
 class SampleRunner:
-    """Runs an algorithm on samples of a graph, applying the transform function."""
+    """Runs an algorithm on samples of a graph, applying the transform function.
+
+    ``profile_cache`` + ``profile_key`` plug in sample-run memoisation: before
+    executing, ``profile_key(graph, config, ratio)`` keys a ``get`` on the
+    cache, and a finished profile is ``put`` back.  Sample runs are
+    deterministic given (graph, config, ratio) -- the sampler re-seeds per
+    call -- so cached profiles are exact, not approximations.  The predictor
+    uses a per-predictor dict cache; the prediction service shares one
+    canonical-keyed cache across requests (hits/misses are counted on the
+    active tracer as ``sample_run.cache.hit`` / ``.miss``).
+    """
 
     def __init__(
         self,
@@ -69,12 +103,16 @@ class SampleRunner:
         sampler: Optional[VertexSampler] = None,
         transform: Optional[TransformFunction] = None,
         engine_config: Optional[EngineConfig] = None,
+        profile_cache: Optional[Any] = None,
+        profile_key: Optional[Callable[[DiGraph, Any, float], Any]] = None,
     ) -> None:
         self.engine = engine
         self.algorithm = algorithm
         self.sampler = sampler or BiasedRandomJump()
         self.transform = transform or default_transform(algorithm)
         self.engine_config = engine_config or EngineConfig()
+        self.profile_cache = profile_cache
+        self.profile_key = profile_key
 
     def run(self, graph: DiGraph, config, sampling_ratio: float) -> SampleRunProfile:
         """Sample ``graph``, transform ``config`` and execute the sample run."""
@@ -86,6 +124,14 @@ class SampleRunner:
         # otherwise through the ambient tracer (NULL_TRACER when off).
         tracer = self.engine_config.trace
         tracer = tracer if tracer is not None else current_tracer()
+        cache_key = None
+        if self.profile_cache is not None and self.profile_key is not None:
+            cache_key = self.profile_key(graph, config, sampling_ratio)
+            cached = self.profile_cache.get(cache_key)
+            if cached is not None:
+                tracer.counter("sample_run.cache.hit")
+                return cached
+            tracer.counter("sample_run.cache.miss")
         with tracer.span("sample_run") as run_span:
             if tracer.enabled:
                 run_span.set("algorithm", self.algorithm.name)
@@ -109,7 +155,7 @@ class SampleRunner:
                 engine_config=self.engine_config,
             )
             factors = ScalingFactors.from_sample(graph, sample)
-        return SampleRunProfile(
+        profile = SampleRunProfile(
             algorithm=self.algorithm.name,
             graph_name=graph.name,
             sampling_ratio=sampling_ratio,
@@ -118,6 +164,9 @@ class SampleRunner:
             factors=factors,
             sample_config=sample_config,
         )
+        if cache_key is not None:
+            self.profile_cache.put(cache_key, profile)
+        return profile
 
     def run_many(self, graph: DiGraph, config, sampling_ratios) -> List[SampleRunProfile]:
         """Execute sample runs at several sampling ratios (training sweeps)."""

@@ -224,6 +224,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--service",
+        default=None,
+        metavar="SOCKET",
+        help=(
+            "run prediction sweeps (fig4/fig7/fig8 sample runs and "
+            "predictions) as a client of the prediction daemon listening on "
+            "SOCKET (start one with `repro-predict serve`); the daemon must "
+            "share --scale/--workers/--seed for results to match the "
+            "in-process path bit for bit.  Actual runs stay local -- they "
+            "are the ground truth the sweeps compare against"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -284,6 +297,7 @@ def main(argv=None) -> int:
         edge_list=args.edge_list,
         csr_cache=args.csr_cache,
         tracer=tracer,
+        service=args.service,
     ) as ctx:
         # The tracer is also made ambient so cold layers that instrument
         # through current_tracer() (regression, ingest) land in the trace.

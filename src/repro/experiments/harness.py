@@ -121,6 +121,19 @@ class ExperimentContext:
         A :class:`repro.bsp.resilience.FaultPlan` injecting deterministic
         faults into process-backend runs (``--inject-fault``); None (default)
         injects nothing.
+    shared_pools:
+        A process-pool map shared with other engines (the prediction service
+        passes one map to every context it owns).  The context's engine then
+        *borrows* the map -- ``close()`` leaves it alone; the map's owner
+        shuts it down via :meth:`BSPEngine.release_pools`.
+    service:
+        Unix-socket path of a running prediction daemon (``--service`` on
+        the CLI).  When set, :meth:`predictor` and :meth:`sample_runner`
+        return service-backed adapters instead of in-process objects, so
+        the prediction sweeps (Figures 4/7/8) execute as daemon clients --
+        bit-identically, when daemon and context share scale/seed/worker
+        settings.  Actual runs stay local (they are the ground truth the
+        sweeps compare against).
     """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
@@ -143,8 +156,11 @@ class ExperimentContext:
     checkpoint_dir: Optional[str] = None
     barrier_timeout_s: Optional[float] = None
     fault_plan: Optional[object] = None
+    shared_pools: Optional[Dict] = None
+    service: Optional[str] = None
 
     _engine: BSPEngine = field(init=False, repr=False, default=None)
+    _service_client: Optional[object] = field(init=False, repr=False, default=None)
     _actual_runs: Dict[Tuple[str, str, str], RunResult] = field(
         init=False, repr=False, default_factory=dict
     )
@@ -154,11 +170,18 @@ class ExperimentContext:
     )
 
     def __post_init__(self) -> None:
-        self._engine = BSPEngine(cluster=self.cluster, cost_profile=self.cost_profile)
+        self._engine = BSPEngine(
+            cluster=self.cluster,
+            cost_profile=self.cost_profile,
+            shared_pools=self.shared_pools,
+        )
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Release held resources (the engine's cached process pools)."""
+        """Release held resources (process pools, the service connection)."""
+        if self._service_client is not None:
+            self._service_client.close()
+            self._service_client = None
         self._engine.close_pools()
 
     def __enter__(self) -> "ExperimentContext":
@@ -231,19 +254,50 @@ class ExperimentContext:
         """Instantiate a sampler with a context-derived seed."""
         return sampler_by_name(name, seed=derive_seed(self.seed, f"sampler-{name}"))
 
+    def service_client(self):
+        """The lazily-opened client of the configured prediction daemon."""
+        if self.service is None:
+            raise ConfigurationError("this context has no service socket configured")
+        if self._service_client is None:
+            from repro.service.client import PredictionClient
+
+            self._service_client = PredictionClient(self.service)
+        return self._service_client
+
     def sample_runner(
         self,
         algorithm,
         sampler_name: str = "BRJ",
         transform: Optional[TransformFunction] = None,
-    ) -> SampleRunner:
-        """A :class:`SampleRunner` wired to the context's engine and seeds."""
+        profile_cache=None,
+        profile_key=None,
+    ):
+        """A :class:`SampleRunner` wired to the context's engine and seeds.
+
+        With :attr:`service` set, returns a
+        :class:`~repro.service.client.ServiceSampleRunner` executing on the
+        daemon instead (``transform`` and cache plumbing are daemon-side
+        concerns there and must be left at their defaults).
+        """
+        if self.service is not None:
+            from repro.service.client import ServiceSampleRunner
+
+            if transform is not None or profile_cache is not None:
+                raise ConfigurationError(
+                    "transform/profile_cache are daemon-side settings when "
+                    "running against a prediction service"
+                )
+            return ServiceSampleRunner(
+                self.service_client(), algorithm, sampler_name=sampler_name
+            )
         return SampleRunner(
             self.engine,
             algorithm,
             sampler=self.sampler(sampler_name),
             transform=transform,
             engine_config=self.engine_config(),
+            profile_cache=profile_cache,
+            profile_key=profile_key,
         )
 
     def predictor(
@@ -253,8 +307,35 @@ class ExperimentContext:
         history: Optional[HistoryStore] = None,
         training_ratios: Sequence[float] = PAPER_TRAINING_RATIOS,
         transform: Optional[TransformFunction] = None,
-    ) -> Predictor:
-        """A :class:`Predictor` wired to the context's engine and seeds."""
+        profile_cache=None,
+        profile_key=None,
+    ):
+        """A :class:`Predictor` wired to the context's engine and seeds.
+
+        With :attr:`service` set, returns a
+        :class:`~repro.service.client.ServicePredictor` asking the daemon
+        instead.  A supplied ``history`` store travels as its *dataset
+        names*: the daemon rebuilds the actual runs itself (deterministic,
+        so the training tables match the local ones bit for bit).
+        """
+        if self.service is not None:
+            from repro.service.client import ServicePredictor
+
+            if transform is not None or profile_cache is not None:
+                raise ConfigurationError(
+                    "transform/profile_cache are daemon-side settings when "
+                    "running against a prediction service"
+                )
+            history_datasets = (
+                history.datasets(algorithm.name) if history is not None else ()
+            )
+            return ServicePredictor(
+                self.service_client(),
+                algorithm,
+                sampler_name=sampler_name,
+                history_datasets=history_datasets,
+                training_ratios=training_ratios,
+            )
         return Predictor(
             self.engine,
             algorithm,
@@ -263,6 +344,8 @@ class ExperimentContext:
             history=history,
             training_ratios=training_ratios,
             engine_config=self.engine_config(),
+            profile_cache=profile_cache,
+            profile_key=profile_key,
         )
 
     # ----------------------------------------------------------- actual runs

@@ -160,6 +160,16 @@ class Tracer:
             (name, track if track is not None else self.track, now, float(value))
         )
 
+    def merge_counters(self, totals: Dict[str, float], prefix: str = "") -> None:
+        """Fold a ``name -> total`` mapping into the counters.
+
+        Used by subsystems keeping their own accounting (the prediction
+        service's cache backends) to land their totals in the trace summary
+        at shutdown, optionally namespaced with ``prefix``.
+        """
+        for name, value in totals.items():
+            self.counter(f"{prefix}{name}", value)
+
     # ------------------------------------------------- cross-process shipping
     def drain(self) -> List[SpanRecord]:
         """Pop all closed spans as picklable wall-clock records.
@@ -245,6 +255,9 @@ class NullTracer:
         return NULL_SPAN
 
     def counter(self, name: str, value: float = 1) -> None:
+        return None
+
+    def merge_counters(self, totals: Dict[str, float], prefix: str = "") -> None:
         return None
 
     def gauge(self, name: str, value: float, track: Optional[str] = None) -> None:

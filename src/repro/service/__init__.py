@@ -1,0 +1,62 @@
+"""Prediction-as-a-service: the long-lived predictor daemon and its client.
+
+See ``docs/SERVICE.md``.  Submodules:
+
+- :mod:`repro.service.canonical` -- request vocabulary and config hashing
+- :mod:`repro.service.cache` -- pluggable result caches (LRU / sqlite)
+- :mod:`repro.service.protocol` -- length-prefixed JSON framing
+- :mod:`repro.service.daemon` -- :class:`PredictionService` + asyncio daemon
+- :mod:`repro.service.client` -- synchronous client + harness adapters
+- :mod:`repro.service.cli` -- the ``repro-predict`` command
+
+Heavyweight submodules (daemon pulls in the whole experiment stack) load
+lazily: ``from repro.service import PredictionClient`` does not import the
+engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "PredictRequest",
+    "PredictionClient",
+    "PredictionDaemon",
+    "PredictionService",
+    "RemoteError",
+    "ServicePredictor",
+    "ServiceSampleRunner",
+    "cache_by_name",
+]
+
+_LAZY = {
+    "PredictRequest": ("repro.service.canonical", "PredictRequest"),
+    "cache_by_name": ("repro.service.cache", "cache_by_name"),
+    "PredictionClient": ("repro.service.client", "PredictionClient"),
+    "RemoteError": ("repro.service.client", "RemoteError"),
+    "ServicePredictor": ("repro.service.client", "ServicePredictor"),
+    "ServiceSampleRunner": ("repro.service.client", "ServiceSampleRunner"),
+    "PredictionDaemon": ("repro.service.daemon", "PredictionDaemon"),
+    "PredictionService": ("repro.service.daemon", "PredictionService"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.service.cache import cache_by_name
+    from repro.service.canonical import PredictRequest
+    from repro.service.client import (
+        PredictionClient,
+        RemoteError,
+        ServicePredictor,
+        ServiceSampleRunner,
+    )
+    from repro.service.daemon import PredictionDaemon, PredictionService
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

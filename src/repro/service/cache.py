@@ -1,0 +1,291 @@
+"""Pluggable result caches for the prediction service.
+
+Two granularities of value land here (see :mod:`repro.service.canonical`):
+whole wire-format predictions (JSON-safe dicts) and per-ratio sample-run
+profiles (arbitrary picklable objects).  The backends therefore speak
+*Python objects*; the sqlite backend pickles transparently.
+
+Backends
+--------
+``InMemoryLRUCache``
+    Bounded ``OrderedDict`` with least-recently-used eviction.  The default:
+    zero configuration, per-daemon lifetime.
+``SqliteCache``
+    One-file persistent cache (stdlib ``sqlite3``): a daemon restart keeps
+    its warm predictions.  Keys are text, values pickled blobs, upserts
+    atomic (``INSERT OR REPLACE`` inside sqlite's own journal).
+
+Both are thread-safe: the daemon executes predictions on a thread pool, and
+the in-process differential tests hammer the caches from several threads.
+
+``cache_by_name`` parses the CLI/server spec strings::
+
+    memory            in-memory LRU, default capacity
+    memory:512        in-memory LRU, capacity 512
+    sqlite:/path.db   sqlite backend at /path.db
+    none              disabled (NullCache)
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "CacheBackend",
+    "InMemoryLRUCache",
+    "NullCache",
+    "SqliteCache",
+    "cache_by_name",
+]
+
+#: Sentinel distinguishing "missing" from a cached ``None`` (never stored,
+#: but the API should not be a trap).
+_MISS = object()
+
+
+class CacheBackend:
+    """Interface shared by every cache backend.
+
+    Subclasses implement ``_get``/``_put``/``_delete``/``_keys``/``_len``;
+    the base class provides locking and hit/miss accounting so the service's
+    ``stats`` verb reports uniformly across backends.
+    """
+
+    #: Human-readable backend kind (``status`` verb).
+    kind = "abstract"
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------- API
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value for ``key``, or ``default``."""
+        with self._lock:
+            value = self._get(key)
+            if value is _MISS:
+                self.misses += 1
+                return default
+            self.hits += 1
+            return value
+
+    def contains(self, key: str) -> bool:
+        """True when ``key`` is cached (does not count as a hit/miss)."""
+        with self._lock:
+            return self._get(key) is not _MISS
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (last write wins)."""
+        with self._lock:
+            self.puts += 1
+            self._put(key, value)
+
+    def delete(self, key: str) -> None:
+        """Drop ``key`` if present."""
+        with self._lock:
+            self._delete(key)
+
+    def clear(self) -> None:
+        """Drop every entry (accounting is kept)."""
+        with self._lock:
+            for key in list(self._keys()):
+                self._delete(key)
+
+    def keys(self) -> List[str]:
+        """All cached keys (snapshot)."""
+        with self._lock:
+            return list(self._keys())
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/size accounting for the ``stats`` verb."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "entries": self._len(),
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+            }
+
+    def close(self) -> None:
+        """Release backend resources (connections); idempotent."""
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._len()
+
+    # ------------------------------------------------------------- backend
+    def _get(self, key: str) -> Any:
+        raise NotImplementedError
+
+    def _put(self, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def _delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def _keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def _len(self) -> int:
+        raise NotImplementedError
+
+
+class NullCache(CacheBackend):
+    """Caching disabled: every get misses, every put is dropped."""
+
+    kind = "none"
+
+    def _get(self, key: str) -> Any:
+        return _MISS
+
+    def _put(self, key: str, value: Any) -> None:
+        return None
+
+    def _delete(self, key: str) -> None:
+        return None
+
+    def _keys(self) -> Iterator[str]:
+        return iter(())
+
+    def _len(self) -> int:
+        return 0
+
+
+class InMemoryLRUCache(CacheBackend):
+    """Bounded in-memory cache with least-recently-used eviction."""
+
+    kind = "memory"
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
+
+    def _get(self, key: str) -> Any:
+        if key not in self._data:
+            return _MISS
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def _put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def _delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def _keys(self) -> Iterator[str]:
+        return iter(list(self._data))
+
+    def _len(self) -> int:
+        return len(self._data)
+
+
+class SqliteCache(CacheBackend):
+    """Persistent cache over one sqlite file; values are pickled blobs.
+
+    A single connection (``check_same_thread=False``) is shared under the
+    base-class lock -- the daemon's executor threads serialise through it.
+    Writes commit immediately, so a SIGKILLed daemon loses at most the
+    in-flight upsert (sqlite's journal keeps the file consistent).
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: str, table: str = "repro_cache") -> None:
+        super().__init__()
+        if not table.replace("_", "").isalnum():
+            raise ConfigurationError(f"invalid cache table name {table!r}")
+        self.path = str(path)
+        self.table = table
+        self._conn: Optional[sqlite3.Connection] = sqlite3.connect(
+            self.path, check_same_thread=False
+        )
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {self.table} ("
+            "key TEXT PRIMARY KEY, value BLOB NOT NULL, created REAL NOT NULL)"
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------- backend
+    def _cursor(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise ConfigurationError(f"sqlite cache {self.path!r} is closed")
+        return self._conn
+
+    def _get(self, key: str) -> Any:
+        row = self._cursor().execute(
+            f"SELECT value FROM {self.table} WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return _MISS
+        return pickle.loads(row[0])
+
+    def _put(self, key: str, value: Any) -> None:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        conn = self._cursor()
+        conn.execute(
+            f"INSERT OR REPLACE INTO {self.table} (key, value, created) VALUES (?, ?, ?)",
+            (key, sqlite3.Binary(blob), time.time()),
+        )
+        conn.commit()
+
+    def _delete(self, key: str) -> None:
+        conn = self._cursor()
+        conn.execute(f"DELETE FROM {self.table} WHERE key = ?", (key,))
+        conn.commit()
+
+    def _keys(self) -> Iterator[str]:
+        rows = self._cursor().execute(f"SELECT key FROM {self.table}").fetchall()
+        return iter([row[0] for row in rows])
+
+    def _len(self) -> int:
+        row = self._cursor().execute(f"SELECT COUNT(*) FROM {self.table}").fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+
+def cache_by_name(spec: Optional[str], default_capacity: int = 256) -> CacheBackend:
+    """Build a cache backend from a CLI spec string (see module docstring)."""
+    if spec is None or spec == "" or spec == "memory":
+        return InMemoryLRUCache(default_capacity)
+    if spec == "none":
+        return NullCache()
+    name, _, arg = spec.partition(":")
+    if name == "memory":
+        try:
+            capacity = int(arg)
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid memory cache capacity {arg!r} (expected an integer)"
+            ) from None
+        return InMemoryLRUCache(capacity)
+    if name == "sqlite":
+        if not arg:
+            raise ConfigurationError("sqlite cache spec needs a path: sqlite:/path.db")
+        return SqliteCache(arg)
+    raise ConfigurationError(
+        f"unknown cache backend {spec!r}; expected memory[:N], sqlite:PATH or none"
+    )

@@ -1,0 +1,222 @@
+"""Canonical request identity: the config hashes behind the service cache.
+
+The prediction service promises "identical question, identical answer, paid
+for once".  That promise rests on a *canonical* request representation:
+
+* **Deterministic.**  The canonical payload is a JSON object serialised with
+  sorted keys, so insertion order of the request fields never changes the
+  hash, and the hash is stable across interpreter restarts (``sha256`` over
+  bytes -- never ``hash()``, which is salted per process).
+* **Trajectory-complete.**  Everything that can change a prediction is in the
+  payload: the algorithm and its configuration, the dataset identity (name,
+  scale, generator seed -- or the content digest of an ingested graph), the
+  sampling technique and ratios, the transform, the simulated cluster, the
+  worker count, the runtime-noise seed and the superstep budget.
+* **Mechanics-free.**  Following the checkpoint-fingerprint discipline of
+  :func:`repro.bsp.resilience.config_fingerprint`, pure *execution strategy*
+  -- backend, process count, kernel tier, threads, tracing, checkpointing --
+  is deliberately excluded: those knobs are bit-identical by construction
+  (the differential suites enforce it), so a prediction computed inline may
+  be served from cache to a process-backend client and vice versa.
+
+Two key granularities exist:
+
+``prediction_key``
+    One whole :class:`~repro.core.predictor.Prediction` (training sweep +
+    regression + extrapolation).  Cache unit of the ``predict`` verb.
+``profile_key``
+    One sample-run profile at one sampling ratio.  Requests that *overlap*
+    (e.g. two sweeps sharing training ratios) miss the prediction cache but
+    reuse every per-ratio profile they have in common, so only the missing
+    cells execute.  ``profile_key`` drops the fields that only affect
+    training-table assembly (training ratios, history, feature level):
+    they cannot change what a single sample run observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.utils.canonical import canonical_hash, config_token, graph_token, jsonable
+
+__all__ = [
+    "PredictRequest",
+    "canonical_hash",
+    "config_token",
+    "graph_token",
+    "prediction_key",
+    "profile_key",
+    "sample_key",
+]
+
+# The hashing primitives (canonical_hash / graph_token / config_token) live
+# in repro.utils.canonical so the in-process predictor can key its own
+# memoisation identically without importing the service layer; this module
+# re-exports them and adds the wire-level request vocabulary on top.
+_jsonable = jsonable
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One canonicalised ``predict`` question.
+
+    This is the wire vocabulary of the service: everything is a name, a
+    number or a plain dict -- never a live object -- so a request serialises
+    to JSON, hashes deterministically and can be resolved by a daemon that
+    shares nothing with the client but the codebase.
+
+    Attributes
+    ----------
+    dataset:
+        Stand-in dataset name (resolved by the daemon's experiment context).
+    algorithm:
+        Canonical algorithm name or alias (``repro.algorithms.registry``).
+    sampling_ratio:
+        The prediction ratio.
+    training_ratios:
+        Ratios of the training sweep (the paper's defaults when omitted).
+    config:
+        ``{"values": {scalar config fields}, "needs_ranks": bool}`` --
+        ``needs_ranks`` asks the daemon to attach its own PageRank output
+        (top-k ranking's input) before running.  None means the algorithm
+        default.
+    sampler:
+        Sampler name (``"BRJ"``/``"RJ"``/``"MHRW"``; registry names).
+    history:
+        Dataset names whose *actual runs* augment the training table
+        (Figures 7b/8b).  The daemon executes/caches those runs itself.
+    feature_level:
+        Feature extraction level (``"critical"`` or ``"graph"``).
+    budget:
+        Superstep budget for every run of this request (None: the daemon's
+        default).  Part of the hash -- a tighter budget can truncate
+        convergence and change the answer.
+    cluster:
+        Overrides of the simulated :class:`~repro.cluster.spec.ClusterSpec`
+        (``num_nodes``, ``workers_per_node``, ``worker_memory_bytes``,
+        ``network_bandwidth_bytes_per_s``, ``local_bandwidth_bytes_per_s``).
+    """
+
+    dataset: str
+    algorithm: str
+    sampling_ratio: float = 0.1
+    training_ratios: Optional[Tuple[float, ...]] = None
+    config: Optional[Dict[str, Any]] = None
+    sampler: str = "BRJ"
+    history: Tuple[str, ...] = ()
+    feature_level: str = "critical"
+    budget: Optional[int] = None
+    cluster: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.training_ratios is not None:
+            object.__setattr__(
+                self, "training_ratios", tuple(float(r) for r in self.training_ratios)
+            )
+        object.__setattr__(self, "history", tuple(self.history))
+        object.__setattr__(self, "cluster", dict(self.cluster or {}))
+
+    # ------------------------------------------------------------------ wire
+    def to_wire(self) -> Dict[str, Any]:
+        """Plain-dict form for the JSON frame."""
+        wire: Dict[str, Any] = {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "sampling_ratio": float(self.sampling_ratio),
+            "sampler": self.sampler,
+            "feature_level": self.feature_level,
+        }
+        if self.training_ratios is not None:
+            wire["training_ratios"] = list(self.training_ratios)
+        if self.config is not None:
+            wire["config"] = _jsonable(self.config)
+        if self.history:
+            wire["history"] = list(self.history)
+        if self.budget is not None:
+            wire["budget"] = int(self.budget)
+        if self.cluster:
+            wire["cluster"] = _jsonable(self.cluster)
+        return wire
+
+    @classmethod
+    def from_wire(cls, params: Dict[str, Any]) -> "PredictRequest":
+        """Rebuild a request from a JSON frame's parameter dict."""
+        known = {
+            "dataset", "algorithm", "sampling_ratio", "training_ratios",
+            "config", "sampler", "history", "feature_level", "budget",
+            "cluster",
+        }
+        unknown = set(params) - known
+        if unknown:
+            raise ValueError(f"unknown predict parameter(s): {', '.join(sorted(unknown))}")
+        if "dataset" not in params or "algorithm" not in params:
+            raise ValueError("predict requires 'dataset' and 'algorithm'")
+        kwargs = dict(params)
+        if "training_ratios" in kwargs and kwargs["training_ratios"] is not None:
+            kwargs["training_ratios"] = tuple(kwargs["training_ratios"])
+        if "history" in kwargs:
+            kwargs["history"] = tuple(kwargs["history"] or ())
+        return cls(**kwargs)
+
+
+def _context_payload(context_params: Dict[str, Any]) -> Dict[str, Any]:
+    """The context-level fields every key granularity shares.
+
+    ``context_params`` comes from the serving side
+    (:meth:`PredictionService.canonical_context`): dataset scale, master
+    seed, worker count, transform name, cluster spec, runtime seed and the
+    engine's trajectory-shaping flags.  Execution mechanics never appear
+    here -- see the module docstring.
+    """
+    return {str(k): _jsonable(v) for k, v in context_params.items()}
+
+
+def prediction_key(request: PredictRequest, context_params: Dict[str, Any]) -> str:
+    """Cache key of one whole prediction."""
+    payload = _context_payload(context_params)
+    payload.update(
+        kind="prediction",
+        dataset=request.dataset,
+        algorithm=request.algorithm,
+        sampling_ratio=float(request.sampling_ratio),
+        training_ratios=(
+            list(request.training_ratios) if request.training_ratios is not None else None
+        ),
+        config=_jsonable(request.config),
+        sampler=request.sampler,
+        history=list(request.history),
+        feature_level=request.feature_level,
+        budget=request.budget,
+        cluster=_jsonable(request.cluster),
+    )
+    return "prediction:" + canonical_hash(payload)
+
+
+def profile_key(
+    request: PredictRequest, context_params: Dict[str, Any], ratio: float
+) -> str:
+    """Cache key of one sample-run profile at ``ratio``.
+
+    Drops everything that only affects training-table assembly
+    (``training_ratios``, ``history``, ``feature_level``, the prediction
+    ratio): two sweeps that overlap at ``ratio`` share this key and
+    therefore share the sample run.
+    """
+    payload = _context_payload(context_params)
+    payload.update(
+        kind="profile",
+        dataset=request.dataset,
+        algorithm=request.algorithm,
+        config=_jsonable(request.config),
+        sampler=request.sampler,
+        budget=request.budget,
+        cluster=_jsonable(request.cluster),
+        ratio=float(ratio),
+    )
+    return "profile:" + canonical_hash(payload)
+
+
+def sample_key(request: PredictRequest, context_params: Dict[str, Any]) -> str:
+    """Cache key of the ``sample_run`` verb (profile summary at one ratio)."""
+    return "sample:" + profile_key(request, context_params, request.sampling_ratio)

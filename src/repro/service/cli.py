@@ -1,0 +1,285 @@
+"""``repro-predict``: command-line front end of the prediction service.
+
+Subcommands::
+
+    repro-predict serve   start the daemon on a unix socket
+    repro-predict ask     request one prediction (human or JSON output)
+    repro-predict sample  request one sample-run profile summary
+    repro-predict status  daemon liveness/configuration
+    repro-predict stats   counters + cache accounting
+    repro-predict clear-cache
+    repro-predict ping
+    repro-predict shutdown
+
+Run as ``python -m repro.service`` or via the ``repro-predict`` console
+script.  ``docs/SERVICE.md`` documents the wire protocol and deployment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.service.cache import cache_by_name
+from repro.service.canonical import PredictRequest
+from repro.service.client import PredictionClient, RemoteError
+from repro.service.daemon import DEFAULT_SOCKET, PredictionDaemon, PredictionService
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-predict",
+        description="PREDIcT prediction service: runtime estimates before you run.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="start the prediction daemon")
+    serve.add_argument("--socket", default=DEFAULT_SOCKET, help="unix socket path")
+    serve.add_argument("--scale", type=float, default=1.0, help="dataset scale")
+    serve.add_argument("--workers", type=int, default=8, help="BSP workers per run")
+    serve.add_argument("--seed", type=int, default=42, help="master seed")
+    serve.add_argument(
+        "--max-supersteps", type=int, default=200, help="default superstep budget"
+    )
+    serve.add_argument(
+        "--backend", choices=("inline", "process"), default="inline",
+        help="execution backend for sample and actual runs",
+    )
+    serve.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes of the process backend",
+    )
+    serve.add_argument("--partitioner", default="hash", help="partitioning strategy")
+    serve.add_argument(
+        "--cache", default="memory",
+        help="prediction cache backend: memory[:N], sqlite:PATH or none",
+    )
+    serve.add_argument(
+        "--profile-cache", default="memory:512",
+        help="per-ratio sample-run profile cache backend (same spec syntax)",
+    )
+    serve.add_argument(
+        "--csr-cache", default=None, help="directory of the on-disk CSR dataset cache"
+    )
+    serve.add_argument(
+        "--rpc-workers", type=int, default=2,
+        help="daemon threads executing predict/sample_run requests",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="record tracer spans/counters; print the summary on shutdown",
+    )
+
+    def add_client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--socket", default=DEFAULT_SOCKET, help="unix socket path")
+        p.add_argument("--timeout", type=float, default=None, help="socket timeout (s)")
+        p.add_argument(
+            "--wait", type=float, default=None, metavar="SECONDS",
+            help="wait up to SECONDS for the daemon socket to come up",
+        )
+
+    def add_request_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("dataset", help="dataset name (e.g. livejournal)")
+        p.add_argument("algorithm", help="algorithm name or alias (e.g. pagerank, sc)")
+        p.add_argument("--ratio", type=float, default=0.1, help="sampling ratio")
+        p.add_argument(
+            "--training-ratios", type=float, nargs="+", default=None,
+            help="training sweep ratios (default: the paper's)",
+        )
+        p.add_argument("--sampler", default="BRJ", help="sampling technique")
+        p.add_argument(
+            "--history", nargs="+", default=(),
+            help="datasets whose actual runs augment the training table",
+        )
+        p.add_argument(
+            "--budget", type=int, default=None, help="superstep budget override"
+        )
+        p.add_argument(
+            "--set", dest="config_values", action="append", default=[],
+            metavar="FIELD=VALUE", help="algorithm config override (repeatable)",
+        )
+        p.add_argument(
+            "--needs-ranks", action="store_true",
+            help="attach the daemon's PageRank output to the config (top-k)",
+        )
+        p.add_argument(
+            "--cluster-nodes", type=int, default=None,
+            help="override the simulated cluster's node count",
+        )
+        p.add_argument(
+            "--workers-per-node", type=int, default=None,
+            help="override the simulated cluster's workers per node",
+        )
+        p.add_argument("--json", action="store_true", help="print raw JSON")
+
+    ask = sub.add_parser("ask", help="request one prediction")
+    add_client_args(ask)
+    add_request_args(ask)
+
+    sample = sub.add_parser("sample", help="request one sample-run summary")
+    add_client_args(sample)
+    add_request_args(sample)
+
+    for name, help_text in (
+        ("status", "daemon liveness and configuration"),
+        ("stats", "service counters and cache accounting"),
+        ("clear-cache", "drop the daemon's caches"),
+        ("ping", "liveness check"),
+        ("shutdown", "stop the daemon cleanly"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        add_client_args(p)
+
+    return parser
+
+
+def _parse_value(text: str):
+    """Best-effort typed parse of a --set FIELD=VALUE override."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _request_from_args(args: argparse.Namespace) -> PredictRequest:
+    values = {}
+    for item in args.config_values:
+        field, _, value = item.partition("=")
+        if not _ or not field:
+            raise SystemExit(f"--set expects FIELD=VALUE, got {item!r}")
+        values[field] = _parse_value(value)
+    config = None
+    if values or args.needs_ranks:
+        config = {"values": values, "needs_ranks": args.needs_ranks}
+    cluster = {}
+    if args.cluster_nodes is not None:
+        cluster["num_nodes"] = args.cluster_nodes
+    if args.workers_per_node is not None:
+        cluster["workers_per_node"] = args.workers_per_node
+    return PredictRequest(
+        dataset=args.dataset,
+        algorithm=args.algorithm,
+        sampling_ratio=args.ratio,
+        training_ratios=args.training_ratios,
+        config=config,
+        sampler=args.sampler,
+        history=tuple(args.history),
+        budget=args.budget,
+        cluster=cluster,
+    )
+
+
+def _serve(args: argparse.Namespace) -> int:
+    tracer = None
+    if args.trace:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+    service = PredictionService(
+        dataset_scale=args.scale,
+        num_workers=args.workers,
+        seed=args.seed,
+        max_supersteps=args.max_supersteps,
+        partitioner_name=args.partitioner,
+        backend=args.backend,
+        processes=args.processes,
+        prediction_cache=cache_by_name(args.cache),
+        profile_cache=cache_by_name(args.profile_cache, default_capacity=512),
+        tracer=tracer,
+        csr_cache=args.csr_cache,
+    )
+    daemon = PredictionDaemon(service, args.socket, max_workers=args.rpc_workers)
+    print(f"repro-predict: serving on {args.socket} "
+          f"(backend={args.backend}, scale={args.scale}, seed={args.seed})")
+    sys.stdout.flush()
+    daemon.serve_forever()
+    if tracer is not None:
+        from repro.obs.export import summary_table
+
+        print(summary_table(tracer))
+    print("repro-predict: daemon stopped")
+    return 0
+
+
+def _print_prediction(result: dict) -> None:
+    print(f"{result['algorithm']} on {result['dataset']} "
+          f"(ratio {result['sampling_ratio']}, cache {result.get('cache', '?')})")
+    print(f"  predicted iterations : {result['predicted_iterations']}")
+    print(f"  predicted runtime    : {result['predicted_superstep_runtime']:.2f} s "
+          f"(superstep phase, simulated)")
+    print(f"  scaling factors      : eV={result['vertex_scaling_factor']:.3f} "
+          f"eE={result['edge_scaling_factor']:.3f}")
+    print(f"  cost model           : R^2={result['r_squared']:.4f} "
+          f"features={result['selected_features']}")
+    print(f"  training observations: {result['training_observations']} "
+          f"(history: {result['used_history']})")
+    print(f"  config hash          : {result['config_hash']}")
+
+
+def _print_sample(result: dict) -> None:
+    print(f"sample run: {result['algorithm']} on {result['dataset']} "
+          f"(ratio {result['sampling_ratio']}, cache {result.get('cache', '?')})")
+    print(f"  iterations      : {result['num_iterations']}")
+    print(f"  sample size     : {result['sample_vertices']} vertices / "
+          f"{result['sample_edges']} edges")
+    print(f"  runtime         : {result['total_runtime']:.2f} s (simulated)")
+    print(f"  scaling factors : eV={result['vertex_scaling_factor']:.3f} "
+          f"eE={result['edge_scaling_factor']:.3f}")
+    print(f"  config hash     : {result['config_hash']}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
+
+    client = PredictionClient(args.socket, timeout=args.timeout)
+    try:
+        if args.wait is not None:
+            client.wait_until_ready(timeout=args.wait)
+        with client:
+            if args.command == "ask":
+                result = client.predict(_request_from_args(args))
+                if args.json:
+                    print(json.dumps(result, indent=2, sort_keys=True))
+                else:
+                    _print_prediction(result)
+            elif args.command == "sample":
+                result = client.sample_run(_request_from_args(args))
+                if args.json:
+                    print(json.dumps(result, indent=2, sort_keys=True))
+                else:
+                    _print_sample(result)
+            elif args.command == "status":
+                print(json.dumps(client.status(), indent=2, sort_keys=True))
+            elif args.command == "stats":
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            elif args.command == "clear-cache":
+                print(json.dumps(client.clear_cache(), sort_keys=True))
+            elif args.command == "ping":
+                print(client.ping())
+            elif args.command == "shutdown":
+                print(client.shutdown())
+    except TimeoutError as exc:
+        print(f"repro-predict: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError:
+        print(f"repro-predict: no daemon at {args.socket} "
+              "(start one with: repro-predict serve)", file=sys.stderr)
+        return 1
+    except ConnectionRefusedError:
+        print(f"repro-predict: stale socket at {args.socket}, daemon not running",
+              file=sys.stderr)
+        return 1
+    except RemoteError as exc:
+        print(f"repro-predict: daemon error [{exc.kind}]: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

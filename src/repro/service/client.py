@@ -1,0 +1,408 @@
+"""Synchronous client of the prediction daemon, plus harness adapters.
+
+:class:`PredictionClient` is the thin wire client: one unix-socket
+connection, blocking length-prefixed JSON frames, one method per daemon
+verb.  Server-side failures surface as :class:`RemoteError` carrying the
+original exception class name.
+
+:class:`ServicePredictor` and :class:`ServiceSampleRunner` adapt the wire
+client to the in-process interfaces the experiments code consumes
+(:class:`~repro.core.predictor.Predictor` / :class:`~repro.core.sample_run.SampleRunner`),
+so the Figure 4/7/8 sweeps run unchanged against a daemon -- the
+``--service`` flag of the experiments CLI swaps them in via
+:class:`~repro.experiments.harness.ExperimentContext`.  The adapters send
+*names* over the wire (dataset, algorithm, sampler, config field values);
+the daemon resolves them against its own datasets and PageRank outputs,
+which is what makes the answers bit-identical to the in-process path when
+client and daemon share scale/seed/worker settings.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.service.canonical import PredictRequest
+from repro.service.protocol import ProtocolError, read_frame, write_frame
+
+__all__ = [
+    "PredictionClient",
+    "RemoteError",
+    "ServicePrediction",
+    "ServicePredictor",
+    "ServiceSampleRunner",
+]
+
+
+class RemoteError(ReproError):
+    """An error reported by the daemon (original class name in ``kind``)."""
+
+    def __init__(self, message: str, kind: str = "Exception") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class PredictionClient:
+    """Blocking unix-socket client of a :class:`PredictionDaemon`.
+
+    A client keeps one persistent connection (thread-safe behind a lock --
+    frames are request/response, so serialising calls is correct) and
+    reconnects lazily after the daemon restarts.
+    """
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = None) -> None:
+        import threading
+
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ connection
+    def connect(self) -> "PredictionClient":
+        """Open the connection (idempotent)."""
+        with self._lock:
+            self._ensure_connected()
+        return self
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if self.timeout is not None:
+                sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+
+    def __enter__(self) -> "PredictionClient":
+        # Lazy: the first call connects.  Eager connects would race a daemon
+        # that has not bound its socket yet (use ``wait_until_ready``).
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def wait_until_ready(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Block until the daemon answers ``ping`` (daemon start-up races)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                self.ping()
+                return
+            except (OSError, ProtocolError, RemoteError) as exc:
+                last_error = exc
+                self.close()
+                time.sleep(interval)
+        raise TimeoutError(
+            f"daemon at {self.socket_path} not ready after {timeout}s: {last_error}"
+        )
+
+    # ------------------------------------------------------------------ wire
+    def call(self, verb: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Send one request frame and return the daemon's ``result``."""
+        with self._lock:
+            sock = self._ensure_connected()
+            try:
+                write_frame(sock, {"verb": verb, "params": params or {}})
+                response = read_frame(sock)
+            except (OSError, ProtocolError):
+                # Drop the broken connection so the next call reconnects.
+                self.close_unlocked()
+                raise
+        if response is None:
+            self.close()
+            raise ProtocolError("daemon closed the connection without responding")
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ProtocolError(f"malformed response frame: {response!r}")
+        if not response["ok"]:
+            raise RemoteError(
+                response.get("error", "unknown daemon error"),
+                kind=response.get("error_kind", "Exception"),
+            )
+        return response.get("result")
+
+    def close_unlocked(self) -> None:
+        """Close without taking the lock (only from within locked sections)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    # ----------------------------------------------------------------- verbs
+    def ping(self) -> str:
+        """Liveness check."""
+        return self.call("ping")
+
+    def predict(
+        self, request: Optional[PredictRequest] = None, **params: Any
+    ) -> Dict[str, Any]:
+        """One prediction (wire-shaped dict; ``result["cache"]`` says how).
+
+        Accepts a :class:`PredictRequest` or the request fields as keyword
+        arguments (``client.predict(dataset="livejournal", algorithm="pagerank")``).
+        """
+        if request is None:
+            request = PredictRequest.from_wire(params)
+        return self.call("predict", request.to_wire())
+
+    def sample_run(
+        self, request: Optional[PredictRequest] = None, **params: Any
+    ) -> Dict[str, Any]:
+        """One sample-run profile summary at ``request.sampling_ratio``."""
+        if request is None:
+            request = PredictRequest.from_wire(params)
+        return self.call("sample_run", request.to_wire())
+
+    def status(self) -> Dict[str, Any]:
+        """Daemon liveness/configuration summary."""
+        return self.call("status")
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters and cache accounting."""
+        return self.call("stats")
+
+    def clear_cache(self) -> Dict[str, int]:
+        """Drop the daemon's prediction and profile caches."""
+        return self.call("clear_cache")
+
+    def shutdown(self) -> str:
+        """Ask the daemon to shut down cleanly."""
+        result = self.call("shutdown")
+        self.close()
+        return result
+
+
+# --------------------------------------------------------------------- adapters
+class _RemoteCostModel:
+    """Read-only stand-in for a fitted :class:`~repro.core.cost_model.CostModel`."""
+
+    def __init__(self, r_squared: float, selected_features: List[str], description: Dict[str, Any]) -> None:
+        self.r_squared = r_squared
+        self.selected_features = list(selected_features)
+        self._description = dict(description)
+
+    def describe(self) -> Dict[str, Any]:
+        return dict(self._description)
+
+
+class _RemoteRun:
+    """Convergence view of a remote sample run (duck-types ``RunResult``
+    where the figure helpers need it: ``convergence_history``,
+    ``num_iterations``, the runtime totals)."""
+
+    def __init__(self, wire: Dict[str, Any]) -> None:
+        self.convergence_history = list(wire["convergence_history"])
+        self.num_iterations = int(wire["num_iterations"])
+        self.superstep_runtime = float(wire["superstep_runtime"])
+        self.total_runtime = float(wire["total_runtime"])
+
+
+class _RemoteFactors:
+    """``ScalingFactors`` stand-in (``vertex_factor`` / ``edge_factor``)."""
+
+    def __init__(self, vertex_factor: float, edge_factor: float) -> None:
+        self.vertex_factor = vertex_factor
+        self.edge_factor = edge_factor
+
+
+class ServiceSampleProfile:
+    """Remote counterpart of :class:`~repro.core.sample_run.SampleRunProfile`."""
+
+    def __init__(self, wire: Dict[str, Any]) -> None:
+        self.wire = dict(wire)
+        self.algorithm = wire["algorithm"]
+        self.sampling_ratio = float(wire["sampling_ratio"])
+        self.run = _RemoteRun(wire)
+        self.factors = _RemoteFactors(
+            float(wire["vertex_scaling_factor"]), float(wire["edge_scaling_factor"])
+        )
+        self.sample_vertices = int(wire["sample_vertices"])
+        self.sample_edges = int(wire["sample_edges"])
+
+    @property
+    def num_iterations(self) -> int:
+        return self.run.num_iterations
+
+    @property
+    def runtime(self) -> float:
+        return self.run.total_runtime
+
+
+class ServicePrediction:
+    """Remote counterpart of :class:`~repro.core.predictor.Prediction`.
+
+    Exposes the fields the experiments and examples consume; every numeric
+    value is exactly the daemon's (floats cross the wire bit for bit).
+    """
+
+    def __init__(self, wire: Dict[str, Any]) -> None:
+        self.wire = dict(wire)
+        self.algorithm = wire["algorithm"]
+        self.dataset = wire["dataset"]
+        self.sampling_ratio = float(wire["sampling_ratio"])
+        self.predicted_iterations = int(wire["predicted_iterations"])
+        self.predicted_iteration_runtimes = [
+            float(v) for v in wire["predicted_iteration_runtimes"]
+        ]
+        self.predicted_superstep_runtime = float(wire["predicted_superstep_runtime"])
+        self.vertex_scaling_factor = float(wire["vertex_scaling_factor"])
+        self.edge_scaling_factor = float(wire["edge_scaling_factor"])
+        self.training_observations = int(wire["training_observations"])
+        self.used_history = bool(wire["used_history"])
+        self.metadata = dict(wire.get("metadata", {}))
+        self.cost_model = _RemoteCostModel(
+            float(wire["r_squared"]), wire["selected_features"], wire["cost_model"]
+        )
+        self.config_hash = wire["config_hash"]
+        self.cache = wire.get("cache", "miss")
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact summary mirroring :meth:`Prediction.summary`."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "sampling_ratio": self.sampling_ratio,
+            "predicted_iterations": self.predicted_iterations,
+            "predicted_superstep_runtime_s": round(self.predicted_superstep_runtime, 2),
+            "cost_model_r2": round(self.cost_model.r_squared, 4),
+            "selected_features": self.cost_model.selected_features,
+            "used_history": self.used_history,
+            "cache": self.cache,
+        }
+
+
+def _config_to_wire(algorithm, config) -> Optional[Dict[str, Any]]:
+    """Serialise a live config object into the wire config spec."""
+    if config is None:
+        return None
+    return {
+        "values": algorithm.config_dict(config),
+        # A populated ranks dict cannot cross the wire (it is derived data);
+        # the daemon re-derives it from its own PageRank run instead.
+        "needs_ranks": bool(getattr(config, "ranks", None)),
+    }
+
+
+class ServicePredictor:
+    """Drop-in for :class:`~repro.core.predictor.Predictor` over the wire.
+
+    ``predict`` takes the same arguments; the graph parameter only supplies
+    the dataset name (the daemon loads its own copy -- requests carry names,
+    not data).
+    """
+
+    def __init__(
+        self,
+        client: PredictionClient,
+        algorithm,
+        sampler_name: str = "BRJ",
+        history_datasets: Sequence[str] = (),
+        training_ratios: Optional[Sequence[float]] = None,
+        feature_level: str = "critical",
+        budget: Optional[int] = None,
+        cluster: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.client = client
+        self.algorithm = algorithm
+        self.sampler_name = sampler_name
+        self.history_datasets = tuple(history_datasets)
+        self.training_ratios = (
+            tuple(training_ratios) if training_ratios is not None else None
+        )
+        self.feature_level = feature_level
+        self.budget = budget
+        self.cluster = dict(cluster or {})
+
+    def _request(self, dataset: str, config, sampling_ratio: float) -> PredictRequest:
+        return PredictRequest(
+            dataset=dataset,
+            algorithm=self.algorithm.name,
+            sampling_ratio=float(sampling_ratio),
+            training_ratios=self.training_ratios,
+            config=_config_to_wire(self.algorithm, config),
+            sampler=self.sampler_name,
+            history=self.history_datasets,
+            feature_level=self.feature_level,
+            budget=self.budget,
+            cluster=self.cluster,
+        )
+
+    def predict(
+        self,
+        graph,
+        config=None,
+        sampling_ratio: float = 0.1,
+        dataset_name: Optional[str] = None,
+    ) -> ServicePrediction:
+        """Predict via the daemon; mirrors :meth:`Predictor.predict`."""
+        dataset = dataset_name or getattr(graph, "name", None)
+        if not dataset:
+            raise ValueError(
+                "service-backed prediction needs a dataset name "
+                "(pass dataset_name= or a named graph)"
+            )
+        request = self._request(dataset, config, sampling_ratio)
+        return ServicePrediction(self.client.predict(request))
+
+    def predict_iterations(
+        self, graph, config=None, sampling_ratio: float = 0.1
+    ) -> int:
+        """Iteration count of the prediction-ratio sample run (remote)."""
+        dataset = getattr(graph, "name", None)
+        if not dataset:
+            raise ValueError("service-backed prediction needs a named graph")
+        request = self._request(dataset, config, sampling_ratio)
+        return int(self.client.sample_run(request)["num_iterations"])
+
+
+class ServiceSampleRunner:
+    """Drop-in for :class:`~repro.core.sample_run.SampleRunner` over the wire."""
+
+    def __init__(
+        self,
+        client: PredictionClient,
+        algorithm,
+        sampler_name: str = "BRJ",
+        budget: Optional[int] = None,
+        cluster: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.client = client
+        self.algorithm = algorithm
+        self.sampler_name = sampler_name
+        self.budget = budget
+        self.cluster = dict(cluster or {})
+
+    def run(self, graph, config, sampling_ratio: float) -> ServiceSampleProfile:
+        """Execute one sample run via the daemon; mirrors ``SampleRunner.run``."""
+        dataset = getattr(graph, "name", None)
+        if not dataset:
+            raise ValueError("service-backed sample runs need a named graph")
+        request = PredictRequest(
+            dataset=dataset,
+            algorithm=self.algorithm.name,
+            sampling_ratio=float(sampling_ratio),
+            config=_config_to_wire(self.algorithm, config),
+            sampler=self.sampler_name,
+            budget=self.budget,
+            cluster=self.cluster,
+        )
+        return ServiceSampleProfile(self.client.sample_run(request))
+
+    def run_many(
+        self, graph, config, sampling_ratios
+    ) -> List[ServiceSampleProfile]:
+        """Sample runs at several ratios (training sweeps)."""
+        return [self.run(graph, config, ratio) for ratio in sampling_ratios]

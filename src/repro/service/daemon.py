@@ -1,0 +1,676 @@
+"""The prediction daemon: PREDIcT as a long-lived service.
+
+Two layers live here:
+
+:class:`PredictionService`
+    The synchronous compute-and-cache core.  It owns one or more
+    :class:`~repro.experiments.harness.ExperimentContext` instances (one per
+    distinct cluster-spec/budget combination, all sharing one process-pool
+    map), the prediction/profile caches and the hit/miss counters.  It is
+    thread-safe and usable without any socket -- the differential tests and
+    the benchmark drive it in-process.
+
+:class:`PredictionDaemon`
+    The ``asyncio`` unix-socket server wrapping a service: length-prefixed
+    JSON frames (:mod:`repro.service.protocol`), verbs ``ping`` /
+    ``predict`` / ``sample_run`` / ``status`` / ``stats`` / ``clear_cache``
+    / ``shutdown``.  Predictions execute on a small thread pool so the event
+    loop stays responsive to ``status`` while the engine crunches.  SIGTERM
+    and SIGINT trigger the same ordered shutdown as the ``shutdown`` verb:
+    stop accepting, drain in-flight requests, close the process pools
+    (sweeping their ``/dev/shm`` arenas), remove the socket file.
+
+Single-flight
+-------------
+Concurrent identical requests compute once.  A request that misses the
+cache queues on the service's compute lock; when it acquires the lock it
+re-checks the cache, and if the answer landed while it waited (a duplicate
+got there first) it returns that answer and counts
+``service.singleflight.coalesced`` instead of re-running the sample sweep.
+The engine is a serial resource (one process pool), so the lock also keeps
+distinct requests from interleaving pool traffic.
+
+Partial overlap
+---------------
+A request that misses the *prediction* cache still reuses every per-ratio
+sample-run profile it shares with earlier requests: the service threads a
+profile cache plus a canonical key function into the predictor's
+:class:`~repro.core.sample_run.SampleRunner`, so only the missing ratio
+cells execute (``service.profile.hit`` / ``.miss`` count the split).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.algorithms.registry import algorithm_by_name
+from repro.bsp.engine import BSPEngine
+from repro.cluster.cost_profile import DEFAULT_PROFILE, CostProfile
+from repro.cluster.spec import ClusterSpec
+from repro.core.history import HistoryStore
+from repro.core.predictor import DEFAULT_TRAINING_RATIOS, Prediction
+from repro.exceptions import ConfigurationError, PredictionError
+from repro.obs.tracer import NULL_TRACER, activate
+from repro.service import canonical
+from repro.service.cache import CacheBackend, InMemoryLRUCache, cache_by_name
+from repro.service.canonical import PredictRequest
+from repro.service.protocol import ProtocolError, async_read_frame, async_write_frame
+
+__all__ = [
+    "PredictionDaemon",
+    "PredictionService",
+    "prediction_to_wire",
+    "DEFAULT_SOCKET",
+]
+
+#: Default socket path of the daemon (CLI and examples).
+DEFAULT_SOCKET = "./repro-predict.sock"
+
+#: Cluster-spec fields a request may override.
+_CLUSTER_FIELDS = (
+    "num_nodes",
+    "workers_per_node",
+    "worker_memory_bytes",
+    "network_bandwidth_bytes_per_s",
+    "local_bandwidth_bytes_per_s",
+)
+
+
+def prediction_to_wire(prediction: Prediction, config_hash: str) -> Dict[str, Any]:
+    """Flatten a :class:`Prediction` into the JSON wire shape.
+
+    Floats serialise with shortest-round-trip ``repr``, so every numeric
+    field survives the socket bit for bit -- the differential suite compares
+    these dicts against in-process predictions with ``==``.
+    """
+    model = prediction.cost_model
+    return {
+        "algorithm": prediction.algorithm,
+        "dataset": prediction.dataset,
+        "sampling_ratio": float(prediction.sampling_ratio),
+        "predicted_iterations": int(prediction.predicted_iterations),
+        "predicted_iteration_runtimes": [
+            float(value) for value in prediction.predicted_iteration_runtimes
+        ],
+        "predicted_superstep_runtime": float(prediction.predicted_superstep_runtime),
+        "vertex_scaling_factor": float(prediction.vertex_scaling_factor),
+        "edge_scaling_factor": float(prediction.edge_scaling_factor),
+        "predicted_total_remote_bytes": float(prediction.predicted_total_remote_bytes()),
+        "training_observations": int(prediction.training_observations),
+        "used_history": bool(prediction.used_history),
+        "r_squared": float(model.r_squared),
+        "selected_features": list(model.selected_features),
+        "cost_model": canonical._jsonable(model.describe()),
+        "metadata": canonical._jsonable(prediction.metadata),
+        "config_hash": config_hash,
+    }
+
+
+class PredictionService:
+    """Compute-and-cache core shared by the daemon and in-process callers.
+
+    Parameters mirror :class:`~repro.experiments.harness.ExperimentContext`
+    (the daemon is, deliberately, a long-lived experiment context behind a
+    socket): ``dataset_scale`` / ``num_workers`` / ``seed`` pin the stand-in
+    datasets and sampler seeds, ``backend``/``processes`` pick the execution
+    strategy (excluded from every cache key), ``cluster`` is the *default*
+    simulated cluster which requests may override per call.
+    """
+
+    def __init__(
+        self,
+        dataset_scale: float = 1.0,
+        num_workers: int = 8,
+        seed: int = 42,
+        max_supersteps: int = 200,
+        partitioner_name: str = "hash",
+        backend: str = "inline",
+        processes: Optional[int] = None,
+        cluster: Optional[ClusterSpec] = None,
+        cost_profile: Optional[CostProfile] = None,
+        prediction_cache: Optional[CacheBackend] = None,
+        profile_cache: Optional[CacheBackend] = None,
+        tracer=None,
+        history: Optional[HistoryStore] = None,
+        csr_cache: Optional[str] = None,
+    ) -> None:
+        self.dataset_scale = float(dataset_scale)
+        self.num_workers = int(num_workers)
+        self.seed = int(seed)
+        self.max_supersteps = int(max_supersteps)
+        self.partitioner_name = partitioner_name
+        self.backend = backend
+        self.processes = processes
+        self.cluster = cluster or ClusterSpec()
+        self.cost_profile = cost_profile or DEFAULT_PROFILE
+        # ``is None`` checks, never truthiness: backends define ``__len__``,
+        # so a freshly opened (empty) sqlite cache is falsy.
+        if prediction_cache is None:
+            prediction_cache = InMemoryLRUCache(256)
+        if profile_cache is None:
+            profile_cache = InMemoryLRUCache(512)
+        self.prediction_cache = prediction_cache
+        self.profile_cache = profile_cache
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.history = history
+        self.csr_cache = csr_cache
+
+        # One process-pool map shared by every context's engine: a request
+        # that overrides the cluster spec gets its own simulated cluster but
+        # reuses the same worker processes (pool sharing; the service owns
+        # the map and closes it exactly once, in close()).
+        self._shared_pools: Dict[tuple, Any] = {}
+        self._contexts: Dict[tuple, Any] = {}
+        self._contexts_lock = threading.Lock()
+        self._compute_lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._counters_lock = threading.Lock()
+        self._started_at = time.time()
+        self._closed = False
+
+    # -------------------------------------------------------------- counters
+    def _count(self, name: str, value: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+        self.tracer.counter(name, value)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the service counters."""
+        with self._counters_lock:
+            return dict(self._counters)
+
+    # ----------------------------------------------------------- normalising
+    def _normalise(self, request: PredictRequest) -> PredictRequest:
+        """Resolve every defaultable field so equivalent spellings hash equal.
+
+        Aliases become canonical algorithm names, a missing config becomes
+        the algorithm's default scalar dict, a missing budget becomes the
+        service default, cluster overrides become a full field dict -- after
+        this, ``budget=None`` and ``budget=<the default>`` are the same
+        request, and so on.
+        """
+        algorithm = algorithm_by_name(request.algorithm)
+        config = request.config
+        if config is None:
+            config = {"values": {}, "needs_ranks": False}
+        values = dict(config.get("values") or {})
+        needs_ranks = bool(config.get("needs_ranks", False))
+        unknown = set(config) - {"values", "needs_ranks"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config key(s): {', '.join(sorted(unknown))}"
+            )
+        defaults = algorithm.config_dict(algorithm.default_config())
+        bad = set(values) - set(defaults)
+        if bad:
+            raise ConfigurationError(
+                f"unknown {algorithm.name} config field(s): {', '.join(sorted(bad))}"
+            )
+        full_values = {**defaults, **values}
+        cluster_overrides = dict(request.cluster)
+        bad = set(cluster_overrides) - set(_CLUSTER_FIELDS)
+        if bad:
+            raise ConfigurationError(
+                f"unknown cluster field(s): {', '.join(sorted(bad))}"
+            )
+        cluster = dataclasses.replace(self.cluster, **cluster_overrides)
+        return dataclasses.replace(
+            request,
+            algorithm=algorithm.name,
+            config={"values": full_values, "needs_ranks": needs_ranks},
+            training_ratios=(
+                request.training_ratios
+                if request.training_ratios is not None
+                else tuple(DEFAULT_TRAINING_RATIOS)
+            ),
+            history=tuple(sorted(request.history)),
+            budget=int(request.budget) if request.budget is not None else self.max_supersteps,
+            cluster={f: getattr(cluster, f) for f in _CLUSTER_FIELDS},
+        )
+
+    def canonical_context(self) -> Dict[str, Any]:
+        """Context-level canonical fields shared by every cache key.
+
+        Excludes execution mechanics (backend, processes, kernel tier,
+        threads, tracing) -- the checkpoint-fingerprint discipline; see
+        :mod:`repro.service.canonical`.
+        """
+        return {
+            "dataset_scale": self.dataset_scale,
+            "seed": self.seed,
+            "num_workers": self.num_workers,
+            "partitioner": self.partitioner_name,
+            "transform": "default",
+            "cost_profile": repr(self.cost_profile),
+        }
+
+    # --------------------------------------------------------------- contexts
+    def _context_for(self, request: PredictRequest):
+        """The experiment context serving ``request`` (cluster + budget)."""
+        from repro.experiments.harness import ExperimentContext
+
+        key = (tuple(sorted(request.cluster.items())), request.budget)
+        with self._contexts_lock:
+            ctx = self._contexts.get(key)
+            if ctx is None:
+                ctx = ExperimentContext(
+                    cluster=ClusterSpec(**request.cluster),
+                    cost_profile=self.cost_profile,
+                    dataset_scale=self.dataset_scale,
+                    num_workers=self.num_workers,
+                    seed=self.seed,
+                    max_supersteps=request.budget,
+                    partitioner_name=self.partitioner_name,
+                    backend=self.backend,
+                    processes=self.processes,
+                    tracer=self.tracer if self.tracer.enabled else None,
+                    csr_cache=self.csr_cache,
+                    shared_pools=self._shared_pools,
+                )
+                self._contexts[key] = ctx
+            return ctx
+
+    # ------------------------------------------------------------------ verbs
+    def predict(self, request: PredictRequest) -> Dict[str, Any]:
+        """Serve one prediction, from cache when warm (wire-shaped dict)."""
+        self._count("service.requests")
+        request = self._normalise(request)
+        key = canonical.prediction_key(request, self.canonical_context())
+        cached = self.prediction_cache.get(key)
+        if cached is not None:
+            self._count("service.cache.hit")
+            return {**cached, "cache": "hit"}
+        self._count("service.cache.miss")
+        with self._compute_lock:
+            # Single-flight re-check: a concurrent duplicate may have
+            # computed the answer while this request waited for the lock.
+            cached = self.prediction_cache.get(key)
+            if cached is not None:
+                self._count("service.singleflight.coalesced")
+                return {**cached, "cache": "coalesced"}
+            with self.tracer.span("service.predict.compute") as span:
+                if self.tracer.enabled:
+                    span.set("key", key)
+                    span.set("algorithm", request.algorithm)
+                    span.set("dataset", request.dataset)
+                result = self._compute_prediction(request, key)
+            self._count("service.predict.computed")
+            self.prediction_cache.put(key, result)
+        return {**result, "cache": "miss"}
+
+    def sample_run(self, request: PredictRequest) -> Dict[str, Any]:
+        """Serve one sample-run profile summary (the Figure 4 verb)."""
+        self._count("service.requests")
+        request = self._normalise(request)
+        key = canonical.sample_key(request, self.canonical_context())
+        cached = self.prediction_cache.get(key)
+        if cached is not None:
+            self._count("service.cache.hit")
+            return {**cached, "cache": "hit"}
+        self._count("service.cache.miss")
+        with self._compute_lock:
+            cached = self.prediction_cache.get(key)
+            if cached is not None:
+                self._count("service.singleflight.coalesced")
+                return {**cached, "cache": "coalesced"}
+            with self.tracer.span("service.sample_run.compute"):
+                result = self._compute_sample_run(request, key)
+            self._count("service.predict.computed")
+            self.prediction_cache.put(key, result)
+        return {**result, "cache": "miss"}
+
+    # ---------------------------------------------------------------- compute
+    def _resolve_config(self, ctx, request: PredictRequest, algorithm):
+        """Build the algorithm config object a normalised request describes."""
+        spec = request.config or {"values": {}, "needs_ranks": False}
+        values = dict(spec.get("values") or {})
+        config_cls = type(algorithm.default_config())
+        names = {f.name for f in dataclasses.fields(config_cls)}
+        config = config_cls(**{k: v for k, v in values.items() if k in names})
+        if spec.get("needs_ranks"):
+            from repro.algorithms.topk_ranking import config_with_ranks
+
+            ranks = ctx.pagerank_output(request.dataset)
+            config = config_with_ranks(config, ranks)
+        return config
+
+    def _profile_cache_binding(
+        self, request: PredictRequest
+    ) -> Tuple[CacheBackend, Callable]:
+        """(cache, key_fn) pair threaded into the sample runner."""
+        context_params = self.canonical_context()
+
+        def key_fn(graph, config, ratio: float) -> str:
+            return canonical.profile_key(request, context_params, ratio)
+
+        return self.profile_cache, key_fn
+
+    def _compute_prediction(self, request: PredictRequest, key: str) -> Dict[str, Any]:
+        ctx = self._context_for(request)
+        with activate(self.tracer):
+            graph = ctx.load(request.dataset)
+            algorithm = algorithm_by_name(request.algorithm)
+            config = self._resolve_config(ctx, request, algorithm)
+            history = None
+            if request.history:
+                history = self._build_history(ctx, request)
+            elif self.history is not None:
+                history = self.history
+            profile_cache, key_fn = self._profile_cache_binding(request)
+            predictor = ctx.predictor(
+                algorithm,
+                sampler_name=request.sampler,
+                history=history,
+                training_ratios=request.training_ratios,
+                profile_cache=profile_cache,
+                profile_key=key_fn,
+            )
+            predictor.feature_level = request.feature_level
+            prediction = predictor.predict(
+                graph,
+                config,
+                sampling_ratio=request.sampling_ratio,
+                dataset_name=request.dataset,
+            )
+        return prediction_to_wire(prediction, key)
+
+    def _compute_sample_run(self, request: PredictRequest, key: str) -> Dict[str, Any]:
+        ctx = self._context_for(request)
+        with activate(self.tracer):
+            graph = ctx.load(request.dataset)
+            algorithm = algorithm_by_name(request.algorithm)
+            config = self._resolve_config(ctx, request, algorithm)
+            profile_cache, key_fn = self._profile_cache_binding(request)
+            runner = ctx.sample_runner(
+                algorithm,
+                sampler_name=request.sampler,
+                profile_cache=profile_cache,
+                profile_key=key_fn,
+            )
+            profile = runner.run(graph, config, request.sampling_ratio)
+        run = profile.run
+        return {
+            "algorithm": profile.algorithm,
+            "dataset": request.dataset,
+            "sampling_ratio": float(profile.sampling_ratio),
+            "num_iterations": int(profile.num_iterations),
+            "convergence_history": [float(v) for v in run.convergence_history],
+            "superstep_runtime": float(run.superstep_runtime),
+            "total_runtime": float(run.total_runtime),
+            "sample_vertices": int(profile.sample.graph.num_vertices),
+            "sample_edges": int(profile.sample.graph.num_edges),
+            "vertex_scaling_factor": float(profile.factors.vertex_factor),
+            "edge_scaling_factor": float(profile.factors.edge_factor),
+            "config_hash": key,
+        }
+
+    def _build_history(self, ctx, request: PredictRequest) -> HistoryStore:
+        """Actual runs of the named datasets, server-side (Figures 7b/8b)."""
+        from repro.experiments.harness import build_history
+
+        algorithm = algorithm_by_name(request.algorithm)
+
+        def factory():
+            return algorithm_by_name(request.algorithm)
+
+        def build_config(context, dataset, _graph):
+            per_dataset = dataclasses.replace(request, dataset=dataset)
+            return self._resolve_config(context, per_dataset, algorithm)
+
+        return build_history(ctx, factory, build_config, list(request.history))
+
+    # ------------------------------------------------------------ status/stats
+    def status(self) -> Dict[str, Any]:
+        """Liveness and configuration summary (the ``status`` verb)."""
+        with self._contexts_lock:
+            contexts = [
+                {"cluster": dict(key[0]), "budget": key[1]}
+                for key in self._contexts
+            ]
+        return {
+            "uptime_s": time.time() - self._started_at,
+            "pid": os.getpid(),
+            "dataset_scale": self.dataset_scale,
+            "num_workers": self.num_workers,
+            "seed": self.seed,
+            "max_supersteps": self.max_supersteps,
+            "backend": self.backend,
+            "processes": self.processes,
+            "partitioner": self.partitioner_name,
+            "contexts": contexts,
+            "pools": BSPEngine.describe_pools(self._shared_pools),
+            "prediction_cache_entries": len(self.prediction_cache),
+            "profile_cache_entries": len(self.profile_cache),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters plus per-cache accounting (the ``stats`` verb)."""
+        return {
+            "counters": self.counters(),
+            "caches": {
+                "prediction": self.prediction_cache.stats(),
+                "profile": self.profile_cache.stats(),
+            },
+        }
+
+    def clear_caches(self) -> Dict[str, int]:
+        """Drop every cached prediction and profile (``clear_cache`` verb)."""
+        dropped = {
+            "predictions": len(self.prediction_cache),
+            "profiles": len(self.profile_cache),
+        }
+        self.prediction_cache.clear()
+        self.profile_cache.clear()
+        return dropped
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Ordered teardown: contexts, then the shared pools, then caches."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._contexts_lock:
+            contexts = list(self._contexts.values())
+            self._contexts.clear()
+        for ctx in contexts:
+            ctx.close()  # borrowed pools: a no-op for the shared map
+        BSPEngine.release_pools(self._shared_pools)
+        # Fold the backends' own accounting into the trace so the shutdown
+        # summary shows hit/miss totals next to the service counters.
+        for label, cache in (
+            ("prediction", self.prediction_cache),
+            ("profile", self.profile_cache),
+        ):
+            numeric = {
+                name: value
+                for name, value in cache.stats().items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            }
+            self.tracer.merge_counters(numeric, prefix=f"service.cache.{label}.")
+        self.prediction_cache.close()
+        self.profile_cache.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class PredictionDaemon:
+    """Asyncio unix-socket front end of a :class:`PredictionService`."""
+
+    def __init__(
+        self,
+        service: PredictionService,
+        socket_path: str = DEFAULT_SOCKET,
+        max_workers: int = 2,
+    ) -> None:
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self.max_workers = int(max_workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._in_flight = 0
+        self._writers: set = set()
+        self._client_tasks: set = set()
+        self.requests_served = 0
+
+    # ----------------------------------------------------------------- serve
+    def serve_forever(self) -> None:
+        """Run the daemon until ``shutdown`` / SIGTERM / SIGINT."""
+        asyncio.run(self.serve())
+
+    async def serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-predict"
+        )
+        if self.socket_path.exists():
+            # A stale socket file from a crashed daemon blocks bind();
+            # nothing else legitimately occupies the configured path.
+            self.socket_path.unlink()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path)
+        )
+        self._install_signal_handlers()
+        try:
+            await self._shutdown_event.wait()
+            # Ordered drain: stop accepting, let in-flight requests finish,
+            # then release the engine (pools sweep their /dev/shm arenas).
+            server.close()
+            await server.wait_closed()
+            while self._in_flight:
+                await asyncio.sleep(0.01)
+            # Closing the transports feeds EOF to every handler's read loop,
+            # so the client tasks exit normally; await them (instead of
+            # letting asyncio.run cancel them mid-``wait_closed``).
+            for writer in list(self._writers):
+                writer.close()
+            if self._client_tasks:
+                await asyncio.wait(self._client_tasks, timeout=5.0)
+            for task in list(self._client_tasks):
+                task.cancel()
+        finally:
+            self._executor.shutdown(wait=True)
+            self.service.close()
+            try:
+                self.socket_path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _install_signal_handlers(self) -> None:
+        import signal
+
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Not the main thread (in-process tests) -- the shutdown
+                # verb and request_shutdown() remain available.
+                break
+
+    def request_shutdown(self) -> None:
+        """Trigger the ordered shutdown (thread-safe and signal-safe)."""
+        if self._loop is None or self._shutdown_event is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown_event.set)
+
+    # --------------------------------------------------------------- clients
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await async_read_frame(reader)
+                except ProtocolError as exc:
+                    await async_write_frame(
+                        writer,
+                        {"ok": False, "error": str(exc), "error_kind": "ProtocolError"},
+                    )
+                    break
+                if frame is None:
+                    break
+                response = await self._dispatch(frame)
+                try:
+                    await async_write_frame(writer, response)
+                except ConnectionError:
+                    break
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._client_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, frame: Any) -> Dict[str, Any]:
+        if not isinstance(frame, dict) or "verb" not in frame:
+            return {
+                "ok": False,
+                "error": "frame must be an object with a 'verb'",
+                "error_kind": "ProtocolError",
+            }
+        verb = frame["verb"]
+        params = frame.get("params") or {}
+        self.requests_served += 1
+        try:
+            if verb == "ping":
+                return {"ok": True, "result": "pong"}
+            if verb == "predict":
+                return {"ok": True, "result": await self._offload(
+                    self.service.predict, PredictRequest.from_wire(params)
+                )}
+            if verb == "sample_run":
+                return {"ok": True, "result": await self._offload(
+                    self.service.sample_run, PredictRequest.from_wire(params)
+                )}
+            if verb == "status":
+                status = self.service.status()
+                status.update(
+                    socket=str(self.socket_path),
+                    in_flight=self._in_flight,
+                    requests_served=self.requests_served,
+                )
+                return {"ok": True, "result": status}
+            if verb == "stats":
+                return {"ok": True, "result": self.service.stats()}
+            if verb == "clear_cache":
+                return {"ok": True, "result": self.service.clear_caches()}
+            if verb == "shutdown":
+                self.request_shutdown()
+                return {"ok": True, "result": "shutting down"}
+            return {
+                "ok": False,
+                "error": f"unknown verb {verb!r}",
+                "error_kind": "ProtocolError",
+            }
+        except (ValueError, ConfigurationError, PredictionError) as exc:
+            return {"ok": False, "error": str(exc), "error_kind": type(exc).__name__}
+        except Exception as exc:  # unexpected: report, keep serving
+            return {"ok": False, "error": str(exc), "error_kind": type(exc).__name__}
+
+    async def _offload(self, fn, request: PredictRequest) -> Any:
+        """Run a compute verb on the executor, tracking in-flight count."""
+        assert self._loop is not None and self._executor is not None
+        self._in_flight += 1
+        try:
+            return await self._loop.run_in_executor(self._executor, fn, request)
+        finally:
+            self._in_flight -= 1

@@ -1,0 +1,123 @@
+"""Length-prefixed JSON framing shared by the daemon and the client.
+
+One frame = a 4-byte big-endian unsigned length followed by that many bytes
+of UTF-8 JSON.  Requests are objects ``{"verb": str, "params": dict}``;
+responses are ``{"ok": true, "result": ...}`` or ``{"ok": false, "error":
+str, "error_kind": str}``.  JSON keeps the wire inspectable (``socat`` +
+``python -m json.tool`` debugging) and -- because Python serialises floats
+with shortest-round-trip ``repr`` -- *exact*: a float survives the wire bit
+for bit, which the service's bit-identity contract depends on.
+
+Both a blocking (``socket``) and an ``asyncio`` flavour of the read/write
+pair live here so the synchronous client and the async daemon cannot drift.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+from repro.exceptions import BSPError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "async_read_frame",
+    "async_write_frame",
+]
+
+#: Upper bound on one frame; a length prefix beyond this indicates a corrupt
+#: or foreign stream, not a legitimate payload.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(BSPError):
+    """Raised on malformed frames (bad length, truncated body, bad JSON)."""
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Serialise ``payload`` into one length-prefixed JSON frame."""
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"payload is not JSON-serialisable: {exc}") from exc
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON frame: {exc}") from exc
+
+
+def _checked_length(prefix: bytes) -> int:
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    return length
+
+
+# ------------------------------------------------------------ blocking flavour
+def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or None on a clean EOF at a frame edge."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Any:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    prefix = _recv_exactly(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    body = _recv_exactly(sock, _checked_length(prefix))
+    if body is None:
+        raise ProtocolError("connection closed between length and body")
+    return _decode_body(body)
+
+
+def write_frame(sock: socket.socket, payload: Any) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+# ------------------------------------------------------------- asyncio flavour
+async def async_read_frame(reader) -> Any:
+    """Read one frame from an ``asyncio.StreamReader``; None on clean EOF."""
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-length") from exc
+    try:
+        body = await reader.readexactly(_checked_length(prefix))
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+async def async_write_frame(writer, payload: Any) -> None:
+    """Write one frame to an ``asyncio.StreamWriter`` and drain."""
+    writer.write(encode_frame(payload))
+    await writer.drain()

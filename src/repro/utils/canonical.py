@@ -1,0 +1,107 @@
+"""Canonical hashing primitives shared by the predictor and the service.
+
+These helpers live below :mod:`repro.core` and :mod:`repro.service` so both
+layers can key caches the same way without importing each other: the
+predictor's in-process sample-run memoisation and the service's cross-request
+cache must agree that *identical configuration* means *identical key*.
+
+Every digest here is ``sha256`` over canonically serialised bytes -- never
+the built-in ``hash()``, which is salted per interpreter (PYTHONHASHSEED)
+and would silently defeat any persistent cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict
+
+__all__ = ["canonical_hash", "config_token", "graph_token", "jsonable"]
+
+#: Attribute memoising a frozen graph's content digest (CSR arrays are
+#: immutable, so the digest is computed at most once per graph object).
+_DIGEST_ATTR = "_repro_content_digest"
+
+
+def canonical_hash(payload: Dict[str, Any], length: int = 16) -> str:
+    """sha256 hex digest of ``payload`` serialised canonically.
+
+    ``sort_keys=True`` makes the digest independent of dict insertion order;
+    JSON float serialisation (``repr``-based shortest round-trip) makes it
+    exact -- two floats hash equal iff they are bit-equal.
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:length]
+
+
+def graph_token(graph) -> str:
+    """A stable identity token for ``graph``.
+
+    Frozen (CSR) graphs are immutable, so the token is a content digest over
+    the CSR arrays (memoised on the graph object; ~milliseconds for the
+    stand-in datasets, amortised over every sample run on the graph).  For a
+    mutable :class:`~repro.graph.digraph.DiGraph` no content token can stay
+    valid, so the token falls back to the object identity -- correct for
+    cache reuse within one process, never shared across processes (the
+    service always freezes its datasets).
+    """
+    if not getattr(graph, "is_frozen", False):
+        return f"obj:{id(graph)}"
+    cached = getattr(graph, _DIGEST_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(str(graph.num_vertices).encode())
+    digest.update(graph.indptr.tobytes())
+    digest.update(graph.targets.tobytes())
+    digest.update(graph.weights.tobytes())
+    ids = graph.ids
+    if not (isinstance(ids, range) and ids == range(graph.num_vertices)):
+        digest.update(repr(list(ids)).encode())
+    token = "csr:" + digest.hexdigest()[:16]
+    try:
+        object.__setattr__(graph, _DIGEST_ATTR, token)
+    except (AttributeError, TypeError):  # pragma: no cover - exotic graph types
+        pass
+    return token
+
+
+def config_token(config) -> str:
+    """A content token for an algorithm configuration object.
+
+    Scalar fields participate directly; dict-valued fields (top-k ranking's
+    ``ranks``) participate through a digest of their sorted items, so two
+    configs with equal scalars but different attached ranks get different
+    tokens.  Non-dataclass configs fall back to ``repr``.
+    """
+    if not dataclasses.is_dataclass(config):
+        return "repr:" + canonical_hash({"repr": repr(config)})
+    parts: Dict[str, Any] = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, dict):
+            digest = hashlib.sha256(repr(sorted(value.items())).encode("utf-8"))
+            parts[f.name] = "dict:" + digest.hexdigest()[:16]
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            parts[f.name] = value
+        else:
+            parts[f.name] = repr(value)
+    return canonical_hash({"type": type(config).__name__, "fields": parts})
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce ``value`` (possibly holding numpy scalars) into JSON-stable form."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return repr(value)

@@ -129,12 +129,12 @@ class TestPredictor:
     def test_sample_run_cache_reused_across_ratios(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
         predictor = self.make_predictor(engine, engine_config)
         predictor.predict(medium_scale_free_graph, pagerank_config, sampling_ratio=0.1)
-        cached_before = len(predictor._profile_cache)
+        cached_before = len(predictor.runner.profile_cache)
         predictor.predict(medium_scale_free_graph, pagerank_config, sampling_ratio=0.15)
         # The three training ratios (0.05, 0.1, 0.15) already cover the second
         # prediction ratio, so no new sample run is executed.
         assert cached_before == 3
-        assert len(predictor._profile_cache) == cached_before
+        assert len(predictor.runner.profile_cache) == cached_before
 
     def test_predict_iterations_shortcut(self, engine, engine_config, medium_scale_free_graph, pagerank_config):
         predictor = self.make_predictor(engine, engine_config)

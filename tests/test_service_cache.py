@@ -1,0 +1,271 @@
+"""Canonical request hashing and the pluggable service caches.
+
+The service's "identical question, identical answer, paid for once" promise
+rests on two properties these tests pin:
+
+* **Key stability.**  Cache keys are sha256 over canonically serialised
+  payloads -- independent of dict insertion order, of the interpreter's
+  ``PYTHONHASHSEED``, and of process restarts (a sqlite cache written by one
+  daemon must be warm for the next).
+* **Key scope.**  ``prediction_key`` covers everything that can change a
+  prediction (budget included -- a tighter superstep budget can truncate
+  convergence); ``profile_key`` drops the fields that only affect
+  training-table assembly, so overlapping sweeps share per-ratio cells.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph import generators
+from repro.service.cache import (
+    InMemoryLRUCache,
+    NullCache,
+    SqliteCache,
+    cache_by_name,
+)
+from repro.service.canonical import (
+    PredictRequest,
+    canonical_hash,
+    prediction_key,
+    profile_key,
+    sample_key,
+)
+from repro.utils.canonical import config_token, graph_token
+
+CONTEXT = {
+    "dataset_scale": 0.4,
+    "seed": 42,
+    "num_workers": 8,
+    "partitioner": "hash",
+    "transform": "default",
+}
+
+REQUEST = PredictRequest(
+    dataset="livejournal",
+    algorithm="pagerank",
+    sampling_ratio=0.1,
+    training_ratios=(0.05, 0.1, 0.15, 0.2),
+    sampler="BRJ",
+    budget=200,
+)
+
+
+# ------------------------------------------------------------- canonical hash
+def test_canonical_hash_ignores_insertion_order():
+    assert canonical_hash({"a": 1, "b": 2.5}) == canonical_hash({"b": 2.5, "a": 1})
+
+
+def test_canonical_hash_is_float_exact():
+    """Floats hash by shortest-round-trip repr: bit-equal doubles collide,
+    adjacent doubles do not (the cache must never blur 0.1 + 0.2 into 0.3)."""
+    assert canonical_hash({"x": 0.3}) == canonical_hash({"x": float("0.3")})
+    assert canonical_hash({"x": 0.1 + 0.2}) != canonical_hash({"x": 0.3})
+
+
+def _subprocess_key(hashseed: str) -> str:
+    """Compute REQUEST's prediction key in a fresh interpreter."""
+    code = (
+        "from repro.service.canonical import PredictRequest, prediction_key\n"
+        f"ctx = {CONTEXT!r}\n"
+        "req = PredictRequest(dataset='livejournal', algorithm='pagerank',\n"
+        "                     sampling_ratio=0.1, training_ratios=(0.05, 0.1, 0.15, 0.2),\n"
+        "                     sampler='BRJ', budget=200)\n"
+        "print(prediction_key(req, ctx))\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.path.dirname(__file__), "..", "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True, check=True
+    )
+    return out.stdout.strip()
+
+
+def test_keys_stable_across_process_restarts_and_hash_seeds():
+    """The same request hashes identically in fresh interpreters with
+    different ``PYTHONHASHSEED`` -- the property a persistent sqlite cache
+    depends on (builtin ``hash()`` would break it silently)."""
+    here = prediction_key(REQUEST, CONTEXT)
+    assert _subprocess_key("0") == here
+    assert _subprocess_key("12345") == here
+
+
+# ----------------------------------------------------------------- key scope
+def test_prediction_key_includes_budget():
+    tight = PredictRequest(**{**REQUEST.__dict__, "budget": 50})
+    assert prediction_key(REQUEST, CONTEXT) != prediction_key(tight, CONTEXT)
+
+
+def test_prediction_key_includes_context():
+    other = dict(CONTEXT, seed=43)
+    assert prediction_key(REQUEST, CONTEXT) != prediction_key(REQUEST, other)
+
+
+def test_profile_key_drops_training_assembly_fields():
+    """Two sweeps differing only in training ratios / history / feature level
+    share every per-ratio profile cell."""
+    other = PredictRequest(
+        dataset="livejournal",
+        algorithm="pagerank",
+        sampling_ratio=0.15,  # prediction ratio also excluded
+        training_ratios=(0.1, 0.15),
+        history=("wikipedia",),
+        feature_level="graph",
+        sampler="BRJ",
+        budget=200,
+    )
+    assert profile_key(REQUEST, CONTEXT, 0.1) == profile_key(other, CONTEXT, 0.1)
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("dataset", "wikipedia"),
+        ("algorithm", "connected-components"),
+        ("sampler", "RJ"),
+        ("budget", 50),
+        ("cluster", {"workers_per_node": 3}),
+    ],
+)
+def test_profile_key_keeps_trajectory_fields(field, value):
+    changed = PredictRequest(**{**REQUEST.__dict__, field: value})
+    assert profile_key(REQUEST, CONTEXT, 0.1) != profile_key(changed, CONTEXT, 0.1)
+
+
+def test_sample_key_is_profile_key_at_the_prediction_ratio():
+    assert sample_key(REQUEST, CONTEXT).endswith(
+        profile_key(REQUEST, CONTEXT, REQUEST.sampling_ratio).split(":", 1)[1]
+    )
+
+
+def test_request_wire_roundtrip():
+    request = PredictRequest(
+        dataset="livejournal",
+        algorithm="topk",
+        config={"values": {"k": 5}, "needs_ranks": True},
+        history=("wikipedia", "uk-2002"),
+        budget=100,
+        cluster={"num_nodes": 2},
+    )
+    assert PredictRequest.from_wire(request.to_wire()) == request
+
+
+def test_request_rejects_unknown_and_missing_fields():
+    with pytest.raises(ValueError, match="unknown predict parameter"):
+        PredictRequest.from_wire({"dataset": "a", "algorithm": "b", "bogus": 1})
+    with pytest.raises(ValueError, match="requires"):
+        PredictRequest.from_wire({"dataset": "a"})
+
+
+# -------------------------------------------------------------------- tokens
+def test_graph_token_is_content_addressed():
+    g1 = generators.preferential_attachment(80, out_degree=3, seed=9).freeze()
+    g2 = generators.preferential_attachment(80, out_degree=3, seed=9).freeze()
+    g3 = generators.preferential_attachment(80, out_degree=3, seed=10).freeze()
+    assert graph_token(g1) == graph_token(g2)  # same content, distinct objects
+    assert graph_token(g1) != graph_token(g3)
+    assert graph_token(g1).startswith("csr:")
+
+
+def test_graph_token_mutable_graph_falls_back_to_identity():
+    g = generators.preferential_attachment(40, out_degree=3, seed=1)
+    assert graph_token(g) == f"obj:{id(g)}"
+
+
+def test_config_token_sees_dict_valued_fields():
+    from repro.algorithms.topk_ranking import TopKRankingConfig
+
+    base = TopKRankingConfig(k=5)
+    with_ranks = TopKRankingConfig(k=5, ranks={0: 0.5, 1: 0.25})
+    other_ranks = TopKRankingConfig(k=5, ranks={0: 0.5, 1: 0.26})
+    assert config_token(base) == config_token(TopKRankingConfig(k=5))
+    # ``ranks`` is compare=False on the dataclass (derived data), but the
+    # cache key must see it: different attached ranks, different token.
+    assert config_token(base) != config_token(with_ranks)
+    assert config_token(with_ranks) != config_token(other_ranks)
+
+
+# ------------------------------------------------------------------- backends
+def test_lru_cache_evicts_least_recently_used():
+    cache = InMemoryLRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a": "b" is now the LRU entry
+    cache.put("c", 3)
+    assert cache.get("b", "gone") == "gone"
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    stats = cache.stats()
+    assert stats["evictions"] == 1 and stats["entries"] == 2
+
+
+def test_lru_cache_thread_safety():
+    cache = InMemoryLRUCache(capacity=64)
+
+    def hammer(tid):
+        for i in range(200):
+            cache.put(f"k{i % 40}", (tid, i))
+            cache.get(f"k{(i * 7) % 40}")
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(cache) <= 64
+
+
+def test_sqlite_cache_roundtrip_and_persistence(tmp_path):
+    path = tmp_path / "cache.db"
+    cache = SqliteCache(str(path))
+    cache.put("prediction:abc", {"answer": 42.0, "runtimes": [1.0, 2.0]})
+    cache.put("prediction:abc", {"answer": 43.0})  # last write wins
+    assert cache.get("prediction:abc") == {"answer": 43.0}
+    cache.close()
+
+    reopened = SqliteCache(str(path))  # a daemon restart keeps warm entries
+    assert reopened.get("prediction:abc") == {"answer": 43.0}
+    reopened.delete("prediction:abc")
+    assert reopened.get("prediction:abc") is None
+    reopened.close()
+
+
+def test_sqlite_cache_clear_and_keys(tmp_path):
+    cache = SqliteCache(str(tmp_path / "c.db"))
+    for i in range(5):
+        cache.put(f"k{i}", i)
+    assert sorted(cache.keys()) == [f"k{i}" for i in range(5)]
+    cache.clear()
+    assert len(cache) == 0
+    cache.close()
+
+
+def test_null_cache_never_stores():
+    cache = NullCache()
+    cache.put("k", 1)
+    assert cache.get("k", "miss") == "miss"
+    assert len(cache) == 0
+
+
+def test_cache_by_name_parsing(tmp_path):
+    assert isinstance(cache_by_name(None), InMemoryLRUCache)
+    assert isinstance(cache_by_name("memory"), InMemoryLRUCache)
+    assert cache_by_name("memory:7").capacity == 7
+    sqlite_cache = cache_by_name(f"sqlite:{tmp_path / 'x.db'}")
+    assert isinstance(sqlite_cache, SqliteCache)
+    sqlite_cache.close()
+    assert isinstance(cache_by_name("none"), NullCache)
+    with pytest.raises(ConfigurationError):
+        cache_by_name("memory:lots")
+    with pytest.raises(ConfigurationError):
+        cache_by_name("sqlite:")
+    with pytest.raises(ConfigurationError):
+        cache_by_name("redis:whatever")

@@ -1,0 +1,434 @@
+"""The prediction service and daemon: bit-identity, single-flight, shutdown.
+
+Three layers under test:
+
+* :class:`PredictionService` in-process -- the differential contract (the
+  service path answers exactly what :class:`~repro.core.predictor.Predictor`
+  answers in-process), request normalisation (equivalent spellings share a
+  cache entry), partial-overlap profile reuse, and single-flight dedup.
+* :class:`PredictionDaemon` over its unix socket -- every verb, error
+  reporting with the original exception class, warm answers bit-identical
+  across the wire, concurrent duplicate requests computing once, and the
+  ``shutdown`` verb leaving no socket file behind.
+* The ``repro-predict serve`` process over the **process backend** --
+  SIGTERM triggers the ordered drain (stop accepting, finish in-flight,
+  close pools) and leaves ``/dev/shm`` clean, mirroring the engine
+  lifecycle tests.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import signal
+import socket as socket_module
+import struct
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from test_parallel_backend import shm_segments
+
+from repro.algorithms.registry import algorithm_by_name
+from repro.bsp.engine import BSPEngine
+from repro.experiments.harness import ExperimentContext
+from repro.service.cache import InMemoryLRUCache
+from repro.service.canonical import PredictRequest
+from repro.service.client import PredictionClient, RemoteError
+from repro.service.daemon import PredictionDaemon, PredictionService
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+SCALE = 0.05
+WORKERS = 4
+SEED = 42
+
+LJ_PAGERANK = dict(dataset="livejournal", algorithm="pagerank", sampling_ratio=0.1)
+
+
+def make_service(**overrides) -> PredictionService:
+    kwargs = dict(dataset_scale=SCALE, num_workers=WORKERS, seed=SEED)
+    kwargs.update(overrides)
+    return PredictionService(**kwargs)
+
+
+def strip_cache(wire: dict) -> dict:
+    return {k: v for k, v in wire.items() if k != "cache"}
+
+
+# ------------------------------------------------------------------ protocol
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket_module.socketpair()
+    payload = {"verb": "predict", "params": {"ratio": 0.1, "nested": [1, 2.5, None]}}
+    write_frame(a, payload)
+    assert read_frame(b) == payload
+    a.close()
+    assert read_frame(b) is None  # clean EOF at a frame edge
+    b.close()
+
+
+def test_frame_rejects_oversized_length():
+    a, b = socket_module.socketpair()
+    a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError, match="exceeds"):
+        read_frame(b)
+    a.close()
+    b.close()
+
+
+def test_encode_frame_rejects_unserialisable():
+    with pytest.raises(ProtocolError):
+        encode_frame({"bad": object()})
+
+
+# ------------------------------------------------------- in-process service
+@pytest.fixture(scope="module")
+def service():
+    svc = make_service()
+    yield svc
+    svc.close()
+
+
+def test_service_warm_prediction_is_bit_identical(service):
+    cold = service.predict(PredictRequest(**LJ_PAGERANK))
+    warm = service.predict(PredictRequest(**LJ_PAGERANK))
+    assert cold["cache"] == "miss" and warm["cache"] == "hit"
+    assert strip_cache(cold) == strip_cache(warm)
+
+
+def test_service_matches_in_process_predictor(service):
+    """The differential contract: the service path answers exactly what the
+    in-process predictor answers when both share scale/seed/workers."""
+    wire = service.predict(PredictRequest(**LJ_PAGERANK))
+    with ExperimentContext(
+        dataset_scale=SCALE, num_workers=WORKERS, seed=SEED
+    ) as ctx:
+        graph = ctx.load("livejournal")
+        prediction = ctx.predictor(algorithm_by_name("pagerank")).predict(
+            graph, None, sampling_ratio=0.1, dataset_name="livejournal"
+        )
+    assert wire["predicted_superstep_runtime"] == prediction.predicted_superstep_runtime
+    assert wire["predicted_iteration_runtimes"] == [
+        float(v) for v in prediction.predicted_iteration_runtimes
+    ]
+    assert wire["predicted_iterations"] == prediction.predicted_iterations
+    assert wire["r_squared"] == prediction.cost_model.r_squared
+    assert wire["vertex_scaling_factor"] == prediction.vertex_scaling_factor
+    assert wire["edge_scaling_factor"] == prediction.edge_scaling_factor
+
+
+def test_equivalent_spellings_share_one_cache_entry(service):
+    """Normalisation resolves aliases and defaults before hashing: ``pr``
+    with explicit default budget/ratios is the same question as the
+    defaulted ``pagerank`` request (already cached by the tests above)."""
+    spelled_out = service.predict(
+        PredictRequest(
+            dataset="livejournal",
+            algorithm="pr",  # registry alias
+            sampling_ratio=0.1,
+            training_ratios=(0.05, 0.1, 0.15, 0.2),  # the paper's defaults
+            budget=service.max_supersteps,  # the service default
+        )
+    )
+    assert spelled_out["cache"] == "hit"
+
+
+def test_overlapping_sweeps_reuse_profile_cells(service):
+    """A new prediction ratio misses the prediction cache but reuses every
+    training-ratio profile already computed -- only missing cells execute."""
+    before = service.profile_cache.stats()
+    overlap = service.predict(
+        PredictRequest(dataset="livejournal", algorithm="pagerank", sampling_ratio=0.15)
+    )
+    after = service.profile_cache.stats()
+    assert overlap["cache"] == "miss"
+    # 0.15 is one of the training ratios: the sweep {0.05,0.1,0.15,0.2} is
+    # fully cached, so zero new sample runs execute.
+    assert after["hits"] - before["hits"] == 4
+    assert after["puts"] == before["puts"]
+
+
+def test_budget_is_part_of_the_question(service):
+    """A tighter superstep budget can truncate convergence: never serve a
+    budget-200 answer to a budget-5 question."""
+    tight = service.predict(
+        PredictRequest(dataset="livejournal", algorithm="pagerank", budget=5)
+    )
+    assert tight["cache"] == "miss"
+    full = service.predict(PredictRequest(**LJ_PAGERANK))
+    assert tight["predicted_iterations"] != full["predicted_iterations"]
+
+
+def test_sample_run_verb_and_cache(service):
+    request = PredictRequest(dataset="wikipedia", algorithm="cc", sampling_ratio=0.1)
+    cold = service.sample_run(request)
+    warm = service.sample_run(request)
+    assert cold["cache"] == "miss" and warm["cache"] == "hit"
+    assert strip_cache(cold) == strip_cache(warm)
+    assert cold["num_iterations"] >= 1
+    assert cold["sample_vertices"] > 0
+
+
+def test_unknown_names_raise_configuration_errors(service):
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        service.predict(PredictRequest(dataset="livejournal", algorithm="nope"))
+    with pytest.raises(ConfigurationError):
+        service.predict(
+            PredictRequest(
+                dataset="livejournal", algorithm="pagerank",
+                config={"values": {"bogus_field": 1}},
+            )
+        )
+    with pytest.raises(ConfigurationError):
+        service.predict(
+            PredictRequest(
+                dataset="livejournal", algorithm="pagerank",
+                cluster={"bogus_knob": 2},
+            )
+        )
+
+
+def test_single_flight_coalesces_concurrent_duplicates():
+    """N concurrent identical requests compute once: one miss, the waiters
+    observe the winner's answer (coalesced) or the warm cache (hit)."""
+    with make_service() as svc:
+        request = PredictRequest(dataset="wikipedia", algorithm="pagerank")
+        with concurrent.futures.ThreadPoolExecutor(6) as pool:
+            results = [f.result() for f in [pool.submit(svc.predict, request) for _ in range(6)]]
+        kinds = sorted(r["cache"] for r in results)
+        assert kinds.count("miss") == 1
+        assert svc.counters()["service.predict.computed"] == 1
+        reference = strip_cache(results[0])
+        assert all(strip_cache(r) == reference for r in results)
+
+
+def test_clear_caches_and_status(service):
+    status = service.status()
+    assert status["dataset_scale"] == SCALE
+    assert status["seed"] == SEED
+    cleared = service.clear_caches()
+    assert set(cleared) == {"predictions", "profiles"}
+    assert service.predict(PredictRequest(**LJ_PAGERANK))["cache"] == "miss"
+
+
+def test_sqlite_cache_survives_service_restart(tmp_path):
+    # Regression: an *empty* CacheBackend is falsy (it has __len__), so a
+    # `prediction_cache or InMemoryLRUCache()` default silently swapped a
+    # fresh sqlite cache for a memory one.  The injected backend must be
+    # the one the service actually uses, and a second service over the
+    # same file must answer warm, bit-identically.
+    from repro.service.cache import SqliteCache
+
+    db = str(tmp_path / "predictions.sqlite")
+
+    svc = make_service(
+        prediction_cache=SqliteCache(db),
+        profile_cache=SqliteCache(db, table="profiles"),
+    )
+    assert svc.prediction_cache.kind == "sqlite"
+    assert svc.profile_cache.kind == "sqlite"
+    cold = svc.predict(PredictRequest(**LJ_PAGERANK))
+    assert cold["cache"] == "miss"
+    svc.close()
+
+    svc2 = make_service(
+        prediction_cache=SqliteCache(db),
+        profile_cache=SqliteCache(db, table="profiles"),
+    )
+    warm = svc2.predict(PredictRequest(**LJ_PAGERANK))
+    assert warm["cache"] == "hit"
+    assert strip_cache(warm) == strip_cache(cold)
+    svc2.close()
+
+
+# ------------------------------------------------------------------- daemon
+@pytest.fixture()
+def daemon_env(tmp_path):
+    sock = str(tmp_path / "svc.sock")
+    svc = make_service()
+    daemon = PredictionDaemon(svc, socket_path=sock, max_workers=4)
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    client = PredictionClient(sock)
+    client.wait_until_ready(timeout=15.0)
+    yield svc, daemon, client, sock
+    try:
+        client.shutdown()
+    except (OSError, ProtocolError, RemoteError):
+        daemon.request_shutdown()
+    client.close()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "daemon thread failed to stop"
+
+
+def test_daemon_verbs_and_wire_bit_identity(daemon_env):
+    svc, daemon, client, sock = daemon_env
+    assert client.ping() == "pong"
+
+    cold = client.predict(**LJ_PAGERANK)
+    warm = client.predict(**LJ_PAGERANK)
+    assert cold["cache"] == "miss" and warm["cache"] == "hit"
+    assert strip_cache(cold) == strip_cache(warm)
+
+    status = client.status()
+    assert status["socket"] == sock
+    assert status["requests_served"] >= 3
+    assert status["in_flight"] == 0
+
+    stats = client.stats()
+    assert stats["counters"]["service.cache.hit"] >= 1
+    assert stats["caches"]["prediction"]["kind"] == "memory"
+
+    cleared = client.clear_cache()
+    assert set(cleared) == {"predictions", "profiles"}
+    assert client.predict(**LJ_PAGERANK)["cache"] == "miss"
+
+
+def test_daemon_wire_matches_in_process_service(daemon_env):
+    """Socket transport is lossless: the JSON frame the client decodes is
+    ``==`` the dict the service computed (floats survive bit for bit)."""
+    svc, daemon, client, sock = daemon_env
+    over_wire = client.predict(**LJ_PAGERANK)
+    in_process = svc.predict(PredictRequest(**LJ_PAGERANK))
+    assert strip_cache(over_wire) == strip_cache(in_process)
+
+
+def test_daemon_error_reporting(daemon_env):
+    svc, daemon, client, sock = daemon_env
+    with pytest.raises(RemoteError) as excinfo:
+        client.predict(dataset="no-such-dataset", algorithm="pagerank")
+    assert excinfo.value.kind == "ConfigurationError"
+
+    with pytest.raises(RemoteError) as excinfo:
+        client.call("predict", {"dataset": "livejournal"})  # missing algorithm
+    assert excinfo.value.kind == "ValueError"
+
+    with pytest.raises(RemoteError) as excinfo:
+        client.call("frobnicate")
+    assert excinfo.value.kind == "ProtocolError"
+
+    # The connection survives error responses.
+    assert client.ping() == "pong"
+
+
+def test_daemon_concurrent_clients_single_flight(daemon_env):
+    svc, daemon, client, sock = daemon_env
+
+    def ask():
+        c = PredictionClient(sock)
+        try:
+            return c.predict(dataset="wikipedia", algorithm="pagerank")["cache"]
+        finally:
+            c.close()
+
+    with concurrent.futures.ThreadPoolExecutor(6) as pool:
+        kinds = sorted(f.result() for f in [pool.submit(ask) for _ in range(6)])
+    assert kinds.count("miss") == 1
+    assert svc.counters()["service.predict.computed"] == 1
+
+
+def test_daemon_shutdown_verb_removes_socket(tmp_path):
+    sock = str(tmp_path / "s.sock")
+    daemon = PredictionDaemon(make_service(), socket_path=sock)
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    client = PredictionClient(sock)
+    client.wait_until_ready(timeout=15.0)
+    assert client.shutdown() == "shutting down"
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert not os.path.exists(sock)
+
+
+# ------------------------------------------------------- process lifecycle
+def test_sigterm_drains_and_leaves_no_shm(tmp_path):
+    """A served daemon on the process backend: SIGTERM runs the ordered
+    shutdown (drain in-flight, close pools, unlink socket) and leaves no
+    shared-memory segment behind."""
+    before = shm_segments()
+    sock = str(tmp_path / "daemon.sock")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(p for p in (src, env.get("PYTHONPATH")) if p)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--socket", sock, "--scale", str(SCALE), "--workers", str(WORKERS),
+            "--seed", str(SEED), "--backend", "process", "--processes", "2",
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        client = PredictionClient(sock)
+        client.wait_until_ready(timeout=60.0)
+        result = client.predict(
+            dataset="livejournal", algorithm="pagerank", sampling_ratio=0.05
+        )
+        assert result["cache"] == "miss"
+        client.close()
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, out
+    assert "daemon stopped" in out
+    assert not os.path.exists(sock), "socket file survived shutdown"
+    if before is not None:
+        leaked = shm_segments() - before
+        assert not leaked, f"stale shared-memory segments after SIGTERM: {leaked}"
+
+
+def test_release_pools_closes_every_pool_on_error():
+    """Exception-safe teardown: a pool whose close() raises must not keep
+    the remaining pools (and their /dev/shm arenas) alive."""
+
+    class GoodPool:
+        def __init__(self):
+            self.closed = False
+
+        def close(self):
+            self.closed = True
+
+    class BadPool(GoodPool):
+        def close(self):
+            super().close()
+            raise RuntimeError("pool teardown boom")
+
+    good_a, bad, good_b = GoodPool(), BadPool(), GoodPool()
+    pools = {(2, "spawn"): good_a, (3, "spawn"): bad, (4, "spawn"): good_b}
+    with pytest.raises(RuntimeError, match="pool teardown boom"):
+        BSPEngine.release_pools(pools)
+    assert good_a.closed and bad.closed and good_b.closed
+    assert not pools, "pool map must be cleared even on error"
+
+
+def test_borrowing_engine_does_not_close_shared_pools():
+    """An engine handed a shared pool map borrows it: close_pools() must
+    leave the pools alone (the owning service closes them exactly once)."""
+    shared = {}
+    engine = BSPEngine(shared_pools=shared)
+
+    class Pool:
+        alive = True
+        closed = False
+
+        def close(self):
+            self.closed = True
+
+    pool = Pool()
+    shared[(2, "spawn")] = pool
+    engine.close_pools()  # no-op: the service owns the map
+    assert (2, "spawn") in shared and not pool.closed
+    BSPEngine.release_pools(shared)  # the owner's close: really tears down
+    assert pool.closed and not shared
